@@ -1,0 +1,136 @@
+package gridseg
+
+// One benchmark per paper artifact (figure / theorem shape), each
+// driving the corresponding registry experiment in quick mode, plus
+// engine benchmarks at the paper's Figure 1 parameters. Regenerate the
+// paper's numbers at full scale with: go run ./cmd/sweep -exp all -full
+import (
+	"testing"
+
+	"gridseg/internal/sim"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := sim.Find(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		ctx := &sim.Context{Quick: true, Seed: uint64(i) + 1}
+		if _, err := e.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Evolution regenerates the Fig. 1 workload (E1): the
+// segregation evolution at tau = 0.42 with four snapshot stages.
+func BenchmarkFig1Evolution(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkFig2Intervals regenerates the Fig. 2 interval structure (E2).
+func BenchmarkFig2Intervals(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkFig3Exponents regenerates the Fig. 3 curves a, b (E3).
+func BenchmarkFig3Exponents(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkFig6FTau regenerates the Fig. 6 curve f(tau) (E4).
+func BenchmarkFig6FTau(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkThm1Scaling runs the Theorem 1 E[M]-vs-N sweep (E5).
+func BenchmarkThm1Scaling(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkThm2Scaling runs the Theorem 2 E[M'] sweep (E6).
+func BenchmarkThm2Scaling(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkStaticRegime runs the static-regime verification (E7).
+func BenchmarkStaticRegime(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkHalfTau runs the open tau = 1/2 comparison (E8).
+func BenchmarkHalfTau(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkCompleteSegregation runs the p-sweep at tau = 1/2 (E9).
+func BenchmarkCompleteSegregation(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkFirewalls runs the triggering/protection machinery (E10).
+func BenchmarkFirewalls(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkPercolation runs the percolation substrate shapes (E11).
+func BenchmarkPercolation(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkFKGAndProp1 runs the FKG and Proposition 1 checks (E12).
+func BenchmarkFKGAndProp1(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkRing1D runs the 1-D baselines (E13).
+func BenchmarkRing1D(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkKawasaki runs the Glauber-vs-Kawasaki comparison (E14).
+func BenchmarkKawasaki(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkDiscomfortVariant runs the Sec. V both-sided variation (E15).
+func BenchmarkDiscomfortVariant(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkDensitySweep runs the Sec. V initial-density question (E16).
+func BenchmarkDensitySweep(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkNoisyAgents runs the Sec. I.A noisy-agent variation (E17).
+func BenchmarkNoisyAgents(b *testing.B) { benchExperiment(b, "E17") }
+
+// BenchmarkSpreadTime runs the Lemma 7 T(rho) observable (E18).
+func BenchmarkSpreadTime(b *testing.B) { benchExperiment(b, "E18") }
+
+// ---- Engine benchmarks at Figure 1 parameters ----------------------
+
+// BenchmarkModelInitFig1Params measures model construction at the exact
+// Fig. 1 neighborhood size (w = 10, N = 441) on a reduced torus.
+func BenchmarkModelInitFig1Params(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Config{N: 256, W: 10, Tau: 0.42, Seed: uint64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlipThroughputFig1Params measures per-flip cost at the
+// Fig. 1 neighborhood size.
+func BenchmarkFlipThroughputFig1Params(b *testing.B) {
+	m, err := New(Config{N: 256, W: 10, Tau: 0.42, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Step() {
+			b.StopTimer()
+			m, err = New(Config{N: 256, W: 10, Tau: 0.42, Seed: uint64(i) + 2})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkRunToFixation measures a complete small run.
+func BenchmarkRunToFixation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := New(Config{N: 96, W: 3, Tau: 0.45, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(0)
+	}
+}
+
+// BenchmarkSegregationStats measures the measurement pass.
+func BenchmarkSegregationStats(b *testing.B) {
+	m, err := New(Config{N: 256, W: 4, Tau: 0.45, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.Run(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.SegregationStats()
+	}
+}

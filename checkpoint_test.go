@@ -1,0 +1,127 @@
+package gridseg
+
+import (
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m, err := New(Config{N: 32, W: 2, Tau: 0.45, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(200)
+	data, err := m.MarshalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewFromConfiguration(data, Config{W: 2, Tau: 0.45, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Size() != 32 {
+		t.Fatalf("resumed size = %d", resumed.Size())
+	}
+	// The resumed lattice must match cell for cell.
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if m.Spin(x, y) != resumed.Spin(x, y) {
+				t.Fatalf("spin mismatch at (%d,%d)", x, y)
+			}
+		}
+	}
+	// And it must be runnable to fixation.
+	if _, fixated := resumed.Run(0); !fixated {
+		t.Fatal("resumed model must fixate")
+	}
+}
+
+func TestCheckpointDeterministicResume(t *testing.T) {
+	m, err := New(Config{N: 24, W: 2, Tau: 0.45, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	data, err := m.MarshalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runFrom := func() Stats {
+		r, err := NewFromConfiguration(data, Config{W: 2, Tau: 0.45, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Run(0)
+		return r.SegregationStats()
+	}
+	if runFrom() != runFrom() {
+		t.Fatal("resume must be deterministic")
+	}
+}
+
+func TestNewFromConfigurationErrors(t *testing.T) {
+	if _, err := NewFromConfiguration([]byte("garbage"), Config{W: 2, Tau: 0.45}); err == nil {
+		t.Fatal("want error for corrupt data")
+	}
+	m, err := New(Config{N: 16, W: 2, Tau: 0.45, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFromConfiguration(data, Config{W: 20, Tau: 0.45}); err == nil {
+		t.Fatal("want error for oversized horizon")
+	}
+	if _, err := NewFromConfiguration(data, Config{W: 2, Tau: 0.45, Dynamic: Dynamic(9)}); err == nil {
+		t.Fatal("want error for unknown dynamic")
+	}
+}
+
+func TestCheckpointKawasakiResume(t *testing.T) {
+	m, err := New(Config{N: 24, W: 2, Tau: 0.45, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := m.MarshalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewFromConfiguration(data, Config{W: 2, Tau: 0.45, Seed: 9, Dynamic: Kawasaki})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := k.SegregationStats().Magnetization
+	k.Run(0)
+	if k.SegregationStats().Magnetization != before {
+		t.Fatal("Kawasaki resume must conserve magnetization")
+	}
+}
+
+func TestSegregationIndices(t *testing.T) {
+	m, err := New(Config{N: 48, W: 2, Tau: 0.45, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := m.SegregationIndices(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	after, err := m.SegregationIndices(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Dissimilarity <= before.Dissimilarity {
+		t.Fatalf("D must rise under segregation: %v -> %v", before.Dissimilarity, after.Dissimilarity)
+	}
+	if after.Isolation <= before.Isolation {
+		t.Fatalf("isolation must rise: %v -> %v", before.Isolation, after.Isolation)
+	}
+	if after.Exposure != 1-after.Isolation {
+		t.Fatal("exposure identity broken")
+	}
+	if _, err := m.SegregationIndices(7); err == nil {
+		t.Fatal("want error when block side does not divide N")
+	}
+}

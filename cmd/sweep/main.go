@@ -1,0 +1,73 @@
+// Command sweep runs experiments from the reproduction registry
+// (DESIGN.md section 5): each experiment regenerates one figure of the
+// paper or validates one theorem's shape.
+//
+//	sweep -list
+//	sweep -exp E2,E3,E4
+//	sweep -exp all -full -out artifacts/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"gridseg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+
+	var (
+		exp     = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
+		list    = flag.Bool("list", false, "list registered experiments")
+		full    = flag.Bool("full", false, "paper-scale parameters (slower)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "artifact directory (PNG, CSV)")
+		verbose = flag.Bool("v", false, "progress logging")
+	)
+	flag.Parse()
+
+	infos := gridseg.Experiments()
+	if *list || *exp == "" {
+		fmt.Println("registered experiments:")
+		for _, e := range infos {
+			fmt.Printf("  %-4s %-45s %s\n", e.ID, e.Figure, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <ID>[,<ID>...] or -exp all")
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range infos {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	opt := gridseg.ExperimentOptions{Full: *full, Seed: *seed, OutDir: *out}
+	if *verbose {
+		opt.Logf = func(format string, args ...interface{}) {
+			log.Printf(format, args...)
+		}
+	}
+	for _, id := range ids {
+		text, err := gridseg.RunExperiment(strings.TrimSpace(id), opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(text)
+	}
+}

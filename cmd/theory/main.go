@@ -1,0 +1,59 @@
+// Command theory prints the paper's analytical objects: the critical
+// intolerances tau1 and tau2, the Fig. 2 interval structure, the Fig. 3
+// exponent curves a(tau) and b(tau), the Fig. 6 triggering threshold
+// f(tau), and the regime classification of any intolerance value.
+//
+//	theory -what constants
+//	theory -what curves -samples 48
+//	theory -what regime -tau 0.42
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"gridseg"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("theory: ")
+
+	var (
+		what    = flag.String("what", "constants", "constants | intervals | curves | regime")
+		samples = flag.Int("samples", 24, "curve sample count")
+		tau     = flag.Float64("tau", 0.42, "intolerance for -what regime")
+	)
+	flag.Parse()
+
+	switch *what {
+	case "constants":
+		fmt.Printf("tau1 (Eq. 1)                  = %.6f   (paper: ~0.433)\n", gridseg.Tau1())
+		fmt.Printf("tau2 (Eq. 3)                  = %.6f   (paper: ~0.344)\n", gridseg.Tau2())
+		fmt.Printf("monochromatic width 1-2*tau1  = %.6f   (paper: ~0.134)\n", 1-2*gridseg.Tau1())
+		fmt.Printf("almost-mono width 1-2*tau2    = %.6f   (paper: ~0.312)\n", 1-2*gridseg.Tau2())
+	case "intervals":
+		for _, iv := range gridseg.Intervals() {
+			fmt.Printf("(%.6f, %.6f)  %s\n", iv.Lo, iv.Hi, iv.Label)
+		}
+	case "curves":
+		if *samples < 2 {
+			*samples = 2
+		}
+		fmt.Println("tau       f(tau)    a(tau)      b(tau)")
+		lo, hi := gridseg.Tau2(), 0.5
+		for i := 0; i < *samples; i++ {
+			t := lo + (float64(i)+0.5)/float64(*samples)*(hi-lo)
+			f := gridseg.TriggerEpsilon(t)
+			a, b := gridseg.Exponents(t)
+			fmt.Printf("%.6f  %.6f  %.3e  %.3e\n", t, f, a, b)
+		}
+	case "regime":
+		fmt.Printf("tau = %g: %s\n", *tau, gridseg.ClassifyTau(*tau))
+		a, b := gridseg.Exponents(*tau)
+		fmt.Printf("exponents: a = %g, b = %g (NaN outside the theorem intervals)\n", a, b)
+	default:
+		log.Fatalf("unknown -what %q", *what)
+	}
+}

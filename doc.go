@@ -1,0 +1,26 @@
+// Package gridseg is a library reproduction of "Self-organized
+// Segregation on the Grid" (Omidvar and Franceschetti, PODC 2017 /
+// Journal of Statistical Physics 2018).
+//
+// The package simulates the Schelling model with Glauber dynamics on an
+// n x n torus: two agent types placed i.i.d. Bernoulli(p), extended
+// Moore neighborhoods of radius w (size N = (2w+1)^2), a common
+// intolerance tau, independent Poisson clocks, and flips that occur only
+// when an unhappy agent would become happy. It also provides the
+// closed-system Kawasaki swap baseline, the 1-D ring baselines, the
+// paper's analytical objects (tau1, tau2, f(tau), the exponent
+// multipliers a and b), the segregation observables of the theorems
+// (monochromatic and almost monochromatic regions), and the experiment
+// registry E1..E18 that regenerates every figure of the paper and the
+// variations its concluding remarks propose.
+//
+// # Quick start
+//
+//	m, err := gridseg.New(gridseg.Config{N: 200, W: 4, Tau: 0.42, P: 0.5, Seed: 1})
+//	if err != nil { ... }
+//	m.Run(0) // to fixation
+//	fmt.Println(m.SegregationStats())
+//
+// See the examples directory for runnable programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the paper-vs-measured record.
+package gridseg

@@ -1,0 +1,125 @@
+// Firewalls: observe the paper's triggering and protection machinery on
+// live configurations — radical regions (Sec. III), the Lemma 5
+// expandability cascade, the Lemma 9 annular firewall, and the
+// renormalized good/bad block field with its chemical circuit
+// (Sec. IV.B).
+//
+//	go run ./examples/firewalls
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridseg/internal/core"
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+func main() {
+	const (
+		n   = 120
+		w   = 2
+		tau = 0.45
+	)
+	src := rng.New(11)
+	lat := grid.Random(n, 0.5, src.Split(1))
+
+	// 1. Radical regions in the initial configuration.
+	spec := core.Spec{W: w, EpsPrime: theory.FEpsilon(tau) + 0.1, Eps: 0.1, TauTilde: tau}
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	centers := core.FindRadicalRegions(lat, spec, grid.Minus, 1)
+	fmt.Printf("initial %dx%d config: %d radical-region centers (minority -1, eps'=%.3f)\n",
+		n, n, len(centers), spec.EpsPrime)
+	fmt.Printf("  (Lemma 20: radical regions occur with probability 2^{-Theta(N)};\n")
+	fmt.Printf("   at N=%d they are rare — the theorems see them because the scanned\n", spec.N())
+	fmt.Printf("   neighborhood radius is itself exponential in N)\n")
+
+	// 2. Which of them are expandable (Lemma 5 cascade)?
+	expandable := 0
+	for _, c := range centers {
+		if res, err := core.Expandable(lat, c, spec, grid.Minus); err == nil && res.Expandable {
+			expandable++
+		}
+	}
+	fmt.Printf("expandable radical regions found naturally: %d\n", expandable)
+
+	// 2b. Plant the Lemma 5 triggering configuration and watch the
+	// cascade fire: make the minority sparse enough inside the radical
+	// radius that the constrained flips leave a monochromatic center.
+	planted := lat.Clone()
+	pc := geom.Point{X: n / 2, Y: n / 2}
+	rad := spec.RadicalRadius()
+	quota := int(spec.RadicalMinorityBound()) - 1
+	kept := 0
+	planted.Torus().Square(pc, rad, func(p geom.Point) {
+		if planted.Spin(p) == grid.Minus {
+			if kept < quota {
+				kept++ // keep a sub-bound sprinkling of minority agents
+			} else {
+				planted.Set(p, grid.Plus)
+			}
+		}
+	})
+	pre := grid.NewPrefix(planted)
+	res, err := core.Expandable(planted, pc, spec, grid.Minus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("planted trigger: radical=%v, cascade flips=%d (budget %d), center monochromatic=%v\n",
+		core.IsRadicalRegion(pre, pc, spec, grid.Minus), res.Flips, res.Budget, res.Expandable)
+
+	// 3. Firewall invariance (Lemma 9): build a monochromatic annulus,
+	// flood the exterior adversarially, and verify the interior
+	// survives the full dynamics.
+	fl := grid.Random(41, 0.5, src.Split(2))
+	u := geom.Point{X: 20, Y: 20}
+	f := core.Firewall{Center: u, R: 12, W: w}
+	for _, p := range f.Sites(fl.Torus()) {
+		fl.Set(p, grid.Plus)
+	}
+	for _, p := range f.InteriorSites(fl.Torus()) {
+		fl.Set(p, grid.Plus)
+	}
+	proc, err := dynamics.New(fl, w, 0.40, src.Split(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	protected := map[geom.Point]bool{}
+	for _, p := range f.Sites(fl.Torus()) {
+		protected[p] = true
+	}
+	for _, p := range f.InteriorSites(fl.Torus()) {
+		protected[p] = true
+	}
+	for i := 0; i < fl.Sites(); i++ {
+		if p := fl.Torus().At(i); !protected[p] && fl.SpinAt(i) == grid.Plus {
+			proc.ForceFlip(i)
+		}
+	}
+	proc.Run(0)
+	breaches := 0
+	for p := range protected {
+		if fl.Spin(p) != grid.Plus {
+			breaches++
+		}
+	}
+	fmt.Printf("firewall (R=%.0f, width sqrt(2)w) after adversarial exterior: %d breaches\n", f.R, breaches)
+
+	// 4. Renormalization: good/bad blocks and the chemical circuit.
+	bf, err := core.Renormalize(lat, 6, w, 0.2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	center := geom.Point{X: bf.Side / 2, Y: bf.Side / 2}
+	cp := bf.FindChemicalPath(center, 3, bf.Side/2-1)
+	fmt.Printf("block field: %.0f%% good blocks, bad/good ratio %.4f\n",
+		100*bf.GoodFraction(), bf.BadRatio())
+	fmt.Printf("chemical path around center: found=%v circuit=%d blocks, center path=%d blocks\n",
+		cp.OK, cp.CircuitLen, cp.PathLen)
+}

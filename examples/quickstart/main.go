@@ -1,0 +1,32 @@
+// Quickstart: build a model, run it to fixation, inspect the outcome.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridseg"
+)
+
+func main() {
+	// A 120x120 torus, neighborhoods of radius 3 (N = 49), intolerance
+	// 0.45 — inside the Theorem 1 interval (tau1, 1/2) where the paper
+	// proves exponentially large monochromatic regions.
+	m, err := gridseg.New(gridseg.Config{N: 120, W: 3, Tau: 0.45, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("regime at tau=0.45: %s\n", gridseg.ClassifyTau(0.45))
+	fmt.Printf("before: %s\n", m.SegregationStats())
+
+	flips, fixated := m.Run(0)
+	fmt.Printf("after:  %s\n", m.SegregationStats())
+	fmt.Printf("fixated=%v after %d flips, continuous time %.2f\n", fixated, flips, m.Time())
+
+	// The Theorem 1 observable: the largest single-type neighborhood
+	// containing a given agent.
+	fmt.Printf("monochromatic region of agent (60,60): %d agents\n", m.MonoRegionSize(60, 60))
+}

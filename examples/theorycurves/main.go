@@ -1,0 +1,38 @@
+// Theorycurves: regenerate the paper's numeric figures from their
+// defining equations — the Fig. 2 interval structure, the Fig. 3
+// exponent multipliers a(tau) and b(tau), and the Fig. 6 triggering
+// threshold f(tau).
+//
+//	go run ./examples/theorycurves
+package main
+
+import (
+	"fmt"
+)
+
+import "gridseg"
+
+func main() {
+	fmt.Println("== Fig. 2: critical intolerances and intervals ==")
+	fmt.Printf("tau1 = %.6f (paper ~0.433), tau2 = %.6f (paper ~0.344)\n",
+		gridseg.Tau1(), gridseg.Tau2())
+	fmt.Printf("monochromatic interval width  = %.4f (paper ~0.134)\n", 1-2*gridseg.Tau1())
+	fmt.Printf("almost-mono interval width    = %.4f (paper ~0.312)\n\n", 1-2*gridseg.Tau2())
+	for _, iv := range gridseg.Intervals() {
+		fmt.Printf("  (%.4f, %.4f)  %s\n", iv.Lo, iv.Hi, iv.Label)
+	}
+
+	fmt.Println("\n== Figs. 3 and 6: f(tau), a(tau), b(tau) on (tau2, 1/2) ==")
+	fmt.Println("tau       f(tau)   a(tau)      b(tau)")
+	lo, hi := gridseg.Tau2(), 0.5
+	const samples = 16
+	for i := 0; i < samples; i++ {
+		tau := lo + (float64(i)+0.5)/samples*(hi-lo)
+		f := gridseg.TriggerEpsilon(tau)
+		a, b := gridseg.Exponents(tau)
+		fmt.Printf("%.4f    %.4f   %.3e   %.3e\n", tau, f, a, b)
+	}
+	fmt.Println("\nboth exponents fall toward 0 as tau -> 1/2: more tolerant agents")
+	fmt.Println("(farther from 1/2) form *larger* segregated regions — the paper's")
+	fmt.Println("counterintuitive headline (Sec. I.B).")
+}

@@ -1,0 +1,67 @@
+// Variants: the model variations the paper proposes (Sections I.A and
+// V) — both-sided discomfort, asymmetric per-type intolerances, and
+// noisy agents — run side by side from comparable starts.
+//
+//	go run ./examples/variants
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gridseg"
+)
+
+func main() {
+	const (
+		n   = 96
+		w   = 2
+		tau = 0.45
+	)
+	budget := int64(n) * int64(n) * 5
+
+	show := func(name string, cfg gridseg.VariantConfig) {
+		m, err := gridseg.NewVariant(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, _, err := m.Run(budget); err != nil {
+			log.Fatal(err)
+		}
+		st := m.SegregationStats()
+		fmt.Printf("%-28s %s\n", name, st)
+	}
+
+	fmt.Printf("torus %dx%d, w=%d, event budget %d\n\n", n, n, w, budget)
+
+	// The paper's base model as a reference point.
+	show("base (tau=0.45)", gridseg.VariantConfig{
+		N: n, W: w, TauPlus: tau, TauMinus: tau, Seed: 1,
+	})
+
+	// Sec. V: agents also uncomfortable as saturated majorities.
+	// The upper threshold caps domain growth: interfaces stay denser.
+	show("discomfort (upper=0.8)", gridseg.VariantConfig{
+		N: n, W: w, TauPlus: tau, TauMinus: tau,
+		UpperPlus: 0.8, UpperMinus: 0.8, Seed: 1,
+	})
+
+	// Barmpalias et al. two-threshold model: one tolerant type, one
+	// intolerant type.
+	show("asymmetric (0.45 / 0.30)", gridseg.VariantConfig{
+		N: n, W: w, TauPlus: tau, TauMinus: 0.30, Seed: 1,
+	})
+
+	// Sec. I.A: agents occasionally act against the rule. Small noise
+	// leaves segregation largely intact; large noise destroys order.
+	show("noise 0.01", gridseg.VariantConfig{
+		N: n, W: w, TauPlus: tau, TauMinus: tau, Noise: 0.01, Seed: 1,
+	})
+	show("noise 0.2", gridseg.VariantConfig{
+		N: n, W: w, TauPlus: tau, TauMinus: tau, Noise: 0.2, Seed: 1,
+	})
+
+	fmt.Println("\ncompare interface density and same-fraction across rows: the")
+	fmt.Println("discomfort cap and heavy noise both hold the system short of the")
+	fmt.Println("base model's segregation level.")
+}

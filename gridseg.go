@@ -1,0 +1,298 @@
+package gridseg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/measure"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+	"gridseg/internal/viz"
+)
+
+// Dynamic selects the evolution rule.
+type Dynamic int
+
+// The two model classes discussed in Section I.A of the paper.
+const (
+	// Glauber is the paper's open-system dynamic: unhappy agents flip
+	// type when the flip makes them happy.
+	Glauber Dynamic = iota + 1
+	// Kawasaki is the closed-system baseline: pairs of unhappy agents
+	// of opposite types swap when the swap makes both happy.
+	Kawasaki
+)
+
+// Config specifies a model instance.
+type Config struct {
+	// N is the torus side length (N x N agents).
+	N int
+	// W is the horizon: neighborhoods are Chebyshev balls of radius W,
+	// containing (2W+1)^2 agents including the center.
+	W int
+	// Tau is the intolerance in [0, 1]; the integer happiness
+	// threshold is ceil(Tau * (2W+1)^2) per the paper's convention.
+	Tau float64
+	// P is the Bernoulli parameter of the initial configuration; the
+	// paper's theorems assume P = 1/2. Zero value defaults to 1/2.
+	P float64
+	// Seed determines the initial configuration and the evolution;
+	// identical configs replay identically.
+	Seed uint64
+	// Dynamic selects Glauber (default) or Kawasaki evolution.
+	Dynamic Dynamic
+}
+
+// Model is a running instance of the segregation process.
+type Model struct {
+	cfg  Config
+	lat  *grid.Lattice
+	proc *dynamics.Process
+	kaw  *dynamics.Kawasaki
+}
+
+// New builds a model from the config and draws its initial
+// configuration.
+func New(cfg Config) (*Model, error) {
+	if cfg.P == 0 {
+		cfg.P = 0.5
+	}
+	if cfg.Dynamic == 0 {
+		cfg.Dynamic = Glauber
+	}
+	if cfg.N < 3 {
+		return nil, errors.New("gridseg: N must be at least 3")
+	}
+	if cfg.P < 0 || cfg.P > 1 {
+		return nil, errors.New("gridseg: P must be in [0, 1]")
+	}
+	src := rng.New(cfg.Seed)
+	lat := grid.Random(cfg.N, cfg.P, src.Split(1))
+	m := &Model{cfg: cfg, lat: lat}
+	var err error
+	switch cfg.Dynamic {
+	case Glauber:
+		m.proc, err = dynamics.New(lat, cfg.W, cfg.Tau, src.Split(2))
+	case Kawasaki:
+		m.kaw, err = dynamics.NewKawasaki(lat, cfg.W, cfg.Tau, src.Split(2))
+		if m.kaw != nil {
+			m.proc = m.kaw.Process()
+		}
+	default:
+		return nil, fmt.Errorf("gridseg: unknown dynamic %d", cfg.Dynamic)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("gridseg: %w", err)
+	}
+	return m, nil
+}
+
+// Config returns the configuration the model was built with (with
+// defaults resolved).
+func (m *Model) Config() Config { return m.cfg }
+
+// Size returns the torus side length.
+func (m *Model) Size() int { return m.cfg.N }
+
+// NeighborhoodSize returns N = (2W+1)^2.
+func (m *Model) NeighborhoodSize() int { return m.proc.NeighborhoodSize() }
+
+// Threshold returns the integer happiness threshold tau*N.
+func (m *Model) Threshold() int { return m.proc.Threshold() }
+
+// EffectiveTau returns the rational intolerance threshold/N actually in
+// force (the paper's tau = ceil(tauTilde N)/N).
+func (m *Model) EffectiveTau() float64 { return m.proc.Tau() }
+
+// Spin returns +1 or -1 for the agent at (x, y); coordinates wrap.
+func (m *Model) Spin(x, y int) int {
+	return int(m.lat.Spin(geom.Point{X: x, Y: y}))
+}
+
+// Happy reports whether the agent at (x, y) is happy.
+func (m *Model) Happy(x, y int) bool {
+	return m.proc.Happy(m.lat.Torus().Index(m.lat.Torus().WrapPoint(geom.Point{X: x, Y: y})))
+}
+
+// Step advances the model by one effective event. For Glauber dynamics
+// this is one flip; for Kawasaki one swap attempt. It reports whether
+// the model can still move.
+func (m *Model) Step() bool {
+	if m.kaw != nil {
+		_, done := m.kaw.StepAttempt()
+		return !done
+	}
+	_, ok := m.proc.Step()
+	return ok
+}
+
+// Run advances the model until fixation or until the given number of
+// events (<= 0 means unbounded for Glauber; for Kawasaki a budget of
+// 20 n^2 attempts with an n^2 failure streak is used when maxEvents <= 0).
+// It returns the number of effective events performed and whether the
+// model reached a terminal state.
+func (m *Model) Run(maxEvents int64) (int64, bool) {
+	if m.kaw != nil {
+		budget := maxEvents
+		streak := int64(0)
+		if budget <= 0 {
+			n2 := int64(m.cfg.N) * int64(m.cfg.N)
+			budget = 20 * n2
+			streak = n2
+		}
+		return m.kaw.Run(budget, streak)
+	}
+	return m.proc.Run(maxEvents)
+}
+
+// Fixated reports whether no admissible move remains (Glauber) or no
+// unhappy pair exists (Kawasaki).
+func (m *Model) Fixated() bool {
+	if m.kaw != nil {
+		p, mi := m.kaw.UnhappyByType()
+		return p == 0 || mi == 0
+	}
+	return m.proc.Fixated()
+}
+
+// Flips returns the number of effective flips (Glauber) or twice the
+// number of swaps (Kawasaki) performed so far.
+func (m *Model) Flips() int64 {
+	if m.kaw != nil {
+		return 2 * m.kaw.Swaps()
+	}
+	return m.proc.Flips()
+}
+
+// Time returns the elapsed continuous (Poisson-clock) time of a Glauber
+// model; it returns NaN for Kawasaki models, whose paper formulation is
+// not clocked.
+func (m *Model) Time() float64 {
+	if m.kaw != nil {
+		return math.NaN()
+	}
+	return m.proc.Time()
+}
+
+// Stats summarizes the segregation state of a configuration.
+type Stats struct {
+	HappyFraction          float64
+	UnhappyCount           int
+	InterfaceDensity       float64
+	MeanSameFraction       float64
+	LargestClusterFraction float64
+	Magnetization          float64
+	Flips                  int64
+}
+
+// SegregationStats computes the summary observables of the current
+// configuration.
+func (m *Model) SegregationStats() Stats {
+	cl, _ := measure.Clusters(m.lat)
+	largest := cl.LargestPlus
+	if cl.LargestMinus > largest {
+		largest = cl.LargestMinus
+	}
+	sites := m.lat.Sites()
+	return Stats{
+		HappyFraction:          m.proc.HappyFraction(),
+		UnhappyCount:           m.proc.UnhappyCount(),
+		InterfaceDensity:       measure.InterfaceDensity(m.lat),
+		MeanSameFraction:       measure.MeanSameFraction(m.lat, m.cfg.W),
+		LargestClusterFraction: float64(largest) / float64(sites),
+		Magnetization:          float64(2*m.lat.CountPlus()-sites) / float64(sites),
+		Flips:                  m.Flips(),
+	}
+}
+
+// String renders the Stats compactly.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "happy=%.3f unhappy=%d interface=%.3f same=%.3f largest=%.3f magnetization=%+.3f flips=%d",
+		s.HappyFraction, s.UnhappyCount, s.InterfaceDensity, s.MeanSameFraction,
+		s.LargestClusterFraction, s.Magnetization, s.Flips)
+	return b.String()
+}
+
+// MonoRegionSize returns M(u): the size of the largest monochromatic
+// neighborhood (square of odd side) containing the agent at (x, y) —
+// the observable of Theorem 1.
+func (m *Model) MonoRegionSize(x, y int) int {
+	radii := measure.CenteredRadii(m.lat)
+	return measure.MonoRegionSize(m.lat, radii, m.lat.Torus().WrapPoint(geom.Point{X: x, Y: y}))
+}
+
+// AlmostMonoRegionSize returns M'(u): the size of the largest
+// neighborhood containing (x, y) whose minority/majority ratio is at
+// most beta — the observable of Theorem 2 (the paper takes
+// beta = e^{-eps N}).
+func (m *Model) AlmostMonoRegionSize(x, y int, beta float64) int {
+	pre := grid.NewPrefix(m.lat)
+	return measure.AlmostMonoSize(m.lat, pre, m.lat.Torus().WrapPoint(geom.Point{X: x, Y: y}), beta, 0)
+}
+
+// ASCII renders the configuration with happiness marks: '#' happy +1,
+// '.' happy -1, 'P' unhappy +1, 'm' unhappy -1.
+func (m *Model) ASCII() string {
+	return viz.ASCII(m.lat, m.cfg.W, m.proc.Threshold())
+}
+
+// String renders the raw configuration as '+'/'-' rows.
+func (m *Model) String() string { return m.lat.String() }
+
+// WritePNG renders the configuration in the paper's Figure 1 palette
+// (green/blue happy, white/yellow unhappy) at the given pixel scale.
+func (m *Model) WritePNG(out io.Writer, scale int) error {
+	return viz.WritePNG(out, m.lat, m.cfg.W, m.proc.Threshold(), scale)
+}
+
+// gridPoint builds a geom.Point from raw coordinates; it keeps the
+// internal geometry types out of exported signatures.
+func gridPoint(x, y int) geom.Point { return geom.Point{X: x, Y: y} }
+
+// ---- Theory facade -------------------------------------------------
+
+// Tau1 returns the critical intolerance tau1 ~= 0.433 of Eq. (1): the
+// lower endpoint of the Theorem 1 monochromatic interval.
+func Tau1() float64 { return theory.Tau1() }
+
+// Tau2 returns the critical intolerance tau2 = 0.34375 of Eq. (3): the
+// lower endpoint of the Theorem 2 almost-monochromatic interval.
+func Tau2() float64 { return theory.Tau2 }
+
+// TriggerEpsilon returns f(tau) from Eq. (10): the infimum margin eps'
+// for which a radical region can trigger the segregation cascade
+// (Fig. 6). NaN outside (0, 1/2].
+func TriggerEpsilon(tau float64) float64 { return theory.FEpsilon(tau) }
+
+// Exponents returns the asymptotic exponent multipliers (a, b) of
+// Theorems 1 and 2 at the given intolerance (Fig. 3):
+// 2^{aN - o(N)} <= E[M] <= 2^{bN + o(N)}. NaN outside
+// (tau2, 1-tau2) \ {1/2}.
+func Exponents(tau float64) (a, b float64) { return theory.Exponents(tau) }
+
+// ClassifyTau names the regime of an intolerance value per the paper
+// and the cited prior work: "static", "open (1/4, tau2]",
+// "almost monochromatic", "monochromatic", or "open (tau = 1/2)".
+func ClassifyTau(tau float64) string { return theory.Classify(tau).String() }
+
+// Interval is an intolerance range with a regime label (Fig. 2).
+type Interval struct {
+	Lo, Hi float64
+	Label  string
+}
+
+// Intervals returns the Fig. 2 interval structure.
+func Intervals() []Interval {
+	var out []Interval
+	for _, iv := range theory.Intervals() {
+		out = append(out, Interval{Lo: iv.Lo, Hi: iv.Hi, Label: iv.Label})
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package gridseg
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	cases := []Config{
+		{N: 2, W: 1, Tau: 0.5},
+		{N: 20, W: 0, Tau: 0.5},
+		{N: 20, W: 15, Tau: 0.5},
+		{N: 20, W: 2, Tau: -1},
+		{N: 20, W: 2, Tau: 0.5, P: 2},
+		{N: 20, W: 2, Tau: 0.5, Dynamic: Dynamic(9)},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d (%+v): want error", i, cfg)
+		}
+	}
+}
+
+func TestDefaultsResolved(t *testing.T) {
+	m, err := New(Config{N: 20, W: 2, Tau: 0.45, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Config()
+	if cfg.P != 0.5 || cfg.Dynamic != Glauber {
+		t.Fatalf("defaults not resolved: %+v", cfg)
+	}
+}
+
+func TestGlauberEndToEnd(t *testing.T) {
+	m, err := New(Config{N: 48, W: 2, Tau: 0.45, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NeighborhoodSize() != 25 || m.Threshold() != 12 {
+		t.Fatalf("N=%d thresh=%d", m.NeighborhoodSize(), m.Threshold())
+	}
+	if got := m.EffectiveTau(); got != 12.0/25 {
+		t.Fatalf("effective tau = %v", got)
+	}
+	events, fixated := m.Run(0)
+	if !fixated || !m.Fixated() {
+		t.Fatal("Glauber must fixate")
+	}
+	if events != m.Flips() {
+		t.Fatalf("events %d != flips %d", events, m.Flips())
+	}
+	st := m.SegregationStats()
+	if st.HappyFraction != 1 {
+		t.Fatalf("fixated Glauber below 1/2 must be fully happy: %+v", st)
+	}
+	if st.MeanSameFraction <= 0.5 {
+		t.Fatalf("segregation must raise same-fraction: %+v", st)
+	}
+	if m.Time() <= 0 {
+		t.Fatal("time must have advanced")
+	}
+	if !strings.Contains(st.String(), "happy=1.000") {
+		t.Fatalf("stats string: %s", st)
+	}
+}
+
+func TestKawasakiEndToEnd(t *testing.T) {
+	m, err := New(Config{N: 32, W: 2, Tau: 0.45, Seed: 9, Dynamic: Kawasaki})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.SegregationStats().Magnetization
+	m.Run(0)
+	after := m.SegregationStats().Magnetization
+	if math.Abs(before-after) > 1e-12 {
+		t.Fatalf("Kawasaki must conserve magnetization: %v -> %v", before, after)
+	}
+	if !math.IsNaN(m.Time()) {
+		t.Fatal("Kawasaki time must be NaN")
+	}
+	m.Step() // must not panic regardless of state
+}
+
+func TestSpinAndHappyWrap(t *testing.T) {
+	m, err := New(Config{N: 16, W: 1, Tau: 0.4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Spin(-1, -1); s != m.Spin(15, 15) {
+		t.Fatal("Spin must wrap")
+	}
+	if got := m.Spin(0, 0); got != 1 && got != -1 {
+		t.Fatalf("spin = %d", got)
+	}
+	_ = m.Happy(-1, -1) // must not panic
+}
+
+func TestRegionMeasures(t *testing.T) {
+	m, err := New(Config{N: 48, W: 2, Tau: 0.45, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(0)
+	mono := m.MonoRegionSize(10, 10)
+	almost := m.AlmostMonoRegionSize(10, 10, 0.1)
+	if mono < 1 {
+		t.Fatalf("mono region = %d", mono)
+	}
+	if almost < mono {
+		t.Fatalf("almost (%d) must be >= mono (%d)", almost, mono)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	m, err := New(Config{N: 12, W: 1, Tau: 0.5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.ASCII()
+	if len(strings.Split(strings.TrimRight(a, "\n"), "\n")) != 12 {
+		t.Fatal("ASCII shape wrong")
+	}
+	raw := m.String()
+	if !strings.ContainsAny(raw, "+-") {
+		t.Fatal("String must contain spins")
+	}
+	var buf bytes.Buffer
+	if err := m.WritePNG(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 24 {
+		t.Fatalf("png width = %d", img.Bounds().Dx())
+	}
+}
+
+func TestDeterministicReplayPublic(t *testing.T) {
+	run := func() Stats {
+		m, err := New(Config{N: 32, W: 2, Tau: 0.44, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(0)
+		return m.SegregationStats()
+	}
+	if run() != run() {
+		t.Fatal("same config must replay identically")
+	}
+}
+
+func TestTheoryFacade(t *testing.T) {
+	if math.Abs(Tau1()-0.433) > 5e-4 {
+		t.Fatalf("Tau1 = %v", Tau1())
+	}
+	if Tau2() != 0.34375 {
+		t.Fatalf("Tau2 = %v", Tau2())
+	}
+	f := TriggerEpsilon(0.45)
+	if f <= 0 || f >= 0.5 {
+		t.Fatalf("TriggerEpsilon = %v", f)
+	}
+	a, b := Exponents(0.45)
+	if !(a > 0 && b >= a) {
+		t.Fatalf("Exponents = %v, %v", a, b)
+	}
+	if ClassifyTau(0.45) != "monochromatic" {
+		t.Fatalf("ClassifyTau = %s", ClassifyTau(0.45))
+	}
+	iv := Intervals()
+	if len(iv) != 4 || iv[0].Lo != 0.34375 {
+		t.Fatalf("Intervals = %+v", iv)
+	}
+}
+
+func TestExperimentRegistryFacade(t *testing.T) {
+	infos := Experiments()
+	if len(infos) != 18 {
+		t.Fatalf("got %d experiments", len(infos))
+	}
+	out, err := RunExperiment("E2", ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "tau1") {
+		t.Fatalf("E2 output missing tau1: %s", out)
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}

@@ -1,0 +1,404 @@
+// Package core implements the paper's contribution-specific geometric
+// constructs: radical regions and unhappy regions (Section III), the
+// expandability cascade of Lemma 5, the region-of-expansion predicate of
+// Lemma 8, the annular firewall of Lemma 9, and — in renorm.go — the
+// renormalized good/bad block field, bad-cluster statistics, and the
+// chemical paths and firewalls of Section IV.B (Lemmas 11-14).
+//
+// Everything here operates on concrete finite configurations: these are
+// the executable counterparts of the objects the proofs reason about,
+// and the experiment harness uses them to observe the triggering and
+// protection mechanisms directly.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/theory"
+)
+
+// Spec bundles the parameters of the triggering construction of Section
+// III: the horizon w, the radical-region margin eps' (the paper's
+// epsilon-prime, which must exceed f(tau) for the cascade to fire), the
+// concentration exponent eps (the paper's epsilon in N^{1/2+eps}), and
+// the intolerance tauTilde.
+type Spec struct {
+	W        int
+	EpsPrime float64
+	Eps      float64
+	TauTilde float64
+}
+
+// Validate checks the parameter ranges.
+func (s Spec) Validate() error {
+	if s.W < 1 {
+		return errors.New("core: horizon must be >= 1")
+	}
+	if s.EpsPrime <= 0 || s.EpsPrime >= 1 {
+		return errors.New("core: eps' must be in (0, 1)")
+	}
+	if s.Eps <= 0 || s.Eps >= 0.5 {
+		return errors.New("core: eps must be in (0, 1/2)")
+	}
+	if s.TauTilde <= 0 || s.TauTilde >= 1 {
+		return errors.New("core: tau must be in (0, 1)")
+	}
+	return nil
+}
+
+// N returns the neighborhood size (2w+1)^2.
+func (s Spec) N() int { return geom.SquareSize(s.W) }
+
+// Threshold returns the integer happiness threshold ceil(tau*N).
+func (s Spec) Threshold() int { return theory.Threshold(s.TauTilde, s.N()) }
+
+// RadicalRadius returns the radius (1+eps')w of a radical region,
+// rounded to the nearest integer.
+func (s Spec) RadicalRadius() int {
+	return int(math.Round((1 + s.EpsPrime) * float64(s.W)))
+}
+
+// RadicalMinorityBound returns the strict upper bound on the number of
+// minority agents a radical region may contain:
+// tau-hat * (1+eps')^2 * N (Section III).
+func (s Spec) RadicalMinorityBound() float64 {
+	scale := (1 + s.EpsPrime) * (1 + s.EpsPrime)
+	return theory.TauHat(s.TauTilde, s.N(), s.Eps) * scale * float64(s.N())
+}
+
+// UnhappyRadius returns the radius eps'*w of the unhappy region at the
+// center of a radical region (Lemma 4), rounded to nearest and at
+// least 0.
+func (s Spec) UnhappyRadius() int {
+	r := int(math.Round(s.EpsPrime * float64(s.W)))
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// UnhappyMinorityBound returns the Lemma 4 lower bound on the number of
+// unhappy minority agents in the unhappy region:
+// floor(tau * eps'^2 * N - N^{1/2+eps}).
+func (s Spec) UnhappyMinorityBound() int {
+	n := float64(s.N())
+	v := s.TauTilde*s.EpsPrime*s.EpsPrime*n - math.Pow(n, 0.5+s.Eps)
+	if v < 0 {
+		return 0
+	}
+	return int(math.Floor(v))
+}
+
+// IsRadicalRegion reports whether the neighborhood of radius
+// (1+eps')w centered at c is a radical region for the given minority
+// spin: it contains strictly fewer than tau-hat (1+eps')^2 N agents of
+// that type. pre must be a snapshot of the configuration under test.
+func IsRadicalRegion(pre *grid.Prefix, c geom.Point, s Spec, minority grid.Spin) bool {
+	radius := s.RadicalRadius()
+	if 2*radius+1 > pre.N() {
+		return false
+	}
+	side := 2*radius + 1
+	plus := pre.PlusInRect(c.X-radius, c.Y-radius, side, side)
+	count := plus
+	if minority == grid.Minus {
+		count = side*side - plus
+	}
+	return float64(count) < s.RadicalMinorityBound()
+}
+
+// FindRadicalRegions scans every site as a candidate center and returns
+// the centers of radical regions for the given minority spin. stride > 1
+// subsamples the scan grid for speed.
+func FindRadicalRegions(l *grid.Lattice, s Spec, minority grid.Spin, stride int) []geom.Point {
+	if stride < 1 {
+		stride = 1
+	}
+	pre := grid.NewPrefix(l)
+	var out []geom.Point
+	for y := 0; y < l.N(); y += stride {
+		for x := 0; x < l.N(); x += stride {
+			c := geom.Point{X: x, Y: y}
+			if IsRadicalRegion(pre, c, s, minority) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// happyWithCounts reports whether an agent of the given spin with the
+// given plus-count in its size-N neighborhood meets the threshold.
+func happyWithCounts(spin grid.Spin, plusCount, nbhd, thresh int) bool {
+	same := plusCount
+	if spin == grid.Minus {
+		same = nbhd - plusCount
+	}
+	return same >= thresh
+}
+
+// CountUnhappyMinority counts the agents of the given minority spin
+// inside N_radius(c) that are unhappy in the current configuration of l.
+// It is the Lemma 4 observable.
+func CountUnhappyMinority(l *grid.Lattice, c geom.Point, radius, w, thresh int, minority grid.Spin) int {
+	pre := grid.NewPrefix(l)
+	nbhd := geom.SquareSize(w)
+	count := 0
+	l.Torus().Square(c, radius, func(p geom.Point) {
+		if l.Spin(p) != minority {
+			return
+		}
+		plus := pre.PlusInSquare(p, w)
+		if !happyWithCounts(minority, plus, nbhd, thresh) {
+			count++
+		}
+	})
+	return count
+}
+
+// CascadeResult reports the outcome of the Lemma 5 constrained cascade.
+type CascadeResult struct {
+	Expandable   bool // the center block N_{w/2} became monochromatic
+	Flips        int  // flips performed inside the radical region
+	Budget       int  // the paper's flip budget (w+1)^2
+	WithinBudget bool
+}
+
+// Expandable runs the Lemma 5 construction: starting from the current
+// configuration around center c, it performs every admissible flip of a
+// minority agent *inside the radical region only* (a monotone cascade:
+// for tau < 1/2, flipping minority agents toward the majority can only
+// make other minority agents unhappier, so greedy order is exhaustive)
+// and reports whether the neighborhood N_{floor(w/2)}(c) becomes
+// monochromatic of the majority type. The configuration of l is not
+// modified: the cascade runs on a windowed copy large enough that no
+// evaluated neighborhood wraps.
+func Expandable(l *grid.Lattice, c geom.Point, s Spec, minority grid.Spin) (CascadeResult, error) {
+	if err := s.Validate(); err != nil {
+		return CascadeResult{}, err
+	}
+	radius := s.RadicalRadius()
+	w := s.W
+	half := radius + 2*w // window half-side: evaluated balls never wrap
+	side := 2*half + 1
+	if side > l.N() {
+		return CascadeResult{}, fmt.Errorf("core: window side %d exceeds lattice side %d", side, l.N())
+	}
+	// Copy the window; wc is the center in window coordinates.
+	win := grid.New(side, grid.Minus)
+	tor := l.Torus()
+	for dy := -half; dy <= half; dy++ {
+		for dx := -half; dx <= half; dx++ {
+			win.Set(geom.Point{X: half + dx, Y: half + dy}, l.Spin(tor.Add(c, dx, dy)))
+		}
+	}
+	wc := geom.Point{X: half, Y: half}
+	wtor := win.Torus()
+	nbhd := s.N()
+	thresh := s.Threshold()
+	counts := win.WindowCounts(w)
+
+	flipTo := minority.Opposite()
+	var delta int32 = 1
+	if flipTo == grid.Minus {
+		delta = -1
+	}
+	res := CascadeResult{Budget: (w + 1) * (w + 1)}
+	// Monotone cascade: sweep the radical region until no admissible
+	// minority flip remains. Each flip updates the window counts.
+	for {
+		flipped := false
+		wtor.Square(wc, radius, func(p geom.Point) {
+			i := wtor.Index(p)
+			if win.SpinAt(i) != minority {
+				return
+			}
+			plus := int(counts[i])
+			if happyWithCounts(minority, plus, nbhd, thresh) {
+				return
+			}
+			// Unhappy minority agent: admissible iff the flip makes
+			// it happy (automatic below tau = 1/2).
+			newSame := nbhd - sameOf(minority, plus, nbhd) + 1
+			if newSame < thresh {
+				return
+			}
+			win.SetAt(i, flipTo)
+			res.Flips++
+			flipped = true
+			wtor.Square(p, w, func(q geom.Point) {
+				counts[wtor.Index(q)] += delta
+			})
+		})
+		if !flipped {
+			break
+		}
+	}
+	// Check the center block N_{floor(w/2)}.
+	mono := true
+	wtor.Square(wc, w/2, func(p geom.Point) {
+		if win.Spin(p) != flipTo {
+			mono = false
+		}
+	})
+	res.Expandable = mono
+	res.WithinBudget = res.Flips <= res.Budget
+	return res, nil
+}
+
+func sameOf(spin grid.Spin, plusCount, nbhd int) int {
+	if spin == grid.Plus {
+		return plusCount
+	}
+	return nbhd - plusCount
+}
+
+// Firewall is the annular structure of Lemma 9: the set of agents in
+// A_r(u) = { y : r - sqrt(2) w <= ||u-y||_2 <= r }. Once monochromatic,
+// the annulus is static and the interior is isolated from the exterior.
+type Firewall struct {
+	Center geom.Point
+	R      float64 // outer radius; inner radius is R - sqrt(2)*W
+	W      int
+}
+
+// InnerRadius returns r - sqrt(2) w.
+func (f Firewall) InnerRadius() float64 { return f.R - math.Sqrt2*float64(f.W) }
+
+// Sites returns the annulus agent positions.
+func (f Firewall) Sites(tor geom.Torus) []geom.Point {
+	var out []geom.Point
+	tor.Annulus(f.Center, f.InnerRadius(), f.R, func(p geom.Point) { out = append(out, p) })
+	return out
+}
+
+// InteriorSites returns the agents strictly inside the annulus.
+func (f Firewall) InteriorSites(tor geom.Torus) []geom.Point {
+	var out []geom.Point
+	inner := f.InnerRadius()
+	tor.Disc(f.Center, inner, func(p geom.Point) {
+		if tor.Euclid(f.Center, p) < inner {
+			out = append(out, p)
+		}
+	})
+	return out
+}
+
+// IsMonochromatic reports whether every agent of the annulus has the
+// same type, and that type.
+func (f Firewall) IsMonochromatic(l *grid.Lattice) (grid.Spin, bool) {
+	sites := f.Sites(l.Torus())
+	if len(sites) == 0 {
+		return grid.Plus, false
+	}
+	spin := l.Spin(sites[0])
+	for _, p := range sites[1:] {
+		if l.Spin(p) != spin {
+			return spin, false
+		}
+	}
+	return spin, true
+}
+
+// FindFirewall scans outer radii r = rMin..rMax (integer steps) for an
+// annular firewall centered at u that is monochromatic in the current
+// configuration, returning the first hit.
+func FindFirewall(l *grid.Lattice, u geom.Point, w int, rMin, rMax int) (Firewall, bool) {
+	for r := rMin; r <= rMax; r++ {
+		f := Firewall{Center: u, R: float64(r), W: w}
+		if f.InnerRadius() <= 0 {
+			continue
+		}
+		if 2*r+1 > l.N() {
+			break
+		}
+		if _, ok := f.IsMonochromatic(l); ok {
+			return f, true
+		}
+	}
+	return Firewall{}, false
+}
+
+// IsRegionOfExpansion implements the Lemma 8 predicate: a neighborhood
+// N_radius(c) such that placing a monochromatic block N_{floor(w/2)} of
+// the target type anywhere inside it makes every opposite-type agent on
+// the block's outside boundary unhappy with probability one (i.e. in
+// every configuration consistent with the current one outside the
+// block). The check substitutes the block into the configuration and
+// tests the boundary agents' counts exactly, using prefix sums.
+// stride subsamples the placement grid (1 = exhaustive).
+func IsRegionOfExpansion(l *grid.Lattice, c geom.Point, radius, w, thresh int, target grid.Spin, stride int) bool {
+	if stride < 1 {
+		stride = 1
+	}
+	pre := grid.NewPrefix(l)
+	tor := l.Torus()
+	nbhd := geom.SquareSize(w)
+	blockR := w / 2
+	opp := target.Opposite()
+	ok := true
+	for dy := -radius; dy <= radius && ok; dy += stride {
+		for dx := -radius; dx <= radius && ok; dx += stride {
+			bc := tor.Add(c, dx, dy) // block center placement
+			// Every opposite agent on the ring just outside the block.
+			tor.SquarePerimeter(bc, blockR+1, func(v geom.Point) {
+				if !ok || l.Spin(v) != opp {
+					return
+				}
+				// Plus count of N_w(v) after substituting the block:
+				// actual count, minus the block-area contribution,
+				// plus the full block intersection if target is +.
+				plus := pre.PlusInSquare(v, w)
+				interPlus, interArea := intersectionCounts(pre, tor, v, w, bc, blockR, l.N())
+				plusAfter := plus - interPlus
+				if target == grid.Plus {
+					plusAfter += interArea
+				}
+				if happyWithCounts(opp, plusAfter, nbhd, thresh) {
+					ok = false
+				}
+			})
+		}
+	}
+	return ok
+}
+
+// intersectionCounts returns the +1 count and the area of the
+// intersection of N_w(v) with the block N_blockR(bc), both squares on
+// the torus. The intersection of two axis-aligned torus squares whose
+// sides are below n/2 is a single rectangle computed from wrapped
+// deltas.
+func intersectionCounts(pre *grid.Prefix, tor geom.Torus, v geom.Point, w int, bc geom.Point, blockR, n int) (plus, area int) {
+	dx := tor.Delta(bc.X, v.X)
+	dy := tor.Delta(bc.Y, v.Y)
+	// Overlap in relative coordinates centered at v.
+	lox := maxInt(-w, dx-blockR)
+	hix := minInt(w, dx+blockR)
+	loy := maxInt(-w, dy-blockR)
+	hiy := minInt(w, dy+blockR)
+	if lox > hix || loy > hiy {
+		return 0, 0
+	}
+	wd := hix - lox + 1
+	ht := hiy - loy + 1
+	plus = pre.PlusInRect(v.X+lox, v.Y+loy, wd, ht)
+	return plus, wd * ht
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,386 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func defaultSpec(w int, tau float64) Spec {
+	return Spec{W: w, EpsPrime: 0.3, Eps: 0.1, TauTilde: tau}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := defaultSpec(3, 0.45)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Spec{
+		{W: 0, EpsPrime: 0.3, Eps: 0.1, TauTilde: 0.45},
+		{W: 3, EpsPrime: 0, Eps: 0.1, TauTilde: 0.45},
+		{W: 3, EpsPrime: 1.5, Eps: 0.1, TauTilde: 0.45},
+		{W: 3, EpsPrime: 0.3, Eps: 0, TauTilde: 0.45},
+		{W: 3, EpsPrime: 0.3, Eps: 0.6, TauTilde: 0.45},
+		{W: 3, EpsPrime: 0.3, Eps: 0.1, TauTilde: 0},
+		{W: 3, EpsPrime: 0.3, Eps: 0.1, TauTilde: 1},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+	}
+}
+
+func TestSpecDerivedQuantities(t *testing.T) {
+	s := defaultSpec(10, 0.42)
+	if s.N() != 441 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.RadicalRadius() != 13 { // round(1.3*10)
+		t.Fatalf("radical radius = %d, want 13", s.RadicalRadius())
+	}
+	if s.UnhappyRadius() != 3 { // round(0.3*10)
+		t.Fatalf("unhappy radius = %d, want 3", s.UnhappyRadius())
+	}
+	if b := s.RadicalMinorityBound(); b <= 0 || b >= float64(s.N())*1.69*0.42+1 {
+		t.Fatalf("radical minority bound = %v implausible", b)
+	}
+	if s.UnhappyMinorityBound() < 0 {
+		t.Fatal("unhappy bound negative")
+	}
+	if s.Threshold() != 186 {
+		t.Fatalf("threshold = %d, want 186", s.Threshold())
+	}
+}
+
+func TestIsRadicalRegionExtremes(t *testing.T) {
+	s := defaultSpec(2, 0.45)
+	// All-plus lattice: zero minus agents => radical for minority minus.
+	lp := grid.New(31, grid.Plus)
+	pre := grid.NewPrefix(lp)
+	if !IsRadicalRegion(pre, geom.Point{X: 15, Y: 15}, s, grid.Minus) {
+		t.Fatal("all-plus region must be radical for minus minority")
+	}
+	// All-minus lattice: every agent is minus => not radical for minus.
+	lm := grid.New(31, grid.Minus)
+	prem := grid.NewPrefix(lm)
+	if IsRadicalRegion(prem, geom.Point{X: 15, Y: 15}, s, grid.Minus) {
+		t.Fatal("all-minus region must not be radical for minus minority")
+	}
+	// Symmetric check for plus minority.
+	if !IsRadicalRegion(prem, geom.Point{X: 15, Y: 15}, s, grid.Plus) {
+		t.Fatal("all-minus region must be radical for plus minority")
+	}
+}
+
+func TestIsRadicalRegionThresholdBoundary(t *testing.T) {
+	s := defaultSpec(2, 0.45)
+	radius := s.RadicalRadius() // round(1.3*2) = 3, side 7, 49 agents
+	bound := s.RadicalMinorityBound()
+	l := grid.New(31, grid.Plus)
+	c := geom.Point{X: 15, Y: 15}
+	// Insert exactly floor(bound) minus agents: still radical (strict <)
+	// unless bound is integral; then insert one more to break it.
+	k := int(math.Floor(bound))
+	placed := 0
+	l.Torus().Square(c, radius, func(p geom.Point) {
+		if placed < k {
+			l.Set(p, grid.Minus)
+			placed++
+		}
+	})
+	pre := grid.NewPrefix(l)
+	want := float64(k) < bound
+	if got := IsRadicalRegion(pre, c, s, grid.Minus); got != want {
+		t.Fatalf("radical with %d minus (bound %v) = %v, want %v", k, bound, got, want)
+	}
+}
+
+func TestFindRadicalRegionsOnRandomLattice(t *testing.T) {
+	// On a balanced random lattice with small w, radical regions for
+	// either minority should be rare but the scan must agree with the
+	// pointwise predicate.
+	l := grid.Random(40, 0.5, rng.New(5))
+	s := defaultSpec(2, 0.45)
+	found := FindRadicalRegions(l, s, grid.Minus, 1)
+	pre := grid.NewPrefix(l)
+	for _, c := range found {
+		if !IsRadicalRegion(pre, c, s, grid.Minus) {
+			t.Fatalf("center %v reported radical but predicate disagrees", c)
+		}
+	}
+	// Stride subsampling returns a subset.
+	strided := FindRadicalRegions(l, s, grid.Minus, 2)
+	if len(strided) > len(found) {
+		t.Fatal("strided scan found more regions than exhaustive scan")
+	}
+}
+
+func TestCountUnhappyMinority(t *testing.T) {
+	// Single minus dissenter at tau=1/2, w=1: exactly one unhappy minus.
+	l := grid.New(9, grid.Plus)
+	c := geom.Point{X: 4, Y: 4}
+	l.Set(c, grid.Minus)
+	got := CountUnhappyMinority(l, c, 2, 1, 5, grid.Minus)
+	if got != 1 {
+		t.Fatalf("unhappy minority count = %d, want 1", got)
+	}
+	// The happy plus agents are not counted.
+	if got := CountUnhappyMinority(l, c, 2, 1, 5, grid.Plus); got != 0 {
+		t.Fatalf("unhappy plus count = %d, want 0", got)
+	}
+}
+
+// An all-plus window around an isolated cluster of minus agents: the
+// cascade must flip the minus agents and leave a monochromatic center.
+func TestExpandableCascadeFlipsIsolatedMinority(t *testing.T) {
+	s := defaultSpec(2, 0.45) // thresh = ceil(0.45*25) = 12
+	l := grid.New(41, grid.Plus)
+	c := geom.Point{X: 20, Y: 20}
+	// Sprinkle a few minus agents near the center: each has same-count
+	// well below 12 so all are unhappy and flip.
+	for _, off := range [][2]int{{0, 0}, {1, 0}, {-1, 1}, {0, -2}} {
+		l.Set(l.Torus().Add(c, off[0], off[1]), grid.Minus)
+	}
+	res, err := Expandable(l, c, s, grid.Minus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Expandable {
+		t.Fatalf("cascade must succeed: %+v", res)
+	}
+	if res.Flips != 4 {
+		t.Fatalf("flips = %d, want 4", res.Flips)
+	}
+	if !res.WithinBudget {
+		t.Fatalf("4 flips must be within budget %d", res.Budget)
+	}
+	// The input lattice must not be modified.
+	if l.Spin(c) != grid.Minus {
+		t.Fatal("Expandable mutated the input lattice")
+	}
+}
+
+// A majority-minus window: the center block cannot become plus.
+func TestExpandableFailsInHostileSea(t *testing.T) {
+	s := defaultSpec(2, 0.45)
+	l := grid.New(41, grid.Minus)
+	res, err := Expandable(l, geom.Point{X: 20, Y: 20}, s, grid.Minus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expandable {
+		t.Fatal("all-minus sea must not be expandable toward plus")
+	}
+	if res.Flips != 0 {
+		t.Fatalf("no flips expected, got %d", res.Flips)
+	}
+}
+
+func TestExpandableWindowTooLarge(t *testing.T) {
+	s := defaultSpec(3, 0.45)
+	l := grid.New(9, grid.Plus) // window side 2*(4+6)+1 = 21 > 9
+	if _, err := Expandable(l, geom.Point{X: 4, Y: 4}, s, grid.Minus); err == nil {
+		t.Fatal("want window-size error")
+	}
+}
+
+func TestExpandableInvalidSpec(t *testing.T) {
+	l := grid.New(41, grid.Plus)
+	if _, err := Expandable(l, geom.Point{}, Spec{}, grid.Minus); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestFirewallGeometry(t *testing.T) {
+	f := Firewall{Center: geom.Point{X: 20, Y: 20}, R: 10, W: 2}
+	if math.Abs(f.InnerRadius()-(10-2*math.Sqrt2)) > 1e-12 {
+		t.Fatalf("inner radius = %v", f.InnerRadius())
+	}
+	tor := geom.NewTorus(41)
+	sites := f.Sites(tor)
+	if len(sites) == 0 {
+		t.Fatal("annulus must contain sites")
+	}
+	for _, p := range sites {
+		d := tor.Euclid(f.Center, p)
+		if d < f.InnerRadius()-1e-9 || d > f.R+1e-9 {
+			t.Fatalf("site %v at distance %v outside annulus", p, d)
+		}
+	}
+	interior := f.InteriorSites(tor)
+	for _, p := range interior {
+		if tor.Euclid(f.Center, p) >= f.InnerRadius() {
+			t.Fatalf("interior site %v not strictly inside", p)
+		}
+	}
+}
+
+func TestFirewallMonochromatic(t *testing.T) {
+	l := grid.New(41, grid.Minus)
+	f := Firewall{Center: geom.Point{X: 20, Y: 20}, R: 10, W: 2}
+	for _, p := range f.Sites(l.Torus()) {
+		l.Set(p, grid.Plus)
+	}
+	spin, ok := f.IsMonochromatic(l)
+	if !ok || spin != grid.Plus {
+		t.Fatalf("firewall detection failed: %v %v", spin, ok)
+	}
+	// Poke a hole.
+	l.Set(f.Sites(l.Torus())[0], grid.Minus)
+	if _, ok := f.IsMonochromatic(l); ok {
+		t.Fatal("holed annulus must not be monochromatic")
+	}
+}
+
+func TestFindFirewall(t *testing.T) {
+	// Random background so smaller annuli are not accidentally
+	// monochromatic; insert a plus annulus at R=9.
+	l := grid.Random(41, 0.5, rng.New(42))
+	u := geom.Point{X: 20, Y: 20}
+	f := Firewall{Center: u, R: 9, W: 2}
+	for _, p := range f.Sites(l.Torus()) {
+		l.Set(p, grid.Plus)
+	}
+	found, ok := FindFirewall(l, u, 2, 4, 15)
+	if !ok || found.R != 9 {
+		t.Fatalf("FindFirewall = %+v, %v; want R=9", found, ok)
+	}
+	if _, ok := FindFirewall(grid.Random(41, 0.5, rng.New(1)), u, 2, 4, 15); ok {
+		t.Fatal("random lattice should not contain a perfect firewall")
+	}
+}
+
+// Lemma 9 behaviour: once a sufficiently wide monochromatic annulus
+// exists, adversarial flips outside it never disturb the interior.
+// Lemma 9 requires "a sufficiently large constant w"; at w=2 the worst
+// annulus site (the discrete circle's pole tip) keeps same-count 11 of
+// 25, so the invariance holds for thresholds up to 11 (tau = 0.40 gives
+// threshold 10) but provably fails at tau = 0.45 (threshold 12) — that
+// finite-size erosion is real model behaviour, not a bug.
+func TestFirewallProtectsInterior(t *testing.T) {
+	n := 41
+	w := 2
+	tau := 0.40
+	l := grid.Random(n, 0.5, rng.New(7))
+	u := geom.Point{X: 20, Y: 20}
+	f := Firewall{Center: u, R: 12, W: w}
+	tor := l.Torus()
+	// Build the firewall and a monochromatic interior.
+	for _, p := range f.Sites(tor) {
+		l.Set(p, grid.Plus)
+	}
+	for _, p := range f.InteriorSites(tor) {
+		l.Set(p, grid.Plus)
+	}
+	interior := f.InteriorSites(tor)
+	annulus := f.Sites(tor)
+	proc, err := dynamics.New(l, w, tau, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversary: force every exterior site to minus, then run the
+	// process to fixation.
+	protected := map[geom.Point]bool{}
+	for _, p := range append(append([]geom.Point{}, interior...), annulus...) {
+		protected[p] = true
+	}
+	for i := 0; i < l.Sites(); i++ {
+		p := tor.At(i)
+		if !protected[p] && l.SpinAt(i) == grid.Plus {
+			proc.ForceFlip(i)
+		}
+	}
+	proc.Run(0)
+	for _, p := range annulus {
+		if l.Spin(p) != grid.Plus {
+			t.Fatalf("firewall site %v was breached", p)
+		}
+	}
+	for _, p := range interior {
+		if l.Spin(p) != grid.Plus {
+			t.Fatalf("interior site %v was disturbed", p)
+		}
+	}
+}
+
+func TestIsRegionOfExpansion(t *testing.T) {
+	w := 2
+	thresh := 12 // tau = 0.48 of 25
+	// All-minus sea: placing a + block of radius 1 gives a boundary
+	// minus agent at most 9 plus agents in its 25-neighborhood...
+	// same-count >= 16 >= 12, so it stays happy: NOT a region of
+	// expansion.
+	sea := grid.New(41, grid.Minus)
+	if IsRegionOfExpansion(sea, geom.Point{X: 20, Y: 20}, 3, w, thresh, grid.Plus, 1) {
+		t.Fatal("all-minus sea must not be a region of expansion at tau=0.48")
+	}
+	// A balanced-but-slightly-plus-rich environment: minus agents near
+	// the block already see ~half plus; the block pushes them below
+	// threshold. Construct rows alternating with extra plus.
+	l := grid.New(41, grid.Minus)
+	for y := 0; y < 41; y++ {
+		for x := 0; x < 41; x++ {
+			if (x+y)%2 == 0 || x%3 == 0 {
+				l.Set(geom.Point{X: x, Y: y}, grid.Plus)
+			}
+		}
+	}
+	// With thresh = 13 (tau = 0.52 of 25): a minus agent adjacent to
+	// the + block needs >= 13 minus in 25; its environment has ~1/3
+	// minus so it is already unhappy; certainly unhappy with the block.
+	if !IsRegionOfExpansion(l, geom.Point{X: 20, Y: 20}, 3, w, 13, grid.Plus, 1) {
+		t.Fatal("plus-rich environment must be a region of expansion")
+	}
+}
+
+// The substituted-block happiness computation must agree with a direct
+// simulation of placing the block.
+func TestRegionOfExpansionMatchesDirectSubstitution(t *testing.T) {
+	w := 2
+	thresh := 12
+	l := grid.Random(41, 0.5, rng.New(9))
+	c := geom.Point{X: 20, Y: 20}
+	tor := l.Torus()
+	blockR := w / 2
+	// Direct: place the block, check boundary agents, restore.
+	direct := func(bc geom.Point) bool {
+		saved := map[geom.Point]grid.Spin{}
+		tor.Square(bc, blockR, func(p geom.Point) {
+			saved[p] = l.Spin(p)
+			l.Set(p, grid.Plus)
+		})
+		ok := true
+		pre := grid.NewPrefix(l)
+		nbhd := geom.SquareSize(w)
+		tor.SquarePerimeter(bc, blockR+1, func(v geom.Point) {
+			if l.Spin(v) != grid.Minus {
+				return
+			}
+			plus := pre.PlusInSquare(v, w)
+			if nbhd-plus >= thresh { // minus agent still happy
+				ok = false
+			}
+		})
+		for p, s := range saved {
+			l.Set(p, s)
+		}
+		return ok
+	}
+	all := true
+	for dy := -2; dy <= 2; dy++ {
+		for dx := -2; dx <= 2; dx++ {
+			if !direct(tor.Add(c, dx, dy)) {
+				all = false
+			}
+		}
+	}
+	got := IsRegionOfExpansion(l, c, 2, w, thresh, grid.Plus, 1)
+	if got != all {
+		t.Fatalf("IsRegionOfExpansion = %v, direct substitution = %v", got, all)
+	}
+}

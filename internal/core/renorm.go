@@ -1,0 +1,375 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+)
+
+// BlockField is the renormalized grid of Section IV.B: the lattice is
+// divided into m x m blocks, each classified good or bad by the Lemma 11
+// criterion. Block coordinates live on a torus of side n/m.
+type BlockField struct {
+	M    int // block side in lattice units
+	Side int // blocks per row/column, n/m
+	good []bool
+}
+
+// Renormalize divides l into m-blocks and classifies each with the
+// Lemma 11 test: a block is good when every intersection I of a
+// (2w+1)^2 window with the block satisfies |W_I - N_I/2| < N^{1/2+eps},
+// where W_I is the number of minus agents in I and N = (2w+1)^2.
+// m must divide n and the window must not exceed the lattice.
+func Renormalize(l *grid.Lattice, m, w int, eps float64) (*BlockField, error) {
+	n := l.N()
+	if m < 1 || n%m != 0 {
+		return nil, fmt.Errorf("core: block side %d must divide lattice side %d", m, n)
+	}
+	if w < 1 || 2*w+1 > n {
+		return nil, errors.New("core: invalid horizon for renormalization")
+	}
+	if eps <= 0 || eps >= 0.5 {
+		return nil, errors.New("core: eps must be in (0, 1/2)")
+	}
+	pre := grid.NewPrefix(l)
+	nbhd := geom.SquareSize(w)
+	bound := math.Pow(float64(nbhd), 0.5+eps)
+	side := n / m
+	bf := &BlockField{M: m, Side: side, good: make([]bool, side*side)}
+	win := 2*w + 1
+	for by := 0; by < side; by++ {
+		for bx := 0; bx < side; bx++ {
+			bf.good[by*side+bx] = blockIsGood(pre, bx*m, by*m, m, win, bound)
+		}
+	}
+	return bf, nil
+}
+
+// blockIsGood enumerates all distinct intersections of a win x win
+// window with the block [x0, x0+m) x [y0, y0+m). Each intersection is a
+// rectangle [max(wx,x0), min(wx+win, x0+m)) x (same in y); the window's
+// top-left wx ranges over [x0-win+1, x0+m-1]. Counts come from prefix
+// sums, so each candidate costs O(1).
+func blockIsGood(pre *grid.Prefix, x0, y0, m, win int, bound float64) bool {
+	// Distinct x-extents of the intersection as the window slides.
+	type span struct{ lo, wd int }
+	spansFor := func(base int) []span {
+		var out []span
+		seen := map[[2]int]bool{}
+		for wx := base - win + 1; wx <= base+m-1; wx++ {
+			lo := maxInt(wx, base)
+			hi := minInt(wx+win, base+m)
+			if hi <= lo {
+				continue
+			}
+			key := [2]int{lo, hi - lo}
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, span{lo: lo, wd: hi - lo})
+			}
+		}
+		return out
+	}
+	xs := spansFor(x0)
+	ys := spansFor(y0)
+	for _, sx := range xs {
+		for _, sy := range ys {
+			area := sx.wd * sy.wd
+			plus := pre.PlusInRect(sx.lo, sy.lo, sx.wd, sy.wd)
+			minus := float64(area - plus)
+			if math.Abs(minus-float64(area)/2) >= bound {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// wrapB wraps a block coordinate onto the block torus.
+func (b *BlockField) wrapB(a int) int {
+	a %= b.Side
+	if a < 0 {
+		a += b.Side
+	}
+	return a
+}
+
+// Good reports whether block (x, y) is good (coordinates wrap).
+func (b *BlockField) Good(x, y int) bool {
+	return b.good[b.wrapB(y)*b.Side+b.wrapB(x)]
+}
+
+// SetGood overrides a block's classification; used by tests and by
+// synthetic-field constructions.
+func (b *BlockField) SetGood(x, y int, good bool) {
+	b.good[b.wrapB(y)*b.Side+b.wrapB(x)] = good
+}
+
+// NewSyntheticField builds a block field directly from a boolean
+// function, for percolation-style experiments that do not need an
+// underlying lattice.
+func NewSyntheticField(side, m int, good func(x, y int) bool) *BlockField {
+	bf := &BlockField{M: m, Side: side, good: make([]bool, side*side)}
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			bf.good[y*side+x] = good(x, y)
+		}
+	}
+	return bf
+}
+
+// CountGood returns the number of good blocks.
+func (b *BlockField) CountGood() int {
+	c := 0
+	for _, g := range b.good {
+		if g {
+			c++
+		}
+	}
+	return c
+}
+
+// GoodFraction returns the fraction of good blocks.
+func (b *BlockField) GoodFraction() float64 {
+	return float64(b.CountGood()) / float64(len(b.good))
+}
+
+// BadRatio returns (number of bad blocks)/(number of good blocks), the
+// Lemma 12 observable; it returns +Inf when no block is good.
+func (b *BlockField) BadRatio() float64 {
+	good := b.CountGood()
+	bad := len(b.good) - good
+	if good == 0 {
+		return math.Inf(1)
+	}
+	return float64(bad) / float64(good)
+}
+
+// BadClusterStats describes the 8-connected clusters of bad blocks
+// (8-adjacency is the dual of the 4-connected good circuits).
+type BadClusterStats struct {
+	Count     int // number of bad clusters
+	MaxSize   int // largest cluster (blocks)
+	MaxRadius int // largest l1 radius from a cluster's first-found block
+}
+
+// BadClusters returns statistics of the bad-block clusters, the Lemma 14
+// observable.
+func (b *BlockField) BadClusters() BadClusterStats {
+	side := b.Side
+	tor := geom.NewTorus(side)
+	visited := make([]bool, side*side)
+	var stats BadClusterStats
+	var queue []int32
+	for start := 0; start < side*side; start++ {
+		if visited[start] || b.good[start] {
+			continue
+		}
+		stats.Count++
+		origin := tor.At(start)
+		visited[start] = true
+		queue = append(queue[:0], int32(start))
+		size := 0
+		radius := 0
+		for head := 0; head < len(queue); head++ {
+			i := int(queue[head])
+			size++
+			p := tor.At(i)
+			if d := tor.L1(origin, p); d > radius {
+				radius = d
+			}
+			tor.Neighbors8(p, func(q geom.Point) {
+				j := tor.Index(q)
+				if !visited[j] && !b.good[j] {
+					visited[j] = true
+					queue = append(queue, int32(j))
+				}
+			})
+		}
+		if size > stats.MaxSize {
+			stats.MaxSize = size
+		}
+		if radius > stats.MaxRadius {
+			stats.MaxRadius = radius
+		}
+	}
+	return stats
+}
+
+// HasSurroundingCircuit reports whether a 4-connected circuit of good
+// blocks inside the block annulus inner <= cheb <= outer around center
+// surrounds the center. By planar duality this holds iff no 8-connected
+// path of bad blocks crosses the annulus from its inner ring to its
+// outer ring. Radii are in block units; the annulus must not wrap.
+func (b *BlockField) HasSurroundingCircuit(center geom.Point, inner, outer int) bool {
+	if inner < 1 || outer <= inner {
+		return false
+	}
+	if 2*outer+1 > b.Side {
+		return false
+	}
+	tor := geom.NewTorus(b.Side)
+	inAnnulus := func(p geom.Point) (int, bool) {
+		d := tor.Cheb(center, p)
+		return d, d >= inner && d <= outer
+	}
+	visited := map[geom.Point]bool{}
+	var queue []geom.Point
+	// Seeds: bad blocks on the inner ring.
+	tor.SquarePerimeter(center, inner, func(p geom.Point) {
+		if !b.Good(p.X, p.Y) && !visited[p] {
+			visited[p] = true
+			queue = append(queue, p)
+		}
+	})
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		if d := tor.Cheb(center, p); d == outer {
+			return false // bad path crossed the annulus
+		}
+		crossed := false
+		tor.Neighbors8(p, func(q geom.Point) {
+			if crossed || visited[q] {
+				return
+			}
+			if _, ok := inAnnulus(q); !ok {
+				return
+			}
+			if b.Good(q.X, q.Y) {
+				return
+			}
+			visited[q] = true
+			queue = append(queue, q)
+		})
+	}
+	return true
+}
+
+// CircuitLength estimates the length (in blocks) of the shortest
+// 4-connected good circuit surrounding center within the annulus, by
+// cutting the annulus along the positive-x seam and finding the shortest
+// good path from just above the seam to just below it that does not
+// cross the seam. It returns ok=false when no circuit exists.
+//
+// The Lemma 13 comparison is that this length is proportional to the
+// annulus radius (Garet-Marchand: chemical distance ~ l1 distance).
+func (b *BlockField) CircuitLength(center geom.Point, inner, outer int) (int, bool) {
+	if !b.HasSurroundingCircuit(center, inner, outer) {
+		return 0, false
+	}
+	tor := geom.NewTorus(b.Side)
+	type node struct {
+		p geom.Point
+		d int
+	}
+	dist := map[geom.Point]int{}
+	var queue []node
+	// Seeds: good blocks on the seam row (dy == 0, dx in [inner, outer]).
+	for dx := inner; dx <= outer; dx++ {
+		p := tor.Add(center, dx, 0)
+		if b.Good(p.X, p.Y) {
+			dist[p] = 1
+			queue = append(queue, node{p, 1})
+		}
+	}
+	seamCrossing := func(p, q geom.Point) bool {
+		// Forbid steps between dy=0 and dy=-1 within the seam columns.
+		dpx, dpy := tor.Delta(p.X, center.X), tor.Delta(p.Y, center.Y)
+		dqx, dqy := tor.Delta(q.X, center.X), tor.Delta(q.Y, center.Y)
+		if dpx < inner || dqx < inner {
+			return false
+		}
+		return (dpy == 0 && dqy == -1) || (dpy == -1 && dqy == 0)
+	}
+	inAnnulus := func(p geom.Point) bool {
+		d := tor.Cheb(center, p)
+		return d >= inner && d <= outer
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		dx, dy := tor.Delta(cur.p.X, center.X), tor.Delta(cur.p.Y, center.Y)
+		if dy == -1 && dx >= inner {
+			// Reached just below the seam: close the circuit.
+			return cur.d + 1, true
+		}
+		tor.Neighbors4(cur.p, func(q geom.Point) {
+			if _, seen := dist[q]; seen {
+				return
+			}
+			if !inAnnulus(q) || !b.Good(q.X, q.Y) || seamCrossing(cur.p, q) {
+				return
+			}
+			dist[q] = cur.d + 1
+			queue = append(queue, node{q, cur.d + 1})
+		})
+	}
+	// A circuit exists by duality but the seam decomposition failed to
+	// realize it (possible only in degenerate annuli); report absence.
+	return 0, false
+}
+
+// PathToRing returns the length of the shortest 4-connected path of good
+// blocks from a good block adjacent to (or at) the center to the ring at
+// Chebyshev distance ringDist, or ok=false if none exists. Together with
+// CircuitLength this realizes the r-chemical path of Section IV.B.
+func (b *BlockField) PathToRing(center geom.Point, ringDist int) (int, bool) {
+	if ringDist < 1 || 2*ringDist+1 > b.Side {
+		return 0, false
+	}
+	tor := geom.NewTorus(b.Side)
+	dist := map[geom.Point]int{}
+	var queue []geom.Point
+	seed := func(p geom.Point) {
+		if _, seen := dist[p]; !seen && b.Good(p.X, p.Y) {
+			dist[p] = 1
+			queue = append(queue, p)
+		}
+	}
+	if b.Good(center.X, center.Y) {
+		seed(center)
+	} else {
+		tor.Neighbors4(center, seed)
+	}
+	for head := 0; head < len(queue); head++ {
+		p := queue[head]
+		if tor.Cheb(center, p) >= ringDist {
+			return dist[p], true
+		}
+		tor.Neighbors4(p, func(q geom.Point) {
+			if _, seen := dist[q]; seen || !b.Good(q.X, q.Y) {
+				return
+			}
+			if tor.Cheb(center, q) > ringDist {
+				return
+			}
+			dist[q] = dist[p] + 1
+			queue = append(queue, q)
+		})
+	}
+	return 0, false
+}
+
+// ChemicalPath reports the Section IV.B construction around a center
+// block: existence of a surrounding good circuit in the annulus
+// [inner, outer], its estimated length, and the length of a good path
+// from the center to the ring. ok is true only when both parts exist.
+type ChemicalPath struct {
+	CircuitLen int
+	PathLen    int
+	TotalLen   int
+	OK         bool
+}
+
+// FindChemicalPath assembles the r-chemical path observables.
+func (b *BlockField) FindChemicalPath(center geom.Point, inner, outer int) ChemicalPath {
+	cl, okC := b.CircuitLength(center, inner, outer)
+	pl, okP := b.PathToRing(center, inner)
+	cp := ChemicalPath{CircuitLen: cl, PathLen: pl, OK: okC && okP}
+	if cp.OK {
+		cp.TotalLen = cl + pl
+	}
+	return cp
+}

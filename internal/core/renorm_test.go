@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func TestRenormalizeValidation(t *testing.T) {
+	l := grid.Random(24, 0.5, rng.New(1))
+	if _, err := Renormalize(l, 5, 2, 0.1); err == nil {
+		t.Fatal("want error: 5 does not divide 24")
+	}
+	if _, err := Renormalize(l, 6, 0, 0.1); err == nil {
+		t.Fatal("want error: zero horizon")
+	}
+	if _, err := Renormalize(l, 6, 2, 0.7); err == nil {
+		t.Fatal("want error: eps out of range")
+	}
+}
+
+// A perfectly balanced configuration (checkerboard) has every window
+// intersection within 1 of half, hence every block is good for any
+// bound above 1.
+func TestRenormalizeCheckerboardAllGood(t *testing.T) {
+	n := 24
+	l := grid.New(n, grid.Minus)
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			if (x+y)%2 == 0 {
+				l.Set(geom.Point{X: x, Y: y}, grid.Plus)
+			}
+		}
+	}
+	bf, err := Renormalize(l, 6, 2, 0.25) // bound = 25^0.75 ~ 11.2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.CountGood() != bf.Side*bf.Side {
+		t.Fatalf("checkerboard: %d/%d good", bf.CountGood(), bf.Side*bf.Side)
+	}
+	if bf.GoodFraction() != 1 || bf.BadRatio() != 0 {
+		t.Fatal("fractions wrong for all-good field")
+	}
+}
+
+// A monochromatic lattice maximally violates the balance criterion:
+// every block is bad.
+func TestRenormalizeMonochromaticAllBad(t *testing.T) {
+	l := grid.New(24, grid.Plus)
+	bf, err := Renormalize(l, 6, 2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.CountGood() != 0 {
+		t.Fatalf("monochromatic lattice: %d good blocks, want 0", bf.CountGood())
+	}
+	if !math.IsInf(bf.BadRatio(), 1) {
+		t.Fatal("BadRatio must be +Inf with no good blocks")
+	}
+	stats := bf.BadClusters()
+	if stats.Count != 1 {
+		t.Fatalf("all-bad field must form one torus-connected cluster, got %d", stats.Count)
+	}
+	if stats.MaxSize != bf.Side*bf.Side {
+		t.Fatalf("cluster size = %d, want %d", stats.MaxSize, bf.Side*bf.Side)
+	}
+}
+
+// A random balanced lattice at moderate w should be mostly good: the
+// Lemma 11 probability bound says bad blocks are exponentially rare
+// in N^{2 eps}.
+func TestRenormalizeRandomMostlyGood(t *testing.T) {
+	l := grid.Random(60, 0.5, rng.New(3))
+	bf, err := Renormalize(l, 10, 2, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bf.GoodFraction() < 0.5 {
+		t.Fatalf("good fraction = %v, expected mostly good blocks", bf.GoodFraction())
+	}
+}
+
+func TestSetGoodAndAccessorsWrap(t *testing.T) {
+	bf := NewSyntheticField(5, 4, func(x, y int) bool { return true })
+	bf.SetGood(0, 0, false)
+	if bf.Good(5, 5) { // wraps to (0,0)
+		t.Fatal("Good must wrap coordinates")
+	}
+	bf.SetGood(-1, -1, false) // wraps to (4,4)
+	if bf.Good(4, 4) {
+		t.Fatal("SetGood must wrap coordinates")
+	}
+	if bf.CountGood() != 23 {
+		t.Fatalf("CountGood = %d, want 23", bf.CountGood())
+	}
+}
+
+func TestBadClustersStats(t *testing.T) {
+	// Two separate bad clusters: a 2x2 block and an isolated block.
+	bf := NewSyntheticField(10, 1, func(x, y int) bool { return true })
+	bf.SetGood(1, 1, false)
+	bf.SetGood(1, 2, false)
+	bf.SetGood(2, 1, false)
+	bf.SetGood(2, 2, false)
+	bf.SetGood(7, 7, false)
+	stats := bf.BadClusters()
+	if stats.Count != 2 {
+		t.Fatalf("cluster count = %d, want 2", stats.Count)
+	}
+	if stats.MaxSize != 4 {
+		t.Fatalf("max size = %d, want 4", stats.MaxSize)
+	}
+	if stats.MaxRadius != 2 { // l1 radius from first-found corner
+		t.Fatalf("max radius = %d, want 2", stats.MaxRadius)
+	}
+}
+
+func TestBadClustersDiagonalTouchMerges(t *testing.T) {
+	// 8-adjacency merges diagonal neighbors.
+	bf := NewSyntheticField(8, 1, func(x, y int) bool { return true })
+	bf.SetGood(2, 2, false)
+	bf.SetGood(3, 3, false)
+	stats := bf.BadClusters()
+	if stats.Count != 1 || stats.MaxSize != 2 {
+		t.Fatalf("diagonal bad blocks must merge: %+v", stats)
+	}
+}
+
+func TestHasSurroundingCircuitAllGood(t *testing.T) {
+	bf := NewSyntheticField(21, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 10, Y: 10}
+	if !bf.HasSurroundingCircuit(c, 3, 7) {
+		t.Fatal("all-good field must have a surrounding circuit")
+	}
+}
+
+func TestHasSurroundingCircuitBlockedByBadCrossing(t *testing.T) {
+	bf := NewSyntheticField(21, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 10, Y: 10}
+	// A straight bad wall from the inner ring to the outer ring.
+	for d := 3; d <= 7; d++ {
+		bf.SetGood(10+d, 10, false)
+	}
+	if bf.HasSurroundingCircuit(c, 3, 7) {
+		t.Fatal("bad radial wall must destroy the circuit")
+	}
+}
+
+func TestHasSurroundingCircuitDiagonalBadWall(t *testing.T) {
+	// Bad blocks touching only diagonally still block the 4-connected
+	// good circuit (8-adjacency duality).
+	bf := NewSyntheticField(21, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 10, Y: 10}
+	for i := 0; i <= 4; i++ {
+		bf.SetGood(10+3+i, 10-i, false)
+	}
+	if bf.HasSurroundingCircuit(c, 3, 7) {
+		t.Fatal("diagonal bad wall must destroy the circuit")
+	}
+}
+
+func TestHasSurroundingCircuitParamValidation(t *testing.T) {
+	bf := NewSyntheticField(9, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 4, Y: 4}
+	if bf.HasSurroundingCircuit(c, 0, 3) {
+		t.Fatal("inner < 1 must be rejected")
+	}
+	if bf.HasSurroundingCircuit(c, 3, 3) {
+		t.Fatal("outer <= inner must be rejected")
+	}
+	if bf.HasSurroundingCircuit(c, 2, 5) {
+		t.Fatal("annulus wrapping the torus must be rejected")
+	}
+}
+
+func TestCircuitLengthAllGood(t *testing.T) {
+	bf := NewSyntheticField(31, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 15, Y: 15}
+	length, ok := bf.CircuitLength(c, 3, 8)
+	if !ok {
+		t.Fatal("circuit must exist in all-good field")
+	}
+	// The shortest surrounding circuit at inner radius 3 is the ring at
+	// Chebyshev radius 3 of length 8*3 = 24; allow the seam-estimate to
+	// be within a couple of blocks.
+	if length < 20 || length > 30 {
+		t.Fatalf("circuit length = %d, want ~24", length)
+	}
+}
+
+func TestCircuitLengthGrowsWithRadius(t *testing.T) {
+	bf := NewSyntheticField(61, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 30, Y: 30}
+	l1, ok1 := bf.CircuitLength(c, 5, 10)
+	l2, ok2 := bf.CircuitLength(c, 15, 20)
+	if !ok1 || !ok2 {
+		t.Fatal("circuits must exist")
+	}
+	if l2 <= l1 {
+		t.Fatalf("circuit length must grow with radius: %d vs %d", l1, l2)
+	}
+}
+
+func TestCircuitLengthAbsentWhenBlocked(t *testing.T) {
+	bf := NewSyntheticField(21, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 10, Y: 10}
+	for d := 3; d <= 7; d++ {
+		bf.SetGood(10-d, 10, false) // wall on the negative-x side
+	}
+	if _, ok := bf.CircuitLength(c, 3, 7); ok {
+		t.Fatal("blocked annulus must have no circuit")
+	}
+}
+
+func TestPathToRing(t *testing.T) {
+	bf := NewSyntheticField(21, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 10, Y: 10}
+	length, ok := bf.PathToRing(c, 5)
+	if !ok {
+		t.Fatal("path must exist in all-good field")
+	}
+	if length < 5 || length > 7 {
+		t.Fatalf("path length = %d, want ~5-6", length)
+	}
+	// Surround the center with bad blocks: no path.
+	for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {1, -1}, {-1, 1}, {-1, -1}} {
+		bf.SetGood(10+d[0], 10+d[1], false)
+	}
+	bf.SetGood(10, 10, false)
+	if _, ok := bf.PathToRing(c, 5); ok {
+		t.Fatal("enclosed center must have no path to the ring")
+	}
+}
+
+func TestFindChemicalPath(t *testing.T) {
+	bf := NewSyntheticField(31, 1, func(x, y int) bool { return true })
+	c := geom.Point{X: 15, Y: 15}
+	cp := bf.FindChemicalPath(c, 4, 9)
+	if !cp.OK {
+		t.Fatal("chemical path must exist in all-good field")
+	}
+	if cp.TotalLen != cp.CircuitLen+cp.PathLen {
+		t.Fatal("total length must be the sum of parts")
+	}
+	// Destroying the annulus kills it.
+	for d := 4; d <= 9; d++ {
+		bf.SetGood(15+d, 15, false)
+	}
+	if cp2 := bf.FindChemicalPath(c, 4, 9); cp2.OK {
+		t.Fatal("blocked annulus must have no chemical path")
+	}
+}
+
+// On a supercritical synthetic field (each block good with high
+// probability), circuits exist w.h.p. and their length stays
+// proportional to the radius — the Lemma 13 shape.
+func TestChemicalPathOnSupercriticalField(t *testing.T) {
+	src := rng.New(11)
+	found := 0
+	var lengths []int
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		bf := NewSyntheticField(41, 1, func(x, y int) bool { return src.Bernoulli(0.95) })
+		cp := bf.FindChemicalPath(geom.Point{X: 20, Y: 20}, 5, 15)
+		if cp.OK {
+			found++
+			lengths = append(lengths, cp.CircuitLen)
+		}
+	}
+	if found < trials*3/4 {
+		t.Fatalf("chemical paths found in only %d/%d supercritical trials", found, trials)
+	}
+	for _, cl := range lengths {
+		// Perimeter at radius 5 is 40; detours allowed but bounded.
+		if cl < 30 || cl > 160 {
+			t.Fatalf("circuit length %d wildly disproportionate to radius", cl)
+		}
+	}
+}

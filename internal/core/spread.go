@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+)
+
+// SpreadResult reports the outcome of a T(rho) observation (Eq. 9):
+// T(rho) = inf { t : exists v in N_rho, u+ would be unhappy at the
+// location of v }. Lemma 7 upper-bounds how fast this front can move
+// via first-passage percolation; SpreadTime measures it directly on the
+// running process.
+type SpreadResult struct {
+	Tripped bool    // the probe event occurred
+	Time    float64 // continuous time at the trip (or at the budget end)
+	Flips   int64   // flips performed while waiting
+}
+
+// SpreadTime advances the process until a hypothetical agent of the
+// given spin placed anywhere in N_rho(center) would be unhappy, or
+// until maxFlips elapse (maxFlips <= 0 runs to fixation). The check
+// runs against the live process state after every flip that lands
+// within Chebyshev distance rho + w of the center (flips farther away
+// cannot change the probe predicate).
+func SpreadTime(proc *dynamics.Process, center geom.Point, rho int, spin grid.Spin, maxFlips int64) (SpreadResult, error) {
+	if proc == nil {
+		return SpreadResult{}, errors.New("core: nil process")
+	}
+	lat := proc.Lattice()
+	if 2*rho+1 > lat.N() {
+		return SpreadResult{}, errors.New("core: probe region larger than torus")
+	}
+	tor := lat.Torus()
+	probe := func() bool {
+		tripped := false
+		tor.Square(center, rho, func(p geom.Point) {
+			if tripped {
+				return
+			}
+			if !proc.HappyAs(tor.Index(p), spin) {
+				tripped = true
+			}
+		})
+		return tripped
+	}
+	start := proc.Time()
+	if probe() {
+		return SpreadResult{Tripped: true, Time: 0}, nil
+	}
+	var flips int64
+	reach := rho + proc.Horizon()
+	for maxFlips <= 0 || flips < maxFlips {
+		site, ok := proc.Step()
+		if !ok {
+			return SpreadResult{Tripped: false, Time: proc.Time() - start, Flips: flips}, nil
+		}
+		flips++
+		if tor.Cheb(center, tor.At(site)) <= reach && probe() {
+			return SpreadResult{Tripped: true, Time: proc.Time() - start, Flips: flips}, nil
+		}
+	}
+	return SpreadResult{Tripped: false, Time: proc.Time() - start, Flips: flips}, nil
+}

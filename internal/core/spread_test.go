@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func TestSpreadTimeValidation(t *testing.T) {
+	if _, err := SpreadTime(nil, geom.Point{}, 2, grid.Plus, 10); err == nil {
+		t.Fatal("want error for nil process")
+	}
+	lat := grid.New(9, grid.Plus)
+	p, err := dynamics.New(lat, 1, 0.5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SpreadTime(p, geom.Point{}, 10, grid.Plus, 10); err == nil {
+		t.Fatal("want error for oversized probe region")
+	}
+}
+
+// In an all-plus sea a plus probe is happy everywhere and the process is
+// fixated: the probe never trips.
+func TestSpreadTimeNeverTripsInFriendlySea(t *testing.T) {
+	lat := grid.New(21, grid.Plus)
+	p, err := dynamics.New(lat, 2, 0.45, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SpreadTime(p, geom.Point{X: 10, Y: 10}, 4, grid.Plus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tripped || res.Flips != 0 {
+		t.Fatalf("unexpected trip: %+v", res)
+	}
+}
+
+// A probe over a hostile region trips immediately at time zero.
+func TestSpreadTimeImmediateTrip(t *testing.T) {
+	lat := grid.New(21, grid.Minus)
+	p, err := dynamics.New(lat, 2, 0.45, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SpreadTime(p, geom.Point{X: 10, Y: 10}, 4, grid.Plus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tripped || res.Time != 0 {
+		t.Fatalf("expected immediate trip: %+v", res)
+	}
+}
+
+// A hostile minus blob in a plus sea does NOT invade: corner erosion
+// clips it into a stable octagon and the process fixates untripped.
+// This stalling is the substance of the paper's firewall lemmas —
+// monochromatic phases are impenetrable below tau = 1/2.
+func TestSpreadTimeHostileBlobStalls(t *testing.T) {
+	lat := grid.New(41, grid.Plus)
+	tor := lat.Torus()
+	blob := geom.Point{X: 32, Y: 32}
+	tor.Square(blob, 6, func(q geom.Point) { lat.Set(q, grid.Minus) })
+	p, err := dynamics.New(lat, 2, 0.45, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	center := geom.Point{X: 10, Y: 10}
+	res, err := SpreadTime(p, center, 3, grid.Plus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tripped {
+		t.Fatalf("stable blob must not reach the probe: %+v", res)
+	}
+	if !p.Fixated() {
+		t.Fatal("process must have fixated (octagonal blob is stable)")
+	}
+	if res.Flips == 0 {
+		t.Fatal("corner erosion must have produced flips")
+	}
+}
+
+// In an ACTIVE balanced sea (majority rule, tau-tilde = 0.5) the
+// coarsening dynamics move real fronts: starting from a probe region
+// that is untripped at t = 0, the probe eventually trips after a
+// genuine evolution. Deterministic seeds chosen so that the first
+// untripped center trips after O(1000) flips.
+func TestSpreadTimeTripsInActiveSea(t *testing.T) {
+	lat := grid.Random(41, 0.5, rng.New(1))
+	p, err := dynamics.New(lat, 2, 0.5, rng.New(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tor := lat.Torus()
+	var center geom.Point
+	found := false
+	for i := 0; i < lat.Sites() && !found; i++ {
+		c := tor.At(i)
+		trip0 := false
+		tor.Square(c, 2, func(q geom.Point) {
+			if !p.HappyAs(tor.Index(q), grid.Plus) {
+				trip0 = true
+			}
+		})
+		if !trip0 {
+			center = c
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no untripped probe center at t=0 for this seed")
+	}
+	res, err := SpreadTime(p, center, 2, grid.Plus, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Tripped {
+		t.Fatalf("active sea must trip the probe: %+v", res)
+	}
+	if res.Flips < 1 || res.Time <= 0 {
+		t.Fatalf("trip must require a genuine evolution: %+v", res)
+	}
+	// Budget path: a one-flip budget cannot reproduce the trip.
+	lat2 := grid.Random(41, 0.5, rng.New(1))
+	p2, err := dynamics.New(lat2, 2, 0.5, rng.New(101))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := SpreadTime(p2, center, 2, grid.Plus, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Tripped {
+		t.Fatalf("one flip must not trip this probe: %+v", res2)
+	}
+	if res2.Flips != 1 {
+		t.Fatalf("budget must be honored: %+v", res2)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/theory"
+)
+
+// Section IV.C extends all results to 1/2 < tau < 1 - tau2 by replacing
+// "unhappy" with "super-unhappy" (an unhappy agent whose flip would make
+// it happy) and radical regions with super-radical regions defined
+// through tau-bar = 1 - tau + 2/N.
+
+// SuperUnhappy reports whether the agent at p is super-unhappy in the
+// current configuration: unhappy, and flipping would make it happy.
+// For tau < 1/2 this coincides with plain unhappiness.
+func SuperUnhappy(l *grid.Lattice, pre *grid.Prefix, p geom.Point, w, thresh int) bool {
+	nbhd := geom.SquareSize(w)
+	plus := pre.PlusInSquare(p, w)
+	same := plus
+	if l.Spin(p) == grid.Minus {
+		same = nbhd - plus
+	}
+	return same < thresh && nbhd-same+1 >= thresh
+}
+
+// SuperRadicalMinorityBound returns the strict upper bound on the
+// minority count of a super-radical region:
+// tau-bar' * (1+eps')^2 * N, with tau-bar = 1 - tau + 2/N and
+// tau-bar' = (1 - 1/(tau-bar * N^{1/2-eps})) * tau-bar (Section IV.C).
+func (s Spec) SuperRadicalMinorityBound() float64 {
+	n := s.N()
+	tauBar := theory.TauBar(s.TauTilde, n)
+	tauBarPrime := theory.TauHat(tauBar, n, s.Eps)
+	scale := (1 + s.EpsPrime) * (1 + s.EpsPrime)
+	return tauBarPrime * scale * float64(n)
+}
+
+// IsSuperRadicalRegion reports whether the neighborhood of radius
+// (1+eps')w centered at c is a super-radical region for the given
+// minority spin: strictly fewer than the Section IV.C bound of minority
+// agents. Meaningful for tau > 1/2; for tau < 1/2 use IsRadicalRegion.
+func IsSuperRadicalRegion(pre *grid.Prefix, c geom.Point, s Spec, minority grid.Spin) bool {
+	radius := s.RadicalRadius()
+	if 2*radius+1 > pre.N() {
+		return false
+	}
+	side := 2*radius + 1
+	plus := pre.PlusInRect(c.X-radius, c.Y-radius, side, side)
+	count := plus
+	if minority == grid.Minus {
+		count = side*side - plus
+	}
+	return float64(count) < s.SuperRadicalMinorityBound()
+}
+
+// CountSuperUnhappyMinority counts the super-unhappy agents of the given
+// minority spin inside N_radius(c) — the Section IV.C analogue of
+// CountUnhappyMinority. For tau < 1/2 the two counts agree.
+func CountSuperUnhappyMinority(l *grid.Lattice, c geom.Point, radius, w, thresh int, minority grid.Spin) int {
+	pre := grid.NewPrefix(l)
+	count := 0
+	l.Torus().Square(c, radius, func(p geom.Point) {
+		if l.Spin(p) != minority {
+			return
+		}
+		if SuperUnhappy(l, pre, p, w, thresh) {
+			count++
+		}
+	})
+	return count
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// Below tau = 1/2, super-unhappiness coincides with unhappiness; above
+// 1/2 it is strictly stronger.
+func TestSuperUnhappyCoincidesBelowHalf(t *testing.T) {
+	l := grid.Random(20, 0.5, rng.New(61))
+	pre := grid.NewPrefix(l)
+	w := 2
+	nbhd := geom.SquareSize(w)
+	thresh := theory.Threshold(0.45, nbhd) // 12 < 13 = ceil(N/2)
+	for i := 0; i < l.Sites(); i++ {
+		p := l.Torus().At(i)
+		plus := pre.PlusInSquare(p, w)
+		same := plus
+		if l.Spin(p) == grid.Minus {
+			same = nbhd - plus
+		}
+		unhappy := same < thresh
+		if got := SuperUnhappy(l, pre, p, w, thresh); got != unhappy {
+			t.Fatalf("site %v: super-unhappy %v, unhappy %v (tau < 1/2 must agree)", p, got, unhappy)
+		}
+	}
+}
+
+func TestSuperUnhappyStrictlyStrongerAboveHalf(t *testing.T) {
+	l := grid.Random(20, 0.5, rng.New(62))
+	pre := grid.NewPrefix(l)
+	w := 2
+	nbhd := geom.SquareSize(w)
+	thresh := theory.Threshold(0.8, nbhd) // 20 of 25
+	unhappyCount, superCount := 0, 0
+	for i := 0; i < l.Sites(); i++ {
+		p := l.Torus().At(i)
+		plus := pre.PlusInSquare(p, w)
+		same := plus
+		if l.Spin(p) == grid.Minus {
+			same = nbhd - plus
+		}
+		if same < thresh {
+			unhappyCount++
+		}
+		if SuperUnhappy(l, pre, p, w, thresh) {
+			superCount++
+			// Super-unhappy implies unhappy and flip-helps.
+			if same >= thresh || nbhd-same+1 < thresh {
+				t.Fatalf("site %v misclassified as super-unhappy", p)
+			}
+		}
+	}
+	// At tau = 0.8 on balanced noise nearly everyone is unhappy but
+	// almost nobody is super-unhappy.
+	if unhappyCount < l.Sites()/2 {
+		t.Fatalf("expected widespread unhappiness, got %d", unhappyCount)
+	}
+	if superCount >= unhappyCount/4 {
+		t.Fatalf("super-unhappy (%d) must be much rarer than unhappy (%d)", superCount, unhappyCount)
+	}
+}
+
+func TestSuperRadicalBoundMirrorsRadicalBound(t *testing.T) {
+	// For tau > 1/2, the super-radical bound built from tau-bar should
+	// match the radical bound of the mirrored intolerance up to the
+	// +2/N correction of tau-bar.
+	sHigh := Spec{W: 4, EpsPrime: 0.3, Eps: 0.1, TauTilde: 0.55}
+	sLow := Spec{W: 4, EpsPrime: 0.3, Eps: 0.1, TauTilde: 0.45}
+	hi := sHigh.SuperRadicalMinorityBound()
+	lo := sLow.RadicalMinorityBound()
+	// tau-bar = 1 - 0.55 + 2/81 = 0.4747 vs mirrored 0.45: the bounds
+	// differ by the 2/N shift; they must be within ~10%.
+	if hi <= 0 || lo <= 0 {
+		t.Fatalf("bounds must be positive: %v %v", hi, lo)
+	}
+	ratio := hi / lo
+	if ratio < 0.9 || ratio > 1.25 {
+		t.Fatalf("mirror correspondence broken: hi=%v lo=%v ratio=%v", hi, lo, ratio)
+	}
+}
+
+func TestIsSuperRadicalRegionExtremes(t *testing.T) {
+	s := Spec{W: 2, EpsPrime: 0.3, Eps: 0.1, TauTilde: 0.55}
+	lp := grid.New(31, grid.Plus)
+	pre := grid.NewPrefix(lp)
+	if !IsSuperRadicalRegion(pre, geom.Point{X: 15, Y: 15}, s, grid.Minus) {
+		t.Fatal("all-plus region must be super-radical for minus minority")
+	}
+	lm := grid.New(31, grid.Minus)
+	prem := grid.NewPrefix(lm)
+	if IsSuperRadicalRegion(prem, geom.Point{X: 15, Y: 15}, s, grid.Minus) {
+		t.Fatal("all-minus region must not be super-radical for minus minority")
+	}
+}
+
+func TestIsSuperRadicalRegionTooLarge(t *testing.T) {
+	s := Spec{W: 10, EpsPrime: 0.3, Eps: 0.1, TauTilde: 0.55}
+	l := grid.New(9, grid.Plus)
+	if IsSuperRadicalRegion(grid.NewPrefix(l), geom.Point{X: 4, Y: 4}, s, grid.Minus) {
+		t.Fatal("oversized region must be rejected")
+	}
+}
+
+func TestCountSuperUnhappyMinority(t *testing.T) {
+	// Single minus dissenter at tau = 0.6 (thresh 6 of 9), w=1: the
+	// dissenter has same = 1 < 6 and flip gives 9 >= 6: super-unhappy.
+	l := grid.New(9, grid.Plus)
+	c := geom.Point{X: 4, Y: 4}
+	l.Set(c, grid.Minus)
+	if got := CountSuperUnhappyMinority(l, c, 2, 1, 6, grid.Minus); got != 1 {
+		t.Fatalf("super-unhappy minority = %d, want 1", got)
+	}
+	// At tau = 0.8 (thresh 8 of 9) the flip gives 9 >= 8: still 1.
+	if got := CountSuperUnhappyMinority(l, c, 2, 1, 8, grid.Minus); got != 1 {
+		t.Fatalf("super-unhappy minority at 0.8 = %d, want 1", got)
+	}
+	// Two adjacent minus dissenters at thresh 9: each flip gives
+	// same' = 9 - 2 + 1 = 8 < 9: unhappy but NOT super-unhappy.
+	l2 := grid.New(9, grid.Plus)
+	l2.Set(c, grid.Minus)
+	l2.Set(geom.Point{X: 5, Y: 4}, grid.Minus)
+	if got := CountSuperUnhappyMinority(l2, c, 2, 1, 9, grid.Minus); got != 0 {
+		t.Fatalf("blocked flips must not be super-unhappy: got %d", got)
+	}
+}

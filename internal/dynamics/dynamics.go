@@ -1,0 +1,330 @@
+// Package dynamics implements the segregation process itself: the
+// Glauber (open-system) dynamics of the paper and a Kawasaki
+// (closed-system) swap baseline.
+//
+// The Glauber process is simulated exactly by kinetic Monte Carlo
+// (Gillespie): every agent carries an independent rate-1 Poisson clock,
+// and when a clock rings the agent flips iff it is unhappy and the flip
+// makes it happy. Rings that cause no flip do not change the state, so
+// the embedded jump chain restricted to effective events picks a
+// uniformly random *flippable* agent, and by memorylessness the waiting
+// time until the next effective event is Exp(k) where k is the number of
+// flippable agents. This equivalence is stated in Section II.A of the
+// paper ("the process dynamics are equivalent to a discrete-time model
+// where at each discrete time step one unhappy agent is chosen uniformly
+// at random").
+//
+// The engine maintains, for every site u, the number of +1 agents in its
+// neighborhood N(u) (the Chebyshev ball of radius w including u), so a
+// flip costs O((2w+1)^2) count updates and O(1) amortized set
+// maintenance. The sum Phi of same-type counts over all agents is the
+// paper's Lyapunov function: it strictly increases with every admissible
+// flip, which proves termination.
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// Process is the Glauber segregation process on a torus lattice.
+// Construct with New; the zero value is not usable.
+type Process struct {
+	lat    *grid.Lattice
+	src    *rng.Source
+	n      int // lattice side
+	w      int // horizon
+	nbhd   int // N = (2w+1)^2
+	thresh int // happiness threshold: same-type count required
+	plus   []int32
+	// Flippable-set bookkeeping: flippable lists the site indices that
+	// are currently admissible flips; pos[i] is the index of site i in
+	// flippable, or -1.
+	flippable []int32
+	pos       []int32
+	unhappy   []bool
+	nUnhappy  int
+	time      float64
+	flips     int64
+}
+
+// New creates a Glauber process over the given lattice with horizon w and
+// intolerance tauTilde (the integer happiness threshold is
+// ceil(tauTilde*N), per the paper's definition tau = ceil(tauTilde N)/N).
+// The lattice is used in place and mutated by the process.
+func New(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Process, error) {
+	if w < 1 {
+		return nil, errors.New("dynamics: horizon must be >= 1")
+	}
+	if 2*w+1 > lat.N() {
+		return nil, fmt.Errorf("dynamics: neighborhood side %d exceeds lattice side %d", 2*w+1, lat.N())
+	}
+	if tauTilde < 0 || tauTilde > 1 {
+		return nil, errors.New("dynamics: intolerance must be in [0, 1]")
+	}
+	if src == nil {
+		return nil, errors.New("dynamics: nil random source")
+	}
+	nbhd := geom.SquareSize(w)
+	p := &Process{
+		lat:     lat,
+		src:     src,
+		n:       lat.N(),
+		w:       w,
+		nbhd:    nbhd,
+		thresh:  theory.Threshold(tauTilde, nbhd),
+		plus:    lat.WindowCounts(w),
+		pos:     make([]int32, lat.Sites()),
+		unhappy: make([]bool, lat.Sites()),
+	}
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
+	for i := 0; i < lat.Sites(); i++ {
+		p.refresh(i)
+	}
+	return p, nil
+}
+
+// Lattice returns the underlying lattice (live view).
+func (p *Process) Lattice() *grid.Lattice { return p.lat }
+
+// Horizon returns the neighborhood radius w.
+func (p *Process) Horizon() int { return p.w }
+
+// NeighborhoodSize returns N = (2w+1)^2.
+func (p *Process) NeighborhoodSize() int { return p.nbhd }
+
+// Threshold returns the integer happiness threshold tau*N.
+func (p *Process) Threshold() int { return p.thresh }
+
+// Tau returns the rational intolerance tau = threshold/N.
+func (p *Process) Tau() float64 { return float64(p.thresh) / float64(p.nbhd) }
+
+// Time returns the elapsed continuous time.
+func (p *Process) Time() float64 { return p.time }
+
+// Flips returns the number of effective flips so far.
+func (p *Process) Flips() int64 { return p.flips }
+
+// SameCount returns the number of agents in N(u) sharing u's type,
+// including u itself — the numerator of the happiness ratio s(u).
+func (p *Process) SameCount(i int) int {
+	if p.lat.SpinAt(i) == grid.Plus {
+		return int(p.plus[i])
+	}
+	return p.nbhd - int(p.plus[i])
+}
+
+// Happy reports whether the agent at site i is happy: s(u) >= tau.
+func (p *Process) Happy(i int) bool { return p.SameCount(i) >= p.thresh }
+
+// HappyAs reports whether a hypothetical agent of the given spin placed
+// at site i would be happy — the predicate of the paper's event
+// A = {u+ would be happy at the location of v} (Eq. 13).
+func (p *Process) HappyAs(i int, s grid.Spin) bool {
+	cnt := int(p.plus[i])
+	if p.lat.SpinAt(i) != grid.Plus {
+		// Replacing a minus occupant by a plus adds one plus.
+		cnt++
+	}
+	if s == grid.Plus {
+		return cnt >= p.thresh
+	}
+	// Same reasoning mirrored for a minus probe.
+	minus := p.nbhd - int(p.plus[i])
+	if p.lat.SpinAt(i) != grid.Minus {
+		minus++
+	}
+	return minus >= p.thresh
+}
+
+// Flippable reports whether site i is an admissible flip: the agent is
+// unhappy and flipping would make it happy (for tau < 1/2 the second
+// condition is automatic; for tau > 1/2 it is the paper's
+// "super-unhappy" condition of Section IV.C).
+func (p *Process) Flippable(i int) bool {
+	same := p.SameCount(i)
+	return same < p.thresh && p.nbhd-same+1 >= p.thresh
+}
+
+// FlippableCount returns the number of currently admissible flips.
+func (p *Process) FlippableCount() int { return len(p.flippable) }
+
+// UnhappyCount returns the number of currently unhappy agents.
+func (p *Process) UnhappyCount() int { return p.nUnhappy }
+
+// HappyFraction returns the fraction of happy agents.
+func (p *Process) HappyFraction() float64 {
+	return 1 - float64(p.nUnhappy)/float64(p.lat.Sites())
+}
+
+// Fixated reports whether the process has terminated: no unhappy agent
+// can become happy by flipping.
+func (p *Process) Fixated() bool { return len(p.flippable) == 0 }
+
+// refresh recomputes the unhappy flag and flippable-set membership of
+// site i from the current counts.
+func (p *Process) refresh(i int) {
+	same := p.SameCount(i)
+	unhappy := same < p.thresh
+	if unhappy != p.unhappy[i] {
+		p.unhappy[i] = unhappy
+		if unhappy {
+			p.nUnhappy++
+		} else {
+			p.nUnhappy--
+		}
+	}
+	flippable := unhappy && p.nbhd-same+1 >= p.thresh
+	in := p.pos[i] >= 0
+	switch {
+	case flippable && !in:
+		p.pos[i] = int32(len(p.flippable))
+		p.flippable = append(p.flippable, int32(i))
+	case !flippable && in:
+		// Swap-remove from the flippable slice.
+		j := p.pos[i]
+		last := p.flippable[len(p.flippable)-1]
+		p.flippable[j] = last
+		p.pos[last] = j
+		p.flippable = p.flippable[:len(p.flippable)-1]
+		p.pos[i] = -1
+	}
+}
+
+// applyFlip flips site i and updates counts and set membership of every
+// affected site (the Chebyshev ball of radius w around i).
+func (p *Process) applyFlip(i int) {
+	newSpin := p.lat.Flip(i)
+	var delta int32 = 1
+	if newSpin == grid.Minus {
+		delta = -1
+	}
+	n, w := p.n, p.w
+	x0, y0 := i%n, i/n
+	for dy := -w; dy <= w; dy++ {
+		y := y0 + dy
+		if y < 0 {
+			y += n
+		} else if y >= n {
+			y -= n
+		}
+		row := y * n
+		for dx := -w; dx <= w; dx++ {
+			x := x0 + dx
+			if x < 0 {
+				x += n
+			} else if x >= n {
+				x -= n
+			}
+			j := row + x
+			p.plus[j] += delta
+			p.refresh(j)
+		}
+	}
+}
+
+// ForceFlip flips site i unconditionally and updates all bookkeeping.
+// The segregation process never does this on its own; it exists for the
+// constructions of the core package (constrained cascades inside radical
+// regions) and for adversarial tests (firewall invariance).
+func (p *Process) ForceFlip(i int) { p.applyFlip(i) }
+
+// Step performs one effective event: it picks a uniformly random
+// flippable agent, advances continuous time by Exp(k) (k = number of
+// flippable agents), and flips the agent. It returns the flipped site
+// index, or ok=false if the process has already fixated.
+func (p *Process) Step() (site int, ok bool) {
+	k := len(p.flippable)
+	if k == 0 {
+		return 0, false
+	}
+	p.time += p.src.ExpRate(float64(k))
+	i := int(p.flippable[p.src.Intn(k)])
+	p.applyFlip(i)
+	p.flips++
+	return i, true
+}
+
+// Run advances the process until fixation or until maxFlips additional
+// flips have been performed (maxFlips <= 0 means no limit; termination
+// is guaranteed by the Lyapunov argument). It returns the number of
+// flips performed by this call and whether the process is fixated.
+func (p *Process) Run(maxFlips int64) (performed int64, fixated bool) {
+	for maxFlips <= 0 || performed < maxFlips {
+		if _, ok := p.Step(); !ok {
+			return performed, true
+		}
+		performed++
+	}
+	return performed, p.Fixated()
+}
+
+// Phi returns the paper's Lyapunov function: the sum over all agents u of
+// the number of same-type agents in N(u). It is recomputed from the
+// maintained counts in O(n^2).
+func (p *Process) Phi() int64 {
+	var phi int64
+	for i := 0; i < p.lat.Sites(); i++ {
+		phi += int64(p.SameCount(i))
+	}
+	return phi
+}
+
+// MaxFlipsBound returns the a-priori bound on the total number of flips
+// implied by the Lyapunov argument: Phi <= N*n^2 and every flip increases
+// Phi by at least 2.
+func (p *Process) MaxFlipsBound() int64 {
+	return int64(p.nbhd) * int64(p.lat.Sites()) / 2
+}
+
+// PlusCount returns the maintained count of +1 agents in N(i).
+func (p *Process) PlusCount(i int) int { return int(p.plus[i]) }
+
+// CheckInvariants verifies the internal bookkeeping against a brute-force
+// recomputation; it is used by tests and returns a descriptive error on
+// the first mismatch.
+func (p *Process) CheckInvariants() error {
+	fresh := p.lat.WindowCounts(p.w)
+	unhappyCount := 0
+	inSet := make(map[int32]bool, len(p.flippable))
+	for j, site := range p.flippable {
+		if p.pos[site] != int32(j) {
+			return fmt.Errorf("pos[%d] = %d, want %d", site, p.pos[site], j)
+		}
+		if inSet[site] {
+			return fmt.Errorf("site %d appears twice in flippable set", site)
+		}
+		inSet[site] = true
+	}
+	for i := 0; i < p.lat.Sites(); i++ {
+		if p.plus[i] != fresh[i] {
+			return fmt.Errorf("plus[%d] = %d, want %d", i, p.plus[i], fresh[i])
+		}
+		same := p.SameCount(i)
+		unhappy := same < p.thresh
+		if unhappy != p.unhappy[i] {
+			return fmt.Errorf("unhappy[%d] = %v, want %v", i, p.unhappy[i], unhappy)
+		}
+		if unhappy {
+			unhappyCount++
+		}
+		flippable := unhappy && p.nbhd-same+1 >= p.thresh
+		if flippable != inSet[int32(i)] {
+			return fmt.Errorf("flippable membership of %d = %v, want %v", i, inSet[int32(i)], flippable)
+		}
+		if !inSet[int32(i)] && p.pos[i] != -1 {
+			return fmt.Errorf("pos[%d] = %d for non-member", i, p.pos[i])
+		}
+	}
+	if unhappyCount != p.nUnhappy {
+		return fmt.Errorf("nUnhappy = %d, want %d", p.nUnhappy, unhappyCount)
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package dynamics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func mustProcess(t *testing.T, lat *grid.Lattice, w int, tau float64, seed uint64) *Process {
+	t.Helper()
+	p, err := New(lat, w, tau, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	lat := grid.New(9, grid.Plus)
+	cases := []struct {
+		name string
+		f    func() (*Process, error)
+	}{
+		{"zero horizon", func() (*Process, error) { return New(lat, 0, 0.5, rng.New(1)) }},
+		{"oversized horizon", func() (*Process, error) { return New(lat, 5, 0.5, rng.New(1)) }},
+		{"negative tau", func() (*Process, error) { return New(lat, 1, -0.1, rng.New(1)) }},
+		{"tau above one", func() (*Process, error) { return New(lat, 1, 1.1, rng.New(1)) }},
+		{"nil source", func() (*Process, error) { return New(lat, 1, 0.5, nil) }},
+	}
+	for _, c := range cases {
+		if _, err := c.f(); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	lat := grid.New(9, grid.Plus)
+	p := mustProcess(t, lat, 2, 0.42, 1)
+	if p.Horizon() != 2 || p.NeighborhoodSize() != 25 {
+		t.Fatal("horizon accessors broken")
+	}
+	if p.Threshold() != 11 { // ceil(0.42*25) = 11
+		t.Fatalf("threshold = %d, want 11", p.Threshold())
+	}
+	if p.Tau() != 11.0/25.0 {
+		t.Fatalf("tau = %v", p.Tau())
+	}
+	if p.Lattice() != lat {
+		t.Fatal("Lattice must return the underlying lattice")
+	}
+}
+
+func TestMonochromaticIsFixated(t *testing.T) {
+	p := mustProcess(t, grid.New(9, grid.Plus), 1, 0.99, 1)
+	if !p.Fixated() || p.UnhappyCount() != 0 || p.HappyFraction() != 1 {
+		t.Fatal("monochromatic lattice must be happy and fixated")
+	}
+	if _, ok := p.Step(); ok {
+		t.Fatal("Step on fixated process must return ok=false")
+	}
+	if n, fix := p.Run(0); n != 0 || !fix {
+		t.Fatal("Run on fixated process must do nothing")
+	}
+}
+
+func TestZeroTauEveryoneHappy(t *testing.T) {
+	lat := grid.Random(9, 0.5, rng.New(1))
+	p := mustProcess(t, lat, 1, 0, 2)
+	if p.UnhappyCount() != 0 || !p.Fixated() {
+		t.Fatal("tau = 0 means everyone is happy")
+	}
+}
+
+// A single + agent in a sea of - at tau = 1/2, w = 1: the + agent has
+// same-count 1 < 5 and is the unique flippable agent; its neighbors have
+// same-count 8 and are happy. One step reaches the all-minus fixed point.
+func TestSingleDissenterHandCase(t *testing.T) {
+	lat := grid.New(7, grid.Minus)
+	center := geom.Point{X: 3, Y: 3}
+	lat.Set(center, grid.Plus)
+	p := mustProcess(t, lat, 1, 0.5, 3)
+	if p.FlippableCount() != 1 || p.UnhappyCount() != 1 {
+		t.Fatalf("flippable=%d unhappy=%d, want 1 and 1", p.FlippableCount(), p.UnhappyCount())
+	}
+	site, ok := p.Step()
+	if !ok || site != lat.Torus().Index(center) {
+		t.Fatalf("step flipped site %d, want the dissenter", site)
+	}
+	if !p.Fixated() || lat.CountPlus() != 0 {
+		t.Fatal("process must fixate at the all-minus configuration")
+	}
+	if p.Flips() != 1 {
+		t.Fatalf("Flips = %d, want 1", p.Flips())
+	}
+	if p.Time() <= 0 {
+		t.Fatal("time must advance")
+	}
+}
+
+func TestInitialBookkeepingMatchesBruteForce(t *testing.T) {
+	lat := grid.Random(16, 0.5, rng.New(5))
+	p := mustProcess(t, lat, 2, 0.45, 6)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantsHoldDuringRun(t *testing.T) {
+	lat := grid.Random(20, 0.5, rng.New(7))
+	p := mustProcess(t, lat, 2, 0.45, 8)
+	for step := 0; step < 200; step++ {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		if step%20 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("after %d steps: %v", step+1, err)
+			}
+		}
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's Lyapunov function Phi must strictly increase with every
+// admissible flip; this is the termination argument of Section II.A.
+func TestLyapunovStrictlyIncreases(t *testing.T) {
+	lat := grid.Random(16, 0.5, rng.New(9))
+	p := mustProcess(t, lat, 2, 0.48, 10)
+	prev := p.Phi()
+	for i := 0; i < 300; i++ {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		phi := p.Phi()
+		if phi <= prev {
+			t.Fatalf("Phi did not increase: %d -> %d at flip %d", prev, phi, i+1)
+		}
+		prev = phi
+	}
+}
+
+// Super-unhappy semantics for tau > 1/2: Phi must still strictly increase
+// and flips must still be admissible only when they make the agent happy.
+func TestLyapunovIncreasesAboveHalf(t *testing.T) {
+	lat := grid.Random(16, 0.5, rng.New(11))
+	p := mustProcess(t, lat, 1, 0.6, 12)
+	prev := p.Phi()
+	for i := 0; i < 300; i++ {
+		site, ok := p.Step()
+		if !ok {
+			break
+		}
+		if !p.Happy(site) {
+			t.Fatalf("flip %d left the agent unhappy", i+1)
+		}
+		phi := p.Phi()
+		if phi <= prev {
+			t.Fatalf("Phi did not increase above half: %d -> %d", prev, phi)
+		}
+		prev = phi
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTerminatesWithinLyapunovBound(t *testing.T) {
+	lat := grid.Random(24, 0.5, rng.New(13))
+	p := mustProcess(t, lat, 2, 0.45, 14)
+	bound := p.MaxFlipsBound()
+	performed, fixated := p.Run(0)
+	if !fixated {
+		t.Fatal("Run(0) must reach fixation")
+	}
+	if performed > bound {
+		t.Fatalf("performed %d flips, Lyapunov bound %d", performed, bound)
+	}
+	if p.FlippableCount() != 0 {
+		t.Fatal("fixated process must have no flippable agents")
+	}
+	// At fixation every unhappy agent must be unable to become happy.
+	for i := 0; i < lat.Sites(); i++ {
+		if p.Flippable(i) {
+			t.Fatalf("site %d still flippable after fixation", i)
+		}
+	}
+}
+
+func TestRunRespectsMaxFlips(t *testing.T) {
+	lat := grid.Random(24, 0.5, rng.New(15))
+	p := mustProcess(t, lat, 2, 0.45, 16)
+	performed, _ := p.Run(5)
+	if performed > 5 {
+		t.Fatalf("Run(5) performed %d flips", performed)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	latA := grid.Random(16, 0.5, rng.New(17))
+	latB := latA.Clone()
+	a := mustProcess(t, latA, 2, 0.45, 18)
+	b := mustProcess(t, latB, 2, 0.45, 18)
+	a.Run(0)
+	b.Run(0)
+	if !latA.Equal(latB) {
+		t.Fatal("identical seeds must give identical fixed points")
+	}
+	if a.Flips() != b.Flips() || a.Time() != b.Time() {
+		t.Fatal("identical seeds must give identical statistics")
+	}
+}
+
+// For tau < 1/2 every unhappy agent is flippable (the paper's first
+// observation in Section II.A).
+func TestBelowHalfUnhappyEqualsFlippable(t *testing.T) {
+	lat := grid.Random(20, 0.5, rng.New(19))
+	p := mustProcess(t, lat, 2, 0.42, 20)
+	if p.UnhappyCount() != p.FlippableCount() {
+		t.Fatalf("unhappy=%d flippable=%d must match below tau=1/2",
+			p.UnhappyCount(), p.FlippableCount())
+	}
+}
+
+func TestHappyAs(t *testing.T) {
+	lat := grid.New(7, grid.Minus)
+	p := mustProcess(t, lat, 1, 0.5, 21)
+	c := lat.Torus().Index(geom.Point{X: 3, Y: 3})
+	// All minus: a hypothetical + at any site would have same-count 1 < 5.
+	if p.HappyAs(c, grid.Plus) {
+		t.Fatal("+ probe must be unhappy in all-minus sea")
+	}
+	if !p.HappyAs(c, grid.Minus) {
+		t.Fatal("- probe must be happy in all-minus sea")
+	}
+	// Occupant spin must not bias the probe: flip the site to + and the
+	// + probe count must equal the occupant's own count.
+	p.ForceFlip(c)
+	if got, want := p.HappyAs(c, grid.Plus), p.Happy(c); got != want {
+		t.Fatal("HappyAs(+) must agree with Happy for a + occupant")
+	}
+}
+
+func TestForceFlipKeepsBookkeeping(t *testing.T) {
+	lat := grid.Random(16, 0.5, rng.New(23))
+	p := mustProcess(t, lat, 2, 0.45, 24)
+	for i := 0; i < 20; i++ {
+		p.ForceFlip((i * 13) % lat.Sites())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeMonotone(t *testing.T) {
+	lat := grid.Random(16, 0.5, rng.New(25))
+	p := mustProcess(t, lat, 2, 0.45, 26)
+	prev := 0.0
+	for i := 0; i < 100; i++ {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		if p.Time() <= prev {
+			t.Fatal("continuous time must strictly increase")
+		}
+		prev = p.Time()
+	}
+}
+
+// Property test: after a bounded random evolution on random instances,
+// all bookkeeping matches brute force and Phi has not decreased.
+func TestQuickEvolutionInvariants(t *testing.T) {
+	f := func(seed uint64, tauRaw uint8, wRaw uint8) bool {
+		n := 12
+		w := 1 + int(wRaw%2)                  // 1..2
+		tau := 0.3 + float64(tauRaw%40)/100.0 // 0.30..0.69
+		lat := grid.Random(n, 0.5, rng.New(seed))
+		p, err := New(lat, w, tau, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		phi0 := p.Phi()
+		p.Run(50)
+		if err := p.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		return p.Phi() >= phi0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	lat := grid.Random(256, 0.5, rng.New(1))
+	p, err := New(lat, 4, 0.45, rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.Step(); !ok {
+			b.StopTimer()
+			lat = grid.Random(256, 0.5, rng.New(uint64(i)))
+			p, _ = New(lat, 4, 0.45, rng.New(uint64(i+1)))
+			b.StartTimer()
+		}
+	}
+}
+
+func BenchmarkNewProcess(b *testing.B) {
+	lat := grid.Random(256, 0.5, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := New(lat.Clone(), 4, 0.45, rng.New(2)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

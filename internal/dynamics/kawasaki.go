@@ -1,0 +1,211 @@
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// Kawasaki is the closed-system baseline dynamic discussed in Section I.A
+// of the paper: a pair of unhappy agents of opposite types swap their
+// locations if this makes both of them happy. The number of agents of
+// each type is conserved. Unlike Glauber dynamics there is no simple
+// Lyapunov guarantee under pair sampling, so runs are bounded by an
+// attempt budget; a run is reported converged when either type has no
+// unhappy agents left (no admissible swap can exist) or the attempt
+// budget is exhausted with no successful swap.
+type Kawasaki struct {
+	p *Process // reuse the count/refresh machinery; Step is never called
+	// Unhappy agents by type, with swap-remove position tracking.
+	unhappyPlus  []int32
+	unhappyMinus []int32
+	posPlus      []int32
+	posMinus     []int32
+	swaps        int64
+	attempts     int64
+}
+
+// NewKawasaki creates a Kawasaki process over the lattice with horizon w
+// and intolerance tauTilde. The lattice is mutated in place.
+func NewKawasaki(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Kawasaki, error) {
+	p, err := New(lat, w, tauTilde, src)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kawasaki{
+		p:        p,
+		posPlus:  make([]int32, lat.Sites()),
+		posMinus: make([]int32, lat.Sites()),
+	}
+	for i := range k.posPlus {
+		k.posPlus[i] = -1
+		k.posMinus[i] = -1
+	}
+	for i := 0; i < lat.Sites(); i++ {
+		k.refreshSets(i)
+	}
+	return k, nil
+}
+
+// Process returns the underlying count-tracking process (read-only use).
+func (k *Kawasaki) Process() *Process { return k.p }
+
+// Swaps returns the number of successful swaps so far.
+func (k *Kawasaki) Swaps() int64 { return k.swaps }
+
+// Attempts returns the number of attempted swaps so far.
+func (k *Kawasaki) Attempts() int64 { return k.attempts }
+
+// UnhappyByType returns the numbers of unhappy +1 and -1 agents.
+func (k *Kawasaki) UnhappyByType() (plus, minus int) {
+	return len(k.unhappyPlus), len(k.unhappyMinus)
+}
+
+func (k *Kawasaki) refreshSets(i int) {
+	spin := k.p.lat.SpinAt(i)
+	unhappy := !k.p.Happy(i)
+	wantPlus := unhappy && spin == grid.Plus
+	wantMinus := unhappy && spin == grid.Minus
+	k.setMembership(&k.unhappyPlus, k.posPlus, i, wantPlus)
+	k.setMembership(&k.unhappyMinus, k.posMinus, i, wantMinus)
+}
+
+func (k *Kawasaki) setMembership(set *[]int32, pos []int32, i int, want bool) {
+	in := pos[i] >= 0
+	switch {
+	case want && !in:
+		pos[i] = int32(len(*set))
+		*set = append(*set, int32(i))
+	case !want && in:
+		j := pos[i]
+		last := (*set)[len(*set)-1]
+		(*set)[j] = last
+		pos[last] = j
+		*set = (*set)[:len(*set)-1]
+		pos[i] = -1
+	}
+}
+
+// forceFlipTracked flips site i in the underlying process and refreshes
+// the per-type unhappy sets of every affected site.
+func (k *Kawasaki) forceFlipTracked(i int) {
+	k.p.ForceFlip(i)
+	n, w := k.p.n, k.p.w
+	x0, y0 := i%n, i/n
+	for dy := -w; dy <= w; dy++ {
+		y := y0 + dy
+		if y < 0 {
+			y += n
+		} else if y >= n {
+			y -= n
+		}
+		row := y * n
+		for dx := -w; dx <= w; dx++ {
+			x := x0 + dx
+			if x < 0 {
+				x += n
+			} else if x >= n {
+				x -= n
+			}
+			k.refreshSets(row + x)
+		}
+	}
+}
+
+// StepAttempt samples one unhappy agent of each type uniformly at random
+// and swaps them iff the swap makes both happy. It returns swapped=false
+// with done=true when no unhappy pair exists.
+func (k *Kawasaki) StepAttempt() (swapped, done bool) {
+	if len(k.unhappyPlus) == 0 || len(k.unhappyMinus) == 0 {
+		return false, true
+	}
+	k.attempts++
+	u := int(k.unhappyPlus[k.p.src.Intn(len(k.unhappyPlus))])
+	v := int(k.unhappyMinus[k.p.src.Intn(len(k.unhappyMinus))])
+	// Apply the swap as two tracked flips, then verify both movers are
+	// happy at their new locations; revert if not. The order of checks
+	// accounts for overlapping neighborhoods automatically because
+	// counts are updated before the happiness test.
+	k.forceFlipTracked(u) // u's site becomes -1 (the mover from v)
+	k.forceFlipTracked(v) // v's site becomes +1 (the mover from u)
+	if k.p.Happy(u) && k.p.Happy(v) {
+		k.swaps++
+		return true, false
+	}
+	k.forceFlipTracked(v)
+	k.forceFlipTracked(u)
+	return false, false
+}
+
+// Run performs swap attempts until no unhappy pair exists, until
+// maxAttempts have been made, or until failStreak consecutive attempts
+// fail (a practical fixation heuristic for this baseline). It returns
+// the number of successful swaps performed by this call.
+func (k *Kawasaki) Run(maxAttempts, failStreak int64) (performed int64, done bool) {
+	if maxAttempts <= 0 {
+		return 0, false
+	}
+	var streak int64
+	for a := int64(0); a < maxAttempts; a++ {
+		swapped, noPairs := k.StepAttempt()
+		if noPairs {
+			return performed, true
+		}
+		if swapped {
+			performed++
+			streak = 0
+		} else {
+			streak++
+			if failStreak > 0 && streak >= failStreak {
+				return performed, false
+			}
+		}
+	}
+	return performed, false
+}
+
+// CheckInvariants verifies the per-type unhappy sets against brute force
+// in addition to the underlying process invariants.
+func (k *Kawasaki) CheckInvariants() error {
+	if err := k.p.CheckInvariants(); err != nil {
+		return err
+	}
+	inPlus := map[int32]bool{}
+	for j, site := range k.unhappyPlus {
+		if k.posPlus[site] != int32(j) {
+			return fmt.Errorf("posPlus[%d] = %d, want %d", site, k.posPlus[site], j)
+		}
+		inPlus[site] = true
+	}
+	inMinus := map[int32]bool{}
+	for j, site := range k.unhappyMinus {
+		if k.posMinus[site] != int32(j) {
+			return fmt.Errorf("posMinus[%d] = %d, want %d", site, k.posMinus[site], j)
+		}
+		inMinus[site] = true
+	}
+	for i := 0; i < k.p.lat.Sites(); i++ {
+		unhappy := !k.p.Happy(i)
+		spin := k.p.lat.SpinAt(i)
+		if inPlus[int32(i)] != (unhappy && spin == grid.Plus) {
+			return fmt.Errorf("unhappyPlus membership of %d wrong", i)
+		}
+		if inMinus[int32(i)] != (unhappy && spin == grid.Minus) {
+			return fmt.Errorf("unhappyMinus membership of %d wrong", i)
+		}
+	}
+	return nil
+}
+
+// ThresholdFor exposes the integer threshold the engines use, for callers
+// that need to agree with the engine about the rational intolerance.
+func ThresholdFor(tauTilde float64, w int) (thresh, nbhd int, err error) {
+	if w < 1 {
+		return 0, 0, errors.New("dynamics: horizon must be >= 1")
+	}
+	nbhd = (2*w + 1) * (2*w + 1)
+	return theory.Threshold(tauTilde, nbhd), nbhd, nil
+}

@@ -1,0 +1,65 @@
+package dynamics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+// A fixed point is intrinsically stable: re-instantiating the process
+// over the fixated lattice finds no admissible flip, for arbitrary
+// seeds and intolerances on both sides of 1/2.
+func TestQuickFixedPointStability(t *testing.T) {
+	f := func(seed uint64, tauRaw uint8) bool {
+		tau := 0.35 + float64(tauRaw%30)/100 // 0.35..0.64
+		lat := grid.Random(16, 0.5, rng.New(seed))
+		p, err := New(lat, 2, tau, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		if _, fixated := p.Run(0); !fixated {
+			return false
+		}
+		fresh, err := New(lat, 2, tau, rng.New(seed+2))
+		if err != nil {
+			return false
+		}
+		return fresh.FlippableCount() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Global spin flip is a symmetry of the model at p = 1/2: the flipped
+// configuration has the same unhappy and flippable counts.
+func TestGlobalFlipSymmetry(t *testing.T) {
+	lat := grid.Random(20, 0.5, rng.New(77))
+	flipped := lat.Clone()
+	for i := 0; i < flipped.Sites(); i++ {
+		flipped.SetAt(i, flipped.SpinAt(i).Opposite())
+	}
+	a, err := New(lat, 2, 0.45, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(flipped, 2, 0.45, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UnhappyCount() != b.UnhappyCount() {
+		t.Fatalf("unhappy counts differ under global flip: %d vs %d",
+			a.UnhappyCount(), b.UnhappyCount())
+	}
+	if a.FlippableCount() != b.FlippableCount() {
+		t.Fatalf("flippable counts differ under global flip: %d vs %d",
+			a.FlippableCount(), b.FlippableCount())
+	}
+	for i := 0; i < lat.Sites(); i++ {
+		if a.Happy(i) != b.Happy(i) {
+			t.Fatalf("happiness at %d differs under global flip", i)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// VariantOptions configures the model variations discussed in the
+// paper's concluding remarks (Section V) and introduction (Section I.A):
+//
+//   - Per-type intolerances TauPlus/TauMinus (the Barmpalias-Elwes-
+//     Lewis-Pye two-threshold model the paper cites as [26]).
+//   - Both-sided discomfort: an agent is also unhappy when the fraction
+//     of same-type agents exceeds an upper threshold ("uncomfortable
+//     being ... a majority in a largely segregated area", Sec. V).
+//   - Noise: with probability Noise a ringing agent acts against the
+//     rule's prescription ("a small probability of acting differently
+//     than what the general rule prescribes", Sec. I.A).
+type VariantOptions struct {
+	// TauPlus and TauMinus are the lower intolerances of +1 and -1
+	// agents: an agent is unhappy when its same-type fraction is below
+	// its type's threshold.
+	TauPlus, TauMinus float64
+	// UpperPlus and UpperMinus, when below 1, add the both-sided
+	// discomfort rule: an agent is also unhappy when its same-type
+	// fraction strictly exceeds the upper threshold. 0 means "off"
+	// (treated as 1).
+	UpperPlus, UpperMinus float64
+	// Noise in [0, 1) is the probability that a ringing agent acts
+	// against the prescription: a non-flippable agent flips anyway, a
+	// flippable agent refuses. Noise > 0 removes the termination
+	// guarantee; runs must be budgeted.
+	Noise float64
+}
+
+func (o *VariantOptions) normalize() error {
+	if o.UpperPlus == 0 {
+		o.UpperPlus = 1
+	}
+	if o.UpperMinus == 0 {
+		o.UpperMinus = 1
+	}
+	for _, v := range []float64{o.TauPlus, o.TauMinus, o.UpperPlus, o.UpperMinus} {
+		if v < 0 || v > 1 {
+			return errors.New("dynamics: thresholds must be in [0, 1]")
+		}
+	}
+	if o.TauPlus > o.UpperPlus || o.TauMinus > o.UpperMinus {
+		return errors.New("dynamics: lower threshold above upper threshold")
+	}
+	if o.Noise < 0 || o.Noise >= 1 {
+		return errors.New("dynamics: noise must be in [0, 1)")
+	}
+	return nil
+}
+
+// Variant is the generalized Glauber process with per-type and
+// both-sided thresholds and optional noise. It shares the incremental
+// counting design of Process but evaluates interval happiness.
+type Variant struct {
+	lat  *grid.Lattice
+	src  *rng.Source
+	n    int
+	w    int
+	nbhd int
+	// Integer happiness windows per spin: same-type count must be in
+	// [lo, hi] to be happy.
+	loPlus, hiPlus   int
+	loMinus, hiMinus int
+	noise            float64
+	plus             []int32
+	flippable        []int32
+	pos              []int32
+	nUnhappy         int
+	unhappy          []bool
+	time             float64
+	flips            int64
+	noiseFlips       int64
+}
+
+// NewVariant builds the generalized process over the lattice.
+func NewVariant(lat *grid.Lattice, w int, opts VariantOptions, src *rng.Source) (*Variant, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	if w < 1 || 2*w+1 > lat.N() {
+		return nil, fmt.Errorf("dynamics: invalid horizon %d for lattice side %d", w, lat.N())
+	}
+	if src == nil {
+		return nil, errors.New("dynamics: nil random source")
+	}
+	nbhd := geom.SquareSize(w)
+	v := &Variant{
+		lat:     lat,
+		src:     src,
+		n:       lat.N(),
+		w:       w,
+		nbhd:    nbhd,
+		loPlus:  theory.Threshold(opts.TauPlus, nbhd),
+		hiPlus:  int(math.Floor(opts.UpperPlus * float64(nbhd))),
+		loMinus: theory.Threshold(opts.TauMinus, nbhd),
+		hiMinus: int(math.Floor(opts.UpperMinus * float64(nbhd))),
+		noise:   opts.Noise,
+		plus:    lat.WindowCounts(w),
+		pos:     make([]int32, lat.Sites()),
+		unhappy: make([]bool, lat.Sites()),
+	}
+	for i := range v.pos {
+		v.pos[i] = -1
+	}
+	for i := 0; i < lat.Sites(); i++ {
+		v.refresh(i)
+	}
+	return v, nil
+}
+
+// Lattice returns the underlying lattice (live view).
+func (v *Variant) Lattice() *grid.Lattice { return v.lat }
+
+// Flips returns the number of rule-driven flips performed.
+func (v *Variant) Flips() int64 { return v.flips }
+
+// NoiseFlips returns the number of noise-driven flips performed.
+func (v *Variant) NoiseFlips() int64 { return v.noiseFlips }
+
+// Time returns the elapsed continuous time.
+func (v *Variant) Time() float64 { return v.time }
+
+// UnhappyCount returns the number of unhappy agents.
+func (v *Variant) UnhappyCount() int { return v.nUnhappy }
+
+// FlippableCount returns the number of admissible rule flips.
+func (v *Variant) FlippableCount() int { return len(v.flippable) }
+
+// window returns the happiness window of a spin.
+func (v *Variant) window(s grid.Spin) (lo, hi int) {
+	if s == grid.Plus {
+		return v.loPlus, v.hiPlus
+	}
+	return v.loMinus, v.hiMinus
+}
+
+// SameCount returns the same-type count of site i, including itself.
+func (v *Variant) SameCount(i int) int {
+	if v.lat.SpinAt(i) == grid.Plus {
+		return int(v.plus[i])
+	}
+	return v.nbhd - int(v.plus[i])
+}
+
+// Happy reports interval happiness: lo <= same <= hi for the agent's
+// type.
+func (v *Variant) Happy(i int) bool {
+	lo, hi := v.window(v.lat.SpinAt(i))
+	same := v.SameCount(i)
+	return same >= lo && same <= hi
+}
+
+// Flippable reports whether the rule prescribes a flip: the agent is
+// unhappy and the flip would make it happy under the opposite type's
+// window.
+func (v *Variant) Flippable(i int) bool {
+	spin := v.lat.SpinAt(i)
+	same := v.SameCount(i)
+	lo, hi := v.window(spin)
+	if same >= lo && same <= hi {
+		return false
+	}
+	newSame := v.nbhd - same + 1
+	olo, ohi := v.window(spin.Opposite())
+	return newSame >= olo && newSame <= ohi
+}
+
+func (v *Variant) refresh(i int) {
+	unhappy := !v.Happy(i)
+	if unhappy != v.unhappy[i] {
+		v.unhappy[i] = unhappy
+		if unhappy {
+			v.nUnhappy++
+		} else {
+			v.nUnhappy--
+		}
+	}
+	flippable := unhappy && v.Flippable(i)
+	in := v.pos[i] >= 0
+	switch {
+	case flippable && !in:
+		v.pos[i] = int32(len(v.flippable))
+		v.flippable = append(v.flippable, int32(i))
+	case !flippable && in:
+		j := v.pos[i]
+		last := v.flippable[len(v.flippable)-1]
+		v.flippable[j] = last
+		v.pos[last] = j
+		v.flippable = v.flippable[:len(v.flippable)-1]
+		v.pos[i] = -1
+	}
+}
+
+func (v *Variant) applyFlip(i int) {
+	newSpin := v.lat.Flip(i)
+	var delta int32 = 1
+	if newSpin == grid.Minus {
+		delta = -1
+	}
+	n, w := v.n, v.w
+	x0, y0 := i%n, i/n
+	for dy := -w; dy <= w; dy++ {
+		y := y0 + dy
+		if y < 0 {
+			y += n
+		} else if y >= n {
+			y -= n
+		}
+		row := y * n
+		for dx := -w; dx <= w; dx++ {
+			x := x0 + dx
+			if x < 0 {
+				x += n
+			} else if x >= n {
+				x -= n
+			}
+			j := row + x
+			v.plus[j] += delta
+			v.refresh(j)
+		}
+	}
+}
+
+// Step performs one effective event of the noisy kinetic Monte Carlo:
+// rule-driven flips occur at rate (1-Noise) per flippable agent and
+// noise flips at rate Noise per non-flippable agent. It returns
+// ok=false only when no event has positive rate (noise-free fixation).
+func (v *Variant) Step() (site int, ok bool) {
+	k := len(v.flippable)
+	if v.noise == 0 {
+		// Noise-free fast path; consumes randomness exactly like the
+		// base Process, so symmetric-threshold variants replay base
+		// trajectories draw for draw.
+		if k == 0 {
+			return 0, false
+		}
+		v.time += v.src.ExpRate(float64(k))
+		i := int(v.flippable[v.src.Intn(k)])
+		v.applyFlip(i)
+		v.flips++
+		return i, true
+	}
+	ruleRate := (1 - v.noise) * float64(k)
+	noiseRate := v.noise * float64(v.lat.Sites()-k)
+	total := ruleRate + noiseRate
+	if total <= 0 {
+		return 0, false
+	}
+	v.time += v.src.ExpRate(total)
+	if v.src.Float64()*total < ruleRate {
+		i := int(v.flippable[v.src.Intn(k)])
+		v.applyFlip(i)
+		v.flips++
+		return i, true
+	}
+	// Noise event: uniform over the non-flippable complement
+	// (rejection sampling; the complement is large whenever noise
+	// events are likely).
+	for {
+		i := v.src.Intn(v.lat.Sites())
+		if v.pos[i] == -1 {
+			v.applyFlip(i)
+			v.noiseFlips++
+			return i, true
+		}
+	}
+}
+
+// Run advances the process by at most maxEvents effective events
+// (required to be positive when Noise > 0, since noisy runs do not
+// terminate). It returns the events performed and whether a noise-free
+// fixation state was reached.
+func (v *Variant) Run(maxEvents int64) (int64, bool, error) {
+	if maxEvents <= 0 {
+		if v.noise > 0 {
+			return 0, false, errors.New("dynamics: noisy runs need an event budget")
+		}
+		maxEvents = math.MaxInt64
+	}
+	var performed int64
+	for performed < maxEvents {
+		if _, ok := v.Step(); !ok {
+			return performed, true, nil
+		}
+		performed++
+	}
+	return performed, len(v.flippable) == 0 && v.noise == 0, nil
+}
+
+// CheckInvariants verifies bookkeeping against brute force.
+func (v *Variant) CheckInvariants() error {
+	fresh := v.lat.WindowCounts(v.w)
+	inSet := make(map[int32]bool, len(v.flippable))
+	for j, site := range v.flippable {
+		if v.pos[site] != int32(j) {
+			return fmt.Errorf("pos[%d] = %d, want %d", site, v.pos[site], j)
+		}
+		inSet[site] = true
+	}
+	unhappyCount := 0
+	for i := 0; i < v.lat.Sites(); i++ {
+		if v.plus[i] != fresh[i] {
+			return fmt.Errorf("plus[%d] = %d, want %d", i, v.plus[i], fresh[i])
+		}
+		if v.unhappy[i] != !v.Happy(i) {
+			return fmt.Errorf("unhappy[%d] inconsistent", i)
+		}
+		if v.unhappy[i] {
+			unhappyCount++
+		}
+		want := !v.Happy(i) && v.Flippable(i)
+		if inSet[int32(i)] != want {
+			return fmt.Errorf("flippable membership of %d = %v, want %v", i, inSet[int32(i)], want)
+		}
+	}
+	if unhappyCount != v.nUnhappy {
+		return fmt.Errorf("nUnhappy = %d, want %d", v.nUnhappy, unhappyCount)
+	}
+	return nil
+}

@@ -1,0 +1,242 @@
+package dynamics
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func mustVariant(t *testing.T, lat *grid.Lattice, w int, opts VariantOptions, seed uint64) *Variant {
+	t.Helper()
+	v, err := NewVariant(lat, w, opts, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestVariantValidation(t *testing.T) {
+	lat := grid.New(9, grid.Plus)
+	bad := []VariantOptions{
+		{TauPlus: -0.1, TauMinus: 0.5},
+		{TauPlus: 0.5, TauMinus: 1.5},
+		{TauPlus: 0.6, TauMinus: 0.5, UpperPlus: 0.5}, // lo > hi
+		{TauPlus: 0.5, TauMinus: 0.5, Noise: 1},
+		{TauPlus: 0.5, TauMinus: 0.5, Noise: -0.1},
+	}
+	for i, o := range bad {
+		if _, err := NewVariant(lat, 1, o, rng.New(1)); err == nil {
+			t.Errorf("case %d: want error for %+v", i, o)
+		}
+	}
+	if _, err := NewVariant(lat, 0, VariantOptions{TauPlus: 0.5, TauMinus: 0.5}, rng.New(1)); err == nil {
+		t.Error("want error for zero horizon")
+	}
+	if _, err := NewVariant(lat, 1, VariantOptions{TauPlus: 0.5, TauMinus: 0.5}, nil); err == nil {
+		t.Error("want error for nil source")
+	}
+}
+
+// With symmetric thresholds, no upper bound, and zero noise the variant
+// must agree exactly with the base process.
+func TestVariantMatchesBaseProcess(t *testing.T) {
+	latA := grid.Random(20, 0.5, rng.New(41))
+	latB := latA.Clone()
+	base := mustProcess(t, latA, 2, 0.45, 42)
+	v := mustVariant(t, latB, 2, VariantOptions{TauPlus: 0.45, TauMinus: 0.45}, 42)
+	if base.FlippableCount() != v.FlippableCount() {
+		t.Fatalf("initial flippable: base %d, variant %d", base.FlippableCount(), v.FlippableCount())
+	}
+	for i := 0; i < latA.Sites(); i++ {
+		if base.Happy(i) != v.Happy(i) {
+			t.Fatalf("happiness mismatch at %d", i)
+		}
+		if base.Flippable(i) != v.Flippable(i) {
+			t.Fatalf("flippable mismatch at %d", i)
+		}
+	}
+	// Same seed => identical trajectories and fixed points.
+	base.Run(0)
+	if _, fixated, err := v.Run(0); err != nil || !fixated {
+		t.Fatalf("variant run: fixated=%v err=%v", fixated, err)
+	}
+	if !latA.Equal(latB) {
+		t.Fatal("variant fixed point differs from base process")
+	}
+}
+
+func TestVariantAsymmetricThresholds(t *testing.T) {
+	// TauPlus = 0.8 (plus agents very intolerant), TauMinus = 0.1
+	// (minus agents nearly always happy): only plus agents flip.
+	lat := grid.Random(24, 0.5, rng.New(43))
+	v := mustVariant(t, lat, 2, VariantOptions{TauPlus: 0.8, TauMinus: 0.1}, 44)
+	for i := 0; i < 200; i++ {
+		site, ok := v.Step()
+		if !ok {
+			break
+		}
+		// Every flip must have been a plus agent becoming minus (the
+		// flip target must satisfy the minus window, and minus agents
+		// never flip because tau=0.1 keeps them happy... unless the
+		// both-window rule allows; check direction directly).
+		if lat.SpinAt(site) != grid.Minus {
+			t.Fatalf("flip %d: a minus agent flipped to plus despite tau-minus=0.1", i)
+		}
+	}
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Both-sided discomfort: on a monochromatic lattice with an upper
+// threshold below 1, every agent is unhappy as a majority member and
+// flips are admissible into the opposite window.
+func TestVariantBothSidedDiscomfort(t *testing.T) {
+	lat := grid.New(15, grid.Plus)
+	opts := VariantOptions{
+		TauPlus: 0.3, TauMinus: 0.3,
+		UpperPlus: 0.8, UpperMinus: 0.8,
+	}
+	v := mustVariant(t, lat, 2, opts, 45)
+	if v.UnhappyCount() != lat.Sites() {
+		t.Fatalf("monochromatic majority must be fully uncomfortable: %d unhappy", v.UnhappyCount())
+	}
+	// A flip turns a plus into a minus with same-count 1 of 25, below
+	// the lower threshold 8: not admissible. So nothing is flippable
+	// even though everyone is unhappy.
+	if v.FlippableCount() != 0 {
+		t.Fatalf("flippable = %d, want 0 (flip would undershoot)", v.FlippableCount())
+	}
+	// With a permissive lower bound the flips become admissible and the
+	// dynamics mix the lattice.
+	opts2 := VariantOptions{TauPlus: 0, TauMinus: 0, UpperPlus: 0.8, UpperMinus: 0.8}
+	v2 := mustVariant(t, grid.New(15, grid.Plus), 2, opts2, 46)
+	if v2.FlippableCount() == 0 {
+		t.Fatal("permissive lower bound must admit flips")
+	}
+	performed, _, err := v2.Run(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if performed == 0 {
+		t.Fatal("both-sided dynamics must move")
+	}
+	if err := v2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The lattice must no longer be monochromatic.
+	if v2.Lattice().CountPlus() == v2.Lattice().Sites() {
+		t.Fatal("discomfort dynamics must break the monochromatic state")
+	}
+}
+
+func TestVariantNoiseKeepsMoving(t *testing.T) {
+	// A fixated configuration with noise > 0 must still produce events.
+	lat := grid.New(15, grid.Plus)
+	v := mustVariant(t, lat, 2, VariantOptions{TauPlus: 0.4, TauMinus: 0.4, Noise: 0.1}, 47)
+	if v.FlippableCount() != 0 {
+		t.Fatal("monochromatic lattice has no rule flips")
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := v.Step(); !ok {
+			t.Fatal("noisy process must never stall")
+		}
+	}
+	if v.NoiseFlips() == 0 {
+		t.Fatal("noise flips must occur")
+	}
+	if err := v.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantNoisyRunNeedsBudget(t *testing.T) {
+	lat := grid.Random(15, 0.5, rng.New(48))
+	v := mustVariant(t, lat, 2, VariantOptions{TauPlus: 0.45, TauMinus: 0.45, Noise: 0.05}, 49)
+	if _, _, err := v.Run(0); err == nil {
+		t.Fatal("unbounded noisy run must be rejected")
+	}
+	performed, fixated, err := v.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if performed != 100 || fixated {
+		t.Fatalf("performed=%d fixated=%v", performed, fixated)
+	}
+}
+
+func TestVariantNoiseFreeRunTerminates(t *testing.T) {
+	lat := grid.Random(20, 0.5, rng.New(50))
+	v := mustVariant(t, lat, 2, VariantOptions{TauPlus: 0.45, TauMinus: 0.45}, 51)
+	_, fixated, err := v.Run(0)
+	if err != nil || !fixated {
+		t.Fatalf("fixated=%v err=%v", fixated, err)
+	}
+	if v.FlippableCount() != 0 {
+		t.Fatal("fixation must empty the flippable set")
+	}
+}
+
+func TestVariantTimeAdvances(t *testing.T) {
+	lat := grid.Random(15, 0.5, rng.New(52))
+	v := mustVariant(t, lat, 2, VariantOptions{TauPlus: 0.45, TauMinus: 0.45, Noise: 0.02}, 53)
+	prev := 0.0
+	for i := 0; i < 50; i++ {
+		if _, ok := v.Step(); !ok {
+			break
+		}
+		if v.Time() <= prev {
+			t.Fatal("time must strictly increase")
+		}
+		prev = v.Time()
+	}
+}
+
+// Property: invariants hold after bounded random evolution across
+// random variant parameterizations.
+func TestQuickVariantInvariants(t *testing.T) {
+	f := func(seed uint64, tpRaw, tmRaw, upRaw, noiseRaw uint8) bool {
+		tp := 0.2 + float64(tpRaw%50)/100 // 0.20..0.69
+		tm := 0.2 + float64(tmRaw%50)/100
+		up := 0.7 + float64(upRaw%31)/100   // 0.70..1.00
+		noise := float64(noiseRaw%10) / 100 // 0..0.09
+		lat := grid.Random(12, 0.5, rng.New(seed))
+		v, err := NewVariant(lat, 1, VariantOptions{
+			TauPlus: tp, TauMinus: tm,
+			UpperPlus: up, UpperMinus: up,
+			Noise: noise,
+		}, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		if _, _, err := v.Run(60); err != nil {
+			return false
+		}
+		return v.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVariantUpperWindowHappiness(t *testing.T) {
+	// Hand case: w=1 (N=9), upper threshold 0.8 => hi = floor(7.2) = 7.
+	// An agent with all 9 same-type neighbors has same=9 > 7: unhappy.
+	// An agent with same=7 is happy.
+	lat := grid.New(9, grid.Plus)
+	lat.Set(geom.Point{X: 0, Y: 0}, grid.Minus)
+	lat.Set(geom.Point{X: 2, Y: 0}, grid.Minus)
+	v := mustVariant(t, lat, 1, VariantOptions{TauPlus: 0.1, TauMinus: 0.1, UpperPlus: 0.8, UpperMinus: 0.8}, 54)
+	tor := lat.Torus()
+	center := tor.Index(geom.Point{X: 4, Y: 4}) // deep in the + sea: same=9
+	if v.Happy(center) {
+		t.Fatal("majority-saturated agent must be uncomfortable")
+	}
+	probe := tor.Index(geom.Point{X: 1, Y: 0}) // neighbors the two minus: same=7
+	if !v.Happy(probe) {
+		t.Fatalf("same=%d of 9 within [1,7] must be happy", v.SameCount(probe))
+	}
+}

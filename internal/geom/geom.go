@@ -1,0 +1,205 @@
+// Package geom provides coordinates and metrics on the n x n torus
+// T = [0,n) x [0,n) used throughout the paper. All coordinate arithmetic
+// is performed modulo n, i.e. (x, y) = (x+n, y) = (x, y+n).
+//
+// The three metrics that appear in the paper are provided: Chebyshev
+// (l-infinity, which defines neighborhoods), l1 (which defines cluster
+// radii and the chemical-distance comparisons), and Euclidean (which
+// defines the annular firewall of Lemma 9).
+package geom
+
+import "math"
+
+// Point is a lattice site. Coordinates are canonical, i.e. in [0, n)
+// whenever the Point was produced by a Torus method.
+type Point struct {
+	X, Y int
+}
+
+// Torus is an n x n grid with wrap-around arithmetic. The zero value is
+// not usable; construct with NewTorus.
+type Torus struct {
+	n int
+}
+
+// NewTorus returns a torus of side n. It panics if n <= 0.
+func NewTorus(n int) Torus {
+	if n <= 0 {
+		panic("geom: torus side must be positive")
+	}
+	return Torus{n: n}
+}
+
+// N returns the side length of the torus.
+func (t Torus) N() int { return t.n }
+
+// Sites returns the total number of lattice sites, n^2.
+func (t Torus) Sites() int { return t.n * t.n }
+
+// Wrap maps an arbitrary integer coordinate into [0, n).
+func (t Torus) Wrap(a int) int {
+	a %= t.n
+	if a < 0 {
+		a += t.n
+	}
+	return a
+}
+
+// WrapPoint maps a point with arbitrary integer coordinates onto the torus.
+func (t Torus) WrapPoint(p Point) Point {
+	return Point{X: t.Wrap(p.X), Y: t.Wrap(p.Y)}
+}
+
+// Index converts a canonical point into a row-major index in [0, n^2).
+func (t Torus) Index(p Point) int { return p.Y*t.n + p.X }
+
+// At converts a row-major index back into a canonical point.
+func (t Torus) At(i int) Point { return Point{X: i % t.n, Y: i / t.n} }
+
+// Delta returns the signed wrapped difference a-b mapped into
+// (-n/2, n/2], the representative of minimal absolute value.
+func (t Torus) Delta(a, b int) int {
+	d := t.Wrap(a - b)
+	if d > t.n/2 {
+		d -= t.n
+	}
+	return d
+}
+
+// Cheb returns the Chebyshev (l-infinity) distance between two sites,
+// the metric that defines neighborhoods in the paper.
+func (t Torus) Cheb(a, b Point) int {
+	dx := abs(t.Delta(a.X, b.X))
+	dy := abs(t.Delta(a.Y, b.Y))
+	if dx > dy {
+		return dx
+	}
+	return dy
+}
+
+// L1 returns the l1 (Manhattan) distance between two sites.
+func (t Torus) L1(a, b Point) int {
+	return abs(t.Delta(a.X, b.X)) + abs(t.Delta(a.Y, b.Y))
+}
+
+// Euclid returns the Euclidean distance between two sites, using the
+// minimal wrapped displacement in each coordinate.
+func (t Torus) Euclid(a, b Point) float64 {
+	dx := float64(t.Delta(a.X, b.X))
+	dy := float64(t.Delta(a.Y, b.Y))
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Add translates p by (dx, dy) with wrap-around.
+func (t Torus) Add(p Point, dx, dy int) Point {
+	return Point{X: t.Wrap(p.X + dx), Y: t.Wrap(p.Y + dy)}
+}
+
+// Square visits every site with Chebyshev distance at most radius from
+// center; this is the paper's "neighborhood of radius rho" N_rho. The
+// center itself is included. Visiting order is row-major over offsets.
+// It panics if radius is negative or if the square would wrap onto
+// itself (2*radius+1 > n), which would double-count sites.
+func (t Torus) Square(center Point, radius int, visit func(Point)) {
+	if radius < 0 {
+		panic("geom: negative radius")
+	}
+	if 2*radius+1 > t.n {
+		panic("geom: neighborhood larger than torus")
+	}
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			visit(t.Add(center, dx, dy))
+		}
+	}
+}
+
+// SquarePerimeter visits the sites at Chebyshev distance exactly radius
+// from the center (the boundary ring of N_radius). For radius 0 it visits
+// only the center.
+func (t Torus) SquarePerimeter(center Point, radius int, visit func(Point)) {
+	if radius < 0 {
+		panic("geom: negative radius")
+	}
+	if radius == 0 {
+		visit(center)
+		return
+	}
+	if 2*radius+1 > t.n {
+		panic("geom: ring larger than torus")
+	}
+	for dx := -radius; dx <= radius; dx++ {
+		visit(t.Add(center, dx, -radius))
+		visit(t.Add(center, dx, radius))
+	}
+	for dy := -radius + 1; dy <= radius-1; dy++ {
+		visit(t.Add(center, -radius, dy))
+		visit(t.Add(center, radius, dy))
+	}
+}
+
+// Annulus visits every site y with inner <= ||center-y||_2 <= outer,
+// the shape of the paper's firewall A_r(u) (with inner = r - sqrt(2) w,
+// outer = r). It panics if the annulus would wrap onto itself.
+func (t Torus) Annulus(center Point, inner, outer float64, visit func(Point)) {
+	if outer < 0 || inner > outer {
+		panic("geom: invalid annulus radii")
+	}
+	r := int(math.Ceil(outer))
+	if 2*r+1 > t.n {
+		panic("geom: annulus larger than torus")
+	}
+	in2 := inner * inner
+	out2 := outer * outer
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			d2 := float64(dx*dx + dy*dy)
+			if d2 >= in2 && d2 <= out2 {
+				visit(t.Add(center, dx, dy))
+			}
+		}
+	}
+}
+
+// Disc visits every site within Euclidean distance radius of the center.
+func (t Torus) Disc(center Point, radius float64, visit func(Point)) {
+	t.Annulus(center, 0, radius, visit)
+}
+
+// SquareSize returns the number of agents in a neighborhood of the given
+// radius, (2*radius+1)^2. This is the paper's N when radius equals the
+// horizon w.
+func SquareSize(radius int) int {
+	side := 2*radius + 1
+	return side * side
+}
+
+// Neighbors4 visits the four horizontally/vertically adjacent sites,
+// the adjacency used for m-paths and site-percolation clusters.
+func (t Torus) Neighbors4(p Point, visit func(Point)) {
+	visit(t.Add(p, 1, 0))
+	visit(t.Add(p, -1, 0))
+	visit(t.Add(p, 0, 1))
+	visit(t.Add(p, 0, -1))
+}
+
+// Neighbors8 visits the eight surrounding sites (king moves), the
+// adjacency dual to 4-adjacency in planar site percolation and the one
+// under which Chebyshev balls are graph balls.
+func (t Torus) Neighbors8(p Point, visit func(Point)) {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			visit(t.Add(p, dx, dy))
+		}
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,244 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWrap(t *testing.T) {
+	tor := NewTorus(10)
+	cases := []struct{ in, want int }{
+		{0, 0}, {9, 9}, {10, 0}, {11, 1}, {-1, 9}, {-10, 0}, {-11, 9}, {25, 5},
+	}
+	for _, c := range cases {
+		if got := tor.Wrap(c.in); got != c.want {
+			t.Errorf("Wrap(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIndexAtRoundTrip(t *testing.T) {
+	tor := NewTorus(7)
+	for i := 0; i < tor.Sites(); i++ {
+		if got := tor.Index(tor.At(i)); got != i {
+			t.Fatalf("Index(At(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	tor := NewTorus(10)
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0}, {3, 1, 2}, {1, 3, -2}, {9, 0, -1}, {0, 9, 1}, {0, 5, 5}, {5, 0, 5},
+	}
+	for _, c := range cases {
+		if got := tor.Delta(c.a, c.b); got != c.want {
+			t.Errorf("Delta(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestChebWrapAround(t *testing.T) {
+	tor := NewTorus(10)
+	a := Point{X: 0, Y: 0}
+	b := Point{X: 9, Y: 9}
+	if got := tor.Cheb(a, b); got != 1 {
+		t.Fatalf("Cheb corner wrap = %d, want 1", got)
+	}
+	c := Point{X: 5, Y: 0}
+	if got := tor.Cheb(a, c); got != 5 {
+		t.Fatalf("Cheb(0,0 - 5,0) = %d, want 5", got)
+	}
+}
+
+func TestL1WrapAround(t *testing.T) {
+	tor := NewTorus(10)
+	if got := tor.L1(Point{0, 0}, Point{9, 9}); got != 2 {
+		t.Fatalf("L1 corner wrap = %d, want 2", got)
+	}
+	if got := tor.L1(Point{2, 3}, Point{4, 7}); got != 6 {
+		t.Fatalf("L1 = %d, want 6", got)
+	}
+}
+
+func TestEuclid(t *testing.T) {
+	tor := NewTorus(100)
+	if got := tor.Euclid(Point{0, 0}, Point{3, 4}); got != 5 {
+		t.Fatalf("Euclid 3-4-5 = %v", got)
+	}
+	if got := tor.Euclid(Point{0, 0}, Point{97, 96}); got != 5 {
+		t.Fatalf("Euclid wrapped 3-4-5 = %v", got)
+	}
+}
+
+// Metric axioms, checked for all three metrics with random points.
+func TestQuickMetricAxioms(t *testing.T) {
+	tor := NewTorus(31)
+	norm := func(p Point) Point { return tor.WrapPoint(p) }
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := norm(Point{int(ax), int(ay)})
+		b := norm(Point{int(bx), int(by)})
+		c := norm(Point{int(cx), int(cy)})
+		metrics := []func(Point, Point) int{tor.Cheb, tor.L1}
+		for _, d := range metrics {
+			if d(a, b) != d(b, a) {
+				return false // symmetry
+			}
+			if (d(a, b) == 0) != (a == b) {
+				return false // identity
+			}
+			if d(a, c) > d(a, b)+d(b, c) {
+				return false // triangle inequality
+			}
+		}
+		if tor.Euclid(a, b) != tor.Euclid(b, a) {
+			return false
+		}
+		// Euclidean triangle inequality can be violated only by
+		// floating error; allow a tiny epsilon.
+		if tor.Euclid(a, c) > tor.Euclid(a, b)+tor.Euclid(b, c)+1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSquareCount(t *testing.T) {
+	tor := NewTorus(21)
+	for radius := 0; radius <= 5; radius++ {
+		count := 0
+		seen := map[Point]bool{}
+		tor.Square(Point{10, 10}, radius, func(p Point) {
+			count++
+			seen[p] = true
+		})
+		want := SquareSize(radius)
+		if count != want || len(seen) != want {
+			t.Fatalf("Square radius %d visited %d (%d unique), want %d", radius, count, len(seen), want)
+		}
+	}
+}
+
+func TestSquareMembership(t *testing.T) {
+	tor := NewTorus(15)
+	center := Point{1, 1} // near the corner, so wrap matters
+	const radius = 3
+	inSquare := map[Point]bool{}
+	tor.Square(center, radius, func(p Point) { inSquare[p] = true })
+	for i := 0; i < tor.Sites(); i++ {
+		p := tor.At(i)
+		want := tor.Cheb(center, p) <= radius
+		if inSquare[p] != want {
+			t.Fatalf("site %v: in square %v, want %v", p, inSquare[p], want)
+		}
+	}
+}
+
+func TestSquarePanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrapping square")
+		}
+	}()
+	tor := NewTorus(5)
+	tor.Square(Point{0, 0}, 3, func(Point) {})
+}
+
+func TestSquarePerimeter(t *testing.T) {
+	tor := NewTorus(21)
+	center := Point{10, 10}
+	for radius := 0; radius <= 4; radius++ {
+		seen := map[Point]bool{}
+		tor.SquarePerimeter(center, radius, func(p Point) {
+			if tor.Cheb(center, p) != radius {
+				t.Fatalf("perimeter point %v at distance %d, want %d", p, tor.Cheb(center, p), radius)
+			}
+			if seen[p] {
+				t.Fatalf("perimeter visited %v twice", p)
+			}
+			seen[p] = true
+		})
+		want := 8 * radius
+		if radius == 0 {
+			want = 1
+		}
+		if len(seen) != want {
+			t.Fatalf("perimeter radius %d has %d sites, want %d", radius, len(seen), want)
+		}
+	}
+}
+
+func TestAnnulusMembership(t *testing.T) {
+	tor := NewTorus(41)
+	center := Point{20, 20}
+	inner, outer := 4.0, 9.0
+	seen := map[Point]bool{}
+	tor.Annulus(center, inner, outer, func(p Point) { seen[p] = true })
+	for i := 0; i < tor.Sites(); i++ {
+		p := tor.At(i)
+		d := tor.Euclid(center, p)
+		want := d >= inner && d <= outer
+		if seen[p] != want {
+			t.Fatalf("annulus membership of %v (d=%v): got %v want %v", p, d, seen[p], want)
+		}
+	}
+}
+
+func TestDiscIncludesCenter(t *testing.T) {
+	tor := NewTorus(21)
+	found := false
+	tor.Disc(Point{5, 5}, 3, func(p Point) {
+		if p == (Point{5, 5}) {
+			found = true
+		}
+	})
+	if !found {
+		t.Fatal("disc must include its center")
+	}
+}
+
+func TestNeighbors4And8(t *testing.T) {
+	tor := NewTorus(9)
+	p := Point{0, 0}
+	n4 := map[Point]bool{}
+	tor.Neighbors4(p, func(q Point) { n4[q] = true })
+	if len(n4) != 4 {
+		t.Fatalf("Neighbors4 visited %d sites", len(n4))
+	}
+	for q := range n4 {
+		if tor.L1(p, q) != 1 {
+			t.Fatalf("4-neighbor %v at l1 distance %d", q, tor.L1(p, q))
+		}
+	}
+	n8 := map[Point]bool{}
+	tor.Neighbors8(p, func(q Point) { n8[q] = true })
+	if len(n8) != 8 {
+		t.Fatalf("Neighbors8 visited %d sites", len(n8))
+	}
+	for q := range n8 {
+		if tor.Cheb(p, q) != 1 {
+			t.Fatalf("8-neighbor %v at Chebyshev distance %d", q, tor.Cheb(p, q))
+		}
+	}
+}
+
+func TestSquareSize(t *testing.T) {
+	cases := []struct{ r, want int }{{0, 1}, {1, 9}, {2, 25}, {10, 441}}
+	for _, c := range cases {
+		if got := SquareSize(c.r); got != c.want {
+			t.Errorf("SquareSize(%d) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestNewTorusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTorus(0) must panic")
+		}
+	}()
+	NewTorus(0)
+}

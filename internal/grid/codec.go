@@ -1,0 +1,73 @@
+package grid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary configuration format: a fixed header, bit-packed spins
+// (1 = Plus), and a CRC-32 of everything before it. The format lets
+// experiment runs checkpoint and replay exact configurations.
+const (
+	codecMagic   = "GSEG"
+	codecVersion = 1
+)
+
+// MarshalBinary encodes the lattice. The layout is
+// magic[4] version[1] n[4, big endian] packed-spins[ceil(n^2/8)] crc[4].
+func (l *Lattice) MarshalBinary() ([]byte, error) {
+	sites := l.Sites()
+	packed := (sites + 7) / 8
+	out := make([]byte, 0, 4+1+4+packed+4)
+	out = append(out, codecMagic...)
+	out = append(out, codecVersion)
+	out = binary.BigEndian.AppendUint32(out, uint32(l.n))
+	bits := make([]byte, packed)
+	for i, s := range l.spins {
+		if s == Plus {
+			bits[i/8] |= 1 << (i % 8)
+		}
+	}
+	out = append(out, bits...)
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
+	return out, nil
+}
+
+// UnmarshalBinary decodes a configuration written by MarshalBinary,
+// verifying magic, version, size consistency and checksum.
+func UnmarshalBinary(data []byte) (*Lattice, error) {
+	const headerLen = 4 + 1 + 4
+	if len(data) < headerLen+4 {
+		return nil, errors.New("grid: truncated configuration")
+	}
+	if string(data[:4]) != codecMagic {
+		return nil, errors.New("grid: bad magic")
+	}
+	if data[4] != codecVersion {
+		return nil, fmt.Errorf("grid: unsupported version %d", data[4])
+	}
+	n := int(binary.BigEndian.Uint32(data[5:9]))
+	if n <= 0 || n > 1<<15 {
+		return nil, fmt.Errorf("grid: implausible side length %d", n)
+	}
+	sites := n * n
+	packed := (sites + 7) / 8
+	if len(data) != headerLen+packed+4 {
+		return nil, fmt.Errorf("grid: length %d does not match side %d", len(data), n)
+	}
+	body := data[:len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return nil, errors.New("grid: checksum mismatch")
+	}
+	l := New(n, Minus)
+	bits := data[headerLen : headerLen+packed]
+	for i := 0; i < sites; i++ {
+		if bits[i/8]&(1<<(i%8)) != 0 {
+			l.spins[i] = Plus
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,77 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/rng"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 3, 8, 17, 50} {
+		l := Random(n, 0.5, rng.New(uint64(n)))
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(l) {
+			t.Fatalf("n=%d: round trip mismatch", n)
+		}
+	}
+}
+
+func TestCodecRejectsCorruption(t *testing.T) {
+	l := Random(10, 0.5, rng.New(1))
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)-5] },
+		"bad magic":    func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"bad version":  func(b []byte) []byte { b[4] = 99; return b },
+		"flipped bit":  func(b []byte) []byte { b[12] ^= 1; return b },
+		"bad checksum": func(b []byte) []byte { b[len(b)-1] ^= 1; return b },
+		"empty":        func(b []byte) []byte { return nil },
+	}
+	for name, corrupt := range cases {
+		cp := append([]byte(nil), data...)
+		if _, err := UnmarshalBinary(corrupt(cp)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestCodecRejectsSizeMismatch(t *testing.T) {
+	l := Random(5, 0.5, rng.New(2))
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Claim a different side length; the length check must fire before
+	// any allocation.
+	data[8] = 200
+	if _, err := UnmarshalBinary(data); err == nil {
+		t.Fatal("want error for size mismatch")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := 1 + int(nRaw%30)
+		l := Random(n, 0.5, rng.New(seed))
+		data, err := l.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalBinary(data)
+		return err == nil && back.Equal(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

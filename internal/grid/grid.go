@@ -1,0 +1,261 @@
+// Package grid implements the n x n torus lattice of two-type agents
+// that is the state space of the model: spins valued +1/-1, Bernoulli(p)
+// initial configurations, efficient neighborhood counting (separable
+// sliding-window sums for the extended Moore neighborhood of radius w),
+// and wrap-aware two-dimensional prefix sums for O(1) rectangle queries
+// used by the measurement and renormalization packages.
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/rng"
+)
+
+// Spin is the type of an agent: +1 or -1 (the paper's two agent types).
+type Spin int8
+
+// The two agent types.
+const (
+	Plus  Spin = 1
+	Minus Spin = -1
+)
+
+// Opposite returns the other spin.
+func (s Spin) Opposite() Spin { return -s }
+
+// String returns "+" or "-".
+func (s Spin) String() string {
+	if s == Plus {
+		return "+"
+	}
+	return "-"
+}
+
+// Lattice is an n x n torus of spins. The zero value is not usable;
+// construct with New, Random or Parse.
+type Lattice struct {
+	tor   geom.Torus
+	n     int
+	spins []Spin
+}
+
+// New returns a lattice of side n with every agent of the given spin.
+func New(n int, fill Spin) *Lattice {
+	l := &Lattice{tor: geom.NewTorus(n), n: n, spins: make([]Spin, n*n)}
+	for i := range l.spins {
+		l.spins[i] = fill
+	}
+	return l
+}
+
+// Random returns a lattice whose agents are independently Plus with
+// probability p and Minus otherwise — the paper's initial configuration
+// (Bernoulli distribution of parameter p, with p = 1/2 in the theorems).
+func Random(n int, p float64, src *rng.Source) *Lattice {
+	l := New(n, Minus)
+	for i := range l.spins {
+		if src.Bernoulli(p) {
+			l.spins[i] = Plus
+		}
+	}
+	return l
+}
+
+// Parse builds a lattice from rows of '+' and '-' characters separated by
+// newlines; whitespace-only lines are ignored. All rows must have equal
+// length and the result must be square. This is a testing convenience.
+func Parse(s string) (*Lattice, error) {
+	var rows []string
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line != "" {
+			rows = append(rows, line)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, errors.New("grid: empty input")
+	}
+	n := len(rows)
+	l := New(n, Minus)
+	for y, row := range rows {
+		if len(row) != n {
+			return nil, fmt.Errorf("grid: row %d has length %d, want %d", y, len(row), n)
+		}
+		for x, c := range row {
+			switch c {
+			case '+':
+				l.spins[y*n+x] = Plus
+			case '-':
+				l.spins[y*n+x] = Minus
+			default:
+				return nil, fmt.Errorf("grid: invalid character %q at (%d,%d)", c, x, y)
+			}
+		}
+	}
+	return l, nil
+}
+
+// N returns the side length.
+func (l *Lattice) N() int { return l.n }
+
+// Sites returns the number of agents, n^2.
+func (l *Lattice) Sites() int { return l.n * l.n }
+
+// Torus returns the underlying torus geometry.
+func (l *Lattice) Torus() geom.Torus { return l.tor }
+
+// Spin returns the spin at point p (coordinates are wrapped).
+func (l *Lattice) Spin(p geom.Point) Spin {
+	return l.spins[l.tor.Index(l.tor.WrapPoint(p))]
+}
+
+// SpinAt returns the spin at row-major index i.
+func (l *Lattice) SpinAt(i int) Spin { return l.spins[i] }
+
+// Set assigns the spin at point p (coordinates are wrapped).
+func (l *Lattice) Set(p geom.Point, s Spin) {
+	l.spins[l.tor.Index(l.tor.WrapPoint(p))] = s
+}
+
+// SetAt assigns the spin at row-major index i.
+func (l *Lattice) SetAt(i int, s Spin) { l.spins[i] = s }
+
+// Flip negates the spin at row-major index i and returns the new spin.
+func (l *Lattice) Flip(i int) Spin {
+	l.spins[i] = -l.spins[i]
+	return l.spins[i]
+}
+
+// Clone returns a deep copy.
+func (l *Lattice) Clone() *Lattice {
+	c := &Lattice{tor: l.tor, n: l.n, spins: make([]Spin, len(l.spins))}
+	copy(c.spins, l.spins)
+	return c
+}
+
+// Equal reports whether two lattices have identical size and spins.
+func (l *Lattice) Equal(o *Lattice) bool {
+	if l.n != o.n {
+		return false
+	}
+	for i, s := range l.spins {
+		if o.spins[i] != s {
+			return false
+		}
+	}
+	return true
+}
+
+// CountPlus returns the total number of +1 agents.
+func (l *Lattice) CountPlus() int {
+	c := 0
+	for _, s := range l.spins {
+		if s == Plus {
+			c++
+		}
+	}
+	return c
+}
+
+// PlusInSquare counts the +1 agents in the neighborhood of the given
+// radius centered at p, by direct enumeration. Use WindowCounts for the
+// all-centers version.
+func (l *Lattice) PlusInSquare(p geom.Point, radius int) int {
+	c := 0
+	l.tor.Square(p, radius, func(q geom.Point) {
+		if l.Spin(q) == Plus {
+			c++
+		}
+	})
+	return c
+}
+
+// SameTypeInSquare counts agents in N_radius(p) having the same type as
+// the agent at p, including the agent itself — the numerator of the
+// paper's happiness ratio s(u).
+func (l *Lattice) SameTypeInSquare(p geom.Point, radius int) int {
+	plus := l.PlusInSquare(p, radius)
+	if l.Spin(p) == Plus {
+		return plus
+	}
+	return geom.SquareSize(radius) - plus
+}
+
+// WindowCounts returns, for every site u (row-major), the number of +1
+// agents in the Chebyshev ball of the given radius centered at u. It uses
+// two separable sliding-window passes (rows, then columns) and runs in
+// O(n^2) independent of the radius. It panics if the window wraps onto
+// itself (2*radius+1 > n).
+func (l *Lattice) WindowCounts(radius int) []int32 {
+	if 2*radius+1 > l.n {
+		panic("grid: window larger than torus")
+	}
+	n := l.n
+	// Pass 1: horizontal windows. rowSum[y*n+x] = number of +1 in
+	// row y, columns x-radius .. x+radius (wrapped).
+	rowSum := make([]int32, n*n)
+	for y := 0; y < n; y++ {
+		base := y * n
+		var acc int32
+		for dx := -radius; dx <= radius; dx++ {
+			if l.spins[base+wrap(dx, n)] == Plus {
+				acc++
+			}
+		}
+		rowSum[base] = acc
+		for x := 1; x < n; x++ {
+			// Window moves right: drop x-1-radius, add x+radius.
+			if l.spins[base+wrap(x-1-radius, n)] == Plus {
+				acc--
+			}
+			if l.spins[base+wrap(x+radius, n)] == Plus {
+				acc++
+			}
+			rowSum[base+x] = acc
+		}
+	}
+	// Pass 2: vertical windows over rowSum.
+	out := make([]int32, n*n)
+	for x := 0; x < n; x++ {
+		var acc int32
+		for dy := -radius; dy <= radius; dy++ {
+			acc += rowSum[wrap(dy, n)*n+x]
+		}
+		out[x] = acc
+		for y := 1; y < n; y++ {
+			acc -= rowSum[wrap(y-1-radius, n)*n+x]
+			acc += rowSum[wrap(y+radius, n)*n+x]
+			out[y*n+x] = acc
+		}
+	}
+	return out
+}
+
+func wrap(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// String renders the lattice as rows of '+'/'-' characters.
+func (l *Lattice) String() string {
+	var b strings.Builder
+	b.Grow(l.n * (l.n + 1))
+	for y := 0; y < l.n; y++ {
+		for x := 0; x < l.n; x++ {
+			if l.spins[y*l.n+x] == Plus {
+				b.WriteByte('+')
+			} else {
+				b.WriteByte('-')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,312 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/rng"
+)
+
+func TestSpinBasics(t *testing.T) {
+	if Plus.Opposite() != Minus || Minus.Opposite() != Plus {
+		t.Fatal("Opposite broken")
+	}
+	if Plus.String() != "+" || Minus.String() != "-" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestNewFill(t *testing.T) {
+	l := New(4, Plus)
+	if l.CountPlus() != 16 {
+		t.Fatalf("CountPlus = %d, want 16", l.CountPlus())
+	}
+	l2 := New(4, Minus)
+	if l2.CountPlus() != 0 {
+		t.Fatalf("CountPlus = %d, want 0", l2.CountPlus())
+	}
+}
+
+func TestRandomDeterministicAndMean(t *testing.T) {
+	a := Random(50, 0.5, rng.New(1))
+	b := Random(50, 0.5, rng.New(1))
+	if !a.Equal(b) {
+		t.Fatal("Random must be deterministic for a fixed seed")
+	}
+	frac := float64(a.CountPlus()) / float64(a.Sites())
+	if math.Abs(frac-0.5) > 0.05 {
+		t.Fatalf("plus fraction = %v, want ~0.5", frac)
+	}
+	c := Random(50, 0.9, rng.New(2))
+	frac = float64(c.CountPlus()) / float64(c.Sites())
+	if math.Abs(frac-0.9) > 0.05 {
+		t.Fatalf("plus fraction = %v, want ~0.9", frac)
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	src := `
+		+-+
+		-+-
+		++-
+	`
+	l, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.N() != 3 {
+		t.Fatalf("N = %d", l.N())
+	}
+	if l.Spin(geom.Point{X: 0, Y: 0}) != Plus || l.Spin(geom.Point{X: 1, Y: 0}) != Minus {
+		t.Fatal("parse placed spins incorrectly")
+	}
+	if got, want := l.String(), "+-+\n-+-\n++-\n"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	round, err := Parse(l.String())
+	if err != nil || !round.Equal(l) {
+		t.Fatal("Parse(String()) must round-trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "+-\n+", "+x\n++", "++\n++\n++"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) must fail", bad)
+		}
+	}
+}
+
+func TestSetGetFlipWrap(t *testing.T) {
+	l := New(5, Minus)
+	l.Set(geom.Point{X: -1, Y: -1}, Plus) // wraps to (4,4)
+	if l.Spin(geom.Point{X: 4, Y: 4}) != Plus {
+		t.Fatal("Set must wrap coordinates")
+	}
+	i := l.Torus().Index(geom.Point{X: 4, Y: 4})
+	if got := l.Flip(i); got != Minus {
+		t.Fatalf("Flip returned %v, want Minus", got)
+	}
+	if l.SpinAt(i) != Minus {
+		t.Fatal("Flip did not store the new value")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := Random(10, 0.5, rng.New(3))
+	c := l.Clone()
+	if !c.Equal(l) {
+		t.Fatal("clone differs")
+	}
+	c.SetAt(0, c.SpinAt(0).Opposite())
+	if c.Equal(l) {
+		t.Fatal("mutating clone affected original")
+	}
+}
+
+func TestEqualDifferentSizes(t *testing.T) {
+	if New(3, Plus).Equal(New(4, Plus)) {
+		t.Fatal("different sizes must not be equal")
+	}
+}
+
+func TestSameTypeInSquareHandCase(t *testing.T) {
+	l, err := Parse(`
+		+-+
+		-+-
+		++-
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Radius 1 around (1,1): the whole 3x3 grid (torus). 5 plus, 4 minus;
+	// center is +, so same-type = 5.
+	c := geom.Point{X: 1, Y: 1}
+	if got := l.SameTypeInSquare(c, 1); got != 5 {
+		t.Fatalf("SameTypeInSquare = %d, want 5", got)
+	}
+	// Flip center to minus: same-type = 5 now counts minus agents = 5.
+	l.Set(c, Minus)
+	if got := l.SameTypeInSquare(c, 1); got != 5 {
+		t.Fatalf("SameTypeInSquare after flip = %d, want 5", got)
+	}
+}
+
+func TestWindowCountsMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct{ n, radius int }{
+		{5, 0}, {5, 1}, {5, 2}, {9, 2}, {9, 4}, {16, 3}, {17, 8},
+	} {
+		l := Random(tc.n, 0.5, rng.New(uint64(tc.n*100+tc.radius)))
+		counts := l.WindowCounts(tc.radius)
+		for i := 0; i < l.Sites(); i++ {
+			p := l.Torus().At(i)
+			want := l.PlusInSquare(p, tc.radius)
+			if int(counts[i]) != want {
+				t.Fatalf("n=%d r=%d site %v: window %d, brute %d",
+					tc.n, tc.radius, p, counts[i], want)
+			}
+		}
+	}
+}
+
+func TestWindowCountsPanicsOnOversizedWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(5, Plus).WindowCounts(3)
+}
+
+func TestPrefixMatchesBruteForce(t *testing.T) {
+	l := Random(13, 0.5, rng.New(7))
+	p := NewPrefix(l)
+	// All squares at all centers for several radii.
+	for radius := 0; radius <= 5; radius++ {
+		for i := 0; i < l.Sites(); i++ {
+			c := l.Torus().At(i)
+			want := l.PlusInSquare(c, radius)
+			if got := p.PlusInSquare(c, radius); got != want {
+				t.Fatalf("radius %d center %v: prefix %d, brute %d", radius, c, got, want)
+			}
+		}
+	}
+}
+
+func TestPrefixRectWrapDecomposition(t *testing.T) {
+	l := Random(8, 0.5, rng.New(9))
+	p := NewPrefix(l)
+	brute := func(x0, y0, wd, ht int) int {
+		c := 0
+		for dy := 0; dy < ht; dy++ {
+			for dx := 0; dx < wd; dx++ {
+				if l.Spin(geom.Point{X: x0 + dx, Y: y0 + dy}) == Plus {
+					c++
+				}
+			}
+		}
+		return c
+	}
+	for x0 := -3; x0 < 11; x0++ {
+		for y0 := -3; y0 < 11; y0++ {
+			for wd := 0; wd <= 8; wd++ {
+				for ht := 0; ht <= 8; ht++ {
+					if got, want := p.PlusInRect(x0, y0, wd, ht), brute(x0, y0, wd, ht); got != want {
+						t.Fatalf("rect (%d,%d,%d,%d): prefix %d, brute %d", x0, y0, wd, ht, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPrefixFullGrid(t *testing.T) {
+	l := Random(10, 0.5, rng.New(11))
+	p := NewPrefix(l)
+	if got := p.PlusInRect(0, 0, 10, 10); got != l.CountPlus() {
+		t.Fatalf("full-grid count %d, want %d", got, l.CountPlus())
+	}
+	plus, minus := p.CountsInRect(0, 0, 10, 10)
+	if plus+minus != 100 {
+		t.Fatalf("counts %d + %d != 100", plus, minus)
+	}
+}
+
+func TestPrefixPanicsOnBadSize(t *testing.T) {
+	p := NewPrefix(New(5, Plus))
+	for _, f := range []func(){
+		func() { p.PlusInRect(0, 0, 6, 1) },
+		func() { p.PlusInRect(0, 0, -1, 1) },
+		func() { p.PlusInSquare(geom.Point{}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMinorityRatio(t *testing.T) {
+	mono := New(5, Plus)
+	p := NewPrefix(mono)
+	if got := p.MinorityRatioInSquare(geom.Point{X: 2, Y: 2}, 2); got != 0 {
+		t.Fatalf("monochromatic ratio = %v, want 0", got)
+	}
+	l, err := Parse(`
+		+++
+		+-+
+		+++
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := NewPrefix(l)
+	if got := p2.MinorityRatioInSquare(geom.Point{X: 1, Y: 1}, 1); math.Abs(got-1.0/8) > 1e-12 {
+		t.Fatalf("ratio = %v, want 1/8", got)
+	}
+}
+
+func TestPrefixIsSnapshot(t *testing.T) {
+	l := New(4, Minus)
+	p := NewPrefix(l)
+	l.SetAt(0, Plus)
+	if p.PlusInRect(0, 0, 4, 4) != 0 {
+		t.Fatal("prefix must be a snapshot, not a live view")
+	}
+}
+
+// Property: window counts at a random site equal the brute-force count,
+// over random lattices, sizes, and radii.
+func TestQuickWindowCounts(t *testing.T) {
+	f := func(seed uint64, nRaw, rRaw uint8) bool {
+		n := 5 + int(nRaw%12) // 5..16
+		maxR := (n - 1) / 2
+		radius := int(rRaw) % (maxR + 1)
+		l := Random(n, 0.5, rng.New(seed))
+		counts := l.WindowCounts(radius)
+		i := int(seed % uint64(l.Sites()))
+		return int(counts[i]) == l.PlusInSquare(l.Torus().At(i), radius)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: prefix square counts equal brute force at random points.
+func TestQuickPrefixSquare(t *testing.T) {
+	f := func(seed uint64, nRaw, rRaw uint8) bool {
+		n := 5 + int(nRaw%12)
+		maxR := (n - 1) / 2
+		radius := int(rRaw) % (maxR + 1)
+		l := Random(n, 0.5, rng.New(seed))
+		p := NewPrefix(l)
+		i := int(seed % uint64(l.Sites()))
+		c := l.Torus().At(i)
+		return p.PlusInSquare(c, radius) == l.PlusInSquare(c, radius)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWindowCounts(b *testing.B) {
+	l := Random(512, 0.5, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = l.WindowCounts(10)
+	}
+}
+
+func BenchmarkPrefixBuild(b *testing.B) {
+	l := Random(512, 0.5, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewPrefix(l)
+	}
+}

@@ -1,0 +1,114 @@
+package grid
+
+import "gridseg/internal/geom"
+
+// Prefix holds two-dimensional prefix sums of the +1 indicator over a
+// lattice snapshot, enabling O(1) counts of +1 (and hence -1) agents in
+// arbitrary axis-aligned rectangles, with torus wrap-around handled by
+// decomposition into at most four non-wrapping rectangles.
+//
+// A Prefix is a snapshot: it does not track later mutations of the
+// lattice it was built from.
+type Prefix struct {
+	n   int
+	sum []int32 // (n+1) x (n+1), sum[y][x] = count in [0,x) x [0,y)
+}
+
+// NewPrefix builds prefix sums from the current state of l.
+func NewPrefix(l *Lattice) *Prefix {
+	n := l.n
+	p := &Prefix{n: n, sum: make([]int32, (n+1)*(n+1))}
+	w := n + 1
+	for y := 0; y < n; y++ {
+		var rowAcc int32
+		for x := 0; x < n; x++ {
+			if l.spins[y*n+x] == Plus {
+				rowAcc++
+			}
+			p.sum[(y+1)*w+(x+1)] = p.sum[y*w+(x+1)] + rowAcc
+		}
+	}
+	return p
+}
+
+// N returns the side length of the underlying lattice.
+func (p *Prefix) N() int { return p.n }
+
+// flatRect counts +1 agents in the non-wrapping rectangle
+// [x0, x0+wd) x [y0, y0+ht) with 0 <= x0, x0+wd <= n.
+func (p *Prefix) flatRect(x0, y0, wd, ht int) int {
+	w := p.n + 1
+	x1, y1 := x0+wd, y0+ht
+	return int(p.sum[y1*w+x1] - p.sum[y0*w+x1] - p.sum[y1*w+x0] + p.sum[y0*w+x0])
+}
+
+// PlusInRect counts +1 agents in the torus rectangle of width wd and
+// height ht whose top-left corner is (x0, y0). Coordinates are wrapped;
+// wd and ht must be in [0, n]. It panics on out-of-range sizes.
+func (p *Prefix) PlusInRect(x0, y0, wd, ht int) int {
+	if wd < 0 || ht < 0 || wd > p.n || ht > p.n {
+		panic("grid: rectangle size out of range")
+	}
+	if wd == 0 || ht == 0 {
+		return 0
+	}
+	x0 = wrap(x0, p.n)
+	y0 = wrap(y0, p.n)
+	// Split each axis into a part before the wrap and a part after.
+	xSpans := [][2]int{{x0, min(wd, p.n-x0)}}
+	if x0+wd > p.n {
+		xSpans = append(xSpans, [2]int{0, x0 + wd - p.n})
+	}
+	ySpans := [][2]int{{y0, min(ht, p.n-y0)}}
+	if y0+ht > p.n {
+		ySpans = append(ySpans, [2]int{0, y0 + ht - p.n})
+	}
+	total := 0
+	for _, xs := range xSpans {
+		for _, ys := range ySpans {
+			total += p.flatRect(xs[0], ys[0], xs[1], ys[1])
+		}
+	}
+	return total
+}
+
+// PlusInSquare counts +1 agents in the neighborhood N_radius centered at
+// c, in O(1). Matches Lattice.PlusInSquare on the snapshot.
+func (p *Prefix) PlusInSquare(c geom.Point, radius int) int {
+	side := 2*radius + 1
+	if side > p.n {
+		panic("grid: square larger than torus")
+	}
+	return p.PlusInRect(c.X-radius, c.Y-radius, side, side)
+}
+
+// CountsInRect returns the (+1, -1) agent counts of a torus rectangle.
+func (p *Prefix) CountsInRect(x0, y0, wd, ht int) (plus, minus int) {
+	plus = p.PlusInRect(x0, y0, wd, ht)
+	return plus, wd*ht - plus
+}
+
+// MinorityRatioInSquare returns minority/majority counts for the square
+// neighborhood N_radius centered at c: the quantity bounded by e^{-eps N}
+// in the definition of an almost monochromatic region. A fully
+// monochromatic square has ratio 0. An empty square returns 0.
+func (p *Prefix) MinorityRatioInSquare(c geom.Point, radius int) float64 {
+	plus := p.PlusInSquare(c, radius)
+	total := geom.SquareSize(radius)
+	minus := total - plus
+	lo, hi := plus, minus
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if hi == 0 {
+		return 0
+	}
+	return float64(lo) / float64(hi)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,131 @@
+// Package ising provides the statistical-physics view of the model that
+// the paper invokes (Section I.A): the Schelling process at tau = 1/2 is
+// a zero-temperature Ising model with Glauber dynamics on the extended
+// Moore neighborhood graph. The package computes the Hamiltonian,
+// magnetization, local fields, domain-wall density and two-point
+// correlations of a lattice configuration, and exposes the rule
+// equivalence as a checkable predicate.
+package ising
+
+import (
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+)
+
+// Magnetization returns (n_plus - n_minus) / n^2 in [-1, 1].
+func Magnetization(l *grid.Lattice) float64 {
+	plus := l.CountPlus()
+	total := l.Sites()
+	return float64(2*plus-total) / float64(total)
+}
+
+// LocalField returns the field h(u) = sum of spins over N_w(u) \ {u}:
+// positive when the neighborhood leans +1. The spin of u itself is
+// excluded, matching the physics convention.
+func LocalField(l *grid.Lattice, u geom.Point, w int, counts []int32) int {
+	nbhd := geom.SquareSize(w)
+	i := l.Torus().Index(l.Torus().WrapPoint(u))
+	plus := int(counts[i])
+	field := 2*plus - nbhd // sum of spins including u
+	return field - int(l.SpinAt(i))
+}
+
+// Energy returns the extended-Moore Hamiltonian
+// H = -(1/2) sum_u s(u) h(u), i.e. minus the number of aligned
+// interacting pairs plus the number of misaligned ones, each pair
+// counted once. A monochromatic lattice minimizes it.
+func Energy(l *grid.Lattice, w int) float64 {
+	counts := l.WindowCounts(w)
+	var acc int64
+	tor := l.Torus()
+	for i := 0; i < l.Sites(); i++ {
+		h := LocalField(l, tor.At(i), w, counts)
+		acc += int64(l.SpinAt(i)) * int64(h)
+	}
+	return -float64(acc) / 2
+}
+
+// DomainWallDensity returns the fraction of misaligned nearest-neighbor
+// (4-adjacency) pairs, the standard zero-temperature coarsening
+// observable: 0 when fully ordered.
+func DomainWallDensity(l *grid.Lattice) float64 {
+	n := l.N()
+	mismatched := 0
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			s := l.Spin(geom.Point{X: x, Y: y})
+			if l.Spin(geom.Point{X: x + 1, Y: y}) != s {
+				mismatched++
+			}
+			if l.Spin(geom.Point{X: x, Y: y + 1}) != s {
+				mismatched++
+			}
+		}
+	}
+	return float64(mismatched) / float64(2*n*n)
+}
+
+// Correlation returns the two-point function C(r) = <s(u) s(u+r e_x)>
+// averaged over all sites and both axis directions, for r = 0..rMax.
+// C(0) = 1 always; segregated configurations have slowly decaying C.
+func Correlation(l *grid.Lattice, rMax int) []float64 {
+	n := l.N()
+	if rMax >= n/2 {
+		rMax = n/2 - 1
+	}
+	if rMax < 0 {
+		rMax = 0
+	}
+	out := make([]float64, rMax+1)
+	for r := 0; r <= rMax; r++ {
+		var acc int64
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				s := int64(l.Spin(geom.Point{X: x, Y: y}))
+				acc += s * int64(l.Spin(geom.Point{X: x + r, Y: y}))
+				acc += s * int64(l.Spin(geom.Point{X: x, Y: y + r}))
+			}
+		}
+		out[r] = float64(acc) / float64(2*n*n)
+	}
+	return out
+}
+
+// MajorityFlipLowersEnergy reports whether flipping the agent at u
+// strictly lowers the Hamiltonian — the zero-temperature Glauber
+// acceptance rule. Flipping changes the energy by 2 s(u) h(u), so this
+// holds iff the spin opposes its local field.
+func MajorityFlipLowersEnergy(l *grid.Lattice, u geom.Point, w int, counts []int32) bool {
+	i := l.Torus().Index(l.Torus().WrapPoint(u))
+	h := LocalField(l, u, w, counts)
+	return int(l.SpinAt(i))*h < 0
+}
+
+// SchellingFlipAdmissible mirrors the model's flip rule for threshold
+// thresh over neighborhood size N: unhappy and flip-makes-happy.
+func SchellingFlipAdmissible(l *grid.Lattice, u geom.Point, w, thresh int, counts []int32) bool {
+	i := l.Torus().Index(l.Torus().WrapPoint(u))
+	nbhd := geom.SquareSize(w)
+	plus := int(counts[i])
+	same := plus
+	if l.SpinAt(i) == grid.Minus {
+		same = nbhd - plus
+	}
+	return same < thresh && nbhd-same+1 >= thresh
+}
+
+// EquivalenceAtHalf checks, for a single site, the Section I.A
+// correspondence: at tau = 1/2 (threshold ceil(N/2)), the Schelling flip
+// rule agrees with the strict-majority (energy-lowering) rule of the
+// zero-temperature Ising-Glauber dynamic.
+//
+// In detail: with N = (2w+1)^2 odd, same(u) < ceil(N/2) means strictly
+// fewer than half the sites of N(u) share u's type, i.e.
+// s(u)*h(u) < -1 < 0 (h excludes u), so the flip lowers the energy; and
+// conversely.
+func EquivalenceAtHalf(l *grid.Lattice, u geom.Point, w int, counts []int32) bool {
+	nbhd := geom.SquareSize(w)
+	thresh := (nbhd + 1) / 2 // ceil(N/2) for odd N = ceil(0.5*N)
+	return SchellingFlipAdmissible(l, u, w, thresh, counts) ==
+		MajorityFlipLowersEnergy(l, u, w, counts)
+}

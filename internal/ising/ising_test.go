@@ -1,0 +1,173 @@
+package ising
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func TestMagnetization(t *testing.T) {
+	if got := Magnetization(grid.New(6, grid.Plus)); got != 1 {
+		t.Fatalf("all-plus magnetization = %v, want 1", got)
+	}
+	if got := Magnetization(grid.New(6, grid.Minus)); got != -1 {
+		t.Fatalf("all-minus magnetization = %v, want -1", got)
+	}
+	l := grid.Random(64, 0.5, rng.New(1))
+	if got := Magnetization(l); math.Abs(got) > 0.1 {
+		t.Fatalf("balanced magnetization = %v, want ~0", got)
+	}
+}
+
+func TestLocalFieldHandCase(t *testing.T) {
+	// All-minus lattice: for any u, h = -(N-1).
+	l := grid.New(9, grid.Minus)
+	counts := l.WindowCounts(1)
+	h := LocalField(l, geom.Point{X: 4, Y: 4}, 1, counts)
+	if h != -8 {
+		t.Fatalf("h = %d, want -8", h)
+	}
+	// Flip the center: field at the center unchanged (excludes self).
+	l.Set(geom.Point{X: 4, Y: 4}, grid.Plus)
+	counts = l.WindowCounts(1)
+	if h := LocalField(l, geom.Point{X: 4, Y: 4}, 1, counts); h != -8 {
+		t.Fatalf("h after self flip = %d, want -8", h)
+	}
+	// A neighbor now sees field -8 + 2 = -6.
+	if h := LocalField(l, geom.Point{X: 3, Y: 4}, 1, counts); h != -6 {
+		t.Fatalf("neighbor h = %d, want -6", h)
+	}
+}
+
+func TestEnergyGroundState(t *testing.T) {
+	// Monochromatic: every ordered pair aligned; H = -n^2 (N-1)/2.
+	l := grid.New(9, grid.Plus)
+	got := Energy(l, 1)
+	want := -float64(81*8) / 2
+	if got != want {
+		t.Fatalf("ground energy = %v, want %v", got, want)
+	}
+	// Symmetric under global flip.
+	if Energy(grid.New(9, grid.Minus), 1) != want {
+		t.Fatal("energy must be spin-flip symmetric")
+	}
+}
+
+func TestEnergyDecreasesUnderDynamicsAtHalf(t *testing.T) {
+	l := grid.Random(24, 0.5, rng.New(3))
+	proc, err := dynamics.New(l, 1, 0.5, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := Energy(l, 1)
+	for i := 0; i < 100; i++ {
+		if _, ok := proc.Step(); !ok {
+			break
+		}
+		e := Energy(l, 1)
+		if e >= prev {
+			t.Fatalf("energy did not strictly decrease at tau=1/2: %v -> %v", prev, e)
+		}
+		prev = e
+	}
+}
+
+func TestDomainWallDensity(t *testing.T) {
+	if got := DomainWallDensity(grid.New(8, grid.Plus)); got != 0 {
+		t.Fatalf("ordered wall density = %v, want 0", got)
+	}
+	l := grid.Random(64, 0.5, rng.New(5))
+	got := DomainWallDensity(l)
+	if math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("disordered wall density = %v, want ~0.5", got)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	l := grid.Random(64, 0.5, rng.New(7))
+	c := Correlation(l, 5)
+	if len(c) != 6 {
+		t.Fatalf("len = %d", len(c))
+	}
+	if c[0] != 1 {
+		t.Fatalf("C(0) = %v, want 1", c[0])
+	}
+	// Independent spins: correlations near zero for r >= 1.
+	for r := 1; r <= 5; r++ {
+		if math.Abs(c[r]) > 0.1 {
+			t.Fatalf("C(%d) = %v, want ~0 for i.i.d. spins", r, c[r])
+		}
+	}
+	// Ordered lattice: correlation 1 at every distance.
+	mono := Correlation(grid.New(16, grid.Minus), 4)
+	for r, v := range mono {
+		if v != 1 {
+			t.Fatalf("ordered C(%d) = %v, want 1", r, v)
+		}
+	}
+}
+
+func TestCorrelationClampsRange(t *testing.T) {
+	l := grid.New(8, grid.Plus)
+	c := Correlation(l, 100)
+	if len(c) != 4 { // rMax clamped to n/2 - 1 = 3
+		t.Fatalf("len = %d, want 4", len(c))
+	}
+}
+
+// The Section I.A equivalence: at tau = 1/2 the Schelling flip rule is
+// exactly the energy-lowering (strict majority) rule, at every site of
+// random configurations.
+func TestQuickEquivalenceAtHalf(t *testing.T) {
+	f := func(seed uint64) bool {
+		l := grid.Random(12, 0.5, rng.New(seed))
+		counts := l.WindowCounts(1)
+		for i := 0; i < l.Sites(); i++ {
+			if !EquivalenceAtHalf(l, l.Torus().At(i), 1, counts) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Segregation raises correlations: after running the process, C(r) at
+// short range must exceed the initial (near-zero) value.
+func TestSegregationRaisesCorrelation(t *testing.T) {
+	l := grid.Random(48, 0.5, rng.New(9))
+	before := Correlation(l, 3)
+	proc, err := dynamics.New(l, 2, 0.45, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Run(0)
+	after := Correlation(l, 3)
+	if after[2] <= before[2]+0.1 {
+		t.Fatalf("C(2): before %v, after %v; segregation must raise it", before[2], after[2])
+	}
+}
+
+func TestSchellingFlipAdmissibleMatchesDynamics(t *testing.T) {
+	l := grid.Random(16, 0.5, rng.New(11))
+	proc, err := dynamics.New(l.Clone(), 2, 0.42, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := l.WindowCounts(2)
+	thresh := proc.Threshold()
+	for i := 0; i < l.Sites(); i++ {
+		want := proc.Flippable(i)
+		got := SchellingFlipAdmissible(l, l.Torus().At(i), 2, thresh, counts)
+		if got != want {
+			t.Fatalf("site %d: ising view %v, dynamics %v", i, got, want)
+		}
+	}
+}

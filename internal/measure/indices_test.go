@@ -1,0 +1,195 @@
+package measure
+
+import (
+	"math"
+	"testing"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func TestCountBlocksValidation(t *testing.T) {
+	l := grid.New(10, grid.Plus)
+	if _, err := CountBlocks(l, 3); err == nil {
+		t.Fatal("want error when m does not divide n")
+	}
+	if _, err := CountBlocks(l, 0); err == nil {
+		t.Fatal("want error for zero block side")
+	}
+}
+
+func TestCountBlocksTotals(t *testing.T) {
+	l := grid.Random(12, 0.5, rng.New(1))
+	bc, err := CountBlocks(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc.Side != 3 || len(bc.Plus) != 9 {
+		t.Fatalf("layout: side=%d blocks=%d", bc.Side, len(bc.Plus))
+	}
+	sum := 0
+	for _, p := range bc.Plus {
+		sum += p
+	}
+	if sum != l.CountPlus() {
+		t.Fatalf("block plus sum %d != lattice %d", sum, l.CountPlus())
+	}
+	for _, tot := range bc.Total {
+		if tot != 16 {
+			t.Fatalf("block total %d, want 16", tot)
+		}
+	}
+}
+
+func TestDissimilarityExtremes(t *testing.T) {
+	// Perfectly separated halves: D = 1.
+	l := grid.New(8, grid.Minus)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 4; x++ {
+			l.Set(geom.Point{X: x, Y: y}, grid.Plus)
+		}
+	}
+	bc, err := CountBlocks(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := bc.Dissimilarity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Fatalf("separated halves D = %v, want 1", d)
+	}
+	// Perfectly even blocks: D = 0 (checkerboard at any block size).
+	cb := grid.New(8, grid.Minus)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if (x+y)%2 == 0 {
+				cb.Set(geom.Point{X: x, Y: y}, grid.Plus)
+			}
+		}
+	}
+	bc2, err := CountBlocks(cb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := bc2.Dissimilarity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 != 0 {
+		t.Fatalf("checkerboard D = %v, want 0", d2)
+	}
+}
+
+func TestDissimilarityUndefinedMonochromatic(t *testing.T) {
+	bc, err := CountBlocks(grid.New(8, grid.Plus), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bc.Dissimilarity(); err == nil {
+		t.Fatal("want error for monochromatic lattice")
+	}
+}
+
+func TestIsolationAndExposure(t *testing.T) {
+	// Separated halves: every plus agent lives in an all-plus block:
+	// isolation 1, exposure 0.
+	l := grid.New(8, grid.Minus)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 4; x++ {
+			l.Set(geom.Point{X: x, Y: y}, grid.Plus)
+		}
+	}
+	bc, err := CountBlocks(l, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso, err := bc.Isolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iso-1) > 1e-12 {
+		t.Fatalf("isolation = %v, want 1", iso)
+	}
+	exp, err := bc.Exposure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exp) > 1e-12 {
+		t.Fatalf("exposure = %v, want 0", exp)
+	}
+	// Checkerboard: every block is half plus: isolation 1/2.
+	cb := grid.New(8, grid.Minus)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if (x+y)%2 == 0 {
+				cb.Set(geom.Point{X: x, Y: y}, grid.Plus)
+			}
+		}
+	}
+	bc2, _ := CountBlocks(cb, 4)
+	iso2, err := bc2.Isolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(iso2-0.5) > 1e-12 {
+		t.Fatalf("checkerboard isolation = %v, want 0.5", iso2)
+	}
+}
+
+func TestIsolationUndefinedWithoutPlus(t *testing.T) {
+	bc, err := CountBlocks(grid.New(8, grid.Minus), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bc.Isolation(); err == nil {
+		t.Fatal("want error without plus agents")
+	}
+	if _, err := bc.Exposure(); err == nil {
+		t.Fatal("want error without plus agents")
+	}
+}
+
+// The segregation process must raise both D and isolation relative to
+// the initial random configuration.
+func TestIndicesRiseUnderDynamics(t *testing.T) {
+	l := grid.Random(48, 0.5, rng.New(5))
+	before, err := CountBlocks(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, err := before.Dissimilarity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso0, err := before.Isolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := dynamics.New(l, 2, 0.45, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc.Run(0)
+	after, err := CountBlocks(l, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := after.Dissimilarity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iso1, err := after.Isolation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 <= d0 {
+		t.Fatalf("dissimilarity must rise: %v -> %v", d0, d1)
+	}
+	if iso1 <= iso0 {
+		t.Fatalf("isolation must rise: %v -> %v", iso0, iso1)
+	}
+}

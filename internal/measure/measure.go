@@ -1,0 +1,312 @@
+// Package measure computes the segregation observables the paper's
+// theorems are about: the monochromatic region M(u) of an agent (the
+// largest-radius neighborhood of a single type containing u, Section
+// II.A), the almost monochromatic region M'(u) (minority/majority ratio
+// below a vanishing bound), connected same-type clusters, and summary
+// segregation indices used by the experiment harness.
+package measure
+
+import (
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+)
+
+// Unreachable marks sites with no opposite-type agent on the lattice
+// (monochromatic lattice) in distance fields.
+const Unreachable = int32(-1)
+
+// distanceToSpin returns, for every site, the Chebyshev (king-move)
+// distance to the nearest site of the given spin, via multi-source BFS.
+// Sites of the given spin have distance 0; if the lattice contains no
+// such site every entry is Unreachable.
+func distanceToSpin(l *grid.Lattice, s grid.Spin) []int32 {
+	n := l.N()
+	dist := make([]int32, l.Sites())
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int32, 0, l.Sites())
+	for i := 0; i < l.Sites(); i++ {
+		if l.SpinAt(i) == s {
+			dist[i] = 0
+			queue = append(queue, int32(i))
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		i := int(queue[head])
+		d := dist[i]
+		x0, y0 := i%n, i/n
+		for dy := -1; dy <= 1; dy++ {
+			y := y0 + dy
+			if y < 0 {
+				y += n
+			} else if y >= n {
+				y -= n
+			}
+			row := y * n
+			for dx := -1; dx <= 1; dx++ {
+				if dx == 0 && dy == 0 {
+					continue
+				}
+				x := x0 + dx
+				if x < 0 {
+					x += n
+				} else if x >= n {
+					x -= n
+				}
+				j := row + x
+				if dist[j] == Unreachable {
+					dist[j] = d + 1
+					queue = append(queue, int32(j))
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// OppositeDistances returns, for every site, the Chebyshev distance to
+// the nearest agent of the opposite type (>= 1), or Unreachable on a
+// monochromatic lattice.
+func OppositeDistances(l *grid.Lattice) []int32 {
+	toPlus := distanceToSpin(l, grid.Plus)
+	toMinus := distanceToSpin(l, grid.Minus)
+	out := make([]int32, l.Sites())
+	for i := range out {
+		if l.SpinAt(i) == grid.Plus {
+			out[i] = toMinus[i]
+		} else {
+			out[i] = toPlus[i]
+		}
+	}
+	return out
+}
+
+// maxRadiusCap returns the largest neighborhood radius that does not wrap
+// the torus onto itself: (n-1)/2.
+func maxRadiusCap(n int) int { return (n - 1) / 2 }
+
+// CenteredRadii returns, for every site c, the largest radius r such that
+// the neighborhood N_r(c) is monochromatic, capped at (n-1)/2. On a
+// monochromatic lattice every entry equals the cap.
+func CenteredRadii(l *grid.Lattice) []int32 {
+	opp := OppositeDistances(l)
+	cap32 := int32(maxRadiusCap(l.N()))
+	out := make([]int32, len(opp))
+	for i, d := range opp {
+		switch {
+		case d == Unreachable:
+			out[i] = cap32
+		default:
+			r := d - 1
+			if r > cap32 {
+				r = cap32
+			}
+			out[i] = r
+		}
+	}
+	return out
+}
+
+// MonoRegionSize returns M(u): the size (agent count) of the largest
+// monochromatic neighborhood (square of odd side) that contains u, using
+// precomputed centered radii. The minimum is 1 (the agent itself).
+//
+// M(u) = max over centers c with cheb(u,c) <= r(c) of (2 r(c)+1)^2:
+// any monochromatic square of radius r(c) centered at c contains u
+// exactly when u is within Chebyshev distance r(c) of c.
+func MonoRegionSize(l *grid.Lattice, radii []int32, u geom.Point) int {
+	tor := l.Torus()
+	rcap := maxRadiusCap(l.N())
+	best := int32(0) // radius r(u) >= 0 always qualifies at d = 0
+	// Scan rings of centers outward; a center at distance d qualifies
+	// iff r(c) >= d. No center beyond rcap can qualify.
+	for d := 0; d <= rcap; d++ {
+		scan := func(p geom.Point) {
+			r := radii[tor.Index(p)]
+			if int(r) >= d && r > best {
+				best = r
+			}
+		}
+		if d == 0 {
+			scan(u)
+			continue
+		}
+		tor.SquarePerimeter(u, d, scan)
+	}
+	return geom.SquareSize(int(best))
+}
+
+// MonoRegionRadius returns the radius of the largest monochromatic
+// neighborhood containing u; see MonoRegionSize.
+func MonoRegionRadius(l *grid.Lattice, radii []int32, u geom.Point) int {
+	size := MonoRegionSize(l, radii, u)
+	// size = (2r+1)^2; invert.
+	side := 1
+	for side*side < size {
+		side += 2
+	}
+	return (side - 1) / 2
+}
+
+// AlmostMonoSize returns M'(u): the size of the largest neighborhood
+// (square of odd side, radius at most rcap) containing u whose
+// minority/majority agent-count ratio is at most beta — the paper's
+// almost monochromatic region with beta = e^{-eps N}. The prefix must be
+// a snapshot of l. The minimum is 1. rcap <= 0 means the torus maximum.
+func AlmostMonoSize(l *grid.Lattice, pre *grid.Prefix, u geom.Point, beta float64, rcap int) int {
+	tor := l.Torus()
+	maxR := maxRadiusCap(l.N())
+	if rcap > 0 && rcap < maxR {
+		maxR = rcap
+	}
+	best := 0
+	// For each candidate radius rho (descending), look for any center
+	// within distance rho of u whose square of radius rho satisfies the
+	// ratio bound. Descending order lets us stop at the first success.
+	for rho := maxR; rho >= 0; rho-- {
+		found := false
+		for dy := -rho; dy <= rho && !found; dy++ {
+			for dx := -rho; dx <= rho && !found; dx++ {
+				c := tor.Add(u, dx, dy)
+				if pre.MinorityRatioInSquare(c, rho) <= beta {
+					found = true
+				}
+			}
+		}
+		if found {
+			best = rho
+			break
+		}
+	}
+	return geom.SquareSize(best)
+}
+
+// ClusterStats summarizes the connected same-type clusters of a lattice
+// under 4-adjacency.
+type ClusterStats struct {
+	Count        int   // number of clusters
+	Sizes        []int // size of every cluster, unordered
+	LargestPlus  int   // largest +1 cluster size (0 if none)
+	LargestMinus int   // largest -1 cluster size (0 if none)
+}
+
+// Clusters labels the connected same-spin components (4-adjacency, torus)
+// and returns their statistics together with the per-site cluster sizes.
+func Clusters(l *grid.Lattice) (ClusterStats, []int32) {
+	n := l.N()
+	sites := l.Sites()
+	label := make([]int32, sites)
+	for i := range label {
+		label[i] = -1
+	}
+	var stats ClusterStats
+	queue := make([]int32, 0, sites)
+	clusterSize := make([]int32, 0)
+	for start := 0; start < sites; start++ {
+		if label[start] != -1 {
+			continue
+		}
+		id := int32(len(clusterSize))
+		spin := l.SpinAt(start)
+		label[start] = id
+		queue = append(queue[:0], int32(start))
+		size := 0
+		for head := 0; head < len(queue); head++ {
+			i := int(queue[head])
+			size++
+			x0, y0 := i%n, i/n
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				x := x0 + d[0]
+				if x < 0 {
+					x += n
+				} else if x >= n {
+					x -= n
+				}
+				y := y0 + d[1]
+				if y < 0 {
+					y += n
+				} else if y >= n {
+					y -= n
+				}
+				j := y*n + x
+				if label[j] == -1 && l.SpinAt(j) == spin {
+					label[j] = id
+					queue = append(queue, int32(j))
+				}
+			}
+		}
+		clusterSize = append(clusterSize, int32(size))
+		stats.Sizes = append(stats.Sizes, size)
+		if spin == grid.Plus {
+			if size > stats.LargestPlus {
+				stats.LargestPlus = size
+			}
+		} else if size > stats.LargestMinus {
+			stats.LargestMinus = size
+		}
+	}
+	stats.Count = len(stats.Sizes)
+	perSite := make([]int32, sites)
+	for i := range perSite {
+		perSite[i] = clusterSize[label[i]]
+	}
+	return stats, perSite
+}
+
+// InterfaceDensity returns the fraction of 4-adjacent site pairs with
+// opposite spins: 0 on a monochromatic lattice, ~1/2 on an independent
+// half-half lattice. It is a standard domain-wall density observable.
+func InterfaceDensity(l *grid.Lattice) float64 {
+	n := l.N()
+	mismatched := 0
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			s := l.Spin(geom.Point{X: x, Y: y})
+			if l.Spin(geom.Point{X: x + 1, Y: y}) != s {
+				mismatched++
+			}
+			if l.Spin(geom.Point{X: x, Y: y + 1}) != s {
+				mismatched++
+			}
+		}
+	}
+	return float64(mismatched) / float64(2*n*n)
+}
+
+// MeanSameFraction returns the average over agents of s(u), the fraction
+// of same-type agents in the radius-w neighborhood (including u). It is
+// 1 on a monochromatic lattice and ~1/2 on an independent half-half one.
+func MeanSameFraction(l *grid.Lattice, w int) float64 {
+	counts := l.WindowCounts(w)
+	nbhd := float64(geom.SquareSize(w))
+	var acc float64
+	for i := 0; i < l.Sites(); i++ {
+		plus := float64(counts[i])
+		if l.SpinAt(i) == grid.Plus {
+			acc += plus / nbhd
+		} else {
+			acc += (nbhd - plus) / nbhd
+		}
+	}
+	return acc / float64(l.Sites())
+}
+
+// HappyFraction returns the fraction of agents with same-type count at
+// least thresh in their radius-w neighborhood, computed from scratch
+// (no process needed).
+func HappyFraction(l *grid.Lattice, w, thresh int) float64 {
+	counts := l.WindowCounts(w)
+	nbhd := geom.SquareSize(w)
+	happy := 0
+	for i := 0; i < l.Sites(); i++ {
+		same := int(counts[i])
+		if l.SpinAt(i) != grid.Plus {
+			same = nbhd - same
+		}
+		if same >= thresh {
+			happy++
+		}
+	}
+	return float64(happy) / float64(l.Sites())
+}

@@ -1,0 +1,63 @@
+package percolation
+
+import (
+	"testing"
+
+	"gridseg/internal/rng"
+)
+
+func TestCrossingProbabilityMonotoneInP(t *testing.T) {
+	src := rng.New(21)
+	low := CrossingProbability(24, 0.4, 40, src.Split(1))
+	high := CrossingProbability(24, 0.8, 40, src.Split(2))
+	if low >= high {
+		t.Fatalf("crossing probability must rise with p: %v vs %v", low, high)
+	}
+	if high < 0.9 {
+		t.Fatalf("deep supercritical crossing = %v, want ~1", high)
+	}
+	if CrossingProbability(24, 0.5, 0, src) != 0 {
+		t.Fatal("zero trials must return 0")
+	}
+}
+
+// The finite-size crossing point must bracket the known site threshold
+// p_c ~ 0.593 (generously, given the small box).
+func TestEstimatePcBracketsKnownValue(t *testing.T) {
+	src := rng.New(23)
+	pc, err := EstimatePc(32, 60, 0.02, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc < 0.50 || pc > 0.70 {
+		t.Fatalf("estimated pc = %v, want near %v", pc, PcSite)
+	}
+}
+
+func TestEstimatePcValidation(t *testing.T) {
+	src := rng.New(1)
+	if _, err := EstimatePc(2, 10, 0.01, src); err == nil {
+		t.Fatal("want error for tiny box")
+	}
+	if _, err := EstimatePc(16, 0, 0.01, src); err == nil {
+		t.Fatal("want error for zero trials")
+	}
+	if _, err := EstimatePc(16, 10, 0, src); err == nil {
+		t.Fatal("want error for zero tolerance")
+	}
+}
+
+func TestLargestClusterFractionGrowsWithP(t *testing.T) {
+	src := rng.New(25)
+	sub := LargestClusterFraction(32, 0.4, 20, src.Split(1))
+	sup := LargestClusterFraction(32, 0.8, 20, src.Split(2))
+	if sub >= sup {
+		t.Fatalf("theta proxy must grow with p: %v vs %v", sub, sup)
+	}
+	if sup < 0.6 {
+		t.Fatalf("supercritical giant fraction = %v, want large", sup)
+	}
+	if LargestClusterFraction(32, 0.5, 0, src) != 0 {
+		t.Fatal("zero trials must return 0")
+	}
+}

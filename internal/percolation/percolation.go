@@ -1,0 +1,342 @@
+// Package percolation implements the percolation-theory substrate that
+// the paper's proofs draw on: Bernoulli site percolation on a finite box
+// of Z^2 with cluster statistics (for the exponential tail of subcritical
+// cluster radii, Grimmett Theorem 5.4, cited as Theorem 5), chemical
+// distances within open clusters (for Garet–Marchand, cited as Theorem
+// 4), first-passage percolation with exponential site weights (for
+// Kesten's concentration bound, cited as Theorem 3), and an empirical
+// FKG/Harris positive-association checker (Lemma 23).
+package percolation
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+
+	"gridseg/internal/rng"
+)
+
+// PcSite is the numerically-known critical probability of site
+// percolation on the square lattice, p_c ~= 0.592746.
+const PcSite = 0.592746
+
+// Point is a site of the finite box [0, W) x [0, H) of Z^2.
+// Unlike the torus of the main model, the box does not wrap: the
+// percolation theorems are about Z^2 and the box is a finite window.
+type Point struct {
+	X, Y int
+}
+
+// Field is a site-percolation configuration on a W x H box.
+type Field struct {
+	w, h int
+	open []bool
+}
+
+// NewField draws a Bernoulli(p) site configuration.
+func NewField(w, h int, p float64, src *rng.Source) *Field {
+	f := &Field{w: w, h: h, open: make([]bool, w*h)}
+	for i := range f.open {
+		f.open[i] = src.Bernoulli(p)
+	}
+	return f
+}
+
+// NewEmptyField returns an all-closed field; tests use Set to shape it.
+func NewEmptyField(w, h int) *Field {
+	return &Field{w: w, h: h, open: make([]bool, w*h)}
+}
+
+// W returns the box width.
+func (f *Field) W() int { return f.w }
+
+// H returns the box height.
+func (f *Field) H() int { return f.h }
+
+// In reports whether a point lies in the box.
+func (f *Field) In(p Point) bool {
+	return p.X >= 0 && p.X < f.w && p.Y >= 0 && p.Y < f.h
+}
+
+// Open reports whether the site is open; out-of-box sites are closed.
+func (f *Field) Open(p Point) bool {
+	if !f.In(p) {
+		return false
+	}
+	return f.open[p.Y*f.w+p.X]
+}
+
+// Set opens or closes a site inside the box.
+func (f *Field) Set(p Point, open bool) {
+	if !f.In(p) {
+		panic("percolation: Set outside box")
+	}
+	f.open[p.Y*f.w+p.X] = open
+}
+
+// Center returns the box center, the conventional origin.
+func (f *Field) Center() Point { return Point{X: f.w / 2, Y: f.h / 2} }
+
+var steps4 = [4]Point{{1, 0}, {-1, 0}, {0, 1}, {0, -1}}
+
+// ClusterOf explores the open cluster containing p (4-adjacency) and
+// returns its size and its radius: the maximum l1 distance from p to a
+// cluster site. If p is closed it returns (0, -1).
+func (f *Field) ClusterOf(p Point) (size, radius int) {
+	if !f.Open(p) {
+		return 0, -1
+	}
+	visited := make(map[Point]bool)
+	visited[p] = true
+	queue := []Point{p}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		size++
+		if d := abs(cur.X-p.X) + abs(cur.Y-p.Y); d > radius {
+			radius = d
+		}
+		for _, s := range steps4 {
+			next := Point{X: cur.X + s.X, Y: cur.Y + s.Y}
+			if f.Open(next) && !visited[next] {
+				visited[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return size, radius
+}
+
+// LargestCluster returns the size of the largest open cluster.
+func (f *Field) LargestCluster() int {
+	visited := make([]bool, f.w*f.h)
+	best := 0
+	var queue []Point
+	for y := 0; y < f.h; y++ {
+		for x := 0; x < f.w; x++ {
+			start := Point{X: x, Y: y}
+			if !f.Open(start) || visited[y*f.w+x] {
+				continue
+			}
+			visited[y*f.w+x] = true
+			queue = append(queue[:0], start)
+			size := 0
+			for head := 0; head < len(queue); head++ {
+				cur := queue[head]
+				size++
+				for _, s := range steps4 {
+					next := Point{X: cur.X + s.X, Y: cur.Y + s.Y}
+					if f.Open(next) && !visited[next.Y*f.w+next.X] {
+						visited[next.Y*f.w+next.X] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+			if size > best {
+				best = size
+			}
+		}
+	}
+	return best
+}
+
+// CrossesHorizontally reports whether an open cluster connects the left
+// edge to the right edge — the standard crossing event used to bracket
+// the critical probability.
+func (f *Field) CrossesHorizontally() bool {
+	visited := make([]bool, f.w*f.h)
+	var queue []Point
+	for y := 0; y < f.h; y++ {
+		p := Point{X: 0, Y: y}
+		if f.Open(p) {
+			visited[y*f.w] = true
+			queue = append(queue, p)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		if cur.X == f.w-1 {
+			return true
+		}
+		for _, s := range steps4 {
+			next := Point{X: cur.X + s.X, Y: cur.Y + s.Y}
+			if f.Open(next) && !visited[next.Y*f.w+next.X] {
+				visited[next.Y*f.w+next.X] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+// ChemicalDistance returns the graph distance D(a, b) within the open
+// cluster (number of steps along open sites, 4-adjacency), and whether a
+// and b are connected at all. Both endpoints must be open to be
+// connected. This is the Garet–Marchand observable: supercritically,
+// D(a,b)/||a-b||_1 concentrates near a constant >= 1.
+func (f *Field) ChemicalDistance(a, b Point) (int, bool) {
+	if !f.Open(a) || !f.Open(b) {
+		return 0, false
+	}
+	if a == b {
+		return 0, true
+	}
+	dist := map[Point]int{a: 0}
+	queue := []Point{a}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		for _, s := range steps4 {
+			next := Point{X: cur.X + s.X, Y: cur.Y + s.Y}
+			if !f.Open(next) {
+				continue
+			}
+			if _, seen := dist[next]; seen {
+				continue
+			}
+			dist[next] = dist[cur] + 1
+			if next == b {
+				return dist[next], true
+			}
+			queue = append(queue, next)
+		}
+	}
+	return 0, false
+}
+
+// FPP is a first-passage percolation instance: i.i.d. exponential
+// passage times attached to the sites of a box (the paper renormalizes
+// the grid into w-blocks and attaches Exp(1/N) waiting times; Theorem 3
+// is Kesten's concentration bound for such processes).
+type FPP struct {
+	w, h   int
+	weight []float64
+}
+
+// NewFPP draws i.i.d. Exp(rate) site weights (mean 1/rate).
+func NewFPP(w, h int, rate float64, src *rng.Source) (*FPP, error) {
+	if w <= 0 || h <= 0 {
+		return nil, errors.New("percolation: box dimensions must be positive")
+	}
+	if rate <= 0 {
+		return nil, errors.New("percolation: rate must be positive")
+	}
+	f := &FPP{w: w, h: h, weight: make([]float64, w*h)}
+	for i := range f.weight {
+		f.weight[i] = src.ExpRate(rate)
+	}
+	return f, nil
+}
+
+// Weight returns the site weight; out-of-box queries return +Inf.
+func (f *FPP) Weight(p Point) float64 {
+	if p.X < 0 || p.X >= f.w || p.Y < 0 || p.Y >= f.h {
+		return math.Inf(1)
+	}
+	return f.weight[p.Y*f.w+p.X]
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	p Point
+	d float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// PassageTime returns T(a, b): the minimum over paths from a to b of the
+// sum of site weights of the path's vertices, both endpoints included —
+// the paper's T*(eta) = sum t(v_i). Computed by Dijkstra in O(WH log WH).
+func (f *FPP) PassageTime(a, b Point) (float64, error) {
+	if f.Weight(a) == math.Inf(1) || f.Weight(b) == math.Inf(1) {
+		return 0, errors.New("percolation: endpoint outside box")
+	}
+	dist := make([]float64, f.w*f.h)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	idx := func(p Point) int { return p.Y*f.w + p.X }
+	start := f.Weight(a)
+	dist[idx(a)] = start
+	q := &pq{{p: a, d: start}}
+	for q.Len() > 0 {
+		cur := heap.Pop(q).(pqItem)
+		if cur.p == b {
+			return cur.d, nil
+		}
+		if cur.d > dist[idx(cur.p)] {
+			continue
+		}
+		for _, s := range steps4 {
+			next := Point{X: cur.p.X + s.X, Y: cur.p.Y + s.Y}
+			wt := f.Weight(next)
+			if math.IsInf(wt, 1) {
+				continue
+			}
+			nd := cur.d + wt
+			if nd < dist[idx(next)] {
+				dist[idx(next)] = nd
+				heap.Push(q, pqItem{p: next, d: nd})
+			}
+		}
+	}
+	return 0, errors.New("percolation: unreachable target")
+}
+
+// FKGEstimate is the result of an empirical positive-association check.
+type FKGEstimate struct {
+	PA, PB, PAB float64
+	Trials      int
+}
+
+// Satisfied reports whether the empirical joint probability respects the
+// FKG inequality P(A and B) >= P(A) P(B) within slack standard errors of
+// the product estimate (slack ~ 2-3 for statistical robustness).
+func (e FKGEstimate) Satisfied(slack float64) bool {
+	se := math.Sqrt(e.PA*e.PB*(1-e.PA*e.PB)/float64(e.Trials)) + 1e-12
+	return e.PAB >= e.PA*e.PB-slack*se
+}
+
+// EstimateFKG draws `trials` independent configurations via gen, which
+// must evaluate two (increasing) events on the same configuration, and
+// returns the empirical probabilities. With increasing events the
+// FKG/Harris inequality (Lemma 23) asserts PAB >= PA*PB.
+func EstimateFKG(trials int, gen func(src *rng.Source) (a, b bool), src *rng.Source) FKGEstimate {
+	var na, nb, nab int
+	for i := 0; i < trials; i++ {
+		a, b := gen(src.Split(uint64(i)))
+		if a {
+			na++
+		}
+		if b {
+			nb++
+		}
+		if a && b {
+			nab++
+		}
+	}
+	n := float64(trials)
+	return FKGEstimate{
+		PA:     float64(na) / n,
+		PB:     float64(nb) / n,
+		PAB:    float64(nab) / n,
+		Trials: trials,
+	}
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

@@ -1,0 +1,367 @@
+package percolation
+
+import (
+	"math"
+	"testing"
+
+	"gridseg/internal/rng"
+	"gridseg/internal/stats"
+)
+
+func TestFieldBasics(t *testing.T) {
+	f := NewEmptyField(5, 4)
+	if f.W() != 5 || f.H() != 4 {
+		t.Fatal("dimensions")
+	}
+	p := Point{X: 2, Y: 2}
+	if f.Open(p) {
+		t.Fatal("empty field must be closed")
+	}
+	f.Set(p, true)
+	if !f.Open(p) {
+		t.Fatal("Set failed")
+	}
+	if f.Open(Point{X: -1, Y: 0}) || f.Open(Point{X: 5, Y: 0}) {
+		t.Fatal("out-of-box must be closed")
+	}
+	if f.Center() != (Point{X: 2, Y: 2}) {
+		t.Fatal("center")
+	}
+}
+
+func TestSetPanicsOutside(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewEmptyField(3, 3).Set(Point{X: 3, Y: 0}, true)
+}
+
+func TestNewFieldDensity(t *testing.T) {
+	f := NewField(100, 100, 0.7, rng.New(1))
+	open := 0
+	for y := 0; y < 100; y++ {
+		for x := 0; x < 100; x++ {
+			if f.Open(Point{X: x, Y: y}) {
+				open++
+			}
+		}
+	}
+	frac := float64(open) / 10000
+	if math.Abs(frac-0.7) > 0.03 {
+		t.Fatalf("open fraction = %v, want ~0.7", frac)
+	}
+}
+
+func TestClusterOfClosedSite(t *testing.T) {
+	f := NewEmptyField(5, 5)
+	size, radius := f.ClusterOf(Point{X: 2, Y: 2})
+	if size != 0 || radius != -1 {
+		t.Fatalf("closed site cluster = (%d, %d)", size, radius)
+	}
+}
+
+func TestClusterOfHandShape(t *testing.T) {
+	// An L-shaped cluster.
+	f := NewEmptyField(7, 7)
+	for _, p := range []Point{{1, 1}, {2, 1}, {3, 1}, {3, 2}, {3, 3}} {
+		f.Set(p, true)
+	}
+	// A disconnected extra site.
+	f.Set(Point{X: 5, Y: 5}, true)
+	size, radius := f.ClusterOf(Point{X: 1, Y: 1})
+	if size != 5 {
+		t.Fatalf("size = %d, want 5", size)
+	}
+	if radius != 4 { // l1 from (1,1) to (3,3)
+		t.Fatalf("radius = %d, want 4", radius)
+	}
+}
+
+func TestLargestCluster(t *testing.T) {
+	f := NewEmptyField(6, 6)
+	for _, p := range []Point{{0, 0}, {1, 0}, {2, 0}} {
+		f.Set(p, true)
+	}
+	for _, p := range []Point{{4, 4}, {4, 5}} {
+		f.Set(p, true)
+	}
+	if got := f.LargestCluster(); got != 3 {
+		t.Fatalf("largest = %d, want 3", got)
+	}
+}
+
+func TestCrossesHorizontally(t *testing.T) {
+	f := NewEmptyField(6, 4)
+	if f.CrossesHorizontally() {
+		t.Fatal("empty field cannot cross")
+	}
+	for x := 0; x < 6; x++ {
+		f.Set(Point{X: x, Y: 2}, true)
+	}
+	if !f.CrossesHorizontally() {
+		t.Fatal("full row must cross")
+	}
+	f.Set(Point{X: 3, Y: 2}, false)
+	if f.CrossesHorizontally() {
+		t.Fatal("broken row must not cross")
+	}
+}
+
+// Crossing probability brackets the known critical point: clearly below
+// at p=0.45, clearly above at p=0.75 on a moderate box.
+func TestCrossingBracketsCriticalPoint(t *testing.T) {
+	src := rng.New(5)
+	crossLow, crossHigh := 0, 0
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		if NewField(40, 40, 0.45, src.Split(uint64(i))).CrossesHorizontally() {
+			crossLow++
+		}
+		if NewField(40, 40, 0.75, src.Split(uint64(1000+i))).CrossesHorizontally() {
+			crossHigh++
+		}
+	}
+	if crossLow > trials/4 {
+		t.Fatalf("subcritical crossing rate %d/%d too high", crossLow, trials)
+	}
+	if crossHigh < trials*3/4 {
+		t.Fatalf("supercritical crossing rate %d/%d too low", crossHigh, trials)
+	}
+}
+
+// Grimmett Theorem 5 shape: subcritical origin-cluster radii have an
+// exponential tail; the fitted decay rate must be clearly positive and
+// the radii small compared to the box.
+func TestSubcriticalRadiusExponentialTail(t *testing.T) {
+	src := rng.New(7)
+	var radii []float64
+	for i := 0; i < 400; i++ {
+		f := NewField(41, 41, 0.45, src.Split(uint64(i)))
+		_, radius := f.ClusterOf(f.Center())
+		if radius >= 0 {
+			radii = append(radii, float64(radius))
+		}
+	}
+	if len(radii) < 100 {
+		t.Fatalf("too few open origins: %d", len(radii))
+	}
+	rate, _, err := stats.ExpDecayRate(radii)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 0.1 {
+		t.Fatalf("decay rate = %v, want clearly positive (exponential tail)", rate)
+	}
+}
+
+func TestChemicalDistanceHandCases(t *testing.T) {
+	f := NewEmptyField(6, 6)
+	for x := 0; x < 6; x++ {
+		f.Set(Point{X: x, Y: 0}, true)
+	}
+	d, ok := f.ChemicalDistance(Point{X: 0, Y: 0}, Point{X: 5, Y: 0})
+	if !ok || d != 5 {
+		t.Fatalf("straight-line chemical distance = %d, %v; want 5", d, ok)
+	}
+	if d, ok := f.ChemicalDistance(Point{X: 0, Y: 0}, Point{X: 0, Y: 0}); !ok || d != 0 {
+		t.Fatalf("self distance = %d, %v", d, ok)
+	}
+	if _, ok := f.ChemicalDistance(Point{X: 0, Y: 0}, Point{X: 0, Y: 5}); ok {
+		t.Fatal("closed target must be disconnected")
+	}
+	// A detour: open an U-shaped path.
+	g := NewEmptyField(5, 5)
+	for _, p := range []Point{{0, 0}, {0, 1}, {0, 2}, {1, 2}, {2, 2}, {2, 1}, {2, 0}} {
+		g.Set(p, true)
+	}
+	d, ok = g.ChemicalDistance(Point{X: 0, Y: 0}, Point{X: 2, Y: 0})
+	if !ok || d != 6 {
+		t.Fatalf("detour distance = %d, %v; want 6", d, ok)
+	}
+}
+
+// Garet–Marchand Theorem 4 shape: at high p the chemical distance is
+// close to the l1 distance — the ratio concentrates near 1.
+func TestChemicalDistanceNearL1Supercritical(t *testing.T) {
+	src := rng.New(9)
+	var ratios []float64
+	for i := 0; i < 60; i++ {
+		f := NewField(61, 31, 0.95, src.Split(uint64(i)))
+		a := Point{X: 5, Y: 15}
+		b := Point{X: 55, Y: 15}
+		d, ok := f.ChemicalDistance(a, b)
+		if !ok {
+			continue
+		}
+		ratios = append(ratios, float64(d)/50.0)
+	}
+	if len(ratios) < 30 {
+		t.Fatalf("too few connected pairs: %d", len(ratios))
+	}
+	mean := stats.Mean(ratios)
+	if mean < 1 || mean > 1.2 {
+		t.Fatalf("mean D/l1 = %v, want in [1, 1.2] at p=0.95", mean)
+	}
+}
+
+func TestNewFPPValidation(t *testing.T) {
+	if _, err := NewFPP(0, 5, 1, rng.New(1)); err == nil {
+		t.Fatal("want error for zero width")
+	}
+	if _, err := NewFPP(5, 5, 0, rng.New(1)); err == nil {
+		t.Fatal("want error for zero rate")
+	}
+}
+
+func TestFPPWeightOutside(t *testing.T) {
+	f, err := NewFPP(4, 4, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(f.Weight(Point{X: -1, Y: 0}), 1) {
+		t.Fatal("outside weight must be +Inf")
+	}
+}
+
+func TestFPPPassageTimeProperties(t *testing.T) {
+	src := rng.New(11)
+	f, err := NewFPP(30, 30, 1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Point{X: 2, Y: 15}
+	b := Point{X: 27, Y: 15}
+	tab, err := f.PassageTime(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric for site weights with both endpoints included.
+	tba, err := f.PassageTime(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tab-tba) > 1e-9 {
+		t.Fatalf("passage time not symmetric: %v vs %v", tab, tba)
+	}
+	// Lower bound: must include both endpoint weights.
+	if tab < f.Weight(a)+f.Weight(b)-1e-12 {
+		t.Fatalf("passage time %v below endpoint weights", tab)
+	}
+	// Self passage time is the site's own weight.
+	taa, err := f.PassageTime(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(taa-f.Weight(a)) > 1e-12 {
+		t.Fatalf("self passage time = %v, want %v", taa, f.Weight(a))
+	}
+	if _, err := f.PassageTime(a, Point{X: 100, Y: 0}); err == nil {
+		t.Fatal("want error for outside endpoint")
+	}
+}
+
+// Kesten Theorem 3 shape: E[T_k]/k approaches a constant mu and the
+// fluctuations of T_k around the mean grow sublinearly.
+func TestFPPLinearGrowthAndConcentration(t *testing.T) {
+	src := rng.New(13)
+	ks := []int{10, 20, 40}
+	means := make([]float64, len(ks))
+	stds := make([]float64, len(ks))
+	for ki, k := range ks {
+		var ts []float64
+		for trial := 0; trial < 30; trial++ {
+			f, err := NewFPP(k+11, 21, 1, src.Split(uint64(ki*1000+trial)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := f.PassageTime(Point{X: 5, Y: 10}, Point{X: 5 + k, Y: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts = append(ts, v)
+		}
+		s, err := stats.Summarize(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		means[ki] = s.Mean
+		stds[ki] = s.Std
+	}
+	// Linear growth: mean roughly doubles with k.
+	r1 := means[1] / means[0]
+	r2 := means[2] / means[1]
+	if r1 < 1.5 || r1 > 2.5 || r2 < 1.5 || r2 > 2.5 {
+		t.Fatalf("passage time growth ratios %v, %v not ~2", r1, r2)
+	}
+	// Concentration: relative spread shrinks with k.
+	if stds[2]/means[2] >= stds[0]/means[0] {
+		t.Fatalf("relative fluctuation did not shrink: %v vs %v",
+			stds[2]/means[2], stds[0]/means[0])
+	}
+}
+
+// FKG on independent bits: increasing events must be positively
+// associated; an increasing and a decreasing event must not be.
+func TestEstimateFKG(t *testing.T) {
+	src := rng.New(15)
+	// Configuration: 20 i.i.d. fair bits. A = many ones in first half,
+	// B = many ones overall; both increasing => positive association.
+	gen := func(s *rng.Source) (bool, bool) {
+		bits := make([]bool, 20)
+		ones, onesFirst := 0, 0
+		for i := range bits {
+			bits[i] = s.Bernoulli(0.5)
+			if bits[i] {
+				ones++
+				if i < 10 {
+					onesFirst++
+				}
+			}
+		}
+		return onesFirst >= 6, ones >= 11
+	}
+	est := EstimateFKG(20000, gen, src)
+	if !est.Satisfied(3) {
+		t.Fatalf("FKG violated for increasing events: %+v", est)
+	}
+	if est.PAB <= est.PA*est.PB {
+		t.Fatalf("expected strict positive association, got %+v", est)
+	}
+	// A increasing, C decreasing: association must be negative.
+	gen2 := func(s *rng.Source) (bool, bool) {
+		ones := 0
+		for i := 0; i < 20; i++ {
+			if s.Bernoulli(0.5) {
+				ones++
+			}
+		}
+		return ones >= 11, ones <= 9
+	}
+	est2 := EstimateFKG(20000, gen2, src.Split(1))
+	if est2.PAB >= est2.PA*est2.PB {
+		t.Fatalf("opposite monotonicity must be negatively associated: %+v", est2)
+	}
+}
+
+func BenchmarkPassageTime(b *testing.B) {
+	f, err := NewFPP(100, 100, 1, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.PassageTime(Point{X: 5, Y: 50}, Point{X: 95, Y: 50}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterOf(b *testing.B) {
+	f := NewField(200, 200, 0.55, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ClusterOf(f.Center())
+	}
+}

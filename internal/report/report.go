@@ -1,0 +1,107 @@
+// Package report provides the small tabular-output toolkit used by the
+// experiment harness: aligned text tables for the terminal and CSV for
+// downstream plotting.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Table is a titled grid of string cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and long
+// rows are truncated to the column count.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteCSV emits the table (header + rows) as CSV.
+func (t *Table) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	if err := w.Write(t.Columns); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return fmt.Errorf("report: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}
+
+// F formats a float compactly (strconv 'g' with 5 significant digits).
+func F(v float64) string { return strconv.FormatFloat(v, 'g', 5, 64) }
+
+// F3 formats a float with 3 decimal places.
+func F3(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+
+// I formats an int.
+func I(v int) string { return strconv.Itoa(v) }
+
+// I64 formats an int64.
+func I64(v int64) string { return strconv.FormatInt(v, 10) }

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b", "22")
+	out := tb.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title, header, rule, two rows.
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header line %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "alpha") || !strings.Contains(lines[4], "22") {
+		t.Fatal("rows missing")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("no leading blank line expected")
+	}
+}
+
+func TestAddRowPadsAndTruncates(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z")
+	if tb.Rows[0][1] != "" {
+		t.Fatal("short row must be padded")
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Fatal("long row must be truncated")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "hello, world")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	want := "a,b\n1,\"hello, world\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456789) != "1.2346" {
+		t.Fatalf("F = %q", F(1.23456789))
+	}
+	if F3(1.23456) != "1.235" {
+		t.Fatalf("F3 = %q", F3(1.23456))
+	}
+	if I(42) != "42" || I64(-7) != "-7" {
+		t.Fatal("int formatters broken")
+	}
+}

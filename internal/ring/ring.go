@@ -1,0 +1,409 @@
+// Package ring implements the one-dimensional Schelling processes that
+// the paper builds on (Section I.B): Glauber dynamics on a ring
+// (Barmpalias, Elwes, Lewis-Pye) and the Kawasaki swap dynamic on a ring
+// (Brandt, Immorlica, Kamath, Kleinberg). The 1-D results are the
+// reference points for the 2-D theorems: polynomial run lengths at
+// tau = 1/2 versus exponential run lengths for tau in (~0.35, 1/2).
+//
+// An agent's neighborhood is the arc of radius w around it (size
+// N = 2w+1, including the agent); happiness and flip admissibility are
+// defined exactly as in the 2-D model.
+package ring
+
+import (
+	"errors"
+
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// Spin mirrors the grid convention: +1 or -1.
+type Spin int8
+
+// The two agent types.
+const (
+	Plus  Spin = 1
+	Minus Spin = -1
+)
+
+// Process is a Glauber segregation process on a ring of n agents.
+type Process struct {
+	spins     []Spin
+	src       *rng.Source
+	n         int
+	w         int
+	nbhd      int
+	thresh    int
+	plus      []int32 // +1 count in the radius-w arc around each site
+	flippable []int32
+	pos       []int32
+	flips     int64
+	time      float64
+}
+
+// NewRandom creates a ring process with i.i.d. Bernoulli(p) types.
+func NewRandom(n, w int, tauTilde, p float64, src *rng.Source) (*Process, error) {
+	if n < 3 {
+		return nil, errors.New("ring: need at least 3 agents")
+	}
+	if w < 1 || 2*w+1 > n {
+		return nil, errors.New("ring: invalid horizon")
+	}
+	if tauTilde < 0 || tauTilde > 1 {
+		return nil, errors.New("ring: intolerance must be in [0, 1]")
+	}
+	if src == nil {
+		return nil, errors.New("ring: nil source")
+	}
+	spins := make([]Spin, n)
+	for i := range spins {
+		if src.Bernoulli(p) {
+			spins[i] = Plus
+		} else {
+			spins[i] = Minus
+		}
+	}
+	return fromSpins(spins, w, tauTilde, src)
+}
+
+// New creates a ring process over the given spins (copied).
+func New(spins []Spin, w int, tauTilde float64, src *rng.Source) (*Process, error) {
+	cp := make([]Spin, len(spins))
+	copy(cp, spins)
+	return fromSpins(cp, w, tauTilde, src)
+}
+
+func fromSpins(spins []Spin, w int, tauTilde float64, src *rng.Source) (*Process, error) {
+	n := len(spins)
+	if n < 3 || w < 1 || 2*w+1 > n || src == nil {
+		return nil, errors.New("ring: invalid parameters")
+	}
+	nbhd := 2*w + 1
+	p := &Process{
+		spins:  spins,
+		src:    src,
+		n:      n,
+		w:      w,
+		nbhd:   nbhd,
+		thresh: theory.Threshold(tauTilde, nbhd),
+		plus:   make([]int32, n),
+		pos:    make([]int32, n),
+	}
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
+	// Sliding window initialization.
+	var acc int32
+	for d := -w; d <= w; d++ {
+		if spins[wrap(d, n)] == Plus {
+			acc++
+		}
+	}
+	p.plus[0] = acc
+	for i := 1; i < n; i++ {
+		if spins[wrap(i-1-w, n)] == Plus {
+			acc--
+		}
+		if spins[wrap(i+w, n)] == Plus {
+			acc++
+		}
+		p.plus[i] = acc
+	}
+	for i := 0; i < n; i++ {
+		p.refresh(i)
+	}
+	return p, nil
+}
+
+func wrap(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// Len returns the ring size.
+func (p *Process) Len() int { return p.n }
+
+// Spin returns the type of agent i.
+func (p *Process) Spin(i int) Spin { return p.spins[wrap(i, p.n)] }
+
+// Spins returns a copy of the configuration.
+func (p *Process) Spins() []Spin {
+	out := make([]Spin, p.n)
+	copy(out, p.spins)
+	return out
+}
+
+// Threshold returns the integer happiness threshold.
+func (p *Process) Threshold() int { return p.thresh }
+
+// Flips returns the number of effective flips performed.
+func (p *Process) Flips() int64 { return p.flips }
+
+// Time returns elapsed continuous time.
+func (p *Process) Time() float64 { return p.time }
+
+// SameCount returns the same-type count of agent i (including itself).
+func (p *Process) SameCount(i int) int {
+	if p.spins[i] == Plus {
+		return int(p.plus[i])
+	}
+	return p.nbhd - int(p.plus[i])
+}
+
+// Happy reports whether agent i is happy.
+func (p *Process) Happy(i int) bool { return p.SameCount(i) >= p.thresh }
+
+// Fixated reports whether no admissible flip remains.
+func (p *Process) Fixated() bool { return len(p.flippable) == 0 }
+
+// FlippableCount returns the number of admissible flips.
+func (p *Process) FlippableCount() int { return len(p.flippable) }
+
+func (p *Process) refresh(i int) {
+	same := p.SameCount(i)
+	flippable := same < p.thresh && p.nbhd-same+1 >= p.thresh
+	in := p.pos[i] >= 0
+	switch {
+	case flippable && !in:
+		p.pos[i] = int32(len(p.flippable))
+		p.flippable = append(p.flippable, int32(i))
+	case !flippable && in:
+		j := p.pos[i]
+		last := p.flippable[len(p.flippable)-1]
+		p.flippable[j] = last
+		p.pos[last] = j
+		p.flippable = p.flippable[:len(p.flippable)-1]
+		p.pos[i] = -1
+	}
+}
+
+// Step performs one effective flip; ok=false when fixated.
+func (p *Process) Step() (site int, ok bool) {
+	k := len(p.flippable)
+	if k == 0 {
+		return 0, false
+	}
+	p.time += p.src.ExpRate(float64(k))
+	i := int(p.flippable[p.src.Intn(k)])
+	newSpin := -p.spins[i]
+	p.spins[i] = newSpin
+	var delta int32 = 1
+	if newSpin == Minus {
+		delta = -1
+	}
+	for d := -p.w; d <= p.w; d++ {
+		j := wrap(i+d, p.n)
+		p.plus[j] += delta
+		p.refresh(j)
+	}
+	p.flips++
+	return i, true
+}
+
+// Run advances until fixation or maxFlips (<= 0 for unlimited).
+func (p *Process) Run(maxFlips int64) (performed int64, fixated bool) {
+	for maxFlips <= 0 || performed < maxFlips {
+		if _, ok := p.Step(); !ok {
+			return performed, true
+		}
+		performed++
+	}
+	return performed, p.Fixated()
+}
+
+// Phi returns the ring Lyapunov function, the sum of same-type counts.
+func (p *Process) Phi() int64 {
+	var phi int64
+	for i := 0; i < p.n; i++ {
+		phi += int64(p.SameCount(i))
+	}
+	return phi
+}
+
+// RunLengths returns the lengths of the maximal monochromatic arcs of
+// the current configuration — the paper's 1-D "segregated regions".
+// A monochromatic ring yields a single run of length n.
+func (p *Process) RunLengths() []int {
+	return RunLengths(p.spins)
+}
+
+// RunLengths computes maximal monochromatic run lengths of a circular
+// configuration.
+func RunLengths(spins []Spin) []int {
+	n := len(spins)
+	if n == 0 {
+		return nil
+	}
+	// Find a boundary to anchor the circular scan.
+	start := -1
+	for i := 0; i < n; i++ {
+		if spins[i] != spins[wrap(i-1, n)] {
+			start = i
+			break
+		}
+	}
+	if start == -1 {
+		return []int{n} // monochromatic
+	}
+	var runs []int
+	cur := 1
+	for k := 1; k < n; k++ {
+		i := wrap(start+k, n)
+		if spins[i] == spins[wrap(i-1, n)] {
+			cur++
+		} else {
+			runs = append(runs, cur)
+			cur = 1
+		}
+	}
+	runs = append(runs, cur)
+	return runs
+}
+
+// MeanRunLength returns the average monochromatic run length.
+func MeanRunLength(spins []Spin) float64 {
+	runs := RunLengths(spins)
+	if len(runs) == 0 {
+		return 0
+	}
+	total := 0
+	for _, r := range runs {
+		total += r
+	}
+	return float64(total) / float64(len(runs))
+}
+
+// LongestRun returns the maximum monochromatic run length.
+func LongestRun(spins []Spin) int {
+	best := 0
+	for _, r := range RunLengths(spins) {
+		if r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// Kawasaki is the 1-D closed-system swap baseline of Brandt et al.:
+// unhappy agents of opposite types swap when the swap makes both happy.
+type Kawasaki struct {
+	p            *Process
+	unhappyPlus  []int32
+	unhappyMinus []int32
+	posPlus      []int32
+	posMinus     []int32
+	swaps        int64
+	attempts     int64
+}
+
+// NewKawasaki builds the swap process over Bernoulli(p) initial types.
+func NewKawasaki(n, w int, tauTilde, prob float64, src *rng.Source) (*Kawasaki, error) {
+	p, err := NewRandom(n, w, tauTilde, prob, src)
+	if err != nil {
+		return nil, err
+	}
+	k := &Kawasaki{
+		p:        p,
+		posPlus:  make([]int32, n),
+		posMinus: make([]int32, n),
+	}
+	for i := range k.posPlus {
+		k.posPlus[i] = -1
+		k.posMinus[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		k.refreshSets(i)
+	}
+	return k, nil
+}
+
+// Process exposes the underlying ring state.
+func (k *Kawasaki) Process() *Process { return k.p }
+
+// Swaps returns the number of successful swaps.
+func (k *Kawasaki) Swaps() int64 { return k.swaps }
+
+func (k *Kawasaki) refreshSets(i int) {
+	unhappy := !k.p.Happy(i)
+	wantPlus := unhappy && k.p.spins[i] == Plus
+	wantMinus := unhappy && k.p.spins[i] == Minus
+	setMembership(&k.unhappyPlus, k.posPlus, i, wantPlus)
+	setMembership(&k.unhappyMinus, k.posMinus, i, wantMinus)
+}
+
+func setMembership(set *[]int32, pos []int32, i int, want bool) {
+	in := pos[i] >= 0
+	switch {
+	case want && !in:
+		pos[i] = int32(len(*set))
+		*set = append(*set, int32(i))
+	case !want && in:
+		j := pos[i]
+		last := (*set)[len(*set)-1]
+		(*set)[j] = last
+		pos[last] = j
+		*set = (*set)[:len(*set)-1]
+		pos[i] = -1
+	}
+}
+
+// forceFlip flips agent i and refreshes counts and sets.
+func (k *Kawasaki) forceFlip(i int) {
+	newSpin := -k.p.spins[i]
+	k.p.spins[i] = newSpin
+	var delta int32 = 1
+	if newSpin == Minus {
+		delta = -1
+	}
+	for d := -k.p.w; d <= k.p.w; d++ {
+		j := wrap(i+d, k.p.n)
+		k.p.plus[j] += delta
+		k.p.refresh(j)
+		k.refreshSets(j)
+	}
+}
+
+// StepAttempt samples one unhappy agent of each type and swaps them iff
+// both become happy; done=true when no unhappy pair exists.
+func (k *Kawasaki) StepAttempt() (swapped, done bool) {
+	if len(k.unhappyPlus) == 0 || len(k.unhappyMinus) == 0 {
+		return false, true
+	}
+	k.attempts++
+	u := int(k.unhappyPlus[k.p.src.Intn(len(k.unhappyPlus))])
+	v := int(k.unhappyMinus[k.p.src.Intn(len(k.unhappyMinus))])
+	k.forceFlip(u)
+	k.forceFlip(v)
+	if k.p.Happy(u) && k.p.Happy(v) {
+		k.swaps++
+		return true, false
+	}
+	k.forceFlip(v)
+	k.forceFlip(u)
+	return false, false
+}
+
+// Run performs attempts until done, budget exhaustion, or a failure
+// streak; mirrors the 2-D Kawasaki baseline.
+func (k *Kawasaki) Run(maxAttempts, failStreak int64) (performed int64, done bool) {
+	var streak int64
+	for a := int64(0); a < maxAttempts; a++ {
+		swapped, noPairs := k.StepAttempt()
+		if noPairs {
+			return performed, true
+		}
+		if swapped {
+			performed++
+			streak = 0
+		} else {
+			streak++
+			if failStreak > 0 && streak >= failStreak {
+				return performed, false
+			}
+		}
+	}
+	return performed, false
+}

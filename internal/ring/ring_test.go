@@ -1,0 +1,267 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/rng"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := NewRandom(2, 1, 0.5, 0.5, rng.New(1)); err == nil {
+		t.Fatal("want error for tiny ring")
+	}
+	if _, err := NewRandom(10, 5, 0.5, 0.5, rng.New(1)); err == nil {
+		t.Fatal("want error for oversized horizon")
+	}
+	if _, err := NewRandom(10, 1, 1.5, 0.5, rng.New(1)); err == nil {
+		t.Fatal("want error for invalid tau")
+	}
+	if _, err := NewRandom(10, 1, 0.5, 0.5, nil); err == nil {
+		t.Fatal("want error for nil source")
+	}
+}
+
+func TestWindowInitializationMatchesBruteForce(t *testing.T) {
+	p, err := NewRandom(31, 3, 0.45, 0.5, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Len(); i++ {
+		want := 0
+		for d := -3; d <= 3; d++ {
+			if p.Spin(i+d) == Plus {
+				want++
+			}
+		}
+		got := int(p.plus[i])
+		if got != want {
+			t.Fatalf("site %d: window %d, brute %d", i, got, want)
+		}
+	}
+}
+
+func TestSingleDissenterRing(t *testing.T) {
+	spins := make([]Spin, 11)
+	for i := range spins {
+		spins[i] = Minus
+	}
+	spins[5] = Plus
+	p, err := New(spins, 1, 0.5, rng.New(5)) // thresh = ceil(1.5) = 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The + agent has same-count 1 < 2: flippable. Neighbors have
+	// same-count 2 >= 2: happy.
+	if p.FlippableCount() != 1 {
+		t.Fatalf("flippable = %d, want 1", p.FlippableCount())
+	}
+	site, ok := p.Step()
+	if !ok || site != 5 {
+		t.Fatalf("step = %d, %v", site, ok)
+	}
+	if !p.Fixated() {
+		t.Fatal("must fixate after removing the dissenter")
+	}
+	if got := p.RunLengths(); len(got) != 1 || got[0] != 11 {
+		t.Fatalf("run lengths = %v, want [11]", got)
+	}
+}
+
+func TestNewCopiesInput(t *testing.T) {
+	spins := []Spin{Plus, Minus, Plus, Minus, Plus}
+	p, err := New(spins, 1, 0.4, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spins[0] = Minus
+	if p.Spin(0) != Plus {
+		t.Fatal("New must copy the input slice")
+	}
+	out := p.Spins()
+	out[1] = Plus
+	if p.Spin(1) != Minus {
+		t.Fatal("Spins must return a copy")
+	}
+}
+
+func TestLyapunovAndTermination(t *testing.T) {
+	p, err := NewRandom(200, 2, 0.45, 0.5, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := p.Phi()
+	for i := 0; i < 500; i++ {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		phi := p.Phi()
+		if phi <= prev {
+			t.Fatalf("ring Phi did not increase at flip %d", i+1)
+		}
+		prev = phi
+	}
+	performed, fixated := p.Run(0)
+	_ = performed
+	if !fixated {
+		t.Fatal("ring process must terminate")
+	}
+	// At fixation, every unhappy agent cannot become happy by flipping.
+	for i := 0; i < p.Len(); i++ {
+		same := p.SameCount(i)
+		if same < p.Threshold() && (2*p.w+1)-same+1 >= p.Threshold() {
+			t.Fatalf("agent %d still flippable at fixation", i)
+		}
+	}
+}
+
+func TestRunLengthsHandCases(t *testing.T) {
+	cases := []struct {
+		spins []Spin
+		want  []int
+	}{
+		{[]Spin{Plus, Plus, Plus}, []int{3}},
+		{[]Spin{Plus, Minus, Plus, Minus}, []int{1, 1, 1, 1}},
+		// Circular: the run wraps around the seam.
+		{[]Spin{Plus, Minus, Minus, Plus}, []int{2, 2}},
+	}
+	for i, c := range cases {
+		got := RunLengths(c.spins)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: runs %v, want %v", i, got, c.want)
+		}
+		gotSum, wantSum := 0, 0
+		for _, v := range got {
+			gotSum += v
+		}
+		for _, v := range c.want {
+			wantSum += v
+		}
+		if gotSum != wantSum || gotSum != len(c.spins) {
+			t.Fatalf("case %d: runs %v do not cover the ring", i, got)
+		}
+	}
+	if got := RunLengths(nil); got != nil {
+		t.Fatal("empty configuration must have no runs")
+	}
+}
+
+func TestMeanAndLongestRun(t *testing.T) {
+	spins := []Spin{Plus, Plus, Minus, Minus, Minus, Plus}
+	// Circular runs: the Plus at the end joins the two at the start:
+	// runs are [3 (plus), 3 (minus)].
+	if got := MeanRunLength(spins); got != 3 {
+		t.Fatalf("mean run = %v, want 3", got)
+	}
+	if got := LongestRun(spins); got != 3 {
+		t.Fatalf("longest run = %v, want 3", got)
+	}
+}
+
+// The 1-D contrast the paper cites: more intolerant (tau near 1/2 from
+// below, but above the ~0.35 threshold) rings develop long runs, while
+// very tolerant rings stay near the initial run-length statistics.
+func TestSegregationGrowsInExponentialRegime(t *testing.T) {
+	const n, w = 400, 4 // N = 9
+	src := rng.New(11)
+	meanAt := func(tau float64, label uint64) float64 {
+		var acc float64
+		const reps = 5
+		for r := uint64(0); r < reps; r++ {
+			p, err := NewRandom(n, w, tau, 0.5, src.Split(label*100+r))
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Run(0)
+			acc += MeanRunLength(p.Spins())
+		}
+		return acc / reps
+	}
+	tolerant := meanAt(0.2, 1) // static regime: ~2 (initial coin flips)
+	intolerant := meanAt(0.45, 2)
+	if intolerant <= 2*tolerant {
+		t.Fatalf("run lengths: tolerant %v, intolerant %v; want clear growth", tolerant, intolerant)
+	}
+}
+
+func TestDeterministicReplayRing(t *testing.T) {
+	a, err := NewRandom(100, 2, 0.45, 0.5, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRandom(100, 2, 0.45, 0.5, rng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(0)
+	b.Run(0)
+	as, bs := a.Spins(), b.Spins()
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatal("same seed must give same fixed point")
+		}
+	}
+}
+
+func TestKawasakiRingConservesAndImproves(t *testing.T) {
+	k, err := NewKawasaki(200, 2, 0.45, 0.5, rng.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	countPlus := func() int {
+		c := 0
+		for _, s := range k.Process().Spins() {
+			if s == Plus {
+				c++
+			}
+		}
+		return c
+	}
+	before := countPlus()
+	k.Run(5000, 500)
+	if countPlus() != before {
+		t.Fatal("Kawasaki ring must conserve type counts")
+	}
+	if k.Swaps() == 0 {
+		t.Fatal("expected at least one successful swap on a random ring")
+	}
+}
+
+func TestKawasakiRingDoneOnMonochromatic(t *testing.T) {
+	// All-plus configuration via p = 1.
+	k, err := NewKawasaki(50, 2, 0.45, 1.0, rng.New(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swapped, done := k.StepAttempt(); swapped || !done {
+		t.Fatal("monochromatic ring must be done")
+	}
+}
+
+// Property: RunLengths always partitions the ring.
+func TestQuickRunLengthsPartition(t *testing.T) {
+	f := func(raw []bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		spins := make([]Spin, len(raw))
+		for i, b := range raw {
+			if b {
+				spins[i] = Plus
+			} else {
+				spins[i] = Minus
+			}
+		}
+		total := 0
+		for _, r := range RunLengths(spins) {
+			if r <= 0 {
+				return false
+			}
+			total += r
+		}
+		return total == len(spins)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator used by every stochastic component of the repository.
+//
+// Reproducibility is a first-class requirement: a run of any experiment is
+// fully determined by (seed, parameters). The generator is xoshiro256**,
+// seeded through SplitMix64 as recommended by its authors. Split derives
+// statistically independent child streams from a parent seed and a label,
+// which is how replicate r of an experiment gets its own stream without
+// correlations between replicates.
+//
+// Only the standard library is used; Source satisfies math/rand.Source and
+// math/rand.Source64 so it can be plugged into rand.New when convenient.
+package rng
+
+import "math"
+
+// Source is a xoshiro256** pseudo-random number generator.
+// The zero value is not usable; construct with New or Split.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the given state and returns the next output.
+// It is used for seeding and for label hashing in Split.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed.
+// Distinct seeds give independent-looking streams; the all-zero internal
+// state is unreachable because SplitMix64 never emits four zero outputs
+// in a row.
+func New(seed uint64) *Source {
+	var s Source
+	st := seed
+	for i := range s.s {
+		s.s[i] = splitmix64(&st)
+	}
+	return &s
+}
+
+// Split derives a child Source from the parent's seed material and a label.
+// The same (parent, label) pair always yields the same child, and children
+// with distinct labels are statistically independent. Split does not
+// advance the parent.
+func (s *Source) Split(label uint64) *Source {
+	// Mix the parent state with the label through SplitMix64 so that
+	// child streams differ even for adjacent labels.
+	st := s.s[0] ^ (s.s[1] * 0x9e3779b97f4a7c15) ^ label
+	var c Source
+	for i := range c.s {
+		c.s[i] = splitmix64(&st)
+	}
+	return &c
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative 63-bit integer. It exists so that Source
+// satisfies math/rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed is a no-op; Source is seeded at construction. It exists only to
+// satisfy math/rand.Source.
+func (s *Source) Seed(uint64) {}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// It uses Lemire's nearly-divisionless method with rejection, so the
+// result is exactly uniform.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	un := uint64(n)
+	v := s.Uint64()
+	hi, lo := mul64(v, un)
+	if lo < un {
+		thresh := (-un) % un
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = mul64(v, un)
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += a0 * b1
+	hi = a1*b1 + w2 + w1>>32
+	lo = a * b
+	return hi, lo
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p.
+// p <= 0 always returns false; p >= 1 always returns true.
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// ExpFloat64 returns an exponentially distributed value with rate 1
+// (mean 1), using inversion. Use ExpRate for other rates.
+func (s *Source) ExpFloat64() float64 {
+	// 1-Float64() is in (0,1], so the log argument is never zero.
+	return -math.Log(1 - s.Float64())
+}
+
+// ExpRate returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (s *Source) ExpRate(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: ExpRate called with rate <= 0")
+	}
+	return s.ExpFloat64() / rate
+}
+
+// NormFloat64 returns a standard normal variate via the polar
+// Marsaglia method.
+func (s *Source) NormFloat64() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n) using
+// Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,311 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("streams diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("distinct seeds produced %d identical outputs out of 100", same)
+	}
+}
+
+func TestSplitDeterministicAndIndependent(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(3)
+	c2 := parent.Split(3)
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatal("same label must give identical child streams")
+		}
+	}
+	d1 := parent.Split(4)
+	d2 := parent.Split(5)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if d1.Uint64() == d2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("children with distinct labels matched %d/100 outputs", same)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(11)
+	b := New(11)
+	_ = a.Split(99)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Split must not advance the parent stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(3)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	s := New(5)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d: count %d too far from %v", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 10000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 100; i++ {
+		if s.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !s.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliMean(t *testing.T) {
+	s := New(2)
+	const p, draws = 0.3, 200000
+	hits := 0
+	for i := 0; i < draws; i++ {
+		if s.Bernoulli(p) {
+			hits++
+		}
+	}
+	got := float64(hits) / draws
+	if math.Abs(got-p) > 0.01 {
+		t.Fatalf("Bernoulli(%v) empirical mean %v", p, got)
+	}
+}
+
+func TestExpFloat64Moments(t *testing.T) {
+	s := New(4)
+	const draws = 200000
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		x := s.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("negative exponential variate %v", x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / draws
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("Exp(1) mean = %v, want ~1", mean)
+	}
+	variance := sumsq/draws - mean*mean
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("Exp(1) variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpRate(t *testing.T) {
+	s := New(6)
+	const rate, draws = 4.0, 100000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		sum += s.ExpRate(rate)
+	}
+	mean := sum / draws
+	if math.Abs(mean-1/rate) > 0.01 {
+		t.Fatalf("ExpRate(%v) mean = %v, want %v", rate, mean, 1/rate)
+	}
+}
+
+func TestExpRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ExpRate(0) must panic")
+		}
+	}()
+	New(1).ExpRate(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	s := New(8)
+	const draws = 200000
+	var sum, sumsq float64
+	for i := 0; i < draws; i++ {
+		x := s.NormFloat64()
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / draws
+	variance := sumsq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(10)
+	for _, n := range []int{0, 1, 2, 5, 50} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	s := New(12)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d -> %d", sum, got)
+	}
+}
+
+// Property: Intn output is always within range for arbitrary seeds.
+func TestQuickIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		s := New(seed)
+		for i := 0; i < 20; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Split with equal labels is reproducible for arbitrary seeds.
+func TestQuickSplitReproducible(t *testing.T) {
+	f := func(seed, label uint64) bool {
+		a := New(seed).Split(label)
+		b := New(seed).Split(label)
+		for i := 0; i < 10; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMul64AgainstBig(t *testing.T) {
+	cases := []struct{ a, b uint64 }{
+		{0, 0}, {1, 1}, {math.MaxUint64, math.MaxUint64},
+		{1 << 32, 1 << 32}, {0xdeadbeefcafebabe, 0x123456789abcdef0},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		// Verify via decomposition: (a*b) mod 2^64 must equal lo.
+		if lo != c.a*c.b {
+			t.Errorf("mul64(%d,%d) lo = %d, want %d", c.a, c.b, lo, c.a*c.b)
+		}
+		// Spot-check hi using 32-bit long multiplication.
+		a0, a1 := c.a&0xffffffff, c.a>>32
+		b0, b1 := c.b&0xffffffff, c.b>>32
+		t0 := a0 * b0
+		t1 := a1*b0 + t0>>32
+		t2 := t1 & 0xffffffff
+		t3 := t1 >> 32
+		t2 += a0 * b1
+		wantHi := a1*b1 + t3 + t2>>32
+		if hi != wantHi {
+			t.Errorf("mul64(%d,%d) hi = %d, want %d", c.a, c.b, hi, wantHi)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(441)
+	}
+	_ = sink
+}

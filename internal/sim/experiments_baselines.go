@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/grid"
+	"gridseg/internal/measure"
+	"gridseg/internal/report"
+	"gridseg/internal/ring"
+	"gridseg/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E13",
+		Figure: "1-D baselines (Sec. I.B)",
+		Title:  "Ring Glauber/Kawasaki run lengths vs horizon",
+		Run:    runE13,
+	})
+	register(Experiment{
+		ID:     "E14",
+		Figure: "Glauber vs Kawasaki model classes (Sec. I.A)",
+		Title:  "Open vs closed dynamics from a common initial configuration",
+		Run:    runE14,
+	})
+}
+
+// runE13 reproduces the 1-D picture the paper builds on: at tau inside
+// (~0.35, 1/2) mean run lengths at fixation grow quickly with the
+// horizon, while at tau = 1/2 the growth is polynomial (Brandt et al.)
+// and in the static regime nothing moves.
+func runE13(ctx *Context) ([]*report.Table, error) {
+	n := pick(ctx, 2000, 20000)
+	ws := pick(ctx, []int{2, 4, 6}, []int{2, 4, 6, 8, 12})
+	reps := pick(ctx, 3, 8)
+	taus := []float64{0.2, 0.45, 0.5}
+
+	t := report.NewTable(
+		fmt.Sprintf("Ring Glauber run lengths at fixation: n=%d reps=%d", n, reps),
+		"tau", "w", "N", "mean run len", "longest run", "flips/site")
+	for ti, tau := range taus {
+		for wi, w := range ws {
+			type out struct{ mean, longest, fps float64 }
+			res := parallelMap(ctx, reps, func(r int) out {
+				src := ctx.src(uint64(2000 + ti*1000 + wi*100 + r))
+				p, err := ring.NewRandom(n, w, tau, 0.5, src)
+				if err != nil {
+					return out{math.NaN(), 0, 0}
+				}
+				p.Run(0)
+				spins := p.Spins()
+				return out{
+					mean:    ring.MeanRunLength(spins),
+					longest: float64(ring.LongestRun(spins)),
+					fps:     float64(p.Flips()) / float64(n),
+				}
+			})
+			var means, longs, fps []float64
+			for _, v := range res {
+				if !math.IsNaN(v.mean) {
+					means = append(means, v.mean)
+					longs = append(longs, v.longest)
+					fps = append(fps, v.fps)
+				}
+			}
+			t.AddRow(report.F(tau), report.I(w), report.I(2*w+1),
+				report.F(stats.Mean(means)), report.F(stats.Mean(longs)), report.F3(stats.Mean(fps)))
+		}
+	}
+
+	// Kawasaki ring baseline at a single representative setting.
+	k := report.NewTable("Ring Kawasaki baseline (Brandt et al. model)",
+		"tau", "w", "mean run len before", "mean run len after", "swaps")
+	kw := pick(ctx, 4, 8)
+	ktau := 0.45
+	src := ctx.src(2300)
+	kp, err := ring.NewKawasaki(n, kw, ktau, 0.5, src)
+	if err != nil {
+		return nil, err
+	}
+	before := ring.MeanRunLength(kp.Process().Spins())
+	kp.Run(int64(n)*50, int64(n))
+	after := ring.MeanRunLength(kp.Process().Spins())
+	k.AddRow(report.F(ktau), report.I(kw), report.F(before), report.F(after), report.I64(kp.Swaps()))
+	return []*report.Table{t, k}, nil
+}
+
+// runE14 contrasts the open (Glauber) and closed (Kawasaki) dynamics
+// from identical initial configurations.
+func runE14(ctx *Context) ([]*report.Table, error) {
+	n := pick(ctx, 80, 160)
+	w := 2
+	tau := 0.45
+	reps := pick(ctx, 3, 8)
+
+	t := report.NewTable(
+		fmt.Sprintf("Glauber vs Kawasaki from a common start: n=%d w=%d tau=%.2f", n, w, tau),
+		"replicate", "dynamic", "happy frac", "interface density", "largest cluster frac", "magnetization drift")
+	for r := 0; r < reps; r++ {
+		src := ctx.src(uint64(2400 + r))
+		initial := grid.Random(n, 0.5, src.Split(1))
+		plus0 := initial.CountPlus()
+
+		// Glauber.
+		glat := initial.Clone()
+		gp, err := dynamics.New(glat, w, tau, src.Split(2))
+		if err != nil {
+			return nil, err
+		}
+		gp.Run(0)
+		addRow := func(name string, lat *grid.Lattice, happy float64) {
+			cl, _ := measure.Clusters(lat)
+			largest := cl.LargestPlus
+			if cl.LargestMinus > largest {
+				largest = cl.LargestMinus
+			}
+			drift := math.Abs(float64(lat.CountPlus()-plus0)) / float64(lat.Sites())
+			t.AddRow(report.I(r), name, report.F3(happy),
+				report.F3(measure.InterfaceDensity(lat)),
+				report.F3(float64(largest)/float64(lat.Sites())),
+				report.F3(drift))
+		}
+		addRow("glauber", glat, gp.HappyFraction())
+
+		// Kawasaki from the same initial configuration.
+		klat := initial.Clone()
+		kp, err := dynamics.NewKawasaki(klat, w, tau, src.Split(3))
+		if err != nil {
+			return nil, err
+		}
+		kp.Run(int64(n)*int64(n)*20, int64(n)*int64(n))
+		addRow("kawasaki", klat, kp.Process().HappyFraction())
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gridseg/internal/core"
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/percolation"
+	"gridseg/internal/report"
+	"gridseg/internal/rng"
+	"gridseg/internal/stats"
+	"gridseg/internal/theory"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E10",
+		Figure: "Figs. 4, 11 (firewalls, radical regions)",
+		Title:  "Triggering configurations, firewall invariance, chemical paths",
+		Run:    runE10,
+	})
+	register(Experiment{
+		ID:     "E11",
+		Figure: "Figs. 7, 12 (percolation substrates: Thms 3, 4, 5)",
+		Title:  "FPP concentration, chemical distance, subcritical radii",
+		Run:    runE11,
+	})
+	register(Experiment{
+		ID:     "E12",
+		Figure: "Lemma 23 (FKG) and Proposition 1",
+		Title:  "Positive association and sub-neighborhood self-similarity",
+		Run:    runE12,
+	})
+}
+
+// runE10 observes the triggering and protection machinery directly.
+func runE10(ctx *Context) ([]*report.Table, error) {
+	n := pick(ctx, 60, 120)
+	reps := pick(ctx, 4, 12)
+	w := 2
+	tau := 0.45
+	spec := core.Spec{W: w, EpsPrime: theory.FEpsilon(tau) + 0.1, Eps: 0.1, TauTilde: tau}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+
+	// (a) Radical regions in the initial configuration and their
+	// expandability (Lemmas 4-6).
+	ra := report.NewTable(
+		fmt.Sprintf("Radical regions at t=0: n=%d w=%d tau=%.2f eps'=%.3f reps=%d", n, w, tau, spec.EpsPrime, reps),
+		"replicate", "radical centers (minus)", "expandable", "log2 density/site", "Lemma 20 log2 bound")
+	bound := theory.PRadicalLog2(tau, spec.N(), spec.EpsPrime, spec.Eps)
+	for r := 0; r < reps; r++ {
+		src := ctx.src(uint64(1000 + r))
+		lat := grid.Random(n, 0.5, src)
+		centers := core.FindRadicalRegions(lat, spec, grid.Minus, 1)
+		expandable := 0
+		for _, c := range centers {
+			res, err := core.Expandable(lat, c, spec, grid.Minus)
+			if err == nil && res.Expandable {
+				expandable++
+			}
+		}
+		density := math.Inf(-1)
+		if len(centers) > 0 {
+			density = math.Log2(float64(len(centers)) / float64(n*n))
+		}
+		ra.AddRow(report.I(r), report.I(len(centers)), report.I(expandable),
+			report.F(density), report.F(bound))
+	}
+
+	// (b) Lemma 9: monochromatic annulus static under adversarial
+	// exterior, at a tolerance where the discrete annulus is thick
+	// enough (see core tests for the finite-w caveat).
+	fw := report.NewTable("Firewall invariance (Lemma 9 check)", "radius", "protected")
+	for _, radius := range []float64{10, 14} {
+		protected, err := firewallInvariant(ctx, 41, w, 0.40, radius)
+		if err != nil {
+			return nil, err
+		}
+		fw.AddRow(report.F(radius), fmt.Sprintf("%v", protected))
+	}
+
+	// (c) Chemical paths on the renormalized initial configuration
+	// (Lemmas 11-13): good-block fraction, bad clusters, circuit around
+	// the center.
+	ch := report.NewTable(
+		"Renormalized block field at t=0 (m-blocks, Lemma 11 criterion)",
+		"replicate", "good frac", "bad/good ratio", "max bad cluster", "circuit found", "circuit len", "path len")
+	m := 6
+	bn := pick(ctx, 96, 192)
+	for r := 0; r < reps; r++ {
+		src := ctx.src(uint64(1100 + r))
+		lat := grid.Random(bn, 0.5, src)
+		bf, err := core.Renormalize(lat, m, w, 0.2)
+		if err != nil {
+			return nil, err
+		}
+		centerBlock := geom.Point{X: bf.Side / 2, Y: bf.Side / 2}
+		inner, outer := 3, bf.Side/2-1
+		cp := bf.FindChemicalPath(centerBlock, inner, outer)
+		bad := bf.BadClusters()
+		ch.AddRow(report.I(r), report.F3(bf.GoodFraction()), report.F(bf.BadRatio()),
+			report.I(bad.MaxSize), fmt.Sprintf("%v", cp.OK), report.I(cp.CircuitLen), report.I(cp.PathLen))
+	}
+	return []*report.Table{ra, fw, ch}, nil
+}
+
+// firewallInvariant builds a monochromatic annulus plus interior on a
+// random background, floods the exterior with the opposite type, runs to
+// fixation, and reports whether annulus and interior survived.
+func firewallInvariant(ctx *Context, n, w int, tau, radius float64) (bool, error) {
+	lat := grid.Random(n, 0.5, ctx.src(1200))
+	u := geom.Point{X: n / 2, Y: n / 2}
+	f := core.Firewall{Center: u, R: radius, W: w}
+	tor := lat.Torus()
+	for _, p := range f.Sites(tor) {
+		lat.Set(p, grid.Plus)
+	}
+	for _, p := range f.InteriorSites(tor) {
+		lat.Set(p, grid.Plus)
+	}
+	proc, err := dynamics.New(lat, w, tau, ctx.src(1201))
+	if err != nil {
+		return false, err
+	}
+	protected := map[geom.Point]bool{}
+	for _, p := range f.Sites(tor) {
+		protected[p] = true
+	}
+	for _, p := range f.InteriorSites(tor) {
+		protected[p] = true
+	}
+	for i := 0; i < lat.Sites(); i++ {
+		p := tor.At(i)
+		if !protected[p] && lat.SpinAt(i) == grid.Plus {
+			proc.ForceFlip(i)
+		}
+	}
+	proc.Run(0)
+	for p := range protected {
+		if lat.Spin(p) != grid.Plus {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// runE11 exercises the three cited percolation theorems' shapes.
+func runE11(ctx *Context) ([]*report.Table, error) {
+	// (a) Kesten / Theorem 3: passage times grow linearly with k and
+	// concentrate.
+	ks := pick(ctx, []int{8, 16, 32}, []int{10, 20, 40, 80})
+	fppReps := pick(ctx, 12, 30)
+	fpp := report.NewTable("FPP with Exp(1) site weights (Kesten Thm 3 shape)",
+		"k", "E[T_k]", "E[T_k]/k", "std", "std/sqrt(k)")
+	for ki, k := range ks {
+		res := parallelMap(ctx, fppReps, func(r int) float64 {
+			src := ctx.src(uint64(1300 + ki*100 + r))
+			f, err := percolation.NewFPP(k+11, 21, 1, src)
+			if err != nil {
+				return math.NaN()
+			}
+			v, err := f.PassageTime(percolation.Point{X: 5, Y: 10}, percolation.Point{X: 5 + k, Y: 10})
+			if err != nil {
+				return math.NaN()
+			}
+			return v
+		})
+		var ts []float64
+		for _, v := range res {
+			if !math.IsNaN(v) {
+				ts = append(ts, v)
+			}
+		}
+		s, err := stats.Summarize(ts)
+		if err != nil {
+			return nil, err
+		}
+		fpp.AddRow(report.I(k), report.F(s.Mean), report.F3(s.Mean/float64(k)),
+			report.F3(s.Std), report.F3(s.Std/math.Sqrt(float64(k))))
+	}
+
+	// (b) Garet-Marchand / Theorem 4: chemical distance over l1 tends
+	// to a constant close to 1 as p -> 1.
+	chem := report.NewTable("Chemical distance D(0,x)/||x||_1 (Garet-Marchand Thm 4 shape)",
+		"p", "connected frac", "mean D/l1", "p90 D/l1")
+	dist := pick(ctx, 30, 60)
+	chemReps := pick(ctx, 15, 40)
+	for pi, p := range []float64{0.65, 0.75, 0.85, 0.95} {
+		res := parallelMap(ctx, chemReps, func(r int) float64 {
+			src := ctx.src(uint64(1400 + pi*100 + r))
+			f := percolation.NewField(dist+11, dist/2*2+11, p, src)
+			a := percolation.Point{X: 5, Y: f.H() / 2}
+			b := percolation.Point{X: 5 + dist, Y: f.H() / 2}
+			d, ok := f.ChemicalDistance(a, b)
+			if !ok {
+				return math.NaN()
+			}
+			return float64(d) / float64(dist)
+		})
+		var ratios []float64
+		for _, v := range res {
+			if !math.IsNaN(v) {
+				ratios = append(ratios, v)
+			}
+		}
+		if len(ratios) == 0 {
+			chem.AddRow(report.F(p), "0", "-", "-")
+			continue
+		}
+		chem.AddRow(report.F(p), report.F3(float64(len(ratios))/float64(chemReps)),
+			report.F3(stats.Mean(ratios)), report.F3(stats.Quantile(ratios, 0.9)))
+	}
+
+	// (c) Grimmett / Theorem 5: subcritical origin-cluster radii decay
+	// exponentially; the rate falls as p approaches p_c from below.
+	tail := report.NewTable("Subcritical cluster radius tail (Grimmett Thm 5 shape)",
+		"p", "open origins", "mean radius", "fitted decay rate")
+	radReps := pick(ctx, 200, 600)
+	box := pick(ctx, 41, 61)
+	for pi, p := range []float64{0.30, 0.45, 0.55} {
+		res := parallelMap(ctx, radReps, func(r int) float64 {
+			src := ctx.src(uint64(1500 + pi*1000 + r))
+			f := percolation.NewField(box, box, p, src)
+			_, radius := f.ClusterOf(f.Center())
+			if radius < 0 {
+				return math.NaN()
+			}
+			return float64(radius)
+		})
+		var radii []float64
+		for _, v := range res {
+			if !math.IsNaN(v) {
+				radii = append(radii, v)
+			}
+		}
+		rate, _, err := stats.ExpDecayRate(radii)
+		if err != nil {
+			rate = math.NaN()
+		}
+		tail.AddRow(report.F(p), report.I(len(radii)), report.F3(stats.Mean(radii)), report.F3(rate))
+	}
+	return []*report.Table{fpp, chem, tail}, nil
+}
+
+// runE12 checks (a) the FKG/Harris inequality empirically on static and
+// dynamic increasing events, and (b) the Proposition 1 concentration of
+// sub-neighborhood counts.
+func runE12(ctx *Context) ([]*report.Table, error) {
+	trials := pick(ctx, 4000, 20000)
+
+	fkg := report.NewTable("FKG / Harris positive association (Lemma 23)",
+		"events", "P(A)", "P(B)", "P(A and B)", "P(A)P(B)", "satisfied")
+	addEst := func(name string, est percolation.FKGEstimate) {
+		fkg.AddRow(name, report.F3(est.PA), report.F3(est.PB), report.F3(est.PAB),
+			report.F3(est.PA*est.PB), fmt.Sprintf("%v", est.Satisfied(3)))
+	}
+
+	// Static: increasing events on the initial Bernoulli field.
+	addEst("plus-rich halves (t=0)", percolation.EstimateFKG(trials, func(src *rng.Source) (bool, bool) {
+		lat := grid.Random(12, 0.5, src)
+		pre := grid.NewPrefix(lat)
+		left := pre.PlusInRect(0, 0, 6, 12)
+		total := lat.CountPlus()
+		return left >= 38, total >= 74
+	}, ctx.src(1600)))
+
+	// Dynamic: increasing events on the fixation state (Lemma 23's
+	// dynamic extension): more initial pluses can only push both up.
+	dynTrials := pick(ctx, 300, 1500)
+	addEst("fixation events (dynamic)", percolation.EstimateFKG(dynTrials, func(src *rng.Source) (bool, bool) {
+		run, err := glauberRun(24, 1, 0.5, 0.5, src)
+		if err != nil {
+			return false, false
+		}
+		plusFrac := float64(run.Lat.CountPlus()) / float64(run.Lat.Sites())
+		centerPlus := run.Lat.Spin(geom.Point{X: 12, Y: 12}) == grid.Plus
+		return plusFrac >= 0.5, centerPlus
+	}, ctx.src(1601)))
+
+	// Proposition 1: conditioned on W < tau N over a radius-(1+eps')w
+	// neighborhood, the centered sub-neighborhood count W' concentrates
+	// on gamma tau N within c N^{1/2+eps}.
+	prop := report.NewTable("Proposition 1 concentration (c=1.5, eps=0.1)",
+		"w", "N", "conditioned samples", "frac within bound")
+	propTrials := pick(ctx, 3000, 15000)
+	for _, w := range []int{3, 5, 7} {
+		outer := int(math.Round(1.3 * float64(w)))
+		nOuter := (2*outer + 1) * (2*outer + 1)
+		nbhd := (2*w + 1) * (2*w + 1)
+		tau := 0.45
+		bound := 1.5 * math.Pow(float64(nbhd), 0.6)
+		gamma := float64(nbhd) / float64(nOuter)
+		src := ctx.src(uint64(1700 + w))
+		cond, within := 0, 0
+		for trial := 0; trial < propTrials; trial++ {
+			s := src.Split(uint64(trial))
+			// Draw the outer neighborhood; count minus agents overall
+			// and in the centered w-sub-neighborhood.
+			lat := grid.Random(2*outer+1, 0.5, s)
+			pre := grid.NewPrefix(lat)
+			c := geom.Point{X: outer, Y: outer}
+			minusOuter := nOuter - pre.PlusInSquare(c, outer)
+			if float64(minusOuter) >= tau*float64(nOuter) {
+				continue // condition W < tau N fails
+			}
+			cond++
+			minusInner := nbhd - pre.PlusInSquare(c, w)
+			// Proposition 1 centers W' on gamma * W; with W < tau N
+			// the paper states the rescaled target gamma tau N.
+			target := gamma * float64(minusOuter)
+			if math.Abs(float64(minusInner)-target) < bound {
+				within++
+			}
+		}
+		frac := 0.0
+		if cond > 0 {
+			frac = float64(within) / float64(cond)
+		}
+		prop.AddRow(report.I(w), report.I(nbhd), report.I(cond), report.F3(frac))
+	}
+	return []*report.Table{fkg, prop}, nil
+}

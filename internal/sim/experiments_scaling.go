@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/measure"
+	"gridseg/internal/report"
+	"gridseg/internal/stats"
+	"gridseg/internal/theory"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E5",
+		Figure: "Theorem 1 (Figs. 8, 9 construction)",
+		Title:  "E[M] grows exponentially in N and shrinks toward tau = 1/2",
+		Run:    runE5,
+	})
+	register(Experiment{
+		ID:     "E6",
+		Figure: "Theorem 2 (Figs. 14, 15 construction)",
+		Title:  "E[M'] in the almost-monochromatic interval (tau2, tau1]",
+		Run:    runE6,
+	})
+}
+
+// measureMeanM runs one replicate and returns the mean monochromatic
+// region size over the probe agents.
+func measureMeanM(ctx *Context, n, w int, tau float64, label uint64) (float64, error) {
+	src := ctx.src(label)
+	run, err := glauberRun(n, w, tau, 0.5, src)
+	if err != nil {
+		return 0, err
+	}
+	radii := measure.CenteredRadii(run.Lat)
+	var sizes []float64
+	for _, pt := range samplePoints(n, 5) {
+		sizes = append(sizes, float64(measure.MonoRegionSize(run.Lat, radii, pt)))
+	}
+	return stats.Mean(sizes), nil
+}
+
+// runE5 is the Theorem 1 scaling experiment: sweep the neighborhood size
+// N = (2w+1)^2 at fixed tauTilde and fit log2 E[M] against N; the
+// theorem predicts growth 2^{Theta(N)}, i.e. a positive slope, with
+// larger regions for tau farther below 1/2 (a decreasing in tau).
+func runE5(ctx *Context) ([]*report.Table, error) {
+	ws := pick(ctx, []int{2, 3}, []int{2, 3, 4})
+	taus := pick(ctx, []float64{0.45, 0.48}, []float64{0.44, 0.46, 0.48})
+	reps := pick(ctx, 3, 8)
+	n := pick(ctx, 96, 240)
+
+	scaling := report.NewTable(
+		fmt.Sprintf("Theorem 1 scaling: n=%d reps=%d, E[M] vs N", n, reps),
+		"tauTilde", "w", "N", "effective tau", "E[M]", "log2 E[M]")
+	slopes := report.NewTable(
+		"Theorem 1 exponent fits: slope of log2 E[M] vs N (paper: in [a(tau), b(tau)] asymptotically)",
+		"tauTilde", "fit slope", "slope SE", "R2", "a(tau)", "b(tau)")
+
+	for ti, tau := range taus {
+		var xs, ys []float64
+		for wi, w := range ws {
+			nbhd := (2*w + 1) * (2*w + 1)
+			thresh := theory.Threshold(tau, nbhd)
+			res := parallelMap(ctx, reps, func(r int) float64 {
+				m, err := measureMeanM(ctx, n, w, tau, uint64(5000+ti*1000+wi*100+r))
+				if err != nil {
+					return math.NaN()
+				}
+				return m
+			})
+			var ms []float64
+			for _, v := range res {
+				if !math.IsNaN(v) {
+					ms = append(ms, v)
+				}
+			}
+			mean := stats.Mean(ms)
+			scaling.AddRow(report.F(tau), report.I(w), report.I(nbhd),
+				report.F(float64(thresh)/float64(nbhd)), report.F(mean), report.F3(math.Log2(mean)))
+			xs = append(xs, float64(nbhd))
+			ys = append(ys, math.Log2(mean))
+			ctx.log("E5: tau=%.2f w=%d E[M]=%.1f", tau, w, mean)
+		}
+		fit, err := stats.LinearFit(xs, ys)
+		if err != nil {
+			return nil, err
+		}
+		a, b := theory.Exponents(tau)
+		slopes.AddRow(report.F(tau), report.F(fit.Slope), report.F(fit.SlopeSE),
+			report.F3(fit.R2), report.F(a), report.F(b))
+	}
+	return []*report.Table{scaling, slopes}, nil
+}
+
+// runE6 is the Theorem 2 experiment: in (tau2, tau1] the almost
+// monochromatic region M' (minority/majority ratio <= e^{-eps N}) is
+// exponential while remaining at least as large as M.
+func runE6(ctx *Context) ([]*report.Table, error) {
+	ws := pick(ctx, []int{2, 3}, []int{2, 3, 4})
+	taus := []float64{0.36, 0.40}
+	reps := pick(ctx, 3, 8)
+	n := pick(ctx, 96, 240)
+	const eps = 0.05
+
+	t := report.NewTable(
+		fmt.Sprintf("Theorem 2: almost monochromatic regions, n=%d reps=%d beta=e^(-%.2f N)", n, reps, eps),
+		"tauTilde", "w", "N", "beta", "E[M']", "E[M]", "M' >= M")
+	for ti, tau := range taus {
+		for wi, w := range ws {
+			nbhd := (2*w + 1) * (2*w + 1)
+			beta := math.Exp(-eps * float64(nbhd))
+			type pair struct{ mp, m float64 }
+			res := parallelMap(ctx, reps, func(r int) pair {
+				src := ctx.src(uint64(6000 + ti*1000 + wi*100 + r))
+				run, err := glauberRun(n, w, tau, 0.5, src)
+				if err != nil {
+					return pair{math.NaN(), math.NaN()}
+				}
+				radii := measure.CenteredRadii(run.Lat)
+				pre := grid.NewPrefix(run.Lat)
+				var mps, ms []float64
+				for _, pt := range samplePoints(n, 3) {
+					ms = append(ms, float64(measure.MonoRegionSize(run.Lat, radii, pt)))
+					mps = append(mps, float64(measure.AlmostMonoSize(run.Lat, pre, pt, beta, n/3)))
+				}
+				return pair{stats.Mean(mps), stats.Mean(ms)}
+			})
+			var mps, ms []float64
+			for _, v := range res {
+				if !math.IsNaN(v.mp) {
+					mps = append(mps, v.mp)
+					ms = append(ms, v.m)
+				}
+			}
+			mp := stats.Mean(mps)
+			m := stats.Mean(ms)
+			t.AddRow(report.F(tau), report.I(w), report.I(nbhd), report.F(beta),
+				report.F(mp), report.F(m), fmt.Sprintf("%v", mp >= m))
+			ctx.log("E6: tau=%.2f w=%d E[M']=%.1f E[M]=%.1f", tau, w, mp, m)
+		}
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gridseg/internal/core"
+	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/report"
+	"gridseg/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E18",
+		Figure: "Lemma 7 / Eq. 9 (spread time T(rho))",
+		Title:  "Unhappiness spread: stalling fronts and T(rho) in an active sea",
+		Run:    runE18,
+	})
+}
+
+// runE18 measures the paper's T(rho) observable (Eq. 9) directly.
+//
+// Part 1 (the firewall story): a monochromatic minority blob in a pure
+// majority sea erodes only at its corners and stalls as a stable
+// octagon — the probe never trips, at any blob size. This is the
+// mechanism behind Lemma 9's impenetrable structures.
+//
+// Part 2 (the Lemma 7 regime): in an active balanced sea (majority
+// rule) fronts do move; T(rho) is the first time a probe region of
+// radius rho would host an unhappy agent of the probe type. T(rho) is
+// non-increasing in rho (an infimum over a growing region) and finite.
+func runE18(ctx *Context) ([]*report.Table, error) {
+	// Part 1: stalling fronts.
+	n := pick(ctx, 41, 61)
+	stall := report.NewTable(
+		fmt.Sprintf("Minority blob in a pure sea stalls (n=%d w=2 tau=0.45)", n),
+		"blob radius", "tripped", "erosion flips", "fixated")
+	for _, radius := range pick(ctx, []int{4, 6}, []int{4, 6, 8, 10}) {
+		lat := grid.New(n, grid.Plus)
+		tor := lat.Torus()
+		blob := geom.Point{X: 3 * n / 4, Y: 3 * n / 4}
+		tor.Square(blob, radius, func(q geom.Point) { lat.Set(q, grid.Minus) })
+		p, err := dynamics.New(lat, 2, 0.45, ctx.src(uint64(2800+radius)))
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.SpreadTime(p, geom.Point{X: n / 4, Y: n / 4}, 3, grid.Plus, 0)
+		if err != nil {
+			return nil, err
+		}
+		stall.AddRow(report.I(radius), fmt.Sprintf("%v", res.Tripped),
+			report.I64(res.Flips), fmt.Sprintf("%v", p.Fixated()))
+	}
+
+	// Part 2: T(rho) in an active sea, averaged over replicates that
+	// start untripped.
+	reps := pick(ctx, 8, 24)
+	rhos := []int{1, 2, 3}
+	active := report.NewTable(
+		fmt.Sprintf("T(rho) in an active balanced sea (majority rule, n=41 w=2, reps=%d)", reps),
+		"rho", "usable replicates", "mean T(rho)", "mean flips to trip")
+	for _, rho := range rhos {
+		type out struct {
+			t     float64
+			flips float64
+			ok    bool
+		}
+		res := parallelMap(ctx, reps, func(r int) out {
+			src := ctx.src(uint64(2900 + r))
+			lat := grid.Random(41, 0.5, src.Split(1))
+			p, err := dynamics.New(lat, 2, 0.5, src.Split(2))
+			if err != nil {
+				return out{}
+			}
+			tor := lat.Torus()
+			// First center whose probe region is untripped at t=0.
+			for i := 0; i < lat.Sites(); i++ {
+				c := tor.At(i)
+				trip0 := false
+				tor.Square(c, rho, func(q geom.Point) {
+					if !p.HappyAs(tor.Index(q), grid.Plus) {
+						trip0 = true
+					}
+				})
+				if trip0 {
+					continue
+				}
+				sres, err := core.SpreadTime(p, c, rho, grid.Plus, 0)
+				if err != nil || !sres.Tripped {
+					return out{}
+				}
+				return out{t: sres.Time, flips: float64(sres.Flips), ok: true}
+			}
+			return out{}
+		})
+		var ts, flips []float64
+		for _, v := range res {
+			if v.ok {
+				ts = append(ts, v.t)
+				flips = append(flips, v.flips)
+			}
+		}
+		meanT := math.NaN()
+		meanF := math.NaN()
+		if len(ts) > 0 {
+			meanT = stats.Mean(ts)
+			meanF = stats.Mean(flips)
+		}
+		active.AddRow(report.I(rho), report.I(len(ts)), report.F(meanT), report.F(meanF))
+	}
+	return []*report.Table{stall, active}, nil
+}

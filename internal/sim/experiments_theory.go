@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gridseg/internal/report"
+	"gridseg/internal/theory"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "E2",
+		Figure: "Fig. 2",
+		Title:  "Intolerance intervals for (almost) monochromatic segregation",
+		Run:    runE2,
+	})
+	register(Experiment{
+		ID:     "E3",
+		Figure: "Fig. 3",
+		Title:  "Exponent multipliers a(tau) and b(tau)",
+		Run:    runE3,
+	})
+	register(Experiment{
+		ID:     "E4",
+		Figure: "Fig. 6",
+		Title:  "Triggering threshold f(tau), the infimum of eps'",
+		Run:    runE4,
+	})
+}
+
+// runE2 regenerates the Fig. 2 interval structure from the defining
+// equations (1) and (3).
+func runE2(ctx *Context) ([]*report.Table, error) {
+	t1 := theory.Tau1()
+	consts := report.NewTable("Fig. 2 constants", "quantity", "paper", "computed")
+	consts.AddRow("tau1 (Eq. 1)", "~0.433", report.F(t1))
+	consts.AddRow("tau2 (Eq. 3)", "~0.344", report.F(theory.Tau2))
+	consts.AddRow("monochromatic width 1-2*tau1", "~0.134", report.F(theory.MonochromaticWidth()))
+	consts.AddRow("almost-mono width 1-2*tau2", "~0.312", report.F(theory.AlmostMonochromaticWidth()))
+
+	iv := report.NewTable("Fig. 2 intervals", "lo", "hi", "regime")
+	for _, in := range theory.Intervals() {
+		iv.AddRow(report.F(in.Lo), report.F(in.Hi), in.Label)
+	}
+	return []*report.Table{consts, iv}, nil
+}
+
+// curveTable samples the theory curves and optionally writes a CSV.
+func curveTable(ctx *Context, title, csvName string, samples int, cols []string, cells func(p theory.CurvePoint) []string) (*report.Table, error) {
+	t := report.NewTable(title, cols...)
+	for _, p := range theory.Curves(samples) {
+		t.AddRow(cells(p)...)
+	}
+	if ctx.OutDir != "" {
+		path := filepath.Join(ctx.OutDir, csvName)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		defer f.Close()
+		if err := t.WriteCSV(f); err != nil {
+			return nil, err
+		}
+		ctx.log("wrote %s", path)
+	}
+	return t, nil
+}
+
+// runE3 regenerates the Fig. 3 curves a(tau), b(tau) with eps' = f(tau).
+func runE3(ctx *Context) ([]*report.Table, error) {
+	samples := pick(ctx, 12, 48)
+	t, err := curveTable(ctx, "Fig. 3: exponent multipliers (tau2, 1/2)", "fig3_exponents.csv",
+		samples, []string{"tau", "a(tau)", "b(tau)"},
+		func(p theory.CurvePoint) []string {
+			return []string{report.F(p.Tau), report.F(p.A), report.F(p.B)}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}
+
+// runE4 regenerates the Fig. 6 curve f(tau).
+func runE4(ctx *Context) ([]*report.Table, error) {
+	samples := pick(ctx, 12, 48)
+	t, err := curveTable(ctx, "Fig. 6: infimum of eps' to trigger a cascade", "fig6_ftau.csv",
+		samples, []string{"tau", "f(tau)"},
+		func(p theory.CurvePoint) []string {
+			return []string{report.F(p.Tau), report.F(p.F)}
+		})
+	if err != nil {
+		return nil, err
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/grid"
+	"gridseg/internal/measure"
+	"gridseg/internal/report"
+	"gridseg/internal/stats"
+)
+
+// E15-E17 implement the variations the paper proposes as future work:
+// both-sided discomfort and the initial-density question (Section V),
+// and the noisy-agent variant (Section I.A).
+func init() {
+	register(Experiment{
+		ID:     "E15",
+		Figure: "Sec. V variation (both-sided discomfort)",
+		Title:  "Upper intolerance caps segregation",
+		Run:    runE15,
+	})
+	register(Experiment{
+		ID:     "E16",
+		Figure: "Sec. V question (initial density p)",
+		Title:  "Initial density sweep inside the Theorem 1 interval",
+		Run:    runE16,
+	})
+	register(Experiment{
+		ID:     "E17",
+		Figure: "Sec. I.A variation (noisy agents)",
+		Title:  "Segregation robustness under rule-violating noise",
+		Run:    runE17,
+	})
+}
+
+// variantStats runs a variant to a budget and summarizes the final
+// configuration.
+type variantOut struct {
+	happy, iface, same, largest float64
+	ok                          bool
+}
+
+func runVariantOnce(ctx *Context, n, w int, opts dynamics.VariantOptions, budget int64, label uint64) variantOut {
+	src := ctx.src(label)
+	lat := grid.Random(n, 0.5, src.Split(1))
+	v, err := dynamics.NewVariant(lat, w, opts, src.Split(2))
+	if err != nil {
+		return variantOut{}
+	}
+	if _, _, err := v.Run(budget); err != nil {
+		return variantOut{}
+	}
+	cl, _ := measure.Clusters(lat)
+	largest := cl.LargestPlus
+	if cl.LargestMinus > largest {
+		largest = cl.LargestMinus
+	}
+	return variantOut{
+		happy:   1 - float64(v.UnhappyCount())/float64(lat.Sites()),
+		iface:   measure.InterfaceDensity(lat),
+		same:    measure.MeanSameFraction(lat, w),
+		largest: float64(largest) / float64(lat.Sites()),
+		ok:      true,
+	}
+}
+
+// runE15 sweeps the upper discomfort threshold: agents unhappy both as
+// extreme minorities and as saturated majorities. Lower upper
+// thresholds must cap cluster growth.
+func runE15(ctx *Context) ([]*report.Table, error) {
+	n := pick(ctx, 64, 128)
+	w := 2
+	tau := 0.45
+	reps := pick(ctx, 3, 8)
+	budget := int64(n) * int64(n) * 5
+	uppers := []float64{1.0, 0.9, 0.8, 0.7}
+	t := report.NewTable(
+		fmt.Sprintf("Both-sided discomfort: n=%d w=%d tau=%.2f budget=%d reps=%d", n, w, tau, budget, reps),
+		"upper", "happy frac", "interface density", "mean same frac", "largest cluster frac")
+	for ui, upper := range uppers {
+		opts := dynamics.VariantOptions{
+			TauPlus: tau, TauMinus: tau,
+			UpperPlus: upper, UpperMinus: upper,
+		}
+		res := parallelMap(ctx, reps, func(r int) variantOut {
+			return runVariantOnce(ctx, n, w, opts, budget, uint64(2500+ui*100+r))
+		})
+		var happy, iface, same, largest []float64
+		for _, v := range res {
+			if v.ok {
+				happy = append(happy, v.happy)
+				iface = append(iface, v.iface)
+				same = append(same, v.same)
+				largest = append(largest, v.largest)
+			}
+		}
+		t.AddRow(report.F(upper), report.F3(stats.Mean(happy)), report.F3(stats.Mean(iface)),
+			report.F3(stats.Mean(same)), report.F3(stats.Mean(largest)))
+	}
+	return []*report.Table{t}, nil
+}
+
+// runE16 addresses the Section V question of how the initial density p
+// influences segregation inside the Theorem 1 interval: as p grows the
+// minority's largest surviving cluster collapses and takeovers appear.
+func runE16(ctx *Context) ([]*report.Table, error) {
+	n := pick(ctx, 64, 160)
+	w := 2
+	tau := 0.45
+	reps := pick(ctx, 4, 10)
+	ps := []float64{0.5, 0.55, 0.6, 0.7, 0.8}
+	t := report.NewTable(
+		fmt.Sprintf("Initial density sweep at tau=%.2f: n=%d w=%d reps=%d", tau, n, w, reps),
+		"p", "final |magnetization|", "minority cluster frac", "frac complete")
+	for pi, p := range ps {
+		type out struct {
+			mag, minority, complete float64
+			ok                      bool
+		}
+		res := parallelMap(ctx, reps, func(r int) out {
+			src := ctx.src(uint64(2600 + pi*100 + r))
+			run, err := glauberRun(n, w, tau, p, src)
+			if err != nil {
+				return out{}
+			}
+			sites := run.Lat.Sites()
+			plus := run.Lat.CountPlus()
+			mag := math.Abs(float64(2*plus-sites)) / float64(sites)
+			cl, _ := measure.Clusters(run.Lat)
+			minority := cl.LargestMinus
+			if plus < sites-plus {
+				minority = cl.LargestPlus
+			}
+			complete := 0.0
+			if plus == 0 || plus == sites {
+				complete = 1
+			}
+			return out{mag: mag, minority: float64(minority) / float64(sites), complete: complete, ok: true}
+		})
+		var mags, minorities, completes []float64
+		for _, v := range res {
+			if v.ok {
+				mags = append(mags, v.mag)
+				minorities = append(minorities, v.minority)
+				completes = append(completes, v.complete)
+			}
+		}
+		t.AddRow(report.F(p), report.F3(stats.Mean(mags)),
+			report.F3(stats.Mean(minorities)), report.F3(stats.Mean(completes)))
+	}
+	return []*report.Table{t}, nil
+}
+
+// runE17 sweeps the noise rate: with small noise the segregated
+// structure persists (interface density stays low); with large noise
+// the rule signal is drowned and the configuration stays disordered.
+func runE17(ctx *Context) ([]*report.Table, error) {
+	n := pick(ctx, 64, 128)
+	w := 2
+	tau := 0.45
+	reps := pick(ctx, 3, 8)
+	budget := int64(n) * int64(n) * 5
+	noises := []float64{0, 0.01, 0.05, 0.2}
+	t := report.NewTable(
+		fmt.Sprintf("Noisy agents: n=%d w=%d tau=%.2f budget=%d reps=%d", n, w, tau, budget, reps),
+		"noise", "interface density", "mean same frac", "largest cluster frac")
+	for ni, noise := range noises {
+		opts := dynamics.VariantOptions{TauPlus: tau, TauMinus: tau, Noise: noise}
+		res := parallelMap(ctx, reps, func(r int) variantOut {
+			return runVariantOnce(ctx, n, w, opts, budget, uint64(2700+ni*100+r))
+		})
+		var iface, same, largest []float64
+		for _, v := range res {
+			if v.ok {
+				iface = append(iface, v.iface)
+				same = append(same, v.same)
+				largest = append(largest, v.largest)
+			}
+		}
+		t.AddRow(report.F(noise), report.F3(stats.Mean(iface)),
+			report.F3(stats.Mean(same)), report.F3(stats.Mean(largest)))
+	}
+	return []*report.Table{t}, nil
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"testing"
+
+	"gridseg/internal/rng"
+)
+
+func TestSamplePoints(t *testing.T) {
+	pts := samplePoints(100, 5)
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	seen := map[[2]int]bool{}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 100 || p.Y < 0 || p.Y >= 100 {
+			t.Fatalf("point %v out of range", p)
+		}
+		seen[[2]int{p.X, p.Y}] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("probe points insufficiently spread: %v", pts)
+	}
+	// Deterministic.
+	again := samplePoints(100, 5)
+	for i := range pts {
+		if pts[i] != again[i] {
+			t.Fatal("samplePoints must be deterministic")
+		}
+	}
+}
+
+func TestClassifyHelper(t *testing.T) {
+	if classify(0.45) != "monochromatic" {
+		t.Fatalf("classify(0.45) = %s", classify(0.45))
+	}
+	if classify(0.1) != "static" {
+		t.Fatalf("classify(0.1) = %s", classify(0.1))
+	}
+}
+
+func TestPick(t *testing.T) {
+	quick := &Context{Quick: true}
+	full := &Context{}
+	if pick(quick, 1, 2) != 1 || pick(full, 1, 2) != 2 {
+		t.Fatal("pick broken")
+	}
+	if pick(quick, "a", "b") != "a" {
+		t.Fatal("pick generic instantiation broken")
+	}
+}
+
+func TestGlauberRunHelper(t *testing.T) {
+	src := rng.New(3)
+	res, err := glauberRun(24, 2, 0.45, 0.5, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Proc.Fixated() {
+		t.Fatal("helper must run to fixation")
+	}
+	if res.Flips != res.Proc.Flips() {
+		t.Fatal("flip accounting mismatch")
+	}
+	if res.Lat != res.Proc.Lattice() {
+		t.Fatal("lattice identity mismatch")
+	}
+	if _, err := glauberRun(9, 20, 0.45, 0.5, src); err == nil {
+		t.Fatal("want error for oversized horizon")
+	}
+}
+
+func TestContextDefaults(t *testing.T) {
+	ctx := &Context{}
+	if ctx.workers() < 1 {
+		t.Fatal("workers must default to at least 1")
+	}
+	ctx.Workers = 3
+	if ctx.workers() != 3 {
+		t.Fatal("explicit workers ignored")
+	}
+	// src must be deterministic per id.
+	a := ctx.src(7).Uint64()
+	b := ctx.src(7).Uint64()
+	if a != b {
+		t.Fatal("src must be deterministic")
+	}
+	// log without a logger must not panic.
+	ctx.log("nothing %d", 1)
+	called := false
+	ctx.Logf = func(string, ...interface{}) { called = true }
+	ctx.log("hello")
+	if !called {
+		t.Fatal("log must forward to Logf")
+	}
+}

@@ -1,0 +1,159 @@
+// Package sim is the experiment harness: it defines the execution
+// context (quick vs full parameters, deterministic seeding, optional
+// artifact output directory, worker-pool parallelism) and the registry
+// of experiments E1..E18, each of which regenerates one of the paper's
+// figures or validates one of its theorems' shapes. See DESIGN.md
+// section 5 for the experiment-to-figure index.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/grid"
+	"gridseg/internal/report"
+	"gridseg/internal/rng"
+)
+
+// Context carries the run configuration shared by all experiments.
+type Context struct {
+	// Quick selects reduced parameters suitable for CI; full mode uses
+	// paper-scale parameters.
+	Quick bool
+	// Seed determines every random choice of the experiment.
+	Seed uint64
+	// OutDir, when non-empty, receives artifacts (PNG snapshots, CSVs).
+	OutDir string
+	// Workers bounds the replicate worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// log emits a progress line if a logger is configured.
+func (c *Context) log(format string, args ...interface{}) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// workers returns the effective worker count.
+func (c *Context) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// src returns the root random source of the experiment identified by id.
+func (c *Context) src(id uint64) *rng.Source {
+	return rng.New(c.Seed).Split(id)
+}
+
+// Experiment is a runnable reproduction unit.
+type Experiment struct {
+	ID     string // "E1" .. "E14"
+	Figure string // the paper artifact it regenerates
+	Title  string
+	Run    func(ctx *Context) ([]*report.Table, error)
+}
+
+var (
+	registryMu sync.Mutex
+	registry   []Experiment
+)
+
+// register adds an experiment at package init time.
+func register(e Experiment) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry = append(registry, e)
+}
+
+// All returns the registered experiments ordered by numeric ID.
+func All() []Experiment {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool {
+		var a, b int
+		fmt.Sscanf(out[i].ID, "E%d", &a)
+		fmt.Sscanf(out[j].ID, "E%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// parallelMap runs fn(i) for i in [0, n) on the context's worker pool
+// and collects the results in order. fn must be safe for concurrent use
+// with distinct i.
+func parallelMap[T any](ctx *Context, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	workers := ctx.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// glauberRun builds a Bernoulli(p) lattice, runs Glauber dynamics to
+// fixation (bounded by the Lyapunov limit), and returns the process.
+type glauberResult struct {
+	Proc  *dynamics.Process
+	Lat   *grid.Lattice
+	Flips int64
+}
+
+func glauberRun(n, w int, tau, p float64, src *rng.Source) (glauberResult, error) {
+	lat := grid.Random(n, p, src.Split(1))
+	proc, err := dynamics.New(lat, w, tau, src.Split(2))
+	if err != nil {
+		return glauberResult{}, err
+	}
+	flips, _ := proc.Run(0)
+	return glauberResult{Proc: proc, Lat: lat, Flips: flips}, nil
+}
+
+// pick returns q in quick mode and f otherwise.
+func pick[T any](ctx *Context, q, f T) T {
+	if ctx.Quick {
+		return q
+	}
+	return f
+}

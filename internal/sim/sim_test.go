@@ -1,0 +1,416 @@
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gridseg/internal/report"
+)
+
+func quickCtx(t *testing.T) *Context {
+	t.Helper()
+	return &Context{Quick: true, Seed: 12345, Workers: 2}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("registry has %d experiments, want 18", len(all))
+	}
+	seen := map[string]bool{}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Figure == "" || e.Run == nil {
+			t.Fatalf("experiment %d incomplete: %+v", i, e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	// Ordered by numeric ID.
+	for i := 1; i < len(all); i++ {
+		a, _ := strconv.Atoi(strings.TrimPrefix(all[i-1].ID, "E"))
+		b, _ := strconv.Atoi(strings.TrimPrefix(all[i].ID, "E"))
+		if a >= b {
+			t.Fatalf("registry not ordered: %s before %s", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestFind(t *testing.T) {
+	if _, ok := Find("E2"); !ok {
+		t.Fatal("E2 must exist")
+	}
+	if _, ok := Find("E99"); ok {
+		t.Fatal("E99 must not exist")
+	}
+}
+
+func TestParallelMapOrderAndCompleteness(t *testing.T) {
+	ctx := quickCtx(t)
+	got := parallelMap(ctx, 50, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d: got %d", i, v)
+		}
+	}
+	// Sequential path.
+	ctx.Workers = 1
+	got = parallelMap(ctx, 3, func(i int) int { return i })
+	if got[2] != 2 {
+		t.Fatal("sequential path broken")
+	}
+	// n < workers path.
+	ctx.Workers = 8
+	got = parallelMap(ctx, 2, func(i int) int { return i + 1 })
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatal("small-n path broken")
+	}
+}
+
+// checkTables applies basic well-formedness checks shared by all
+// experiment outputs.
+func checkTables(t *testing.T, id string, tables []*report.Table) {
+	t.Helper()
+	if len(tables) == 0 {
+		t.Fatalf("%s returned no tables", id)
+	}
+	for ti, tb := range tables {
+		if len(tb.Columns) == 0 {
+			t.Fatalf("%s table %d has no columns", id, ti)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s table %d has no rows", id, ti)
+		}
+		for ri, row := range tb.Rows {
+			if len(row) != len(tb.Columns) {
+				t.Fatalf("%s table %d row %d has %d cells, want %d",
+					id, ti, ri, len(row), len(tb.Columns))
+			}
+		}
+		// Must render without panicking.
+		if tb.String() == "" {
+			t.Fatalf("%s table %d renders empty", id, ti)
+		}
+	}
+}
+
+// Each experiment runs green in quick mode. Heavier experiments are
+// split into their own test functions so -run filters and parallel test
+// scheduling work naturally.
+func runExperiment(t *testing.T, id string) []*report.Table {
+	t.Helper()
+	e, ok := Find(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tables, err := e.Run(quickCtx(t))
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	checkTables(t, id, tables)
+	return tables
+}
+
+func TestE1Quick(t *testing.T) {
+	tables := runExperiment(t, "E1")
+	// Final stage must be fully happy (the process fixates below 1/2).
+	rows := tables[0].Rows
+	last := rows[len(rows)-1]
+	if last[3] != "1.000" {
+		t.Fatalf("final happy fraction = %s, want 1.000", last[3])
+	}
+}
+
+func TestE1WritesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	ctx := quickCtx(t)
+	ctx.OutDir = dir
+	e, _ := Find("E1")
+	if _, err := e.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for stage := 0; stage < 4; stage++ {
+		path := filepath.Join(dir, "fig1_stage"+strconv.Itoa(stage)+".png")
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("missing artifact %s: %v", path, err)
+		}
+	}
+}
+
+func TestE2Quick(t *testing.T) {
+	tables := runExperiment(t, "E2")
+	// tau1 computed must start with 0.433 as the paper quotes.
+	if !strings.HasPrefix(tables[0].Rows[0][2], "0.433") {
+		t.Fatalf("tau1 cell = %q", tables[0].Rows[0][2])
+	}
+	if len(tables[1].Rows) != 4 {
+		t.Fatalf("want 4 intervals, got %d", len(tables[1].Rows))
+	}
+}
+
+func TestE3Quick(t *testing.T) {
+	tables := runExperiment(t, "E3")
+	// a <= b on every row.
+	for _, row := range tables[0].Rows {
+		a, _ := strconv.ParseFloat(row[1], 64)
+		b, _ := strconv.ParseFloat(row[2], 64)
+		if a > b {
+			t.Fatalf("a > b in row %v", row)
+		}
+	}
+}
+
+func TestE4Quick(t *testing.T) {
+	tables := runExperiment(t, "E4")
+	for _, row := range tables[0].Rows {
+		f, _ := strconv.ParseFloat(row[1], 64)
+		if f <= 0 || f >= 0.5 {
+			t.Fatalf("f out of (0, 1/2) in row %v", row)
+		}
+	}
+}
+
+func TestE5Quick(t *testing.T) {
+	tables := runExperiment(t, "E5")
+	// Scaling table: E[M] must grow with N for each tau (exponential
+	// growth shape). Rows are grouped by tau then w ascending.
+	scaling := tables[0]
+	byTau := map[string][]float64{}
+	for _, row := range scaling.Rows {
+		m, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byTau[row[0]] = append(byTau[row[0]], m)
+	}
+	for tau, ms := range byTau {
+		for i := 1; i < len(ms); i++ {
+			if ms[i] <= ms[i-1] {
+				t.Fatalf("tau=%s: E[M] did not grow with N: %v", tau, ms)
+			}
+		}
+	}
+	// Fit slopes must be positive.
+	for _, row := range tables[1].Rows {
+		slope, _ := strconv.ParseFloat(row[1], 64)
+		if slope <= 0 {
+			t.Fatalf("non-positive growth slope in row %v", row)
+		}
+	}
+}
+
+func TestE6Quick(t *testing.T) {
+	tables := runExperiment(t, "E6")
+	for _, row := range tables[0].Rows {
+		if row[6] != "true" {
+			t.Fatalf("M' < M in row %v", row)
+		}
+	}
+}
+
+func TestE7Quick(t *testing.T) {
+	tables := runExperiment(t, "E7")
+	// Static rows (tau 0.15, 0.22, 0.80) must have ~zero flips/site;
+	// the tau=0.45 row must have clearly more.
+	rows := tables[0].Rows
+	static := []int{0, 1, 3}
+	active := 2
+	for _, i := range static {
+		fps, _ := strconv.ParseFloat(rows[i][2], 64)
+		if fps > 0.05 {
+			t.Fatalf("static tau=%s has %v flips/site", rows[i][0], fps)
+		}
+	}
+	fps, _ := strconv.ParseFloat(rows[active][2], 64)
+	if fps < 0.05 {
+		t.Fatalf("active tau row has only %v flips/site", fps)
+	}
+}
+
+func TestE8Quick(t *testing.T) {
+	tables := runExperiment(t, "E8")
+	// The tau = 1/2 case is open in the paper (Sec. V): no ordering is
+	// asserted, but both points must segregate beyond a singleton and
+	// report sane values.
+	for _, row := range tables[0].Rows {
+		m, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m <= 1 {
+			t.Fatalf("mean region size %v implausibly small in row %v", m, row)
+		}
+	}
+}
+
+func TestE9Quick(t *testing.T) {
+	tables := runExperiment(t, "E9")
+	rows := tables[0].Rows
+	first, _ := strconv.ParseFloat(rows[0][1], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][1], 64)
+	if last < first {
+		t.Fatalf("complete-segregation fraction must not fall with p: %v -> %v", first, last)
+	}
+}
+
+func TestE10Quick(t *testing.T) {
+	tables := runExperiment(t, "E10")
+	// Firewall invariance rows must all be protected.
+	for _, row := range tables[1].Rows {
+		if row[1] != "true" {
+			t.Fatalf("firewall breached in row %v", row)
+		}
+	}
+	// Block fields on balanced noise must be mostly good.
+	for _, row := range tables[2].Rows {
+		frac, _ := strconv.ParseFloat(row[1], 64)
+		if frac < 0.5 {
+			t.Fatalf("good fraction %v too low in row %v", frac, row)
+		}
+	}
+}
+
+func TestE11Quick(t *testing.T) {
+	tables := runExperiment(t, "E11")
+	// FPP: E[T_k]/k roughly constant: max/min < 2.
+	var ratios []float64
+	for _, row := range tables[0].Rows {
+		v, _ := strconv.ParseFloat(row[2], 64)
+		ratios = append(ratios, v)
+	}
+	min, max := ratios[0], ratios[0]
+	for _, v := range ratios {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if max/min > 2 {
+		t.Fatalf("E[T_k]/k not roughly constant: %v", ratios)
+	}
+	// Chemical distance ratio decreases toward 1 as p grows.
+	chem := tables[1].Rows
+	firstMean, _ := strconv.ParseFloat(chem[0][2], 64)
+	lastMean, _ := strconv.ParseFloat(chem[len(chem)-1][2], 64)
+	if lastMean > firstMean {
+		t.Fatalf("D/l1 must shrink with p: %v -> %v", firstMean, lastMean)
+	}
+	if lastMean < 1 {
+		t.Fatalf("D/l1 below 1 is impossible: %v", lastMean)
+	}
+}
+
+func TestE12Quick(t *testing.T) {
+	tables := runExperiment(t, "E12")
+	for _, row := range tables[0].Rows {
+		if row[5] != "true" {
+			t.Fatalf("FKG violated: %v", row)
+		}
+	}
+	// Proposition 1: concentration fraction must be high and grow
+	// toward 1 with w.
+	rows := tables[1].Rows
+	first, _ := strconv.ParseFloat(rows[0][3], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if first < 0.5 || last < 0.9 {
+		t.Fatalf("Proposition 1 concentration too weak: %v -> %v", first, last)
+	}
+}
+
+func TestE13Quick(t *testing.T) {
+	tables := runExperiment(t, "E13")
+	// At each w, runs at tau=0.45 dominate tau=0.2 (static).
+	rows := tables[0].Rows
+	get := func(tau string, wIdx int) float64 {
+		for _, row := range rows {
+			if row[0] == tau {
+				if wIdx == 0 {
+					v, _ := strconv.ParseFloat(row[3], 64)
+					return v
+				}
+				wIdx--
+			}
+		}
+		t.Fatalf("row not found for tau=%s", tau)
+		return 0
+	}
+	if get("0.45", 0) <= get("0.2", 0) {
+		t.Fatal("tau=0.45 ring must segregate more than static tau=0.2")
+	}
+}
+
+func TestE15Quick(t *testing.T) {
+	tables := runExperiment(t, "E15")
+	rows := tables[0].Rows
+	// The plain model (upper = 1) must segregate more than the tight
+	// discomfort cap (upper = 0.7): higher mean same fraction.
+	first, _ := strconv.ParseFloat(rows[0][3], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][3], 64)
+	if first <= last {
+		t.Fatalf("discomfort cap failed to limit segregation: %v vs %v", first, last)
+	}
+}
+
+func TestE16Quick(t *testing.T) {
+	tables := runExperiment(t, "E16")
+	rows := tables[0].Rows
+	// Minority survival shrinks as p grows.
+	first, _ := strconv.ParseFloat(rows[0][2], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][2], 64)
+	if last >= first {
+		t.Fatalf("minority cluster fraction must fall with p: %v -> %v", first, last)
+	}
+}
+
+func TestE17Quick(t *testing.T) {
+	tables := runExperiment(t, "E17")
+	rows := tables[0].Rows
+	// High noise must leave the configuration more disordered (higher
+	// interface density) than the noise-free run.
+	first, _ := strconv.ParseFloat(rows[0][1], 64)
+	last, _ := strconv.ParseFloat(rows[len(rows)-1][1], 64)
+	if last <= first {
+		t.Fatalf("noise must raise interface density: %v -> %v", first, last)
+	}
+}
+
+func TestE14Quick(t *testing.T) {
+	tables := runExperiment(t, "E14")
+	for _, row := range tables[0].Rows {
+		if row[1] == "glauber" {
+			// Glauber fixates fully happy below 1/2.
+			if row[2] != "1.000" {
+				t.Fatalf("glauber not fully happy: %v", row)
+			}
+		}
+		if row[1] == "kawasaki" {
+			// Closed system: magnetization drift must be zero.
+			if row[5] != "0.000" {
+				t.Fatalf("kawasaki drifted: %v", row)
+			}
+		}
+	}
+}
+
+func TestE18Quick(t *testing.T) {
+	tables := runExperiment(t, "E18")
+	// Part 1: every blob row must report tripped=false and fixation.
+	for _, row := range tables[0].Rows {
+		if row[1] != "false" || row[3] != "true" {
+			t.Fatalf("blob must stall and fixate: %v", row)
+		}
+	}
+	// Part 2: usable replicates exist at every rho.
+	for _, row := range tables[1].Rows {
+		usable, _ := strconv.Atoi(row[1])
+		if usable == 0 {
+			t.Fatalf("no usable replicates for rho=%s", row[0])
+		}
+	}
+}

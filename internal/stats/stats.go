@@ -1,0 +1,272 @@
+// Package stats provides the small statistical toolkit needed by the
+// experiment harness: descriptive summaries, confidence intervals,
+// histograms, least-squares fits (used to estimate the exponential growth
+// rates of Theorems 1 and 2 from Monte Carlo data), and bootstrap
+// confidence intervals for non-Gaussian quantities such as E[M].
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"gridseg/internal/rng"
+)
+
+// ErrInsufficientData is returned when an estimator requires more samples
+// than were supplied.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Summary holds the standard descriptive statistics of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64 // unbiased (n-1 denominator)
+	Std      float64
+	Min      float64
+	Max      float64
+	Median   float64
+}
+
+// Summarize computes a Summary of xs. It returns ErrInsufficientData for
+// an empty sample; Variance and Std are zero for a single observation.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrInsufficientData
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Variance = ss / float64(s.N-1)
+		s.Std = math.Sqrt(s.Variance)
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s, nil
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics. It does not modify xs.
+// It returns NaN for an empty sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanCI returns the sample mean together with a normal-approximation
+// confidence interval half-width at the given z value (1.96 for 95%).
+func MeanCI(xs []float64, z float64) (mean, halfWidth float64, err error) {
+	s, err := Summarize(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s.N < 2 {
+		return s.Mean, math.Inf(1), nil
+	}
+	return s.Mean, z * s.Std / math.Sqrt(float64(s.N)), nil
+}
+
+// Fit is the result of an ordinary least squares line fit y ~ a + b*x.
+type Fit struct {
+	Intercept float64 // a
+	Slope     float64 // b
+	R2        float64 // coefficient of determination
+	SlopeSE   float64 // standard error of the slope
+}
+
+// LinearFit fits y = a + b*x by least squares. It requires at least two
+// points with distinct x values.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, errors.New("stats: x and y length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return Fit{}, ErrInsufficientData
+	}
+	mx := Mean(x)
+	my := Mean(y)
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, errors.New("stats: degenerate fit, all x equal")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	var ssRes float64
+	for i := range x {
+		r := y[i] - (a + b*x[i])
+		ssRes += r * r
+	}
+	fit := Fit{Intercept: a, Slope: b}
+	if syy > 0 {
+		fit.R2 = 1 - ssRes/syy
+	} else {
+		fit.R2 = 1 // y constant and perfectly fit
+	}
+	if n > 2 {
+		fit.SlopeSE = math.Sqrt(ssRes / float64(n-2) / sxx)
+	}
+	return fit, nil
+}
+
+// ExpDecayRate fits P(X >= k) ~ exp(-k/xi) from the sample xs of
+// non-negative values and returns the decay rate 1/xi estimated by
+// regressing log survival against k on the observed support. This is the
+// estimator used to exhibit the exponential tail of subcritical cluster
+// radii (Grimmett, Theorem 5 shape). Ties and the final point (survival 0)
+// are excluded.
+func ExpDecayRate(xs []float64) (rate float64, fit Fit, err error) {
+	if len(xs) < 4 {
+		return 0, Fit{}, ErrInsufficientData
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := float64(len(sorted))
+	var ks, logs []float64
+	for i, v := range sorted {
+		surv := (n - float64(i)) / n
+		if surv <= 0 {
+			break
+		}
+		if i > 0 && sorted[i-1] == v {
+			continue
+		}
+		if surv < 1 { // skip the trivial first point at survival 1
+			ks = append(ks, v)
+			logs = append(logs, math.Log(surv))
+		}
+	}
+	if len(ks) < 2 {
+		return 0, Fit{}, ErrInsufficientData
+	}
+	fit, err = LinearFit(ks, logs)
+	if err != nil {
+		return 0, Fit{}, err
+	}
+	return -fit.Slope, fit, nil
+}
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	BinWidth float64
+	Counts   []int
+	Under    int // observations < Lo
+	Over     int // observations >= Hi
+	Total    int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 || hi <= lo {
+		return nil, errors.New("stats: invalid histogram bounds")
+	}
+	return &Histogram{
+		Lo:       lo,
+		Hi:       hi,
+		BinWidth: (hi - lo) / float64(bins),
+		Counts:   make([]int, bins),
+	}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.BinWidth)
+		if i >= len(h.Counts) { // guard against float rounding at Hi
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// Fraction returns the fraction of observations in bin i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.Total)
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval
+// [lo, hi] for the statistic computed by stat on resamples of xs.
+// level is the coverage, e.g. 0.95. The resampling is deterministic for
+// a fixed src.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, level float64, src *rng.Source) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrInsufficientData
+	}
+	if resamples < 2 || level <= 0 || level >= 1 {
+		return 0, 0, errors.New("stats: invalid bootstrap parameters")
+	}
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for r := 0; r < resamples; r++ {
+		for i := range buf {
+			buf[i] = xs[src.Intn(len(xs))]
+		}
+		vals[r] = stat(buf)
+	}
+	alpha := (1 - level) / 2
+	return Quantile(vals, alpha), Quantile(vals, 1-alpha), nil
+}
+
+// Log2 returns log base 2 of x; convenience for exponent fits expressed in
+// bits as in the paper's 2^{aN} bounds.
+func Log2(x float64) float64 { return math.Log2(x) }

@@ -1,0 +1,264 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gridseg/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasic(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("unexpected summary %+v", s)
+	}
+	if !almostEqual(s.Variance, 2.5, 1e-12) {
+		t.Fatalf("variance = %v, want 2.5", s.Variance)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err != ErrInsufficientData {
+		t.Fatalf("want ErrInsufficientData, got %v", err)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Variance != 0 || s.Std != 0 || s.Mean != 7 {
+		t.Fatalf("single-sample summary %+v", s)
+	}
+}
+
+func TestMeanEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) must be NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be modified.
+	if xs[0] != 4 {
+		t.Fatal("Quantile modified its input")
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	xs := []float64{10, 12, 8, 11, 9}
+	mean, hw, err := MeanCI(xs, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(mean, 10, 1e-12) {
+		t.Fatalf("mean = %v", mean)
+	}
+	if hw <= 0 || hw > 3 {
+		t.Fatalf("implausible half-width %v", hw)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{1, 3, 5, 7, 9} // y = 1 + 2x
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 2, 1e-12) || !almostEqual(fit.Intercept, 1, 1e-12) {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	src := rng.New(1)
+	var x, y []float64
+	for i := 0; i < 200; i++ {
+		xi := float64(i) / 10
+		x = append(x, xi)
+		y = append(y, 3+0.5*xi+0.1*src.NormFloat64())
+	}
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Slope, 0.5, 0.02) {
+		t.Fatalf("slope = %v, want ~0.5", fit.Slope)
+	}
+	if fit.SlopeSE <= 0 || fit.SlopeSE > 0.01 {
+		t.Fatalf("slope SE = %v", fit.SlopeSE)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("want error for single point")
+	}
+	if _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("want error for constant x")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+}
+
+func TestExpDecayRateRecoversRate(t *testing.T) {
+	src := rng.New(3)
+	const rate = 0.5
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = src.ExpRate(rate)
+	}
+	got, _, err := ExpDecayRate(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, rate, 0.05) {
+		t.Fatalf("decay rate = %v, want ~%v", got, rate)
+	}
+}
+
+func TestExpDecayRateInsufficient(t *testing.T) {
+	if _, _, err := ExpDecayRate([]float64{1, 2}); err != ErrInsufficientData {
+		t.Fatalf("want ErrInsufficientData, got %v", err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 11} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 || h.Total != 7 {
+		t.Fatalf("histogram bookkeeping %+v", h)
+	}
+	if h.Counts[0] != 2 { // 0 and 1.9
+		t.Fatalf("bin 0 = %d, want 2", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Fatalf("bin 1 = %d, want 1", h.Counts[1])
+	}
+	if h.Counts[4] != 1 { // 9.99
+		t.Fatalf("bin 4 = %d, want 1", h.Counts[4])
+	}
+	if !almostEqual(h.Fraction(0), 2.0/7, 1e-12) {
+		t.Fatalf("Fraction(0) = %v", h.Fraction(0))
+	}
+}
+
+func TestNewHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 0, 5); err == nil {
+		t.Fatal("want error for hi <= lo")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Fatal("want error for zero bins")
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	src := rng.New(5)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 10 + src.NormFloat64()
+	}
+	lo, hi, err := BootstrapCI(xs, Mean, 300, 0.95, src.Split(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo >= hi {
+		t.Fatalf("degenerate CI [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v, %v] does not cover the true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI [%v, %v] implausibly wide", lo, hi)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	src := rng.New(1)
+	if _, _, err := BootstrapCI(nil, Mean, 10, 0.9, src); err != ErrInsufficientData {
+		t.Fatalf("want ErrInsufficientData, got %v", err)
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 1, 0.9, src); err == nil {
+		t.Fatal("want error for too few resamples")
+	}
+	if _, _, err := BootstrapCI([]float64{1}, Mean, 10, 1.5, src); err == nil {
+		t.Fatal("want error for invalid level")
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := math.Abs(math.Mod(q1, 1))
+		b := math.Abs(math.Mod(q2, 1))
+		if a > b {
+			a, b = b, a
+		}
+		qa := Quantile(xs, a)
+		qb := Quantile(xs, b)
+		s, _ := Summarize(xs)
+		return qa <= qb && qa >= s.Min && qb <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linear fit on exact lines recovers slope and intercept.
+func TestQuickLinearFitExactLines(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a := float64(a8)
+		b := float64(b8)
+		x := []float64{-2, -1, 0, 1, 2, 5}
+		y := make([]float64, len(x))
+		for i := range x {
+			y[i] = a + b*x[i]
+		}
+		fit, err := LinearFit(x, y)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Slope, b, 1e-9) && almostEqual(fit.Intercept, a, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,394 @@
+// Package theory implements every closed-form and numerically-defined
+// object in the paper: the binary entropy function, the critical
+// intolerance values tau1 (Eq. 1) and tau2 (Eq. 3), the triggering
+// threshold f(tau) of Lemma 5 (Eq. 10, plotted in Fig. 6), the exponent
+// multipliers a(tau) and b(tau) of Theorems 1 and 2 (plotted in Fig. 3),
+// the finite-N corrected intolerances tau', tau-hat and tau-bar, and the
+// initial-configuration probability bounds of Lemma 19 and Lemma 20.
+//
+// These functions are pure and deterministic; the experiment harness uses
+// them both to regenerate the paper's numeric figures (Figs. 2, 3, 6) and
+// to compare Monte Carlo estimates against the theoretical envelopes.
+package theory
+
+import (
+	"errors"
+	"math"
+)
+
+// Numerically significant constants of the paper.
+const (
+	// Tau2 is the smaller critical intolerance: the relevant root of
+	// 1024 tau^2 - 384 tau + 11 = 0 (Eq. 3), exactly (384+320)/2048.
+	// The paper quotes tau2 ~= 0.344.
+	Tau2 = 0.34375
+
+	// HalfIntervalKnown is the width ~0.134 of the monochromatic
+	// intolerance interval (grey region of Fig. 2), equal to 1 - 2*tau1.
+	// Kept as a documented reference value; compute it via Intervals.
+	HalfIntervalKnown = 0.134
+)
+
+// BinaryEntropy returns H(x) = -x log2 x - (1-x) log2 (1-x) for
+// x in [0, 1], with the standard convention H(0) = H(1) = 0.
+// It returns NaN outside [0, 1].
+func BinaryEntropy(x float64) float64 {
+	if x < 0 || x > 1 {
+		return math.NaN()
+	}
+	if x == 0 || x == 1 {
+		return 0
+	}
+	return -x*math.Log2(x) - (1-x)*math.Log2(1-x)
+}
+
+// Bisect finds a root of f in [lo, hi] assuming f(lo) and f(hi) have
+// opposite signs, to within tol. It returns an error if the bracket is
+// invalid.
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, errors.New("theory: bisection bracket does not change sign")
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (flo > 0) {
+			lo, flo = mid, fm
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, nil
+}
+
+// tau1Equation is the left-hand side of Eq. (1):
+// (3/4)[1 - H(4 tau / 3)] - [1 - H(tau)].
+func tau1Equation(tau float64) float64 {
+	return 0.75*(1-BinaryEntropy(4*tau/3)) - (1 - BinaryEntropy(tau))
+}
+
+// Tau1 returns the larger critical intolerance tau1 ~= 0.433, the root of
+// Eq. (1) in (0.4, 0.5). The result is computed by bisection to 1e-12.
+func Tau1() float64 {
+	root, err := Bisect(tau1Equation, 0.40, 0.4999, 1e-12)
+	if err != nil {
+		// The bracket is fixed and verified by tests; reaching this
+		// indicates a programming error rather than a runtime
+		// condition a caller could handle.
+		panic("theory: tau1 bracket invalid: " + err.Error())
+	}
+	return root
+}
+
+// FEpsilon returns f(tau) from Eq. (10) of Lemma 5: the infimum of the
+// radical-region margin eps' that can trigger a cascading process
+// (plotted in Fig. 6). It is defined for tau in (tau2, 1/2); at tau = 1/2
+// it evaluates to 0. It returns NaN when the discriminant is negative
+// (tau > 1/2) or tau is outside (0, 1/2].
+func FEpsilon(tau float64) float64 {
+	if tau <= 0 || tau > 0.5 {
+		return math.NaN()
+	}
+	d := tau - 0.5
+	disc := 9*d*d - 7*d*(3*tau+0.5)
+	if disc < 0 {
+		return math.NaN()
+	}
+	return (3*d + math.Sqrt(disc)) / (2 * (3*tau + 0.5))
+}
+
+// TauPrime returns tau' = (tau*N - 2)/(N - 1), the finite-N corrected
+// intolerance that appears in all exponents (Lemma 19). For N = 1 it
+// returns NaN.
+func TauPrime(tau float64, n int) float64 {
+	if n <= 1 {
+		return math.NaN()
+	}
+	return (tau*float64(n) - 2) / float64(n-1)
+}
+
+// TauHat returns tau-hat = tau * (1 - 1/(tau * N^{1/2-eps})), the deflated
+// intolerance used in the definition of a radical region (Section III).
+func TauHat(tau float64, n int, eps float64) float64 {
+	if tau <= 0 || n <= 0 {
+		return math.NaN()
+	}
+	return tau * (1 - 1/(tau*math.Pow(float64(n), 0.5-eps)))
+}
+
+// TauBar returns tau-bar = 1 - tau + 2/N, the threshold defining
+// super-unhappy agents in the extension to tau > 1/2 (Section IV-C).
+func TauBar(tau float64, n int) float64 {
+	if n <= 0 {
+		return math.NaN()
+	}
+	return 1 - tau + 2/float64(n)
+}
+
+// Mirror returns the intolerance symmetric to tau about 1/2; the paper's
+// results for tau < 1/2 extend to 1 - tau by the symmetry argument of
+// Section IV-C.
+func Mirror(tau float64) float64 { return 1 - tau }
+
+// AExponent returns a(tau) = [1 - (2 eps' + eps'^2)] [1 - H(tau')] from
+// Eq. (12)/(21), the lower-bound exponent of Theorems 1 and 2:
+// E[M] >= 2^{a N - o(N)}. The asymptotic curve of Fig. 3 uses
+// tau' -> tau and the infimum margin eps' = f(tau).
+func AExponent(tauPrime, epsPrime float64) float64 {
+	return (1 - (2*epsPrime + epsPrime*epsPrime)) * (1 - BinaryEntropy(tauPrime))
+}
+
+// BExponent returns b(tau) = (3/2)(1+eps')^2 [1 - H(tau')] from the proof
+// of Theorem 1, the upper-bound exponent: E[M] <= 2^{b N + o(N)}.
+func BExponent(tauPrime, epsPrime float64) float64 {
+	return 1.5 * (1 + epsPrime) * (1 + epsPrime) * (1 - BinaryEntropy(tauPrime))
+}
+
+// Exponents returns the asymptotic (N -> infinity) exponent multipliers
+// a(tau) and b(tau) of Fig. 3 at the given intolerance, using
+// eps' = f(tau) (values of tau > 1/2 are mirrored first; this is the
+// paper's symmetry). It returns NaN for tau outside the studied interval
+// (tau2, 1-tau2) \ {1/2}.
+func Exponents(tau float64) (a, b float64) {
+	if tau > 0.5 {
+		tau = Mirror(tau)
+	}
+	if tau <= Tau2 || tau >= 0.5 {
+		return math.NaN(), math.NaN()
+	}
+	eps := FEpsilon(tau)
+	return AExponent(tau, eps), BExponent(tau, eps)
+}
+
+// Interval is a half-open description of an intolerance range with a
+// qualitative regime label.
+type Interval struct {
+	Lo, Hi float64
+	Label  string
+}
+
+// Intervals returns the intolerance intervals of Fig. 2 computed from
+// tau1 and tau2: the monochromatic (grey) intervals around 1/2 and the
+// almost-monochromatic (black) extensions.
+func Intervals() []Interval {
+	t1 := Tau1()
+	return []Interval{
+		{Lo: Tau2, Hi: t1, Label: "almost monochromatic (Theorem 2)"},
+		{Lo: t1, Hi: 0.5, Label: "monochromatic (Theorem 1)"},
+		{Lo: 0.5, Hi: 1 - t1, Label: "monochromatic (Theorem 1, mirrored)"},
+		{Lo: 1 - t1, Hi: 1 - Tau2, Label: "almost monochromatic (Theorem 2, mirrored)"},
+	}
+}
+
+// MonochromaticWidth returns the total width of the interval on which
+// Theorem 1 guarantees exponential monochromatic regions,
+// 1 - 2*tau1 ~= 0.134 (the grey region of Fig. 2).
+func MonochromaticWidth() float64 { return 1 - 2*Tau1() }
+
+// AlmostMonochromaticWidth returns the total width of the interval on
+// which Theorems 1+2 guarantee exponential (almost) monochromatic
+// regions, 1 - 2*tau2 = 0.3125 (grey plus black region of Fig. 2).
+func AlmostMonochromaticWidth() float64 { return 1 - 2*Tau2 }
+
+// Regime classifies an intolerance value according to the paper's results
+// and the cited prior work.
+type Regime int
+
+// Regimes ordered from most to least tolerant below 1/2, then mirrored.
+const (
+	// RegimeUnknownLow: tau in (1/4, tau2], behaviour open (Sec. V).
+	RegimeUnknownLow Regime = iota + 1
+	// RegimeStatic: tau <= 1/4 or tau >= 3/4; initial configuration is
+	// static w.h.p. (Barmpalias et al., cited in Sec. I.B).
+	RegimeStatic
+	// RegimeAlmostMono: tau in (tau2, tau1] or mirrored; Theorem 2.
+	RegimeAlmostMono
+	// RegimeMono: tau in (tau1, 1/2) or mirrored; Theorem 1.
+	RegimeMono
+	// RegimeOpenHalf: tau = 1/2, open on the 2-D grid.
+	RegimeOpenHalf
+)
+
+// String returns a human-readable regime name.
+func (r Regime) String() string {
+	switch r {
+	case RegimeStatic:
+		return "static"
+	case RegimeUnknownLow:
+		return "open (1/4, tau2]"
+	case RegimeAlmostMono:
+		return "almost monochromatic"
+	case RegimeMono:
+		return "monochromatic"
+	case RegimeOpenHalf:
+		return "open (tau = 1/2)"
+	default:
+		return "invalid"
+	}
+}
+
+// Classify returns the regime of the given intolerance.
+func Classify(tau float64) Regime {
+	if tau > 0.5 {
+		tau = Mirror(tau)
+	}
+	t1 := Tau1()
+	switch {
+	case tau == 0.5:
+		return RegimeOpenHalf
+	case tau > t1:
+		return RegimeMono
+	case tau > Tau2:
+		return RegimeAlmostMono
+	case tau > 0.25:
+		return RegimeUnknownLow
+	default:
+		return RegimeStatic
+	}
+}
+
+// Threshold returns the integer happiness threshold ceil(tauTilde * N):
+// the minimum number of same-type agents (including the agent itself)
+// in a neighborhood of size N required to be happy. The paper's rational
+// intolerance is tau = Threshold/N.
+func Threshold(tauTilde float64, n int) int {
+	t := int(math.Ceil(tauTilde * float64(n)))
+	if t < 0 {
+		t = 0
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}
+
+// logBinom returns log2 of the binomial coefficient C(n, k) using
+// Lgamma, exact enough for all n used here.
+func logBinom(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	ln, _ := math.Lgamma(float64(n + 1))
+	lk, _ := math.Lgamma(float64(k + 1))
+	lnk, _ := math.Lgamma(float64(n - k + 1))
+	return (ln - lk - lnk) / math.Ln2
+}
+
+// log2Add returns log2(2^a + 2^b) in a numerically stable way.
+func log2Add(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log2(1+math.Exp2(b-a))
+}
+
+// PUnhappyLog2 returns log2 of the exact probability that an arbitrary
+// agent is unhappy in the initial Bernoulli(1/2) configuration:
+// p_u = 2^{-(N-1)} * sum_{k=0}^{tau N - 2} C(N-1, k)   (Eq. 30).
+// The sum counts the same-type agents among the other N-1 neighbors:
+// the agent (which counts itself) is unhappy iff same < tau N, i.e. at
+// most tauN - 2 of the others share its type.
+func PUnhappyLog2(n, thresh int) float64 {
+	// same = k (others) + 1 (self); unhappy iff same < thresh, i.e.
+	// k <= thresh - 2.
+	kmax := thresh - 2
+	if kmax < 0 {
+		return math.Inf(-1) // never unhappy
+	}
+	if kmax >= n-1 {
+		return 0 // always unhappy: probability 1
+	}
+	acc := math.Inf(-1)
+	for k := 0; k <= kmax; k++ {
+		acc = log2Add(acc, logBinom(n-1, k))
+	}
+	return acc - float64(n-1)
+}
+
+// PUnhappy returns the exact initial unhappiness probability; see
+// PUnhappyLog2. Values underflowing float64 are returned as 0.
+func PUnhappy(n, thresh int) float64 {
+	return math.Exp2(PUnhappyLog2(n, thresh))
+}
+
+// PUnhappyEntropyLog2 returns the entropy approximation
+// -[1 - H(tau')] N - (1/2) log2 N of Lemma 19, the exponent the paper
+// uses throughout. tau' = (tau N - 2)/(N - 1).
+func PUnhappyEntropyLog2(tau float64, n int) float64 {
+	tp := TauPrime(tau, n)
+	if tp <= 0 {
+		return math.Inf(-1)
+	}
+	return -(1-BinaryEntropy(tp))*float64(n) - 0.5*math.Log2(float64(n))
+}
+
+// PRadicalLog2 returns the Lemma 20 entropy exponent for the probability
+// that a neighborhood of radius (1+eps')w is a radical region:
+// log2 p' ~= -[1 - H(tau”)](1+eps')^2 N, with
+// tau” = (floor(tauHat (1+eps')^2 N) - 1) / ((1+eps')^2 N).
+func PRadicalLog2(tau float64, n int, epsPrime, eps float64) float64 {
+	scaled := (1 + epsPrime) * (1 + epsPrime) * float64(n)
+	tauHat := TauHat(tau, n, eps)
+	tau2 := (math.Floor(tauHat*scaled) - 1) / scaled
+	if tau2 <= 0 {
+		return math.Inf(-1)
+	}
+	return -(1 - BinaryEntropy(tau2)) * scaled
+}
+
+// TriggerProbabilityLog2 returns the Lemma 6 lower-bound exponent on the
+// probability that a neighborhood of radius r = 2^{[1-H(tau')]N/2 - o(N)}
+// contains an expandable radical region:
+// log2 P(C) >= -[1 - H(tau')](2 eps' + eps'^2) N - o(N).
+func TriggerProbabilityLog2(tau float64, n int, epsPrime float64) float64 {
+	tp := TauPrime(tau, n)
+	return -(1 - BinaryEntropy(tp)) * (2*epsPrime + epsPrime*epsPrime) * float64(n)
+}
+
+// CurvePoint is one sample of the Fig. 3 / Fig. 6 curves.
+type CurvePoint struct {
+	Tau float64
+	F   float64 // Fig. 6: f(tau)
+	A   float64 // Fig. 3: a(tau), lower-bound exponent
+	B   float64 // Fig. 3: b(tau), upper-bound exponent
+}
+
+// Curves samples f, a and b on a uniform grid of the given number of
+// points over the open interval (tau2, 1/2). samples must be >= 2.
+func Curves(samples int) []CurvePoint {
+	if samples < 2 {
+		samples = 2
+	}
+	lo, hi := Tau2, 0.5
+	pts := make([]CurvePoint, 0, samples)
+	for i := 0; i < samples; i++ {
+		// Stay strictly inside the interval: endpoints are excluded
+		// by the theorems.
+		frac := (float64(i) + 0.5) / float64(samples)
+		tau := lo + frac*(hi-lo)
+		f := FEpsilon(tau)
+		pts = append(pts, CurvePoint{
+			Tau: tau,
+			F:   f,
+			A:   AExponent(tau, f),
+			B:   BExponent(tau, f),
+		})
+	}
+	return pts
+}

@@ -1,0 +1,372 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestBinaryEntropy(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0}, {1, 0}, {0.5, 1},
+		{0.25, -0.25*math.Log2(0.25) - 0.75*math.Log2(0.75)},
+	}
+	for _, c := range cases {
+		if got := BinaryEntropy(c.x); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("H(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if !math.IsNaN(BinaryEntropy(-0.1)) || !math.IsNaN(BinaryEntropy(1.1)) {
+		t.Error("H outside [0,1] must be NaN")
+	}
+}
+
+func TestBinaryEntropySymmetry(t *testing.T) {
+	f := func(raw uint16) bool {
+		x := float64(raw) / math.MaxUint16
+		return almostEqual(BinaryEntropy(x), BinaryEntropy(1-x), 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(root, math.Sqrt2, 1e-10) {
+		t.Fatalf("root = %v, want sqrt(2)", root)
+	}
+}
+
+func TestBisectBadBracket(t *testing.T) {
+	if _, err := Bisect(func(x float64) float64 { return 1 }, 0, 1, 1e-9); err == nil {
+		t.Fatal("want error for non-sign-changing bracket")
+	}
+}
+
+func TestBisectRootAtEndpoint(t *testing.T) {
+	root, err := Bisect(func(x float64) float64 { return x }, 0, 1, 1e-9)
+	if err != nil || root != 0 {
+		t.Fatalf("root = %v, err = %v", root, err)
+	}
+}
+
+// The paper quotes tau1 ~= 0.433 as the solution of Eq. (1).
+func TestTau1MatchesPaper(t *testing.T) {
+	t1 := Tau1()
+	if !almostEqual(t1, 0.433, 5e-4) {
+		t.Fatalf("tau1 = %v, paper quotes ~0.433", t1)
+	}
+	// It must actually solve Eq. (1).
+	if res := tau1Equation(t1); !almostEqual(res, 0, 1e-9) {
+		t.Fatalf("equation residual at tau1: %v", res)
+	}
+}
+
+// The paper quotes tau2 ~= 0.344 as the relevant root of Eq. (3):
+// 1024 tau^2 - 384 tau + 11 = 0.
+func TestTau2SolvesEq3(t *testing.T) {
+	res := 1024*Tau2*Tau2 - 384*Tau2 + 11
+	if !almostEqual(res, 0, 1e-9) {
+		t.Fatalf("Eq. (3) residual at tau2: %v", res)
+	}
+	if !almostEqual(Tau2, 0.344, 1e-3) {
+		t.Fatalf("tau2 = %v, paper quotes ~0.344", Tau2)
+	}
+}
+
+// Fig. 2: the interval widths are ~0.134 and ~0.312.
+func TestIntervalWidthsMatchFig2(t *testing.T) {
+	if w := MonochromaticWidth(); !almostEqual(w, 0.134, 1e-3) {
+		t.Fatalf("monochromatic width = %v, paper quotes ~0.134", w)
+	}
+	if w := AlmostMonochromaticWidth(); !almostEqual(w, 0.3125, 1e-12) {
+		t.Fatalf("almost monochromatic width = %v, want 0.3125", w)
+	}
+}
+
+func TestIntervalsContiguousAndSymmetric(t *testing.T) {
+	iv := Intervals()
+	if len(iv) != 4 {
+		t.Fatalf("want 4 intervals, got %d", len(iv))
+	}
+	for i := 1; i < len(iv); i++ {
+		if !almostEqual(iv[i].Lo, iv[i-1].Hi, 1e-12) {
+			t.Fatalf("intervals not contiguous at %d: %v vs %v", i, iv[i].Lo, iv[i-1].Hi)
+		}
+	}
+	// Symmetry about 1/2.
+	if !almostEqual(iv[0].Lo, 1-iv[3].Hi, 1e-12) {
+		t.Fatal("outer endpoints not symmetric about 1/2")
+	}
+	if !almostEqual(iv[1].Lo, 1-iv[2].Hi, 1e-12) {
+		t.Fatal("inner endpoints not symmetric about 1/2")
+	}
+}
+
+// Fig. 6: f is positive on (tau2, 1/2), below 1/2, and decreases to 0
+// as tau -> 1/2.
+func TestFEpsilonShapeMatchesFig6(t *testing.T) {
+	if got := FEpsilon(0.5); !almostEqual(got, 0, 1e-12) {
+		t.Fatalf("f(1/2) = %v, want 0", got)
+	}
+	prev := math.Inf(1)
+	for tau := Tau2 + 1e-6; tau < 0.5; tau += 0.01 {
+		f := FEpsilon(tau)
+		if math.IsNaN(f) || f <= 0 || f >= 0.5 {
+			t.Fatalf("f(%v) = %v out of (0, 1/2)", tau, f)
+		}
+		if f >= prev {
+			t.Fatalf("f not strictly decreasing at tau=%v: %v >= %v", tau, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestFEpsilonDomain(t *testing.T) {
+	if !math.IsNaN(FEpsilon(0)) || !math.IsNaN(FEpsilon(0.75)) || !math.IsNaN(FEpsilon(-1)) {
+		t.Fatal("f outside domain must be NaN")
+	}
+}
+
+// Spot value from the quadratic: f(tau2) computed by hand ~= 0.29638.
+func TestFEpsilonSpotValue(t *testing.T) {
+	if got := FEpsilon(Tau2); !almostEqual(got, 0.29638, 1e-4) {
+		t.Fatalf("f(tau2) = %v, want ~0.29638", got)
+	}
+}
+
+// Fig. 3 / Theorem 1: a and b are positive, a <= b, and both decrease as
+// tau increases toward 1/2 (the paper: "as the intolerance gets farther
+// from one half ... larger monochromatic regions are expected").
+func TestExponentsShapeMatchesFig3(t *testing.T) {
+	var prevA, prevB = math.Inf(1), math.Inf(1)
+	for _, p := range Curves(64) {
+		if math.IsNaN(p.A) || math.IsNaN(p.B) {
+			t.Fatalf("NaN exponent at tau=%v", p.Tau)
+		}
+		if p.A <= 0 || p.B <= 0 {
+			t.Fatalf("non-positive exponent at tau=%v: a=%v b=%v", p.Tau, p.A, p.B)
+		}
+		if p.A > p.B {
+			t.Fatalf("a > b at tau=%v: %v > %v", p.Tau, p.A, p.B)
+		}
+		if p.A >= prevA || p.B >= prevB {
+			t.Fatalf("exponents not decreasing at tau=%v", p.Tau)
+		}
+		prevA, prevB = p.A, p.B
+	}
+}
+
+func TestExponentsMirrorSymmetry(t *testing.T) {
+	a1, b1 := Exponents(0.45)
+	a2, b2 := Exponents(0.55)
+	if !almostEqual(a1, a2, 1e-12) || !almostEqual(b1, b2, 1e-12) {
+		t.Fatal("Exponents must be symmetric about 1/2")
+	}
+}
+
+func TestExponentsOutsideDomain(t *testing.T) {
+	for _, tau := range []float64{0.1, Tau2, 0.5, 0.9} {
+		a, b := Exponents(tau)
+		if !math.IsNaN(a) || !math.IsNaN(b) {
+			t.Fatalf("Exponents(%v) = %v, %v; want NaN outside domain", tau, a, b)
+		}
+	}
+}
+
+func TestTauPrime(t *testing.T) {
+	// tau' = (tau N - 2)/(N - 1): exact check for N=441, tau=0.42.
+	got := TauPrime(0.42, 441)
+	want := (0.42*441 - 2) / 440
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("TauPrime = %v, want %v", got, want)
+	}
+	if !math.IsNaN(TauPrime(0.4, 1)) {
+		t.Fatal("TauPrime(_, 1) must be NaN")
+	}
+	// tau' -> tau as N -> infinity.
+	if !almostEqual(TauPrime(0.42, 1<<20), 0.42, 1e-4) {
+		t.Fatal("TauPrime must converge to tau")
+	}
+}
+
+func TestTauHat(t *testing.T) {
+	// tau-hat < tau and converges to tau as N grows.
+	tau := 0.45
+	h1 := TauHat(tau, 100, 0.1)
+	h2 := TauHat(tau, 10000, 0.1)
+	if h1 >= tau || h2 >= tau {
+		t.Fatalf("tau-hat must be below tau: %v %v", h1, h2)
+	}
+	if h2 <= h1 {
+		t.Fatal("tau-hat must increase with N")
+	}
+	if !math.IsNaN(TauHat(0, 100, 0.1)) {
+		t.Fatal("TauHat(0, ...) must be NaN")
+	}
+}
+
+func TestTauBar(t *testing.T) {
+	if got := TauBar(0.6, 100); !almostEqual(got, 0.42, 1e-12) {
+		t.Fatalf("TauBar = %v, want 0.42", got)
+	}
+	if !math.IsNaN(TauBar(0.6, 0)) {
+		t.Fatal("TauBar(_, 0) must be NaN")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	cases := []struct {
+		tau  float64
+		n    int
+		want int
+	}{
+		{0.5, 9, 5},      // ceil(4.5) = 5
+		{0.42, 441, 186}, // ceil(185.22)
+		{0, 9, 0},
+		{1, 9, 9},
+		{0.99999, 9, 9},
+	}
+	for _, c := range cases {
+		if got := Threshold(c.tau, c.n); got != c.want {
+			t.Errorf("Threshold(%v, %d) = %d, want %d", c.tau, c.n, got, c.want)
+		}
+	}
+}
+
+// Lemma 19: the exact p_u and its entropy approximation agree in exponent
+// for large N.
+func TestPUnhappyMatchesEntropyApproximation(t *testing.T) {
+	tau := 0.45
+	for _, w := range []int{5, 8, 12} {
+		n := (2*w + 1) * (2*w + 1)
+		thresh := Threshold(tau, n)
+		exact := PUnhappyLog2(n, thresh)
+		approx := PUnhappyEntropyLog2(tau, n)
+		// Exponents agree to within o(N): allow a generous log-factor
+		// margin that shrinks relative to N.
+		if math.Abs(exact-approx) > 0.1*float64(n)+8 {
+			t.Fatalf("N=%d: exact log2 p_u = %v vs entropy %v", n, exact, approx)
+		}
+	}
+}
+
+// Exact small case, hand-computed: N=9 (w=1), thresh=5 (tau=1/2):
+// unhappy iff at most 3 of the other 8 share the type:
+// p = (C(8,0)+C(8,1)+C(8,2)+C(8,3))/2^8 = (1+8+28+56)/256 = 93/256.
+func TestPUnhappyExactSmall(t *testing.T) {
+	got := PUnhappy(9, 5)
+	want := 93.0 / 256.0
+	if !almostEqual(got, want, 1e-12) {
+		t.Fatalf("PUnhappy(9,5) = %v, want %v", got, want)
+	}
+}
+
+func TestPUnhappyEdges(t *testing.T) {
+	if got := PUnhappy(9, 1); got != 0 {
+		t.Fatalf("threshold 1 can never be unhappy, got %v", got)
+	}
+	if got := PUnhappy(9, 0); got != 0 {
+		t.Fatalf("threshold 0 can never be unhappy, got %v", got)
+	}
+	// thresh = N: unhappy unless every one of the other 8 matches:
+	// p = 1 - 2^-8 ... wait: same = k+1 < 9 iff k <= 7, so
+	// p = sum_{k=0}^{7} C(8,k)/2^8 = (256-1)/256.
+	if got := PUnhappy(9, 9); !almostEqual(got, 255.0/256.0, 1e-12) {
+		t.Fatalf("PUnhappy(9,9) = %v, want 255/256", got)
+	}
+}
+
+// Probability is monotone in the threshold.
+func TestPUnhappyMonotoneInThreshold(t *testing.T) {
+	prev := -1.0
+	for thresh := 0; thresh <= 25; thresh++ {
+		p := PUnhappy(25, thresh)
+		if p < prev {
+			t.Fatalf("PUnhappy not monotone at thresh=%d", thresh)
+		}
+		if p < 0 || p > 1 {
+			t.Fatalf("PUnhappy out of [0,1]: %v", p)
+		}
+		prev = p
+	}
+}
+
+func TestClassify(t *testing.T) {
+	t1 := Tau1()
+	cases := []struct {
+		tau  float64
+		want Regime
+	}{
+		{0.1, RegimeStatic},
+		{0.25, RegimeStatic},
+		{0.3, RegimeUnknownLow},
+		{Tau2 + 0.01, RegimeAlmostMono},
+		{t1 + 0.01, RegimeMono},
+		{0.49, RegimeMono},
+		{0.5, RegimeOpenHalf},
+		{0.51, RegimeMono},
+		{1 - Tau2 + 0.01, RegimeUnknownLow},
+		{0.9, RegimeStatic},
+	}
+	for _, c := range cases {
+		if got := Classify(c.tau); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.tau, got, c.want)
+		}
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	for _, r := range []Regime{RegimeStatic, RegimeUnknownLow, RegimeAlmostMono, RegimeMono, RegimeOpenHalf} {
+		if r.String() == "invalid" || r.String() == "" {
+			t.Errorf("missing name for regime %d", r)
+		}
+	}
+	if Regime(99).String() != "invalid" {
+		t.Error("unknown regime must stringify as invalid")
+	}
+}
+
+func TestTriggerProbabilityLog2Negative(t *testing.T) {
+	v := TriggerProbabilityLog2(0.45, 441, FEpsilon(0.45))
+	if v >= 0 {
+		t.Fatalf("trigger log-probability must be negative, got %v", v)
+	}
+}
+
+func TestPRadicalLog2(t *testing.T) {
+	v := PRadicalLog2(0.45, 441, FEpsilon(0.45), 0.1)
+	if v >= 0 || math.IsInf(v, -1) {
+		t.Fatalf("radical region log-probability = %v, want finite negative", v)
+	}
+}
+
+func TestCurvesSamplesInsideInterval(t *testing.T) {
+	pts := Curves(10)
+	if len(pts) != 10 {
+		t.Fatalf("want 10 points, got %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Tau <= Tau2 || p.Tau >= 0.5 {
+			t.Fatalf("sample tau=%v outside (tau2, 1/2)", p.Tau)
+		}
+	}
+	if got := Curves(1); len(got) != 2 {
+		t.Fatalf("Curves must clamp samples to >= 2, got %d", len(got))
+	}
+}
+
+func TestMirror(t *testing.T) {
+	if !almostEqual(Mirror(0.42), 0.58, 1e-15) {
+		t.Fatal("Mirror(0.42) != 0.58")
+	}
+	if !almostEqual(Mirror(Mirror(0.42)), 0.42, 1e-15) {
+		t.Fatal("Mirror must be an involution up to rounding")
+	}
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func newProc(t *testing.T) *dynamics.Process {
+	t.Helper()
+	lat := grid.Random(24, 0.5, rng.New(3))
+	p, err := dynamics.New(lat, 2, 0.45, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRecorderValidation(t *testing.T) {
+	p := newProc(t)
+	if _, err := NewRecorder(nil, 10, false); err == nil {
+		t.Fatal("want error for nil observable")
+	}
+	if _, err := NewRecorder(p, 0, false); err == nil {
+		t.Fatal("want error for zero interval")
+	}
+}
+
+func TestRecorderSeries(t *testing.T) {
+	p := newProc(t)
+	r, err := NewRecorder(p, 25, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Samples()) != 1 {
+		t.Fatalf("initial sample missing: %d", len(r.Samples()))
+	}
+	for {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		r.Tick()
+	}
+	r.Finish()
+	samples := r.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("too few samples: %d", len(samples))
+	}
+	// Flips strictly increase; time non-decreasing; final unhappy 0.
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Flips <= samples[i-1].Flips {
+			t.Fatal("flips must increase between samples")
+		}
+		if samples[i].Time < samples[i-1].Time {
+			t.Fatal("time must be non-decreasing")
+		}
+	}
+	last := samples[len(samples)-1]
+	if last.UnhappyCount != 0 || last.HappyFraction != 1 {
+		t.Fatalf("final sample %+v, want fully happy", last)
+	}
+	if last.Flips != p.Flips() {
+		t.Fatal("Finish must capture the terminal state")
+	}
+}
+
+func TestRecorderFinishIdempotentWhenCurrent(t *testing.T) {
+	p := newProc(t)
+	r, err := NewRecorder(p, 1000000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r.Samples())
+	r.Finish() // no flips since the initial sample
+	if len(r.Samples()) != n {
+		t.Fatal("Finish must not duplicate the current sample")
+	}
+}
+
+func TestRecorderTable(t *testing.T) {
+	p := newProc(t)
+	r, err := NewRecorder(p, 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(120)
+	r.Finish()
+	tb := r.Table("trace")
+	if len(tb.Columns) != 5 {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	if len(tb.Rows) != len(r.Samples()) {
+		t.Fatal("rows must match samples")
+	}
+	if !strings.Contains(tb.String(), "interface density") {
+		t.Fatal("interface column missing")
+	}
+	// Without interface the column is absent.
+	r2, err := NewRecorder(newProc(t), 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2.Table("t").Columns) != 4 {
+		t.Fatal("unexpected interface column")
+	}
+}
+
+// The recorder also works with the variant process (same interface).
+func TestRecorderWithVariant(t *testing.T) {
+	lat := grid.Random(20, 0.5, rng.New(9))
+	v, err := dynamics.NewVariant(lat, 2, dynamics.VariantOptions{TauPlus: 0.45, TauMinus: 0.45}, rng.New(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRecorder(v, 20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := v.Step(); !ok {
+			break
+		}
+		r.Tick()
+	}
+	r.Finish()
+	if len(r.Samples()) < 2 {
+		t.Fatal("variant trace too short")
+	}
+}

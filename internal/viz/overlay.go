@@ -1,0 +1,37 @@
+package viz
+
+import (
+	"image"
+	"image/color"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+)
+
+// Overlay colors for structural annotations (firewalls, radical
+// regions, probe regions).
+var (
+	MarkRed   = color.RGBA{R: 0xd0, G: 0x20, B: 0x20, A: 0xff}
+	MarkBlack = color.RGBA{R: 0x10, G: 0x10, B: 0x10, A: 0xff}
+)
+
+// RenderWithMarks renders the configuration per Figure 1 and then
+// paints the given lattice sites in the mark color — used to visualize
+// firewall annuli, radical regions, and chemical circuits over the
+// agent field.
+func RenderWithMarks(l *grid.Lattice, w, thresh, scale int, marks []geom.Point, mark color.RGBA) image.Image {
+	if scale < 1 {
+		scale = 1
+	}
+	img := Render(l, w, thresh, scale).(*image.RGBA)
+	tor := l.Torus()
+	for _, p := range marks {
+		q := tor.WrapPoint(p)
+		for dy := 0; dy < scale; dy++ {
+			for dx := 0; dx < scale; dx++ {
+				img.SetRGBA(q.X*scale+dx, q.Y*scale+dy, mark)
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,36 @@
+package viz
+
+import (
+	"image"
+	"testing"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+)
+
+func TestRenderWithMarks(t *testing.T) {
+	l := grid.New(8, grid.Plus)
+	marks := []geom.Point{{X: 1, Y: 1}, {X: -1, Y: -1}} // second wraps to (7,7)
+	img := RenderWithMarks(l, 1, 5, 2, marks, MarkRed).(*image.RGBA)
+	wantR, wantG, wantB, _ := MarkRed.RGBA()
+	for _, q := range []geom.Point{{X: 1, Y: 1}, {X: 7, Y: 7}} {
+		r, g, b, _ := img.At(q.X*2, q.Y*2).RGBA()
+		if r != wantR || g != wantG || b != wantB {
+			t.Fatalf("mark at %v not painted", q)
+		}
+	}
+	// Unmarked cells keep the Figure 1 palette.
+	r, g, b, _ := img.At(8, 8).RGBA()
+	hr, hg, hb, _ := HappyPlus.RGBA()
+	if r != hr || g != hg || b != hb {
+		t.Fatal("unmarked cell color changed")
+	}
+}
+
+func TestRenderWithMarksScaleClamp(t *testing.T) {
+	l := grid.New(4, grid.Minus)
+	img := RenderWithMarks(l, 1, 1, 0, []geom.Point{{X: 0, Y: 0}}, MarkBlack)
+	if img.Bounds().Dx() != 4 {
+		t.Fatal("scale must clamp to 1")
+	}
+}

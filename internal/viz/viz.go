@@ -1,0 +1,120 @@
+// Package viz renders lattice configurations in the style of the
+// paper's Figure 1: green and blue for happy (+1) and (-1) agents,
+// white and yellow for unhappy (+1) and (-1) agents. PNG output uses
+// only the standard library image stack; an ASCII renderer supports
+// terminal inspection and golden tests.
+package viz
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+	"strings"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+)
+
+// The Figure 1 palette.
+var (
+	HappyPlus    = color.RGBA{R: 0x2e, G: 0x8b, B: 0x2e, A: 0xff} // green
+	HappyMinus   = color.RGBA{R: 0x1f, G: 0x4f, B: 0xb4, A: 0xff} // blue
+	UnhappyPlus  = color.RGBA{R: 0xff, G: 0xff, B: 0xff, A: 0xff} // white
+	UnhappyMinus = color.RGBA{R: 0xf2, G: 0xd4, B: 0x2c, A: 0xff} // yellow
+)
+
+// happiness returns a per-site happy flag for the given horizon and
+// threshold, computed directly from the configuration.
+func happiness(l *grid.Lattice, w, thresh int) []bool {
+	counts := l.WindowCounts(w)
+	nbhd := geom.SquareSize(w)
+	out := make([]bool, l.Sites())
+	for i := range out {
+		same := int(counts[i])
+		if l.SpinAt(i) != grid.Plus {
+			same = nbhd - same
+		}
+		out[i] = same >= thresh
+	}
+	return out
+}
+
+// Render draws the configuration as an image with the given integer
+// pixel scale (>= 1), coloring by type and happiness per Figure 1.
+func Render(l *grid.Lattice, w, thresh, scale int) image.Image {
+	if scale < 1 {
+		scale = 1
+	}
+	happy := happiness(l, w, thresh)
+	n := l.N()
+	img := image.NewRGBA(image.Rect(0, 0, n*scale, n*scale))
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			i := y*n + x
+			var c color.RGBA
+			switch {
+			case l.SpinAt(i) == grid.Plus && happy[i]:
+				c = HappyPlus
+			case l.SpinAt(i) == grid.Plus:
+				c = UnhappyPlus
+			case happy[i]:
+				c = HappyMinus
+			default:
+				c = UnhappyMinus
+			}
+			for dy := 0; dy < scale; dy++ {
+				for dx := 0; dx < scale; dx++ {
+					img.SetRGBA(x*scale+dx, y*scale+dy, c)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the configuration to PNG.
+func WritePNG(out io.Writer, l *grid.Lattice, w, thresh, scale int) error {
+	return png.Encode(out, Render(l, w, thresh, scale))
+}
+
+// SavePNG writes the configuration to a file.
+func SavePNG(path string, l *grid.Lattice, w, thresh, scale int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("viz: %w", err)
+	}
+	defer f.Close()
+	if err := WritePNG(f, l, w, thresh, scale); err != nil {
+		return fmt.Errorf("viz: encode %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// ASCII renders the configuration as text: '#' happy +1, '.' happy -1,
+// 'P' unhappy +1, 'm' unhappy -1.
+func ASCII(l *grid.Lattice, w, thresh int) string {
+	happy := happiness(l, w, thresh)
+	n := l.N()
+	var b strings.Builder
+	b.Grow(n * (n + 1))
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			i := y*n + x
+			switch {
+			case l.SpinAt(i) == grid.Plus && happy[i]:
+				b.WriteByte('#')
+			case l.SpinAt(i) == grid.Plus:
+				b.WriteByte('P')
+			case happy[i]:
+				b.WriteByte('.')
+			default:
+				b.WriteByte('m')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gridseg/internal/geom"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+func TestRenderDimensionsAndPalette(t *testing.T) {
+	l := grid.New(8, grid.Plus)
+	img := Render(l, 1, 5, 3)
+	b := img.Bounds()
+	if b.Dx() != 24 || b.Dy() != 24 {
+		t.Fatalf("bounds = %v, want 24x24", b)
+	}
+	// Monochromatic plus at threshold 5: everyone happy => green.
+	r, g, bb, _ := img.At(0, 0).RGBA()
+	hr, hg, hb, _ := HappyPlus.RGBA()
+	if r != hr || g != hg || bb != hb {
+		t.Fatal("all-plus lattice must render happy-plus green")
+	}
+}
+
+func TestRenderUnhappyColors(t *testing.T) {
+	// Single minus dissenter at thresh 5, w=1: the minus agent is
+	// unhappy (yellow), its neighbors are happy plus (green).
+	l := grid.New(9, grid.Plus)
+	l.Set(geom.Point{X: 4, Y: 4}, grid.Minus)
+	img := Render(l, 1, 5, 1)
+	r, g, b, _ := img.At(4, 4).RGBA()
+	ur, ug, ub, _ := UnhappyMinus.RGBA()
+	if r != ur || g != ug || b != ub {
+		t.Fatal("dissenter must render unhappy-minus yellow")
+	}
+}
+
+func TestRenderScaleClamp(t *testing.T) {
+	l := grid.New(4, grid.Plus)
+	img := Render(l, 1, 1, 0) // scale clamped to 1
+	if img.Bounds().Dx() != 4 {
+		t.Fatal("scale 0 must clamp to 1")
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	l := grid.Random(16, 0.5, rng.New(1))
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, l, 1, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 32 {
+		t.Fatalf("decoded width = %d", img.Bounds().Dx())
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.png")
+	l := grid.New(8, grid.Minus)
+	if err := SavePNG(path, l, 1, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || string(data[1:4]) != "PNG" {
+		t.Fatal("not a PNG file")
+	}
+	if err := SavePNG(filepath.Join(dir, "missing", "out.png"), l, 1, 5, 1); err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+}
+
+func TestASCII(t *testing.T) {
+	l := grid.New(5, grid.Plus)
+	l.Set(geom.Point{X: 2, Y: 2}, grid.Minus)
+	s := ASCII(l, 1, 5)
+	rows := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(rows) != 5 || len(rows[0]) != 5 {
+		t.Fatalf("ASCII shape wrong: %q", s)
+	}
+	if rows[2][2] != 'm' {
+		t.Fatalf("dissenter char = %c, want 'm'", rows[2][2])
+	}
+	if rows[0][0] != '#' {
+		t.Fatalf("happy plus char = %c, want '#'", rows[0][0])
+	}
+	// At an absurd threshold everyone is unhappy: plus renders 'P'.
+	s2 := ASCII(l, 1, 10)
+	if s2[0] != 'P' {
+		t.Fatalf("unhappy plus char = %c, want 'P'", s2[0])
+	}
+}

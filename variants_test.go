@@ -1,0 +1,112 @@
+package gridseg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewVariantValidation(t *testing.T) {
+	cases := []VariantConfig{
+		{N: 2, W: 1, TauPlus: 0.5, TauMinus: 0.5},
+		{N: 20, W: 0, TauPlus: 0.5, TauMinus: 0.5},
+		{N: 20, W: 2, TauPlus: 1.5, TauMinus: 0.5},
+		{N: 20, W: 2, TauPlus: 0.5, TauMinus: 0.5, Noise: 1},
+		{N: 20, W: 2, TauPlus: 0.5, TauMinus: 0.5, P: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewVariant(cfg); err == nil {
+			t.Errorf("case %d (%+v): want error", i, cfg)
+		}
+	}
+}
+
+func TestVariantModelEndToEnd(t *testing.T) {
+	m, err := NewVariant(VariantConfig{N: 32, W: 2, TauPlus: 0.45, TauMinus: 0.45, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config().P != 0.5 {
+		t.Fatal("P default not resolved")
+	}
+	if !m.Step() {
+		t.Fatal("random lattice must have admissible moves")
+	}
+	performed, fixated, err := m.Run(0)
+	if err != nil || !fixated {
+		t.Fatalf("performed=%d fixated=%v err=%v", performed, fixated, err)
+	}
+	if m.Flips() == 0 || m.NoiseFlips() != 0 {
+		t.Fatalf("flips=%d noiseFlips=%d", m.Flips(), m.NoiseFlips())
+	}
+	if m.Time() <= 0 {
+		t.Fatal("time must advance")
+	}
+	if m.UnhappyCount() != 0 {
+		t.Fatal("noise-free fixation below 1/2 must be fully happy")
+	}
+	st := m.SegregationStats()
+	if st.HappyFraction != 1 || st.MeanSameFraction <= 0.5 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if s := m.Spin(0, 0); s != 1 && s != -1 {
+		t.Fatalf("spin = %d", s)
+	}
+	if m.Spin(-1, -1) != m.Spin(31, 31) {
+		t.Fatal("Spin must wrap")
+	}
+}
+
+func TestVariantModelNoisyBudget(t *testing.T) {
+	m, err := NewVariant(VariantConfig{N: 24, W: 2, TauPlus: 0.45, TauMinus: 0.45, Noise: 0.05, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Run(0); err == nil {
+		t.Fatal("unbounded noisy run must fail")
+	}
+	performed, _, err := m.Run(50)
+	if err != nil || performed != 50 {
+		t.Fatalf("performed=%d err=%v", performed, err)
+	}
+	if m.Flips()+m.NoiseFlips() != 50 {
+		t.Fatal("event accounting mismatch")
+	}
+}
+
+func TestVariantModelDiscomfort(t *testing.T) {
+	m, err := NewVariant(VariantConfig{
+		N: 24, W: 2, TauPlus: 0.45, TauMinus: 0.45,
+		UpperPlus: 0.8, UpperMinus: 0.8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2000)
+	base, err := NewVariant(VariantConfig{N: 24, W: 2, TauPlus: 0.45, TauMinus: 0.45, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Run(2000)
+	if m.SegregationStats().MeanSameFraction >= base.SegregationStats().MeanSameFraction {
+		t.Fatal("discomfort window must cap segregation relative to the base model")
+	}
+}
+
+func TestRunExperimentWithOptions(t *testing.T) {
+	dir := t.TempDir()
+	var logged bool
+	out, err := RunExperiment("E3", ExperimentOptions{
+		Seed:   2,
+		OutDir: dir,
+		Logf:   func(string, ...interface{}) { logged = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "a(tau)") {
+		t.Fatalf("E3 output: %s", out)
+	}
+	if !logged {
+		t.Fatal("Logf must receive progress lines when artifacts are written")
+	}
+}
