@@ -3,7 +3,6 @@ package gridseg
 import (
 	"fmt"
 
-	"gridseg/internal/dynamics"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
 	"gridseg/internal/rng"
@@ -22,31 +21,19 @@ func (m *Model) MarshalConfiguration() ([]byte, error) {
 
 // NewFromConfiguration builds a model whose initial configuration is a
 // previously marshaled one, with fresh dynamics parameterized by cfg
-// (cfg.N and cfg.P are ignored: the configuration fixes the lattice).
+// (cfg.N is ignored: the configuration fixes the lattice; cfg.P only
+// affects the reported Config, which resolves it to the documented 1/2
+// default like New does).
 func NewFromConfiguration(data []byte, cfg Config) (*Model, error) {
 	lat, err := grid.UnmarshalBinary(data)
 	if err != nil {
 		return nil, fmt.Errorf("gridseg: %w", err)
 	}
-	if cfg.Dynamic == 0 {
-		cfg.Dynamic = Glauber
-	}
+	cfg = cfg.withDefaults()
 	cfg.N = lat.N()
-	src := rng.New(cfg.Seed)
 	m := &Model{cfg: cfg, lat: lat}
-	switch cfg.Dynamic {
-	case Glauber:
-		m.proc, err = dynamics.New(lat, cfg.W, cfg.Tau, src.Split(2))
-	case Kawasaki:
-		m.kaw, err = dynamics.NewKawasaki(lat, cfg.W, cfg.Tau, src.Split(2))
-		if m.kaw != nil {
-			m.proc = m.kaw.Process()
-		}
-	default:
-		return nil, fmt.Errorf("gridseg: unknown dynamic %d", cfg.Dynamic)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("gridseg: %w", err)
+	if err := m.buildDynamics(rng.New(cfg.Seed).Split(2)); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

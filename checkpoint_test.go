@@ -58,6 +58,37 @@ func TestCheckpointDeterministicResume(t *testing.T) {
 	}
 }
 
+func TestConfigRoundTripPreservesResolvedDefaults(t *testing.T) {
+	// The regression for the resumed-defaults bug: a model rebuilt via
+	// NewFromConfiguration(MarshalConfiguration(...)) must report the
+	// same resolved Config as the original, including the documented
+	// P = 1/2 and Glauber defaults applied to zero values.
+	m, err := New(Config{N: 16, W: 2, Tau: 0.45, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Config(); got.P != 0.5 || got.Dynamic != Glauber {
+		t.Fatalf("New did not resolve defaults: %+v", got)
+	}
+	data, err := m.MarshalConfiguration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewFromConfiguration(data, Config{W: 2, Tau: 0.45, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config() != resumed.Config() {
+		t.Fatalf("resolved Config not preserved:\n original %+v\n resumed  %+v", m.Config(), resumed.Config())
+	}
+	if resumed.Config().P != 0.5 {
+		t.Fatalf("resumed P = %v, want the documented 0.5 default", resumed.Config().P)
+	}
+	if resumed.Config().N != 16 {
+		t.Fatalf("resumed N = %v, want 16 from the marshaled lattice", resumed.Config().N)
+	}
+}
+
 func TestNewFromConfigurationErrors(t *testing.T) {
 	if _, err := NewFromConfiguration([]byte("garbage"), Config{W: 2, Tau: 0.45}); err == nil {
 		t.Fatal("want error for corrupt data")

@@ -1,10 +1,21 @@
-// Command sweep runs experiments from the reproduction registry
-// (DESIGN.md section 5): each experiment regenerates one figure of the
-// paper or validates one theorem's shape.
+// Command sweep runs reproduction experiments and parameter-grid
+// scans. See README.md for the experiment index and the grid syntax.
+//
+// Registry mode runs experiments E1..E18 from the reproduction
+// registry; each regenerates one figure of the paper or validates one
+// theorem's shape:
 //
 //	sweep -list
 //	sweep -exp E2,E3,E4
 //	sweep -exp all -full -out artifacts/
+//
+// Grid mode runs an arbitrary (n, w, tau, p, dynamic, replicates)
+// parameter grid through the batch engine and writes CSV/JSON
+// artifacts; results are byte-identical for any -workers setting, and
+// -checkpoint lets long full-scale scans resume after interruption:
+//
+//	sweep -grid "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8" -out artifacts/ -workers 8
+//	sweep -grid "n=240 w=4 tau=0.45 dyn=glauber,kawasaki reps=16" -checkpoint scan.ck.json
 package main
 
 import (
@@ -12,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"gridseg"
@@ -22,14 +34,28 @@ func main() {
 	log.SetPrefix("sweep: ")
 
 	var (
-		exp     = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
-		list    = flag.Bool("list", false, "list registered experiments")
-		full    = flag.Bool("full", false, "paper-scale parameters (slower)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		out     = flag.String("out", "", "artifact directory (PNG, CSV)")
-		verbose = flag.Bool("v", false, "progress logging")
+		exp        = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
+		grid       = flag.String("grid", "", `parameter grid spec, e.g. "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8"`)
+		list       = flag.Bool("list", false, "list registered experiments")
+		full       = flag.Bool("full", false, "paper-scale parameters (slower)")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		out        = flag.String("out", "", "artifact directory (PNG, CSV, JSON)")
+		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
+		checkpoint = flag.String("checkpoint", "", "grid mode: JSON checkpoint file to stream/resume cell results")
+		verbose    = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *grid != "" {
+		runGrid(*grid, *seed, *workers, *out, *checkpoint, *verbose)
+		return
+	}
 
 	infos := gridseg.Experiments()
 	if *list || *exp == "" {
@@ -38,7 +64,7 @@ func main() {
 			fmt.Printf("  %-4s %-45s %s\n", e.ID, e.Figure, e.Title)
 		}
 		if *exp == "" {
-			fmt.Println("\nrun with -exp <ID>[,<ID>...] or -exp all")
+			fmt.Println("\nrun with -exp <ID>[,<ID>...], -exp all, or -grid \"<spec>\"")
 		}
 		return
 	}
@@ -52,12 +78,7 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
-			log.Fatal(err)
-		}
-	}
-	opt := gridseg.ExperimentOptions{Full: *full, Seed: *seed, OutDir: *out}
+	opt := gridseg.ExperimentOptions{Full: *full, Seed: *seed, OutDir: *out, Workers: *workers}
 	if *verbose {
 		opt.Logf = func(format string, args ...interface{}) {
 			log.Printf(format, args...)
@@ -70,4 +91,45 @@ func main() {
 		}
 		fmt.Println(text)
 	}
+}
+
+// runGrid executes a parameter-grid scan and writes its artifacts.
+func runGrid(spec string, seed uint64, workers int, out, checkpoint string, verbose bool) {
+	opt := gridseg.GridOptions{Seed: seed, Workers: workers, CheckpointPath: checkpoint}
+	if verbose {
+		opt.Progress = func(done, total int) {
+			log.Printf("grid: %d/%d cells", done, total)
+		}
+	}
+	res, err := gridseg.RunGrid(spec, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Text())
+	if out == "" {
+		return
+	}
+	csvPath := filepath.Join(out, "grid.csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteCSV(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	jsonPath := filepath.Join(out, "grid.json")
+	j, err := os.Create(jsonPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := res.WriteJSON(j); err != nil {
+		log.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s and %s (%d cells)", csvPath, jsonPath, res.Len())
 }

@@ -21,6 +21,7 @@
 //	m.Run(0) // to fixation
 //	fmt.Println(m.SegregationStats())
 //
-// See the examples directory for runnable programs, DESIGN.md for the
-// architecture, and EXPERIMENTS.md for the paper-vs-measured record.
+// See the examples directory for runnable programs, and README.md for
+// the quick start, the experiment-to-figure index, and the grid sweep
+// syntax.
 package gridseg

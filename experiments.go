@@ -16,7 +16,7 @@ type ExperimentInfo struct {
 
 // Experiments lists the registered experiments in ID order. Each
 // regenerates one figure of the paper or validates one theorem's shape;
-// see DESIGN.md section 5 for the index.
+// see README.md for the experiment-to-figure index.
 func Experiments() []ExperimentInfo {
 	var out []ExperimentInfo
 	for _, e := range sim.All() {
@@ -35,6 +35,9 @@ type ExperimentOptions struct {
 	// OutDir, when non-empty, receives artifacts (PNG snapshots, CSV
 	// curve data).
 	OutDir string
+	// Workers bounds the batch engine's worker pool; 0 means
+	// GOMAXPROCS. Results never depend on the worker count.
+	Workers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -51,10 +54,11 @@ func RunExperiment(id string, opt ExperimentOptions) (string, error) {
 		seed = 1
 	}
 	ctx := &sim.Context{
-		Quick:  !opt.Full,
-		Seed:   seed,
-		OutDir: opt.OutDir,
-		Logf:   opt.Logf,
+		Quick:   !opt.Full,
+		Seed:    seed,
+		OutDir:  opt.OutDir,
+		Workers: opt.Workers,
+		Logf:    opt.Logf,
 	}
 	tables, err := e.Run(ctx)
 	if err != nil {

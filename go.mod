@@ -1,0 +1,3 @@
+module gridseg
+
+go 1.24

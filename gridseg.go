@@ -57,15 +57,45 @@ type Model struct {
 	kaw  *dynamics.Kawasaki
 }
 
-// New builds a model from the config and draws its initial
-// configuration.
-func New(cfg Config) (*Model, error) {
+// withDefaults returns the config with its documented zero-value
+// defaults resolved (P = 1/2, Glauber dynamics). Both constructors
+// normalize through this helper so Config() always reports the
+// parameters actually in force.
+func (cfg Config) withDefaults() Config {
 	if cfg.P == 0 {
 		cfg.P = 0.5
 	}
 	if cfg.Dynamic == 0 {
 		cfg.Dynamic = Glauber
 	}
+	return cfg
+}
+
+// buildDynamics attaches the configured evolution process to a model
+// whose cfg and lat fields are already set.
+func (m *Model) buildDynamics(src *rng.Source) error {
+	var err error
+	switch m.cfg.Dynamic {
+	case Glauber:
+		m.proc, err = dynamics.New(m.lat, m.cfg.W, m.cfg.Tau, src)
+	case Kawasaki:
+		m.kaw, err = dynamics.NewKawasaki(m.lat, m.cfg.W, m.cfg.Tau, src)
+		if m.kaw != nil {
+			m.proc = m.kaw.Process()
+		}
+	default:
+		return fmt.Errorf("gridseg: unknown dynamic %d", m.cfg.Dynamic)
+	}
+	if err != nil {
+		return fmt.Errorf("gridseg: %w", err)
+	}
+	return nil
+}
+
+// New builds a model from the config and draws its initial
+// configuration.
+func New(cfg Config) (*Model, error) {
+	cfg = cfg.withDefaults()
 	if cfg.N < 3 {
 		return nil, errors.New("gridseg: N must be at least 3")
 	}
@@ -75,20 +105,8 @@ func New(cfg Config) (*Model, error) {
 	src := rng.New(cfg.Seed)
 	lat := grid.Random(cfg.N, cfg.P, src.Split(1))
 	m := &Model{cfg: cfg, lat: lat}
-	var err error
-	switch cfg.Dynamic {
-	case Glauber:
-		m.proc, err = dynamics.New(lat, cfg.W, cfg.Tau, src.Split(2))
-	case Kawasaki:
-		m.kaw, err = dynamics.NewKawasaki(lat, cfg.W, cfg.Tau, src.Split(2))
-		if m.kaw != nil {
-			m.proc = m.kaw.Process()
-		}
-	default:
-		return nil, fmt.Errorf("gridseg: unknown dynamic %d", cfg.Dynamic)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("gridseg: %w", err)
+	if err := m.buildDynamics(src.Split(2)); err != nil {
+		return nil, err
 	}
 	return m, nil
 }

@@ -1,0 +1,324 @@
+package batch
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"gridseg/internal/rng"
+)
+
+func TestGridCellsEnumeration(t *testing.T) {
+	g := Grid{
+		Ns:         []int{10, 20},
+		Ws:         []int{1},
+		Taus:       []float64{0.4, 0.5},
+		Replicates: 3,
+	}
+	cells := g.Cells()
+	if len(cells) != g.Size() || len(cells) != 12 {
+		t.Fatalf("got %d cells, want 12", len(cells))
+	}
+	// Canonical order: replicates innermost, indices sequential.
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+	}
+	if cells[0].N != 10 || cells[0].Tau != 0.4 || cells[0].Rep != 0 {
+		t.Fatalf("first cell %+v", cells[0])
+	}
+	if cells[2].Rep != 2 || cells[3].Tau != 0.5 || cells[3].Rep != 0 {
+		t.Fatalf("replicates not innermost: %+v %+v", cells[2], cells[3])
+	}
+	// Defaults fill empty axes.
+	if cells[0].P != 0.5 || cells[0].Dynamic != Glauber {
+		t.Fatalf("defaults not applied: %+v", cells[0])
+	}
+}
+
+func TestCellSourceDeterministic(t *testing.T) {
+	a := cellSource(7, "E5", 3).Uint64()
+	b := cellSource(7, "E5", 3).Uint64()
+	if a != b {
+		t.Fatal("cell source must be deterministic")
+	}
+	if cellSource(7, "E5", 3).Uint64() == cellSource(7, "E6", 3).Uint64() {
+		t.Fatal("scopes must decorrelate streams")
+	}
+	if cellSource(7, "E5", 3).Uint64() == cellSource(7, "E5", 4).Uint64() {
+		t.Fatal("cells must decorrelate streams")
+	}
+}
+
+// runGrid is the shared fixture: a small grid with a runner whose
+// output depends only on the cell and its source.
+func runGrid(t *testing.T, workers int, checkpoint string) *ResultSet {
+	t.Helper()
+	g := Grid{
+		Ns:         []int{8, 16},
+		Ws:         []int{1, 2},
+		Taus:       []float64{0.4, 0.45},
+		Replicates: 4,
+	}
+	rs, err := Run(g, []string{"a", "b"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		return []float64{float64(c.N*c.W) * c.Tau, src.Float64()}, nil
+	}, Options{Seed: 42, Scope: "test", Workers: workers, CheckpointPath: checkpoint})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestSchedulingIndependence(t *testing.T) {
+	// The tentpole regression: Workers 1 and Workers 8 must produce
+	// byte-identical serialized tables, CSV, and JSON.
+	seq := runGrid(t, 1, "")
+	par := runGrid(t, 8, "")
+	if seq.Table("t").String() != par.Table("t").String() {
+		t.Fatal("tables differ across worker counts")
+	}
+	var csv1, csv8, js1, js8 bytes.Buffer
+	if err := seq.WriteCSV(&csv1); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteCSV(&csv8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1.Bytes(), csv8.Bytes()) {
+		t.Fatal("CSV bytes differ across worker counts")
+	}
+	if err := seq.WriteJSON(&js1); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.WriteJSON(&js8); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(js1.Bytes(), js8.Bytes()) {
+		t.Fatal("JSON bytes differ across worker counts")
+	}
+	if seq.SummaryTable("s").String() != par.SummaryTable("s").String() {
+		t.Fatal("summary tables differ across worker counts")
+	}
+}
+
+func TestGroupsAggregation(t *testing.T) {
+	g := Grid{Taus: []float64{0.4, 0.5}, Replicates: 3}
+	rs, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		if c.Tau == 0.5 && c.Rep == 1 {
+			return []float64{math.NaN()}, nil // missing sample
+		}
+		return []float64{c.Tau * float64(c.Rep+1)}, nil
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := rs.Groups()
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	// tau=0.4: samples 0.4, 0.8, 1.2 -> mean 0.8.
+	if math.Abs(groups[0].Mean[0]-0.8) > 1e-12 || groups[0].Count[0] != 3 {
+		t.Fatalf("group 0: mean=%v count=%v", groups[0].Mean[0], groups[0].Count[0])
+	}
+	// tau=0.5: NaN skipped, samples 0.5, 1.5 -> mean 1.0, count 2.
+	if math.Abs(groups[1].Mean[0]-1.0) > 1e-12 || groups[1].Count[0] != 2 {
+		t.Fatalf("group 1: mean=%v count=%v", groups[1].Mean[0], groups[1].Count[0])
+	}
+	col := groups[1].Column("v", rs.Columns)
+	if len(col) != 2 {
+		t.Fatalf("Column returned %v", col)
+	}
+	if got := groups[0].Column("missing", rs.Columns); got != nil {
+		t.Fatalf("unknown column must return nil, got %v", got)
+	}
+}
+
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+
+	// First run: abort partway by returning an error after some cells.
+	g := Grid{Taus: []float64{0.4}, Replicates: 10}
+	var calls int32
+	_, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		if atomic.AddInt32(&calls, 1) > 5 {
+			return nil, os.ErrDeadlineExceeded
+		}
+		return []float64{float64(c.Index)}, nil
+	}, Options{Seed: 1, Scope: "ck", Workers: 1, CheckpointPath: path})
+	if err == nil {
+		t.Fatal("first run must fail")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+
+	// Second run: completed cells must be restored, not recomputed.
+	var reruns []int
+	rs, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		reruns = append(reruns, c.Index)
+		return []float64{float64(c.Index)}, nil
+	}, Options{Seed: 1, Scope: "ck", Workers: 1, CheckpointPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reruns) >= 10 {
+		t.Fatalf("resume recomputed everything: %v", reruns)
+	}
+	for i := 0; i < rs.Len(); i++ {
+		c, vals := rs.At(i)
+		if vals[0] != float64(c.Index) {
+			t.Fatalf("cell %d has value %v", i, vals)
+		}
+	}
+
+	// A different seed must reject the stale checkpoint.
+	if _, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		return []float64{0}, nil
+	}, Options{Seed: 2, Scope: "ck", CheckpointPath: path}); err == nil {
+		t.Fatal("fingerprint mismatch must be rejected")
+	}
+}
+
+func TestNaNSurvivesCheckpointAndJSON(t *testing.T) {
+	// NaN is the engine's missing-sample convention; it must survive
+	// both the streaming checkpoint and the JSON artifact (encoded as
+	// null), not abort the run.
+	path := filepath.Join(t.TempDir(), "nan.ck.json")
+	g := Grid{Replicates: 3}
+	run := func() *ResultSet {
+		rs, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+			if c.Rep == 1 {
+				return []float64{math.NaN()}, nil
+			}
+			return []float64{float64(c.Rep)}, nil
+		}, Options{Seed: 5, Scope: "nan", CheckpointPath: path})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	first := run()
+	// Second run restores all cells from the checkpoint, including the
+	// NaN one.
+	second := run()
+	for i := 0; i < first.Len(); i++ {
+		_, a := first.At(i)
+		_, b := second.At(i)
+		if math.IsNaN(a[0]) != math.IsNaN(b[0]) || (!math.IsNaN(a[0]) && a[0] != b[0]) {
+			t.Fatalf("cell %d: %v restored as %v", i, a, b)
+		}
+	}
+	var js bytes.Buffer
+	if err := first.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON with NaN: %v", err)
+	}
+	if !bytes.Contains(js.Bytes(), []byte("null")) {
+		t.Fatalf("NaN not encoded as null: %s", js.String())
+	}
+}
+
+func TestRunStopsDispatchingAfterError(t *testing.T) {
+	g := Grid{Replicates: 64}
+	var calls int32
+	_, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		atomic.AddInt32(&calls, 1)
+		return nil, os.ErrInvalid
+	}, Options{Workers: 2})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	// With 2 workers and an immediate failure, only a handful of cells
+	// may have been dispatched before the feeder stopped.
+	if n := atomic.LoadInt32(&calls); n > 8 {
+		t.Fatalf("engine kept dispatching after failure: %d cells ran", n)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := Grid{Replicates: 2}
+	if _, err := Run(g, nil, func(c Cell, src *rng.Source) ([]float64, error) {
+		return nil, nil
+	}, Options{}); err == nil {
+		t.Fatal("want error for empty columns")
+	}
+	if _, err := Run(g, []string{"a", "b"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		return []float64{1}, nil // wrong arity
+	}, Options{}); err == nil {
+		t.Fatal("want error for column arity mismatch")
+	}
+}
+
+func TestParseGrid(t *testing.T) {
+	g, err := ParseGrid("n=96,240 w=2:4 tau=0.40:0.48:0.02 p=0.5 dyn=glauber,kawasaki reps=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g.Ns, []int{96, 240}) {
+		t.Fatalf("Ns = %v", g.Ns)
+	}
+	if !reflect.DeepEqual(g.Ws, []int{2, 3, 4}) {
+		t.Fatalf("Ws = %v", g.Ws)
+	}
+	if len(g.Taus) != 5 || math.Abs(g.Taus[0]-0.40) > 1e-12 || math.Abs(g.Taus[4]-0.48) > 1e-12 {
+		t.Fatalf("Taus = %v", g.Taus)
+	}
+	if !reflect.DeepEqual(g.Ps, []float64{0.5}) {
+		t.Fatalf("Ps = %v", g.Ps)
+	}
+	if !reflect.DeepEqual(g.Dynamics, []string{Glauber, Kawasaki}) {
+		t.Fatalf("Dynamics = %v", g.Dynamics)
+	}
+	if g.Replicates != 8 {
+		t.Fatalf("Replicates = %d", g.Replicates)
+	}
+}
+
+func TestParseGridErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus",                        // no '='
+		"q=1",                          // unknown key
+		"n=abc",                        // bad int
+		"n=5:1",                        // descending range
+		"tau=0.4:0.5",                  // float range without step
+		"tau=1.5",                      // out of [0,1]
+		"p=-0.1",                       // out of [0,1]
+		"dyn=ising",                    // unknown dynamic
+		"reps=0",                       // non-positive
+		"n=1 n=2",                      // duplicate key
+		"dyn=glauber dynamic=kawasaki", // duplicate via alias
+		"w=1:5:0",                      // zero step
+		"tau=0.4:0.3:0.05",             // descending float range
+	} {
+		if _, err := ParseGrid(spec); err == nil {
+			t.Fatalf("spec %q must fail", spec)
+		}
+	}
+}
+
+func TestProgressAndTotals(t *testing.T) {
+	g := Grid{Replicates: 6}
+	var last int32
+	rs, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		return []float64{1}, nil
+	}, Options{Workers: 3, Progress: func(done, total int, c Cell) {
+		if total != 6 {
+			t.Errorf("total = %d", total)
+		}
+		atomic.StoreInt32(&last, int32(done))
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != 6 {
+		t.Fatalf("final progress = %d", last)
+	}
+	if rs.Len() != 6 {
+		t.Fatalf("len = %d", rs.Len())
+	}
+}

@@ -1,0 +1,188 @@
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gridseg/internal/rng"
+)
+
+// Runner computes the metric vector of one cell. It receives a random
+// source derived deterministically from (seed, scope, cell index), so
+// the result must not depend on scheduling. Metrics that could not be
+// measured should be returned as NaN (aggregation skips NaNs); a
+// non-nil error aborts the whole run.
+type Runner func(c Cell, src *rng.Source) ([]float64, error)
+
+// Options configures a batch run.
+type Options struct {
+	// Seed is the root seed of the run; every cell stream derives from
+	// it. The zero seed is a valid seed.
+	Seed uint64
+	// Scope namespaces the seed derivation (typically the experiment
+	// ID), so two sweeps in one program draw independent streams even
+	// with equal root seeds.
+	Scope string
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, when non-nil, is invoked after each completed cell
+	// with the number of cells done so far. Calls are serialized.
+	Progress func(done, total int, c Cell)
+	// CheckpointPath, when non-empty, streams completed cells to a
+	// JSON checkpoint file and resumes from it if it already exists.
+	// A checkpoint written for a different (grid, seed, scope,
+	// columns) combination is rejected.
+	CheckpointPath string
+}
+
+// workers returns the effective worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// cellSource derives the random source of a cell from the run seed,
+// the scope label, and the cell index — never from scheduling order.
+func cellSource(seed uint64, scope string, index int) *rng.Source {
+	// FNV-1a over the scope, folded into the seed, then split on the
+	// cell index; rng.Split guarantees independent child streams.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(scope); i++ {
+		h ^= uint64(scope[i])
+		h *= prime64
+	}
+	return rng.New(seed ^ h).Split(uint64(index))
+}
+
+// Run expands the grid, executes fn over every cell on a bounded
+// worker pool, and collects the results indexed by cell. The returned
+// ResultSet is identical for any Workers setting.
+func Run(g Grid, columns []string, fn Runner, opt Options) (*ResultSet, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("batch: no metric columns declared")
+	}
+	ng := g.normalized()
+	cells := ng.Cells()
+	rs := &ResultSet{
+		Grid:    ng,
+		Columns: columns,
+		Cells:   cells,
+		Values:  make([][]float64, len(cells)),
+	}
+
+	var ckpt *checkpoint
+	done := make([]bool, len(cells))
+	if opt.CheckpointPath != "" {
+		var err error
+		ckpt, err = loadOrCreateCheckpoint(opt.CheckpointPath, ng.fingerprint(opt.Seed, opt.Scope, columns), columns)
+		if err != nil {
+			return nil, err
+		}
+		for idx, vals := range ckpt.restored() {
+			if idx >= 0 && idx < len(cells) && len(vals) == len(columns) {
+				rs.Values[idx] = vals
+				done[idx] = true
+			}
+		}
+	}
+
+	var pending []int
+	for i := range cells {
+		if !done[i] {
+			pending = append(pending, i)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		completed = len(cells) - len(pending)
+	)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	workers := opt.workers()
+	if workers > len(pending) {
+		workers = len(pending)
+	}
+	runCell := func(i int) {
+		c := cells[i]
+		vals, err := fn(c, cellSource(opt.Seed, opt.Scope, c.Index))
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("batch: cell %d (%+v): %w", c.Index, c, err)
+			}
+			return
+		}
+		if len(vals) != len(columns) {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("batch: cell %d returned %d values, want %d columns", c.Index, len(vals), len(columns))
+			}
+			return
+		}
+		rs.Values[i] = vals
+		completed++
+		if ckpt != nil {
+			if err := ckpt.record(c.Index, vals); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if opt.Progress != nil {
+			opt.Progress(completed, len(cells), c)
+		}
+	}
+
+	// Stop dispatching new cells once a cell has failed: a long sweep
+	// should not spend hours finishing a grid whose run is already
+	// doomed. In-flight cells drain normally.
+	if workers <= 1 {
+		for _, i := range pending {
+			if failed() {
+				break
+			}
+			runCell(i)
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					runCell(i)
+				}
+			}()
+		}
+		for _, i := range pending {
+			if failed() {
+				break
+			}
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	if ckpt != nil {
+		// Flush even on failure: preserving completed cells for a
+		// resume is the entire point of the checkpoint.
+		if err := ckpt.flush(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return rs, nil
+}

@@ -1,0 +1,172 @@
+package batch
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseGrid parses the -grid flag syntax into a Grid. The spec is a
+// whitespace-separated list of key=value fields:
+//
+//	n=96,240 w=2:4 tau=0.40:0.48:0.02 p=0.5 dyn=glauber,kawasaki reps=8
+//
+// Values are comma-separated lists whose elements are either single
+// numbers or inclusive ranges lo:hi[:step] (step defaults to 1 and
+// must be positive). Keys: n, w (ints), tau, p (floats in [0,1]),
+// dyn (glauber|kawasaki), reps (single int).
+func ParseGrid(spec string) (Grid, error) {
+	var g Grid
+	seen := map[string]bool{}
+	for _, field := range strings.Fields(spec) {
+		key, value, ok := strings.Cut(field, "=")
+		if !ok {
+			return Grid{}, fmt.Errorf("batch: malformed grid field %q (want key=value)", field)
+		}
+		key = strings.ToLower(key)
+		// Fold aliases before the duplicate check so "dyn=... dynamic=..."
+		// is rejected like "dyn=... dyn=..." instead of silently
+		// overwriting.
+		switch key {
+		case "dynamic":
+			key = "dyn"
+		case "replicates":
+			key = "reps"
+		}
+		if seen[key] {
+			return Grid{}, fmt.Errorf("batch: duplicate grid key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "n":
+			g.Ns, err = parseInts(value)
+		case "w":
+			g.Ws, err = parseInts(value)
+		case "tau":
+			g.Taus, err = parseFloats(value)
+		case "p":
+			g.Ps, err = parseFloats(value)
+		case "dyn":
+			g.Dynamics, err = parseDynamics(value)
+		case "reps":
+			g.Replicates, err = strconv.Atoi(value)
+			if err == nil && g.Replicates <= 0 {
+				err = fmt.Errorf("must be positive")
+			}
+		default:
+			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps)", key)
+		}
+		if err != nil {
+			return Grid{}, fmt.Errorf("batch: grid field %q: %w", field, err)
+		}
+	}
+	for _, tau := range g.Taus {
+		if tau < 0 || tau > 1 {
+			return Grid{}, fmt.Errorf("batch: tau=%v out of [0, 1]", tau)
+		}
+	}
+	for _, p := range g.Ps {
+		if p < 0 || p > 1 {
+			return Grid{}, fmt.Errorf("batch: p=%v out of [0, 1]", p)
+		}
+	}
+	return g, nil
+}
+
+// parseInts parses a comma list of ints and lo:hi[:step] ranges.
+func parseInts(value string) ([]int, error) {
+	var out []int
+	for _, item := range strings.Split(value, ",") {
+		parts := strings.Split(item, ":")
+		switch len(parts) {
+		case 1:
+			v, err := strconv.Atoi(parts[0])
+			if err != nil {
+				return nil, fmt.Errorf("bad int %q", parts[0])
+			}
+			out = append(out, v)
+		case 2, 3:
+			lo, err1 := strconv.Atoi(parts[0])
+			hi, err2 := strconv.Atoi(parts[1])
+			step := 1
+			var err3 error
+			if len(parts) == 3 {
+				step, err3 = strconv.Atoi(parts[2])
+			}
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("bad range %q", item)
+			}
+			if step <= 0 || hi < lo {
+				return nil, fmt.Errorf("bad range %q (want lo<=hi, step>0)", item)
+			}
+			for v := lo; v <= hi; v += step {
+				out = append(out, v)
+			}
+		default:
+			return nil, fmt.Errorf("bad range %q", item)
+		}
+	}
+	return out, nil
+}
+
+// parseFloats parses a comma list of floats and lo:hi:step ranges
+// (the step is required for float ranges; endpoints are included up
+// to a half-step tolerance against rounding drift).
+func parseFloats(value string) ([]float64, error) {
+	var out []float64
+	for _, item := range strings.Split(value, ",") {
+		parts := strings.Split(item, ":")
+		switch len(parts) {
+		case 1:
+			v, err := strconv.ParseFloat(parts[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad float %q", parts[0])
+			}
+			out = append(out, v)
+		case 3:
+			lo, err1 := strconv.ParseFloat(parts[0], 64)
+			hi, err2 := strconv.ParseFloat(parts[1], 64)
+			step, err3 := strconv.ParseFloat(parts[2], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("bad range %q", item)
+			}
+			if step <= 0 || hi < lo {
+				return nil, fmt.Errorf("bad range %q (want lo<=hi, step>0)", item)
+			}
+			// Enumerate by index to avoid accumulating rounding error,
+			// and snap each value to 12 decimals so 0.42 + 2*0.02
+			// reads as 0.46, not 0.45999999999999996.
+			steps := int(math.Floor((hi-lo)/step + 0.5))
+			for i := 0; i <= steps; i++ {
+				v := math.Round((lo+float64(i)*step)*1e12) / 1e12
+				if v > hi+step/2 {
+					break
+				}
+				out = append(out, v)
+			}
+		case 2:
+			return nil, fmt.Errorf("float range %q needs an explicit step (lo:hi:step)", item)
+		default:
+			return nil, fmt.Errorf("bad range %q", item)
+		}
+	}
+	return out, nil
+}
+
+// parseDynamics parses the dyn= list.
+func parseDynamics(value string) ([]string, error) {
+	var out []string
+	for _, item := range strings.Split(value, ",") {
+		switch strings.ToLower(item) {
+		case Glauber:
+			out = append(out, Glauber)
+		case Kawasaki:
+			out = append(out, Kawasaki)
+		default:
+			return nil, fmt.Errorf("unknown dynamic %q (want glauber or kawasaki)", item)
+		}
+	}
+	return out, nil
+}

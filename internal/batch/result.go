@@ -1,0 +1,281 @@
+package batch
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"gridseg/internal/report"
+)
+
+// ResultSet holds the metric vectors of a completed run, indexed by
+// cell in canonical grid order.
+type ResultSet struct {
+	Grid    Grid
+	Columns []string
+	Cells   []Cell
+	Values  [][]float64
+}
+
+// Len returns the number of cells.
+func (rs *ResultSet) Len() int { return len(rs.Cells) }
+
+// At returns cell i and its metric vector.
+func (rs *ResultSet) At(i int) (Cell, []float64) { return rs.Cells[i], rs.Values[i] }
+
+// Group aggregates the replicates of one parameter combination.
+type Group struct {
+	// Cell is the representative cell (replicate 0) of the group.
+	Cell Cell
+	// Values holds the raw metric vectors of the replicates in
+	// replicate order.
+	Values [][]float64
+	// Count is the number of non-NaN samples per column.
+	Count []int
+	// Mean and Std are per-column moments over the non-NaN samples;
+	// NaN when no sample exists (Std also NaN for a single sample).
+	Mean []float64
+	Std  []float64
+}
+
+// Column returns the non-NaN samples of the named column.
+func (g Group) Column(name string, columns []string) []float64 {
+	for ci, c := range columns {
+		if c != name {
+			continue
+		}
+		var out []float64
+		for _, vals := range g.Values {
+			if !math.IsNaN(vals[ci]) {
+				out = append(out, vals[ci])
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// Groups folds the replicates of each parameter combination, in
+// canonical grid order.
+func (rs *ResultSet) Groups() []Group {
+	var out []Group
+	var cur *Group
+	key := ""
+	for i, c := range rs.Cells {
+		if cur == nil || c.GroupKey() != key {
+			out = append(out, Group{Cell: c})
+			cur = &out[len(out)-1]
+			key = c.GroupKey()
+		}
+		cur.Values = append(cur.Values, rs.Values[i])
+	}
+	for gi := range out {
+		g := &out[gi]
+		nc := len(rs.Columns)
+		g.Count = make([]int, nc)
+		g.Mean = make([]float64, nc)
+		g.Std = make([]float64, nc)
+		for ci := 0; ci < nc; ci++ {
+			var sum float64
+			for _, vals := range g.Values {
+				if vals == nil || math.IsNaN(vals[ci]) {
+					continue
+				}
+				sum += vals[ci]
+				g.Count[ci]++
+			}
+			if g.Count[ci] == 0 {
+				g.Mean[ci] = math.NaN()
+				g.Std[ci] = math.NaN()
+				continue
+			}
+			mean := sum / float64(g.Count[ci])
+			g.Mean[ci] = mean
+			if g.Count[ci] < 2 {
+				g.Std[ci] = math.NaN()
+				continue
+			}
+			var ss float64
+			for _, vals := range g.Values {
+				if vals == nil || math.IsNaN(vals[ci]) {
+					continue
+				}
+				d := vals[ci] - mean
+				ss += d * d
+			}
+			g.Std[ci] = math.Sqrt(ss / float64(g.Count[ci]-1))
+		}
+	}
+	return out
+}
+
+// paramColumns returns the header of the parameter part of a row.
+func (rs *ResultSet) paramColumns() []string {
+	cols := []string{"dynamic", "n", "w", "tau", "p"}
+	if rs.Grid.ExtraName != "" {
+		cols = append(cols, rs.Grid.ExtraName)
+	}
+	return append(cols, "rep")
+}
+
+// paramCells renders the parameter part of the row for a cell.
+func (rs *ResultSet) paramCells(c Cell) []string {
+	cells := []string{
+		c.Dynamic,
+		strconv.Itoa(c.N),
+		strconv.Itoa(c.W),
+		fullFloat(c.Tau),
+		fullFloat(c.P),
+	}
+	if rs.Grid.ExtraName != "" {
+		cells = append(cells, fullFloat(c.Extra))
+	}
+	return append(cells, strconv.Itoa(c.Rep))
+}
+
+// fullFloat renders a float at full precision ('g', shortest exact).
+func fullFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Table renders every cell as one row (parameters then metrics).
+func (rs *ResultSet) Table(title string) *report.Table {
+	t := report.NewTable(title, append(rs.paramColumns(), rs.Columns...)...)
+	for i, c := range rs.Cells {
+		row := rs.paramCells(c)
+		for _, v := range rs.Values[i] {
+			row = append(row, fullFloat(v))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// WriteCSV streams the full per-replicate result table as CSV. The
+// bytes depend only on (grid, seed, scope, runner), never on worker
+// count or scheduling.
+func (rs *ResultSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append(rs.paramColumns(), rs.Columns...)); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	for i, c := range rs.Cells {
+		row := rs.paramCells(c)
+		for _, v := range rs.Values[i] {
+			row = append(row, fullFloat(v))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("batch: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	return nil
+}
+
+// nanFloat is a float64 whose JSON encoding maps NaN (the engine's
+// missing-sample marker, which encoding/json rejects) to null and
+// back.
+type nanFloat float64
+
+// MarshalJSON encodes NaN as null.
+func (f nanFloat) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return []byte(strconv.FormatFloat(float64(f), 'g', -1, 64)), nil
+}
+
+// UnmarshalJSON decodes null as NaN.
+func (f *nanFloat) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = nanFloat(math.NaN())
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(data), 64)
+	if err != nil {
+		return err
+	}
+	*f = nanFloat(v)
+	return nil
+}
+
+// nanFloats converts a metric vector for JSON encoding.
+func nanFloats(vs []float64) []nanFloat {
+	out := make([]nanFloat, len(vs))
+	for i, v := range vs {
+		out[i] = nanFloat(v)
+	}
+	return out
+}
+
+// jsonResult is the JSON shape of one cell result.
+type jsonResult struct {
+	Index   int        `json:"index"`
+	Dynamic string     `json:"dynamic"`
+	N       int        `json:"n"`
+	W       int        `json:"w"`
+	Tau     float64    `json:"tau"`
+	P       float64    `json:"p"`
+	Extra   float64    `json:"extra,omitempty"`
+	Rep     int        `json:"rep"`
+	Values  []nanFloat `json:"values"`
+}
+
+// WriteJSON emits the result set as a single JSON document with the
+// column header and one record per cell.
+func (rs *ResultSet) WriteJSON(w io.Writer) error {
+	doc := struct {
+		ExtraName string       `json:"extra_name,omitempty"`
+		Columns   []string     `json:"columns"`
+		Results   []jsonResult `json:"results"`
+	}{ExtraName: rs.Grid.ExtraName, Columns: rs.Columns}
+	for i, c := range rs.Cells {
+		doc.Results = append(doc.Results, jsonResult{
+			Index: c.Index, Dynamic: c.Dynamic, N: c.N, W: c.W,
+			Tau: c.Tau, P: c.P, Extra: c.Extra, Rep: c.Rep,
+			Values: nanFloats(rs.Values[i]),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("batch: %w", err)
+	}
+	return nil
+}
+
+// SummaryTable renders one row per parameter combination with the
+// per-column mean over replicates (NaN samples skipped).
+func (rs *ResultSet) SummaryTable(title string) *report.Table {
+	cols := []string{"dynamic", "n", "w", "tau", "p"}
+	if rs.Grid.ExtraName != "" {
+		cols = append(cols, rs.Grid.ExtraName)
+	}
+	cols = append(cols, "replicates")
+	for _, c := range rs.Columns {
+		cols = append(cols, "mean "+c)
+	}
+	t := report.NewTable(title, cols...)
+	for _, g := range rs.Groups() {
+		row := []string{
+			g.Cell.Dynamic,
+			strconv.Itoa(g.Cell.N),
+			strconv.Itoa(g.Cell.W),
+			fullFloat(g.Cell.Tau),
+			fullFloat(g.Cell.P),
+		}
+		if rs.Grid.ExtraName != "" {
+			row = append(row, fullFloat(g.Cell.Extra))
+		}
+		row = append(row, strconv.Itoa(len(g.Values)))
+		for _, m := range g.Mean {
+			row = append(row, fullFloat(m))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -15,6 +15,22 @@ import (
 // (monochromatic lattice) in distance fields.
 const Unreachable = int32(-1)
 
+// SamplePoints returns a deterministic spread of k probe agents on an
+// n x n torus. The paper's theorems hold for an arbitrary fixed agent,
+// so any deterministic sample is a valid estimator of E[M]; the
+// experiment harness and the grid sweep share this one so their E[M]
+// estimates stay comparable.
+func SamplePoints(n, k int) []geom.Point {
+	pts := make([]geom.Point, 0, k)
+	for i := 0; i < k; i++ {
+		pts = append(pts, geom.Point{
+			X: (i*2*n/(2*k) + n/(2*k)) % n,
+			Y: ((i*7 + 3) * n / (k*7 + 3)) % n,
+		})
+	}
+	return pts
+}
+
 // distanceToSpin returns, for every site, the Chebyshev (king-move)
 // distance to the nearest site of the given spin, via multi-source BFS.
 // Sites of the given spin have distance 0; if the lattice contains no

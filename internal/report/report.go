@@ -1,10 +1,11 @@
 // Package report provides the small tabular-output toolkit used by the
-// experiment harness: aligned text tables for the terminal and CSV for
-// downstream plotting.
+// experiment harness: aligned text tables for the terminal, and CSV and
+// JSON for downstream plotting.
 package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strconv"
@@ -89,6 +90,25 @@ func (t *Table) WriteCSV(out io.Writer) error {
 	}
 	w.Flush()
 	if err := w.Error(); err != nil {
+		return fmt.Errorf("report: %w", err)
+	}
+	return nil
+}
+
+// WriteJSON emits the table as a single JSON document with title,
+// column header, and row list.
+func (t *Table) WriteJSON(out io.Writer) error {
+	doc := struct {
+		Title   string     `json:"title,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}{Title: t.Title, Columns: t.Columns, Rows: t.Rows}
+	if doc.Rows == nil {
+		doc.Rows = [][]string{}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
 		return fmt.Errorf("report: %w", err)
 	}
 	return nil

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -58,6 +59,34 @@ func TestWriteCSV(t *testing.T) {
 	want := "a,b\n1,\"hello, world\"\n"
 	if got != want {
 		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("1", "two")
+	var buf bytes.Buffer
+	if err := tb.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON %q: %v", buf.String(), err)
+	}
+	if doc.Title != "t" || len(doc.Columns) != 2 || len(doc.Rows) != 1 || doc.Rows[0][1] != "two" {
+		t.Fatalf("round trip mismatch: %+v", doc)
+	}
+	// An empty table must still emit a rows array, not null.
+	var empty bytes.Buffer
+	if err := NewTable("", "x").WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(empty.String(), "null") {
+		t.Fatalf("empty table emitted null: %s", empty.String())
 	}
 }
 

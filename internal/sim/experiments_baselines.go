@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"math"
 
+	"gridseg/internal/batch"
 	"gridseg/internal/dynamics"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
 	"gridseg/internal/report"
 	"gridseg/internal/ring"
-	"gridseg/internal/stats"
+	"gridseg/internal/rng"
 )
 
 func init() {
@@ -37,101 +38,122 @@ func runE13(ctx *Context) ([]*report.Table, error) {
 	reps := pick(ctx, 3, 8)
 	taus := []float64{0.2, 0.45, 0.5}
 
-	t := report.NewTable(
-		fmt.Sprintf("Ring Glauber run lengths at fixation: n=%d reps=%d", n, reps),
-		"tau", "w", "N", "mean run len", "longest run", "flips/site")
-	for ti, tau := range taus {
-		for wi, w := range ws {
-			type out struct{ mean, longest, fps float64 }
-			res := parallelMap(ctx, reps, func(r int) out {
-				src := ctx.src(uint64(2000 + ti*1000 + wi*100 + r))
-				p, err := ring.NewRandom(n, w, tau, 0.5, src)
-				if err != nil {
-					return out{math.NaN(), 0, 0}
-				}
-				p.Run(0)
-				spins := p.Spins()
-				return out{
-					mean:    ring.MeanRunLength(spins),
-					longest: float64(ring.LongestRun(spins)),
-					fps:     float64(p.Flips()) / float64(n),
-				}
-			})
-			var means, longs, fps []float64
-			for _, v := range res {
-				if !math.IsNaN(v.mean) {
-					means = append(means, v.mean)
-					longs = append(longs, v.longest)
-					fps = append(fps, v.fps)
-				}
-			}
-			t.AddRow(report.F(tau), report.I(w), report.I(2*w+1),
-				report.F(stats.Mean(means)), report.F(stats.Mean(longs)), report.F3(stats.Mean(fps)))
+	res, err := ctx.run("E13", batch.Grid{
+		Ns: []int{n}, Ws: ws, Taus: taus, Replicates: reps,
+	}, []string{"meanRun", "longestRun", "flipsPerSite"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		p, err := ring.NewRandom(c.N, c.W, c.Tau, 0.5, src)
+		if err != nil {
+			return []float64{math.NaN(), math.NaN(), math.NaN()}, nil
 		}
-	}
-
-	// Kawasaki ring baseline at a single representative setting.
-	k := report.NewTable("Ring Kawasaki baseline (Brandt et al. model)",
-		"tau", "w", "mean run len before", "mean run len after", "swaps")
-	kw := pick(ctx, 4, 8)
-	ktau := 0.45
-	src := ctx.src(2300)
-	kp, err := ring.NewKawasaki(n, kw, ktau, 0.5, src)
+		p.Run(0)
+		spins := p.Spins()
+		return []float64{
+			ring.MeanRunLength(spins),
+			float64(ring.LongestRun(spins)),
+			float64(p.Flips()) / float64(c.N),
+		}, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	before := ring.MeanRunLength(kp.Process().Spins())
-	kp.Run(int64(n)*50, int64(n))
-	after := ring.MeanRunLength(kp.Process().Spins())
-	k.AddRow(report.F(ktau), report.I(kw), report.F(before), report.F(after), report.I64(kp.Swaps()))
+	t := report.NewTable(
+		fmt.Sprintf("Ring Glauber run lengths at fixation: n=%d reps=%d", n, reps),
+		"tau", "w", "N", "mean run len", "longest run", "flips/site")
+	for _, g := range res.Groups() {
+		t.AddRow(report.F(g.Cell.Tau), report.I(g.Cell.W), report.I(2*g.Cell.W+1),
+			report.F(g.Mean[0]), report.F(g.Mean[1]), report.F3(g.Mean[2]))
+	}
+
+	// Kawasaki ring baseline at a single representative setting.
+	kw := pick(ctx, 4, 8)
+	const ktau = 0.45
+	kres, err := ctx.run("E13-kawasaki", batch.Grid{
+		Ns: []int{n}, Ws: []int{kw}, Taus: []float64{ktau},
+	}, []string{"runLenBefore", "runLenAfter", "swaps"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		kp, err := ring.NewKawasaki(c.N, c.W, c.Tau, 0.5, src)
+		if err != nil {
+			return nil, err
+		}
+		before := ring.MeanRunLength(kp.Process().Spins())
+		kp.Run(int64(c.N)*50, int64(c.N))
+		after := ring.MeanRunLength(kp.Process().Spins())
+		return []float64{before, after, float64(kp.Swaps())}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	k := report.NewTable("Ring Kawasaki baseline (Brandt et al. model)",
+		"tau", "w", "mean run len before", "mean run len after", "swaps")
+	_, kv := kres.At(0)
+	k.AddRow(report.F(ktau), report.I(kw), report.F(kv[0]), report.F(kv[1]), report.I64(int64(kv[2])))
 	return []*report.Table{t, k}, nil
 }
 
 // runE14 contrasts the open (Glauber) and closed (Kawasaki) dynamics
-// from identical initial configurations.
+// from identical initial configurations: each cell draws one starting
+// lattice and runs both dynamics on clones of it.
 func runE14(ctx *Context) ([]*report.Table, error) {
 	n := pick(ctx, 80, 160)
 	w := 2
 	tau := 0.45
 	reps := pick(ctx, 3, 8)
 
-	t := report.NewTable(
-		fmt.Sprintf("Glauber vs Kawasaki from a common start: n=%d w=%d tau=%.2f", n, w, tau),
-		"replicate", "dynamic", "happy frac", "interface density", "largest cluster frac", "magnetization drift")
-	for r := 0; r < reps; r++ {
-		src := ctx.src(uint64(2400 + r))
-		initial := grid.Random(n, 0.5, src.Split(1))
+	type half struct{ happy, iface, largest, drift float64 }
+	summarize := func(lat *grid.Lattice, happy float64, plus0 int) half {
+		cl, _ := measure.Clusters(lat)
+		largest := cl.LargestPlus
+		if cl.LargestMinus > largest {
+			largest = cl.LargestMinus
+		}
+		return half{
+			happy:   happy,
+			iface:   measure.InterfaceDensity(lat),
+			largest: float64(largest) / float64(lat.Sites()),
+			drift:   math.Abs(float64(lat.CountPlus()-plus0)) / float64(lat.Sites()),
+		}
+	}
+
+	res, err := ctx.run("E14", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: []float64{tau}, Replicates: reps,
+	}, []string{
+		"gHappy", "gIface", "gLargest", "gDrift",
+		"kHappy", "kIface", "kLargest", "kDrift",
+	}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		initial := grid.Random(c.N, 0.5, src.Split(1))
 		plus0 := initial.CountPlus()
 
-		// Glauber.
 		glat := initial.Clone()
-		gp, err := dynamics.New(glat, w, tau, src.Split(2))
+		gp, err := dynamics.New(glat, c.W, c.Tau, src.Split(2))
 		if err != nil {
 			return nil, err
 		}
 		gp.Run(0)
-		addRow := func(name string, lat *grid.Lattice, happy float64) {
-			cl, _ := measure.Clusters(lat)
-			largest := cl.LargestPlus
-			if cl.LargestMinus > largest {
-				largest = cl.LargestMinus
-			}
-			drift := math.Abs(float64(lat.CountPlus()-plus0)) / float64(lat.Sites())
-			t.AddRow(report.I(r), name, report.F3(happy),
-				report.F3(measure.InterfaceDensity(lat)),
-				report.F3(float64(largest)/float64(lat.Sites())),
-				report.F3(drift))
-		}
-		addRow("glauber", glat, gp.HappyFraction())
+		g := summarize(glat, gp.HappyFraction(), plus0)
 
-		// Kawasaki from the same initial configuration.
 		klat := initial.Clone()
-		kp, err := dynamics.NewKawasaki(klat, w, tau, src.Split(3))
+		kp, err := dynamics.NewKawasaki(klat, c.W, c.Tau, src.Split(3))
 		if err != nil {
 			return nil, err
 		}
-		kp.Run(int64(n)*int64(n)*20, int64(n)*int64(n))
-		addRow("kawasaki", klat, kp.Process().HappyFraction())
+		kp.Run(int64(c.N)*int64(c.N)*20, int64(c.N)*int64(c.N))
+		k := summarize(klat, kp.Process().HappyFraction(), plus0)
+
+		return []float64{
+			g.happy, g.iface, g.largest, g.drift,
+			k.happy, k.iface, k.largest, k.drift,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Glauber vs Kawasaki from a common start: n=%d w=%d tau=%.2f", n, w, tau),
+		"replicate", "dynamic", "happy frac", "interface density", "largest cluster frac", "magnetization drift")
+	for i := 0; i < res.Len(); i++ {
+		c, v := res.At(i)
+		t.AddRow(report.I(c.Rep), "glauber", report.F3(v[0]), report.F3(v[1]), report.F3(v[2]), report.F3(v[3]))
+		t.AddRow(report.I(c.Rep), "kawasaki", report.F3(v[4]), report.F3(v[5]), report.F3(v[6]), report.F3(v[7]))
 	}
 	return []*report.Table{t}, nil
 }

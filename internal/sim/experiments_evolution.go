@@ -2,13 +2,16 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
 
+	"gridseg/internal/batch"
 	"gridseg/internal/dynamics"
 	"gridseg/internal/geom"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
 	"gridseg/internal/report"
+	"gridseg/internal/rng"
 	"gridseg/internal/stats"
 	"gridseg/internal/theory"
 	"gridseg/internal/viz"
@@ -109,19 +112,9 @@ func runE1(ctx *Context) ([]*report.Table, error) {
 	return []*report.Table{t}, nil
 }
 
-// samplePoints returns a deterministic spread of probe agents: the
-// theorems hold for an arbitrary fixed agent, so any deterministic
-// sample is a valid estimator of E[M].
-func samplePoints(n, k int) []geom.Point {
-	pts := make([]geom.Point, 0, k)
-	for i := 0; i < k; i++ {
-		pts = append(pts, geom.Point{
-			X: (i*2*n/(2*k) + n/(2*k)) % n,
-			Y: ((i*7 + 3) * n / (k*7 + 3)) % n,
-		})
-	}
-	return pts
-}
+// samplePoints returns the shared deterministic spread of probe agents
+// (see measure.SamplePoints).
+func samplePoints(n, k int) []geom.Point { return measure.SamplePoints(n, k) }
 
 // runE7 verifies the static regimes cited in Section I.B: for tau <= 1/4
 // (and by symmetry tau >= 3/4) the initial configuration is w.h.p.
@@ -131,27 +124,25 @@ func runE7(ctx *Context) ([]*report.Table, error) {
 	w := pick(ctx, 2, 4)
 	reps := pick(ctx, 3, 10)
 	taus := []float64{0.15, 0.22, 0.45, 0.80}
+
+	res, err := ctx.run("E7", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: taus, Replicates: reps,
+	}, []string{"flipsPerSite", "happy0"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
+		if err != nil {
+			return []float64{math.NaN(), math.NaN()}, nil
+		}
+		initialHappy := measure.HappyFraction(grid.Random(c.N, 0.5, src.Split(1)), c.W, run.Proc.Threshold())
+		return []float64{float64(run.Flips) / float64(c.N*c.N), initialHappy}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Static regimes: n=%d w=%d reps=%d (flips per site at fixation)", n, w, reps),
 		"tau", "regime (theory)", "mean flips/site", "mean happy frac t=0")
-	for ti, tau := range taus {
-		res := parallelMap(ctx, reps, func(r int) [2]float64 {
-			src := ctx.src(uint64(700 + ti*100 + r))
-			run, err := glauberRun(n, w, tau, 0.5, src)
-			if err != nil {
-				return [2]float64{-1, -1}
-			}
-			initialHappy := measure.HappyFraction(grid.Random(n, 0.5, src.Split(1)), w, run.Proc.Threshold())
-			return [2]float64{float64(run.Flips) / float64(n*n), initialHappy}
-		})
-		var flips, happy []float64
-		for _, v := range res {
-			if v[0] >= 0 {
-				flips = append(flips, v[0])
-				happy = append(happy, v[1])
-			}
-		}
-		t.AddRow(report.F(tau), classify(tau), report.F(stats.Mean(flips)), report.F3(stats.Mean(happy)))
+	for _, g := range res.Groups() {
+		t.AddRow(report.F(g.Cell.Tau), classify(g.Cell.Tau), report.F(g.Mean[0]), report.F3(g.Mean[1]))
 	}
 	return []*report.Table{t}, nil
 }
@@ -172,38 +163,34 @@ func runE8(ctx *Context) ([]*report.Table, error) {
 	w := pick(ctx, 2, 3)
 	reps := pick(ctx, 4, 12)
 	taus := []float64{0.46, 0.5}
+
+	res, err := ctx.run("E8", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: taus, Replicates: reps,
+	}, []string{"meanM", "largestFrac", "effTau"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
+		if err != nil {
+			return []float64{math.NaN(), math.NaN(), math.NaN()}, nil
+		}
+		radii := measure.CenteredRadii(run.Lat)
+		var sizes []float64
+		for _, pt := range samplePoints(c.N, 5) {
+			sizes = append(sizes, float64(measure.MonoRegionSize(run.Lat, radii, pt)))
+		}
+		cl, _ := measure.Clusters(run.Lat)
+		largest := cl.LargestPlus
+		if cl.LargestMinus > largest {
+			largest = cl.LargestMinus
+		}
+		return []float64{stats.Mean(sizes), float64(largest) / float64(c.N*c.N), run.Proc.Tau()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("tau = 1/2 vs Theorem 1 interval: n=%d w=%d reps=%d", n, w, reps),
 		"tau", "effective tau", "mean M", "mean largest cluster frac")
-	for ti, tau := range taus {
-		res := parallelMap(ctx, reps, func(r int) [3]float64 {
-			src := ctx.src(uint64(800 + ti*100 + r))
-			run, err := glauberRun(n, w, tau, 0.5, src)
-			if err != nil {
-				return [3]float64{-1}
-			}
-			radii := measure.CenteredRadii(run.Lat)
-			var sizes []float64
-			for _, pt := range samplePoints(n, 5) {
-				sizes = append(sizes, float64(measure.MonoRegionSize(run.Lat, radii, pt)))
-			}
-			cl, _ := measure.Clusters(run.Lat)
-			largest := cl.LargestPlus
-			if cl.LargestMinus > largest {
-				largest = cl.LargestMinus
-			}
-			return [3]float64{stats.Mean(sizes), float64(largest) / float64(n*n), run.Proc.Tau()}
-		})
-		var ms, fracs []float64
-		eff := 0.0
-		for _, v := range res {
-			if v[0] >= 0 {
-				ms = append(ms, v[0])
-				fracs = append(fracs, v[1])
-				eff = v[2]
-			}
-		}
-		t.AddRow(report.F(tau), report.F(eff), report.F(stats.Mean(ms)), report.F3(stats.Mean(fracs)))
+	for _, g := range res.Groups() {
+		t.AddRow(report.F(g.Cell.Tau), report.F(g.Mean[2]), report.F(g.Mean[0]), report.F3(g.Mean[1]))
 	}
 	return []*report.Table{t}, nil
 }
@@ -217,35 +204,30 @@ func runE9(ctx *Context) ([]*report.Table, error) {
 	w := pick(ctx, 2, 2)
 	reps := pick(ctx, 6, 20)
 	ps := []float64{0.5, 0.6, 0.7, 0.8, 0.9}
+
+	res, err := ctx.run("E9", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: []float64{0.5}, Ps: ps, Replicates: reps,
+	}, []string{"complete", "absMag"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		run, err := glauberRun(c.N, c.W, c.Tau, c.P, src)
+		if err != nil {
+			return []float64{math.NaN(), math.NaN()}, nil
+		}
+		plus := run.Lat.CountPlus()
+		complete := 0.0
+		if plus == 0 || plus == run.Lat.Sites() {
+			complete = 1
+		}
+		m := math.Abs(float64(2*plus-run.Lat.Sites()) / float64(run.Lat.Sites()))
+		return []float64{complete, m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Complete segregation at tau=1/2: n=%d w=%d reps=%d", n, w, reps),
 		"p", "frac complete", "mean |magnetization|")
-	for pi, p := range ps {
-		res := parallelMap(ctx, reps, func(r int) [2]float64 {
-			src := ctx.src(uint64(900 + pi*100 + r))
-			run, err := glauberRun(n, w, 0.5, p, src)
-			if err != nil {
-				return [2]float64{-1, -1}
-			}
-			plus := run.Lat.CountPlus()
-			complete := 0.0
-			if plus == 0 || plus == run.Lat.Sites() {
-				complete = 1
-			}
-			m := float64(2*plus-run.Lat.Sites()) / float64(run.Lat.Sites())
-			if m < 0 {
-				m = -m
-			}
-			return [2]float64{complete, m}
-		})
-		var comp, mag []float64
-		for _, v := range res {
-			if v[0] >= 0 {
-				comp = append(comp, v[0])
-				mag = append(mag, v[1])
-			}
-		}
-		t.AddRow(report.F(p), report.F3(stats.Mean(comp)), report.F3(stats.Mean(mag)))
+	for _, g := range res.Groups() {
+		t.AddRow(report.F(g.Cell.P), report.F3(g.Mean[0]), report.F3(g.Mean[1]))
 	}
 	return []*report.Table{t}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"gridseg/internal/batch"
 	"gridseg/internal/core"
 	"gridseg/internal/dynamics"
 	"gridseg/internal/geom"
@@ -49,62 +50,97 @@ func runE10(ctx *Context) ([]*report.Table, error) {
 
 	// (a) Radical regions in the initial configuration and their
 	// expandability (Lemmas 4-6).
-	ra := report.NewTable(
-		fmt.Sprintf("Radical regions at t=0: n=%d w=%d tau=%.2f eps'=%.3f reps=%d", n, w, tau, spec.EpsPrime, reps),
-		"replicate", "radical centers (minus)", "expandable", "log2 density/site", "Lemma 20 log2 bound")
 	bound := theory.PRadicalLog2(tau, spec.N(), spec.EpsPrime, spec.Eps)
-	for r := 0; r < reps; r++ {
-		src := ctx.src(uint64(1000 + r))
-		lat := grid.Random(n, 0.5, src)
+	ares, err := ctx.run("E10-radical", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: []float64{tau}, Replicates: reps,
+	}, []string{"centers", "expandable", "log2Density"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		lat := grid.Random(c.N, 0.5, src)
 		centers := core.FindRadicalRegions(lat, spec, grid.Minus, 1)
 		expandable := 0
-		for _, c := range centers {
-			res, err := core.Expandable(lat, c, spec, grid.Minus)
+		for _, ctr := range centers {
+			res, err := core.Expandable(lat, ctr, spec, grid.Minus)
 			if err == nil && res.Expandable {
 				expandable++
 			}
 		}
 		density := math.Inf(-1)
 		if len(centers) > 0 {
-			density = math.Log2(float64(len(centers)) / float64(n*n))
+			density = math.Log2(float64(len(centers)) / float64(c.N*c.N))
 		}
-		ra.AddRow(report.I(r), report.I(len(centers)), report.I(expandable),
-			report.F(density), report.F(bound))
+		return []float64{float64(len(centers)), float64(expandable), density}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ra := report.NewTable(
+		fmt.Sprintf("Radical regions at t=0: n=%d w=%d tau=%.2f eps'=%.3f reps=%d", n, w, tau, spec.EpsPrime, reps),
+		"replicate", "radical centers (minus)", "expandable", "log2 density/site", "Lemma 20 log2 bound")
+	for i := 0; i < ares.Len(); i++ {
+		c, v := ares.At(i)
+		ra.AddRow(report.I(c.Rep), report.I(int(v[0])), report.I(int(v[1])),
+			report.F(v[2]), report.F(bound))
 	}
 
 	// (b) Lemma 9: monochromatic annulus static under adversarial
 	// exterior, at a tolerance where the discrete annulus is thick
 	// enough (see core tests for the finite-w caveat).
-	fw := report.NewTable("Firewall invariance (Lemma 9 check)", "radius", "protected")
-	for _, radius := range []float64{10, 14} {
-		protected, err := firewallInvariant(ctx, 41, w, 0.40, radius)
+	fres, err := ctx.run("E10-firewall", batch.Grid{
+		Ns: []int{41}, Ws: []int{w}, Taus: []float64{0.40},
+		Extras: []float64{10, 14}, ExtraName: "radius",
+	}, []string{"protected"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		protected, err := firewallInvariant(c.N, c.W, c.Tau, c.Extra, src)
 		if err != nil {
 			return nil, err
 		}
-		fw.AddRow(report.F(radius), fmt.Sprintf("%v", protected))
+		if protected {
+			return []float64{1}, nil
+		}
+		return []float64{0}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fw := report.NewTable("Firewall invariance (Lemma 9 check)", "radius", "protected")
+	for i := 0; i < fres.Len(); i++ {
+		c, v := fres.At(i)
+		fw.AddRow(report.F(c.Extra), fmt.Sprintf("%v", v[0] == 1))
 	}
 
 	// (c) Chemical paths on the renormalized initial configuration
 	// (Lemmas 11-13): good-block fraction, bad clusters, circuit around
 	// the center.
+	m := 6
+	bn := pick(ctx, 96, 192)
+	cres, err := ctx.run("E10-blocks", batch.Grid{
+		Ns: []int{bn}, Ws: []int{w}, Replicates: reps,
+	}, []string{"goodFrac", "badRatio", "maxBad", "circuit", "circuitLen", "pathLen"},
+		func(c batch.Cell, src *rng.Source) ([]float64, error) {
+			lat := grid.Random(c.N, 0.5, src)
+			bf, err := core.Renormalize(lat, m, c.W, 0.2)
+			if err != nil {
+				return nil, err
+			}
+			centerBlock := geom.Point{X: bf.Side / 2, Y: bf.Side / 2}
+			inner, outer := 3, bf.Side/2-1
+			cp := bf.FindChemicalPath(centerBlock, inner, outer)
+			bad := bf.BadClusters()
+			circuit := 0.0
+			if cp.OK {
+				circuit = 1
+			}
+			return []float64{bf.GoodFraction(), bf.BadRatio(), float64(bad.MaxSize),
+				circuit, float64(cp.CircuitLen), float64(cp.PathLen)}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	ch := report.NewTable(
 		"Renormalized block field at t=0 (m-blocks, Lemma 11 criterion)",
 		"replicate", "good frac", "bad/good ratio", "max bad cluster", "circuit found", "circuit len", "path len")
-	m := 6
-	bn := pick(ctx, 96, 192)
-	for r := 0; r < reps; r++ {
-		src := ctx.src(uint64(1100 + r))
-		lat := grid.Random(bn, 0.5, src)
-		bf, err := core.Renormalize(lat, m, w, 0.2)
-		if err != nil {
-			return nil, err
-		}
-		centerBlock := geom.Point{X: bf.Side / 2, Y: bf.Side / 2}
-		inner, outer := 3, bf.Side/2-1
-		cp := bf.FindChemicalPath(centerBlock, inner, outer)
-		bad := bf.BadClusters()
-		ch.AddRow(report.I(r), report.F3(bf.GoodFraction()), report.F(bf.BadRatio()),
-			report.I(bad.MaxSize), fmt.Sprintf("%v", cp.OK), report.I(cp.CircuitLen), report.I(cp.PathLen))
+	for i := 0; i < cres.Len(); i++ {
+		c, v := cres.At(i)
+		ch.AddRow(report.I(c.Rep), report.F3(v[0]), report.F(v[1]),
+			report.I(int(v[2])), fmt.Sprintf("%v", v[3] == 1), report.I(int(v[4])), report.I(int(v[5])))
 	}
 	return []*report.Table{ra, fw, ch}, nil
 }
@@ -112,8 +148,8 @@ func runE10(ctx *Context) ([]*report.Table, error) {
 // firewallInvariant builds a monochromatic annulus plus interior on a
 // random background, floods the exterior with the opposite type, runs to
 // fixation, and reports whether annulus and interior survived.
-func firewallInvariant(ctx *Context, n, w int, tau, radius float64) (bool, error) {
-	lat := grid.Random(n, 0.5, ctx.src(1200))
+func firewallInvariant(n, w int, tau, radius float64, src *rng.Source) (bool, error) {
+	lat := grid.Random(n, 0.5, src.Split(1))
 	u := geom.Point{X: n / 2, Y: n / 2}
 	f := core.Firewall{Center: u, R: radius, W: w}
 	tor := lat.Torus()
@@ -123,7 +159,7 @@ func firewallInvariant(ctx *Context, n, w int, tau, radius float64) (bool, error
 	for _, p := range f.InteriorSites(tor) {
 		lat.Set(p, grid.Plus)
 	}
-	proc, err := dynamics.New(lat, w, tau, ctx.src(1201))
+	proc, err := dynamics.New(lat, w, tau, src.Split(2))
 	if err != nil {
 		return false, err
 	}
@@ -153,103 +189,99 @@ func firewallInvariant(ctx *Context, n, w int, tau, radius float64) (bool, error
 func runE11(ctx *Context) ([]*report.Table, error) {
 	// (a) Kesten / Theorem 3: passage times grow linearly with k and
 	// concentrate.
-	ks := pick(ctx, []int{8, 16, 32}, []int{10, 20, 40, 80})
+	ks := pick(ctx, []float64{8, 16, 32}, []float64{10, 20, 40, 80})
 	fppReps := pick(ctx, 12, 30)
+	fres, err := ctx.run("E11-fpp", batch.Grid{
+		Extras: ks, ExtraName: "k", Replicates: fppReps,
+	}, []string{"T"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		k := int(c.Extra)
+		f, err := percolation.NewFPP(k+11, 21, 1, src)
+		if err != nil {
+			return []float64{math.NaN()}, nil
+		}
+		v, err := f.PassageTime(percolation.Point{X: 5, Y: 10}, percolation.Point{X: 5 + k, Y: 10})
+		if err != nil {
+			return []float64{math.NaN()}, nil
+		}
+		return []float64{v}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	fpp := report.NewTable("FPP with Exp(1) site weights (Kesten Thm 3 shape)",
 		"k", "E[T_k]", "E[T_k]/k", "std", "std/sqrt(k)")
-	for ki, k := range ks {
-		res := parallelMap(ctx, fppReps, func(r int) float64 {
-			src := ctx.src(uint64(1300 + ki*100 + r))
-			f, err := percolation.NewFPP(k+11, 21, 1, src)
-			if err != nil {
-				return math.NaN()
-			}
-			v, err := f.PassageTime(percolation.Point{X: 5, Y: 10}, percolation.Point{X: 5 + k, Y: 10})
-			if err != nil {
-				return math.NaN()
-			}
-			return v
-		})
-		var ts []float64
-		for _, v := range res {
-			if !math.IsNaN(v) {
-				ts = append(ts, v)
-			}
-		}
-		s, err := stats.Summarize(ts)
-		if err != nil {
-			return nil, err
-		}
-		fpp.AddRow(report.I(k), report.F(s.Mean), report.F3(s.Mean/float64(k)),
-			report.F3(s.Std), report.F3(s.Std/math.Sqrt(float64(k))))
+	for _, g := range fres.Groups() {
+		k := g.Cell.Extra
+		fpp.AddRow(report.I(int(k)), report.F(g.Mean[0]), report.F3(g.Mean[0]/k),
+			report.F3(g.Std[0]), report.F3(g.Std[0]/math.Sqrt(k)))
 	}
 
 	// (b) Garet-Marchand / Theorem 4: chemical distance over l1 tends
 	// to a constant close to 1 as p -> 1.
-	chem := report.NewTable("Chemical distance D(0,x)/||x||_1 (Garet-Marchand Thm 4 shape)",
-		"p", "connected frac", "mean D/l1", "p90 D/l1")
 	dist := pick(ctx, 30, 60)
 	chemReps := pick(ctx, 15, 40)
-	for pi, p := range []float64{0.65, 0.75, 0.85, 0.95} {
-		res := parallelMap(ctx, chemReps, func(r int) float64 {
-			src := ctx.src(uint64(1400 + pi*100 + r))
-			f := percolation.NewField(dist+11, dist/2*2+11, p, src)
-			a := percolation.Point{X: 5, Y: f.H() / 2}
-			b := percolation.Point{X: 5 + dist, Y: f.H() / 2}
-			d, ok := f.ChemicalDistance(a, b)
-			if !ok {
-				return math.NaN()
-			}
-			return float64(d) / float64(dist)
-		})
-		var ratios []float64
-		for _, v := range res {
-			if !math.IsNaN(v) {
-				ratios = append(ratios, v)
-			}
+	cres, err := ctx.run("E11-chem", batch.Grid{
+		Ps: []float64{0.65, 0.75, 0.85, 0.95}, Replicates: chemReps,
+	}, []string{"ratio"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		f := percolation.NewField(dist+11, dist/2*2+11, c.P, src)
+		a := percolation.Point{X: 5, Y: f.H() / 2}
+		b := percolation.Point{X: 5 + dist, Y: f.H() / 2}
+		d, ok := f.ChemicalDistance(a, b)
+		if !ok {
+			return []float64{math.NaN()}, nil
 		}
+		return []float64{float64(d) / float64(dist)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	chem := report.NewTable("Chemical distance D(0,x)/||x||_1 (Garet-Marchand Thm 4 shape)",
+		"p", "connected frac", "mean D/l1", "p90 D/l1")
+	for _, g := range cres.Groups() {
+		ratios := g.Column("ratio", cres.Columns)
 		if len(ratios) == 0 {
-			chem.AddRow(report.F(p), "0", "-", "-")
+			chem.AddRow(report.F(g.Cell.P), "0", "-", "-")
 			continue
 		}
-		chem.AddRow(report.F(p), report.F3(float64(len(ratios))/float64(chemReps)),
+		chem.AddRow(report.F(g.Cell.P), report.F3(float64(len(ratios))/float64(chemReps)),
 			report.F3(stats.Mean(ratios)), report.F3(stats.Quantile(ratios, 0.9)))
 	}
 
 	// (c) Grimmett / Theorem 5: subcritical origin-cluster radii decay
 	// exponentially; the rate falls as p approaches p_c from below.
-	tail := report.NewTable("Subcritical cluster radius tail (Grimmett Thm 5 shape)",
-		"p", "open origins", "mean radius", "fitted decay rate")
 	radReps := pick(ctx, 200, 600)
 	box := pick(ctx, 41, 61)
-	for pi, p := range []float64{0.30, 0.45, 0.55} {
-		res := parallelMap(ctx, radReps, func(r int) float64 {
-			src := ctx.src(uint64(1500 + pi*1000 + r))
-			f := percolation.NewField(box, box, p, src)
-			_, radius := f.ClusterOf(f.Center())
-			if radius < 0 {
-				return math.NaN()
-			}
-			return float64(radius)
-		})
-		var radii []float64
-		for _, v := range res {
-			if !math.IsNaN(v) {
-				radii = append(radii, v)
-			}
+	rres, err := ctx.run("E11-radius", batch.Grid{
+		Ps: []float64{0.30, 0.45, 0.55}, Replicates: radReps,
+	}, []string{"radius"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		f := percolation.NewField(box, box, c.P, src)
+		_, radius := f.ClusterOf(f.Center())
+		if radius < 0 {
+			return []float64{math.NaN()}, nil
 		}
+		return []float64{float64(radius)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tail := report.NewTable("Subcritical cluster radius tail (Grimmett Thm 5 shape)",
+		"p", "open origins", "mean radius", "fitted decay rate")
+	for _, g := range rres.Groups() {
+		radii := g.Column("radius", rres.Columns)
 		rate, _, err := stats.ExpDecayRate(radii)
 		if err != nil {
 			rate = math.NaN()
 		}
-		tail.AddRow(report.F(p), report.I(len(radii)), report.F3(stats.Mean(radii)), report.F3(rate))
+		tail.AddRow(report.F(g.Cell.P), report.I(len(radii)), report.F3(stats.Mean(radii)), report.F3(rate))
 	}
 	return []*report.Table{fpp, chem, tail}, nil
 }
 
 // runE12 checks (a) the FKG/Harris inequality empirically on static and
 // dynamic increasing events, and (b) the Proposition 1 concentration of
-// sub-neighborhood counts.
+// sub-neighborhood counts. The FKG estimators are sequential Monte
+// Carlo by construction (one stream per estimate); the Proposition 1
+// sweep over w runs as a three-cell batch grid.
 func runE12(ctx *Context) ([]*report.Table, error) {
 	trials := pick(ctx, 4000, 20000)
 
@@ -285,17 +317,15 @@ func runE12(ctx *Context) ([]*report.Table, error) {
 	// Proposition 1: conditioned on W < tau N over a radius-(1+eps')w
 	// neighborhood, the centered sub-neighborhood count W' concentrates
 	// on gamma tau N within c N^{1/2+eps}.
-	prop := report.NewTable("Proposition 1 concentration (c=1.5, eps=0.1)",
-		"w", "N", "conditioned samples", "frac within bound")
 	propTrials := pick(ctx, 3000, 15000)
-	for _, w := range []int{3, 5, 7} {
-		outer := int(math.Round(1.3 * float64(w)))
+	pres, err := ctx.run("E12-prop1", batch.Grid{
+		Ws: []int{3, 5, 7}, Taus: []float64{0.45},
+	}, []string{"conditioned", "fracWithin"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		outer := int(math.Round(1.3 * float64(c.W)))
 		nOuter := (2*outer + 1) * (2*outer + 1)
-		nbhd := (2*w + 1) * (2*w + 1)
-		tau := 0.45
+		nbhd := (2*c.W + 1) * (2*c.W + 1)
 		bound := 1.5 * math.Pow(float64(nbhd), 0.6)
 		gamma := float64(nbhd) / float64(nOuter)
-		src := ctx.src(uint64(1700 + w))
 		cond, within := 0, 0
 		for trial := 0; trial < propTrials; trial++ {
 			s := src.Split(uint64(trial))
@@ -303,13 +333,13 @@ func runE12(ctx *Context) ([]*report.Table, error) {
 			// and in the centered w-sub-neighborhood.
 			lat := grid.Random(2*outer+1, 0.5, s)
 			pre := grid.NewPrefix(lat)
-			c := geom.Point{X: outer, Y: outer}
-			minusOuter := nOuter - pre.PlusInSquare(c, outer)
-			if float64(minusOuter) >= tau*float64(nOuter) {
+			ctr := geom.Point{X: outer, Y: outer}
+			minusOuter := nOuter - pre.PlusInSquare(ctr, outer)
+			if float64(minusOuter) >= c.Tau*float64(nOuter) {
 				continue // condition W < tau N fails
 			}
 			cond++
-			minusInner := nbhd - pre.PlusInSquare(c, w)
+			minusInner := nbhd - pre.PlusInSquare(ctr, c.W)
 			// Proposition 1 centers W' on gamma * W; with W < tau N
 			// the paper states the rescaled target gamma tau N.
 			target := gamma * float64(minusOuter)
@@ -321,7 +351,16 @@ func runE12(ctx *Context) ([]*report.Table, error) {
 		if cond > 0 {
 			frac = float64(within) / float64(cond)
 		}
-		prop.AddRow(report.I(w), report.I(nbhd), report.I(cond), report.F3(frac))
+		return []float64{float64(cond), frac}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prop := report.NewTable("Proposition 1 concentration (c=1.5, eps=0.1)",
+		"w", "N", "conditioned samples", "frac within bound")
+	for i := 0; i < pres.Len(); i++ {
+		c, v := pres.At(i)
+		prop.AddRow(report.I(c.W), report.I((2*c.W+1)*(2*c.W+1)), report.I(int(v[0])), report.F3(v[1]))
 	}
 	return []*report.Table{fkg, prop}, nil
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"math"
 
+	"gridseg/internal/batch"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
 	"gridseg/internal/report"
+	"gridseg/internal/rng"
 	"gridseg/internal/stats"
 	"gridseg/internal/theory"
 )
@@ -26,17 +28,16 @@ func init() {
 	})
 }
 
-// measureMeanM runs one replicate and returns the mean monochromatic
-// region size over the probe agents.
-func measureMeanM(ctx *Context, n, w int, tau float64, label uint64) (float64, error) {
-	src := ctx.src(label)
-	run, err := glauberRun(n, w, tau, 0.5, src)
+// meanMCell runs one replicate at the cell's parameters and returns
+// the mean monochromatic region size over the probe agents.
+func meanMCell(c batch.Cell, src *rng.Source) (float64, error) {
+	run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
 	if err != nil {
 		return 0, err
 	}
 	radii := measure.CenteredRadii(run.Lat)
 	var sizes []float64
-	for _, pt := range samplePoints(n, 5) {
+	for _, pt := range samplePoints(c.N, 5) {
 		sizes = append(sizes, float64(measure.MonoRegionSize(run.Lat, radii, pt)))
 	}
 	return stats.Mean(sizes), nil
@@ -52,37 +53,42 @@ func runE5(ctx *Context) ([]*report.Table, error) {
 	reps := pick(ctx, 3, 8)
 	n := pick(ctx, 96, 240)
 
+	res, err := ctx.run("E5", batch.Grid{
+		Ns: []int{n}, Ws: ws, Taus: taus, Replicates: reps,
+	}, []string{"meanM"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		m, err := meanMCell(c, src)
+		if err != nil {
+			return []float64{math.NaN()}, nil
+		}
+		return []float64{m}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	scaling := report.NewTable(
 		fmt.Sprintf("Theorem 1 scaling: n=%d reps=%d, E[M] vs N", n, reps),
 		"tauTilde", "w", "N", "effective tau", "E[M]", "log2 E[M]")
+	type fitPoint struct{ nbhd, log2m float64 }
+	byTau := map[float64][]fitPoint{}
+	for _, g := range res.Groups() {
+		nbhd := (2*g.Cell.W + 1) * (2*g.Cell.W + 1)
+		thresh := theory.Threshold(g.Cell.Tau, nbhd)
+		mean := g.Mean[0]
+		scaling.AddRow(report.F(g.Cell.Tau), report.I(g.Cell.W), report.I(nbhd),
+			report.F(float64(thresh)/float64(nbhd)), report.F(mean), report.F3(math.Log2(mean)))
+		byTau[g.Cell.Tau] = append(byTau[g.Cell.Tau], fitPoint{float64(nbhd), math.Log2(mean)})
+		ctx.log("E5: tau=%.2f w=%d E[M]=%.1f", g.Cell.Tau, g.Cell.W, mean)
+	}
+
 	slopes := report.NewTable(
 		"Theorem 1 exponent fits: slope of log2 E[M] vs N (paper: in [a(tau), b(tau)] asymptotically)",
 		"tauTilde", "fit slope", "slope SE", "R2", "a(tau)", "b(tau)")
-
-	for ti, tau := range taus {
+	for _, tau := range taus {
 		var xs, ys []float64
-		for wi, w := range ws {
-			nbhd := (2*w + 1) * (2*w + 1)
-			thresh := theory.Threshold(tau, nbhd)
-			res := parallelMap(ctx, reps, func(r int) float64 {
-				m, err := measureMeanM(ctx, n, w, tau, uint64(5000+ti*1000+wi*100+r))
-				if err != nil {
-					return math.NaN()
-				}
-				return m
-			})
-			var ms []float64
-			for _, v := range res {
-				if !math.IsNaN(v) {
-					ms = append(ms, v)
-				}
-			}
-			mean := stats.Mean(ms)
-			scaling.AddRow(report.F(tau), report.I(w), report.I(nbhd),
-				report.F(float64(thresh)/float64(nbhd)), report.F(mean), report.F3(math.Log2(mean)))
-			xs = append(xs, float64(nbhd))
-			ys = append(ys, math.Log2(mean))
-			ctx.log("E5: tau=%.2f w=%d E[M]=%.1f", tau, w, mean)
+		for _, p := range byTau[tau] {
+			xs = append(xs, p.nbhd)
+			ys = append(ys, p.log2m)
 		}
 		fit, err := stats.LinearFit(xs, ys)
 		if err != nil {
@@ -105,42 +111,38 @@ func runE6(ctx *Context) ([]*report.Table, error) {
 	n := pick(ctx, 96, 240)
 	const eps = 0.05
 
+	res, err := ctx.run("E6", batch.Grid{
+		Ns: []int{n}, Ws: ws, Taus: taus, Replicates: reps,
+	}, []string{"meanMPrime", "meanM"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		nbhd := (2*c.W + 1) * (2*c.W + 1)
+		beta := math.Exp(-eps * float64(nbhd))
+		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
+		if err != nil {
+			return []float64{math.NaN(), math.NaN()}, nil
+		}
+		radii := measure.CenteredRadii(run.Lat)
+		pre := grid.NewPrefix(run.Lat)
+		var mps, ms []float64
+		for _, pt := range samplePoints(c.N, 3) {
+			ms = append(ms, float64(measure.MonoRegionSize(run.Lat, radii, pt)))
+			mps = append(mps, float64(measure.AlmostMonoSize(run.Lat, pre, pt, beta, c.N/3)))
+		}
+		return []float64{stats.Mean(mps), stats.Mean(ms)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	t := report.NewTable(
 		fmt.Sprintf("Theorem 2: almost monochromatic regions, n=%d reps=%d beta=e^(-%.2f N)", n, reps, eps),
 		"tauTilde", "w", "N", "beta", "E[M']", "E[M]", "M' >= M")
-	for ti, tau := range taus {
-		for wi, w := range ws {
-			nbhd := (2*w + 1) * (2*w + 1)
-			beta := math.Exp(-eps * float64(nbhd))
-			type pair struct{ mp, m float64 }
-			res := parallelMap(ctx, reps, func(r int) pair {
-				src := ctx.src(uint64(6000 + ti*1000 + wi*100 + r))
-				run, err := glauberRun(n, w, tau, 0.5, src)
-				if err != nil {
-					return pair{math.NaN(), math.NaN()}
-				}
-				radii := measure.CenteredRadii(run.Lat)
-				pre := grid.NewPrefix(run.Lat)
-				var mps, ms []float64
-				for _, pt := range samplePoints(n, 3) {
-					ms = append(ms, float64(measure.MonoRegionSize(run.Lat, radii, pt)))
-					mps = append(mps, float64(measure.AlmostMonoSize(run.Lat, pre, pt, beta, n/3)))
-				}
-				return pair{stats.Mean(mps), stats.Mean(ms)}
-			})
-			var mps, ms []float64
-			for _, v := range res {
-				if !math.IsNaN(v.mp) {
-					mps = append(mps, v.mp)
-					ms = append(ms, v.m)
-				}
-			}
-			mp := stats.Mean(mps)
-			m := stats.Mean(ms)
-			t.AddRow(report.F(tau), report.I(w), report.I(nbhd), report.F(beta),
-				report.F(mp), report.F(m), fmt.Sprintf("%v", mp >= m))
-			ctx.log("E6: tau=%.2f w=%d E[M']=%.1f E[M]=%.1f", tau, w, mp, m)
-		}
+	for _, g := range res.Groups() {
+		nbhd := (2*g.Cell.W + 1) * (2*g.Cell.W + 1)
+		beta := math.Exp(-eps * float64(nbhd))
+		mp, m := g.Mean[0], g.Mean[1]
+		t.AddRow(report.F(g.Cell.Tau), report.I(g.Cell.W), report.I(nbhd), report.F(beta),
+			report.F(mp), report.F(m), fmt.Sprintf("%v", mp >= m))
+		ctx.log("E6: tau=%.2f w=%d E[M']=%.1f E[M]=%.1f", g.Cell.Tau, g.Cell.W, mp, m)
 	}
 	return []*report.Table{t}, nil
 }

@@ -4,12 +4,13 @@ import (
 	"fmt"
 	"math"
 
+	"gridseg/internal/batch"
 	"gridseg/internal/core"
 	"gridseg/internal/dynamics"
 	"gridseg/internal/geom"
 	"gridseg/internal/grid"
 	"gridseg/internal/report"
-	"gridseg/internal/stats"
+	"gridseg/internal/rng"
 )
 
 func init() {
@@ -35,81 +36,88 @@ func init() {
 func runE18(ctx *Context) ([]*report.Table, error) {
 	// Part 1: stalling fronts.
 	n := pick(ctx, 41, 61)
+	radii := pick(ctx, []float64{4, 6}, []float64{4, 6, 8, 10})
+	sres, err := ctx.run("E18-stall", batch.Grid{
+		Ns: []int{n}, Ws: []int{2}, Taus: []float64{0.45},
+		Extras: radii, ExtraName: "blobRadius",
+	}, []string{"tripped", "flips", "fixated"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		lat := grid.New(c.N, grid.Plus)
+		tor := lat.Torus()
+		blob := geom.Point{X: 3 * c.N / 4, Y: 3 * c.N / 4}
+		tor.Square(blob, int(c.Extra), func(q geom.Point) { lat.Set(q, grid.Minus) })
+		p, err := dynamics.New(lat, c.W, c.Tau, src)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.SpreadTime(p, geom.Point{X: c.N / 4, Y: c.N / 4}, 3, grid.Plus, 0)
+		if err != nil {
+			return nil, err
+		}
+		tripped, fixated := 0.0, 0.0
+		if res.Tripped {
+			tripped = 1
+		}
+		if p.Fixated() {
+			fixated = 1
+		}
+		return []float64{tripped, float64(res.Flips), fixated}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	stall := report.NewTable(
 		fmt.Sprintf("Minority blob in a pure sea stalls (n=%d w=2 tau=0.45)", n),
 		"blob radius", "tripped", "erosion flips", "fixated")
-	for _, radius := range pick(ctx, []int{4, 6}, []int{4, 6, 8, 10}) {
-		lat := grid.New(n, grid.Plus)
-		tor := lat.Torus()
-		blob := geom.Point{X: 3 * n / 4, Y: 3 * n / 4}
-		tor.Square(blob, radius, func(q geom.Point) { lat.Set(q, grid.Minus) })
-		p, err := dynamics.New(lat, 2, 0.45, ctx.src(uint64(2800+radius)))
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.SpreadTime(p, geom.Point{X: n / 4, Y: n / 4}, 3, grid.Plus, 0)
-		if err != nil {
-			return nil, err
-		}
-		stall.AddRow(report.I(radius), fmt.Sprintf("%v", res.Tripped),
-			report.I64(res.Flips), fmt.Sprintf("%v", p.Fixated()))
+	for i := 0; i < sres.Len(); i++ {
+		c, v := sres.At(i)
+		stall.AddRow(report.I(int(c.Extra)), fmt.Sprintf("%v", v[0] == 1),
+			report.I64(int64(v[1])), fmt.Sprintf("%v", v[2] == 1))
 	}
 
 	// Part 2: T(rho) in an active sea, averaged over replicates that
 	// start untripped.
 	reps := pick(ctx, 8, 24)
-	rhos := []int{1, 2, 3}
+	rhos := []float64{1, 2, 3}
+	ares, err := ctx.run("E18-active", batch.Grid{
+		Ns: []int{41}, Ws: []int{2}, Taus: []float64{0.5},
+		Extras: rhos, ExtraName: "rho", Replicates: reps,
+	}, []string{"T", "flips"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		rho := int(c.Extra)
+		lat := grid.Random(c.N, 0.5, src.Split(1))
+		p, err := dynamics.New(lat, c.W, c.Tau, src.Split(2))
+		if err != nil {
+			return []float64{math.NaN(), math.NaN()}, nil
+		}
+		tor := lat.Torus()
+		// First center whose probe region is untripped at t=0.
+		for i := 0; i < lat.Sites(); i++ {
+			ctr := tor.At(i)
+			trip0 := false
+			tor.Square(ctr, rho, func(q geom.Point) {
+				if !p.HappyAs(tor.Index(q), grid.Plus) {
+					trip0 = true
+				}
+			})
+			if trip0 {
+				continue
+			}
+			sres, err := core.SpreadTime(p, ctr, rho, grid.Plus, 0)
+			if err != nil || !sres.Tripped {
+				return []float64{math.NaN(), math.NaN()}, nil
+			}
+			return []float64{sres.Time, float64(sres.Flips)}, nil
+		}
+		return []float64{math.NaN(), math.NaN()}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	active := report.NewTable(
 		fmt.Sprintf("T(rho) in an active balanced sea (majority rule, n=41 w=2, reps=%d)", reps),
 		"rho", "usable replicates", "mean T(rho)", "mean flips to trip")
-	for _, rho := range rhos {
-		type out struct {
-			t     float64
-			flips float64
-			ok    bool
-		}
-		res := parallelMap(ctx, reps, func(r int) out {
-			src := ctx.src(uint64(2900 + r))
-			lat := grid.Random(41, 0.5, src.Split(1))
-			p, err := dynamics.New(lat, 2, 0.5, src.Split(2))
-			if err != nil {
-				return out{}
-			}
-			tor := lat.Torus()
-			// First center whose probe region is untripped at t=0.
-			for i := 0; i < lat.Sites(); i++ {
-				c := tor.At(i)
-				trip0 := false
-				tor.Square(c, rho, func(q geom.Point) {
-					if !p.HappyAs(tor.Index(q), grid.Plus) {
-						trip0 = true
-					}
-				})
-				if trip0 {
-					continue
-				}
-				sres, err := core.SpreadTime(p, c, rho, grid.Plus, 0)
-				if err != nil || !sres.Tripped {
-					return out{}
-				}
-				return out{t: sres.Time, flips: float64(sres.Flips), ok: true}
-			}
-			return out{}
-		})
-		var ts, flips []float64
-		for _, v := range res {
-			if v.ok {
-				ts = append(ts, v.t)
-				flips = append(flips, v.flips)
-			}
-		}
-		meanT := math.NaN()
-		meanF := math.NaN()
-		if len(ts) > 0 {
-			meanT = stats.Mean(ts)
-			meanF = stats.Mean(flips)
-		}
-		active.AddRow(report.I(rho), report.I(len(ts)), report.F(meanT), report.F(meanF))
+	for _, g := range ares.Groups() {
+		active.AddRow(report.I(int(g.Cell.Extra)), report.I(g.Count[0]),
+			report.F(g.Mean[0]), report.F(g.Mean[1]))
 	}
 	return []*report.Table{stall, active}, nil
 }

@@ -4,11 +4,12 @@ import (
 	"fmt"
 	"math"
 
+	"gridseg/internal/batch"
 	"gridseg/internal/dynamics"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
 	"gridseg/internal/report"
-	"gridseg/internal/stats"
+	"gridseg/internal/rng"
 )
 
 // E15-E17 implement the variations the paper proposes as future work:
@@ -35,34 +36,31 @@ func init() {
 	})
 }
 
-// variantStats runs a variant to a budget and summarizes the final
-// configuration.
-type variantOut struct {
-	happy, iface, same, largest float64
-	ok                          bool
-}
+// variantColumns is the shared metric vector of the variant runs.
+var variantColumns = []string{"happyFrac", "ifaceDensity", "sameFrac", "largestFrac"}
 
-func runVariantOnce(ctx *Context, n, w int, opts dynamics.VariantOptions, budget int64, label uint64) variantOut {
-	src := ctx.src(label)
+// runVariantCell runs a variant to a budget and summarizes the final
+// configuration as the variantColumns metric vector (NaNs on error).
+func runVariantCell(n, w int, opts dynamics.VariantOptions, budget int64, src *rng.Source) []float64 {
+	nan := []float64{math.NaN(), math.NaN(), math.NaN(), math.NaN()}
 	lat := grid.Random(n, 0.5, src.Split(1))
 	v, err := dynamics.NewVariant(lat, w, opts, src.Split(2))
 	if err != nil {
-		return variantOut{}
+		return nan
 	}
 	if _, _, err := v.Run(budget); err != nil {
-		return variantOut{}
+		return nan
 	}
 	cl, _ := measure.Clusters(lat)
 	largest := cl.LargestPlus
 	if cl.LargestMinus > largest {
 		largest = cl.LargestMinus
 	}
-	return variantOut{
-		happy:   1 - float64(v.UnhappyCount())/float64(lat.Sites()),
-		iface:   measure.InterfaceDensity(lat),
-		same:    measure.MeanSameFraction(lat, w),
-		largest: float64(largest) / float64(lat.Sites()),
-		ok:      true,
+	return []float64{
+		1 - float64(v.UnhappyCount())/float64(lat.Sites()),
+		measure.InterfaceDensity(lat),
+		measure.MeanSameFraction(lat, w),
+		float64(largest) / float64(lat.Sites()),
 	}
 }
 
@@ -76,28 +74,26 @@ func runE15(ctx *Context) ([]*report.Table, error) {
 	reps := pick(ctx, 3, 8)
 	budget := int64(n) * int64(n) * 5
 	uppers := []float64{1.0, 0.9, 0.8, 0.7}
+
+	res, err := ctx.run("E15", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: []float64{tau},
+		Extras: uppers, ExtraName: "upper", Replicates: reps,
+	}, variantColumns, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		opts := dynamics.VariantOptions{
+			TauPlus: c.Tau, TauMinus: c.Tau,
+			UpperPlus: c.Extra, UpperMinus: c.Extra,
+		}
+		return runVariantCell(c.N, c.W, opts, budget, src), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Both-sided discomfort: n=%d w=%d tau=%.2f budget=%d reps=%d", n, w, tau, budget, reps),
 		"upper", "happy frac", "interface density", "mean same frac", "largest cluster frac")
-	for ui, upper := range uppers {
-		opts := dynamics.VariantOptions{
-			TauPlus: tau, TauMinus: tau,
-			UpperPlus: upper, UpperMinus: upper,
-		}
-		res := parallelMap(ctx, reps, func(r int) variantOut {
-			return runVariantOnce(ctx, n, w, opts, budget, uint64(2500+ui*100+r))
-		})
-		var happy, iface, same, largest []float64
-		for _, v := range res {
-			if v.ok {
-				happy = append(happy, v.happy)
-				iface = append(iface, v.iface)
-				same = append(same, v.same)
-				largest = append(largest, v.largest)
-			}
-		}
-		t.AddRow(report.F(upper), report.F3(stats.Mean(happy)), report.F3(stats.Mean(iface)),
-			report.F3(stats.Mean(same)), report.F3(stats.Mean(largest)))
+	for _, g := range res.Groups() {
+		t.AddRow(report.F(g.Cell.Extra), report.F3(g.Mean[0]), report.F3(g.Mean[1]),
+			report.F3(g.Mean[2]), report.F3(g.Mean[3]))
 	}
 	return []*report.Table{t}, nil
 }
@@ -111,44 +107,36 @@ func runE16(ctx *Context) ([]*report.Table, error) {
 	tau := 0.45
 	reps := pick(ctx, 4, 10)
 	ps := []float64{0.5, 0.55, 0.6, 0.7, 0.8}
+
+	res, err := ctx.run("E16", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: []float64{tau}, Ps: ps, Replicates: reps,
+	}, []string{"absMag", "minorityFrac", "complete"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		run, err := glauberRun(c.N, c.W, c.Tau, c.P, src)
+		if err != nil {
+			return []float64{math.NaN(), math.NaN(), math.NaN()}, nil
+		}
+		sites := run.Lat.Sites()
+		plus := run.Lat.CountPlus()
+		mag := math.Abs(float64(2*plus-sites)) / float64(sites)
+		cl, _ := measure.Clusters(run.Lat)
+		minority := cl.LargestMinus
+		if plus < sites-plus {
+			minority = cl.LargestPlus
+		}
+		complete := 0.0
+		if plus == 0 || plus == sites {
+			complete = 1
+		}
+		return []float64{mag, float64(minority) / float64(sites), complete}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Initial density sweep at tau=%.2f: n=%d w=%d reps=%d", tau, n, w, reps),
 		"p", "final |magnetization|", "minority cluster frac", "frac complete")
-	for pi, p := range ps {
-		type out struct {
-			mag, minority, complete float64
-			ok                      bool
-		}
-		res := parallelMap(ctx, reps, func(r int) out {
-			src := ctx.src(uint64(2600 + pi*100 + r))
-			run, err := glauberRun(n, w, tau, p, src)
-			if err != nil {
-				return out{}
-			}
-			sites := run.Lat.Sites()
-			plus := run.Lat.CountPlus()
-			mag := math.Abs(float64(2*plus-sites)) / float64(sites)
-			cl, _ := measure.Clusters(run.Lat)
-			minority := cl.LargestMinus
-			if plus < sites-plus {
-				minority = cl.LargestPlus
-			}
-			complete := 0.0
-			if plus == 0 || plus == sites {
-				complete = 1
-			}
-			return out{mag: mag, minority: float64(minority) / float64(sites), complete: complete, ok: true}
-		})
-		var mags, minorities, completes []float64
-		for _, v := range res {
-			if v.ok {
-				mags = append(mags, v.mag)
-				minorities = append(minorities, v.minority)
-				completes = append(completes, v.complete)
-			}
-		}
-		t.AddRow(report.F(p), report.F3(stats.Mean(mags)),
-			report.F3(stats.Mean(minorities)), report.F3(stats.Mean(completes)))
+	for _, g := range res.Groups() {
+		t.AddRow(report.F(g.Cell.P), report.F3(g.Mean[0]), report.F3(g.Mean[1]), report.F3(g.Mean[2]))
 	}
 	return []*report.Table{t}, nil
 }
@@ -163,24 +151,23 @@ func runE17(ctx *Context) ([]*report.Table, error) {
 	reps := pick(ctx, 3, 8)
 	budget := int64(n) * int64(n) * 5
 	noises := []float64{0, 0.01, 0.05, 0.2}
+
+	res, err := ctx.run("E17", batch.Grid{
+		Ns: []int{n}, Ws: []int{w}, Taus: []float64{tau},
+		Extras: noises, ExtraName: "noise", Replicates: reps,
+	}, variantColumns, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		opts := dynamics.VariantOptions{TauPlus: c.Tau, TauMinus: c.Tau, Noise: c.Extra}
+		return runVariantCell(c.N, c.W, opts, budget, src), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	t := report.NewTable(
 		fmt.Sprintf("Noisy agents: n=%d w=%d tau=%.2f budget=%d reps=%d", n, w, tau, budget, reps),
 		"noise", "interface density", "mean same frac", "largest cluster frac")
-	for ni, noise := range noises {
-		opts := dynamics.VariantOptions{TauPlus: tau, TauMinus: tau, Noise: noise}
-		res := parallelMap(ctx, reps, func(r int) variantOut {
-			return runVariantOnce(ctx, n, w, opts, budget, uint64(2700+ni*100+r))
-		})
-		var iface, same, largest []float64
-		for _, v := range res {
-			if v.ok {
-				iface = append(iface, v.iface)
-				same = append(same, v.same)
-				largest = append(largest, v.largest)
-			}
-		}
-		t.AddRow(report.F(noise), report.F3(stats.Mean(iface)),
-			report.F3(stats.Mean(same)), report.F3(stats.Mean(largest)))
+	for _, g := range res.Groups() {
+		t.AddRow(report.F(g.Cell.Extra), report.F3(g.Mean[1]),
+			report.F3(g.Mean[2]), report.F3(g.Mean[3]))
 	}
 	return []*report.Table{t}, nil
 }

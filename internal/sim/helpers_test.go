@@ -72,13 +72,6 @@ func TestGlauberRunHelper(t *testing.T) {
 
 func TestContextDefaults(t *testing.T) {
 	ctx := &Context{}
-	if ctx.workers() < 1 {
-		t.Fatal("workers must default to at least 1")
-	}
-	ctx.Workers = 3
-	if ctx.workers() != 3 {
-		t.Fatal("explicit workers ignored")
-	}
 	// src must be deterministic per id.
 	a := ctx.src(7).Uint64()
 	b := ctx.src(7).Uint64()

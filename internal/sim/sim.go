@@ -1,17 +1,23 @@
 // Package sim is the experiment harness: it defines the execution
 // context (quick vs full parameters, deterministic seeding, optional
-// artifact output directory, worker-pool parallelism) and the registry
-// of experiments E1..E18, each of which regenerates one of the paper's
-// figures or validates one of its theorems' shapes. See DESIGN.md
-// section 5 for the experiment-to-figure index.
+// artifact output directory) and the registry of experiments E1..E18,
+// each of which regenerates one of the paper's figures or validates
+// one of its theorems' shapes. See README.md for the
+// experiment-to-figure index.
+//
+// All replicated measurement runs execute on the internal/batch sweep
+// engine: each experiment declares a parameter grid and a per-cell
+// metric function, and the engine handles worker-pool parallelism,
+// deterministic per-cell seeding, and aggregation. Experiment output
+// is therefore independent of the worker count.
 package sim
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"sync"
 
+	"gridseg/internal/batch"
 	"gridseg/internal/dynamics"
 	"gridseg/internal/grid"
 	"gridseg/internal/report"
@@ -27,7 +33,8 @@ type Context struct {
 	Seed uint64
 	// OutDir, when non-empty, receives artifacts (PNG snapshots, CSVs).
 	OutDir string
-	// Workers bounds the replicate worker pool; 0 means GOMAXPROCS.
+	// Workers bounds the batch engine's worker pool; 0 means
+	// GOMAXPROCS. Results never depend on the worker count.
 	Workers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
@@ -40,22 +47,28 @@ func (c *Context) log(format string, args ...interface{}) {
 	}
 }
 
-// workers returns the effective worker count.
-func (c *Context) workers() int {
-	if c.Workers > 0 {
-		return c.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// src returns the root random source of the experiment identified by id.
+// src returns the root random source of the serial experiment stage
+// identified by id. Replicated stages should use run instead, which
+// derives per-cell streams on the batch engine.
 func (c *Context) src(id uint64) *rng.Source {
 	return rng.New(c.Seed).Split(id)
 }
 
+// run executes a parameter grid on the batch sweep engine. The scope
+// (by convention the experiment ID plus an optional stage suffix)
+// namespaces the per-cell random streams, so distinct stages draw
+// independent randomness from the same context seed.
+func (c *Context) run(scope string, g batch.Grid, columns []string, fn batch.Runner) (*batch.ResultSet, error) {
+	return batch.Run(g, columns, fn, batch.Options{
+		Seed:    c.Seed,
+		Scope:   scope,
+		Workers: c.Workers,
+	})
+}
+
 // Experiment is a runnable reproduction unit.
 type Experiment struct {
-	ID     string // "E1" .. "E14"
+	ID     string // "E1" .. "E18"
 	Figure string // the paper artifact it regenerates
 	Title  string
 	Run    func(ctx *Context) ([]*report.Table, error)
@@ -96,40 +109,6 @@ func Find(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
-}
-
-// parallelMap runs fn(i) for i in [0, n) on the context's worker pool
-// and collects the results in order. fn must be safe for concurrent use
-// with distinct i.
-func parallelMap[T any](ctx *Context, n int, fn func(i int) T) []T {
-	out := make([]T, n)
-	workers := ctx.workers()
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
-		}
-		return out
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
 }
 
 // glauberRun builds a Bernoulli(p) lattice, runs Glauber dynamics to

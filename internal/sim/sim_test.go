@@ -49,25 +49,31 @@ func TestFind(t *testing.T) {
 	}
 }
 
-func TestParallelMapOrderAndCompleteness(t *testing.T) {
-	ctx := quickCtx(t)
-	got := parallelMap(ctx, 50, func(i int) int { return i * i })
-	for i, v := range got {
-		if v != i*i {
-			t.Fatalf("index %d: got %d", i, v)
+// TestWorkerCountIndependence is the harness-level scheduling
+// regression: experiment output must be identical for any Workers
+// setting, because every replicate's random stream is derived from the
+// cell index on the batch engine, never from scheduling order.
+func TestWorkerCountIndependence(t *testing.T) {
+	for _, id := range []string{"E5", "E9", "E15"} {
+		e, ok := Find(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
 		}
-	}
-	// Sequential path.
-	ctx.Workers = 1
-	got = parallelMap(ctx, 3, func(i int) int { return i })
-	if got[2] != 2 {
-		t.Fatal("sequential path broken")
-	}
-	// n < workers path.
-	ctx.Workers = 8
-	got = parallelMap(ctx, 2, func(i int) int { return i + 1 })
-	if got[0] != 1 || got[1] != 2 {
-		t.Fatal("small-n path broken")
+		render := func(workers int) string {
+			ctx := &Context{Quick: true, Seed: 12345, Workers: workers}
+			tables, err := e.Run(ctx)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			var b strings.Builder
+			for _, tb := range tables {
+				b.WriteString(tb.String())
+			}
+			return b.String()
+		}
+		if render(1) != render(8) {
+			t.Fatalf("%s output depends on worker count", id)
+		}
 	}
 }
 
