@@ -1,0 +1,45 @@
+# Developer entry points. CI runs verify and bench-check.
+
+.PHONY: all build test race fuzz bench bench-check diff verify
+
+all: verify
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Short fuzz pass over the grid-spec parser (the CI-sized budget;
+# raise -fuzztime locally for deeper exploration).
+fuzz:
+	go test -run '^$$' -fuzz FuzzParseGrid -fuzztime 30s ./internal/batch/
+
+# Record the benchmark trajectory (flip throughput on both engines,
+# run-to-fixation, grid cell rate) into the committed baseline.
+bench:
+	go run ./cmd/bench -out BENCH_2.json
+
+# Fail when any trajectory metric regresses >20% vs the committed
+# baseline (same-machine comparison; record the baseline with `make
+# bench` on the machine you compare on).
+bench-check:
+	go run ./cmd/bench -baseline BENCH_2.json
+
+# CI variant for heterogeneous runners: machine-independent fast-vs-
+# reference speedup gate (>= 3x in the same run) plus a loose 2x
+# absolute backstop against catastrophic regressions.
+bench-check-ci:
+	go run ./cmd/bench -baseline BENCH_2.json -tolerance 1.0 -minspeedup 3
+
+# Run the engine differential harness only (reference vs fast).
+diff:
+	go test -run TestEnginesBitIdentical -v ./internal/difftest/
+
+verify: build
+	gofmt -l . | (! grep .) || (echo "gofmt needed" >&2; exit 1)
+	go vet ./...
+	go test ./...

@@ -91,10 +91,12 @@ func BenchmarkModelInitFig1Params(b *testing.B) {
 	}
 }
 
-// BenchmarkFlipThroughputFig1Params measures per-flip cost at the
-// Fig. 1 neighborhood size.
-func BenchmarkFlipThroughputFig1Params(b *testing.B) {
-	m, err := New(Config{N: 256, W: 10, Tau: 0.42, Seed: 1})
+// benchFlipThroughput measures per-flip cost at the given parameters
+// and engine, re-drawing a fresh configuration off the clock whenever
+// the process fixates.
+func benchFlipThroughput(b *testing.B, n, w int, tau float64, engine Engine) {
+	b.Helper()
+	m, err := New(Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -102,13 +104,37 @@ func BenchmarkFlipThroughputFig1Params(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if !m.Step() {
 			b.StopTimer()
-			m, err = New(Config{N: 256, W: 10, Tau: 0.42, Seed: uint64(i) + 2})
+			m, err = New(Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.StartTimer()
 		}
 	}
+}
+
+// BenchmarkFlipThroughputFig1Params measures per-flip cost at the
+// Fig. 1 neighborhood size on the default (fast) engine.
+func BenchmarkFlipThroughputFig1Params(b *testing.B) {
+	benchFlipThroughput(b, 256, 10, 0.42, EngineAuto)
+}
+
+// BenchmarkFlipThroughputFig1ParamsReference pins the reference engine
+// for the before/after comparison.
+func BenchmarkFlipThroughputFig1ParamsReference(b *testing.B) {
+	benchFlipThroughput(b, 256, 10, 0.42, EngineReference)
+}
+
+// BenchmarkFlipThroughputN1024 measures per-flip cost on a 1024 x 1024
+// torus at the Fig. 1 horizon — the scale the Theorem 1/2 sweeps need.
+func BenchmarkFlipThroughputN1024(b *testing.B) {
+	benchFlipThroughput(b, 1024, 10, 0.42, EngineAuto)
+}
+
+// BenchmarkFlipThroughputN1024Reference is the scalar-engine contrast
+// at the same scale.
+func BenchmarkFlipThroughputN1024Reference(b *testing.B) {
+	benchFlipThroughput(b, 1024, 10, 0.42, EngineReference)
 }
 
 // BenchmarkRunToFixation measures a complete small run.

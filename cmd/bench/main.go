@@ -1,0 +1,227 @@
+// Command bench records the repository's benchmark trajectory: it
+// measures the hot-path metrics (flip throughput on both engines, a
+// complete run to fixation, and the batch-engine grid cell rate),
+// writes them to a JSON baseline file, and — in check mode — fails
+// when any metric regresses more than a tolerance against a committed
+// baseline.
+//
+//	bench -out BENCH_2.json              # record a new baseline
+//	bench -baseline BENCH_2.json         # fail on >20% regression
+//	bench -baseline BENCH_2.json -out BENCH_2.json  # check then refresh
+//	bench -minspeedup 3                  # fail unless fast >= 3x reference
+//
+// Each metric is the minimum of three testing.Benchmark runs, which
+// suppresses scheduler noise; all metrics are nanoseconds per unit
+// (lower is better).
+//
+// Absolute ns comparisons only make sense on one machine; across
+// machines (CI runners vary by CPU generation and steal) use
+// -minspeedup, which compares the fast engine against the reference
+// engine measured in the same run, plus a loose -tolerance as a
+// catastrophic-regression backstop.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"gridseg"
+)
+
+// metric is one trajectory entry: a name and its cost in ns per unit.
+type metric struct {
+	Name string  `json:"name"`
+	Unit string  `json:"unit"`
+	Ns   float64 `json:"ns_per_unit"`
+}
+
+// baseline is the JSON shape of a trajectory file.
+type baseline struct {
+	Schema  string   `json:"schema"`
+	Go      string   `json:"go"`
+	Metrics []metric `json:"metrics"`
+}
+
+const schema = "gridseg-bench/v1"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench: ")
+	var (
+		out        = flag.String("out", "", "write the measured trajectory to this JSON file")
+		base       = flag.String("baseline", "", "compare against this committed baseline and fail on regression")
+		tolerance  = flag.Float64("tolerance", 0.20, "allowed fractional slowdown per metric before failing")
+		minSpeedup = flag.Float64("minspeedup", 0, "fail unless the fast engine beats the reference by this factor in this run (machine-independent; 0 disables)")
+		reps       = flag.Int("reps", 3, "benchmark repetitions per metric (minimum is reported)")
+	)
+	flag.Parse()
+	if *out == "" && *base == "" && *minSpeedup <= 0 {
+		log.Fatal("nothing to do: pass -out, -baseline, and/or -minspeedup")
+	}
+
+	cur := baseline{Schema: schema, Go: runtime.Version(), Metrics: measure(*reps)}
+	for _, m := range cur.Metrics {
+		fmt.Printf("%-28s %12.1f ns/%s\n", m.Name, m.Ns, m.Unit)
+	}
+
+	if *minSpeedup > 0 {
+		ref, fast := find(cur.Metrics, "flip_fig1_reference"), find(cur.Metrics, "flip_fig1_fast")
+		speedup := ref.Ns / fast.Ns
+		fmt.Printf("fast-engine speedup this run: %.2fx (want >= %.2fx)\n", speedup, *minSpeedup)
+		if speedup < *minSpeedup {
+			log.Fatalf("fast engine only %.2fx faster than reference (want >= %.2fx)", speedup, *minSpeedup)
+		}
+	}
+	if *base != "" {
+		prev, err := readBaseline(*base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := compare(prev, cur, *tolerance); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("no regression beyond %.0f%% against %s\n", *tolerance*100, *base)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// measure runs every trajectory metric reps times and keeps the
+// fastest observation of each.
+func measure(reps int) []metric {
+	type probe struct {
+		name, unit string
+		perOp      float64 // units of work per benchmark op
+		run        func(b *testing.B)
+	}
+	probes := []probe{
+		{"flip_fig1_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineFast) }},
+		{"flip_fig1_reference", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineReference) }},
+		{"flip_n1024_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 1024, 10, 0.42, gridseg.EngineFast) }},
+		{"run_to_fixation", "run", 1, runToFixation},
+		{"grid_cell", "cell", 8, gridCell},
+	}
+	out := make([]metric, 0, len(probes))
+	for _, p := range probes {
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			res := testing.Benchmark(p.run)
+			ns := float64(res.NsPerOp()) / p.perOp
+			if r == 0 || ns < best {
+				best = ns
+			}
+		}
+		out = append(out, metric{Name: p.name, Unit: p.unit, Ns: best})
+	}
+	return out
+}
+
+// flipThroughput measures per-flip cost, re-drawing a configuration
+// off the clock when the process fixates (mirrors bench_test.go).
+func flipThroughput(b *testing.B, n, w int, tau float64, engine gridseg.Engine) {
+	m, err := gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Step() {
+			b.StopTimer()
+			m, err = gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// runToFixation measures a complete small run.
+func runToFixation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := gridseg.New(gridseg.Config{N: 96, W: 3, Tau: 0.45, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(0)
+	}
+}
+
+// gridCell measures the batch engine's per-cell rate on a small sweep
+// (8 cells per iteration, reported per cell).
+func gridCell(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := gridseg.RunGrid("n=32 w=1,2 tau=0.42,0.45 reps=2", gridseg.GridOptions{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// find returns the named metric; measure always emits every probe, so
+// a miss is a programming error.
+func find(ms []metric, name string) metric {
+	for _, m := range ms {
+		if m.Name == name {
+			return m
+		}
+	}
+	log.Fatalf("metric %s not measured", name)
+	return metric{}
+}
+
+// readBaseline loads and validates a committed trajectory file.
+func readBaseline(path string) (baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return baseline{}, err
+	}
+	var b baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return baseline{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != schema {
+		return baseline{}, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, schema)
+	}
+	return b, nil
+}
+
+// compare fails when a current metric is more than tolerance slower
+// than the baseline. Metrics present only on one side are reported but
+// never fatal, so the trajectory can grow new probes.
+func compare(prev, cur baseline, tolerance float64) error {
+	prevBy := map[string]metric{}
+	for _, m := range prev.Metrics {
+		prevBy[m.Name] = m
+	}
+	var failures []string
+	for _, m := range cur.Metrics {
+		pm, ok := prevBy[m.Name]
+		if !ok {
+			fmt.Printf("%-28s new metric (no baseline)\n", m.Name)
+			continue
+		}
+		ratio := m.Ns / pm.Ns
+		fmt.Printf("%-28s %12.1f -> %9.1f ns/%s (%+.1f%%)\n", m.Name, pm.Ns, m.Ns, m.Unit, (ratio-1)*100)
+		if ratio > 1+tolerance {
+			failures = append(failures, fmt.Sprintf("%s regressed %.1f%% (%.1f -> %.1f ns/%s)",
+				m.Name, (ratio-1)*100, pm.Ns, m.Ns, m.Unit))
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", failures[0])
+	}
+	return nil
+}

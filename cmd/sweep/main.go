@@ -41,10 +41,16 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		out        = flag.String("out", "", "artifact directory (PNG, CSV, JSON)")
 		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
+		engineFlag = flag.String("engine", "auto", "Glauber engine: auto, reference, or fast; never affects results, only speed")
 		checkpoint = flag.String("checkpoint", "", "grid mode: JSON checkpoint file to stream/resume cell results")
 		verbose    = flag.Bool("v", false, "progress logging")
 	)
 	flag.Parse()
+
+	engine, err := gridseg.ParseEngine(*engineFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -53,7 +59,7 @@ func main() {
 	}
 
 	if *grid != "" {
-		runGrid(*grid, *seed, *workers, *out, *checkpoint, *verbose)
+		runGrid(*grid, *seed, *workers, engine, *out, *checkpoint, *verbose)
 		return
 	}
 
@@ -78,7 +84,7 @@ func main() {
 		ids = strings.Split(*exp, ",")
 	}
 
-	opt := gridseg.ExperimentOptions{Full: *full, Seed: *seed, OutDir: *out, Workers: *workers}
+	opt := gridseg.ExperimentOptions{Full: *full, Seed: *seed, OutDir: *out, Workers: *workers, Engine: engine}
 	if *verbose {
 		opt.Logf = func(format string, args ...interface{}) {
 			log.Printf(format, args...)
@@ -94,8 +100,8 @@ func main() {
 }
 
 // runGrid executes a parameter-grid scan and writes its artifacts.
-func runGrid(spec string, seed uint64, workers int, out, checkpoint string, verbose bool) {
-	opt := gridseg.GridOptions{Seed: seed, Workers: workers, CheckpointPath: checkpoint}
+func runGrid(spec string, seed uint64, workers int, engine gridseg.Engine, out, checkpoint string, verbose bool) {
+	opt := gridseg.GridOptions{Seed: seed, Workers: workers, CheckpointPath: checkpoint, Engine: engine}
 	if verbose {
 		opt.Progress = func(done, total int) {
 			log.Printf("grid: %d/%d cells", done, total)

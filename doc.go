@@ -14,6 +14,12 @@
 // registry E1..E18 that regenerates every figure of the paper and the
 // variations its concluding remarks propose.
 //
+// Two interchangeable Glauber engines back the model: a scalar
+// reference engine and a bit-packed SWAR fast engine that is
+// bit-identical to it (Config.Engine selects; the default picks the
+// fast engine whenever it applies — see README.md's Performance
+// section and internal/difftest for the equivalence contract).
+//
 // # Quick start
 //
 //	m, err := gridseg.New(gridseg.Config{N: 200, W: 4, Tau: 0.42, P: 0.5, Seed: 1})

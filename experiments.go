@@ -38,6 +38,10 @@ type ExperimentOptions struct {
 	// Workers bounds the batch engine's worker pool; 0 means
 	// GOMAXPROCS. Results never depend on the worker count.
 	Workers int
+	// Engine selects the Glauber engine implementation (EngineAuto
+	// picks the fast bit-packed engine whenever it applies). Engines
+	// are bit-identical, so this never changes results, only speed.
+	Engine Engine
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -58,6 +62,7 @@ func RunExperiment(id string, opt ExperimentOptions) (string, error) {
 		Seed:    seed,
 		OutDir:  opt.OutDir,
 		Workers: opt.Workers,
+		Engine:  opt.Engine.String(),
 		Logf:    opt.Logf,
 	}
 	tables, err := e.Run(ctx)

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gridseg/internal/dynamics"
+	"gridseg/internal/dynamics/fastglauber"
 	"gridseg/internal/geom"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
@@ -29,6 +30,52 @@ const (
 	Kawasaki
 )
 
+// Engine selects the Glauber engine implementation. The engines are
+// interchangeable bit for bit — same seed, same trajectory, same
+// observables (enforced by internal/difftest) — so the choice is purely
+// about performance.
+type Engine int
+
+const (
+	// EngineAuto (the zero value) picks Fast for Glauber dynamics
+	// whenever the neighborhood fits its packed counts, and Reference
+	// otherwise (very large horizons, Kawasaki dynamics).
+	EngineAuto Engine = iota
+	// EngineReference is the scalar reference engine of
+	// internal/dynamics.
+	EngineReference
+	// EngineFast is the bit-packed SWAR engine of
+	// internal/dynamics/fastglauber. Glauber only; requires
+	// (2W+1)^2 <= fastglauber.MaxNeighborhood.
+	EngineFast
+)
+
+// String returns "auto", "reference", or "fast".
+func (e Engine) String() string {
+	switch e {
+	case EngineAuto:
+		return "auto"
+	case EngineReference:
+		return "reference"
+	case EngineFast:
+		return "fast"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine parses "auto", "reference", or "fast" (also "" as auto).
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "auto":
+		return EngineAuto, nil
+	case "reference", "ref":
+		return EngineReference, nil
+	case "fast":
+		return EngineFast, nil
+	}
+	return EngineAuto, fmt.Errorf("gridseg: unknown engine %q (want auto, reference, or fast)", s)
+}
+
 // Config specifies a model instance.
 type Config struct {
 	// N is the torus side length (N x N agents).
@@ -47,14 +94,19 @@ type Config struct {
 	Seed uint64
 	// Dynamic selects Glauber (default) or Kawasaki evolution.
 	Dynamic Dynamic
+	// Engine selects the Glauber engine implementation; the zero value
+	// (EngineAuto) picks the fast bit-packed engine whenever it
+	// applies. Engines never change results, only speed.
+	Engine Engine
 }
 
 // Model is a running instance of the segregation process.
 type Model struct {
-	cfg  Config
-	lat  *grid.Lattice
-	proc *dynamics.Process
-	kaw  *dynamics.Kawasaki
+	cfg    Config
+	engine Engine // resolved engine actually in use
+	lat    *grid.Lattice
+	proc   dynamics.Engine
+	kaw    *dynamics.Kawasaki
 }
 
 // withDefaults returns the config with its documented zero-value
@@ -72,13 +124,30 @@ func (cfg Config) withDefaults() Config {
 }
 
 // buildDynamics attaches the configured evolution process to a model
-// whose cfg and lat fields are already set.
+// whose cfg and lat fields are already set, resolving the engine
+// choice (Auto picks Fast for Glauber when the neighborhood fits).
 func (m *Model) buildDynamics(src *rng.Source) error {
 	var err error
 	switch m.cfg.Dynamic {
 	case Glauber:
-		m.proc, err = dynamics.New(m.lat, m.cfg.W, m.cfg.Tau, src)
+		engine := m.cfg.Engine
+		if engine == EngineAuto {
+			engine = EngineReference
+			if fastglauber.Fits(m.cfg.W) {
+				engine = EngineFast
+			}
+		}
+		if engine == EngineFast {
+			m.proc, err = fastglauber.New(m.lat, m.cfg.W, m.cfg.Tau, src)
+		} else {
+			m.proc, err = dynamics.New(m.lat, m.cfg.W, m.cfg.Tau, src)
+		}
+		m.engine = engine
 	case Kawasaki:
+		if m.cfg.Engine == EngineFast {
+			return errors.New("gridseg: the fast engine supports Glauber dynamics only")
+		}
+		m.engine = EngineReference
 		m.kaw, err = dynamics.NewKawasaki(m.lat, m.cfg.W, m.cfg.Tau, src)
 		if m.kaw != nil {
 			m.proc = m.kaw.Process()
@@ -112,8 +181,13 @@ func New(cfg Config) (*Model, error) {
 }
 
 // Config returns the configuration the model was built with (with
-// defaults resolved).
+// defaults resolved; Engine stays as requested — see Engine for the
+// resolved choice).
 func (m *Model) Config() Config { return m.cfg }
+
+// Engine returns the engine implementation actually in use
+// (EngineReference or EngineFast, never EngineAuto).
+func (m *Model) Engine() Engine { return m.engine }
 
 // Size returns the torus side length.
 func (m *Model) Size() int { return m.cfg.N }
@@ -167,6 +241,20 @@ func (m *Model) Run(maxEvents int64) (int64, bool) {
 		return m.kaw.Run(budget, streak)
 	}
 	return m.proc.Run(maxEvents)
+}
+
+// Phi returns the paper's Lyapunov function: the sum over all agents u
+// of the number of same-type agents in N(u). It strictly increases
+// with every admissible Glauber flip.
+func (m *Model) Phi() int64 { return m.proc.Phi() }
+
+// FlippableCount returns the number of currently admissible Glauber
+// flips (0 for Kawasaki models, whose moves are pair swaps).
+func (m *Model) FlippableCount() int {
+	if m.kaw != nil {
+		return 0
+	}
+	return m.proc.FlippableCount()
 }
 
 // Fixated reports whether no admissible move remains (Glauber) or no

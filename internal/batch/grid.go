@@ -23,6 +23,17 @@ const (
 	Kawasaki = "kawasaki"
 )
 
+// Engine labels understood by the default runners. Engines are
+// interchangeable bit for bit (the differential harness of
+// internal/difftest enforces it), so the engine is an execution detail
+// like the worker count: it never changes results, never appears in
+// result rows, and never invalidates a checkpoint.
+const (
+	EngineAuto      = "auto"
+	EngineReference = "reference"
+	EngineFast      = "fast"
+)
+
 // Grid declares a Cartesian product of simulation parameters. Empty
 // dimensions collapse to a single default value, so callers only
 // populate the axes they sweep. Extras is a free-form numeric axis
@@ -36,6 +47,11 @@ type Grid struct {
 	ExtraName  string
 	Dynamics   []string
 	Replicates int
+	// Engine selects the simulation engine for every cell of the grid
+	// ("auto", "reference", or "fast"; empty means auto). It is not a
+	// sweep axis: engines are bit-identical, so sweeping them would
+	// replicate every cell exactly.
+	Engine string
 }
 
 // Cell is one point of the expanded grid: a parameter combination plus
@@ -51,6 +67,9 @@ type Cell struct {
 	Extra   float64
 	Dynamic string
 	Rep     int
+	// Engine is the grid-level engine selection, copied to every cell
+	// for the runner's convenience. Never part of the cell identity.
+	Engine string
 }
 
 // normalized returns a copy with every empty axis collapsed to its
@@ -76,6 +95,9 @@ func (g Grid) normalized() Grid {
 	}
 	if g.Replicates <= 0 {
 		g.Replicates = 1
+	}
+	if g.Engine == "" {
+		g.Engine = EngineAuto
 	}
 	return g
 }
@@ -104,6 +126,7 @@ func (g Grid) Cells() []Cell {
 								out = append(out, Cell{
 									Index: idx, N: nn, W: w, Tau: tau, P: p,
 									Extra: x, Dynamic: dyn, Rep: r,
+									Engine: n.Engine,
 								})
 								idx++
 							}
@@ -124,7 +147,9 @@ func (c Cell) GroupKey() string {
 }
 
 // fingerprint identifies a (grid, seed, scope, columns) combination
-// for checkpoint compatibility checks.
+// for checkpoint compatibility checks. The engine is deliberately
+// excluded: engines are bit-identical, so a checkpoint written under
+// one engine is valid — cell for cell — under any other.
 func (g Grid) fingerprint(seed uint64, scope string, columns []string) string {
 	n := g.normalized()
 	var b strings.Builder

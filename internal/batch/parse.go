@@ -7,6 +7,11 @@ import (
 	"strings"
 )
 
+// MaxAxisValues bounds the expansion of a single grid axis, so a
+// malformed or hostile range spec ("n=1:1000000000") fails with an
+// error instead of exhausting memory.
+const MaxAxisValues = 1 << 20
+
 // ParseGrid parses the -grid flag syntax into a Grid. The spec is a
 // whitespace-separated list of key=value fields:
 //
@@ -15,7 +20,10 @@ import (
 // Values are comma-separated lists whose elements are either single
 // numbers or inclusive ranges lo:hi[:step] (step defaults to 1 and
 // must be positive). Keys: n, w (ints), tau, p (floats in [0,1]),
-// dyn (glauber|kawasaki), reps (single int).
+// dyn (glauber|kawasaki), reps (single int), engine
+// (auto|reference|fast, single value — engines never change results).
+// ParseGrid never panics: malformed specs, non-finite floats, and
+// ranges expanding beyond MaxAxisValues return errors.
 func ParseGrid(spec string) (Grid, error) {
 	var g Grid
 	seen := map[string]bool{}
@@ -55,24 +63,49 @@ func ParseGrid(spec string) (Grid, error) {
 			if err == nil && g.Replicates <= 0 {
 				err = fmt.Errorf("must be positive")
 			}
+			if err == nil && g.Replicates > MaxAxisValues {
+				err = fmt.Errorf("more than %d replicates", MaxAxisValues)
+			}
+		case "engine":
+			g.Engine, err = parseEngine(value)
 		default:
-			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps)", key)
+			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps, engine)", key)
 		}
 		if err != nil {
 			return Grid{}, fmt.Errorf("batch: grid field %q: %w", field, err)
 		}
 	}
 	for _, tau := range g.Taus {
-		if tau < 0 || tau > 1 {
+		if !(tau >= 0 && tau <= 1) {
 			return Grid{}, fmt.Errorf("batch: tau=%v out of [0, 1]", tau)
 		}
 	}
 	for _, p := range g.Ps {
-		if p < 0 || p > 1 {
+		if !(p >= 0 && p <= 1) {
 			return Grid{}, fmt.Errorf("batch: p=%v out of [0, 1]", p)
 		}
 	}
+	if cells := g.boundedSize(); cells > MaxGridCells {
+		return Grid{}, fmt.Errorf("batch: grid expands to %d cells (max %d)", cells, MaxGridCells)
+	}
 	return g, nil
+}
+
+// MaxGridCells bounds the total expansion of a parsed grid.
+const MaxGridCells = 1 << 24
+
+// boundedSize returns the cell count of the expanded grid, saturating
+// above MaxGridCells instead of overflowing.
+func (g Grid) boundedSize() uint64 {
+	n := g.normalized()
+	prod := uint64(1)
+	for _, f := range []int{len(n.Dynamics), len(n.Ns), len(n.Ws), len(n.Taus), len(n.Ps), len(n.Extras), n.Replicates} {
+		prod *= uint64(f)
+		if prod > MaxGridCells {
+			return prod
+		}
+	}
+	return prod
 }
 
 // parseInts parses a comma list of ints and lo:hi[:step] ranges.
@@ -101,11 +134,24 @@ func parseInts(value string) ([]int, error) {
 			if step <= 0 || hi < lo {
 				return nil, fmt.Errorf("bad range %q (want lo<=hi, step>0)", item)
 			}
-			for v := lo; v <= hi; v += step {
-				out = append(out, v)
+			// Count values first (in uint64: hi-lo may overflow int)
+			// so a huge range fails instead of exhausting memory, then
+			// enumerate by index, which cannot overflow or hang. The
+			// quotient is compared before adding 1: for the full int
+			// range the count itself would wrap to 0.
+			span := uint64(hi) - uint64(lo)
+			if span/uint64(step) >= MaxAxisValues {
+				return nil, fmt.Errorf("range %q expands to more than %d values", item, MaxAxisValues)
+			}
+			count := int(span/uint64(step)) + 1
+			for i := 0; i < count; i++ {
+				out = append(out, lo+i*step)
 			}
 		default:
 			return nil, fmt.Errorf("bad range %q", item)
+		}
+		if len(out) > MaxAxisValues {
+			return nil, fmt.Errorf("axis expands to more than %d values", MaxAxisValues)
 		}
 	}
 	return out, nil
@@ -121,7 +167,7 @@ func parseFloats(value string) ([]float64, error) {
 		switch len(parts) {
 		case 1:
 			v, err := strconv.ParseFloat(parts[0], 64)
-			if err != nil {
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("bad float %q", parts[0])
 			}
 			out = append(out, v)
@@ -129,19 +175,30 @@ func parseFloats(value string) ([]float64, error) {
 			lo, err1 := strconv.ParseFloat(parts[0], 64)
 			hi, err2 := strconv.ParseFloat(parts[1], 64)
 			step, err3 := strconv.ParseFloat(parts[2], 64)
-			if err1 != nil || err2 != nil || err3 != nil {
+			if err1 != nil || err2 != nil || err3 != nil ||
+				math.IsNaN(lo) || math.IsInf(lo, 0) ||
+				math.IsNaN(hi) || math.IsInf(hi, 0) ||
+				math.IsNaN(step) || math.IsInf(step, 0) {
 				return nil, fmt.Errorf("bad range %q", item)
 			}
 			if step <= 0 || hi < lo {
 				return nil, fmt.Errorf("bad range %q (want lo<=hi, step>0)", item)
 			}
-			// Enumerate by index to avoid accumulating rounding error,
-			// and snap each value to 12 decimals so 0.42 + 2*0.02
-			// reads as 0.46, not 0.45999999999999996.
+			// Bound the expansion before converting the (possibly
+			// enormous) ratio to an int, then enumerate by index to
+			// avoid accumulating rounding error, snapping each value
+			// to 12 decimals so 0.42 + 2*0.02 reads as 0.46, not
+			// 0.45999999999999996.
+			if (hi-lo)/step > MaxAxisValues {
+				return nil, fmt.Errorf("range %q expands to more than %d values", item, MaxAxisValues)
+			}
 			steps := int(math.Floor((hi-lo)/step + 0.5))
+			// The tolerance only absorbs floating-point drift: the
+			// range stays inclusive of hi but never oversteps it
+			// (0.40:0.48:0.03 ends at 0.46, not 0.49).
 			for i := 0; i <= steps; i++ {
 				v := math.Round((lo+float64(i)*step)*1e12) / 1e12
-				if v > hi+step/2 {
+				if v > hi+step*1e-9 {
 					break
 				}
 				out = append(out, v)
@@ -151,8 +208,25 @@ func parseFloats(value string) ([]float64, error) {
 		default:
 			return nil, fmt.Errorf("bad range %q", item)
 		}
+		if len(out) > MaxAxisValues {
+			return nil, fmt.Errorf("axis expands to more than %d values", MaxAxisValues)
+		}
 	}
 	return out, nil
+}
+
+// parseEngine parses the engine= value (a single label, not a list:
+// engines are bit-identical, so there is nothing to sweep).
+func parseEngine(value string) (string, error) {
+	switch strings.ToLower(value) {
+	case EngineAuto:
+		return EngineAuto, nil
+	case EngineReference, "ref":
+		return EngineReference, nil
+	case EngineFast:
+		return EngineFast, nil
+	}
+	return "", fmt.Errorf("unknown engine %q (want auto, reference, or fast)", value)
 }
 
 // parseDynamics parses the dyn= list.

@@ -1,0 +1,108 @@
+package difftest
+
+import (
+	"testing"
+
+	"gridseg"
+)
+
+// acceptanceCells is the differential grid: it spans lattice sizes,
+// horizons (including the torus-spanning w >= n/2 edge), intolerances
+// from near 0 through the super-unhappy regime to near 1 (where
+// nothing is flippable and only construction is compared), skewed
+// initial densities, and both dynamics. The large cells carry the
+// event volume; the test below asserts the grid drives at least 10^6
+// events in total with zero divergences.
+var acceptanceCells = []Cell{
+	// Event-volume cells at paper-relevant parameters.
+	{N: 512, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 1},
+	{N: 512, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 2},
+	{N: 512, W: 1, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 3},
+	{N: 512, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 4},
+	{N: 512, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 5},
+	{N: 512, W: 3, Tau: 0.44, P: 0.5, Dynamic: gridseg.Glauber, Seed: 6},
+	// tau = 1/2: the open regime stays active for a long time, so this
+	// cell reliably runs into the per-cell event cap.
+	{N: 256, W: 2, Tau: 0.50, P: 0.5, Dynamic: gridseg.Glauber, Seed: 7},
+	{N: 384, W: 1, Tau: 0.50, P: 0.5, Dynamic: gridseg.Glauber, Seed: 25},
+	{N: 512, W: 1, Tau: 0.47, P: 0.5, Dynamic: gridseg.Glauber, Seed: 26},
+	{N: 384, W: 2, Tau: 0.46, P: 0.5, Dynamic: gridseg.Glauber, Seed: 8},
+	{N: 256, W: 4, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 9},
+	{N: 256, W: 2, Tau: 0.48, P: 0.5, Dynamic: gridseg.Glauber, Seed: 10},
+	{N: 192, W: 3, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 11},
+	// Static and near-static regimes.
+	{N: 384, W: 1, Tau: 0.30, P: 0.5, Dynamic: gridseg.Glauber, Seed: 12},
+	{N: 128, W: 2, Tau: 0.05, P: 0.5, Dynamic: gridseg.Glauber, Seed: 13},
+	// Super-unhappy regime (tau > 1/2) and tau near 1.
+	{N: 128, W: 2, Tau: 0.70, P: 0.5, Dynamic: gridseg.Glauber, Seed: 14},
+	{N: 128, W: 2, Tau: 0.98, P: 0.5, Dynamic: gridseg.Glauber, Seed: 15},
+	// Skewed initial densities.
+	{N: 64, W: 2, Tau: 0.45, P: 0.1, Dynamic: gridseg.Glauber, Seed: 16},
+	{N: 64, W: 2, Tau: 0.45, P: 0.9, Dynamic: gridseg.Glauber, Seed: 17},
+	// Torus-spanning windows: w >= n/2 (2w+1 == n).
+	{N: 25, W: 12, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 18},
+	{N: 25, W: 12, Tau: 0.502, P: 0.5, Dynamic: gridseg.Glauber, Seed: 19},
+	{N: 31, W: 15, Tau: 0.48, P: 0.5, Dynamic: gridseg.Glauber, Seed: 20},
+	{N: 9, W: 4, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 21},
+	// Kawasaki cells: no fast engine exists, so these pin the auto
+	// selection plumbing against the reference.
+	{N: 96, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 22},
+	{N: 64, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 23},
+	{N: 128, W: 1, Tau: 0.42, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 24},
+}
+
+// TestEnginesBitIdentical is the acceptance harness: >= 20 cells,
+// >= 10^6 events, full-state comparisons every 8192 events, zero
+// divergences between the reference and fast engines.
+func TestEnginesBitIdentical(t *testing.T) {
+	cells := acceptanceCells
+	opt := Options{CheckEvery: 8192, MaxEvents: 200000}
+	if testing.Short() {
+		// Reduced grid: drop the event-volume cells, keep the shapes.
+		var small []Cell
+		for _, c := range cells {
+			if c.N <= 192 {
+				small = append(small, c)
+			}
+		}
+		cells = small
+		opt = Options{CheckEvery: 2048, MaxEvents: 20000}
+	}
+	rep, err := CompareAll(cells, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("differential run: %d cells, %d events, %d full-state checks", rep.Cells, rep.Events, rep.Checks)
+	if rep.Cells < 20 && !testing.Short() {
+		t.Errorf("acceptance requires >= 20 cells, got %d", rep.Cells)
+	}
+	if rep.Events < 1_000_000 && !testing.Short() {
+		t.Errorf("acceptance requires >= 10^6 events, got %d", rep.Events)
+	}
+}
+
+// TestCompareReportsDivergence checks the harness itself: two models
+// with different seeds must be reported as divergent immediately.
+func TestCompareReportsDivergence(t *testing.T) {
+	ref, err := gridseg.New(gridseg.Config{N: 32, W: 2, Tau: 0.45, Seed: 1, Engine: gridseg.EngineReference})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := gridseg.New(gridseg.Config{N: 32, W: 2, Tau: 0.45, Seed: 2, Engine: gridseg.EngineFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverges(ref, other) == nil {
+		t.Fatal("harness failed to flag models with different seeds")
+	}
+}
+
+// TestCompareFastRejectsOversizedHorizon confirms an explicit fast
+// request past the lane capacity surfaces as a construction error, not
+// a silent fallback.
+func TestCompareFastRejectsOversizedHorizon(t *testing.T) {
+	_, err := Compare(Cell{N: 301, W: 150, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 1}, Options{MaxEvents: 1})
+	if err == nil {
+		t.Fatal("want construction error for w beyond fast-engine capacity")
+	}
+}

@@ -14,12 +14,17 @@
 // where at each discrete time step one unhappy agent is chosen uniformly
 // at random").
 //
-// The engine maintains, for every site u, the number of +1 agents in its
-// neighborhood N(u) (the Chebyshev ball of radius w including u), so a
-// flip costs O((2w+1)^2) count updates and O(1) amortized set
-// maintenance. The sum Phi of same-type counts over all agents is the
-// paper's Lyapunov function: it strictly increases with every admissible
-// flip, which proves termination.
+// Process is the *reference* engine: it maintains, for every site u,
+// the number of +1 agents in its neighborhood N(u) (the Chebyshev ball
+// of radius w including u) as scalar counts, so a flip performs
+// (2w+1)^2 scalar count updates and refreshes plus O(1) amortized set
+// maintenance. It is the readable specification of the dynamics; the
+// bit-packed engine in the fastglauber subpackage executes the same
+// flip bit-identically at a fraction of the cost (see the Engine
+// interface and internal/difftest for the equivalence contract). The
+// sum Phi of same-type counts over all agents is the paper's Lyapunov
+// function: it strictly increases with every admissible flip, which
+// proves termination.
 package dynamics
 
 import (

@@ -1,0 +1,52 @@
+package dynamics
+
+import "gridseg/internal/grid"
+
+// Engine is the contract shared by the Glauber engine implementations:
+// the reference scalar engine of this package and the bit-packed fast
+// engine of internal/dynamics/fastglauber. The two are interchangeable
+// bit for bit — given the same lattice, parameters, and random source
+// they produce identical flip sequences, clocks, and observables (the
+// differential harness in internal/difftest enforces this), so callers
+// may select an engine purely on performance grounds.
+type Engine interface {
+	// Lattice returns the underlying reference lattice (live view).
+	Lattice() *grid.Lattice
+	// Horizon returns the neighborhood radius w.
+	Horizon() int
+	// NeighborhoodSize returns N = (2w+1)^2.
+	NeighborhoodSize() int
+	// Threshold returns the integer happiness threshold tau*N.
+	Threshold() int
+	// Tau returns the rational intolerance threshold/N.
+	Tau() float64
+	// Time returns the elapsed continuous (Poisson-clock) time.
+	Time() float64
+	// Flips returns the number of effective flips so far.
+	Flips() int64
+	// SameCount returns the same-type count of site i including itself.
+	SameCount(i int) int
+	// Happy reports whether the agent at site i is happy.
+	Happy(i int) bool
+	// HappyFraction returns the fraction of happy agents.
+	HappyFraction() float64
+	// UnhappyCount returns the number of unhappy agents.
+	UnhappyCount() int
+	// FlippableCount returns the number of admissible flips.
+	FlippableCount() int
+	// Fixated reports whether no admissible flip remains.
+	Fixated() bool
+	// Step performs one effective event; ok=false after fixation.
+	Step() (site int, ok bool)
+	// Run advances until fixation or maxFlips flips (<= 0: no limit).
+	Run(maxFlips int64) (performed int64, fixated bool)
+	// Phi returns the paper's Lyapunov function.
+	Phi() int64
+	// MaxFlipsBound returns the a-priori Lyapunov flip bound.
+	MaxFlipsBound() int64
+	// CheckInvariants verifies bookkeeping against brute force.
+	CheckInvariants() error
+}
+
+// The reference engine satisfies the shared contract.
+var _ Engine = (*Process)(nil)

@@ -1,0 +1,481 @@
+// Package fastglauber is the bit-packed fast path of the Glauber
+// segregation process. It is observationally identical to the reference
+// engine (internal/dynamics.Process): same flippable-set bookkeeping
+// order, same random-source consumption, hence bit-identical flip
+// sequences, clocks, spin arrays, and observables for any seed — the
+// differential harness in internal/difftest pins this equivalence.
+//
+// The speed comes from how a flip's O((2w+1)^2) neighborhood update is
+// executed, not from changing the dynamics. Spins live one per bit in
+// []uint64 rows (internal/fastgrid); per-site plus-counts live four to
+// a word as 16-bit lanes, so the ±1 count update of a flip's column
+// band is a handful of masked SWAR word additions per row instead of
+// (2w+1) scalar read-modify-writes. Most sites in the band keep their
+// happy/flippable classification after a flip; the engine detects the
+// rare sites that cross a classification boundary with a SWAR
+// equality scan of the freshly updated count lanes against the (at
+// most four) boundary count values, and only those sites take the
+// scalar set-maintenance path. Initial window counts are built with
+// math/bits.OnesCount64 over packed row windows.
+//
+// Capacity: counts are 16-bit lanes, so the engine requires
+// (2w+1)^2 <= MaxNeighborhood; construction fails above that and
+// callers fall back to the reference engine.
+package fastglauber
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/fastgrid"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// MaxNeighborhood is the largest neighborhood size N = (2w+1)^2 the
+// packed 16-bit count lanes can hold. Beyond it use the reference
+// engine (w <= 90 fits).
+const MaxNeighborhood = 32767
+
+const (
+	laneOnes = 0x0001_0001_0001_0001
+	laneHigh = 0x8000_8000_8000_8000
+)
+
+// addMask[lo][hi] has a 1 in the low bit of each 16-bit lane lo..hi:
+// the SWAR ±1 pattern for a partial word covering those lanes.
+var addMask [4][4]uint64
+
+func init() {
+	for lo := 0; lo < 4; lo++ {
+		for hi := lo; hi < 4; hi++ {
+			var m uint64
+			for l := lo; l <= hi; l++ {
+				m |= 1 << uint(16*l)
+			}
+			addMask[lo][hi] = m
+		}
+	}
+}
+
+// Process is the fast Glauber engine. Construct with New; the zero
+// value is not usable. It satisfies dynamics.Engine.
+type Process struct {
+	lat    *grid.Lattice     // reference mirror, kept in lockstep
+	bits   *fastgrid.Lattice // packed spins (hot path)
+	src    *rng.Source
+	n      int // lattice side
+	w      int // horizon
+	nbhd   int // N = (2w+1)^2
+	thresh int // happiness threshold: same-type count required
+	cpr    int // count words per row = ceil(n/4)
+	// counts holds the +1 count of every site's neighborhood, four
+	// sites per word in 16-bit lanes (site x of row y is lane x&3 of
+	// word y*cpr + x>>2).
+	counts []uint64
+	// unhappy is a bitset over sites mirroring the reference engine's
+	// unhappy flags.
+	unhappy  []uint64
+	nUnhappy int
+	// Flippable-set bookkeeping, identical to the reference engine:
+	// flippable lists admissible sites, pos[i] is i's index in it or -1.
+	flippable []int32
+	pos       []int32
+	time      float64
+	flips     int64
+	// upVals/downVals are the lane-broadcast count values at which a
+	// site's classification can change after a +1/-1 count update.
+	// Unused slots hold the unmatchable sentinel (counts never exceed
+	// 0x7fff), so the hot path always tests all four branch-free.
+	upVals   [4]uint64
+	downVals [4]uint64
+	nUp      int
+	nDown    int
+}
+
+// noBoundary is a lane-broadcast value no count lane can ever equal;
+// it pads unused boundary slots.
+const noBoundary = 0xffff * uint64(laneOnes)
+
+// The fast engine satisfies the shared engine contract.
+var _ dynamics.Engine = (*Process)(nil)
+
+// Fits reports whether the fast engine supports horizon w (the packed
+// count lanes must hold N = (2w+1)^2).
+func Fits(w int) bool { return w >= 1 && (2*w+1)*(2*w+1) <= MaxNeighborhood }
+
+// New creates a fast Glauber process over the given lattice with
+// horizon w and intolerance tauTilde, with the same semantics and
+// validation as the reference dynamics.New. The lattice is used in
+// place: it is mutated by the process and stays bit-identical to the
+// packed state after every flip.
+func New(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Process, error) {
+	if w < 1 {
+		return nil, errors.New("fastglauber: horizon must be >= 1")
+	}
+	if 2*w+1 > lat.N() {
+		return nil, fmt.Errorf("fastglauber: neighborhood side %d exceeds lattice side %d", 2*w+1, lat.N())
+	}
+	if tauTilde < 0 || tauTilde > 1 {
+		return nil, errors.New("fastglauber: intolerance must be in [0, 1]")
+	}
+	if src == nil {
+		return nil, errors.New("fastglauber: nil random source")
+	}
+	nbhd := (2*w + 1) * (2*w + 1)
+	if nbhd > MaxNeighborhood {
+		return nil, fmt.Errorf("fastglauber: neighborhood size %d exceeds count lane capacity %d (use the reference engine)", nbhd, MaxNeighborhood)
+	}
+	n := lat.N()
+	p := &Process{
+		lat:     lat,
+		bits:    fastgrid.FromLattice(lat),
+		src:     src,
+		n:       n,
+		w:       w,
+		nbhd:    nbhd,
+		thresh:  theory.Threshold(tauTilde, nbhd),
+		cpr:     (n + 3) / 4,
+		unhappy: make([]uint64, (n*n+63)/64),
+		pos:     make([]int32, n*n),
+	}
+	fresh := p.bits.WindowCounts(w)
+	p.counts = make([]uint64, n*p.cpr)
+	for i, c := range fresh {
+		x, y := i%n, i/n
+		p.counts[y*p.cpr+x>>2] |= uint64(c) << uint(16*(x&3))
+	}
+	for i := range p.pos {
+		p.pos[i] = -1
+	}
+	// Classification boundaries: a +1 count update can change a site's
+	// class only when the new count hits one of these values (and
+	// symmetrically for -1). Values outside [0, N] can never match.
+	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.thresh)              // plus site becomes happy
+	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.nbhd+2-p.thresh)     // plus site loses flip eligibility
+	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.nbhd-p.thresh+1)     // minus site becomes unhappy
+	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.thresh-1)            // minus site gains flip eligibility
+	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.thresh-1)        // plus site becomes unhappy
+	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.nbhd+1-p.thresh) // plus site gains flip eligibility
+	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.nbhd-p.thresh)   // minus site becomes happy
+	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.thresh-2)        // minus site loses flip eligibility
+	for i := p.nUp; i < 4; i++ {
+		p.upVals[i] = noBoundary
+	}
+	for i := p.nDown; i < 4; i++ {
+		p.downVals[i] = noBoundary
+	}
+	for i := 0; i < n*n; i++ {
+		p.refreshSite(i, int(fresh[i]))
+	}
+	return p, nil
+}
+
+// addBoundary appends the lane-broadcast form of count value v if it is
+// reachable and not already present.
+func addBoundary(arr *[4]uint64, cnt *int, nbhd, v int) {
+	if v < 0 || v > nbhd {
+		return
+	}
+	bv := uint64(v) * laneOnes
+	for i := 0; i < *cnt; i++ {
+		if arr[i] == bv {
+			return
+		}
+	}
+	arr[*cnt] = bv
+	*cnt++
+}
+
+// Lattice returns the underlying lattice (live view).
+func (p *Process) Lattice() *grid.Lattice { return p.lat }
+
+// Horizon returns the neighborhood radius w.
+func (p *Process) Horizon() int { return p.w }
+
+// NeighborhoodSize returns N = (2w+1)^2.
+func (p *Process) NeighborhoodSize() int { return p.nbhd }
+
+// Threshold returns the integer happiness threshold tau*N.
+func (p *Process) Threshold() int { return p.thresh }
+
+// Tau returns the rational intolerance tau = threshold/N.
+func (p *Process) Tau() float64 { return float64(p.thresh) / float64(p.nbhd) }
+
+// Time returns the elapsed continuous time.
+func (p *Process) Time() float64 { return p.time }
+
+// Flips returns the number of effective flips so far.
+func (p *Process) Flips() int64 { return p.flips }
+
+// count returns the maintained +1 count of N(i).
+func (p *Process) count(i int) int {
+	x, y := i%p.n, i/p.n
+	return int(p.counts[y*p.cpr+x>>2] >> uint(16*(x&3)) & 0xffff)
+}
+
+// PlusCount returns the maintained count of +1 agents in N(i).
+func (p *Process) PlusCount(i int) int { return p.count(i) }
+
+// SameCount returns the number of agents in N(u) sharing u's type,
+// including u itself.
+func (p *Process) SameCount(i int) int {
+	if p.bits.Bit(i) {
+		return p.count(i)
+	}
+	return p.nbhd - p.count(i)
+}
+
+// Happy reports whether the agent at site i is happy: s(u) >= tau.
+func (p *Process) Happy(i int) bool { return p.SameCount(i) >= p.thresh }
+
+// Flippable reports whether site i is an admissible flip.
+func (p *Process) Flippable(i int) bool {
+	same := p.SameCount(i)
+	return same < p.thresh && p.nbhd-same+1 >= p.thresh
+}
+
+// FlippableCount returns the number of currently admissible flips.
+func (p *Process) FlippableCount() int { return len(p.flippable) }
+
+// UnhappyCount returns the number of currently unhappy agents.
+func (p *Process) UnhappyCount() int { return p.nUnhappy }
+
+// HappyFraction returns the fraction of happy agents.
+func (p *Process) HappyFraction() float64 {
+	return 1 - float64(p.nUnhappy)/float64(p.n*p.n)
+}
+
+// Fixated reports whether the process has terminated.
+func (p *Process) Fixated() bool { return len(p.flippable) == 0 }
+
+// refreshSite recomputes the classification of site j from its current
+// count c and spin, and updates the unhappy bitset and flippable set —
+// the same transition the reference engine's refresh performs, applied
+// only to sites whose count crossed a classification boundary.
+func (p *Process) refreshSite(j, c int) {
+	var unhappy, flippable bool
+	if p.bits.Bit(j) {
+		unhappy = c < p.thresh
+		flippable = unhappy && c <= p.nbhd+1-p.thresh
+	} else {
+		unhappy = c > p.nbhd-p.thresh
+		flippable = unhappy && c >= p.thresh-1
+	}
+	wi, bm := j>>6, uint64(1)<<uint(j&63)
+	if (p.unhappy[wi]&bm != 0) != unhappy {
+		p.unhappy[wi] ^= bm
+		if unhappy {
+			p.nUnhappy++
+		} else {
+			p.nUnhappy--
+		}
+	}
+	in := p.pos[j] >= 0
+	switch {
+	case flippable && !in:
+		p.pos[j] = int32(len(p.flippable))
+		p.flippable = append(p.flippable, int32(j))
+	case !flippable && in:
+		q := p.pos[j]
+		last := p.flippable[len(p.flippable)-1]
+		p.flippable[q] = last
+		p.pos[last] = q
+		p.flippable = p.flippable[:len(p.flippable)-1]
+		p.pos[j] = -1
+	}
+}
+
+// updateSegment applies the ±1 count update to columns [a, b] of row y
+// (no wrap within a segment) and refreshes, in ascending column order,
+// every site whose new count sits on a classification boundary.
+// forceX, when in [a, b], is unconditionally refreshed at its column
+// position — the flipped site changes class by spin, not by count.
+func (p *Process) updateSegment(y, a, b int, add bool, vals *[4]uint64, forceX int) {
+	base := y * p.cpr
+	row := y * p.n
+	w0, w1 := a>>2, b>>2
+	fk := -1
+	var fbit uint64
+	if forceX >= a && forceX <= b {
+		fk = forceX >> 2
+		fbit = 0x8000 << uint(16*(forceX&3))
+	}
+	v0, v1, v2, v3 := vals[0], vals[1], vals[2], vals[3]
+	for k := w0; k <= w1; k++ {
+		am := uint64(laneOnes)
+		if k == w0 || k == w1 {
+			lo, hi := 0, 3
+			if k == w0 {
+				lo = a & 3
+			}
+			if k == w1 {
+				hi = b & 3
+			}
+			am = addMask[lo][hi]
+		}
+		idx := base + k
+		cw := p.counts[idx]
+		if add {
+			cw += am
+		} else {
+			cw -= am
+		}
+		p.counts[idx] = cw
+		// SWAR zero-lane scan of cw against the four boundary values.
+		// With lanes always <= 0x7fff the scan never misses an equal
+		// lane; borrow propagation can flag a non-matching neighbor
+		// lane, which is harmless because refreshSite is a no-op when
+		// the classification did not change.
+		x0 := cw ^ v0
+		x1 := cw ^ v1
+		x2 := cw ^ v2
+		x3 := cw ^ v3
+		flags := ((x0 - laneOnes) & ^x0) | ((x1 - laneOnes) & ^x1) |
+			((x2 - laneOnes) & ^x2) | ((x3 - laneOnes) & ^x3)
+		flags &= am << 15
+		if k == fk {
+			flags |= fbit
+		}
+		for flags != 0 {
+			l := bits.TrailingZeros64(flags) >> 4
+			p.refreshSite(row+k<<2+l, int(cw>>uint(16*l)&0xffff))
+			flags &= flags - 1
+		}
+	}
+}
+
+// applyFlip flips site i and updates counts and set membership of every
+// affected site, visiting rows and (wrapped) columns in the same order
+// as the reference engine so the flippable slice evolves identically.
+func (p *Process) applyFlip(i int) {
+	n, w := p.n, p.w
+	x0, y0 := i%n, i/n
+	plus := p.bits.FlipBit(i)
+	if plus {
+		p.lat.SetAt(i, grid.Plus)
+	} else {
+		p.lat.SetAt(i, grid.Minus)
+	}
+	vals := &p.downVals
+	if plus {
+		vals = &p.upVals
+	}
+	xlo := x0 - w
+	if xlo < 0 {
+		xlo += n
+	}
+	width := 2*w + 1
+	for dy := -w; dy <= w; dy++ {
+		y := y0 + dy
+		if y < 0 {
+			y += n
+		} else if y >= n {
+			y -= n
+		}
+		forceX := -1
+		if dy == 0 {
+			forceX = x0
+		}
+		if xlo+width <= n {
+			p.updateSegment(y, xlo, xlo+width-1, plus, vals, forceX)
+		} else {
+			p.updateSegment(y, xlo, n-1, plus, vals, forceX)
+			p.updateSegment(y, 0, xlo+width-1-n, plus, vals, forceX)
+		}
+	}
+}
+
+// ForceFlip flips site i unconditionally and updates all bookkeeping,
+// mirroring the reference engine's ForceFlip.
+func (p *Process) ForceFlip(i int) { p.applyFlip(i) }
+
+// Step performs one effective event with the exact random-source
+// consumption of the reference engine: Exp(k) clock advance, then a
+// uniform pick from the flippable slice.
+func (p *Process) Step() (site int, ok bool) {
+	k := len(p.flippable)
+	if k == 0 {
+		return 0, false
+	}
+	p.time += p.src.ExpRate(float64(k))
+	i := int(p.flippable[p.src.Intn(k)])
+	p.applyFlip(i)
+	p.flips++
+	return i, true
+}
+
+// Run advances the process until fixation or until maxFlips additional
+// flips have been performed (maxFlips <= 0 means no limit).
+func (p *Process) Run(maxFlips int64) (performed int64, fixated bool) {
+	for maxFlips <= 0 || performed < maxFlips {
+		if _, ok := p.Step(); !ok {
+			return performed, true
+		}
+		performed++
+	}
+	return performed, p.Fixated()
+}
+
+// Phi returns the paper's Lyapunov function, recomputed from the
+// maintained counts in O(n^2).
+func (p *Process) Phi() int64 {
+	var phi int64
+	for i := 0; i < p.n*p.n; i++ {
+		phi += int64(p.SameCount(i))
+	}
+	return phi
+}
+
+// MaxFlipsBound returns the a-priori Lyapunov bound on total flips.
+func (p *Process) MaxFlipsBound() int64 {
+	return int64(p.nbhd) * int64(p.n) * int64(p.n) / 2
+}
+
+// CheckInvariants verifies the packed state against brute-force
+// recomputation and against the reference mirror lattice; it returns a
+// descriptive error on the first mismatch.
+func (p *Process) CheckInvariants() error {
+	if err := p.bits.EqualLattice(p.lat); err != nil {
+		return err
+	}
+	fresh := p.bits.WindowCounts(p.w)
+	inSet := make(map[int32]bool, len(p.flippable))
+	for j, site := range p.flippable {
+		if p.pos[site] != int32(j) {
+			return fmt.Errorf("pos[%d] = %d, want %d", site, p.pos[site], j)
+		}
+		if inSet[site] {
+			return fmt.Errorf("site %d appears twice in flippable set", site)
+		}
+		inSet[site] = true
+	}
+	unhappyCount := 0
+	for i := 0; i < p.n*p.n; i++ {
+		if got, want := p.count(i), int(fresh[i]); got != want {
+			return fmt.Errorf("count[%d] = %d, want %d", i, got, want)
+		}
+		same := p.SameCount(i)
+		unhappy := same < p.thresh
+		if got := p.unhappy[i>>6]&(1<<uint(i&63)) != 0; got != unhappy {
+			return fmt.Errorf("unhappy[%d] = %v, want %v", i, got, unhappy)
+		}
+		if unhappy {
+			unhappyCount++
+		}
+		flippable := unhappy && p.nbhd-same+1 >= p.thresh
+		if flippable != inSet[int32(i)] {
+			return fmt.Errorf("flippable membership of %d = %v, want %v", i, inSet[int32(i)], flippable)
+		}
+		if !inSet[int32(i)] && p.pos[i] != -1 {
+			return fmt.Errorf("pos[%d] = %d for non-member", i, p.pos[i])
+		}
+	}
+	if unhappyCount != p.nUnhappy {
+		return fmt.Errorf("nUnhappy = %d, want %d", p.nUnhappy, unhappyCount)
+	}
+	return nil
+}

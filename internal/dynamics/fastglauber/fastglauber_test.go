@@ -1,0 +1,161 @@
+package fastglauber
+
+import (
+	"testing"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+// newPair builds a reference and a fast engine over independent copies
+// of the same random lattice, each with its own identically seeded
+// random source.
+func newPair(t *testing.T, n, w int, tau, p float64, seed uint64) (*dynamics.Process, *Process) {
+	t.Helper()
+	lat := grid.Random(n, p, rng.New(seed).Split(1))
+	ref, err := dynamics.New(lat.Clone(), w, tau, rng.New(seed).Split(2))
+	if err != nil {
+		t.Fatalf("reference New: %v", err)
+	}
+	fast, err := New(lat.Clone(), w, tau, rng.New(seed).Split(2))
+	if err != nil {
+		t.Fatalf("fast New: %v", err)
+	}
+	return ref, fast
+}
+
+// TestConstructionMatchesReference verifies the initial bookkeeping —
+// counts, classification, flippable order — agrees with the reference.
+func TestConstructionMatchesReference(t *testing.T) {
+	ref, fast := newPair(t, 48, 3, 0.45, 0.5, 7)
+	if err := fast.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := fast.FlippableCount(), ref.FlippableCount(); got != want {
+		t.Fatalf("FlippableCount = %d, want %d", got, want)
+	}
+	if got, want := fast.UnhappyCount(), ref.UnhappyCount(); got != want {
+		t.Fatalf("UnhappyCount = %d, want %d", got, want)
+	}
+	if got, want := fast.Phi(), ref.Phi(); got != want {
+		t.Fatalf("Phi = %d, want %d", got, want)
+	}
+	for i := 0; i < 48*48; i++ {
+		if got, want := fast.SameCount(i), ref.SameCount(i); got != want {
+			t.Fatalf("SameCount(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestLockstepWithReference steps both engines together and demands
+// identical flip sites, clocks, and periodic invariant validity, across
+// parameter corners including a torus-spanning window (2w+1 == n) and
+// the super-unhappy regime tau > 1/2.
+func TestLockstepWithReference(t *testing.T) {
+	cases := []struct {
+		n, w int
+		tau  float64
+		p    float64
+	}{
+		{24, 1, 0.45, 0.5},
+		{24, 2, 0.42, 0.5},
+		{32, 3, 0.30, 0.5},
+		{21, 10, 0.45, 0.5}, // 2w+1 == n: the band wraps onto every column
+		{24, 2, 0.70, 0.5},  // super-unhappy regime
+		{24, 2, 0.05, 0.5},  // tau near 0
+		{24, 2, 0.98, 0.5},  // tau near 1
+		{24, 2, 0.45, 0.9},  // skewed density
+		{5, 2, 0.45, 0.5},   // tiny torus, sub-word rows
+	}
+	for _, tc := range cases {
+		ref, fast := newPair(t, tc.n, tc.w, tc.tau, tc.p, uint64(tc.n*1000+tc.w))
+		for step := 0; ; step++ {
+			rs, rok := ref.Step()
+			fs, fok := fast.Step()
+			if rok != fok {
+				t.Fatalf("%+v step %d: ok %v vs %v", tc, step, rok, fok)
+			}
+			if !rok {
+				break
+			}
+			if rs != fs {
+				t.Fatalf("%+v step %d: flipped site %d vs %d", tc, step, fs, rs)
+			}
+			if ref.Time() != fast.Time() {
+				t.Fatalf("%+v step %d: time %v vs %v", tc, step, fast.Time(), ref.Time())
+			}
+			if step%64 == 0 {
+				if err := fast.CheckInvariants(); err != nil {
+					t.Fatalf("%+v step %d: %v", tc, step, err)
+				}
+				if !ref.Lattice().Equal(fast.Lattice()) {
+					t.Fatalf("%+v step %d: lattices diverged", tc, step)
+				}
+			}
+		}
+		if err := fast.CheckInvariants(); err != nil {
+			t.Fatalf("%+v fixated: %v", tc, err)
+		}
+		if !ref.Lattice().Equal(fast.Lattice()) {
+			t.Fatalf("%+v: fixated lattices diverged", tc)
+		}
+		if ref.Flips() != fast.Flips() || ref.Phi() != fast.Phi() {
+			t.Fatalf("%+v: flips/Phi diverged: %d/%d vs %d/%d",
+				tc, fast.Flips(), fast.Phi(), ref.Flips(), ref.Phi())
+		}
+	}
+}
+
+// TestForceFlipMatchesReference drives both engines through arbitrary
+// forced flips (rule-violating transitions) and compares bookkeeping.
+func TestForceFlipMatchesReference(t *testing.T) {
+	ref, fast := newPair(t, 20, 2, 0.45, 0.5, 3)
+	pick := rng.New(99)
+	for k := 0; k < 400; k++ {
+		i := pick.Intn(20 * 20)
+		ref.ForceFlip(i)
+		fast.ForceFlip(i)
+	}
+	if err := fast.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Lattice().Equal(fast.Lattice()) {
+		t.Fatal("lattices diverged under forced flips")
+	}
+	if got, want := fast.FlippableCount(), ref.FlippableCount(); got != want {
+		t.Fatalf("FlippableCount = %d, want %d", got, want)
+	}
+	if got, want := fast.UnhappyCount(), ref.UnhappyCount(); got != want {
+		t.Fatalf("UnhappyCount = %d, want %d", got, want)
+	}
+}
+
+// TestValidation mirrors the reference constructor's rejections and the
+// fast engine's capacity limit.
+func TestValidation(t *testing.T) {
+	lat := grid.New(9, grid.Minus)
+	src := rng.New(1)
+	if _, err := New(lat, 0, 0.4, src); err == nil {
+		t.Error("w = 0 accepted")
+	}
+	if _, err := New(lat, 5, 0.4, src); err == nil {
+		t.Error("2w+1 > n accepted")
+	}
+	if _, err := New(lat, 2, -0.1, src); err == nil {
+		t.Error("tau < 0 accepted")
+	}
+	if _, err := New(lat, 2, 1.1, src); err == nil {
+		t.Error("tau > 1 accepted")
+	}
+	if _, err := New(lat, 2, 0.4, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	big := grid.New(301, grid.Minus)
+	if _, err := New(big, 150, 0.4, rng.New(1)); err == nil {
+		t.Error("neighborhood beyond lane capacity accepted")
+	}
+	if Fits(90) != true || Fits(91) != false || Fits(0) != false {
+		t.Error("Fits boundary wrong")
+	}
+}

@@ -1,0 +1,167 @@
+// Package fastgrid implements the bit-packed representation of the
+// torus lattice used by the fast Glauber engine: one spin per bit in
+// []uint64 row words (+1 agents are set bits), with popcount-based
+// (math/bits.OnesCount64) window counting. It mirrors the semantics of
+// internal/grid exactly — the same site indexing, the same torus wrap —
+// so a packed lattice and its reference twin can be kept in lockstep
+// and compared bit for bit.
+package fastgrid
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gridseg/internal/grid"
+)
+
+// Lattice is an n x n torus of spins packed one per bit, row-major:
+// site (x, y) lives at bit x&63 of word y*WordsPerRow()+x>>6, and a set
+// bit means +1. The zero value is not usable; construct with
+// FromLattice or NewPacked.
+type Lattice struct {
+	n     int
+	wpr   int // words per row
+	words []uint64
+}
+
+// NewPacked returns an all-minus packed lattice of side n.
+func NewPacked(n int) *Lattice {
+	wpr := (n + 63) / 64
+	return &Lattice{n: n, wpr: wpr, words: make([]uint64, n*wpr)}
+}
+
+// FromLattice packs the spins of a reference lattice.
+func FromLattice(l *grid.Lattice) *Lattice {
+	n := l.N()
+	p := NewPacked(n)
+	for y := 0; y < n; y++ {
+		base := y * n
+		row := y * p.wpr
+		for x := 0; x < n; x++ {
+			if l.SpinAt(base+x) == grid.Plus {
+				p.words[row+x>>6] |= 1 << uint(x&63)
+			}
+		}
+	}
+	return p
+}
+
+// N returns the side length.
+func (p *Lattice) N() int { return p.n }
+
+// WordsPerRow returns the packed row stride in words.
+func (p *Lattice) WordsPerRow() int { return p.wpr }
+
+// Bit reports whether the spin at row-major site index i is +1.
+func (p *Lattice) Bit(i int) bool {
+	x, y := i%p.n, i/p.n
+	return p.words[y*p.wpr+x>>6]>>uint(x&63)&1 != 0
+}
+
+// FlipBit negates the spin at row-major site index i and reports
+// whether the new spin is +1.
+func (p *Lattice) FlipBit(i int) bool {
+	x, y := i%p.n, i/p.n
+	w := y*p.wpr + x>>6
+	mask := uint64(1) << uint(x&63)
+	p.words[w] ^= mask
+	return p.words[w]&mask != 0
+}
+
+// CountPlus returns the total number of +1 agents via popcount.
+func (p *Lattice) CountPlus() int {
+	c := 0
+	for _, w := range p.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// OnesInRowRange returns the number of +1 agents in row y, columns
+// [lo, hi] (no wrap; 0 <= lo <= hi < n), using masked popcounts.
+func (p *Lattice) OnesInRowRange(y, lo, hi int) int {
+	row := y * p.wpr
+	w0, w1 := lo>>6, hi>>6
+	loMask := ^uint64(0) << uint(lo&63)
+	hiMask := ^uint64(0) >> uint(63-hi&63)
+	if w0 == w1 {
+		return bits.OnesCount64(p.words[row+w0] & loMask & hiMask)
+	}
+	c := bits.OnesCount64(p.words[row+w0] & loMask)
+	for k := w0 + 1; k < w1; k++ {
+		c += bits.OnesCount64(p.words[row+k])
+	}
+	return c + bits.OnesCount64(p.words[row+w1]&hiMask)
+}
+
+// onesInRowWindow returns the number of +1 agents in row y over the
+// wrapped column window [x-radius, x+radius].
+func (p *Lattice) onesInRowWindow(y, x, radius int) int {
+	lo, hi := x-radius, x+radius
+	switch {
+	case lo < 0:
+		return p.OnesInRowRange(y, 0, hi) + p.OnesInRowRange(y, p.n+lo, p.n-1)
+	case hi >= p.n:
+		return p.OnesInRowRange(y, lo, p.n-1) + p.OnesInRowRange(y, 0, hi-p.n)
+	default:
+		return p.OnesInRowRange(y, lo, hi)
+	}
+}
+
+// WindowCounts returns, for every site u (row-major), the number of +1
+// agents in the Chebyshev ball of the given radius centered at u —
+// the popcount-based equivalent of grid.Lattice.WindowCounts. The
+// horizontal pass computes each row window with OnesCount64 over masked
+// word ranges; the vertical pass slides the row sums. It panics if the
+// window wraps onto itself (2*radius+1 > n).
+func (p *Lattice) WindowCounts(radius int) []int32 {
+	if 2*radius+1 > p.n {
+		panic("fastgrid: window larger than torus")
+	}
+	n := p.n
+	rowSum := make([]int32, n*n)
+	for y := 0; y < n; y++ {
+		base := y * n
+		for x := 0; x < n; x++ {
+			rowSum[base+x] = int32(p.onesInRowWindow(y, x, radius))
+		}
+	}
+	out := make([]int32, n*n)
+	for x := 0; x < n; x++ {
+		var acc int32
+		for dy := -radius; dy <= radius; dy++ {
+			acc += rowSum[wrap(dy, n)*n+x]
+		}
+		out[x] = acc
+		for y := 1; y < n; y++ {
+			acc -= rowSum[wrap(y-1-radius, n)*n+x]
+			acc += rowSum[wrap(y+radius, n)*n+x]
+			out[y*n+x] = acc
+		}
+	}
+	return out
+}
+
+func wrap(a, n int) int {
+	a %= n
+	if a < 0 {
+		a += n
+	}
+	return a
+}
+
+// EqualLattice verifies bit-for-bit agreement with a reference lattice
+// and returns a descriptive error on the first mismatch. It is the
+// consistency check between the packed hot-path state and its mirror.
+func (p *Lattice) EqualLattice(l *grid.Lattice) error {
+	if l.N() != p.n {
+		return fmt.Errorf("fastgrid: side %d != reference side %d", p.n, l.N())
+	}
+	for i := 0; i < p.n*p.n; i++ {
+		plus := l.SpinAt(i) == grid.Plus
+		if p.Bit(i) != plus {
+			return fmt.Errorf("fastgrid: spin mismatch at site %d: packed %v, reference %v", i, p.Bit(i), plus)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package fastgrid
+
+import (
+	"testing"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+// TestPackRoundTrip verifies that packing preserves every spin, across
+// sides that exercise partial last words (n%64 != 0) and multi-word rows.
+func TestPackRoundTrip(t *testing.T) {
+	for _, n := range []int{3, 7, 31, 63, 64, 65, 100, 130} {
+		lat := grid.Random(n, 0.5, rng.New(uint64(n)))
+		p := FromLattice(lat)
+		if err := p.EqualLattice(lat); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got, want := p.CountPlus(), lat.CountPlus(); got != want {
+			t.Fatalf("n=%d: CountPlus = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestFlipBit verifies flips agree with the reference lattice.
+func TestFlipBit(t *testing.T) {
+	n := 67
+	lat := grid.Random(n, 0.5, rng.New(1))
+	p := FromLattice(lat)
+	src := rng.New(2)
+	for k := 0; k < 500; k++ {
+		i := src.Intn(n * n)
+		got := p.FlipBit(i)
+		want := lat.Flip(i) == grid.Plus
+		if got != want {
+			t.Fatalf("flip %d at site %d: packed %v, reference %v", k, i, got, want)
+		}
+	}
+	if err := p.EqualLattice(lat); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWindowCounts pins the popcount-based window counting to the
+// reference sliding-window implementation, including windows that span
+// word boundaries and wrap the torus (2w+1 == n).
+func TestWindowCounts(t *testing.T) {
+	cases := []struct{ n, w int }{
+		{5, 1}, {5, 2}, {9, 4}, {31, 15}, {64, 3}, {65, 32}, {100, 10}, {130, 64},
+	}
+	for _, tc := range cases {
+		lat := grid.Random(tc.n, 0.5, rng.New(uint64(tc.n*100+tc.w)))
+		p := FromLattice(lat)
+		got := p.WindowCounts(tc.w)
+		want := lat.WindowCounts(tc.w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d w=%d: WindowCounts[%d] = %d, want %d", tc.n, tc.w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestWindowCountsPanics verifies the self-wrapping window is rejected
+// like the reference implementation.
+func TestWindowCountsPanics(t *testing.T) {
+	p := FromLattice(grid.New(5, grid.Minus))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 2w+1 > n")
+		}
+	}()
+	p.WindowCounts(3)
+}
+
+// TestOnesInRowRange cross-checks masked popcounts against direct
+// enumeration at word boundaries.
+func TestOnesInRowRange(t *testing.T) {
+	n := 130
+	lat := grid.Random(n, 0.5, rng.New(9))
+	p := FromLattice(lat)
+	for _, r := range [][2]int{{0, 0}, {0, 63}, {0, 64}, {63, 64}, {64, 127}, {120, 129}, {0, 129}, {65, 65}} {
+		for y := 0; y < 3; y++ {
+			want := 0
+			for x := r[0]; x <= r[1]; x++ {
+				if lat.SpinAt(y*n+x) == grid.Plus {
+					want++
+				}
+			}
+			if got := p.OnesInRowRange(y, r[0], r[1]); got != want {
+				t.Fatalf("OnesInRowRange(%d, %d, %d) = %d, want %d", y, r[0], r[1], got, want)
+			}
+		}
+	}
+}

@@ -55,7 +55,7 @@ func runE1(ctx *Context) ([]*report.Table, error) {
 
 	// Pass 1: count total flips to fixation.
 	ctx.log("E1: sizing pass n=%d w=%d", n, w)
-	sized, err := glauberRun(n, w, tau, p, src)
+	sized, err := glauberRun(n, w, tau, p, src, ctx.Engine)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +128,7 @@ func runE7(ctx *Context) ([]*report.Table, error) {
 	res, err := ctx.run("E7", batch.Grid{
 		Ns: []int{n}, Ws: []int{w}, Taus: taus, Replicates: reps,
 	}, []string{"flipsPerSite", "happy0"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
-		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
+		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src, c.Engine)
 		if err != nil {
 			return []float64{math.NaN(), math.NaN()}, nil
 		}
@@ -167,7 +167,7 @@ func runE8(ctx *Context) ([]*report.Table, error) {
 	res, err := ctx.run("E8", batch.Grid{
 		Ns: []int{n}, Ws: []int{w}, Taus: taus, Replicates: reps,
 	}, []string{"meanM", "largestFrac", "effTau"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
-		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
+		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src, c.Engine)
 		if err != nil {
 			return []float64{math.NaN(), math.NaN(), math.NaN()}, nil
 		}
@@ -208,7 +208,7 @@ func runE9(ctx *Context) ([]*report.Table, error) {
 	res, err := ctx.run("E9", batch.Grid{
 		Ns: []int{n}, Ws: []int{w}, Taus: []float64{0.5}, Ps: ps, Replicates: reps,
 	}, []string{"complete", "absMag"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
-		run, err := glauberRun(c.N, c.W, c.Tau, c.P, src)
+		run, err := glauberRun(c.N, c.W, c.Tau, c.P, src, c.Engine)
 		if err != nil {
 			return []float64{math.NaN(), math.NaN()}, nil
 		}

@@ -305,7 +305,7 @@ func runE12(ctx *Context) ([]*report.Table, error) {
 	// dynamic extension): more initial pluses can only push both up.
 	dynTrials := pick(ctx, 300, 1500)
 	addEst("fixation events (dynamic)", percolation.EstimateFKG(dynTrials, func(src *rng.Source) (bool, bool) {
-		run, err := glauberRun(24, 1, 0.5, 0.5, src)
+		run, err := glauberRun(24, 1, 0.5, 0.5, src, ctx.Engine)
 		if err != nil {
 			return false, false
 		}

@@ -31,7 +31,7 @@ func init() {
 // meanMCell runs one replicate at the cell's parameters and returns
 // the mean monochromatic region size over the probe agents.
 func meanMCell(c batch.Cell, src *rng.Source) (float64, error) {
-	run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
+	run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src, c.Engine)
 	if err != nil {
 		return 0, err
 	}
@@ -116,7 +116,7 @@ func runE6(ctx *Context) ([]*report.Table, error) {
 	}, []string{"meanMPrime", "meanM"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
 		nbhd := (2*c.W + 1) * (2*c.W + 1)
 		beta := math.Exp(-eps * float64(nbhd))
-		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src)
+		run, err := glauberRun(c.N, c.W, c.Tau, 0.5, src, c.Engine)
 		if err != nil {
 			return []float64{math.NaN(), math.NaN()}, nil
 		}

@@ -111,7 +111,7 @@ func runE16(ctx *Context) ([]*report.Table, error) {
 	res, err := ctx.run("E16", batch.Grid{
 		Ns: []int{n}, Ws: []int{w}, Taus: []float64{tau}, Ps: ps, Replicates: reps,
 	}, []string{"absMag", "minorityFrac", "complete"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
-		run, err := glauberRun(c.N, c.W, c.Tau, c.P, src)
+		run, err := glauberRun(c.N, c.W, c.Tau, c.P, src, c.Engine)
 		if err != nil {
 			return []float64{math.NaN(), math.NaN(), math.NaN()}, nil
 		}

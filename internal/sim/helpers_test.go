@@ -52,7 +52,7 @@ func TestPick(t *testing.T) {
 
 func TestGlauberRunHelper(t *testing.T) {
 	src := rng.New(3)
-	res, err := glauberRun(24, 2, 0.45, 0.5, src)
+	res, err := glauberRun(24, 2, 0.45, 0.5, src, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func TestGlauberRunHelper(t *testing.T) {
 	if res.Lat != res.Proc.Lattice() {
 		t.Fatal("lattice identity mismatch")
 	}
-	if _, err := glauberRun(9, 20, 0.45, 0.5, src); err == nil {
+	if _, err := glauberRun(9, 20, 0.45, 0.5, src, ""); err == nil {
 		t.Fatal("want error for oversized horizon")
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"gridseg/internal/batch"
 	"gridseg/internal/dynamics"
+	"gridseg/internal/dynamics/fastglauber"
 	"gridseg/internal/grid"
 	"gridseg/internal/report"
 	"gridseg/internal/rng"
@@ -36,6 +37,10 @@ type Context struct {
 	// Workers bounds the batch engine's worker pool; 0 means
 	// GOMAXPROCS. Results never depend on the worker count.
 	Workers int
+	// Engine selects the Glauber engine implementation for replicated
+	// runs ("auto", "reference", or "fast"; empty means auto). Engines
+	// are bit-identical, so this never changes results, only speed.
+	Engine string
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -57,8 +62,13 @@ func (c *Context) src(id uint64) *rng.Source {
 // run executes a parameter grid on the batch sweep engine. The scope
 // (by convention the experiment ID plus an optional stage suffix)
 // namespaces the per-cell random streams, so distinct stages draw
-// independent randomness from the same context seed.
+// independent randomness from the same context seed. The context's
+// engine selection is injected into the grid, so every cell runner
+// sees it as c.Engine.
 func (c *Context) run(scope string, g batch.Grid, columns []string, fn batch.Runner) (*batch.ResultSet, error) {
+	if g.Engine == "" {
+		g.Engine = c.Engine
+	}
 	return batch.Run(g, columns, fn, batch.Options{
 		Seed:    c.Seed,
 		Scope:   scope,
@@ -114,14 +124,32 @@ func Find(id string) (Experiment, bool) {
 // glauberRun builds a Bernoulli(p) lattice, runs Glauber dynamics to
 // fixation (bounded by the Lyapunov limit), and returns the process.
 type glauberResult struct {
-	Proc  *dynamics.Process
+	Proc  dynamics.Engine
 	Lat   *grid.Lattice
 	Flips int64
 }
 
-func glauberRun(n, w int, tau, p float64, src *rng.Source) (glauberResult, error) {
+// newEngine builds the selected Glauber engine over the lattice. The
+// engines are bit-identical (internal/difftest), so the label only
+// selects an execution strategy.
+func newEngine(lat *grid.Lattice, w int, tau float64, src *rng.Source, engine string) (dynamics.Engine, error) {
+	switch engine {
+	case "", batch.EngineAuto:
+		if fastglauber.Fits(w) {
+			return fastglauber.New(lat, w, tau, src)
+		}
+		return dynamics.New(lat, w, tau, src)
+	case batch.EngineReference:
+		return dynamics.New(lat, w, tau, src)
+	case batch.EngineFast:
+		return fastglauber.New(lat, w, tau, src)
+	}
+	return nil, fmt.Errorf("sim: unknown engine %q", engine)
+}
+
+func glauberRun(n, w int, tau, p float64, src *rng.Source, engine string) (glauberResult, error) {
 	lat := grid.Random(n, p, src.Split(1))
-	proc, err := dynamics.New(lat, w, tau, src.Split(2))
+	proc, err := newEngine(lat, w, tau, src.Split(2), engine)
 	if err != nil {
 		return glauberResult{}, err
 	}

@@ -18,8 +18,13 @@ type GridOptions struct {
 	Workers int
 	// CheckpointPath, when non-empty, streams completed cells to a
 	// JSON checkpoint and resumes from it on restart, so long
-	// full-scale sweeps survive interruption.
+	// full-scale sweeps survive interruption. Checkpoints remain valid
+	// across engine selections: engines are bit-identical.
 	CheckpointPath string
+	// Engine selects the Glauber engine implementation when the grid
+	// spec has no engine= key (EngineAuto picks the fast bit-packed
+	// engine whenever it applies). Never changes results, only speed.
+	Engine Engine
 	// Progress, when non-nil, is invoked after each completed cell.
 	Progress func(done, total int)
 }
@@ -49,6 +54,9 @@ func RunGrid(spec string, opt GridOptions) (*GridResult, error) {
 	if len(g.Ns) == 0 || len(g.Ws) == 0 || len(g.Taus) == 0 {
 		return nil, fmt.Errorf("gridseg: grid spec %q must set n, w, and tau", spec)
 	}
+	if g.Engine == "" {
+		g.Engine = opt.Engine.String()
+	}
 	bopt := batch.Options{
 		Seed:           opt.Seed,
 		Scope:          "grid",
@@ -71,9 +79,19 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 	if c.Dynamic == batch.Kawasaki {
 		dyn = Kawasaki
 	}
+	engine, err := ParseEngine(c.Engine)
+	if err != nil {
+		return nil, err
+	}
+	if dyn == Kawasaki && engine == EngineFast {
+		// The fast engine is Glauber-only; for Kawasaki cells an
+		// explicit fast request degrades to auto (= reference) so
+		// mixed-dynamic grids can still pin the Glauber engine.
+		engine = EngineAuto
+	}
 	m, err := New(Config{
 		N: c.N, W: c.W, Tau: c.Tau, P: c.P,
-		Seed: src.Uint64(), Dynamic: dyn,
+		Seed: src.Uint64(), Dynamic: dyn, Engine: engine,
 	})
 	if err != nil {
 		return nil, err
