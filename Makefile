@@ -1,6 +1,6 @@
-# Developer entry points. CI runs verify and bench-check.
+# Developer entry points. CI runs verify, docs, and bench-check.
 
-.PHONY: all build test race fuzz bench bench-check diff verify
+.PHONY: all build test race fuzz bench bench-check diff docs verify
 
 all: verify
 
@@ -38,6 +38,14 @@ bench-check-ci:
 # Run the engine differential harness only (reference vs fast).
 diff:
 	go test -run TestEnginesBitIdentical -v ./internal/difftest/
+
+# Docs checks: markdown links, experiment index vs registry, CLI flag
+# documentation coverage, and store key-schema stability (the CI docs
+# job runs the same set).
+docs:
+	go test -run 'TestDocs' .
+	go test -run TestUsageCoverage ./cmd/...
+	go test -run 'TestKey' ./internal/store/
 
 verify: build
 	gofmt -l . | (! grep .) || (echo "gofmt needed" >&2; exit 1)

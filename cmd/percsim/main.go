@@ -14,36 +14,54 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 
 	"gridseg/internal/percolation"
 	"gridseg/internal/rng"
 	"gridseg/internal/stats"
 )
 
+// config holds the parsed command-line options.
+type config struct {
+	what   string
+	p      float64
+	k      int
+	dist   int
+	trials int
+	seed   uint64
+}
+
+// newFlagSet declares the command's flags; main parses it, and the
+// usage test pins it against the README documentation.
+func newFlagSet() (*flag.FlagSet, *config) {
+	c := &config{}
+	fs := flag.NewFlagSet("percsim", flag.ExitOnError)
+	fs.StringVar(&c.what, "what", "fpp", "fpp | chem | radius")
+	fs.Float64Var(&c.p, "p", 0.9, "site-open probability")
+	fs.IntVar(&c.k, "k", 40, "FPP distance")
+	fs.IntVar(&c.dist, "dist", 60, "chemical-distance span")
+	fs.IntVar(&c.trials, "trials", 50, "Monte Carlo trials")
+	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
+	return fs, c
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("percsim: ")
 
-	var (
-		what   = flag.String("what", "fpp", "fpp | chem | radius")
-		p      = flag.Float64("p", 0.9, "site-open probability")
-		k      = flag.Int("k", 40, "FPP distance")
-		dist   = flag.Int("dist", 60, "chemical-distance span")
-		trials = flag.Int("trials", 50, "Monte Carlo trials")
-		seed   = flag.Uint64("seed", 1, "random seed")
-	)
-	flag.Parse()
-	src := rng.New(*seed)
+	fs, cfg := newFlagSet()
+	_ = fs.Parse(os.Args[1:])
+	src := rng.New(cfg.seed)
 
-	switch *what {
+	switch cfg.what {
 	case "fpp":
 		var ts []float64
-		for i := 0; i < *trials; i++ {
-			f, err := percolation.NewFPP(*k+11, 21, 1, src.Split(uint64(i)))
+		for i := 0; i < cfg.trials; i++ {
+			f, err := percolation.NewFPP(cfg.k+11, 21, 1, src.Split(uint64(i)))
 			if err != nil {
 				log.Fatal(err)
 			}
-			v, err := f.PassageTime(percolation.Point{X: 5, Y: 10}, percolation.Point{X: 5 + *k, Y: 10})
+			v, err := f.PassageTime(percolation.Point{X: 5, Y: 10}, percolation.Point{X: 5 + cfg.k, Y: 10})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -53,37 +71,37 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("FPP Exp(1) site weights, k=%d, %d trials\n", *k, *trials)
+		fmt.Printf("FPP Exp(1) site weights, k=%d, %d trials\n", cfg.k, cfg.trials)
 		fmt.Printf("E[T_k] = %.3f   E[T_k]/k = %.4f   std = %.3f   std/sqrt(k) = %.4f\n",
-			s.Mean, s.Mean/float64(*k), s.Std, s.Std/math.Sqrt(float64(*k)))
+			s.Mean, s.Mean/float64(cfg.k), s.Std, s.Std/math.Sqrt(float64(cfg.k)))
 	case "chem":
 		var ratios []float64
 		connected := 0
-		for i := 0; i < *trials; i++ {
-			f := percolation.NewField(*dist+11, *dist/2*2+11, *p, src.Split(uint64(i)))
+		for i := 0; i < cfg.trials; i++ {
+			f := percolation.NewField(cfg.dist+11, cfg.dist/2*2+11, cfg.p, src.Split(uint64(i)))
 			a := percolation.Point{X: 5, Y: f.H() / 2}
-			b := percolation.Point{X: 5 + *dist, Y: f.H() / 2}
+			b := percolation.Point{X: 5 + cfg.dist, Y: f.H() / 2}
 			if d, ok := f.ChemicalDistance(a, b); ok {
 				connected++
-				ratios = append(ratios, float64(d)/float64(*dist))
+				ratios = append(ratios, float64(d)/float64(cfg.dist))
 			}
 		}
-		fmt.Printf("chemical distance, p=%g, span=%d, %d trials\n", *p, *dist, *trials)
+		fmt.Printf("chemical distance, p=%g, span=%d, %d trials\n", cfg.p, cfg.dist, cfg.trials)
 		if len(ratios) == 0 {
 			fmt.Println("no connected pairs (subcritical?)")
 			return
 		}
 		fmt.Printf("connected = %d/%d   mean D/l1 = %.4f   p90 = %.4f\n",
-			connected, *trials, stats.Mean(ratios), stats.Quantile(ratios, 0.9))
+			connected, cfg.trials, stats.Mean(ratios), stats.Quantile(ratios, 0.9))
 	case "radius":
 		var radii []float64
-		for i := 0; i < *trials; i++ {
-			f := percolation.NewField(61, 61, *p, src.Split(uint64(i)))
+		for i := 0; i < cfg.trials; i++ {
+			f := percolation.NewField(61, 61, cfg.p, src.Split(uint64(i)))
 			if _, r := f.ClusterOf(f.Center()); r >= 0 {
 				radii = append(radii, float64(r))
 			}
 		}
-		fmt.Printf("origin cluster radius, p=%g, %d trials (%d open origins)\n", *p, *trials, len(radii))
+		fmt.Printf("origin cluster radius, p=%g, %d trials (%d open origins)\n", cfg.p, cfg.trials, len(radii))
 		if rate, fit, err := stats.ExpDecayRate(radii); err == nil {
 			fmt.Printf("mean radius = %.3f   fitted tail decay rate = %.4f (R2 = %.3f)\n",
 				stats.Mean(radii), rate, fit.R2)
@@ -91,6 +109,6 @@ func main() {
 			fmt.Printf("mean radius = %.3f   (tail fit unavailable: %v)\n", stats.Mean(radii), err)
 		}
 	default:
-		log.Fatalf("unknown -what %q", *what)
+		log.Fatalf("unknown -what %q", cfg.what)
 	}
 }

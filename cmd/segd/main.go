@@ -1,0 +1,102 @@
+// Command segd serves parameter-grid sweeps over HTTP, backed by the
+// shared content-addressed result store: submitted grids are scheduled
+// through the batch engine, per-cell progress streams over SSE, and
+// finished CSV/JSON artifacts are served straight from cached results.
+// Resubmitting an identical or overlapping grid recomputes nothing.
+//
+//	segd -addr :8080 -store segstore/
+//	curl -X POST localhost:8080/grids -d '{"spec": "n=96 w=2 tau=0.40:0.48:0.02 reps=4", "seed": 1}'
+//	curl localhost:8080/grids/<id>/events        # SSE progress
+//	curl localhost:8080/grids/<id>/artifact.csv  # final artifact
+//
+// The store directory is shared with cmd/sweep -cache: cells computed
+// by either are served by both. See README.md for the API reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gridseg"
+	"gridseg/internal/server"
+)
+
+// config holds the parsed command-line options.
+type config struct {
+	addr    string
+	store   string
+	workers int
+	queue   int
+	verbose bool
+}
+
+// newFlagSet declares the command's flags; main parses it, and the
+// usage test pins it against the README documentation.
+func newFlagSet() (*flag.FlagSet, *config) {
+	c := &config{}
+	fs := flag.NewFlagSet("segd", flag.ExitOnError)
+	fs.StringVar(&c.addr, "addr", ":8080", "HTTP listen address")
+	fs.StringVar(&c.store, "store", "segstore", "content-addressed result store directory (created if missing; shared with cmd/sweep -cache)")
+	fs.IntVar(&c.workers, "workers", 0, "cell worker pool size per grid run (0 = GOMAXPROCS); never affects results")
+	fs.IntVar(&c.queue, "queue", 64, "maximum queued grid runs before submissions get 503")
+	fs.BoolVar(&c.verbose, "v", false, "per-run lifecycle logging")
+	return fs, c
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("segd: ")
+	fs, cfg := newFlagSet()
+	_ = fs.Parse(os.Args[1:])
+
+	st, err := gridseg.OpenStore(cfg.store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := server.Options{Store: st, Workers: cfg.workers, QueueDepth: cfg.queue}
+	if cfg.verbose {
+		opt.Logf = log.Printf
+	}
+	srv, err := server.New(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{
+		Addr:    cfg.addr,
+		Handler: srv.Handler(),
+		// SSE streams are long-lived, so only the header read is
+		// bounded; no write timeout.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting connections,
+	// then drain the dispatcher (the executing grid run finishes; its
+	// completed cells are in the store either way).
+	idle := make(chan struct{})
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		srv.Close()
+		close(idle)
+	}()
+
+	log.Printf("serving on %s (store %s)", cfg.addr, cfg.store)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-idle
+}

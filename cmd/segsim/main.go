@@ -18,37 +18,56 @@ import (
 	"gridseg"
 )
 
+// config holds the parsed command-line options.
+type config struct {
+	n, w      int
+	tau, p    float64
+	seed      uint64
+	mode      string
+	snapshots int
+	pngDir    string
+	ascii     bool
+	maxEvents int64
+}
+
+// newFlagSet declares the command's flags; main parses it, and the
+// usage test pins it against the README documentation.
+func newFlagSet() (*flag.FlagSet, *config) {
+	c := &config{}
+	fs := flag.NewFlagSet("segsim", flag.ExitOnError)
+	fs.IntVar(&c.n, "n", 200, "torus side length")
+	fs.IntVar(&c.w, "w", 4, "horizon (neighborhood radius)")
+	fs.Float64Var(&c.tau, "tau", 0.42, "intolerance in [0,1]")
+	fs.Float64Var(&c.p, "p", 0.5, "initial Bernoulli parameter")
+	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
+	fs.StringVar(&c.mode, "mode", "glauber", "dynamic: glauber or kawasaki")
+	fs.IntVar(&c.snapshots, "snapshots", 4, "number of reporting stages (>= 2)")
+	fs.StringVar(&c.pngDir, "png", "", "directory for snapshot PNGs (optional)")
+	fs.BoolVar(&c.ascii, "ascii", false, "print an ASCII snapshot at each stage (small grids)")
+	fs.Int64Var(&c.maxEvents, "max-events", 0, "event budget (0 = run to fixation)")
+	return fs, c
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("segsim: ")
 
-	var (
-		n         = flag.Int("n", 200, "torus side length")
-		w         = flag.Int("w", 4, "horizon (neighborhood radius)")
-		tau       = flag.Float64("tau", 0.42, "intolerance in [0,1]")
-		p         = flag.Float64("p", 0.5, "initial Bernoulli parameter")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		mode      = flag.String("mode", "glauber", "dynamic: glauber or kawasaki")
-		snapshots = flag.Int("snapshots", 4, "number of reporting stages (>= 2)")
-		pngDir    = flag.String("png", "", "directory for snapshot PNGs (optional)")
-		ascii     = flag.Bool("ascii", false, "print an ASCII snapshot at each stage (small grids)")
-		maxEvents = flag.Int64("max-events", 0, "event budget (0 = run to fixation)")
-	)
-	flag.Parse()
+	fs, opts := newFlagSet()
+	_ = fs.Parse(os.Args[1:])
 
 	dyn := gridseg.Glauber
-	switch *mode {
+	switch opts.mode {
 	case "glauber":
 	case "kawasaki":
 		dyn = gridseg.Kawasaki
 	default:
-		log.Fatalf("unknown -mode %q (want glauber or kawasaki)", *mode)
+		log.Fatalf("unknown -mode %q (want glauber or kawasaki)", opts.mode)
 	}
-	if *snapshots < 2 {
-		*snapshots = 2
+	if opts.snapshots < 2 {
+		opts.snapshots = 2
 	}
 
-	cfg := gridseg.Config{N: *n, W: *w, Tau: *tau, P: *p, Seed: *seed, Dynamic: dyn}
+	cfg := gridseg.Config{N: opts.n, W: opts.w, Tau: opts.tau, P: opts.p, Seed: opts.seed, Dynamic: dyn}
 
 	// Sizing pass: learn the total number of events to fixation so the
 	// reporting stages are evenly spaced.
@@ -56,18 +75,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	total, _ := sizing.Run(*maxEvents)
+	total, _ := sizing.Run(opts.maxEvents)
 
 	m, err := gridseg.New(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("segsim: n=%d w=%d N=%d tau=%g (threshold %d/%d) p=%g seed=%d mode=%s total-events=%d\n",
-		*n, *w, m.NeighborhoodSize(), m.EffectiveTau(), m.Threshold(), m.NeighborhoodSize(), *p, *seed, *mode, total)
+		opts.n, opts.w, m.NeighborhoodSize(), m.EffectiveTau(), m.Threshold(), m.NeighborhoodSize(), opts.p, opts.seed, opts.mode, total)
 
 	var done int64
-	for stage := 0; stage < *snapshots; stage++ {
-		target := total * int64(stage) / int64(*snapshots-1)
+	for stage := 0; stage < opts.snapshots; stage++ {
+		target := total * int64(stage) / int64(opts.snapshots-1)
 		for done < target {
 			if !m.Step() {
 				break
@@ -75,15 +94,15 @@ func main() {
 			done++
 		}
 		st := m.SegregationStats()
-		fmt.Printf("stage %d/%d  events=%-10d %s\n", stage, *snapshots-1, done, st)
-		if *ascii {
+		fmt.Printf("stage %d/%d  events=%-10d %s\n", stage, opts.snapshots-1, done, st)
+		if opts.ascii {
 			fmt.Println(m.ASCII())
 		}
-		if *pngDir != "" {
-			if err := os.MkdirAll(*pngDir, 0o755); err != nil {
+		if opts.pngDir != "" {
+			if err := os.MkdirAll(opts.pngDir, 0o755); err != nil {
 				log.Fatal(err)
 			}
-			path := filepath.Join(*pngDir, fmt.Sprintf("stage%02d.png", stage))
+			path := filepath.Join(opts.pngDir, fmt.Sprintf("stage%02d.png", stage))
 			f, err := os.Create(path)
 			if err != nil {
 				log.Fatal(err)

@@ -29,63 +29,96 @@ import (
 	"gridseg"
 )
 
+// config holds the parsed command-line options.
+type config struct {
+	exp        string
+	grid       string
+	list       bool
+	full       bool
+	seed       uint64
+	out        string
+	workers    int
+	engine     string
+	checkpoint string
+	cache      string
+	verbose    bool
+}
+
+// newFlagSet declares the command's flags; main parses it, and the
+// usage test pins it against the README documentation.
+func newFlagSet() (*flag.FlagSet, *config) {
+	c := &config{}
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	fs.StringVar(&c.exp, "exp", "", "comma-separated experiment IDs, or 'all'")
+	fs.StringVar(&c.grid, "grid", "", `parameter grid spec, e.g. "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8"`)
+	fs.BoolVar(&c.list, "list", false, "list registered experiments")
+	fs.BoolVar(&c.full, "full", false, "paper-scale parameters (slower)")
+	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
+	fs.StringVar(&c.out, "out", "", "artifact directory (PNG, CSV, JSON); created if missing")
+	fs.IntVar(&c.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
+	fs.StringVar(&c.engine, "engine", "auto", "Glauber engine: auto, reference, or fast; never affects results, only speed")
+	fs.StringVar(&c.checkpoint, "checkpoint", "", "grid mode: JSON checkpoint file to stream/resume cell results")
+	fs.StringVar(&c.cache, "cache", "", "content-addressed result store directory; cached cells are served without recomputation (shared with cmd/segd)")
+	fs.BoolVar(&c.verbose, "v", false, "progress logging")
+	return fs, c
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
 
-	var (
-		exp        = flag.String("exp", "", "comma-separated experiment IDs, or 'all'")
-		grid       = flag.String("grid", "", `parameter grid spec, e.g. "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8"`)
-		list       = flag.Bool("list", false, "list registered experiments")
-		full       = flag.Bool("full", false, "paper-scale parameters (slower)")
-		seed       = flag.Uint64("seed", 1, "random seed")
-		out        = flag.String("out", "", "artifact directory (PNG, CSV, JSON)")
-		workers    = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); never affects results")
-		engineFlag = flag.String("engine", "auto", "Glauber engine: auto, reference, or fast; never affects results, only speed")
-		checkpoint = flag.String("checkpoint", "", "grid mode: JSON checkpoint file to stream/resume cell results")
-		verbose    = flag.Bool("v", false, "progress logging")
-	)
-	flag.Parse()
+	fs, cfg := newFlagSet()
+	_ = fs.Parse(os.Args[1:])
 
-	engine, err := gridseg.ParseEngine(*engineFlag)
+	engine, err := gridseg.ParseEngine(cfg.engine)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *out != "" {
-		if err := os.MkdirAll(*out, 0o755); err != nil {
+	// Create the artifact directory up front (including parents), so a
+	// long scan never fails at write time over a missing directory.
+	if cfg.out != "" {
+		if err := os.MkdirAll(cfg.out, 0o755); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	if *grid != "" {
-		runGrid(*grid, *seed, *workers, engine, *out, *checkpoint, *verbose)
+	var cacheStore gridseg.CellStore
+	if cfg.cache != "" {
+		cacheStore, err = gridseg.OpenStore(cfg.cache)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if cfg.grid != "" {
+		runGrid(cfg.grid, cfg.seed, cfg.workers, engine, cfg.out, cfg.checkpoint, cacheStore, cfg.verbose)
 		return
 	}
 
 	infos := gridseg.Experiments()
-	if *list || *exp == "" {
+	if cfg.list || cfg.exp == "" {
 		fmt.Println("registered experiments:")
 		for _, e := range infos {
 			fmt.Printf("  %-4s %-45s %s\n", e.ID, e.Figure, e.Title)
 		}
-		if *exp == "" {
+		if cfg.exp == "" {
 			fmt.Println("\nrun with -exp <ID>[,<ID>...], -exp all, or -grid \"<spec>\"")
 		}
 		return
 	}
 
 	var ids []string
-	if *exp == "all" {
+	if cfg.exp == "all" {
 		for _, e := range infos {
 			ids = append(ids, e.ID)
 		}
 	} else {
-		ids = strings.Split(*exp, ",")
+		ids = strings.Split(cfg.exp, ",")
 	}
 
-	opt := gridseg.ExperimentOptions{Full: *full, Seed: *seed, OutDir: *out, Workers: *workers, Engine: engine}
-	if *verbose {
+	opt := gridseg.ExperimentOptions{Full: cfg.full, Seed: cfg.seed, OutDir: cfg.out, Workers: cfg.workers, Engine: engine, Store: cacheStore}
+	if cfg.verbose {
 		opt.Logf = func(format string, args ...interface{}) {
 			log.Printf(format, args...)
 		}
@@ -100,8 +133,8 @@ func main() {
 }
 
 // runGrid executes a parameter-grid scan and writes its artifacts.
-func runGrid(spec string, seed uint64, workers int, engine gridseg.Engine, out, checkpoint string, verbose bool) {
-	opt := gridseg.GridOptions{Seed: seed, Workers: workers, CheckpointPath: checkpoint, Engine: engine}
+func runGrid(spec string, seed uint64, workers int, engine gridseg.Engine, out, checkpoint string, cache gridseg.CellStore, verbose bool) {
+	opt := gridseg.GridOptions{Seed: seed, Workers: workers, CheckpointPath: checkpoint, Engine: engine, Store: cache}
 	if verbose {
 		opt.Progress = func(done, total int) {
 			log.Printf("grid: %d/%d cells", done, total)
@@ -112,6 +145,11 @@ func runGrid(spec string, seed uint64, workers int, engine gridseg.Engine, out, 
 		log.Fatal(err)
 	}
 	fmt.Println(res.Text())
+	cs := res.Cache()
+	log.Printf("grid: %d cells (%d cached, %d computed)", res.Len(), cs.Hits, cs.Misses)
+	if cs.Err != "" {
+		log.Printf("warning: result store disabled mid-run: %s (results are complete; affected cells were not cached)", cs.Err)
+	}
 	if out == "" {
 		return
 	}

@@ -12,22 +12,37 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"gridseg"
 )
+
+// config holds the parsed command-line options.
+type config struct {
+	what    string
+	samples int
+	tau     float64
+}
+
+// newFlagSet declares the command's flags; main parses it, and the
+// usage test pins it against the README documentation.
+func newFlagSet() (*flag.FlagSet, *config) {
+	c := &config{}
+	fs := flag.NewFlagSet("theory", flag.ExitOnError)
+	fs.StringVar(&c.what, "what", "constants", "constants | intervals | curves | regime")
+	fs.IntVar(&c.samples, "samples", 24, "curve sample count")
+	fs.Float64Var(&c.tau, "tau", 0.42, "intolerance for -what regime")
+	return fs, c
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("theory: ")
 
-	var (
-		what    = flag.String("what", "constants", "constants | intervals | curves | regime")
-		samples = flag.Int("samples", 24, "curve sample count")
-		tau     = flag.Float64("tau", 0.42, "intolerance for -what regime")
-	)
-	flag.Parse()
+	fs, cfg := newFlagSet()
+	_ = fs.Parse(os.Args[1:])
 
-	switch *what {
+	switch cfg.what {
 	case "constants":
 		fmt.Printf("tau1 (Eq. 1)                  = %.6f   (paper: ~0.433)\n", gridseg.Tau1())
 		fmt.Printf("tau2 (Eq. 3)                  = %.6f   (paper: ~0.344)\n", gridseg.Tau2())
@@ -38,22 +53,22 @@ func main() {
 			fmt.Printf("(%.6f, %.6f)  %s\n", iv.Lo, iv.Hi, iv.Label)
 		}
 	case "curves":
-		if *samples < 2 {
-			*samples = 2
+		if cfg.samples < 2 {
+			cfg.samples = 2
 		}
 		fmt.Println("tau       f(tau)    a(tau)      b(tau)")
 		lo, hi := gridseg.Tau2(), 0.5
-		for i := 0; i < *samples; i++ {
-			t := lo + (float64(i)+0.5)/float64(*samples)*(hi-lo)
+		for i := 0; i < cfg.samples; i++ {
+			t := lo + (float64(i)+0.5)/float64(cfg.samples)*(hi-lo)
 			f := gridseg.TriggerEpsilon(t)
 			a, b := gridseg.Exponents(t)
 			fmt.Printf("%.6f  %.6f  %.3e  %.3e\n", t, f, a, b)
 		}
 	case "regime":
-		fmt.Printf("tau = %g: %s\n", *tau, gridseg.ClassifyTau(*tau))
-		a, b := gridseg.Exponents(*tau)
+		fmt.Printf("tau = %g: %s\n", cfg.tau, gridseg.ClassifyTau(cfg.tau))
+		a, b := gridseg.Exponents(cfg.tau)
 		fmt.Printf("exponents: a = %g, b = %g (NaN outside the theorem intervals)\n", a, b)
 	default:
-		log.Fatalf("unknown -what %q", *what)
+		log.Fatalf("unknown -what %q", cfg.what)
 	}
 }

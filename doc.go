@@ -20,6 +20,12 @@
 // fast engine whenever it applies — see README.md's Performance
 // section and internal/difftest for the equivalence contract).
 //
+// Grid sweeps (RunGrid) are deterministic and cacheable: every cell's
+// seed derives from the cell's identity, so an optional
+// content-addressed result store (GridOptions.Store, OpenStore) serves
+// previously computed cells — from any overlapping sweep — without
+// recomputation. cmd/segd exposes the same cached sweeps over HTTP.
+//
 // # Quick start
 //
 //	m, err := gridseg.New(gridseg.Config{N: 200, W: 4, Tau: 0.42, P: 0.5, Seed: 1})
@@ -27,7 +33,9 @@
 //	m.Run(0) // to fixation
 //	fmt.Println(m.SegregationStats())
 //
-// See the examples directory for runnable programs, and README.md for
-// the quick start, the experiment-to-figure index, and the grid sweep
-// syntax.
+// See the Example functions and the examples directory for runnable
+// programs; README.md for the quick start, the experiment-to-figure
+// index, the grid sweep syntax, and the HTTP API; and DESIGN.md for
+// the architecture overview, the determinism/caching contract, and
+// the paper-to-code map.
 package gridseg

@@ -42,6 +42,11 @@ type ExperimentOptions struct {
 	// picks the fast bit-packed engine whenever it applies). Engines
 	// are bit-identical, so this never changes results, only speed.
 	Engine Engine
+	// Store, when non-nil, is the shared content-addressed result
+	// cache: replicated measurement stages serve already-computed
+	// cells from it instead of recomputing them. Never changes
+	// results.
+	Store CellStore
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -63,6 +68,7 @@ func RunExperiment(id string, opt ExperimentOptions) (string, error) {
 		OutDir:  opt.OutDir,
 		Workers: opt.Workers,
 		Engine:  opt.Engine.String(),
+		Store:   opt.Store,
 		Logf:    opt.Logf,
 	}
 	tables, err := e.Run(ctx)

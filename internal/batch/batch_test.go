@@ -6,10 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync/atomic"
 	"testing"
 
 	"gridseg/internal/rng"
+	"gridseg/internal/store"
 )
 
 func TestGridCellsEnumeration(t *testing.T) {
@@ -41,17 +43,30 @@ func TestGridCellsEnumeration(t *testing.T) {
 	}
 }
 
-func TestCellSourceDeterministic(t *testing.T) {
-	a := cellSource(7, "E5", 3).Uint64()
-	b := cellSource(7, "E5", 3).Uint64()
-	if a != b {
-		t.Fatal("cell source must be deterministic")
+func TestCellSeedDeterministic(t *testing.T) {
+	c := Cell{N: 10, W: 1, Tau: 0.4, P: 0.5, Dynamic: Glauber}
+	if CellSeed(7, "E5", c) != CellSeed(7, "E5", c) {
+		t.Fatal("cell seed must be deterministic")
 	}
-	if cellSource(7, "E5", 3).Uint64() == cellSource(7, "E6", 3).Uint64() {
+	if CellSeed(7, "E5", c) == CellSeed(7, "E6", c) {
 		t.Fatal("scopes must decorrelate streams")
 	}
-	if cellSource(7, "E5", 3).Uint64() == cellSource(7, "E5", 4).Uint64() {
-		t.Fatal("cells must decorrelate streams")
+	if CellSeed(7, "E5", c) == CellSeed(8, "E5", c) {
+		t.Fatal("root seeds must decorrelate streams")
+	}
+	rep1 := c
+	rep1.Rep = 1
+	if CellSeed(7, "E5", c) == CellSeed(7, "E5", rep1) {
+		t.Fatal("replicates must decorrelate streams")
+	}
+	// The seed depends on the cell's identity, never its position in a
+	// grid or its engine: that is what lets overlapping grids share
+	// cached results.
+	moved := c
+	moved.Index = 99
+	moved.Engine = EngineFast
+	if CellSeed(7, "E5", c) != CellSeed(7, "E5", moved) {
+		t.Fatal("cell seed must ignore Index and Engine")
 	}
 }
 
@@ -306,9 +321,12 @@ func TestProgressAndTotals(t *testing.T) {
 	var last int32
 	rs, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
 		return []float64{1}, nil
-	}, Options{Workers: 3, Progress: func(done, total int, c Cell) {
+	}, Options{Workers: 3, Progress: func(done, total int, c Cell, cached bool) {
 		if total != 6 {
 			t.Errorf("total = %d", total)
+		}
+		if cached {
+			t.Error("no cache attached, nothing can be cached")
 		}
 		atomic.StoreInt32(&last, int32(done))
 	}})
@@ -320,5 +338,185 @@ func TestProgressAndTotals(t *testing.T) {
 	}
 	if rs.Len() != 6 {
 		t.Fatalf("len = %d", rs.Len())
+	}
+}
+
+// TestStoreZeroRecompute is the caching contract: a second run of the
+// same grid against the same store computes zero cells and produces
+// byte-identical artifacts.
+func TestStoreZeroRecompute(t *testing.T) {
+	g := Grid{Ns: []int{8}, Ws: []int{1}, Taus: []float64{0.4, 0.45}, Replicates: 3}
+	st := store.NewMemory()
+	var computed int32
+	run := func() *ResultSet {
+		rs, err := Run(g, []string{"a", "b"}, func(c Cell, src *rng.Source) ([]float64, error) {
+			atomic.AddInt32(&computed, 1)
+			return []float64{float64(c.N) * c.Tau, src.Float64()}, nil
+		}, Options{Seed: 11, Scope: "cache", Workers: 4, Store: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	first := run()
+	if first.Cache.Hits != 0 || first.Cache.Misses != 6 {
+		t.Fatalf("first run cache = %+v", first.Cache)
+	}
+	atomic.StoreInt32(&computed, 0)
+	second := run()
+	if n := atomic.LoadInt32(&computed); n != 0 {
+		t.Fatalf("second run recomputed %d cells", n)
+	}
+	if second.Cache.Hits != 6 || second.Cache.Misses != 0 {
+		t.Fatalf("second run cache = %+v", second.Cache)
+	}
+	var a, b bytes.Buffer
+	if err := first.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("cached run is not byte-identical")
+	}
+}
+
+// TestStoreOverlappingGrids asserts that a grid overlapping a
+// previously computed one only computes its new cells, and that the
+// shared cells carry identical values — the content-addressed seeds
+// make a cell's result independent of which grid computed it.
+func TestStoreOverlappingGrids(t *testing.T) {
+	st := store.NewMemory()
+	cols := []string{"v"}
+	var computed []string
+	runner := func(c Cell, src *rng.Source) ([]float64, error) {
+		computed = append(computed, c.GroupKey())
+		return []float64{src.Float64()}, nil
+	}
+	opts := Options{Seed: 3, Scope: "overlap", Workers: 1, Store: st}
+
+	a := Grid{Ns: []int{8}, Ws: []int{1}, Taus: []float64{0.40, 0.42}, Replicates: 2}
+	ra, err := Run(a, cols, runner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(computed) != 4 {
+		t.Fatalf("first grid computed %d cells", len(computed))
+	}
+
+	computed = nil
+	b := Grid{Ns: []int{8}, Ws: []int{1}, Taus: []float64{0.42, 0.44}, Replicates: 2}
+	rb, err := Run(b, cols, runner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range computed {
+		if strings.Contains(k, "0.42") {
+			t.Fatalf("overlapping cell recomputed: %s", k)
+		}
+	}
+	if rb.Cache.Hits != 2 || rb.Cache.Misses != 2 {
+		t.Fatalf("overlap cache = %+v", rb.Cache)
+	}
+	// The tau=0.42 cells must agree across the two grids, even though
+	// their grid indices differ.
+	val := func(rs *ResultSet, tau float64, rep int) float64 {
+		for i, c := range rs.Cells {
+			if c.Tau == tau && c.Rep == rep {
+				return rs.Values[i][0]
+			}
+		}
+		t.Fatalf("cell tau=%v rep=%d not found", tau, rep)
+		return 0
+	}
+	for rep := 0; rep < 2; rep++ {
+		if val(ra, 0.42, rep) != val(rb, 0.42, rep) {
+			t.Fatalf("shared cell (rep %d) differs across grids", rep)
+		}
+	}
+}
+
+// TestCheckpointFillsStore asserts cells restored from a checkpoint
+// are propagated into the shared store: the checkpoint is a view over
+// the store, not a separate persistence silo.
+func TestCheckpointFillsStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	g := Grid{Replicates: 4}
+	cols := []string{"v"}
+	runner := func(c Cell, src *rng.Source) ([]float64, error) {
+		return []float64{float64(c.Rep)}, nil
+	}
+	// First run: checkpoint only.
+	if _, err := Run(g, cols, runner, Options{Seed: 9, Scope: "fill", CheckpointPath: path}); err != nil {
+		t.Fatal(err)
+	}
+	// Second run: checkpoint + store; everything restores from the
+	// checkpoint and lands in the store.
+	st := store.NewMemory()
+	rs, err := Run(g, cols, runner, Options{Seed: 9, Scope: "fill", CheckpointPath: path, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Cache.Hits != 4 || rs.Cache.Misses != 0 {
+		t.Fatalf("cache = %+v", rs.Cache)
+	}
+	if st.Len() != 4 {
+		t.Fatalf("store holds %d cells, want 4", st.Len())
+	}
+	// Third run: store only (no checkpoint) — full hit.
+	rs3, err := Run(g, cols, runner, Options{Seed: 9, Scope: "fill", Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs3.Cache.Hits != 4 || rs3.Cache.Misses != 0 {
+		t.Fatalf("store-only cache = %+v", rs3.Cache)
+	}
+}
+
+// failingStore errors on every operation after a threshold, standing
+// in for a full disk mid-run.
+type failingStore struct {
+	inner *store.Memory
+	puts  int32
+	after int32
+}
+
+func (s *failingStore) Get(key string) ([]float64, bool, error) { return s.inner.Get(key) }
+
+func (s *failingStore) Put(key string, values []float64) error {
+	if atomic.AddInt32(&s.puts, 1) > s.after {
+		return os.ErrClosed
+	}
+	return s.inner.Put(key, values)
+}
+
+// TestStoreFailureDegrades asserts a result-store failure never aborts
+// a sweep: the store is a cache, so the run finishes by computing and
+// reports the failure through Cache.Err.
+func TestStoreFailureDegrades(t *testing.T) {
+	g := Grid{Replicates: 6}
+	st := &failingStore{inner: store.NewMemory(), after: 2}
+	rs, err := Run(g, []string{"v"}, func(c Cell, src *rng.Source) ([]float64, error) {
+		return []float64{float64(c.Rep)}, nil
+	}, Options{Seed: 4, Scope: "degrade", Workers: 1, Store: st})
+	if err != nil {
+		t.Fatalf("store failure must not abort the run: %v", err)
+	}
+	if rs.Cache.Err == "" {
+		t.Fatal("store failure must be reported via Cache.Err")
+	}
+	if rs.Cache.Misses != 6 {
+		t.Fatalf("cache = %+v, want all 6 computed", rs.Cache)
+	}
+	for i := 0; i < rs.Len(); i++ {
+		c, vals := rs.At(i)
+		if vals[0] != float64(c.Rep) {
+			t.Fatalf("cell %d has value %v", i, vals)
+		}
+	}
+	// After the first failure the store is disabled: no further Puts.
+	if n := atomic.LoadInt32(&st.puts); n != 3 {
+		t.Fatalf("store saw %d puts, want 3 (2 ok + 1 failing)", n)
 	}
 }

@@ -5,13 +5,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
 )
 
 // checkpointFile is the on-disk JSON shape of a streaming checkpoint.
-// Done maps the cell index (as a decimal string, per JSON object key
-// rules) to the cell's metric vector. Values are nanFloats so the
-// engine's NaN missing-sample convention survives the JSON round trip.
+// Done maps the content-addressed cell key (store.CellSpec.Key) to the
+// cell's metric vector — the same keys the shared result store uses,
+// which is what makes the checkpoint a single-file view over the store
+// rather than a parallel persistence scheme with its own addressing.
+// Values are nanFloats so the engine's NaN missing-sample convention
+// survives the JSON round trip.
 type checkpointFile struct {
 	Fingerprint string                `json:"fingerprint"`
 	Columns     []string              `json:"columns"`
@@ -19,8 +21,11 @@ type checkpointFile struct {
 }
 
 // checkpoint streams completed cells to disk so an interrupted run can
-// resume without recomputing them. record is called under the engine's
-// result mutex, so no additional locking is needed.
+// resume without recomputing them. It is the run-scoped counterpart of
+// store.Store: same content-addressed keys, but bundled in one file
+// whose fingerprint pins the exact (grid, seed, scope, columns)
+// combination, and flushed in batches. put is called under the
+// engine's result mutex, so no additional locking is needed.
 type checkpoint struct {
 	path    string
 	file    checkpointFile
@@ -60,30 +65,28 @@ func loadOrCreateCheckpoint(path, fingerprint string, columns []string) (*checkp
 	return c, nil
 }
 
-// restored returns the completed cells loaded from disk.
-func (c *checkpoint) restored() map[int][]float64 {
-	out := make(map[int][]float64, len(c.file.Done))
-	for k, v := range c.file.Done {
-		idx, err := strconv.Atoi(k)
-		if err != nil {
-			continue
-		}
-		vals := make([]float64, len(v))
-		for i, f := range v {
-			vals[i] = float64(f)
-		}
-		out[idx] = vals
+// get returns the restored metric vector of the cell with the given
+// content-addressed key, if the checkpoint holds one.
+func (c *checkpoint) get(key string) ([]float64, bool) {
+	v, ok := c.file.Done[key]
+	if !ok {
+		return nil, false
 	}
-	return out
+	vals := make([]float64, len(v))
+	for i, f := range v {
+		vals[i] = float64(f)
+	}
+	return vals, true
 }
 
-// record adds a completed cell and periodically flushes to disk.
-func (c *checkpoint) record(index int, values []float64) error {
+// put adds a completed cell under its content-addressed key and
+// periodically flushes to disk.
+func (c *checkpoint) put(key string, values []float64) error {
 	vals := make([]nanFloat, len(values))
 	for i, f := range values {
 		vals[i] = nanFloat(f)
 	}
-	c.file.Done[strconv.Itoa(index)] = vals
+	c.file.Done[key] = vals
 	c.pending++
 	if c.pending >= flushEvery {
 		return c.flush()

@@ -5,10 +5,12 @@
 // per-cell metric vectors into tables, CSV, and JSON artifacts.
 //
 // Determinism is a hard guarantee: every cell derives its random
-// source from (seed, scope, cell index) only, and results are stored
-// by cell index, so the output of a run is byte-identical for any
-// worker count. Long runs can stream completed cells to a checkpoint
-// file and resume from it after interruption.
+// source from (seed, scope, cell identity) only — see CellSeed — so
+// the output of a run is byte-identical for any worker count, and a
+// cell's result does not depend on which grid contains it (the basis
+// of the content-addressed result cache). Long runs can stream
+// completed cells to a checkpoint file and resume from it after
+// interruption.
 package batch
 
 import (
@@ -56,8 +58,9 @@ type Grid struct {
 
 // Cell is one point of the expanded grid: a parameter combination plus
 // a replicate number. Index is the cell's position in the canonical
-// enumeration order and is the sole input (besides the run seed and
-// scope) to the cell's random stream.
+// enumeration order; it orders results and artifacts but — unlike the
+// parameters and Rep — plays no part in the cell's random stream or
+// cache identity (see CellSeed).
 type Cell struct {
 	Index   int
 	N       int
@@ -146,14 +149,31 @@ func (c Cell) GroupKey() string {
 	return fmt.Sprintf("%s|%d|%d|%v|%v|%v", c.Dynamic, c.N, c.W, c.Tau, c.P, c.Extra)
 }
 
-// fingerprint identifies a (grid, seed, scope, columns) combination
-// for checkpoint compatibility checks. The engine is deliberately
+// identity is the canonical parameter identity of a cell: everything
+// that defines its result except the run seed and scope, and nothing
+// positional (no Index) or execution-only (no Engine). It feeds the
+// per-cell seed derivation (CellSeed), which is what lets overlapping
+// grids share cached results.
+func (c Cell) identity() string {
+	return fmt.Sprintf("dyn=%s;n=%d;w=%d;tau=%s;p=%s;x=%s;rep=%d",
+		c.Dynamic, c.N, c.W,
+		strconv.FormatFloat(c.Tau, 'g', -1, 64),
+		strconv.FormatFloat(c.P, 'g', -1, 64),
+		strconv.FormatFloat(c.Extra, 'g', -1, 64),
+		c.Rep)
+}
+
+// Fingerprint identifies a (grid, seed, scope, columns) combination;
+// it guards checkpoint compatibility and names whole-grid runs (the
+// HTTP service derives grid IDs from it). The engine is deliberately
 // excluded: engines are bit-identical, so a checkpoint written under
-// one engine is valid — cell for cell — under any other.
-func (g Grid) fingerprint(seed uint64, scope string, columns []string) string {
+// one engine is valid — cell for cell — under any other. The v2 prefix
+// marks the content-addressed seed derivation of CellSeed; v1
+// checkpoints (index-derived seeds) are incompatible and rejected.
+func (g Grid) Fingerprint(seed uint64, scope string, columns []string) string {
 	n := g.normalized()
 	var b strings.Builder
-	fmt.Fprintf(&b, "v1;seed=%d;scope=%s;reps=%d;extra=%s;", seed, scope, n.Replicates, n.ExtraName)
+	fmt.Fprintf(&b, "v2;seed=%d;scope=%s;reps=%d;extra=%s;", seed, scope, n.Replicates, n.ExtraName)
 	ints := func(name string, vs []int) {
 		b.WriteString(name)
 		b.WriteByte('=')

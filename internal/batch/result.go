@@ -11,6 +11,20 @@ import (
 	"gridseg/internal/report"
 )
 
+// CacheStats counts how the cells of a run were satisfied.
+type CacheStats struct {
+	// Hits is the number of cells served from the checkpoint or the
+	// content-addressed result store without recomputation.
+	Hits int
+	// Misses is the number of cells computed by the runner this run.
+	Misses int
+	// Err is the first result-store failure encountered, if any. The
+	// store is only a cache, so the engine disables it and finishes
+	// the run by computing instead of aborting; callers should surface
+	// the message (the affected cells were simply not cached).
+	Err string
+}
+
 // ResultSet holds the metric vectors of a completed run, indexed by
 // cell in canonical grid order.
 type ResultSet struct {
@@ -18,6 +32,9 @@ type ResultSet struct {
 	Columns []string
 	Cells   []Cell
 	Values  [][]float64
+	// Cache reports how many cells were served from a cache versus
+	// computed. It never affects the result bytes.
+	Cache CacheStats
 }
 
 // Len returns the number of cells.

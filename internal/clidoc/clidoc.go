@@ -1,0 +1,61 @@
+// Package clidoc backs the commands' usage-coverage tests: every flag
+// a command declares must carry a usage string and be documented in
+// README.md, so the CLI surface and the docs cannot drift apart.
+package clidoc
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// CheckFlags verifies that every flag of fs has a non-empty usage
+// string and appears as `-name` inside the README sections that
+// belong to the command. A section (an ATX heading plus its body, up
+// to the next heading) belongs to the command when it mentions
+// cmd/<name>; scoping the search this way keeps flags that share a
+// name across commands (-seed, -v, -out) from vacuously satisfying
+// each other's documentation. It returns one error per violation.
+func CheckFlags(fs *flag.FlagSet, readmePath string) []error {
+	data, err := os.ReadFile(readmePath)
+	if err != nil {
+		return []error{fmt.Errorf("reading %s: %w", readmePath, err)}
+	}
+	owned := ownedSections(string(data), "cmd/"+fs.Name())
+	if owned == "" {
+		return []error{fmt.Errorf("%s has no section mentioning cmd/%s", readmePath, fs.Name())}
+	}
+	var errs []error
+	fs.VisitAll(func(f *flag.Flag) {
+		if strings.TrimSpace(f.Usage) == "" {
+			errs = append(errs, fmt.Errorf("flag -%s of %s has no usage string", f.Name, fs.Name()))
+		}
+		if !strings.Contains(owned, "`-"+f.Name+"`") {
+			errs = append(errs, fmt.Errorf("flag -%s of %s is not documented in the cmd/%s sections of %s (want a `-%s` mention)", f.Name, fs.Name(), fs.Name(), readmePath, f.Name))
+		}
+	})
+	return errs
+}
+
+// ownedSections concatenates every markdown section whose heading or
+// body mentions the command path.
+func ownedSections(doc, cmdPath string) string {
+	var out strings.Builder
+	var section strings.Builder
+	flush := func() {
+		if strings.Contains(section.String(), cmdPath) {
+			out.WriteString(section.String())
+		}
+		section.Reset()
+	}
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(line, "#") {
+			flush()
+		}
+		section.WriteString(line)
+		section.WriteByte('\n')
+	}
+	flush()
+	return out.String()
+}

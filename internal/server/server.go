@@ -1,0 +1,379 @@
+// Package server is the HTTP serving layer of the cached sweep
+// pipeline (cmd/segd): it accepts parameter-grid specs in the
+// cmd/sweep -grid syntax, schedules their cells through the batch
+// engine against the shared content-addressed result store, streams
+// per-cell progress over Server-Sent Events, and serves the resulting
+// CSV/JSON artifacts.
+//
+// Grid runs are content-addressed too: the ID of a run is a stable
+// digest of its normalized spec and seed (gridseg.GridID), so
+// resubmitting an identical grid attaches to the existing run instead
+// of creating a duplicate, and — because every cell result lives in
+// the store under a key derived from the cell's identity — any
+// overlap with previously computed grids is served without
+// recomputation, byte for byte. Only the standard library is used.
+//
+// # API
+//
+//	POST /grids              {"spec": "n=96 w=2 tau=0.40:0.48:0.02 reps=4", "seed": 1}
+//	GET  /grids              list all runs
+//	GET  /grids/{id}         run status (state, done/cells, cache hits/misses)
+//	GET  /grids/{id}/cells   per-cell results in the status envelope (409 until done)
+//	GET  /grids/{id}/artifact.csv    full CSV artifact (409 until done)
+//	GET  /grids/{id}/artifact.json   full JSON artifact (409 until done)
+//	GET  /grids/{id}/events  SSE progress stream (replays history, then live)
+//	GET  /healthz            liveness probe
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"gridseg"
+)
+
+// States of a grid run.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Server owns the run registry, the job queue, and the shared store.
+type Server struct {
+	store   gridseg.CellStore
+	workers int
+	maxRuns int
+	logf    func(format string, args ...interface{})
+
+	mu    sync.Mutex
+	grids map[string]*job
+	order []string // submission order, for stable listings
+
+	queue chan *job
+	stop  chan struct{}
+	wg    sync.WaitGroup
+}
+
+// Options configures a Server.
+type Options struct {
+	// Store is the shared content-addressed result cache; required.
+	Store gridseg.CellStore
+	// Workers bounds the cell worker pool of each grid run; 0 means
+	// GOMAXPROCS. Runs execute one at a time off a FIFO queue, so this
+	// also bounds the server's total simulation concurrency.
+	Workers int
+	// QueueDepth bounds how many runs may wait behind the executing
+	// one before submissions are rejected with 503; 0 means 64.
+	QueueDepth int
+	// MaxRuns bounds how many runs the in-memory registry retains;
+	// 0 means 256. When exceeded, the oldest *finished* runs are
+	// evicted (their cells stay in the store, so resubmitting an
+	// evicted grid replays it from cache without recomputation).
+	MaxRuns int
+	// Logf, when non-nil, receives one line per lifecycle event.
+	Logf func(format string, args ...interface{})
+}
+
+// New builds a Server and starts its dispatcher. Call Close to drain.
+func New(opt Options) (*Server, error) {
+	if opt.Store == nil {
+		return nil, fmt.Errorf("server: Options.Store is required")
+	}
+	depth := opt.QueueDepth
+	if depth <= 0 {
+		depth = 64
+	}
+	maxRuns := opt.MaxRuns
+	if maxRuns <= 0 {
+		maxRuns = 256
+	}
+	s := &Server{
+		store:   opt.Store,
+		workers: opt.Workers,
+		maxRuns: maxRuns,
+		logf:    opt.Logf,
+		grids:   map[string]*job{},
+		queue:   make(chan *job, depth),
+		stop:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.dispatch()
+	return s, nil
+}
+
+// Close stops accepting queued work and waits for the executing run
+// (if any) to finish.
+func (s *Server) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// log emits a lifecycle line if a logger is configured.
+func (s *Server) log(format string, args ...interface{}) {
+	if s.logf != nil {
+		s.logf(format, args...)
+	}
+}
+
+// dispatch executes queued runs one at a time, in submission order.
+// Close takes priority over remaining queued work: the inner select
+// alone would pick randomly when both channels are ready.
+func (s *Server) dispatch() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.queue:
+			s.run(j)
+		}
+	}
+}
+
+// run executes one grid run to completion and broadcasts its events.
+func (s *Server) run(j *job) {
+	j.setState(StateRunning)
+	s.log("grid %s: running %q seed=%d (%d cells)", j.id, j.spec, j.seed, j.cells)
+	res, err := gridseg.RunGrid(j.spec, gridseg.GridOptions{
+		Seed:    j.seed,
+		Workers: s.workers,
+		Store:   s.store,
+		ProgressCell: func(p gridseg.CellProgress) {
+			j.progress(p)
+		},
+	})
+	if err != nil {
+		s.log("grid %s: failed: %v", j.id, err)
+		j.fail(err)
+		return
+	}
+	cs := res.Cache()
+	if cs.Err != "" {
+		s.log("grid %s: result store disabled mid-run: %s", j.id, cs.Err)
+	}
+	s.log("grid %s: done (%d cached, %d computed)", j.id, cs.Hits, cs.Misses)
+	j.finish(res)
+}
+
+// Handler returns the routing table of the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /grids", s.handleSubmit)
+	mux.HandleFunc("GET /grids", s.handleList)
+	mux.HandleFunc("GET /grids/{id}", s.handleStatus)
+	mux.HandleFunc("GET /grids/{id}/cells", s.handleCells)
+	mux.HandleFunc("GET /grids/{id}/artifact.csv", s.handleArtifactCSV)
+	mux.HandleFunc("GET /grids/{id}/artifact.json", s.handleArtifactJSON)
+	mux.HandleFunc("GET /grids/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// submitRequest is the body of POST /grids.
+type submitRequest struct {
+	// Spec is a parameter grid in the cmd/sweep -grid syntax, e.g.
+	// "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8".
+	Spec string `json:"spec"`
+	// Seed is the root seed of the run (default 1; the zero seed must
+	// be given explicitly as any other).
+	Seed *uint64 `json:"seed"`
+}
+
+// handleSubmit registers (or re-attaches to) a grid run.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	// Specs are short; bound the body before the decoder allocates, so
+	// an oversized request cannot exhaust memory.
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request body: %w", err))
+		return
+	}
+	seed := uint64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	// ValidateGridSpec applies RunGrid's own rules, so anything it
+	// rejects is a synchronous 400 here rather than an asynchronous
+	// run failure, and the rules cannot drift apart.
+	cells, err := gridseg.ValidateGridSpec(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	id, err := gridseg.GridID(req.Spec, seed)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Registration and enqueueing are one critical section: the send is
+	// non-blocking, and doing it under the lock means a full queue
+	// leaves no half-registered job to roll back.
+	s.mu.Lock()
+	if j, exists := s.grids[id]; exists && j.status().State != StateFailed {
+		s.mu.Unlock()
+		// Content-addressed resubmission: same normalized grid and
+		// seed, so the existing run (finished or not) answers for it.
+		// Failed runs fall through instead: their causes are usually
+		// environmental (full disk, store errors), so resubmission is
+		// the retry path and replaces the poisoned entry.
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+	retry := s.grids[id] != nil
+	j := newJob(id, req.Spec, seed, cells)
+	select {
+	case s.queue <- j:
+		s.grids[id] = j
+		if !retry {
+			s.order = append(s.order, id)
+		}
+		s.evictLocked()
+		s.mu.Unlock()
+		s.log("grid %s: queued %q seed=%d", id, req.Spec, seed)
+		writeJSON(w, http.StatusAccepted, j.status())
+	default:
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("run queue is full"))
+	}
+}
+
+// evictLocked drops the oldest finished runs once the registry
+// exceeds its cap, bounding the server's memory over a long life;
+// s.mu must be held. Queued and running jobs are never evicted, and
+// an evicted grid loses nothing durable: its cells live in the store,
+// so resubmitting replays it from cache.
+func (s *Server) evictLocked() {
+	for i := 0; len(s.order) > s.maxRuns && i < len(s.order); {
+		id := s.order[i]
+		st := s.grids[id].status()
+		if st.State != StateDone && st.State != StateFailed {
+			i++
+			continue
+		}
+		delete(s.grids, id)
+		s.order = append(s.order[:i], s.order[i+1:]...)
+		s.log("grid %s: evicted from the registry (cells remain cached)", id)
+	}
+}
+
+// handleList returns every run's status in submission order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]jobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.grids[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]interface{}{"grids": out})
+}
+
+// lookup resolves the {id} path segment.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.grids[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown grid %q", r.PathValue("id")))
+	}
+	return j
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.lookup(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// finished returns the completed result of a run, or reports why it
+// cannot be served yet (409 while queued/running, 500 when failed).
+func finished(w http.ResponseWriter, j *job) *gridseg.GridResult {
+	st := j.status()
+	switch st.State {
+	case StateDone:
+		return j.result()
+	case StateFailed:
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("grid %s failed: %s", j.id, st.Error))
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("grid %s is %s (%d/%d cells); retry when done", j.id, st.State, st.Done, st.Cells))
+	}
+	return nil
+}
+
+// handleCells serves the per-cell results wrapped in the run's status
+// envelope — one fetch yields provenance (spec, seed, cache split) and
+// data. The bare artifact bytes live at /artifact.json instead.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	res := finished(w, j)
+	if res == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		s.log("grid %s: rendering cells: %v", j.id, err)
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("rendering cells"))
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		jobStatus
+		Artifact json.RawMessage `json:"artifact"`
+	}{j.status(), json.RawMessage(buf.Bytes())})
+}
+
+func (s *Server) handleArtifactCSV(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if res := finished(w, j); res != nil {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", j.id+".csv"))
+		if err := res.WriteCSV(w); err != nil {
+			s.log("grid %s: writing CSV: %v", j.id, err)
+		}
+	}
+}
+
+func (s *Server) handleArtifactJSON(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(w, r)
+	if j == nil {
+		return
+	}
+	if res := finished(w, j); res != nil {
+		w.Header().Set("Content-Type", "application/json")
+		if err := res.WriteJSON(w); err != nil {
+			s.log("grid %s: writing JSON: %v", j.id, err)
+		}
+	}
+}
+
+// writeJSON encodes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError encodes an error response.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"gridseg/internal/batch"
+	"gridseg/internal/rng"
+	"gridseg/internal/store"
+)
+
+// TestQuickFullCacheIsolation pins the cache-identity contract of the
+// experiment harness: quick and full runs of the same grid cell
+// measure different captured parameters (trial counts, spans picked
+// via pick(ctx, ...)), so they must never share a result-store slot —
+// a full-mode scan against a quick-populated store has to recompute
+// everything, and vice versa.
+func TestQuickFullCacheIsolation(t *testing.T) {
+	st := store.NewMemory()
+	g := batch.Grid{Ns: []int{8}, Ws: []int{1}, Taus: []float64{0.4}, Replicates: 2}
+	run := func(quick bool) *batch.ResultSet {
+		ctx := &Context{Quick: quick, Seed: 1, Store: st}
+		rs, err := ctx.run("TQF", g, []string{"v"}, func(c batch.Cell, src *rng.Source) ([]float64, error) {
+			return []float64{src.Float64()}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs
+	}
+	quick := run(true)
+	if quick.Cache.Hits != 0 || quick.Cache.Misses != 2 {
+		t.Fatalf("first quick run cache = %+v", quick.Cache)
+	}
+	full := run(false)
+	if full.Cache.Hits != 0 || full.Cache.Misses != 2 {
+		t.Fatalf("full run must not hit quick-mode cells: %+v", full.Cache)
+	}
+	// Same mode does share.
+	again := run(true)
+	if again.Cache.Hits != 2 || again.Cache.Misses != 0 {
+		t.Fatalf("repeated quick run cache = %+v", again.Cache)
+	}
+	// And the modes drew genuinely independent streams.
+	if quick.Values[0][0] == full.Values[0][0] {
+		t.Fatal("quick and full cells must draw independent randomness")
+	}
+}

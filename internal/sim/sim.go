@@ -23,6 +23,7 @@ import (
 	"gridseg/internal/grid"
 	"gridseg/internal/report"
 	"gridseg/internal/rng"
+	"gridseg/internal/store"
 )
 
 // Context carries the run configuration shared by all experiments.
@@ -41,6 +42,11 @@ type Context struct {
 	// runs ("auto", "reference", or "fast"; empty means auto). Engines
 	// are bit-identical, so this never changes results, only speed.
 	Engine string
+	// Store, when non-nil, is the shared content-addressed result
+	// cache consulted by every replicated stage: cells already in the
+	// store (keyed by experiment scope, parameters, and derived seed)
+	// are served without recomputation. Never changes results.
+	Store store.Store
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...interface{})
 }
@@ -65,14 +71,26 @@ func (c *Context) src(id uint64) *rng.Source {
 // independent randomness from the same context seed. The context's
 // engine selection is injected into the grid, so every cell runner
 // sees it as c.Engine.
+//
+// The quick/full mode is folded into the scope: experiment runners
+// routinely capture pick(ctx, quick, full)-sized parameters (trial
+// counts, spans) that are invisible to the cell's (n, w, tau, p,
+// extra, rep) identity, so a quick and a full run of the same grid
+// cell measure different things and must never share a cell seed or a
+// result-store slot.
 func (c *Context) run(scope string, g batch.Grid, columns []string, fn batch.Runner) (*batch.ResultSet, error) {
 	if g.Engine == "" {
 		g.Engine = c.Engine
 	}
+	mode := "@full"
+	if c.Quick {
+		mode = "@quick"
+	}
 	return batch.Run(g, columns, fn, batch.Options{
 		Seed:    c.Seed,
-		Scope:   scope,
+		Scope:   scope + mode,
 		Workers: c.Workers,
+		Store:   c.Store,
 	})
 }
 

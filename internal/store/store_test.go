@@ -1,0 +1,211 @@
+package store
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestKeyGolden pins the canonical encoding and SHA-256 keys of the
+// cell-spec schema. These hashes are the durable contract of the
+// result store: every cached result in every deployed store directory
+// is addressed by them. If this test fails, the key schema changed and
+// every cached result would be silently orphaned — either revert the
+// change or bump SpecVersion (which orphans results *on purpose*) and
+// update the goldens.
+func TestKeyGolden(t *testing.T) {
+	sweepCols := []string{
+		"happy_frac", "unhappy", "iface_density", "mean_same_frac",
+		"largest_frac", "magnetization", "mean_M", "flips", "fixated",
+	}
+	cases := []struct {
+		spec      CellSpec
+		canonical string
+		key       string
+	}{
+		{
+			spec:      CellSpec{Scope: "grid", Columns: sweepCols, Dynamic: "glauber", N: 96, W: 2, Tau: 0.42, P: 0.5, Rep: 0, Seed: 1},
+			canonical: "gridseg/cell/v1|scope=grid|cols=happy_frac,unhappy,iface_density,mean_same_frac,largest_frac,magnetization,mean_M,flips,fixated|dyn=glauber|n=96|w=2|tau=0.42|p=0.5|xname=|x=0|rep=0|seed=1",
+			key:       "584e31856839782b4f07978bf73d3f29643e90807075af55cc0effea0b59a1f0",
+		},
+		{
+			spec:      CellSpec{Scope: "grid", Columns: []string{"happy_frac"}, Dynamic: "kawasaki", N: 240, W: 4, Tau: 0.4375, P: 0.5, Rep: 3, Seed: 0xdeadbeefcafe},
+			canonical: "gridseg/cell/v1|scope=grid|cols=happy_frac|dyn=kawasaki|n=240|w=4|tau=0.4375|p=0.5|xname=|x=0|rep=3|seed=244837814094590",
+			key:       "eb1c2f7264b89a4a1cfa4f2d485332db2115c2e4d00fb2d29fac524c79006f23",
+		},
+		{
+			spec:      CellSpec{Scope: "E17", Columns: []string{"happy_frac", "flips"}, Dynamic: "glauber", N: 64, W: 1, Tau: 0.45, P: 0.55, ExtraName: "noise", Extra: 0.01, Rep: 7, Seed: 42},
+			canonical: "gridseg/cell/v1|scope=E17|cols=happy_frac,flips|dyn=glauber|n=64|w=1|tau=0.45|p=0.55|xname=noise|x=0.01|rep=7|seed=42",
+			key:       "f1eb98c95a543a298053111ff0bc3172f4e8c6dd0b967b0d0530c51fb63d6387",
+		},
+		{
+			spec:      CellSpec{},
+			canonical: "gridseg/cell/v1|scope=|cols=|dyn=|n=0|w=0|tau=0|p=0|xname=|x=0|rep=0|seed=0",
+			key:       "69a7c3a090dba44400c53d87d8949e8542694d6a95d9a2c06a4cfb3e873bb445",
+		},
+	}
+	for i, tc := range cases {
+		if got := tc.spec.Canonical(); got != tc.canonical {
+			t.Errorf("case %d: canonical changed:\n got  %s\n want %s", i, got, tc.canonical)
+		}
+		if got := tc.spec.Key(); got != tc.key {
+			t.Errorf("case %d: key changed: got %s want %s", i, got, tc.key)
+		}
+	}
+}
+
+// TestKeyDistinguishesIdentity asserts every field of the spec feeds
+// the key: cells differing in any single dimension must not share a
+// cache slot.
+func TestKeyDistinguishesIdentity(t *testing.T) {
+	base := CellSpec{Scope: "s", Columns: []string{"a"}, Dynamic: "glauber", N: 10, W: 1, Tau: 0.4, P: 0.5, ExtraName: "x", Extra: 1, Rep: 0, Seed: 9}
+	variants := []CellSpec{}
+	for _, mut := range []func(*CellSpec){
+		func(s *CellSpec) { s.Scope = "t" },
+		func(s *CellSpec) { s.Columns = []string{"b"} },
+		func(s *CellSpec) { s.Dynamic = "kawasaki" },
+		func(s *CellSpec) { s.N = 11 },
+		func(s *CellSpec) { s.W = 2 },
+		func(s *CellSpec) { s.Tau = 0.41 },
+		func(s *CellSpec) { s.P = 0.51 },
+		func(s *CellSpec) { s.ExtraName = "y" },
+		func(s *CellSpec) { s.Extra = 2 },
+		func(s *CellSpec) { s.Rep = 1 },
+		func(s *CellSpec) { s.Seed = 10 },
+	} {
+		v := base
+		mut(&v)
+		variants = append(variants, v)
+	}
+	seen := map[string]bool{base.Key(): true}
+	for i, v := range variants {
+		k := v.Key()
+		if seen[k] {
+			t.Errorf("variant %d collides: %s", i, v.Canonical())
+		}
+		seen[k] = true
+	}
+}
+
+// storeImpls runs a subtest against each Store backend.
+func storeImpls(t *testing.T, f func(t *testing.T, s Store)) {
+	t.Run("memory", func(t *testing.T) { f(t, NewMemory()) })
+	t.Run("dir", func(t *testing.T) {
+		d, err := Open(filepath.Join(t.TempDir(), "cache"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(t, d)
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		key := CellSpec{Scope: "rt", Seed: 1}.Key()
+		if _, ok, err := s.Get(key); err != nil || ok {
+			t.Fatalf("empty store Get = %v, %v", ok, err)
+		}
+		want := []float64{1.5, math.NaN(), -3, 0}
+		if err := s.Put(key, want); err != nil {
+			t.Fatal(err)
+		}
+		got, ok, err := s.Get(key)
+		if err != nil || !ok {
+			t.Fatalf("Get after Put = %v, %v", ok, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("got %v", got)
+		}
+		for i := range want {
+			if math.IsNaN(want[i]) != math.IsNaN(got[i]) || (!math.IsNaN(want[i]) && want[i] != got[i]) {
+				t.Fatalf("value %d: got %v want %v (NaN must survive the round trip)", i, got[i], want[i])
+			}
+		}
+		// Idempotent overwrite.
+		if err := s.Put(key, want); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDirPersistsAcrossOpens(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "cache")
+	d1, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellSpec{Scope: "persist", Seed: 2}.Key()
+	if err := d1.Put(key, []float64{42}); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d2.Get(key)
+	if err != nil || !ok || got[0] != 42 {
+		t.Fatalf("reopened store Get = %v, %v, %v", got, ok, err)
+	}
+	if n, err := d2.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+}
+
+func TestDirRejectsMalformedKeys(t *testing.T) {
+	d, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "abc", "../../../../etc/passwd", string(make([]byte, 64))} {
+		if err := d.Put(key, []float64{1}); err == nil {
+			t.Errorf("Put(%q) must fail", key)
+		}
+		if _, _, err := d.Get(key); err == nil {
+			t.Errorf("Get(%q) must fail", key)
+		}
+	}
+}
+
+func TestDirCorruptObject(t *testing.T) {
+	d, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellSpec{Scope: "corrupt"}.Key()
+	if err := d.Put(key, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path(key), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Get(key); err == nil {
+		t.Fatal("corrupt object must surface an error, not a silent miss")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	storeImpls(t, func(t *testing.T, s Store) {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				key := CellSpec{Scope: "conc", Rep: i % 4}.Key()
+				for j := 0; j < 20; j++ {
+					if err := s.Put(key, []float64{float64(i % 4)}); err != nil {
+						t.Error(err)
+						return
+					}
+					v, ok, err := s.Get(key)
+					if err != nil || !ok || v[0] != float64(i%4) {
+						t.Errorf("Get = %v, %v, %v", v, ok, err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	})
+}

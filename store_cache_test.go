@@ -1,0 +1,147 @@
+package gridseg
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// countingStore wraps a CellStore and counts Get hits and Puts, so the
+// end-to-end tests can prove "zero recomputation" from the store's own
+// point of view rather than trusting the reported stats.
+type countingStore struct {
+	inner CellStore
+	hits  atomic.Int64
+	puts  atomic.Int64
+}
+
+func (s *countingStore) Get(key string) ([]float64, bool, error) {
+	v, ok, err := s.inner.Get(key)
+	if ok {
+		s.hits.Add(1)
+	}
+	return v, ok, err
+}
+
+func (s *countingStore) Put(key string, values []float64) error {
+	s.puts.Add(1)
+	return s.inner.Put(key, values)
+}
+
+// artifacts renders both artifact encodings of a sweep.
+func artifacts(t *testing.T, r *GridResult) (csv, json []byte) {
+	t.Helper()
+	var cb, jb bytes.Buffer
+	if err := r.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes()
+}
+
+// TestRunGridStoreZeroRecompute is the acceptance test of the cached
+// sweep service at the library layer (the exact path cmd/sweep -cache
+// takes): resubmitting an identical grid against the same store
+// recomputes zero cells and yields byte-identical CSV/JSON artifacts.
+func TestRunGridStoreZeroRecompute(t *testing.T) {
+	dir, err := OpenStore(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &countingStore{inner: dir}
+	const spec = "n=16,24 w=1 tau=0.4,0.45 reps=2"
+
+	first, err := RunGrid(spec, GridOptions{Seed: 5, Workers: 4, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := first.Cache(); cs.Hits != 0 || cs.Misses != first.Len() {
+		t.Fatalf("first run cache = %+v", cs)
+	}
+	if got := st.puts.Load(); got != int64(first.Len()) {
+		t.Fatalf("first run stored %d cells, want %d", got, first.Len())
+	}
+	csv1, json1 := artifacts(t, first)
+
+	st.puts.Store(0)
+	second, err := RunGrid(spec, GridOptions{Seed: 5, Workers: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := second.Cache(); cs.Hits != second.Len() || cs.Misses != 0 {
+		t.Fatalf("resubmission cache = %+v", cs)
+	}
+	if got := st.puts.Load(); got != 0 {
+		t.Fatalf("resubmission wrote %d cells to the store", got)
+	}
+	csv2, json2 := artifacts(t, second)
+	if !bytes.Equal(csv1, csv2) || !bytes.Equal(json1, json2) {
+		t.Fatal("resubmitted artifacts are not byte-identical")
+	}
+}
+
+// TestRunGridStoreOverlap asserts an overlapping grid reuses every
+// shared cell: only the genuinely new parameter points are computed,
+// and the shared rows carry identical bytes in both grids' CSVs.
+func TestRunGridStoreOverlap(t *testing.T) {
+	st := NewMemoryStore()
+	a, err := RunGrid("n=16 w=1 tau=0.40,0.42 reps=2", GridOptions{Seed: 5, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvA, _ := artifacts(t, a)
+
+	b, err := RunGrid("n=16 w=1 tau=0.42,0.44 reps=2", GridOptions{Seed: 5, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := b.Cache(); cs.Hits != 2 || cs.Misses != 2 {
+		t.Fatalf("overlap cache = %+v (want 2 shared tau=0.42 cells cached)", cs)
+	}
+	csvB, _ := artifacts(t, b)
+
+	// Every tau=0.42 row of grid A appears verbatim in grid B.
+	shared := 0
+	for _, line := range bytes.Split(csvA, []byte("\n")) {
+		if bytes.Contains(line, []byte(",0.42,")) {
+			if !bytes.Contains(csvB, line) {
+				t.Fatalf("shared row missing from overlapping grid: %s", line)
+			}
+			shared++
+		}
+	}
+	if shared != 2 {
+		t.Fatalf("found %d shared rows, want 2", shared)
+	}
+}
+
+// TestGridID pins the content-addressing of whole sweeps: equivalent
+// specs share an ID, different specs or seeds do not.
+func TestGridID(t *testing.T) {
+	a, err := GridID("n=16 w=1 tau=0.4,0.45 reps=2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same axes written differently (range vs list, reordered
+	// fields) normalize to the same grid and the same ID.
+	b, err := GridID("tau=0.4,0.45 w=1 n=16 replicates=2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("equivalent specs got distinct IDs %s / %s", a, b)
+	}
+	c, err := GridID("n=16 w=1 tau=0.4,0.45 reps=2", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Fatal("different seeds must get distinct IDs")
+	}
+	if _, err := GridID("nope", 1); err == nil {
+		t.Fatal("malformed spec must fail")
+	}
+}

@@ -1,13 +1,70 @@
 package gridseg
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 
 	"gridseg/internal/batch"
 	"gridseg/internal/measure"
 	"gridseg/internal/rng"
+	"gridseg/internal/store"
 )
+
+// CellStore is the content-addressed result cache consulted and
+// filled by grid sweeps. Keys are canonical hashes of the full cell
+// spec (parameters, metric columns, derived seed, schema version — see
+// internal/store), so a cached cell is valid for any grid that
+// contains it: resubmitting an identical or overlapping grid
+// recomputes nothing. Implementations must be safe for concurrent use.
+//
+// Use OpenStore for the durable file-backed store shared by cmd/sweep
+// -cache and cmd/segd, or NewMemoryStore for an in-process cache.
+type CellStore interface {
+	Get(key string) ([]float64, bool, error)
+	Put(key string, values []float64) error
+}
+
+// OpenStore opens (creating it if needed) the file-backed
+// content-addressed result store rooted at dir.
+func OpenStore(dir string) (CellStore, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("gridseg: %w", err)
+	}
+	return s, nil
+}
+
+// NewMemoryStore returns an in-process CellStore, useful for tests and
+// for servers that do not need persistence.
+func NewMemoryStore() CellStore { return store.NewMemory() }
+
+// CacheStats counts how the cells of a sweep were satisfied.
+type CacheStats struct {
+	// Hits is the number of cells served from the checkpoint or the
+	// result store without recomputation.
+	Hits int
+	// Misses is the number of cells computed this run.
+	Misses int
+	// Err is the first result-store failure, if any. The store is only
+	// a cache: on failure the sweep finishes by computing, and the
+	// affected cells are simply not cached.
+	Err string
+}
+
+// CellProgress describes one completed cell for progress reporting.
+type CellProgress struct {
+	Done, Total int
+	Dynamic     string
+	N, W        int
+	Tau, P      float64
+	Extra       float64
+	Rep         int
+	// Cached reports whether the cell was served from the checkpoint
+	// or the result store instead of being computed.
+	Cached bool
+}
 
 // GridOptions configures a parameter-grid sweep.
 type GridOptions struct {
@@ -25,8 +82,17 @@ type GridOptions struct {
 	// spec has no engine= key (EngineAuto picks the fast bit-packed
 	// engine whenever it applies). Never changes results, only speed.
 	Engine Engine
+	// Store, when non-nil, is the shared content-addressed result
+	// cache: cells already in the store are served without
+	// recomputation, computed cells are written back. Because cell
+	// seeds derive from cell identity, overlapping grids share cells.
+	Store CellStore
 	// Progress, when non-nil, is invoked after each completed cell.
 	Progress func(done, total int)
+	// ProgressCell, when non-nil, is invoked after each completed cell
+	// with its parameters and cache provenance (the HTTP service uses
+	// it to stream per-cell SSE events).
+	ProgressCell func(p CellProgress)
 }
 
 // GridResult holds the per-replicate metrics of a completed sweep.
@@ -41,36 +107,91 @@ var sweepColumns = []string{
 	"largest_frac", "magnetization", "mean_M", "flips", "fixated",
 }
 
+// parseGridSpec is the single structural gatekeeper for sweep specs:
+// the batch syntax plus RunGrid's requirement that the n, w, and tau
+// axes are set. RunGrid, ValidateGridSpec, and (through them) the
+// HTTP service all validate through here, so the rules cannot drift.
+func parseGridSpec(spec string) (batch.Grid, error) {
+	g, err := batch.ParseGrid(spec)
+	if err != nil {
+		return batch.Grid{}, fmt.Errorf("gridseg: %w", err)
+	}
+	if len(g.Ns) == 0 || len(g.Ws) == 0 || len(g.Taus) == 0 {
+		return batch.Grid{}, fmt.Errorf("gridseg: grid spec %q must set n, w, and tau", spec)
+	}
+	return g, nil
+}
+
+// ValidateGridSpec checks a sweep spec exactly as RunGrid would and
+// returns the number of cells in the expanded grid. The HTTP service
+// uses it to reject invalid submissions synchronously.
+func ValidateGridSpec(spec string) (cells int, err error) {
+	g, err := parseGridSpec(spec)
+	if err != nil {
+		return 0, err
+	}
+	return g.Size(), nil
+}
+
 // RunGrid parses a -grid spec (see internal/batch.ParseGrid; e.g.
 // "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8") and runs every cell of
 // the expanded grid to fixation on the batch engine, measuring the
 // standard segregation observables. Results are byte-identical for
 // any Workers setting.
 func RunGrid(spec string, opt GridOptions) (*GridResult, error) {
-	g, err := batch.ParseGrid(spec)
+	g, err := parseGridSpec(spec)
 	if err != nil {
-		return nil, fmt.Errorf("gridseg: %w", err)
-	}
-	if len(g.Ns) == 0 || len(g.Ws) == 0 || len(g.Taus) == 0 {
-		return nil, fmt.Errorf("gridseg: grid spec %q must set n, w, and tau", spec)
+		return nil, err
 	}
 	if g.Engine == "" {
 		g.Engine = opt.Engine.String()
 	}
 	bopt := batch.Options{
 		Seed:           opt.Seed,
-		Scope:          "grid",
+		Scope:          gridScope,
 		Workers:        opt.Workers,
 		CheckpointPath: opt.CheckpointPath,
+		Store:          opt.Store,
 	}
-	if opt.Progress != nil {
-		bopt.Progress = func(done, total int, c batch.Cell) { opt.Progress(done, total) }
+	if opt.Progress != nil || opt.ProgressCell != nil {
+		bopt.Progress = func(done, total int, c batch.Cell, cached bool) {
+			if opt.Progress != nil {
+				opt.Progress(done, total)
+			}
+			if opt.ProgressCell != nil {
+				opt.ProgressCell(CellProgress{
+					Done: done, Total: total,
+					Dynamic: c.Dynamic, N: c.N, W: c.W,
+					Tau: c.Tau, P: c.P, Extra: c.Extra, Rep: c.Rep,
+					Cached: cached,
+				})
+			}
+		}
 	}
 	rs, err := batch.Run(g, sweepColumns, sweepCell, bopt)
 	if err != nil {
 		return nil, fmt.Errorf("gridseg: %w", err)
 	}
 	return &GridResult{rs: rs}, nil
+}
+
+// gridScope namespaces the random streams of RunGrid cells. It is
+// shared by every client of the result store (cmd/sweep -cache, the
+// cmd/segd service), so they all address the same cached cells.
+const gridScope = "grid"
+
+// GridID returns the content-addressed identity of a (spec, seed)
+// sweep: a stable hex digest of the normalized grid, the seed, and the
+// measured columns. Identical or equivalent specs (same axes, however
+// written) map to the same ID; the HTTP service uses it to name grid
+// runs so resubmissions attach to the existing run.
+func GridID(spec string, seed uint64) (string, error) {
+	g, err := batch.ParseGrid(spec)
+	if err != nil {
+		return "", fmt.Errorf("gridseg: %w", err)
+	}
+	h := sha256.Sum256([]byte(g.Fingerprint(seed, gridScope, sweepColumns)))
+	return hex.EncodeToString(h[:8]), nil
 }
 
 // sweepCell runs one grid cell to fixation and measures it.
@@ -119,6 +240,13 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 // Len returns the number of cells (parameter combinations times
 // replicates) in the sweep.
 func (r *GridResult) Len() int { return r.rs.Len() }
+
+// Cache reports how many cells were served from the checkpoint or the
+// result store versus computed this run. Caching never changes the
+// result bytes.
+func (r *GridResult) Cache() CacheStats {
+	return CacheStats{Hits: r.rs.Cache.Hits, Misses: r.rs.Cache.Misses, Err: r.rs.Cache.Err}
+}
 
 // Text renders the aggregated sweep (one row per parameter
 // combination, metrics averaged over replicates) as an aligned table.
