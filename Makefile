@@ -1,6 +1,7 @@
-# Developer entry points. CI runs verify, docs, and bench-check.
+# Developer entry points. CI runs verify, docs, staticcheck, and
+# bench-check.
 
-.PHONY: all build test race fuzz bench bench-check diff docs verify
+.PHONY: all build test race fuzz bench bench-check diff docs staticcheck verify
 
 all: verify
 
@@ -13,13 +14,16 @@ test:
 race:
 	go test -race ./...
 
-# Short fuzz pass over the grid-spec parser (the CI-sized budget;
-# raise -fuzztime locally for deeper exploration).
+# Short fuzz passes over the grid-spec parser and the lattice
+# configuration codec (the CI-sized budget; raise -fuzztime locally
+# for deeper exploration).
 fuzz:
 	go test -run '^$$' -fuzz FuzzParseGrid -fuzztime 30s ./internal/batch/
+	go test -run '^$$' -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/grid/
 
-# Record the benchmark trajectory (flip throughput on both engines,
-# run-to-fixation, grid cell rate) into the committed baseline.
+# Record the benchmark trajectory (flip throughput on both engines and
+# on the open-boundary scenario path, run-to-fixation, grid cell rate)
+# into the committed baseline.
 bench:
 	go run ./cmd/bench -out BENCH_2.json
 
@@ -46,6 +50,11 @@ docs:
 	go test -run 'TestDocs' .
 	go test -run TestUsageCoverage ./cmd/...
 	go test -run 'TestKey' ./internal/store/
+
+# Static analysis beyond go vet. The version is pinned so local runs
+# and the CI job agree on the finding set.
+staticcheck:
+	go run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 verify: build
 	gofmt -l . | (! grep .) || (echo "gofmt needed" >&2; exit 1)

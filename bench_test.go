@@ -96,7 +96,12 @@ func BenchmarkModelInitFig1Params(b *testing.B) {
 // the process fixates.
 func benchFlipThroughput(b *testing.B, n, w int, tau float64, engine Engine) {
 	b.Helper()
-	m, err := New(Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine})
+	benchFlipThroughputScenario(b, n, w, tau, engine, BoundaryTorus)
+}
+
+func benchFlipThroughputScenario(b *testing.B, n, w int, tau float64, engine Engine, boundary Boundary) {
+	b.Helper()
+	m, err := New(Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine, Boundary: boundary})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -104,7 +109,7 @@ func benchFlipThroughput(b *testing.B, n, w int, tau float64, engine Engine) {
 	for i := 0; i < b.N; i++ {
 		if !m.Step() {
 			b.StopTimer()
-			m, err = New(Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine})
+			m, err = New(Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine, Boundary: boundary})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -135,6 +140,15 @@ func BenchmarkFlipThroughputN1024(b *testing.B) {
 // at the same scale.
 func BenchmarkFlipThroughputN1024Reference(b *testing.B) {
 	benchFlipThroughput(b, 1024, 10, 0.42, EngineReference)
+}
+
+// BenchmarkFlipThroughputOpenBoundary measures per-flip cost on the
+// open (hard-wall) boundary at the Fig. 1 parameters — the scenario
+// subsystem's hot path (reference engine, clamped windows, per-site
+// thresholds). cmd/bench records the same probe as flip_open_reference
+// in the BENCH trajectory.
+func BenchmarkFlipThroughputOpenBoundary(b *testing.B) {
+	benchFlipThroughputScenario(b, 256, 10, 0.42, EngineReference, BoundaryOpen)
 }
 
 // BenchmarkRunToFixation measures a complete small run.

@@ -108,9 +108,13 @@ func measure(reps int) []metric {
 		run        func(b *testing.B)
 	}
 	probes := []probe{
-		{"flip_fig1_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineFast) }},
-		{"flip_fig1_reference", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineReference) }},
-		{"flip_n1024_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 1024, 10, 0.42, gridseg.EngineFast) }},
+		{"flip_fig1_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineFast, gridseg.BoundaryTorus) }},
+		{"flip_fig1_reference", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineReference, gridseg.BoundaryTorus) }},
+		{"flip_n1024_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 1024, 10, 0.42, gridseg.EngineFast, gridseg.BoundaryTorus) }},
+		// The open-boundary scenario runs the reference engine with
+		// clamped windows and per-site thresholds — the scenario
+		// subsystem's hot path, gated like every other metric.
+		{"flip_open_reference", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineReference, gridseg.BoundaryOpen) }},
 		{"run_to_fixation", "run", 1, runToFixation},
 		{"grid_cell", "cell", 8, gridCell},
 	}
@@ -131,8 +135,8 @@ func measure(reps int) []metric {
 
 // flipThroughput measures per-flip cost, re-drawing a configuration
 // off the clock when the process fixates (mirrors bench_test.go).
-func flipThroughput(b *testing.B, n, w int, tau float64, engine gridseg.Engine) {
-	m, err := gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine})
+func flipThroughput(b *testing.B, n, w int, tau float64, engine gridseg.Engine, boundary gridseg.Boundary) {
+	m, err := gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine, Boundary: boundary})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -140,7 +144,7 @@ func flipThroughput(b *testing.B, n, w int, tau float64, engine gridseg.Engine) 
 	for i := 0; i < b.N; i++ {
 		if !m.Step() {
 			b.StopTimer()
-			m, err = gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine})
+			m, err = gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine, Boundary: boundary})
 			if err != nil {
 				b.Fatal(err)
 			}

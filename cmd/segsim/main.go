@@ -1,11 +1,18 @@
 // Command segsim runs a single segregation simulation and reports its
 // evolution — the workload of the paper's Figure 1. With -png it writes
 // snapshot images in the Figure 1 palette (green/blue happy agents,
-// white/yellow unhappy agents).
+// white/yellow unhappy agents, grey vacancies).
 //
 // Reproduce Figure 1 exactly:
 //
 //	segsim -n 1000 -w 10 -tau 0.42 -snapshots 4 -png out/
+//
+// Beyond the paper's setting, the scenario flags select hard-wall
+// boundaries, vacancy dilution, and heterogeneous intolerance:
+//
+//	segsim -n 200 -w 4 -tau 0.42 -boundary open
+//	segsim -n 200 -w 4 -tau 0.42 -rho 0.1 -mode move
+//	segsim -n 200 -w 4 -tau 0.42 -taudist mix:0.35,0.45:0.5
 package main
 
 import (
@@ -24,6 +31,9 @@ type config struct {
 	tau, p    float64
 	seed      uint64
 	mode      string
+	boundary  string
+	rho       float64
+	taudist   string
 	snapshots int
 	pngDir    string
 	ascii     bool
@@ -40,7 +50,10 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.Float64Var(&c.tau, "tau", 0.42, "intolerance in [0,1]")
 	fs.Float64Var(&c.p, "p", 0.5, "initial Bernoulli parameter")
 	fs.Uint64Var(&c.seed, "seed", 1, "random seed")
-	fs.StringVar(&c.mode, "mode", "glauber", "dynamic: glauber or kawasaki")
+	fs.StringVar(&c.mode, "mode", "glauber", "dynamic: glauber, kawasaki, or move (move needs -rho > 0)")
+	fs.StringVar(&c.boundary, "boundary", "torus", "lattice boundary: torus (wrap-around) or open (hard walls, truncated edge neighborhoods)")
+	fs.Float64Var(&c.rho, "rho", 0, "vacancy fraction in [0,1): each site is empty with this probability")
+	fs.StringVar(&c.taudist, "taudist", "global", "per-site intolerance distribution: global, mix:a,b:w, or uniform:lo:hi")
 	fs.IntVar(&c.snapshots, "snapshots", 4, "number of reporting stages (>= 2)")
 	fs.StringVar(&c.pngDir, "png", "", "directory for snapshot PNGs (optional)")
 	fs.BoolVar(&c.ascii, "ascii", false, "print an ASCII snapshot at each stage (small grids)")
@@ -60,14 +73,23 @@ func main() {
 	case "glauber":
 	case "kawasaki":
 		dyn = gridseg.Kawasaki
+	case "move":
+		dyn = gridseg.Move
 	default:
-		log.Fatalf("unknown -mode %q (want glauber or kawasaki)", opts.mode)
+		log.Fatalf("unknown -mode %q (want glauber, kawasaki, or move)", opts.mode)
+	}
+	boundary, err := gridseg.ParseBoundary(opts.boundary)
+	if err != nil {
+		log.Fatal(err)
 	}
 	if opts.snapshots < 2 {
 		opts.snapshots = 2
 	}
 
-	cfg := gridseg.Config{N: opts.n, W: opts.w, Tau: opts.tau, P: opts.p, Seed: opts.seed, Dynamic: dyn}
+	cfg := gridseg.Config{
+		N: opts.n, W: opts.w, Tau: opts.tau, P: opts.p, Seed: opts.seed, Dynamic: dyn,
+		Boundary: boundary, Rho: opts.rho, TauDist: opts.taudist,
+	}
 
 	// Sizing pass: learn the total number of events to fixation so the
 	// reporting stages are evenly spaced.
@@ -81,8 +103,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("segsim: n=%d w=%d N=%d tau=%g (threshold %d/%d) p=%g seed=%d mode=%s total-events=%d\n",
-		opts.n, opts.w, m.NeighborhoodSize(), m.EffectiveTau(), m.Threshold(), m.NeighborhoodSize(), opts.p, opts.seed, opts.mode, total)
+	fmt.Printf("segsim: n=%d w=%d N=%d tau=%g (threshold %d/%d) p=%g seed=%d mode=%s %s total-events=%d\n",
+		opts.n, opts.w, m.NeighborhoodSize(), m.EffectiveTau(), m.Threshold(), m.NeighborhoodSize(), opts.p, opts.seed, opts.mode, m.Scenario(), total)
 
 	var done int64
 	for stage := 0; stage < opts.snapshots; stage++ {

@@ -10,12 +10,17 @@
 //	sweep -exp all -full -out artifacts/
 //
 // Grid mode runs an arbitrary (n, w, tau, p, dynamic, replicates)
-// parameter grid through the batch engine and writes CSV/JSON
-// artifacts; results are byte-identical for any -workers setting, and
-// -checkpoint lets long full-scale scans resume after interruption:
+// parameter grid — optionally crossed with the scenario axes boundary
+// (torus|open), rho (vacancy fraction), and taudist (per-site
+// intolerance distribution) — through the batch engine and writes
+// CSV/JSON artifacts; results are byte-identical for any -workers
+// setting, and -checkpoint lets long full-scale scans resume after
+// interruption:
 //
 //	sweep -grid "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8" -out artifacts/ -workers 8
 //	sweep -grid "n=240 w=4 tau=0.45 dyn=glauber,kawasaki reps=16" -checkpoint scan.ck.json
+//	sweep -grid "n=128 w=2 tau=0.42 boundary=torus,open rho=0:0.2:0.05 reps=8" -cache store/
+//	sweep -grid "n=128 w=2 tau=0.42 dyn=move rho=0.1 taudist=mix:0.35,0.45:0.5 reps=8"
 package main
 
 import (
@@ -50,7 +55,7 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	c := &config{}
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	fs.StringVar(&c.exp, "exp", "", "comma-separated experiment IDs, or 'all'")
-	fs.StringVar(&c.grid, "grid", "", `parameter grid spec, e.g. "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8"`)
+	fs.StringVar(&c.grid, "grid", "", `parameter grid spec, e.g. "n=96,240 w=2:4 tau=0.40:0.48:0.02 reps=8"; scenario axes: boundary=torus,open rho=0:0.2:0.05 taudist=global|mix:0.35,0.45:0.5`)
 	fs.BoolVar(&c.list, "list", false, "list registered experiments")
 	fs.BoolVar(&c.full, "full", false, "paper-scale parameters (slower)")
 	fs.Uint64Var(&c.seed, "seed", 1, "random seed")

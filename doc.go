@@ -11,8 +11,18 @@
 // paper's analytical objects (tau1, tau2, f(tau), the exponent
 // multipliers a and b), the segregation observables of the theorems
 // (monochromatic and almost monochromatic regions), and the experiment
-// registry E1..E18 that regenerates every figure of the paper and the
-// variations its concluding remarks propose.
+// registry E1..E21 that regenerates every figure of the paper, the
+// variations its concluding remarks propose, and the topology
+// scenarios of the related work.
+//
+// Beyond the paper's exact setting, the scenario fields of Config open
+// the neighboring model space: open (hard-wall) boundaries with
+// truncated edge neighborhoods (Config.Boundary), vacancy-diluted
+// lattices (Config.Rho) with a relocation dynamic (Move), and
+// heterogeneous per-site intolerance drawn from a seeded distribution
+// spec (Config.TauDist). The default scenario is bit-compatible with
+// the pre-scenario library: identical seeds, trajectories, and sweep
+// artifacts.
 //
 // Two interchangeable Glauber engines back the model: a scalar
 // reference engine and a bit-packed SWAR fast engine that is

@@ -3,6 +3,7 @@ package gridseg
 import (
 	"errors"
 	"fmt"
+	"image/png"
 	"io"
 	"math"
 	"strings"
@@ -14,13 +15,15 @@ import (
 	"gridseg/internal/measure"
 	"gridseg/internal/rng"
 	"gridseg/internal/theory"
+	"gridseg/internal/topology"
 	"gridseg/internal/viz"
 )
 
 // Dynamic selects the evolution rule.
 type Dynamic int
 
-// The two model classes discussed in Section I.A of the paper.
+// The two model classes discussed in Section I.A of the paper, plus
+// the relocation dynamic enabled by vacancy scenarios.
 const (
 	// Glauber is the paper's open-system dynamic: unhappy agents flip
 	// type when the flip makes them happy.
@@ -28,7 +31,36 @@ const (
 	// Kawasaki is the closed-system baseline: pairs of unhappy agents
 	// of opposite types swap when the swap makes both happy.
 	Kawasaki
+	// Move is the relocation dynamic of vacancy scenarios (Rho > 0):
+	// an unhappy agent moves into a uniformly sampled vacant site iff
+	// it would be happy there. Type counts are conserved; vacancies
+	// drift in the opposite direction.
+	Move
 )
+
+// Boundary selects the lattice boundary condition.
+type Boundary int
+
+const (
+	// BoundaryTorus is the paper's wrap-around boundary (the default).
+	BoundaryTorus Boundary = Boundary(topology.Torus)
+	// BoundaryOpen is the hard-wall boundary: neighborhoods clamp at
+	// the grid edges, so edge agents see truncated windows and
+	// per-site thresholds ceil(Tau * |N(u)|).
+	BoundaryOpen = Boundary(topology.Open)
+)
+
+// String returns "torus" or "open".
+func (b Boundary) String() string { return topology.Boundary(b).String() }
+
+// ParseBoundary parses "torus" or "open" ("" parses as torus).
+func ParseBoundary(s string) (Boundary, error) {
+	b, err := topology.ParseBoundary(s)
+	if err != nil {
+		return BoundaryTorus, fmt.Errorf("gridseg: %w", err)
+	}
+	return Boundary(b), nil
+}
 
 // Engine selects the Glauber engine implementation. The engines are
 // interchangeable bit for bit — same seed, same trajectory, same
@@ -92,21 +124,51 @@ type Config struct {
 	// Seed determines the initial configuration and the evolution;
 	// identical configs replay identically.
 	Seed uint64
-	// Dynamic selects Glauber (default) or Kawasaki evolution.
+	// Dynamic selects Glauber (default), Kawasaki, or Move evolution
+	// (Move requires Rho > 0).
 	Dynamic Dynamic
 	// Engine selects the Glauber engine implementation; the zero value
 	// (EngineAuto) picks the fast bit-packed engine whenever it
 	// applies. Engines never change results, only speed.
 	Engine Engine
+	// Boundary selects the lattice boundary condition: the paper's
+	// wrap-around torus (the zero value) or open hard walls with
+	// correctly truncated edge neighborhoods.
+	Boundary Boundary
+	// Rho is the vacancy fraction in [0, 1): each site is empty
+	// independently with probability Rho. Zero (the default) is the
+	// paper's fully occupied lattice.
+	Rho float64
+	// TauDist is the per-site intolerance distribution spec: "" or
+	// "global" (every site uses Tau), "mix:a,b:w" (tau=a with
+	// probability w, else b), or "uniform:lo:hi". Non-global fields are
+	// drawn deterministically from the Seed at construction.
+	TauDist string
+}
+
+// scenario assembles and validates the topology scenario of a config.
+func (cfg Config) scenario() (topology.Scenario, error) {
+	dist, err := topology.ParseTauDist(cfg.TauDist)
+	if err != nil {
+		return topology.Scenario{}, fmt.Errorf("gridseg: %w", err)
+	}
+	sc := topology.Scenario{Boundary: topology.Boundary(cfg.Boundary), Rho: cfg.Rho, TauDist: dist}
+	if err := sc.Validate(); err != nil {
+		return topology.Scenario{}, fmt.Errorf("gridseg: %w", err)
+	}
+	return sc, nil
 }
 
 // Model is a running instance of the segregation process.
 type Model struct {
 	cfg    Config
+	sc     topology.Scenario
 	engine Engine // resolved engine actually in use
 	lat    *grid.Lattice
+	taus   []float64 // per-site intolerance field (nil for global tau)
 	proc   dynamics.Engine
 	kaw    *dynamics.Kawasaki
+	mov    *dynamics.Move
 }
 
 // withDefaults returns the config with its documented zero-value
@@ -124,23 +186,31 @@ func (cfg Config) withDefaults() Config {
 }
 
 // buildDynamics attaches the configured evolution process to a model
-// whose cfg and lat fields are already set, resolving the engine
-// choice (Auto picks Fast for Glauber when the neighborhood fits).
+// whose cfg, sc, lat, and taus fields are already set, resolving the
+// engine choice. Auto picks Fast for Glauber when the neighborhood
+// fits and the scenario is the paper's default; every non-default
+// scenario (open boundary, vacancies, heterogeneous tau) runs on the
+// reference engine, and an explicit Fast request for one is an error
+// rather than a silent fallback.
 func (m *Model) buildDynamics(src *rng.Source) error {
 	var err error
+	dsc := dynamics.Scenario{Open: m.sc.Boundary == topology.Open, Taus: m.taus}
 	switch m.cfg.Dynamic {
 	case Glauber:
 		engine := m.cfg.Engine
 		if engine == EngineAuto {
 			engine = EngineReference
-			if fastglauber.Fits(m.cfg.W) {
+			if m.sc.IsDefault() && fastglauber.Fits(m.cfg.W) {
 				engine = EngineFast
 			}
 		}
 		if engine == EngineFast {
+			if !m.sc.IsDefault() {
+				return fmt.Errorf("gridseg: the fast engine supports only the default scenario (torus, full occupancy, global tau); got %v", m.sc)
+			}
 			m.proc, err = fastglauber.New(m.lat, m.cfg.W, m.cfg.Tau, src)
 		} else {
-			m.proc, err = dynamics.New(m.lat, m.cfg.W, m.cfg.Tau, src)
+			m.proc, err = dynamics.NewScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
 		}
 		m.engine = engine
 	case Kawasaki:
@@ -148,9 +218,21 @@ func (m *Model) buildDynamics(src *rng.Source) error {
 			return errors.New("gridseg: the fast engine supports Glauber dynamics only")
 		}
 		m.engine = EngineReference
-		m.kaw, err = dynamics.NewKawasaki(m.lat, m.cfg.W, m.cfg.Tau, src)
+		m.kaw, err = dynamics.NewKawasakiScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
 		if m.kaw != nil {
 			m.proc = m.kaw.Process()
+		}
+	case Move:
+		if m.cfg.Engine == EngineFast {
+			return errors.New("gridseg: the fast engine supports Glauber dynamics only")
+		}
+		if m.cfg.Rho <= 0 {
+			return errors.New("gridseg: the move dynamic requires a positive vacancy fraction (rho > 0)")
+		}
+		m.engine = EngineReference
+		m.mov, err = dynamics.NewMove(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
+		if m.mov != nil {
+			m.proc = m.mov.Process()
 		}
 	default:
 		return fmt.Errorf("gridseg: unknown dynamic %d", m.cfg.Dynamic)
@@ -171,14 +253,29 @@ func New(cfg Config) (*Model, error) {
 	if cfg.P < 0 || cfg.P > 1 {
 		return nil, errors.New("gridseg: P must be in [0, 1]")
 	}
+	sc, err := cfg.scenario()
+	if err != nil {
+		return nil, err
+	}
 	src := rng.New(cfg.Seed)
-	lat := grid.Random(cfg.N, cfg.P, src.Split(1))
-	m := &Model{cfg: cfg, lat: lat}
+	// Split(1) draws the configuration, Split(2) drives the dynamics,
+	// Split(3) draws the per-site tau field. The streams are
+	// independent, and the default scenario consumes Split(1) and
+	// Split(2) exactly as before the scenario subsystem (the vacancy
+	// draw is skipped at rho=0 and the tau field is nil when global),
+	// so pre-scenario seeds replay bit-identically.
+	lat := grid.RandomScenario(cfg.N, cfg.P, cfg.Rho, src.Split(1))
+	taus := sc.TauDist.SampleField(lat.Sites(), cfg.Tau, src.Split(3))
+	m := &Model{cfg: cfg, sc: sc, lat: lat, taus: taus}
 	if err := m.buildDynamics(src.Split(2)); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
+
+// Scenario returns the canonical description of the model's topology
+// scenario ("boundary=torus rho=0 taudist=global" for the default).
+func (m *Model) Scenario() string { return m.sc.Canonical() }
 
 // Config returns the configuration the model was built with (with
 // defaults resolved; Engine stays as requested — see Engine for the
@@ -213,11 +310,15 @@ func (m *Model) Happy(x, y int) bool {
 }
 
 // Step advances the model by one effective event. For Glauber dynamics
-// this is one flip; for Kawasaki one swap attempt. It reports whether
-// the model can still move.
+// this is one flip; for Kawasaki one swap attempt; for Move one
+// relocation attempt. It reports whether the model can still move.
 func (m *Model) Step() bool {
 	if m.kaw != nil {
 		_, done := m.kaw.StepAttempt()
+		return !done
+	}
+	if m.mov != nil {
+		_, done := m.mov.StepAttempt()
 		return !done
 	}
 	_, ok := m.proc.Step()
@@ -225,12 +326,13 @@ func (m *Model) Step() bool {
 }
 
 // Run advances the model until fixation or until the given number of
-// events (<= 0 means unbounded for Glauber; for Kawasaki a budget of
-// 20 n^2 attempts with an n^2 failure streak is used when maxEvents <= 0).
-// It returns the number of effective events performed and whether the
-// model reached a terminal state.
+// events (<= 0 means unbounded for Glauber; for the attempt-based
+// Kawasaki and Move dynamics a budget of 20 n^2 attempts with an n^2
+// failure streak is used when maxEvents <= 0). It returns the number
+// of effective events performed and whether the model reached a
+// terminal state.
 func (m *Model) Run(maxEvents int64) (int64, bool) {
-	if m.kaw != nil {
+	if m.kaw != nil || m.mov != nil {
 		budget := maxEvents
 		streak := int64(0)
 		if budget <= 0 {
@@ -238,7 +340,10 @@ func (m *Model) Run(maxEvents int64) (int64, bool) {
 			budget = 20 * n2
 			streak = n2
 		}
-		return m.kaw.Run(budget, streak)
+		if m.kaw != nil {
+			return m.kaw.Run(budget, streak)
+		}
+		return m.mov.Run(budget, streak)
 	}
 	return m.proc.Run(maxEvents)
 }
@@ -249,38 +354,47 @@ func (m *Model) Run(maxEvents int64) (int64, bool) {
 func (m *Model) Phi() int64 { return m.proc.Phi() }
 
 // FlippableCount returns the number of currently admissible Glauber
-// flips (0 for Kawasaki models, whose moves are pair swaps).
+// flips (0 for Kawasaki and Move models, whose moves are pair swaps
+// and relocations).
 func (m *Model) FlippableCount() int {
-	if m.kaw != nil {
+	if m.kaw != nil || m.mov != nil {
 		return 0
 	}
 	return m.proc.FlippableCount()
 }
 
-// Fixated reports whether no admissible move remains (Glauber) or no
-// unhappy pair exists (Kawasaki).
+// Fixated reports whether no admissible move remains (Glauber), no
+// unhappy pair exists (Kawasaki), or no unhappy agent remains (Move).
 func (m *Model) Fixated() bool {
 	if m.kaw != nil {
 		p, mi := m.kaw.UnhappyByType()
 		return p == 0 || mi == 0
 	}
+	if m.mov != nil {
+		unhappy, _ := m.mov.Counts()
+		return unhappy == 0
+	}
 	return m.proc.Fixated()
 }
 
-// Flips returns the number of effective flips (Glauber) or twice the
-// number of swaps (Kawasaki) performed so far.
+// Flips returns the number of effective flips (Glauber), twice the
+// number of swaps (Kawasaki, two sites change), or the number of
+// successful relocations (Move) performed so far.
 func (m *Model) Flips() int64 {
 	if m.kaw != nil {
 		return 2 * m.kaw.Swaps()
+	}
+	if m.mov != nil {
+		return m.mov.Moves()
 	}
 	return m.proc.Flips()
 }
 
 // Time returns the elapsed continuous (Poisson-clock) time of a Glauber
-// model; it returns NaN for Kawasaki models, whose paper formulation is
-// not clocked.
+// model; it returns NaN for the attempt-based Kawasaki and Move
+// models, whose formulations are not clocked.
 func (m *Model) Time() float64 {
-	if m.kaw != nil {
+	if m.kaw != nil || m.mov != nil {
 		return math.NaN()
 	}
 	return m.proc.Time()
@@ -298,21 +412,24 @@ type Stats struct {
 }
 
 // SegregationStats computes the summary observables of the current
-// configuration.
+// configuration. The observables are scenario-aware — open boundaries
+// stop windows, adjacencies, and clusters at the edges, and vacancy
+// lattices measure agents only — and reduce exactly to the classic
+// definitions on the default scenario.
 func (m *Model) SegregationStats() Stats {
-	cl, _ := measure.Clusters(m.lat)
+	open := m.sc.Boundary == topology.Open
+	cl, _ := measure.ClustersScenario(m.lat, open)
 	largest := cl.LargestPlus
 	if cl.LargestMinus > largest {
 		largest = cl.LargestMinus
 	}
-	sites := m.lat.Sites()
 	return Stats{
 		HappyFraction:          m.proc.HappyFraction(),
 		UnhappyCount:           m.proc.UnhappyCount(),
-		InterfaceDensity:       measure.InterfaceDensity(m.lat),
-		MeanSameFraction:       measure.MeanSameFraction(m.lat, m.cfg.W),
-		LargestClusterFraction: float64(largest) / float64(sites),
-		Magnetization:          float64(2*m.lat.CountPlus()-sites) / float64(sites),
+		InterfaceDensity:       measure.InterfaceDensityScenario(m.lat, open),
+		MeanSameFraction:       measure.MeanSameFractionScenario(m.lat, m.cfg.W, open),
+		LargestClusterFraction: float64(largest) / float64(m.lat.Sites()),
+		Magnetization:          measure.MagnetizationScenario(m.lat),
 		Flips:                  m.Flips(),
 	}
 }
@@ -344,23 +461,23 @@ func (m *Model) AlmostMonoRegionSize(x, y int, beta float64) int {
 }
 
 // ASCII renders the configuration with happiness marks: '#' happy +1,
-// '.' happy -1, 'P' unhappy +1, 'm' unhappy -1.
+// '.' happy -1, 'P' unhappy +1, 'm' unhappy -1, ' ' vacant. The
+// happiness marks come from the live engine, so every scenario
+// (truncated edge windows, vacancies, per-site thresholds) renders
+// faithfully.
 func (m *Model) ASCII() string {
-	return viz.ASCII(m.lat, m.cfg.W, m.proc.Threshold())
+	return viz.ASCIIWith(m.lat, m.proc.Happy)
 }
 
 // String renders the raw configuration as '+'/'-' rows.
 func (m *Model) String() string { return m.lat.String() }
 
 // WritePNG renders the configuration in the paper's Figure 1 palette
-// (green/blue happy, white/yellow unhappy) at the given pixel scale.
+// (green/blue happy, white/yellow unhappy, grey vacant) at the given
+// pixel scale, with happiness marks from the live engine.
 func (m *Model) WritePNG(out io.Writer, scale int) error {
-	return viz.WritePNG(out, m.lat, m.cfg.W, m.proc.Threshold(), scale)
+	return png.Encode(out, viz.RenderWith(m.lat, m.proc.Happy, scale))
 }
-
-// gridPoint builds a geom.Point from raw coordinates; it keeps the
-// internal geometry types out of exported signatures.
-func gridPoint(x, y int) geom.Point { return geom.Point{X: x, Y: y} }
 
 // ---- Theory facade -------------------------------------------------
 

@@ -181,7 +181,7 @@ func TestTheoryFacade(t *testing.T) {
 
 func TestExperimentRegistryFacade(t *testing.T) {
 	infos := Experiments()
-	if len(infos) != 18 {
+	if len(infos) != 21 {
 		t.Fatalf("got %d experiments", len(infos))
 	}
 	out, err := RunExperiment("E2", ExperimentOptions{})

@@ -95,6 +95,9 @@ func (o Options) cellSpec(c Cell, extraName string, columns []string) store.Cell
 		W:         c.W,
 		Tau:       c.Tau,
 		P:         c.P,
+		Boundary:  c.Boundary,
+		Rho:       c.Rho,
+		TauDist:   c.TauDist,
 		ExtraName: extraName,
 		Extra:     c.Extra,
 		Rep:       c.Rep,

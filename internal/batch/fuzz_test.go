@@ -16,8 +16,10 @@ func TestParseGridRangeRegressions(t *testing.T) {
 	}
 	// The same range with a huge step is a legitimate 3-value axis
 	// ({lo, -1, hi-1}): intermediate wrap cancels because the true
-	// values fit in int.
-	g3, err := ParseGrid("n=-9223372036854775808:9223372036854775807:9223372036854775807 w=1 tau=0.45")
+	// values fit in int. (No w axis here: pairing these nonsense sides
+	// with a horizon would now trip the semantic window check, which
+	// TestParseGridWindowValidation covers.)
+	g3, err := ParseGrid("n=-9223372036854775808:9223372036854775807:9223372036854775807")
 	if err != nil {
 		t.Errorf("3-value extreme range rejected: %v", err)
 	} else if len(g3.Ns) != 3 || g3.Ns[1] != -1 {
@@ -53,6 +55,17 @@ func FuzzParseGrid(f *testing.F) {
 		"n=10:100:10 w=1,2,3 tau=0.42 replicates=4 dynamic=kawasaki",
 		"engine=reference",
 		"",
+		// Scenario axes.
+		"n=64 w=2 tau=0.42 boundary=torus,open rho=0:0.2:0.05",
+		"n=32 w=1 tau=0.42 taudist=global|mix:0.35,0.45:0.5|uniform:0.3:0.5",
+		"n=32 w=1 tau=0.42 dyn=move rho=0.1",
+		"boundary=klein",
+		"rho=1",
+		"rho=-0.5",
+		"taudist=mix:2,3:4",
+		"taudist=mix",
+		"n=3 w=5 tau=0.4",
+		"dyn=move",
 		// Malformed shapes that must error, not panic.
 		"n=",
 		"=5",
@@ -115,8 +128,25 @@ func FuzzParseGrid(f *testing.F) {
 			t.Fatalf("accepted unknown engine %q: %q", g.Engine, spec)
 		}
 		for _, d := range g.Dynamics {
-			if d != Glauber && d != Kawasaki {
+			if d != Glauber && d != Kawasaki && d != Move {
 				t.Fatalf("accepted unknown dynamic %q: %q", d, spec)
+			}
+		}
+		for _, b := range g.Boundaries {
+			if b != BoundaryTorus && b != BoundaryOpen {
+				t.Fatalf("accepted unknown boundary %q: %q", b, spec)
+			}
+		}
+		for _, rho := range g.Rhos {
+			if math.IsNaN(rho) || rho < 0 || rho >= 1 {
+				t.Fatalf("accepted out-of-range rho %v: %q", rho, spec)
+			}
+		}
+		for _, n := range g.Ns {
+			for _, w := range g.Ws {
+				if 2*w+1 > n {
+					t.Fatalf("accepted self-wrapping window n=%d w=%d: %q", n, w, spec)
+				}
 			}
 		}
 		cells := g.Cells()

@@ -23,6 +23,18 @@ import (
 const (
 	Glauber  = "glauber"
 	Kawasaki = "kawasaki"
+	// Move is the relocation dynamic of vacancy scenarios: an unhappy
+	// agent moves into a vacant site iff it would be happy there.
+	// Grids sweeping it must give every cell a positive rho.
+	Move = "move"
+)
+
+// Scenario-axis defaults (the paper's setting). Cells at these values
+// keep their pre-scenario identities, seeds, and artifacts.
+const (
+	BoundaryTorus = "torus"
+	BoundaryOpen  = "open"
+	TauDistGlobal = "global"
 )
 
 // Engine labels understood by the default runners. Engines are
@@ -49,6 +61,14 @@ type Grid struct {
 	ExtraName  string
 	Dynamics   []string
 	Replicates int
+	// Scenario axes: lattice boundary conditions ("torus", "open"),
+	// vacancy fractions in [0, 1), and per-site intolerance
+	// distribution specs in topology.TauDist's canonical syntax
+	// ("global", "mix:a,b:w", "uniform:lo:hi"). Empty axes collapse to
+	// the paper's defaults.
+	Boundaries []string
+	Rhos       []float64
+	TauDists   []string
 	// Engine selects the simulation engine for every cell of the grid
 	// ("auto", "reference", or "fast"; empty means auto). It is not a
 	// sweep axis: engines are bit-identical, so sweeping them would
@@ -70,6 +90,10 @@ type Cell struct {
 	Extra   float64
 	Dynamic string
 	Rep     int
+	// Scenario coordinates (normalized: never empty in expanded cells).
+	Boundary string
+	Rho      float64
+	TauDist  string
 	// Engine is the grid-level engine selection, copied to every cell
 	// for the runner's convenience. Never part of the cell identity.
 	Engine string
@@ -96,6 +120,15 @@ func (g Grid) normalized() Grid {
 	if len(g.Dynamics) == 0 {
 		g.Dynamics = []string{Glauber}
 	}
+	if len(g.Boundaries) == 0 {
+		g.Boundaries = []string{BoundaryTorus}
+	}
+	if len(g.Rhos) == 0 {
+		g.Rhos = []float64{0}
+	}
+	if len(g.TauDists) == 0 {
+		g.TauDists = []string{TauDistGlobal}
+	}
 	if g.Replicates <= 0 {
 		g.Replicates = 1
 	}
@@ -109,12 +142,13 @@ func (g Grid) normalized() Grid {
 func (g Grid) Size() int {
 	n := g.normalized()
 	return len(n.Dynamics) * len(n.Ns) * len(n.Ws) * len(n.Taus) *
-		len(n.Ps) * len(n.Extras) * n.Replicates
+		len(n.Ps) * len(n.Boundaries) * len(n.Rhos) * len(n.TauDists) *
+		len(n.Extras) * n.Replicates
 }
 
 // Cells expands the grid in canonical order: dynamics, n, w, tau, p,
-// extra, replicate (replicates innermost, so the replicates of one
-// parameter combination are adjacent).
+// boundary, rho, taudist, extra, replicate (replicates innermost, so
+// the replicates of one parameter combination are adjacent).
 func (g Grid) Cells() []Cell {
 	n := g.normalized()
 	out := make([]Cell, 0, g.Size())
@@ -124,14 +158,21 @@ func (g Grid) Cells() []Cell {
 			for _, w := range n.Ws {
 				for _, tau := range n.Taus {
 					for _, p := range n.Ps {
-						for _, x := range n.Extras {
-							for r := 0; r < n.Replicates; r++ {
-								out = append(out, Cell{
-									Index: idx, N: nn, W: w, Tau: tau, P: p,
-									Extra: x, Dynamic: dyn, Rep: r,
-									Engine: n.Engine,
-								})
-								idx++
+						for _, b := range n.Boundaries {
+							for _, rho := range n.Rhos {
+								for _, td := range n.TauDists {
+									for _, x := range n.Extras {
+										for r := 0; r < n.Replicates; r++ {
+											out = append(out, Cell{
+												Index: idx, N: nn, W: w, Tau: tau, P: p,
+												Boundary: b, Rho: rho, TauDist: td,
+												Extra: x, Dynamic: dyn, Rep: r,
+												Engine: n.Engine,
+											})
+											idx++
+										}
+									}
+								}
 							}
 						}
 					}
@@ -146,7 +187,27 @@ func (g Grid) Cells() []Cell {
 // the replicate number. Cells with equal GroupKeys are replicates of
 // the same experiment point.
 func (c Cell) GroupKey() string {
-	return fmt.Sprintf("%s|%d|%d|%v|%v|%v", c.Dynamic, c.N, c.W, c.Tau, c.P, c.Extra)
+	return fmt.Sprintf("%s|%d|%d|%v|%v|%v|%s|%v|%s",
+		c.Dynamic, c.N, c.W, c.Tau, c.P, c.Extra, c.Boundary, c.Rho, c.TauDist)
+}
+
+// DefaultScenario reports whether the given scenario coordinates sit
+// at the scenario-axis defaults (the paper's setting: torus, full
+// occupancy, global tau). Empty labels are synonymous with the
+// defaults. It is the single string-level predicate shared by every
+// layer that carries scenario coordinates as labels (cell identities,
+// sweep runners, SSE events, the differential harness); the typed
+// equivalent is topology.Scenario.IsDefault.
+func DefaultScenario(boundary string, rho float64, taudist string) bool {
+	return (boundary == "" || boundary == BoundaryTorus) &&
+		rho == 0 &&
+		(taudist == "" || taudist == TauDistGlobal)
+}
+
+// defaultScenario reports whether the cell sits at the scenario-axis
+// defaults.
+func (c Cell) defaultScenario() bool {
+	return DefaultScenario(c.Boundary, c.Rho, c.TauDist)
 }
 
 // identity is the canonical parameter identity of a cell: everything
@@ -154,26 +215,46 @@ func (c Cell) GroupKey() string {
 // positional (no Index) or execution-only (no Engine). It feeds the
 // per-cell seed derivation (CellSeed), which is what lets overlapping
 // grids share cached results.
+//
+// Scenario coordinates are appended only when they deviate from the
+// paper's defaults: default cells keep their pre-scenario identity
+// strings, hence their derived seeds, hence their exact result bytes —
+// the introduction of the scenario subsystem never silently changed a
+// published number.
 func (c Cell) identity() string {
-	return fmt.Sprintf("dyn=%s;n=%d;w=%d;tau=%s;p=%s;x=%s;rep=%d",
+	id := fmt.Sprintf("dyn=%s;n=%d;w=%d;tau=%s;p=%s;x=%s;rep=%d",
 		c.Dynamic, c.N, c.W,
 		strconv.FormatFloat(c.Tau, 'g', -1, 64),
 		strconv.FormatFloat(c.P, 'g', -1, 64),
 		strconv.FormatFloat(c.Extra, 'g', -1, 64),
 		c.Rep)
+	if c.defaultScenario() {
+		return id
+	}
+	b := c.Boundary
+	if b == "" {
+		b = BoundaryTorus
+	}
+	td := c.TauDist
+	if td == "" {
+		td = TauDistGlobal
+	}
+	return id + fmt.Sprintf(";b=%s;rho=%s;taudist=%s",
+		b, strconv.FormatFloat(c.Rho, 'g', -1, 64), td)
 }
 
 // Fingerprint identifies a (grid, seed, scope, columns) combination;
 // it guards checkpoint compatibility and names whole-grid runs (the
 // HTTP service derives grid IDs from it). The engine is deliberately
 // excluded: engines are bit-identical, so a checkpoint written under
-// one engine is valid — cell for cell — under any other. The v2 prefix
-// marks the content-addressed seed derivation of CellSeed; v1
-// checkpoints (index-derived seeds) are incompatible and rejected.
+// one engine is valid — cell for cell — under any other. The v3 prefix
+// marks the scenario-axis schema (boundary, rho, taudist folded into
+// the grid identity); v1 (index-derived seeds) and v2 (no scenario
+// axes) checkpoints are incompatible and rejected.
 func (g Grid) Fingerprint(seed uint64, scope string, columns []string) string {
 	n := g.normalized()
 	var b strings.Builder
-	fmt.Fprintf(&b, "v2;seed=%d;scope=%s;reps=%d;extra=%s;", seed, scope, n.Replicates, n.ExtraName)
+	fmt.Fprintf(&b, "v3;seed=%d;scope=%s;reps=%d;extra=%s;", seed, scope, n.Replicates, n.ExtraName)
 	ints := func(name string, vs []int) {
 		b.WriteString(name)
 		b.WriteByte('=')
@@ -197,7 +278,10 @@ func (g Grid) Fingerprint(seed uint64, scope string, columns []string) string {
 	floats("tau", n.Taus)
 	floats("p", n.Ps)
 	floats("x", n.Extras)
+	floats("rho", n.Rhos)
 	b.WriteString("dyn=" + strings.Join(n.Dynamics, ",") + ";")
+	b.WriteString("boundary=" + strings.Join(n.Boundaries, ",") + ";")
+	b.WriteString("taudist=" + strings.Join(n.TauDists, "|") + ";")
 	b.WriteString("cols=" + strings.Join(columns, ",") + ";")
 	return b.String()
 }

@@ -5,6 +5,9 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/topology"
 )
 
 // MaxAxisValues bounds the expansion of a single grid axis, so a
@@ -16,14 +19,20 @@ const MaxAxisValues = 1 << 20
 // whitespace-separated list of key=value fields:
 //
 //	n=96,240 w=2:4 tau=0.40:0.48:0.02 p=0.5 dyn=glauber,kawasaki reps=8
+//	n=64 w=2 tau=0.42 boundary=torus,open rho=0:0.2:0.05 taudist=global|mix:0.35,0.45:0.5
 //
 // Values are comma-separated lists whose elements are either single
 // numbers or inclusive ranges lo:hi[:step] (step defaults to 1 and
 // must be positive). Keys: n, w (ints), tau, p (floats in [0,1]),
-// dyn (glauber|kawasaki), reps (single int), engine
-// (auto|reference|fast, single value — engines never change results).
-// ParseGrid never panics: malformed specs, non-finite floats, and
-// ranges expanding beyond MaxAxisValues return errors.
+// dyn (glauber|kawasaki|move), reps (single int), engine
+// (auto|reference|fast, single value — engines never change results),
+// plus the scenario axes boundary (torus|open), rho (floats in
+// [0,1)), and taudist ('|'-separated distribution specs — global,
+// mix:a,b:w, uniform:lo:hi — since the specs themselves contain
+// commas and colons). ParseGrid never panics: malformed specs,
+// non-finite floats, ranges expanding beyond MaxAxisValues,
+// neighborhoods larger than their lattice (grid.ErrWindowTooLarge),
+// and move cells without vacancies all return errors.
 func ParseGrid(spec string) (Grid, error) {
 	var g Grid
 	seen := map[string]bool{}
@@ -68,8 +77,14 @@ func ParseGrid(spec string) (Grid, error) {
 			}
 		case "engine":
 			g.Engine, err = parseEngine(value)
+		case "boundary":
+			g.Boundaries, err = parseBoundaries(value)
+		case "rho":
+			g.Rhos, err = parseFloats(value)
+		case "taudist":
+			g.TauDists, err = parseTauDists(value)
 		default:
-			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps, engine)", key)
+			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps, engine, boundary, rho, taudist)", key)
 		}
 		if err != nil {
 			return Grid{}, fmt.Errorf("batch: grid field %q: %w", field, err)
@@ -83,6 +98,47 @@ func ParseGrid(spec string) (Grid, error) {
 	for _, p := range g.Ps {
 		if !(p >= 0 && p <= 1) {
 			return Grid{}, fmt.Errorf("batch: p=%v out of [0, 1]", p)
+		}
+	}
+	for _, rho := range g.Rhos {
+		if !(rho >= 0 && rho < 1) {
+			return Grid{}, fmt.Errorf("batch: rho=%v out of [0, 1)", rho)
+		}
+	}
+	// Every (n, w) combination of the product must fit: a horizon whose
+	// window wraps onto the torus is rejected here, with the typed
+	// error, instead of panicking mid-sweep. All pairs fit iff the
+	// extreme pair does, so the check is O(|Ns|+|Ws|) — a hostile spec
+	// with two maximal axes cannot stall the parser.
+	if len(g.Ns) > 0 && len(g.Ws) > 0 {
+		minN, maxW := g.Ns[0], g.Ws[0]
+		for _, n := range g.Ns {
+			if n < minN {
+				minN = n
+			}
+		}
+		for _, w := range g.Ws {
+			if w > maxW {
+				maxW = w
+			}
+		}
+		if 2*maxW+1 > minN {
+			return Grid{}, fmt.Errorf("batch: n=%d w=%d: %w", minN, maxW, grid.ErrWindowTooLarge)
+		}
+	}
+	// The move dynamic relocates agents into vacant sites; a grid that
+	// sweeps it must give every cell some vacancies.
+	for _, dyn := range g.Dynamics {
+		if dyn != Move {
+			continue
+		}
+		if len(g.Rhos) == 0 {
+			return Grid{}, fmt.Errorf("batch: dyn=move requires a positive rho axis (vacant sites to move into)")
+		}
+		for _, rho := range g.Rhos {
+			if rho <= 0 {
+				return Grid{}, fmt.Errorf("batch: dyn=move requires rho > 0 in every cell (got rho=%v)", rho)
+			}
 		}
 	}
 	if cells := g.boundedSize(); cells > MaxGridCells {
@@ -238,9 +294,41 @@ func parseDynamics(value string) ([]string, error) {
 			out = append(out, Glauber)
 		case Kawasaki:
 			out = append(out, Kawasaki)
+		case Move:
+			out = append(out, Move)
 		default:
-			return nil, fmt.Errorf("unknown dynamic %q (want glauber or kawasaki)", item)
+			return nil, fmt.Errorf("unknown dynamic %q (want glauber, kawasaki, or move)", item)
 		}
+	}
+	return out, nil
+}
+
+// parseBoundaries parses the boundary= list through the topology
+// vocabulary, storing canonical labels.
+func parseBoundaries(value string) ([]string, error) {
+	var out []string
+	for _, item := range strings.Split(value, ",") {
+		b, err := topology.ParseBoundary(item)
+		if err != nil {
+			return nil, fmt.Errorf("unknown boundary %q (want torus or open)", item)
+		}
+		out = append(out, b.String())
+	}
+	return out, nil
+}
+
+// parseTauDists parses the taudist= list. Distribution specs contain
+// commas and colons, so list elements are separated by '|':
+// taudist=global|mix:0.35,0.45:0.5. Specs are validated and stored in
+// canonical form, so equivalent spellings share cell identities.
+func parseTauDists(value string) ([]string, error) {
+	var out []string
+	for _, item := range strings.Split(value, "|") {
+		d, err := topology.ParseTauDist(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d.String())
 	}
 	return out, nil
 }

@@ -129,9 +129,27 @@ func (rs *ResultSet) Groups() []Group {
 	return out
 }
 
+// sweepsScenario reports whether any scenario axis of the (normalized)
+// grid deviates from the paper's defaults. Scenario columns appear in
+// tables and artifacts only then, so default sweeps keep their
+// pre-scenario shapes.
+func (g Grid) sweepsScenario() bool {
+	n := g.normalized()
+	if len(n.Boundaries) > 1 || n.Boundaries[0] != BoundaryTorus {
+		return true
+	}
+	if len(n.Rhos) > 1 || n.Rhos[0] != 0 {
+		return true
+	}
+	return len(n.TauDists) > 1 || n.TauDists[0] != TauDistGlobal
+}
+
 // paramColumns returns the header of the parameter part of a row.
 func (rs *ResultSet) paramColumns() []string {
 	cols := []string{"dynamic", "n", "w", "tau", "p"}
+	if rs.Grid.sweepsScenario() {
+		cols = append(cols, "boundary", "rho", "taudist")
+	}
 	if rs.Grid.ExtraName != "" {
 		cols = append(cols, rs.Grid.ExtraName)
 	}
@@ -146,6 +164,9 @@ func (rs *ResultSet) paramCells(c Cell) []string {
 		strconv.Itoa(c.W),
 		fullFloat(c.Tau),
 		fullFloat(c.P),
+	}
+	if rs.Grid.sweepsScenario() {
+		cells = append(cells, c.Boundary, fullFloat(c.Rho), c.TauDist)
 	}
 	if rs.Grid.ExtraName != "" {
 		cells = append(cells, fullFloat(c.Extra))
@@ -229,17 +250,23 @@ func nanFloats(vs []float64) []nanFloat {
 	return out
 }
 
-// jsonResult is the JSON shape of one cell result.
+// jsonResult is the JSON shape of one cell result. The scenario
+// fields are populated only for grids that sweep a scenario axis
+// (like the CSV columns), so default sweeps keep their pre-scenario
+// shape.
 type jsonResult struct {
-	Index   int        `json:"index"`
-	Dynamic string     `json:"dynamic"`
-	N       int        `json:"n"`
-	W       int        `json:"w"`
-	Tau     float64    `json:"tau"`
-	P       float64    `json:"p"`
-	Extra   float64    `json:"extra,omitempty"`
-	Rep     int        `json:"rep"`
-	Values  []nanFloat `json:"values"`
+	Index    int        `json:"index"`
+	Dynamic  string     `json:"dynamic"`
+	N        int        `json:"n"`
+	W        int        `json:"w"`
+	Tau      float64    `json:"tau"`
+	P        float64    `json:"p"`
+	Boundary string     `json:"boundary,omitempty"`
+	Rho      *float64   `json:"rho,omitempty"`
+	TauDist  string     `json:"taudist,omitempty"`
+	Extra    float64    `json:"extra,omitempty"`
+	Rep      int        `json:"rep"`
+	Values   []nanFloat `json:"values"`
 }
 
 // WriteJSON emits the result set as a single JSON document with the
@@ -250,12 +277,18 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error {
 		Columns   []string     `json:"columns"`
 		Results   []jsonResult `json:"results"`
 	}{ExtraName: rs.Grid.ExtraName, Columns: rs.Columns}
+	scenario := rs.Grid.sweepsScenario()
 	for i, c := range rs.Cells {
-		doc.Results = append(doc.Results, jsonResult{
+		jr := jsonResult{
 			Index: c.Index, Dynamic: c.Dynamic, N: c.N, W: c.W,
 			Tau: c.Tau, P: c.P, Extra: c.Extra, Rep: c.Rep,
 			Values: nanFloats(rs.Values[i]),
-		})
+		}
+		if scenario {
+			rho := c.Rho
+			jr.Boundary, jr.Rho, jr.TauDist = c.Boundary, &rho, c.TauDist
+		}
+		doc.Results = append(doc.Results, jr)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -268,7 +301,11 @@ func (rs *ResultSet) WriteJSON(w io.Writer) error {
 // SummaryTable renders one row per parameter combination with the
 // per-column mean over replicates (NaN samples skipped).
 func (rs *ResultSet) SummaryTable(title string) *report.Table {
+	scenario := rs.Grid.sweepsScenario()
 	cols := []string{"dynamic", "n", "w", "tau", "p"}
+	if scenario {
+		cols = append(cols, "boundary", "rho", "taudist")
+	}
 	if rs.Grid.ExtraName != "" {
 		cols = append(cols, rs.Grid.ExtraName)
 	}
@@ -284,6 +321,9 @@ func (rs *ResultSet) SummaryTable(title string) *report.Table {
 			strconv.Itoa(g.Cell.W),
 			fullFloat(g.Cell.Tau),
 			fullFloat(g.Cell.P),
+		}
+		if scenario {
+			row = append(row, g.Cell.Boundary, fullFloat(g.Cell.Rho), g.Cell.TauDist)
 		}
 		if rs.Grid.ExtraName != "" {
 			row = append(row, fullFloat(g.Cell.Extra))

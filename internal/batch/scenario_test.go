@@ -1,0 +1,158 @@
+package batch
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gridseg/internal/grid"
+)
+
+// TestParseGridScenarioAxes covers the boundary=, rho=, and taudist=
+// keys, including canonicalization of equivalent taudist spellings.
+func TestParseGridScenarioAxes(t *testing.T) {
+	g, err := ParseGrid("n=64 w=2 tau=0.42 boundary=torus,open rho=0:0.1:0.05 taudist=global|mix:0.350,0.45:0.50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Boundaries) != 2 || g.Boundaries[0] != BoundaryTorus || g.Boundaries[1] != BoundaryOpen {
+		t.Errorf("boundaries = %v", g.Boundaries)
+	}
+	if len(g.Rhos) != 3 || g.Rhos[2] != 0.1 {
+		t.Errorf("rhos = %v", g.Rhos)
+	}
+	if len(g.TauDists) != 2 || g.TauDists[1] != "mix:0.35,0.45:0.5" {
+		t.Errorf("taudists = %v (want canonical forms)", g.TauDists)
+	}
+	if got, want := g.Size(), 2*3*2; got != want {
+		t.Errorf("Size = %d, want %d", got, want)
+	}
+	cells := g.Cells()
+	if len(cells) != g.Size() {
+		t.Fatalf("Cells/Size mismatch")
+	}
+	last := cells[len(cells)-1]
+	if last.Boundary != BoundaryOpen || last.Rho != 0.1 || last.TauDist != "mix:0.35,0.45:0.5" {
+		t.Errorf("last cell scenario = %q/%v/%q", last.Boundary, last.Rho, last.TauDist)
+	}
+}
+
+// TestParseGridScenarioRejects pins the scenario-axis validation.
+func TestParseGridScenarioRejects(t *testing.T) {
+	for _, spec := range []string{
+		"n=64 w=2 tau=0.42 boundary=klein",
+		"n=64 w=2 tau=0.42 rho=1",
+		"n=64 w=2 tau=0.42 rho=-0.1",
+		"n=64 w=2 tau=0.42 taudist=mix:2,3:0.5",
+		"n=64 w=2 tau=0.42 taudist=gauss:0:1",
+		"n=64 w=2 tau=0.42 dyn=move",
+		"n=64 w=2 tau=0.42 dyn=move rho=0,0.1",
+		"n=64 w=2 tau=0.42 dyn=glauber,move rho=0.1,0",
+	} {
+		if _, err := ParseGrid(spec); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		}
+	}
+	if _, err := ParseGrid("n=64 w=2 tau=0.42 dyn=move rho=0.05,0.1"); err != nil {
+		t.Errorf("valid move grid rejected: %v", err)
+	}
+}
+
+// TestParseGridWindowValidation pins the typed error for horizons
+// whose window would wrap onto the torus: user-supplied (n, w) pairs
+// fail at parse time with grid.ErrWindowTooLarge instead of panicking
+// inside a sweep.
+func TestParseGridWindowValidation(t *testing.T) {
+	_, err := ParseGrid("n=5 w=3 tau=0.42")
+	if !errors.Is(err, grid.ErrWindowTooLarge) {
+		t.Fatalf("n=5 w=3: err = %v, want grid.ErrWindowTooLarge", err)
+	}
+	// One bad combination in a product poisons the grid.
+	_, err = ParseGrid("n=5,64 w=1,3 tau=0.42")
+	if !errors.Is(err, grid.ErrWindowTooLarge) {
+		t.Fatalf("product with bad pair: err = %v, want grid.ErrWindowTooLarge", err)
+	}
+	if _, err := ParseGrid("n=7 w=3 tau=0.42"); err != nil {
+		t.Fatalf("n=7 w=3 rejected: %v", err)
+	}
+}
+
+// TestCellSeedScenarioStability pins the seed-compatibility contract:
+// default-scenario cells keep their pre-scenario identity strings and
+// hence their derived seeds, while any non-default coordinate forks
+// the stream.
+func TestCellSeedScenarioStability(t *testing.T) {
+	base := Cell{N: 96, W: 2, Tau: 0.42, P: 0.5, Dynamic: Glauber, Rep: 3}
+	normalized := base
+	normalized.Boundary, normalized.TauDist = BoundaryTorus, TauDistGlobal
+	if CellSeed(7, "grid", base) != CellSeed(7, "grid", normalized) {
+		t.Error("normalized default scenario changed the cell seed")
+	}
+	// The exact identity string is the seed contract; a change here
+	// silently reshuffles every default cell's random stream.
+	if got, want := base.identity(), "dyn=glauber;n=96;w=2;tau=0.42;p=0.5;x=0;rep=3"; got != want {
+		t.Errorf("default identity = %q, want %q", got, want)
+	}
+	open := base
+	open.Boundary = BoundaryOpen
+	vac := base
+	vac.Rho = 0.05
+	het := base
+	het.TauDist = "mix:0.35,0.45:0.5"
+	seeds := map[uint64]string{CellSeed(7, "grid", base): "default"}
+	for _, c := range []Cell{open, vac, het} {
+		s := CellSeed(7, "grid", c)
+		if prev, dup := seeds[s]; dup {
+			t.Errorf("cell %+v shares a seed with %s", c, prev)
+		}
+		seeds[s] = c.identity()
+	}
+	if got, want := open.identity(), "dyn=glauber;n=96;w=2;tau=0.42;p=0.5;x=0;rep=3;b=open;rho=0;taudist=global"; got != want {
+		t.Errorf("open identity = %q, want %q", got, want)
+	}
+}
+
+// TestGroupKeySeparatesScenarios keeps replicate folding from merging
+// cells that differ only in a scenario coordinate.
+func TestGroupKeySeparatesScenarios(t *testing.T) {
+	a := Cell{N: 32, W: 1, Tau: 0.42, P: 0.5, Dynamic: Glauber, Boundary: BoundaryTorus, TauDist: TauDistGlobal}
+	b := a
+	b.Boundary = BoundaryOpen
+	c := a
+	c.Rho = 0.05
+	if a.GroupKey() == b.GroupKey() || a.GroupKey() == c.GroupKey() {
+		t.Error("scenario coordinates missing from GroupKey")
+	}
+}
+
+// TestFingerprintScenarioAxes: grids differing only in a scenario axis
+// must not share checkpoints.
+func TestFingerprintScenarioAxes(t *testing.T) {
+	base := Grid{Ns: []int{32}, Ws: []int{1}, Taus: []float64{0.42}}
+	open := base
+	open.Boundaries = []string{BoundaryOpen}
+	cols := []string{"a"}
+	if base.Fingerprint(1, "grid", cols) == open.Fingerprint(1, "grid", cols) {
+		t.Error("boundary axis missing from fingerprint")
+	}
+	vac := base
+	vac.Rhos = []float64{0.05}
+	if base.Fingerprint(1, "grid", cols) == vac.Fingerprint(1, "grid", cols) {
+		t.Error("rho axis missing from fingerprint")
+	}
+}
+
+// TestParseGridWindowValidationScales guards the validation cost: two
+// maximal axes must be rejected (or accepted) in well under a second,
+// not via an O(|Ns|*|Ws|) pair scan.
+func TestParseGridWindowValidationScales(t *testing.T) {
+	start := time.Now()
+	_, err := ParseGrid("n=3000000:3262143 w=1:262144 tau=0.42")
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("ParseGrid took %v on maximal axes", elapsed)
+	}
+	// The grid itself is far beyond MaxGridCells, so it must error.
+	if err == nil {
+		t.Fatal("oversized grid accepted")
+	}
+}

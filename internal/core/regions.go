@@ -152,7 +152,9 @@ func CountUnhappyMinority(l *grid.Lattice, c geom.Point, radius, w, thresh int, 
 		if l.Spin(p) != minority {
 			return
 		}
-		plus := pre.PlusInSquare(p, w)
+		// The horizon is validated by every caller (2w+1 <= n), so the
+		// count query cannot fail here.
+		plus, _ := pre.PlusInSquare(p, w)
 		if !happyWithCounts(minority, plus, nbhd, thresh) {
 			count++
 		}
@@ -352,7 +354,9 @@ func IsRegionOfExpansion(l *grid.Lattice, c geom.Point, radius, w, thresh int, t
 				// Plus count of N_w(v) after substituting the block:
 				// actual count, minus the block-area contribution,
 				// plus the full block intersection if target is +.
-				plus := pre.PlusInSquare(v, w)
+				// The horizon is validated upstream, so the query
+				// cannot fail.
+				plus, _ := pre.PlusInSquare(v, w)
 				interPlus, interArea := intersectionCounts(pre, tor, v, w, bc, blockR, l.N())
 				plusAfter := plus - interPlus
 				if target == grid.Plus {

@@ -361,7 +361,7 @@ func TestRegionOfExpansionMatchesDirectSubstitution(t *testing.T) {
 			if l.Spin(v) != grid.Minus {
 				return
 			}
-			plus := pre.PlusInSquare(v, w)
+			plus, _ := pre.PlusInSquare(v, w)
 			if nbhd-plus >= thresh { // minus agent still happy
 				ok = false
 			}

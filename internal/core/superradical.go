@@ -16,7 +16,9 @@ import (
 // For tau < 1/2 this coincides with plain unhappiness.
 func SuperUnhappy(l *grid.Lattice, pre *grid.Prefix, p geom.Point, w, thresh int) bool {
 	nbhd := geom.SquareSize(w)
-	plus := pre.PlusInSquare(p, w)
+	// Callers validate the horizon (2w+1 <= n), so the query cannot
+	// fail.
+	plus, _ := pre.PlusInSquare(p, w)
 	same := plus
 	if l.Spin(p) == grid.Minus {
 		same = nbhd - plus

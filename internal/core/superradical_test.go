@@ -19,7 +19,7 @@ func TestSuperUnhappyCoincidesBelowHalf(t *testing.T) {
 	thresh := theory.Threshold(0.45, nbhd) // 12 < 13 = ceil(N/2)
 	for i := 0; i < l.Sites(); i++ {
 		p := l.Torus().At(i)
-		plus := pre.PlusInSquare(p, w)
+		plus, _ := pre.PlusInSquare(p, w)
 		same := plus
 		if l.Spin(p) == grid.Minus {
 			same = nbhd - plus
@@ -40,7 +40,7 @@ func TestSuperUnhappyStrictlyStrongerAboveHalf(t *testing.T) {
 	unhappyCount, superCount := 0, 0
 	for i := 0; i < l.Sites(); i++ {
 		p := l.Torus().At(i)
-		plus := pre.PlusInSquare(p, w)
+		plus, _ := pre.PlusInSquare(p, w)
 		same := plus
 		if l.Spin(p) == grid.Minus {
 			same = nbhd - plus

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"gridseg"
+	"gridseg/internal/batch"
 )
 
 // Cell is one differential test point.
@@ -27,15 +28,32 @@ type Cell struct {
 	P       float64
 	Dynamic gridseg.Dynamic
 	Seed    uint64
+	// Scenario coordinates (zero values are the paper's setting).
+	Boundary gridseg.Boundary
+	Rho      float64
+	TauDist  string
+}
+
+// defaultScenario reports whether the cell runs the paper's setting,
+// the precondition for the fast engine.
+func (c Cell) defaultScenario() bool {
+	return batch.DefaultScenario(c.Boundary.String(), c.Rho, c.TauDist)
 }
 
 // String renders the cell compactly for failure messages.
 func (c Cell) String() string {
 	dyn := "glauber"
-	if c.Dynamic == gridseg.Kawasaki {
+	switch c.Dynamic {
+	case gridseg.Kawasaki:
 		dyn = "kawasaki"
+	case gridseg.Move:
+		dyn = "move"
 	}
-	return fmt.Sprintf("n=%d w=%d tau=%v p=%v dyn=%s seed=%d", c.N, c.W, c.Tau, c.P, dyn, c.Seed)
+	s := fmt.Sprintf("n=%d w=%d tau=%v p=%v dyn=%s seed=%d", c.N, c.W, c.Tau, c.P, dyn, c.Seed)
+	if !c.defaultScenario() {
+		s += fmt.Sprintf(" boundary=%s rho=%v taudist=%s", c.Boundary, c.Rho, c.TauDist)
+	}
+	return s
 }
 
 // Options tunes a differential run.
@@ -65,21 +83,36 @@ type Result struct {
 }
 
 // Compare builds the cell's model twice — reference engine vs the fast
-// engine (vs auto for Kawasaki cells, where fast does not apply) — and
-// steps both in lockstep until fixation or the event cap. It returns
-// the first divergence as an error.
+// engine where the fast engine applies (default-scenario Glauber), vs
+// auto elsewhere (Kawasaki, Move, and every non-default scenario,
+// where auto must resolve to the reference engine) — and steps both in
+// lockstep until fixation or the event cap. It returns the first
+// divergence as an error.
+//
+// For cells outside the fast engine's coverage, Compare also pins the
+// documented fallback contract: auto resolves to the reference engine,
+// and an explicit fast request fails loudly instead of silently
+// falling back.
 func Compare(c Cell, opt Options) (Result, error) {
 	base := gridseg.Config{
 		N: c.N, W: c.W, Tau: c.Tau, P: c.P,
 		Seed: c.Seed, Dynamic: c.Dynamic,
+		Boundary: c.Boundary, Rho: c.Rho, TauDist: c.TauDist,
 	}
+	fastApplies := c.Dynamic == gridseg.Glauber && c.defaultScenario()
 	refCfg, underCfg := base, base
 	refCfg.Engine = gridseg.EngineReference
 	underCfg.Engine = gridseg.EngineFast
-	if c.Dynamic == gridseg.Kawasaki {
-		// No fast Kawasaki engine exists; compare auto against
-		// reference to pin the selection plumbing and determinism.
+	if !fastApplies {
+		// No fast engine exists for this cell; compare auto against
+		// reference to pin the selection plumbing and determinism, and
+		// demand the explicit fast request errors.
 		underCfg.Engine = gridseg.EngineAuto
+		fastCfg := base
+		fastCfg.Engine = gridseg.EngineFast
+		if _, err := gridseg.New(fastCfg); err == nil {
+			return Result{}, fmt.Errorf("difftest: %s: explicit fast engine must be rejected outside its coverage", c)
+		}
 	}
 	ref, err := gridseg.New(refCfg)
 	if err != nil {
@@ -88,6 +121,9 @@ func Compare(c Cell, opt Options) (Result, error) {
 	under, err := gridseg.New(underCfg)
 	if err != nil {
 		return Result{}, fmt.Errorf("difftest: %s: under test: %w", c, err)
+	}
+	if !fastApplies && under.Engine() != gridseg.EngineReference {
+		return Result{}, fmt.Errorf("difftest: %s: auto resolved to %v, want the reference fallback", c, under.Engine())
 	}
 
 	res := Result{Cell: c}

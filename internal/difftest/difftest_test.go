@@ -49,6 +49,19 @@ var acceptanceCells = []Cell{
 	{N: 96, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 22},
 	{N: 64, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 23},
 	{N: 128, W: 1, Tau: 0.42, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 24},
+	// Scenario cells: the fast engine covers none of these, so each
+	// pins the documented fallback — auto resolves to the reference
+	// engine, an explicit fast request errors — plus determinism of
+	// the scenario dynamics themselves (the two models must stay in
+	// lockstep because they run the identical reference engine).
+	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 27, Boundary: gridseg.BoundaryOpen},
+	{N: 96, W: 3, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 28, Boundary: gridseg.BoundaryOpen},
+	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 29, Rho: 0.1},
+	{N: 96, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 30, Boundary: gridseg.BoundaryOpen, Rho: 0.05},
+	{N: 96, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 31, TauDist: "mix:0.35,0.45:0.5"},
+	{N: 64, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 32, Boundary: gridseg.BoundaryOpen, Rho: 0.05, TauDist: "uniform:0.35:0.5"},
+	{N: 64, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Move, Seed: 33, Rho: 0.1},
+	{N: 64, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 34, Boundary: gridseg.BoundaryOpen, Rho: 0.05},
 }
 
 // TestEnginesBitIdentical is the acceptance harness: >= 20 cells,

@@ -125,6 +125,12 @@ func New(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Process,
 	if src == nil {
 		return nil, errors.New("fastglauber: nil random source")
 	}
+	if lat.HasVacancies() {
+		// One spin per bit leaves no room for an occupancy state; the
+		// scenario layer routes vacancy (and open-boundary, and
+		// heterogeneous-tau) runs to the reference engine instead.
+		return nil, errors.New("fastglauber: vacancy lattices need the reference engine")
+	}
 	nbhd := (2*w + 1) * (2*w + 1)
 	if nbhd > MaxNeighborhood {
 		return nil, fmt.Errorf("fastglauber: neighborhood size %d exceeds count lane capacity %d (use the reference engine)", nbhd, MaxNeighborhood)

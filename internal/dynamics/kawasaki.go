@@ -31,7 +31,15 @@ type Kawasaki struct {
 // NewKawasaki creates a Kawasaki process over the lattice with horizon w
 // and intolerance tauTilde. The lattice is mutated in place.
 func NewKawasaki(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Kawasaki, error) {
-	p, err := New(lat, w, tauTilde, src)
+	return NewKawasakiScenario(lat, w, tauTilde, Scenario{}, src)
+}
+
+// NewKawasakiScenario creates a Kawasaki process under the given
+// scenario (open boundaries, per-site tau, vacancies read off the
+// lattice). Swaps exchange two unhappy agents of opposite types;
+// vacant sites never participate.
+func NewKawasakiScenario(lat *grid.Lattice, w int, tauTilde float64, sc Scenario, src *rng.Source) (*Kawasaki, error) {
+	p, err := NewScenario(lat, w, tauTilde, sc, src)
 	if err != nil {
 		return nil, err
 	}
@@ -69,50 +77,16 @@ func (k *Kawasaki) refreshSets(i int) {
 	unhappy := !k.p.Happy(i)
 	wantPlus := unhappy && spin == grid.Plus
 	wantMinus := unhappy && spin == grid.Minus
-	k.setMembership(&k.unhappyPlus, k.posPlus, i, wantPlus)
-	k.setMembership(&k.unhappyMinus, k.posMinus, i, wantMinus)
-}
-
-func (k *Kawasaki) setMembership(set *[]int32, pos []int32, i int, want bool) {
-	in := pos[i] >= 0
-	switch {
-	case want && !in:
-		pos[i] = int32(len(*set))
-		*set = append(*set, int32(i))
-	case !want && in:
-		j := pos[i]
-		last := (*set)[len(*set)-1]
-		(*set)[j] = last
-		pos[last] = j
-		*set = (*set)[:len(*set)-1]
-		pos[i] = -1
-	}
+	setMembership(&k.unhappyPlus, k.posPlus, i, wantPlus)
+	setMembership(&k.unhappyMinus, k.posMinus, i, wantMinus)
 }
 
 // forceFlipTracked flips site i in the underlying process and refreshes
-// the per-type unhappy sets of every affected site.
+// the per-type unhappy sets of every affected site (the window wraps
+// or clamps per the scenario's boundary).
 func (k *Kawasaki) forceFlipTracked(i int) {
 	k.p.ForceFlip(i)
-	n, w := k.p.n, k.p.w
-	x0, y0 := i%n, i/n
-	for dy := -w; dy <= w; dy++ {
-		y := y0 + dy
-		if y < 0 {
-			y += n
-		} else if y >= n {
-			y -= n
-		}
-		row := y * n
-		for dx := -w; dx <= w; dx++ {
-			x := x0 + dx
-			if x < 0 {
-				x += n
-			} else if x >= n {
-				x -= n
-			}
-			k.refreshSets(row + x)
-		}
-	}
+	k.p.forEachWindowSite(i, k.refreshSets)
 }
 
 // StepAttempt samples one unhappy agent of each type uniformly at random

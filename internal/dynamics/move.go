@@ -1,0 +1,215 @@
+package dynamics
+
+import (
+	"errors"
+	"fmt"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// Move is the relocation dynamic enabled by vacancy scenarios: an
+// unhappy agent moves into a vacant site if it would be happy there —
+// the Schelling-style "move into empty houses" dynamic studied (as the
+// physical, Kawasaki-like conserved variant) by Stauffer and Solomon.
+// The number of agents of each type is conserved; vacancies move in
+// the opposite direction. Happiness follows the scenario-generalized
+// definition of Process: same(u) >= ceil(tau_u * occ(u)) over the
+// occupied part of the (possibly clamped) window, with intolerance
+// attached to locations (quenched disorder), not carried by movers.
+//
+// Like the Kawasaki baseline there is no Lyapunov guarantee under pair
+// sampling, so runs are bounded by an attempt budget with a
+// consecutive-failure heuristic.
+type Move struct {
+	p *Process
+	// Unhappy agents (both types) and vacant sites, with swap-remove
+	// position tracking; sampling is uniform over each.
+	unhappySet []int32
+	posUnhappy []int32
+	vacantSet  []int32
+	posVacant  []int32
+	moves      int64
+	attempts   int64
+}
+
+// NewMove creates a relocation process over the lattice, which must
+// contain at least one vacant site (build it with grid.RandomScenario
+// and rho > 0). The lattice is mutated in place.
+func NewMove(lat *grid.Lattice, w int, tauTilde float64, sc Scenario, src *rng.Source) (*Move, error) {
+	if !lat.HasVacancies() {
+		return nil, errors.New("dynamics: the move dynamic needs vacant sites (rho > 0)")
+	}
+	p, err := NewScenario(lat, w, tauTilde, sc, src)
+	if err != nil {
+		return nil, err
+	}
+	m := &Move{
+		p:          p,
+		posUnhappy: make([]int32, lat.Sites()),
+		posVacant:  make([]int32, lat.Sites()),
+	}
+	for i := range m.posUnhappy {
+		m.posUnhappy[i] = -1
+		m.posVacant[i] = -1
+	}
+	for i := 0; i < lat.Sites(); i++ {
+		m.refreshSets(i)
+	}
+	return m, nil
+}
+
+// Process returns the underlying count-tracking process (read-only use).
+func (m *Move) Process() *Process { return m.p }
+
+// Moves returns the number of successful relocations so far.
+func (m *Move) Moves() int64 { return m.moves }
+
+// Attempts returns the number of attempted relocations so far.
+func (m *Move) Attempts() int64 { return m.attempts }
+
+// Counts returns the numbers of unhappy agents and vacant sites.
+func (m *Move) Counts() (unhappy, vacant int) {
+	return len(m.unhappySet), len(m.vacantSet)
+}
+
+// refreshSets updates site i's membership in the unhappy-agent and
+// vacant-site samples.
+func (m *Move) refreshSets(i int) {
+	occupied := m.p.lat.OccupiedAt(i)
+	setMembership(&m.unhappySet, m.posUnhappy, i, occupied && !m.p.Happy(i))
+	setMembership(&m.vacantSet, m.posVacant, i, !occupied)
+}
+
+// setMembership maintains a swap-remove set with position tracking
+// (shared by the Kawasaki and Move samplers).
+func setMembership(set *[]int32, pos []int32, i int, want bool) {
+	in := pos[i] >= 0
+	switch {
+	case want && !in:
+		pos[i] = int32(len(*set))
+		*set = append(*set, int32(i))
+	case !want && in:
+		j := pos[i]
+		last := (*set)[len(*set)-1]
+		(*set)[j] = last
+		pos[last] = j
+		*set = (*set)[:len(*set)-1]
+		pos[i] = -1
+	}
+}
+
+// relocate moves the agent at u to the vacant site v, refreshing both
+// sample sets over the two affected windows.
+func (m *Move) relocate(u, v int) grid.Spin {
+	s := m.p.remove(u)
+	m.p.place(v, s)
+	m.p.forEachWindowSite(u, m.refreshSets)
+	m.p.forEachWindowSite(v, m.refreshSets)
+	return s
+}
+
+// wouldBeHappy reports whether the agent of type s currently at u
+// would be happy at the vacant site v after its departure (so an agent
+// cannot count its old self in an overlapping window), computed from
+// the maintained counts without mutating any state. It must agree
+// exactly with relocating and asking Happy(v) — the property test in
+// move's suite pins the equivalence — because rejected attempts vastly
+// outnumber accepted ones near quasi-fixation, and this read-only form
+// costs O(1) instead of four window sweeps.
+func (m *Move) wouldBeHappy(u, v int, s grid.Spin) bool {
+	p := m.p
+	occ := int(p.occ[v])
+	plus := int(p.plus[v])
+	if p.inWindow(v, u) {
+		occ--
+		if s == grid.Plus {
+			plus--
+		}
+	}
+	occ++ // the mover itself joins N(v)
+	same := occ - plus
+	if s == grid.Plus {
+		same = plus + 1
+	}
+	return same >= theory.Threshold(p.tauAt(v), occ)
+}
+
+// StepAttempt samples one unhappy agent and one vacant site uniformly
+// at random and relocates the agent iff it would be happy at the new
+// location (evaluated after its departure). It returns moved=false
+// with done=true when no unhappy agent remains.
+func (m *Move) StepAttempt() (moved, done bool) {
+	if len(m.unhappySet) == 0 {
+		return false, true
+	}
+	m.attempts++
+	u := int(m.unhappySet[m.p.src.Intn(len(m.unhappySet))])
+	v := int(m.vacantSet[m.p.src.Intn(len(m.vacantSet))])
+	if !m.wouldBeHappy(u, v, m.p.lat.SpinAt(u)) {
+		return false, false
+	}
+	m.relocate(u, v)
+	m.moves++
+	return true, false
+}
+
+// Run performs relocation attempts until no unhappy agent remains,
+// until maxAttempts have been made, or until failStreak consecutive
+// attempts fail. It returns the number of successful moves performed
+// by this call and whether the process reached the no-unhappy state.
+func (m *Move) Run(maxAttempts, failStreak int64) (performed int64, done bool) {
+	if maxAttempts <= 0 {
+		return 0, false
+	}
+	var streak int64
+	for a := int64(0); a < maxAttempts; a++ {
+		moved, noUnhappy := m.StepAttempt()
+		if noUnhappy {
+			return performed, true
+		}
+		if moved {
+			performed++
+			streak = 0
+		} else {
+			streak++
+			if failStreak > 0 && streak >= failStreak {
+				return performed, false
+			}
+		}
+	}
+	return performed, false
+}
+
+// CheckInvariants verifies the sample sets against brute force in
+// addition to the underlying process invariants.
+func (m *Move) CheckInvariants() error {
+	if err := m.p.CheckInvariants(); err != nil {
+		return err
+	}
+	inUnhappy := map[int32]bool{}
+	for j, site := range m.unhappySet {
+		if m.posUnhappy[site] != int32(j) {
+			return fmt.Errorf("posUnhappy[%d] = %d, want %d", site, m.posUnhappy[site], j)
+		}
+		inUnhappy[site] = true
+	}
+	inVacant := map[int32]bool{}
+	for j, site := range m.vacantSet {
+		if m.posVacant[site] != int32(j) {
+			return fmt.Errorf("posVacant[%d] = %d, want %d", site, m.posVacant[site], j)
+		}
+		inVacant[site] = true
+	}
+	for i := 0; i < m.p.lat.Sites(); i++ {
+		occupied := m.p.lat.OccupiedAt(i)
+		if inUnhappy[int32(i)] != (occupied && !m.p.Happy(i)) {
+			return fmt.Errorf("unhappy membership of %d wrong", i)
+		}
+		if inVacant[int32(i)] != !occupied {
+			return fmt.Errorf("vacant membership of %d wrong", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+package dynamics
+
+import (
+	"testing"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/theory"
+)
+
+// newScenarioLattice draws a lattice for scenario tests.
+func newScenarioLattice(t *testing.T, n int, rho float64, seed uint64) *grid.Lattice {
+	t.Helper()
+	l := grid.RandomScenario(n, 0.5, rho, rng.New(seed))
+	if rho > 0 && !l.HasVacancies() {
+		t.Fatalf("rho=%v lattice drew no vacancies", rho)
+	}
+	return l
+}
+
+// TestScenarioDefaultMatchesNew pins seed stability: the scenario
+// constructor with a zero scenario replays New's trajectory exactly.
+func TestScenarioDefaultMatchesNew(t *testing.T) {
+	a, err := New(grid.Random(24, 0.5, rng.New(3)), 2, 0.42, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScenario(grid.Random(24, 0.5, rng.New(3)), 2, 0.42, Scenario{}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(0)
+	b.Run(0)
+	if a.Flips() != b.Flips() || a.Time() != b.Time() || a.Lattice().String() != b.Lattice().String() {
+		t.Fatal("zero scenario diverges from New")
+	}
+}
+
+// TestOpenBoundaryProcess runs an open-boundary process to fixation
+// and audits its bookkeeping along the way. Every flip must still
+// raise Phi, and the per-site thresholds must honor the truncated
+// windows.
+func TestOpenBoundaryProcess(t *testing.T) {
+	lat := newScenarioLattice(t, 24, 0, 11)
+	p, err := NewScenario(lat, 2, 0.42, Scenario{Open: true}, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corner site 0 has a clamped 3x3 window: occ = 9, not 25.
+	if got := p.occAt(0); got != 9 {
+		t.Fatalf("corner occ = %d, want 9", got)
+	}
+	if got := p.threshAt(0); got != theory.Threshold(0.42, 9) {
+		t.Fatalf("corner thresh = %d, want %d", got, theory.Threshold(0.42, 9))
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	phi := p.Phi()
+	for ev := 0; ; ev++ {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		if next := p.Phi(); next <= phi {
+			t.Fatalf("event %d: Phi %d -> %d (must strictly increase)", ev, phi, next)
+		} else {
+			phi = next
+		}
+		if ev%64 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("event %d: %v", ev, err)
+			}
+		}
+	}
+	if !p.Fixated() {
+		t.Fatal("not fixated after Run")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVacancyGlauberProcess checks the vacancy-diluted flip dynamic:
+// vacant sites never flip, occupancy is static, and the bookkeeping
+// stays consistent to fixation.
+func TestVacancyGlauberProcess(t *testing.T) {
+	lat := newScenarioLattice(t, 24, 0.1, 21)
+	vacBefore := lat.Sites() - lat.CountOccupied()
+	p, err := NewScenario(lat, 2, 0.42, Scenario{}, rng.New(22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Agents() != lat.CountOccupied() {
+		t.Fatalf("agents = %d, want %d", p.Agents(), lat.CountOccupied())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		steps++
+		if steps%64 == 0 {
+			if err := p.CheckInvariants(); err != nil {
+				t.Fatalf("event %d: %v", steps, err)
+			}
+		}
+	}
+	if got := lat.Sites() - lat.CountOccupied(); got != vacBefore {
+		t.Fatalf("vacancies %d -> %d under flips", vacBefore, got)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerSiteTauProcess pins heterogeneous intolerance: sites with
+// tau=0 are always happy, and the thresholds reflect each site's own
+// tau.
+func TestPerSiteTauProcess(t *testing.T) {
+	n := 16
+	lat := grid.Random(n, 0.5, rng.New(31))
+	taus := make([]float64, n*n)
+	for i := range taus {
+		if i%2 == 0 {
+			taus[i] = 0.45
+		}
+	}
+	p, err := NewScenario(lat, 2, 0.42, Scenario{Taus: taus}, rng.New(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbhd := p.NeighborhoodSize()
+	if got := p.threshAt(0); got != theory.Threshold(0.45, nbhd) {
+		t.Fatalf("thresh[0] = %d, want %d", got, theory.Threshold(0.45, nbhd))
+	}
+	if got := p.threshAt(1); got != 0 {
+		t.Fatalf("thresh[1] = %d, want 0 (tau=0)", got)
+	}
+	if !p.Happy(1) {
+		t.Fatal("tau=0 site is unhappy")
+	}
+	p.Run(0)
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// All tau=0 sites end happy, trivially.
+	for i := 1; i < n*n; i += 2 {
+		if !p.Happy(i) {
+			t.Fatalf("tau=0 site %d unhappy at fixation", i)
+		}
+	}
+}
+
+// TestHappyAsVacantSite pins the hypothetical-placement semantics on
+// vacant sites against brute force: the probe joins the window as one
+// extra occupant and must be counted exactly once (a regression test —
+// the minus-probe path once counted it twice).
+func TestHappyAsVacantSite(t *testing.T) {
+	for seed := uint64(0); seed < 20; seed++ {
+		lat := grid.RandomScenario(9, 0.5, 0.3, rng.New(seed))
+		if !lat.HasVacancies() {
+			continue
+		}
+		p, err := NewScenario(lat, 1, 0.5, Scenario{}, rng.New(seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < lat.Sites(); i++ {
+			if lat.OccupiedAt(i) {
+				continue
+			}
+			for _, s := range []grid.Spin{grid.Plus, grid.Minus} {
+				got := p.HappyAs(i, s)
+				// Brute force: place, ask the rebuilt process, restore.
+				lat.SetAt(i, s)
+				fresh, err := NewScenario(lat.Clone(), 1, 0.5, Scenario{}, rng.New(1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := fresh.Happy(i)
+				lat.SetAt(i, grid.None)
+				if got != want {
+					t.Fatalf("seed %d site %d probe %v: HappyAs=%v brute=%v", seed, i, s, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioValidation covers the constructor's rejections.
+func TestScenarioValidation(t *testing.T) {
+	lat := grid.Random(9, 0.5, rng.New(1))
+	if _, err := NewScenario(lat, 2, 0.42, Scenario{Taus: []float64{0.1}}, rng.New(2)); err == nil {
+		t.Error("short tau field accepted")
+	}
+	bad := make([]float64, lat.Sites())
+	bad[7] = 1.5
+	if _, err := NewScenario(lat, 2, 0.42, Scenario{Taus: bad}, rng.New(2)); err == nil {
+		t.Error("out-of-range per-site tau accepted")
+	}
+}
+
+// TestMoveDynamic runs the relocation dynamic on a vacancy lattice:
+// type counts are conserved, vacancy count is conserved, every
+// successful move strictly reduces nothing it shouldn't, and the
+// bookkeeping survives an invariant audit throughout.
+func TestMoveDynamic(t *testing.T) {
+	lat := newScenarioLattice(t, 20, 0.15, 41)
+	plus, minus := lat.CountPlus(), lat.CountMinus()
+	vac := lat.Sites() - lat.CountOccupied()
+	m, err := NewMove(lat, 2, 0.42, Scenario{}, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2000; a++ {
+		moved, done := m.StepAttempt()
+		if done {
+			break
+		}
+		if moved && a%20 == 0 {
+			if err := m.CheckInvariants(); err != nil {
+				t.Fatalf("attempt %d: %v", a, err)
+			}
+		}
+	}
+	if lat.CountPlus() != plus || lat.CountMinus() != minus {
+		t.Fatalf("type counts changed: %d/%d -> %d/%d", plus, minus, lat.CountPlus(), lat.CountMinus())
+	}
+	if got := lat.Sites() - lat.CountOccupied(); got != vac {
+		t.Fatalf("vacancy count changed: %d -> %d", vac, got)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Moves() == 0 {
+		t.Fatal("no successful relocation in 2000 attempts")
+	}
+	// A successful move leaves the mover happy at its new site; after
+	// Run with a generous budget, either no unhappy agents remain or
+	// the budget/streak stopped it — both leave consistent state.
+	m.Run(int64(20*lat.Sites()), int64(lat.Sites()))
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoveRequiresVacancies pins the constructor guard.
+func TestMoveRequiresVacancies(t *testing.T) {
+	if _, err := NewMove(grid.Random(9, 0.5, rng.New(1)), 1, 0.4, Scenario{}, rng.New(2)); err == nil {
+		t.Fatal("move dynamic accepted a fully occupied lattice")
+	}
+}
+
+// TestMoveDeterminism pins the relocation dynamic's reproducibility.
+func TestMoveDeterminism(t *testing.T) {
+	run := func() (int64, string) {
+		lat := grid.RandomScenario(16, 0.5, 0.1, rng.New(51))
+		m, err := NewMove(lat, 2, 0.42, Scenario{Open: true}, rng.New(52))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Run(5000, 0)
+		return m.Moves(), lat.String()
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if m1 != m2 || s1 != s2 {
+		t.Fatal("move dynamic not deterministic")
+	}
+}
+
+// TestKawasakiScenario runs swaps under vacancies and open boundaries
+// with the invariant audit on.
+func TestKawasakiScenario(t *testing.T) {
+	lat := newScenarioLattice(t, 20, 0.1, 61)
+	plus, minus := lat.CountPlus(), lat.CountMinus()
+	k, err := NewKawasakiScenario(lat, 2, 0.42, Scenario{Open: true}, rng.New(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	k.Run(2000, 0)
+	if lat.CountPlus() != plus || lat.CountMinus() != minus {
+		t.Fatal("Kawasaki scenario does not conserve type counts")
+	}
+	if err := k.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMoveAcceptanceEquivalence pins the read-only acceptance check of
+// StepAttempt against the definitional form: physically relocate the
+// agent, ask Happy at the destination, and revert. The two must agree
+// for every (unhappy agent, vacant site) pair.
+func TestMoveAcceptanceEquivalence(t *testing.T) {
+	for _, open := range []bool{false, true} {
+		lat := grid.RandomScenario(16, 0.5, 0.2, rng.New(71))
+		m, err := NewMove(lat, 2, 0.45, Scenario{Open: open}, rng.New(72))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checked := 0
+		for _, u32 := range m.unhappySet {
+			for _, v32 := range m.vacantSet {
+				u, v := int(u32), int(v32)
+				s := lat.SpinAt(u)
+				got := m.wouldBeHappy(u, v, s)
+				m.relocate(u, v)
+				want := m.p.Happy(v)
+				m.relocate(v, u)
+				if got != want {
+					t.Fatalf("open=%v u=%d v=%d: wouldBeHappy=%v, relocate says %v", open, u, v, got, want)
+				}
+				checked++
+			}
+			if checked > 2000 {
+				break
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no pairs checked")
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("state mutated by equivalence sweep: %v", err)
+		}
+	}
+}

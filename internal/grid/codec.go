@@ -10,19 +10,37 @@ import (
 // Binary configuration format: a fixed header, bit-packed spins
 // (1 = Plus), and a CRC-32 of everything before it. The format lets
 // experiment runs checkpoint and replay exact configurations.
+//
+// Version 1 encodes fully occupied lattices (the paper's setting) with
+// one bit per site. Version 2 appends a second bit plane marking
+// occupied sites, so vacancy scenarios round-trip too; MarshalBinary
+// only emits it when the lattice actually has vacancies, keeping v1
+// bytes stable for every pre-scenario configuration.
 const (
-	codecMagic   = "GSEG"
-	codecVersion = 1
+	codecMagic    = "GSEG"
+	codecVersion  = 1
+	codecVersion2 = 2
+
+	// codecMaxSide bounds the accepted side length; anything larger is
+	// an implausible configuration (and would allocate gigabytes).
+	codecMaxSide = 1 << 15
 )
 
 // MarshalBinary encodes the lattice. The layout is
-// magic[4] version[1] n[4, big endian] packed-spins[ceil(n^2/8)] crc[4].
+// magic[4] version[1] n[4, big endian] packed-spins[ceil(n^2/8)]
+// {packed-occupancy[ceil(n^2/8)] if version 2} crc[4].
 func (l *Lattice) MarshalBinary() ([]byte, error) {
 	sites := l.Sites()
 	packed := (sites + 7) / 8
-	out := make([]byte, 0, 4+1+4+packed+4)
+	version := byte(codecVersion)
+	planes := 1
+	if l.HasVacancies() {
+		version = codecVersion2
+		planes = 2
+	}
+	out := make([]byte, 0, 4+1+4+planes*packed+4)
 	out = append(out, codecMagic...)
-	out = append(out, codecVersion)
+	out = append(out, version)
 	out = binary.BigEndian.AppendUint32(out, uint32(l.n))
 	bits := make([]byte, packed)
 	for i, s := range l.spins {
@@ -31,12 +49,22 @@ func (l *Lattice) MarshalBinary() ([]byte, error) {
 		}
 	}
 	out = append(out, bits...)
+	if planes == 2 {
+		occ := make([]byte, packed)
+		for i, s := range l.spins {
+			if s != None {
+				occ[i/8] |= 1 << (i % 8)
+			}
+		}
+		out = append(out, occ...)
+	}
 	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(out))
 	return out, nil
 }
 
 // UnmarshalBinary decodes a configuration written by MarshalBinary,
-// verifying magic, version, size consistency and checksum.
+// verifying magic, version, size consistency and checksum. It never
+// panics: truncated, corrupt, or implausible inputs return an error.
 func UnmarshalBinary(data []byte) (*Lattice, error) {
 	const headerLen = 4 + 1 + 4
 	if len(data) < headerLen+4 {
@@ -45,17 +73,22 @@ func UnmarshalBinary(data []byte) (*Lattice, error) {
 	if string(data[:4]) != codecMagic {
 		return nil, errors.New("grid: bad magic")
 	}
-	if data[4] != codecVersion {
-		return nil, fmt.Errorf("grid: unsupported version %d", data[4])
+	version := data[4]
+	if version != codecVersion && version != codecVersion2 {
+		return nil, fmt.Errorf("grid: unsupported version %d", version)
 	}
 	n := int(binary.BigEndian.Uint32(data[5:9]))
-	if n <= 0 || n > 1<<15 {
+	if n <= 0 || n > codecMaxSide {
 		return nil, fmt.Errorf("grid: implausible side length %d", n)
 	}
 	sites := n * n
 	packed := (sites + 7) / 8
-	if len(data) != headerLen+packed+4 {
-		return nil, fmt.Errorf("grid: length %d does not match side %d", len(data), n)
+	planes := 1
+	if version == codecVersion2 {
+		planes = 2
+	}
+	if len(data) != headerLen+planes*packed+4 {
+		return nil, fmt.Errorf("grid: length %d does not match side %d (v%d)", len(data), n, version)
 	}
 	body := data[:len(data)-4]
 	want := binary.BigEndian.Uint32(data[len(data)-4:])
@@ -67,6 +100,17 @@ func UnmarshalBinary(data []byte) (*Lattice, error) {
 	for i := 0; i < sites; i++ {
 		if bits[i/8]&(1<<(i%8)) != 0 {
 			l.spins[i] = Plus
+		}
+	}
+	if planes == 2 {
+		occ := data[headerLen+packed : headerLen+2*packed]
+		for i := 0; i < sites; i++ {
+			if occ[i/8]&(1<<(i%8)) == 0 {
+				if l.spins[i] == Plus {
+					return nil, fmt.Errorf("grid: site %d marked both +1 and vacant", i)
+				}
+				l.spins[i] = None
+			}
 		}
 	}
 	return l, nil

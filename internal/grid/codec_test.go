@@ -1,11 +1,19 @@
 package grid
 
 import (
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 	"testing/quick"
 
 	"gridseg/internal/rng"
 )
+
+// restamp recomputes the trailing CRC after a test mutated the body.
+func restamp(data []byte) {
+	body := data[:len(data)-4]
+	binary.BigEndian.PutUint32(data[len(data)-4:], crc32.ChecksumIEEE(body))
+}
 
 func TestCodecRoundTrip(t *testing.T) {
 	for _, n := range []int{1, 3, 8, 17, 50} {
@@ -57,6 +65,87 @@ func TestCodecRejectsSizeMismatch(t *testing.T) {
 	data[8] = 200
 	if _, err := UnmarshalBinary(data); err == nil {
 		t.Fatal("want error for size mismatch")
+	}
+}
+
+func TestCodecVacancyRoundTrip(t *testing.T) {
+	for _, rho := range []float64{0.05, 0.3, 0.9} {
+		l := RandomScenario(20, 0.5, rho, rng.New(uint64(rho*100)))
+		data, err := l.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if data[4] != codecVersion2 {
+			t.Fatalf("rho=%v: version %d, want v2 for vacancy lattices", rho, data[4])
+		}
+		back, err := UnmarshalBinary(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(l) {
+			t.Fatalf("rho=%v: vacancy round trip mismatch", rho)
+		}
+	}
+}
+
+// TestCodecFullLatticeStaysV1 pins backward compatibility: fully
+// occupied lattices keep the exact v1 encoding, so configurations
+// written before the scenario subsystem still decode, and new writes
+// of old-style lattices are byte-identical.
+func TestCodecFullLatticeStaysV1(t *testing.T) {
+	l := Random(9, 0.5, rng.New(3))
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != codecVersion {
+		t.Fatalf("version %d, want v1 for fully occupied lattices", data[4])
+	}
+}
+
+func TestCodecRejectsContradictoryPlanes(t *testing.T) {
+	// A site marked both +1 and vacant is structurally invalid; build
+	// such an object by flipping an occupancy bit and re-stamping the
+	// CRC.
+	l := RandomScenario(4, 1, 0.5, rng.New(8)) // all occupied sites are +
+	if !l.HasVacancies() || l.CountPlus() == 0 {
+		t.Skip("degenerate draw")
+	}
+	data, err := l.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a + site and clear its occupancy bit.
+	packed := (l.Sites() + 7) / 8
+	var target int = -1
+	for i := 0; i < l.Sites(); i++ {
+		if l.SpinAt(i) == Plus {
+			target = i
+			break
+		}
+	}
+	occStart := 4 + 1 + 4 + packed
+	data[occStart+target/8] &^= 1 << (target % 8)
+	restamp(data)
+	if _, err := UnmarshalBinary(data); err == nil {
+		t.Fatal("contradictory planes accepted")
+	}
+}
+
+func TestQuickCodecVacancyRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw, rhoRaw uint8) bool {
+		n := 1 + int(nRaw%30)
+		rho := float64(rhoRaw%10) / 10
+		l := RandomScenario(n, 0.5, rho, rng.New(seed))
+		data, err := l.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalBinary(data)
+		return err == nil && back.Equal(l)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
 	}
 }
 

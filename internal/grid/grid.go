@@ -15,24 +15,35 @@ import (
 	"gridseg/internal/rng"
 )
 
-// Spin is the type of an agent: +1 or -1 (the paper's two agent types).
+// Spin is the type of an agent: +1 or -1 (the paper's two agent
+// types), or None (0) for a vacant site in vacancy scenarios.
 type Spin int8
 
-// The two agent types.
+// The two agent types, plus the vacancy marker.
 const (
 	Plus  Spin = 1
 	Minus Spin = -1
+	// None marks a vacant site: no agent lives there. Vacancies only
+	// appear in scenarios with a positive vacancy fraction; the paper's
+	// lattices are fully occupied.
+	None Spin = 0
 )
 
-// Opposite returns the other spin.
+// Opposite returns the other spin (None maps to itself).
 func (s Spin) Opposite() Spin { return -s }
 
-// String returns "+" or "-".
+// Occupied reports whether the spin is an agent (not a vacancy).
+func (s Spin) Occupied() bool { return s != None }
+
+// String returns "+", "-", or "." for a vacancy.
 func (s Spin) String() string {
-	if s == Plus {
+	switch s {
+	case Plus:
 		return "+"
+	case Minus:
+		return "-"
 	}
-	return "-"
+	return "."
 }
 
 // Lattice is an n x n torus of spins. The zero value is not usable;
@@ -56,8 +67,21 @@ func New(n int, fill Spin) *Lattice {
 // probability p and Minus otherwise — the paper's initial configuration
 // (Bernoulli distribution of parameter p, with p = 1/2 in the theorems).
 func Random(n int, p float64, src *rng.Source) *Lattice {
+	return RandomScenario(n, p, 0, src)
+}
+
+// RandomScenario returns a lattice where each site is independently
+// vacant with probability rho, and otherwise holds a Plus agent with
+// probability p (Minus otherwise). With rho = 0 it consumes the random
+// stream exactly like Random (the vacancy draw is skipped, not
+// wasted), so default-scenario seeds stay stable.
+func RandomScenario(n int, p, rho float64, src *rng.Source) *Lattice {
 	l := New(n, Minus)
 	for i := range l.spins {
+		if src.Bernoulli(rho) {
+			l.spins[i] = None
+			continue
+		}
 		if src.Bernoulli(p) {
 			l.spins[i] = Plus
 		}
@@ -65,9 +89,10 @@ func Random(n int, p float64, src *rng.Source) *Lattice {
 	return l
 }
 
-// Parse builds a lattice from rows of '+' and '-' characters separated by
-// newlines; whitespace-only lines are ignored. All rows must have equal
-// length and the result must be square. This is a testing convenience.
+// Parse builds a lattice from rows of '+', '-', and '.' (vacancy)
+// characters separated by newlines; whitespace-only lines are ignored.
+// All rows must have equal length and the result must be square. This
+// is a testing convenience.
 func Parse(s string) (*Lattice, error) {
 	var rows []string
 	for _, line := range strings.Split(s, "\n") {
@@ -91,6 +116,8 @@ func Parse(s string) (*Lattice, error) {
 				l.spins[y*n+x] = Plus
 			case '-':
 				l.spins[y*n+x] = Minus
+			case '.':
+				l.spins[y*n+x] = None
 			default:
 				return nil, fmt.Errorf("grid: invalid character %q at (%d,%d)", c, x, y)
 			}
@@ -161,28 +188,93 @@ func (l *Lattice) CountPlus() int {
 	return c
 }
 
+// CountMinus returns the total number of -1 agents.
+func (l *Lattice) CountMinus() int {
+	c := 0
+	for _, s := range l.spins {
+		if s == Minus {
+			c++
+		}
+	}
+	return c
+}
+
+// CountOccupied returns the number of occupied sites (agents of either
+// type); it equals Sites() on a fully occupied lattice.
+func (l *Lattice) CountOccupied() int {
+	c := 0
+	for _, s := range l.spins {
+		if s != None {
+			c++
+		}
+	}
+	return c
+}
+
+// OccupiedAt reports whether the site at row-major index i holds an
+// agent.
+func (l *Lattice) OccupiedAt(i int) bool { return l.spins[i] != None }
+
+// HasVacancies reports whether any site is vacant.
+func (l *Lattice) HasVacancies() bool {
+	for _, s := range l.spins {
+		if s == None {
+			return true
+		}
+	}
+	return false
+}
+
+// ErrWindowTooLarge is returned when a requested window of radius w
+// would wrap onto itself on the torus (2w+1 > n). It reaches users
+// through horizon validation: grid specs and model configs that pair a
+// horizon with a too-small lattice are rejected with this error
+// instead of panicking deep inside a count query.
+var ErrWindowTooLarge = errors.New("window larger than lattice")
+
+// CheckWindow validates that a radius-`radius` window fits the torus
+// of side n without wrapping onto itself, returning ErrWindowTooLarge
+// (wrapped with the offending sizes) otherwise.
+func CheckWindow(n, radius int) error {
+	if radius < 0 {
+		return fmt.Errorf("grid: negative window radius %d", radius)
+	}
+	if 2*radius+1 > n {
+		return fmt.Errorf("grid: %w: window side %d exceeds lattice side %d", ErrWindowTooLarge, 2*radius+1, n)
+	}
+	return nil
+}
+
 // PlusInSquare counts the +1 agents in the neighborhood of the given
-// radius centered at p, by direct enumeration. Use WindowCounts for the
-// all-centers version.
-func (l *Lattice) PlusInSquare(p geom.Point, radius int) int {
+// radius centered at p, by direct enumeration. Use WindowCounts for
+// the all-centers version. It returns ErrWindowTooLarge when the
+// window would wrap onto itself.
+func (l *Lattice) PlusInSquare(p geom.Point, radius int) (int, error) {
+	if err := CheckWindow(l.n, radius); err != nil {
+		return 0, err
+	}
 	c := 0
 	l.tor.Square(p, radius, func(q geom.Point) {
 		if l.Spin(q) == Plus {
 			c++
 		}
 	})
-	return c
+	return c, nil
 }
 
 // SameTypeInSquare counts agents in N_radius(p) having the same type as
 // the agent at p, including the agent itself — the numerator of the
-// paper's happiness ratio s(u).
-func (l *Lattice) SameTypeInSquare(p geom.Point, radius int) int {
-	plus := l.PlusInSquare(p, radius)
-	if l.Spin(p) == Plus {
-		return plus
+// paper's happiness ratio s(u). It returns ErrWindowTooLarge when the
+// window would wrap onto itself.
+func (l *Lattice) SameTypeInSquare(p geom.Point, radius int) (int, error) {
+	plus, err := l.PlusInSquare(p, radius)
+	if err != nil {
+		return 0, err
 	}
-	return geom.SquareSize(radius) - plus
+	if l.Spin(p) == Plus {
+		return plus, nil
+	}
+	return geom.SquareSize(radius) - plus, nil
 }
 
 // WindowCounts returns, for every site u (row-major), the number of +1
@@ -243,16 +335,20 @@ func wrap(a, n int) int {
 	return a
 }
 
-// String renders the lattice as rows of '+'/'-' characters.
+// String renders the lattice as rows of '+'/'-' characters, with '.'
+// for vacant sites.
 func (l *Lattice) String() string {
 	var b strings.Builder
 	b.Grow(l.n * (l.n + 1))
 	for y := 0; y < l.n; y++ {
 		for x := 0; x < l.n; x++ {
-			if l.spins[y*l.n+x] == Plus {
+			switch l.spins[y*l.n+x] {
+			case Plus:
 				b.WriteByte('+')
-			} else {
+			case Minus:
 				b.WriteByte('-')
+			default:
+				b.WriteByte('.')
 			}
 		}
 		b.WriteByte('\n')

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -124,13 +125,13 @@ func TestSameTypeInSquareHandCase(t *testing.T) {
 	// Radius 1 around (1,1): the whole 3x3 grid (torus). 5 plus, 4 minus;
 	// center is +, so same-type = 5.
 	c := geom.Point{X: 1, Y: 1}
-	if got := l.SameTypeInSquare(c, 1); got != 5 {
-		t.Fatalf("SameTypeInSquare = %d, want 5", got)
+	if got, err := l.SameTypeInSquare(c, 1); err != nil || got != 5 {
+		t.Fatalf("SameTypeInSquare = %d, %v, want 5", got, err)
 	}
 	// Flip center to minus: same-type = 5 now counts minus agents = 5.
 	l.Set(c, Minus)
-	if got := l.SameTypeInSquare(c, 1); got != 5 {
-		t.Fatalf("SameTypeInSquare after flip = %d, want 5", got)
+	if got, err := l.SameTypeInSquare(c, 1); err != nil || got != 5 {
+		t.Fatalf("SameTypeInSquare after flip = %d, %v, want 5", got, err)
 	}
 }
 
@@ -142,7 +143,10 @@ func TestWindowCountsMatchesBruteForce(t *testing.T) {
 		counts := l.WindowCounts(tc.radius)
 		for i := 0; i < l.Sites(); i++ {
 			p := l.Torus().At(i)
-			want := l.PlusInSquare(p, tc.radius)
+			want, err := l.PlusInSquare(p, tc.radius)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if int(counts[i]) != want {
 				t.Fatalf("n=%d r=%d site %v: window %d, brute %d",
 					tc.n, tc.radius, p, counts[i], want)
@@ -167,9 +171,12 @@ func TestPrefixMatchesBruteForce(t *testing.T) {
 	for radius := 0; radius <= 5; radius++ {
 		for i := 0; i < l.Sites(); i++ {
 			c := l.Torus().At(i)
-			want := l.PlusInSquare(c, radius)
-			if got := p.PlusInSquare(c, radius); got != want {
-				t.Fatalf("radius %d center %v: prefix %d, brute %d", radius, c, got, want)
+			want, err := l.PlusInSquare(c, radius)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := p.PlusInSquare(c, radius); err != nil || got != want {
+				t.Fatalf("radius %d center %v: prefix %d (%v), brute %d", radius, c, got, err, want)
 			}
 		}
 	}
@@ -219,7 +226,6 @@ func TestPrefixPanicsOnBadSize(t *testing.T) {
 	for _, f := range []func(){
 		func() { p.PlusInRect(0, 0, 6, 1) },
 		func() { p.PlusInRect(0, 0, -1, 1) },
-		func() { p.PlusInSquare(geom.Point{}, 3) },
 	} {
 		func() {
 			defer func() {
@@ -229,6 +235,28 @@ func TestPrefixPanicsOnBadSize(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestPlusInSquareOversizedWindow pins the typed error: a window that
+// would wrap onto itself is an error (reachable from a user-supplied
+// horizon), not a panic.
+func TestPlusInSquareOversizedWindow(t *testing.T) {
+	l := New(5, Plus)
+	if _, err := NewPrefix(l).PlusInSquare(geom.Point{}, 3); !errors.Is(err, ErrWindowTooLarge) {
+		t.Errorf("prefix oversized square: err = %v, want ErrWindowTooLarge", err)
+	}
+	if _, err := l.PlusInSquare(geom.Point{}, 3); !errors.Is(err, ErrWindowTooLarge) {
+		t.Errorf("lattice oversized square: err = %v, want ErrWindowTooLarge", err)
+	}
+	if _, err := l.SameTypeInSquare(geom.Point{}, 3); !errors.Is(err, ErrWindowTooLarge) {
+		t.Errorf("oversized same-type square: err = %v, want ErrWindowTooLarge", err)
+	}
+	if _, err := l.PlusInSquare(geom.Point{}, -1); err == nil {
+		t.Error("negative radius accepted")
+	}
+	if got, err := l.PlusInSquare(geom.Point{X: 2, Y: 2}, 2); err != nil || got != 25 {
+		t.Errorf("valid square: got %d, %v", got, err)
 	}
 }
 
@@ -271,7 +299,8 @@ func TestQuickWindowCounts(t *testing.T) {
 		l := Random(n, 0.5, rng.New(seed))
 		counts := l.WindowCounts(radius)
 		i := int(seed % uint64(l.Sites()))
-		return int(counts[i]) == l.PlusInSquare(l.Torus().At(i), radius)
+		want, err := l.PlusInSquare(l.Torus().At(i), radius)
+		return err == nil && int(counts[i]) == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)
@@ -288,7 +317,9 @@ func TestQuickPrefixSquare(t *testing.T) {
 		p := NewPrefix(l)
 		i := int(seed % uint64(l.Sites()))
 		c := l.Torus().At(i)
-		return p.PlusInSquare(c, radius) == l.PlusInSquare(c, radius)
+		got, err1 := p.PlusInSquare(c, radius)
+		want, err2 := l.PlusInSquare(c, radius)
+		return err1 == nil && err2 == nil && got == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,10 @@
 package grid
 
-import "gridseg/internal/geom"
+import (
+	"math"
+
+	"gridseg/internal/geom"
+)
 
 // Prefix holds two-dimensional prefix sums of the +1 indicator over a
 // lattice snapshot, enabling O(1) counts of +1 (and hence -1) agents in
@@ -72,14 +76,17 @@ func (p *Prefix) PlusInRect(x0, y0, wd, ht int) int {
 	return total
 }
 
-// PlusInSquare counts +1 agents in the neighborhood N_radius centered at
-// c, in O(1). Matches Lattice.PlusInSquare on the snapshot.
-func (p *Prefix) PlusInSquare(c geom.Point, radius int) int {
-	side := 2*radius + 1
-	if side > p.n {
-		panic("grid: square larger than torus")
+// PlusInSquare counts +1 agents in the neighborhood N_radius centered
+// at c, in O(1). Matches Lattice.PlusInSquare on the snapshot. It
+// returns ErrWindowTooLarge when the square would wrap onto itself
+// (2*radius+1 > n) — reachable from a user-supplied horizon, so it is
+// an error, not a panic.
+func (p *Prefix) PlusInSquare(c geom.Point, radius int) (int, error) {
+	if err := CheckWindow(p.n, radius); err != nil {
+		return 0, err
 	}
-	return p.PlusInRect(c.X-radius, c.Y-radius, side, side)
+	side := 2*radius + 1
+	return p.PlusInRect(c.X-radius, c.Y-radius, side, side), nil
 }
 
 // CountsInRect returns the (+1, -1) agent counts of a torus rectangle.
@@ -93,7 +100,13 @@ func (p *Prefix) CountsInRect(x0, y0, wd, ht int) (plus, minus int) {
 // in the definition of an almost monochromatic region. A fully
 // monochromatic square has ratio 0. An empty square returns 0.
 func (p *Prefix) MinorityRatioInSquare(c geom.Point, radius int) float64 {
-	plus := p.PlusInSquare(c, radius)
+	plus, err := p.PlusInSquare(c, radius)
+	if err != nil {
+		// An oversized square is never almost monochromatic; +Inf fails
+		// every ratio bound. Callers cap their radii, so this is
+		// defensive only.
+		return math.Inf(1)
+	}
 	total := geom.SquareSize(radius)
 	minus := total - plus
 	lo, hi := plus, minus

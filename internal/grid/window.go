@@ -1,0 +1,156 @@
+package grid
+
+// Scenario-aware window counting. The paper's setting only ever needs
+// WindowCounts (torus, +1 indicator); the functions here generalize it
+// along two axes for the topology subsystem: the counted indicator
+// (+1 agents vs occupied sites, which differ once vacancies exist) and
+// the boundary condition (wrap-around vs open hard walls, where
+// windows clamp at the grid edges instead of wrapping).
+
+// PlusWindowCounts returns, for every site u (row-major), the number
+// of +1 agents in the radius-`radius` Chebyshev window centered at u.
+// Under the torus boundary (open=false) it matches WindowCounts; under
+// the open boundary the window is clamped at the edges, so edge and
+// corner sites count over truncated neighborhoods.
+func (l *Lattice) PlusWindowCounts(radius int, open bool) []int32 {
+	if !open {
+		return l.WindowCounts(radius)
+	}
+	return l.clampedCounts(radius, func(s Spin) bool { return s == Plus })
+}
+
+// OccupiedWindowCounts returns, for every site u, the number of
+// occupied sites (agents of either type) in the window centered at u,
+// clamped at the edges when open. On a fully occupied lattice this
+// equals WindowAreas.
+func (l *Lattice) OccupiedWindowCounts(radius int, open bool) []int32 {
+	if !open {
+		return l.wrappedCounts(radius, func(s Spin) bool { return s != None })
+	}
+	return l.clampedCounts(radius, func(s Spin) bool { return s != None })
+}
+
+// WindowAreas returns the geometric size of every site's window: the
+// constant (2*radius+1)^2 on the torus, and the truncated
+// (clamped-width x clamped-height) product under the open boundary —
+// down to (radius+1)^2 in a corner.
+func WindowAreas(n, radius int, open bool) []int32 {
+	out := make([]int32, n*n)
+	if !open {
+		full := int32((2*radius + 1) * (2*radius + 1))
+		for i := range out {
+			out[i] = full
+		}
+		return out
+	}
+	span := make([]int32, n)
+	for a := 0; a < n; a++ {
+		lo, hi := a-radius, a+radius
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		span[a] = int32(hi - lo + 1)
+	}
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			out[y*n+x] = span[y] * span[x]
+		}
+	}
+	return out
+}
+
+// wrappedCounts is the generic torus two-pass sliding window over an
+// arbitrary spin indicator (WindowCounts is its hand-specialized +1
+// instance). It panics if the window wraps onto itself, like
+// WindowCounts.
+func (l *Lattice) wrappedCounts(radius int, match func(Spin) bool) []int32 {
+	if 2*radius+1 > l.n {
+		panic("grid: window larger than torus")
+	}
+	n := l.n
+	rowSum := make([]int32, n*n)
+	for y := 0; y < n; y++ {
+		base := y * n
+		var acc int32
+		for dx := -radius; dx <= radius; dx++ {
+			if match(l.spins[base+wrap(dx, n)]) {
+				acc++
+			}
+		}
+		rowSum[base] = acc
+		for x := 1; x < n; x++ {
+			if match(l.spins[base+wrap(x-1-radius, n)]) {
+				acc--
+			}
+			if match(l.spins[base+wrap(x+radius, n)]) {
+				acc++
+			}
+			rowSum[base+x] = acc
+		}
+	}
+	out := make([]int32, n*n)
+	for x := 0; x < n; x++ {
+		var acc int32
+		for dy := -radius; dy <= radius; dy++ {
+			acc += rowSum[wrap(dy, n)*n+x]
+		}
+		out[x] = acc
+		for y := 1; y < n; y++ {
+			acc -= rowSum[wrap(y-1-radius, n)*n+x]
+			acc += rowSum[wrap(y+radius, n)*n+x]
+			out[y*n+x] = acc
+		}
+	}
+	return out
+}
+
+// clampedCounts computes per-site window counts under the open
+// boundary by two prefix-sum passes: horizontal windows clamp their
+// column range to [0, n), then vertical windows clamp their row range.
+// Any radius >= 0 is well defined (a huge radius just counts the whole
+// grid).
+func (l *Lattice) clampedCounts(radius int, match func(Spin) bool) []int32 {
+	n := l.n
+	rowSum := make([]int32, n*n)
+	pre := make([]int32, n+1)
+	for y := 0; y < n; y++ {
+		base := y * n
+		for x := 0; x < n; x++ {
+			pre[x+1] = pre[x]
+			if match(l.spins[base+x]) {
+				pre[x+1]++
+			}
+		}
+		for x := 0; x < n; x++ {
+			lo, hi := x-radius, x+radius+1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n {
+				hi = n
+			}
+			rowSum[base+x] = pre[hi] - pre[lo]
+		}
+	}
+	out := make([]int32, n*n)
+	col := make([]int32, n+1)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			col[y+1] = col[y] + rowSum[y*n+x]
+		}
+		for y := 0; y < n; y++ {
+			lo, hi := y-radius, y+radius+1
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > n {
+				hi = n
+			}
+			out[y*n+x] = col[hi] - col[lo]
+		}
+	}
+	return out
+}

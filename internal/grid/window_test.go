@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"testing"
+
+	"gridseg/internal/rng"
+)
+
+// bruteWindow counts sites matching the predicate in the radius-r
+// window around (x0, y0), wrapping or clamping per the boundary.
+func bruteWindow(l *Lattice, x0, y0, radius int, open bool, match func(Spin) bool) int {
+	n := l.N()
+	c := 0
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			x, y := x0+dx, y0+dy
+			if open {
+				if x < 0 || x >= n || y < 0 || y >= n {
+					continue
+				}
+			} else {
+				x, y = wrap(x, n), wrap(y, n)
+			}
+			if match(l.spins[y*n+x]) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+func TestScenarioWindowCountsMatchBruteForce(t *testing.T) {
+	isPlus := func(s Spin) bool { return s == Plus }
+	isOcc := func(s Spin) bool { return s != None }
+	for _, tc := range []struct {
+		n, radius int
+		rho       float64
+	}{
+		{5, 1, 0}, {5, 2, 0.2}, {9, 2, 0.1}, {9, 4, 0.3}, {16, 3, 0.05}, {7, 3, 0},
+	} {
+		l := RandomScenario(tc.n, 0.5, tc.rho, rng.New(uint64(tc.n*1000+tc.radius)))
+		for _, open := range []bool{false, true} {
+			plus := l.PlusWindowCounts(tc.radius, open)
+			occ := l.OccupiedWindowCounts(tc.radius, open)
+			for i := 0; i < l.Sites(); i++ {
+				x, y := i%tc.n, i/tc.n
+				if want := bruteWindow(l, x, y, tc.radius, open, isPlus); int(plus[i]) != want {
+					t.Fatalf("n=%d r=%d rho=%v open=%v site %d: plus %d, brute %d",
+						tc.n, tc.radius, tc.rho, open, i, plus[i], want)
+				}
+				if want := bruteWindow(l, x, y, tc.radius, open, isOcc); int(occ[i]) != want {
+					t.Fatalf("n=%d r=%d rho=%v open=%v site %d: occ %d, brute %d",
+						tc.n, tc.radius, tc.rho, open, i, occ[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowAreas(t *testing.T) {
+	n, r := 7, 2
+	torus := WindowAreas(n, r, false)
+	for i, a := range torus {
+		if a != 25 {
+			t.Fatalf("torus area[%d] = %d, want 25", i, a)
+		}
+	}
+	open := WindowAreas(n, r, true)
+	// Corner: (r+1)^2; center: (2r+1)^2; edge midpoint: (r+1)*(2r+1).
+	if open[0] != 9 {
+		t.Errorf("corner area = %d, want 9", open[0])
+	}
+	if open[3*n+3] != 25 {
+		t.Errorf("center area = %d, want 25", open[3*n+3])
+	}
+	if open[3] != 15 {
+		t.Errorf("edge area = %d, want 15", open[3])
+	}
+	// Open areas agree with occupied counts on a fully occupied lattice.
+	l := New(n, Plus)
+	occ := l.OccupiedWindowCounts(r, true)
+	for i := range occ {
+		if occ[i] != open[i] {
+			t.Fatalf("occupied[%d] = %d, area %d", i, occ[i], open[i])
+		}
+	}
+}
+
+func TestRandomScenarioMatchesRandomAtRhoZero(t *testing.T) {
+	a := Random(16, 0.4, rng.New(99))
+	b := RandomScenario(16, 0.4, 0, rng.New(99))
+	if !a.Equal(b) {
+		t.Fatal("rho=0 scenario lattice differs from Random (seed stability broken)")
+	}
+	if a.HasVacancies() {
+		t.Fatal("rho=0 lattice has vacancies")
+	}
+}
+
+func TestRandomScenarioVacancies(t *testing.T) {
+	l := RandomScenario(50, 0.5, 0.2, rng.New(5))
+	vac := l.Sites() - l.CountOccupied()
+	if vac == 0 {
+		t.Fatal("rho=0.2 produced no vacancies")
+	}
+	if got := float64(vac) / float64(l.Sites()); got < 0.12 || got > 0.28 {
+		t.Errorf("vacancy fraction %v far from 0.2", got)
+	}
+	if l.CountPlus()+l.CountMinus()+vac != l.Sites() {
+		t.Error("spin counts do not partition the lattice")
+	}
+	// Determinism.
+	if !l.Equal(RandomScenario(50, 0.5, 0.2, rng.New(5))) {
+		t.Error("RandomScenario not deterministic")
+	}
+	// Round trip through the text forms.
+	back, err := Parse(l.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(l) {
+		t.Error("String/Parse round trip with vacancies failed")
+	}
+}

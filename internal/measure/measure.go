@@ -209,7 +209,20 @@ type ClusterStats struct {
 
 // Clusters labels the connected same-spin components (4-adjacency, torus)
 // and returns their statistics together with the per-site cluster sizes.
+// On vacancy lattices the vacant sites form their own spin-None
+// clusters, reported in Count/Sizes but never in LargestPlus or
+// LargestMinus.
 func Clusters(l *grid.Lattice) (ClusterStats, []int32) {
+	return clusters(l, false)
+}
+
+// ClustersScenario is Clusters under an explicit boundary condition:
+// with open=true, components never connect across the grid edges.
+func ClustersScenario(l *grid.Lattice, open bool) (ClusterStats, []int32) {
+	return clusters(l, open)
+}
+
+func clusters(l *grid.Lattice, open bool) (ClusterStats, []int32) {
 	n := l.N()
 	sites := l.Sites()
 	label := make([]int32, sites)
@@ -235,14 +248,26 @@ func Clusters(l *grid.Lattice) (ClusterStats, []int32) {
 			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
 				x := x0 + d[0]
 				if x < 0 {
+					if open {
+						continue
+					}
 					x += n
 				} else if x >= n {
+					if open {
+						continue
+					}
 					x -= n
 				}
 				y := y0 + d[1]
 				if y < 0 {
+					if open {
+						continue
+					}
 					y += n
 				} else if y >= n {
+					if open {
+						continue
+					}
 					y -= n
 				}
 				j := y*n + x
@@ -254,12 +279,15 @@ func Clusters(l *grid.Lattice) (ClusterStats, []int32) {
 		}
 		clusterSize = append(clusterSize, int32(size))
 		stats.Sizes = append(stats.Sizes, size)
-		if spin == grid.Plus {
+		switch spin {
+		case grid.Plus:
 			if size > stats.LargestPlus {
 				stats.LargestPlus = size
 			}
-		} else if size > stats.LargestMinus {
-			stats.LargestMinus = size
+		case grid.Minus:
+			if size > stats.LargestMinus {
+				stats.LargestMinus = size
+			}
 		}
 	}
 	stats.Count = len(stats.Sizes)

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"gridseg"
+	"gridseg/internal/batch"
 )
 
 // job is one grid run: its identity, its lifecycle state, and the SSE
@@ -85,28 +86,38 @@ func (j *job) setState(state string) {
 	j.mu.Unlock()
 }
 
-// cellEvent is the payload of one per-cell SSE progress event.
+// cellEvent is the payload of one per-cell SSE progress event. The
+// scenario fields report the cell's topology coordinates; they are
+// omitted for default cells (torus, rho=0, global tau) to keep
+// default-grid streams in their pre-scenario shape.
 type cellEvent struct {
-	Done    int     `json:"done"`
-	Total   int     `json:"total"`
-	Dynamic string  `json:"dynamic"`
-	N       int     `json:"n"`
-	W       int     `json:"w"`
-	Tau     float64 `json:"tau"`
-	P       float64 `json:"p"`
-	Extra   float64 `json:"extra,omitempty"`
-	Rep     int     `json:"rep"`
-	Cached  bool    `json:"cached"`
+	Done     int     `json:"done"`
+	Total    int     `json:"total"`
+	Dynamic  string  `json:"dynamic"`
+	N        int     `json:"n"`
+	W        int     `json:"w"`
+	Tau      float64 `json:"tau"`
+	P        float64 `json:"p"`
+	Boundary string  `json:"boundary,omitempty"`
+	Rho      float64 `json:"rho,omitempty"`
+	TauDist  string  `json:"taudist,omitempty"`
+	Extra    float64 `json:"extra,omitempty"`
+	Rep      int     `json:"rep"`
+	Cached   bool    `json:"cached"`
 }
 
 // progress records one completed cell and broadcasts it.
 func (j *job) progress(p gridseg.CellProgress) {
-	data, _ := json.Marshal(cellEvent{
+	ev := cellEvent{
 		Done: p.Done, Total: p.Total,
 		Dynamic: p.Dynamic, N: p.N, W: p.W,
 		Tau: p.Tau, P: p.P, Extra: p.Extra, Rep: p.Rep,
 		Cached: p.Cached,
-	})
+	}
+	if !batch.DefaultScenario(p.Boundary, p.Rho, p.TauDist) {
+		ev.Boundary, ev.Rho, ev.TauDist = p.Boundary, p.Rho, p.TauDist
+	}
+	data, _ := json.Marshal(ev)
 	j.mu.Lock()
 	j.done = p.Done
 	if p.Cached {

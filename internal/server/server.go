@@ -49,6 +49,11 @@ type Server struct {
 	workers int
 	maxRuns int
 	logf    func(format string, args ...interface{})
+	// runGrid executes one grid run; it is gridseg.RunGrid except in
+	// tests, which stub it to exercise run-time failure paths that
+	// valid specs can no longer reach (spec validation got stricter
+	// with the scenario axes).
+	runGrid func(spec string, opt gridseg.GridOptions) (*gridseg.GridResult, error)
 
 	mu    sync.Mutex
 	grids map[string]*job
@@ -97,6 +102,7 @@ func New(opt Options) (*Server, error) {
 		workers: opt.Workers,
 		maxRuns: maxRuns,
 		logf:    opt.Logf,
+		runGrid: gridseg.RunGrid,
 		grids:   map[string]*job{},
 		queue:   make(chan *job, depth),
 		stop:    make(chan struct{}),
@@ -144,7 +150,7 @@ func (s *Server) dispatch() {
 func (s *Server) run(j *job) {
 	j.setState(StateRunning)
 	s.log("grid %s: running %q seed=%d (%d cells)", j.id, j.spec, j.seed, j.cells)
-	res, err := gridseg.RunGrid(j.spec, gridseg.GridOptions{
+	res, err := s.runGrid(j.spec, gridseg.GridOptions{
 		Seed:    j.seed,
 		Workers: s.workers,
 		Store:   s.store,

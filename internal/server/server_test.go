@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -255,9 +256,19 @@ func TestSSELiveStream(t *testing.T) {
 // instead of returning the stale failure forever.
 func TestFailedRunRetry(t *testing.T) {
 	st := gridseg.NewMemoryStore()
-	_, hs := newTestServer(t, st)
-	// Parses fine, fails at run time (N must be at least 3).
-	const spec = "n=2 w=1 tau=0.4 reps=1"
+	srv, hs := newTestServer(t, st)
+	// Validation now catches every spec-level mistake synchronously,
+	// so stub the executor to fail once — modeling an environmental
+	// failure (full disk, poisoned checkpoint) — then recover.
+	failures := 1
+	srv.runGrid = func(spec string, opt gridseg.GridOptions) (*gridseg.GridResult, error) {
+		if failures > 0 {
+			failures--
+			return nil, errors.New("synthetic environmental failure")
+		}
+		return gridseg.RunGrid(spec, opt)
+	}
+	const spec = "n=16 w=1 tau=0.4 reps=1"
 	a, code := submit(t, hs.URL, spec, 1)
 	if code != http.StatusAccepted {
 		t.Fatalf("submit status = %d", code)

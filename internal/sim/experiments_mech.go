@@ -334,12 +334,16 @@ func runE12(ctx *Context) ([]*report.Table, error) {
 			lat := grid.Random(2*outer+1, 0.5, s)
 			pre := grid.NewPrefix(lat)
 			ctr := geom.Point{X: outer, Y: outer}
-			minusOuter := nOuter - pre.PlusInSquare(ctr, outer)
+			// Radii are bounded by the drawn lattice side, so the count
+			// queries cannot fail.
+			plusOuter, _ := pre.PlusInSquare(ctr, outer)
+			minusOuter := nOuter - plusOuter
 			if float64(minusOuter) >= c.Tau*float64(nOuter) {
 				continue // condition W < tau N fails
 			}
 			cond++
-			minusInner := nbhd - pre.PlusInSquare(ctr, c.W)
+			plusInner, _ := pre.PlusInSquare(ctr, c.W)
+			minusInner := nbhd - plusInner
 			// Proposition 1 centers W' on gamma * W; with W < tau N
 			// the paper states the rescaled target gamma tau N.
 			target := gamma * float64(minusOuter)

@@ -17,8 +17,8 @@ func quickCtx(t *testing.T) *Context {
 
 func TestRegistryComplete(t *testing.T) {
 	all := All()
-	if len(all) != 18 {
-		t.Fatalf("registry has %d experiments, want 18", len(all))
+	if len(all) != 21 {
+		t.Fatalf("registry has %d experiments, want 21", len(all))
 	}
 	seen := map[string]bool{}
 	for i, e := range all {
@@ -54,7 +54,7 @@ func TestFind(t *testing.T) {
 // setting, because every replicate's random stream is derived from the
 // cell index on the batch engine, never from scheduling order.
 func TestWorkerCountIndependence(t *testing.T) {
-	for _, id := range []string{"E5", "E9", "E15"} {
+	for _, id := range []string{"E5", "E9", "E15", "E20"} {
 		e, ok := Find(id)
 		if !ok {
 			t.Fatalf("experiment %s not registered", id)
@@ -400,6 +400,86 @@ func TestE14Quick(t *testing.T) {
 			if row[5] != "0.000" {
 				t.Fatalf("kawasaki drifted: %v", row)
 			}
+		}
+	}
+}
+
+// scenarioCol maps a metric name to its "mean <name>" column position
+// in the SummaryTable of a topology experiment (which sweeps scenario
+// axes, so the scenario columns are present).
+func scenarioCol(t *testing.T, tb *report.Table, name string) int {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == "mean "+name {
+			return i
+		}
+	}
+	t.Fatalf("column %q missing from %v", name, tb.Columns)
+	return -1
+}
+
+func TestE19Quick(t *testing.T) {
+	tables := runExperiment(t, "E19")
+	tb := tables[0]
+	if len(tb.Rows) != 6 {
+		t.Fatalf("E19 rows = %d, want 3 taus x 2 boundaries", len(tb.Rows))
+	}
+	happy := scenarioCol(t, tb, "happyFrac")
+	boundaries := map[string]bool{}
+	for _, row := range tb.Rows {
+		// Glauber fixation below tau = 1/2 means every agent is happy —
+		// on the torus and equally on the clamped open windows.
+		if row[happy] != "1" {
+			t.Fatalf("E19 row not fully happy at fixation: %v", row)
+		}
+		boundaries[row[5]] = true
+	}
+	if !boundaries["torus"] || !boundaries["open"] {
+		t.Fatalf("E19 boundaries covered: %v", boundaries)
+	}
+}
+
+func TestE20Quick(t *testing.T) {
+	tables := runExperiment(t, "E20")
+	tb := tables[0]
+	if len(tb.Rows) != 8 {
+		t.Fatalf("E20 rows = %d, want 2 dynamics x 4 rhos", len(tb.Rows))
+	}
+	happy := scenarioCol(t, tb, "happyFrac")
+	events := scenarioCol(t, tb, "events")
+	for _, row := range tb.Rows {
+		if row[0] == "glauber" && row[happy] != "1" {
+			t.Fatalf("E20 glauber row not fully happy at fixation: %v", row)
+		}
+		if ev, _ := strconv.ParseFloat(row[events], 64); ev < 0 {
+			t.Fatalf("E20 negative event count: %v", row)
+		}
+		h, _ := strconv.ParseFloat(row[happy], 64)
+		if !(h > 0 && h <= 1) {
+			t.Fatalf("E20 happy fraction out of range: %v", row)
+		}
+	}
+}
+
+func TestE21Quick(t *testing.T) {
+	tables := runExperiment(t, "E21")
+	tb := tables[0]
+	if len(tb.Rows) != 4 {
+		t.Fatalf("E21 rows = %d, want 4 taudists", len(tb.Rows))
+	}
+	happy := scenarioCol(t, tb, "happyFrac")
+	dists := map[string]bool{}
+	for _, row := range tb.Rows {
+		// Every per-site tau lies in [0.3, 0.5], so unhappy agents are
+		// always flippable and fixation again means fully happy.
+		if row[happy] != "1" {
+			t.Fatalf("E21 row not fully happy at fixation: %v", row)
+		}
+		dists[row[7]] = true
+	}
+	for _, want := range []string{"global", "mix:0.35,0.45:0.5", "uniform:0.35:0.5"} {
+		if !dists[want] {
+			t.Fatalf("E21 taudist %q missing from %v", want, dists)
 		}
 	}
 }

@@ -30,7 +30,12 @@ import (
 // the encoding, the seed-derivation scheme, or the semantics of a
 // stored metric vector change: a bump orphans every cached result on
 // purpose, instead of serving stale values under a reused key.
-const SpecVersion = "v1"
+//
+// v2 folds the topology scenario (boundary, rho, taudist) into the
+// canonical form, so an open-boundary, vacancy, or heterogeneous-tau
+// cell can never alias the torus/full-occupancy/global-tau cell with
+// the same classic parameters.
+const SpecVersion = "v2"
 
 // CellSpec is the complete identity of one cached cell result. Two
 // cells with equal CellSpecs compute byte-identical metric vectors, no
@@ -52,18 +57,35 @@ type CellSpec struct {
 	Extra     float64
 	Rep       int
 	Seed      uint64
+	// Scenario identity: the lattice boundary condition ("" and
+	// "torus" are synonymous), the vacancy fraction, and the canonical
+	// per-site intolerance distribution spec ("" and "global" are
+	// synonymous). Zero values render as the canonical defaults, so
+	// pre-scenario call sites produce well-formed v2 keys.
+	Boundary string
+	Rho      float64
+	TauDist  string
 }
 
 // Canonical renders the spec in the versioned canonical form that is
 // hashed into the store key. Floats use Go's shortest exact 'g'
 // formatting, so equal float64 values always render identically.
 func (s CellSpec) Canonical() string {
+	boundary := s.Boundary
+	if boundary == "" {
+		boundary = "torus"
+	}
+	taudist := s.TauDist
+	if taudist == "" {
+		taudist = "global"
+	}
 	var b strings.Builder
 	b.WriteString("gridseg/cell/")
 	b.WriteString(SpecVersion)
-	fmt.Fprintf(&b, "|scope=%s|cols=%s|dyn=%s|n=%d|w=%d|tau=%s|p=%s|xname=%s|x=%s|rep=%d|seed=%d",
+	fmt.Fprintf(&b, "|scope=%s|cols=%s|dyn=%s|n=%d|w=%d|tau=%s|p=%s|b=%s|rho=%s|taudist=%s|xname=%s|x=%s|rep=%d|seed=%d",
 		s.Scope, strings.Join(s.Columns, ","), s.Dynamic, s.N, s.W,
-		g(s.Tau), g(s.P), s.ExtraName, g(s.Extra), s.Rep, s.Seed)
+		g(s.Tau), g(s.P), boundary, g(s.Rho), taudist,
+		s.ExtraName, g(s.Extra), s.Rep, s.Seed)
 	return b.String()
 }
 

@@ -15,6 +15,11 @@ import (
 // every cached result would be silently orphaned — either revert the
 // change or bump SpecVersion (which orphans results *on purpose*) and
 // update the goldens.
+//
+// The v1 -> v2 bump (deliberate, goldens regenerated) folded the
+// topology scenario — boundary, rho, taudist — into the canonical
+// form, so a torus result can never be served for an open-boundary
+// cell and vice versa.
 func TestKeyGolden(t *testing.T) {
 	sweepCols := []string{
 		"happy_frac", "unhappy", "iface_density", "mean_same_frac",
@@ -27,23 +32,33 @@ func TestKeyGolden(t *testing.T) {
 	}{
 		{
 			spec:      CellSpec{Scope: "grid", Columns: sweepCols, Dynamic: "glauber", N: 96, W: 2, Tau: 0.42, P: 0.5, Rep: 0, Seed: 1},
-			canonical: "gridseg/cell/v1|scope=grid|cols=happy_frac,unhappy,iface_density,mean_same_frac,largest_frac,magnetization,mean_M,flips,fixated|dyn=glauber|n=96|w=2|tau=0.42|p=0.5|xname=|x=0|rep=0|seed=1",
-			key:       "584e31856839782b4f07978bf73d3f29643e90807075af55cc0effea0b59a1f0",
+			canonical: "gridseg/cell/v2|scope=grid|cols=happy_frac,unhappy,iface_density,mean_same_frac,largest_frac,magnetization,mean_M,flips,fixated|dyn=glauber|n=96|w=2|tau=0.42|p=0.5|b=torus|rho=0|taudist=global|xname=|x=0|rep=0|seed=1",
+			key:       "eb0eaa1823b21ee9f9fce259f2489cb76f45974ff92ca0d6663231ec91057179",
 		},
 		{
 			spec:      CellSpec{Scope: "grid", Columns: []string{"happy_frac"}, Dynamic: "kawasaki", N: 240, W: 4, Tau: 0.4375, P: 0.5, Rep: 3, Seed: 0xdeadbeefcafe},
-			canonical: "gridseg/cell/v1|scope=grid|cols=happy_frac|dyn=kawasaki|n=240|w=4|tau=0.4375|p=0.5|xname=|x=0|rep=3|seed=244837814094590",
-			key:       "eb1c2f7264b89a4a1cfa4f2d485332db2115c2e4d00fb2d29fac524c79006f23",
+			canonical: "gridseg/cell/v2|scope=grid|cols=happy_frac|dyn=kawasaki|n=240|w=4|tau=0.4375|p=0.5|b=torus|rho=0|taudist=global|xname=|x=0|rep=3|seed=244837814094590",
+			key:       "bee0f470d1beb002e02b4b28673c83a6679889d087391fc220ec5c15c895f5f2",
 		},
 		{
 			spec:      CellSpec{Scope: "E17", Columns: []string{"happy_frac", "flips"}, Dynamic: "glauber", N: 64, W: 1, Tau: 0.45, P: 0.55, ExtraName: "noise", Extra: 0.01, Rep: 7, Seed: 42},
-			canonical: "gridseg/cell/v1|scope=E17|cols=happy_frac,flips|dyn=glauber|n=64|w=1|tau=0.45|p=0.55|xname=noise|x=0.01|rep=7|seed=42",
-			key:       "f1eb98c95a543a298053111ff0bc3172f4e8c6dd0b967b0d0530c51fb63d6387",
+			canonical: "gridseg/cell/v2|scope=E17|cols=happy_frac,flips|dyn=glauber|n=64|w=1|tau=0.45|p=0.55|b=torus|rho=0|taudist=global|xname=noise|x=0.01|rep=7|seed=42",
+			key:       "acca85927aaed84a353217817c03c6dc7071b44bd304640e1bf10736089a32bf",
 		},
 		{
 			spec:      CellSpec{},
-			canonical: "gridseg/cell/v1|scope=|cols=|dyn=|n=0|w=0|tau=0|p=0|xname=|x=0|rep=0|seed=0",
-			key:       "69a7c3a090dba44400c53d87d8949e8542694d6a95d9a2c06a4cfb3e873bb445",
+			canonical: "gridseg/cell/v2|scope=|cols=|dyn=|n=0|w=0|tau=0|p=0|b=torus|rho=0|taudist=global|xname=|x=0|rep=0|seed=0",
+			key:       "5c332d288ef8cd3b6f6c385cfb229aecae58d1444ff4ae47e226fef2f2fdebf0",
+		},
+		{
+			spec:      CellSpec{Scope: "grid", Columns: []string{"happy_frac"}, Dynamic: "glauber", N: 64, W: 2, Tau: 0.42, P: 0.5, Boundary: "open", Rho: 0.05, TauDist: "mix:0.35,0.45:0.5", Rep: 1, Seed: 7},
+			canonical: "gridseg/cell/v2|scope=grid|cols=happy_frac|dyn=glauber|n=64|w=2|tau=0.42|p=0.5|b=open|rho=0.05|taudist=mix:0.35,0.45:0.5|xname=|x=0|rep=1|seed=7",
+			key:       "78579a4203ba4648cbbeb92ff7809a9027480fcbd50cc20e01bf3536a0806121",
+		},
+		{
+			spec:      CellSpec{Scope: "grid", Columns: []string{"happy_frac"}, Dynamic: "move", N: 64, W: 2, Tau: 0.42, P: 0.5, Rho: 0.1, Rep: 0, Seed: 9},
+			canonical: "gridseg/cell/v2|scope=grid|cols=happy_frac|dyn=move|n=64|w=2|tau=0.42|p=0.5|b=torus|rho=0.1|taudist=global|xname=|x=0|rep=0|seed=9",
+			key:       "014aaf874fd8e97c2bda1f83382f18d3471c68858023dbcb8add23e7390734a9",
 		},
 	}
 	for i, tc := range cases {
@@ -74,6 +89,9 @@ func TestKeyDistinguishesIdentity(t *testing.T) {
 		func(s *CellSpec) { s.Extra = 2 },
 		func(s *CellSpec) { s.Rep = 1 },
 		func(s *CellSpec) { s.Seed = 10 },
+		func(s *CellSpec) { s.Boundary = "open" },
+		func(s *CellSpec) { s.Rho = 0.05 },
+		func(s *CellSpec) { s.TauDist = "mix:0.35,0.45:0.5" },
 	} {
 		v := base
 		mut(&v)

@@ -1,0 +1,276 @@
+// Package topology is the scenario vocabulary of the repository: it
+// names and validates the lattice-geometry and population variants
+// that generalize the paper's fixed setting (an n x n torus, full
+// occupancy, one global intolerance tau).
+//
+// A Scenario bundles three orthogonal axes:
+//
+//   - Boundary: the paper's wrap-around torus, or open (hard-wall)
+//     boundaries where neighborhoods clamp at the edges — the setting
+//     of Barmpalias, Elwes and Lewis-Pye's unperturbed Schelling
+//     segregation on open two-dimensional grids.
+//   - Rho: a vacancy fraction, so a Bernoulli(rho) subset of sites
+//     holds no agent — the vacancy-diluted lattices of Stauffer and
+//     Solomon's "Ising, Schelling and self-organising segregation",
+//     which also enable relocation ("move") dynamics into empty sites.
+//   - TauDist: a deterministic, seeded distribution of per-site
+//     intolerance thresholds (quenched disorder), replacing the single
+//     global tau. Under the flip and swap dynamics, where agents never
+//     change location, per-site and per-agent intolerance coincide.
+//
+// The zero Scenario is exactly the paper's setting, and every layer
+// treats it as the fast path: default-scenario runs are bit-identical
+// to the pre-scenario code, consuming the random stream identically.
+// Canonical encodes a scenario into the stable form used by the
+// content-addressed result cache and the grid-spec syntax.
+package topology
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"gridseg/internal/rng"
+)
+
+// Boundary selects the lattice boundary condition.
+type Boundary int
+
+const (
+	// Torus is the paper's wrap-around boundary: every site has a full
+	// (2w+1)^2 neighborhood.
+	Torus Boundary = iota
+	// Open is the hard-wall boundary: neighborhoods clamp at the grid
+	// edges, so corner and edge sites see truncated windows (down to
+	// (w+1)^2 agents in a corner).
+	Open
+)
+
+// Boundary labels used in grid specs and canonical encodings.
+const (
+	BoundaryTorus = "torus"
+	BoundaryOpen  = "open"
+)
+
+// String returns "torus" or "open".
+func (b Boundary) String() string {
+	if b == Open {
+		return BoundaryOpen
+	}
+	return BoundaryTorus
+}
+
+// ParseBoundary parses a boundary label ("" parses as the default
+// torus).
+func ParseBoundary(s string) (Boundary, error) {
+	switch strings.ToLower(s) {
+	case "", BoundaryTorus:
+		return Torus, nil
+	case BoundaryOpen, "wall", "hard":
+		return Open, nil
+	}
+	return Torus, fmt.Errorf("topology: unknown boundary %q (want torus or open)", s)
+}
+
+// TauDist kinds.
+const (
+	// KindGlobal uses the run's single tau for every site (the paper's
+	// setting).
+	KindGlobal = "global"
+	// KindMix draws each site's tau from a two-point mixture:
+	// "mix:a,b:wa" gives tau=a with probability wa and tau=b otherwise.
+	KindMix = "mix"
+	// KindUniform draws each site's tau uniformly from [lo, hi]:
+	// "uniform:lo:hi".
+	KindUniform = "uniform"
+)
+
+// TauDist is a per-site intolerance distribution. The zero value is
+// the global distribution. Construct with ParseTauDist; the canonical
+// rendering (String) is what enters cache keys and cell identities.
+type TauDist struct {
+	Kind string  // "", KindGlobal, KindMix, or KindUniform
+	A, B float64 // mix: the two tau values; uniform: lo, hi
+	W    float64 // mix: probability of drawing A
+}
+
+// Global returns the default (single global tau) distribution.
+func Global() TauDist { return TauDist{} }
+
+// IsGlobal reports whether the distribution is the default global tau.
+func (d TauDist) IsGlobal() bool { return d.Kind == "" || d.Kind == KindGlobal }
+
+// g renders a float in its shortest exact form, the same rendering the
+// cache layer uses, so equal values always canonicalize identically.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// String renders the canonical spec form: "global", "mix:a,b:w", or
+// "uniform:lo:hi".
+func (d TauDist) String() string {
+	switch d.Kind {
+	case KindMix:
+		return fmt.Sprintf("mix:%s,%s:%s", g(d.A), g(d.B), g(d.W))
+	case KindUniform:
+		return fmt.Sprintf("uniform:%s:%s", g(d.A), g(d.B))
+	}
+	return KindGlobal
+}
+
+// Validate checks the distribution parameters.
+func (d TauDist) Validate() error {
+	inUnit := func(name string, v float64) error {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("topology: taudist %s=%v out of [0, 1]", name, v)
+		}
+		return nil
+	}
+	switch d.Kind {
+	case "", KindGlobal:
+		return nil
+	case KindMix:
+		for _, c := range []struct {
+			name string
+			v    float64
+		}{{"a", d.A}, {"b", d.B}, {"w", d.W}} {
+			if err := inUnit(c.name, c.v); err != nil {
+				return err
+			}
+		}
+		return nil
+	case KindUniform:
+		if err := inUnit("lo", d.A); err != nil {
+			return err
+		}
+		if err := inUnit("hi", d.B); err != nil {
+			return err
+		}
+		if d.A > d.B {
+			return fmt.Errorf("topology: taudist uniform lo=%v > hi=%v", d.A, d.B)
+		}
+		return nil
+	}
+	return fmt.Errorf("topology: unknown taudist kind %q", d.Kind)
+}
+
+// ParseTauDist parses a distribution spec: "" or "global", "mix:a,b:w"
+// (tau=a with probability w, else b), or "uniform:lo:hi". The result
+// is validated.
+func ParseTauDist(s string) (TauDist, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, KindGlobal) {
+		return TauDist{}, nil
+	}
+	kind, rest, _ := strings.Cut(s, ":")
+	var d TauDist
+	switch strings.ToLower(kind) {
+	case KindMix:
+		// mix:a,b:w
+		values, weight, ok := strings.Cut(rest, ":")
+		if !ok {
+			return TauDist{}, fmt.Errorf("topology: taudist %q: want mix:a,b:w", s)
+		}
+		as, bs, ok := strings.Cut(values, ",")
+		if !ok {
+			return TauDist{}, fmt.Errorf("topology: taudist %q: want mix:a,b:w", s)
+		}
+		var err1, err2, err3 error
+		d.Kind = KindMix
+		d.A, err1 = strconv.ParseFloat(as, 64)
+		d.B, err2 = strconv.ParseFloat(bs, 64)
+		d.W, err3 = strconv.ParseFloat(weight, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return TauDist{}, fmt.Errorf("topology: taudist %q: bad number", s)
+		}
+	case KindUniform:
+		los, his, ok := strings.Cut(rest, ":")
+		if !ok {
+			return TauDist{}, fmt.Errorf("topology: taudist %q: want uniform:lo:hi", s)
+		}
+		var err1, err2 error
+		d.Kind = KindUniform
+		d.A, err1 = strconv.ParseFloat(los, 64)
+		d.B, err2 = strconv.ParseFloat(his, 64)
+		if err1 != nil || err2 != nil {
+			return TauDist{}, fmt.Errorf("topology: taudist %q: bad number", s)
+		}
+	default:
+		return TauDist{}, fmt.Errorf("topology: unknown taudist %q (want global, mix:a,b:w, or uniform:lo:hi)", s)
+	}
+	if err := d.Validate(); err != nil {
+		return TauDist{}, err
+	}
+	return d, nil
+}
+
+// Sample draws one tau from the distribution. Global distributions
+// return the given global tau without consuming randomness.
+func (d TauDist) Sample(global float64, src *rng.Source) float64 {
+	switch d.Kind {
+	case KindMix:
+		if src.Bernoulli(d.W) {
+			return d.A
+		}
+		return d.B
+	case KindUniform:
+		return d.A + (d.B-d.A)*src.Float64()
+	}
+	return global
+}
+
+// SampleField draws a per-site tau field of the given length in site
+// order (row-major), or nil for the global distribution — the nil
+// field is what keeps default-scenario runs on the scalar fast path.
+func (d TauDist) SampleField(sites int, global float64, src *rng.Source) []float64 {
+	if d.IsGlobal() {
+		return nil
+	}
+	out := make([]float64, sites)
+	for i := range out {
+		out[i] = d.Sample(global, src)
+	}
+	return out
+}
+
+// Scenario bundles the three variant axes. The zero value is the
+// paper's setting (torus, full occupancy, global tau).
+type Scenario struct {
+	// Boundary is the lattice boundary condition.
+	Boundary Boundary
+	// Rho is the vacancy fraction: each site is empty independently
+	// with probability rho. Must be in [0, 1).
+	Rho float64
+	// TauDist is the per-site intolerance distribution.
+	TauDist TauDist
+}
+
+// Default returns the paper's scenario.
+func Default() Scenario { return Scenario{} }
+
+// IsDefault reports whether the scenario is exactly the paper's
+// setting, the precondition for the bit-packed fast engine and for
+// the legacy (pre-scenario) cell identities.
+func (s Scenario) IsDefault() bool {
+	return s.Boundary == Torus && s.Rho == 0 && s.TauDist.IsGlobal()
+}
+
+// Validate checks the scenario parameters.
+func (s Scenario) Validate() error {
+	if s.Boundary != Torus && s.Boundary != Open {
+		return fmt.Errorf("topology: unknown boundary %d", int(s.Boundary))
+	}
+	if math.IsNaN(s.Rho) || s.Rho < 0 || s.Rho >= 1 {
+		return fmt.Errorf("topology: vacancy fraction rho=%v out of [0, 1)", s.Rho)
+	}
+	return s.TauDist.Validate()
+}
+
+// Canonical renders the scenario in the stable key=value form used by
+// cell identities and cache keys: "boundary=torus rho=0 taudist=global"
+// for the default. Equal scenarios always render identically.
+func (s Scenario) Canonical() string {
+	return fmt.Sprintf("boundary=%s rho=%s taudist=%s", s.Boundary, g(s.Rho), s.TauDist)
+}
+
+// String renders the scenario compactly for logs and errors.
+func (s Scenario) String() string { return s.Canonical() }

@@ -1,0 +1,194 @@
+package topology
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gridseg/internal/rng"
+)
+
+func TestParseBoundary(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Boundary
+		ok   bool
+	}{
+		{"", Torus, true},
+		{"torus", Torus, true},
+		{"open", Open, true},
+		{"OPEN", Open, true},
+		{"wall", Open, true},
+		{"klein", Torus, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseBoundary(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseBoundary(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseBoundary(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if Torus.String() != "torus" || Open.String() != "open" {
+		t.Errorf("Boundary labels: %q, %q", Torus.String(), Open.String())
+	}
+}
+
+func TestParseTauDistRoundTrip(t *testing.T) {
+	cases := []struct {
+		in        string
+		canonical string
+	}{
+		{"", "global"},
+		{"global", "global"},
+		{"GLOBAL", "global"},
+		{"mix:0.35,0.45:0.5", "mix:0.35,0.45:0.5"},
+		{"mix:0.350,0.45:0.50", "mix:0.35,0.45:0.5"},
+		{"uniform:0.3:0.5", "uniform:0.3:0.5"},
+	}
+	for _, tc := range cases {
+		d, err := ParseTauDist(tc.in)
+		if err != nil {
+			t.Errorf("ParseTauDist(%q): %v", tc.in, err)
+			continue
+		}
+		if got := d.String(); got != tc.canonical {
+			t.Errorf("ParseTauDist(%q).String() = %q, want %q", tc.in, got, tc.canonical)
+		}
+		// Canonical forms must re-parse to themselves.
+		d2, err := ParseTauDist(d.String())
+		if err != nil || d2.String() != d.String() {
+			t.Errorf("canonical %q does not round-trip: %v", d.String(), err)
+		}
+	}
+}
+
+func TestParseTauDistRejects(t *testing.T) {
+	for _, in := range []string{
+		"mix", "mix:0.4", "mix:0.4,0.5", "mix:a,b:c", "mix:1.5,0.4:0.5",
+		"mix:0.4,0.5:2", "uniform", "uniform:0.5", "uniform:0.6:0.4",
+		"uniform:x:y", "uniform:-0.1:0.5", "gauss:0:1", "mix:NaN,0.4:0.5",
+	} {
+		if _, err := ParseTauDist(in); err == nil {
+			t.Errorf("ParseTauDist(%q) accepted, want error", in)
+		}
+	}
+}
+
+func TestTauDistSample(t *testing.T) {
+	src := rng.New(1)
+	d, err := ParseTauDist("mix:0.35,0.45:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]int{}
+	for i := 0; i < 1000; i++ {
+		v := d.Sample(0.42, src)
+		if v != 0.35 && v != 0.45 {
+			t.Fatalf("mix sample %v outside support", v)
+		}
+		seen[v]++
+	}
+	if seen[0.35] < 400 || seen[0.45] < 400 {
+		t.Errorf("mix weights look off: %v", seen)
+	}
+
+	u, err := ParseTauDist("uniform:0.3:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(0.42, src)
+		if v < 0.3 || v > 0.5 {
+			t.Fatalf("uniform sample %v outside [0.3, 0.5]", v)
+		}
+	}
+
+	// Global consumes no randomness and returns the global tau.
+	a, b := rng.New(7), rng.New(7)
+	if got := Global().Sample(0.42, a); got != 0.42 {
+		t.Errorf("global sample = %v, want 0.42", got)
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Error("global sample consumed randomness")
+	}
+}
+
+func TestSampleFieldDeterministic(t *testing.T) {
+	d, _ := ParseTauDist("uniform:0.3:0.5")
+	f1 := d.SampleField(100, 0.42, rng.New(3))
+	f2 := d.SampleField(100, 0.42, rng.New(3))
+	if len(f1) != 100 {
+		t.Fatalf("field length %d", len(f1))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("field not deterministic at %d", i)
+		}
+	}
+	if Global().SampleField(100, 0.42, rng.New(3)) != nil {
+		t.Error("global field must be nil (scalar fast path)")
+	}
+}
+
+func TestScenarioValidateAndCanonical(t *testing.T) {
+	def := Default()
+	if !def.IsDefault() {
+		t.Error("Default() not IsDefault")
+	}
+	if err := def.Validate(); err != nil {
+		t.Error(err)
+	}
+	if got := def.Canonical(); got != "boundary=torus rho=0 taudist=global" {
+		t.Errorf("default canonical = %q", got)
+	}
+
+	mix, _ := ParseTauDist("mix:0.35,0.45:0.5")
+	sc := Scenario{Boundary: Open, Rho: 0.05, TauDist: mix}
+	if sc.IsDefault() {
+		t.Error("non-default scenario reports IsDefault")
+	}
+	if err := sc.Validate(); err != nil {
+		t.Error(err)
+	}
+	want := "boundary=open rho=0.05 taudist=mix:0.35,0.45:0.5"
+	if got := sc.Canonical(); got != want {
+		t.Errorf("canonical = %q, want %q", got, want)
+	}
+
+	for _, bad := range []Scenario{
+		{Rho: -0.1},
+		{Rho: 1},
+		{Rho: math.NaN()},
+		{Boundary: Boundary(9)},
+		{TauDist: TauDist{Kind: "gauss"}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("scenario %+v accepted, want error", bad)
+		}
+	}
+}
+
+func TestScenarioCanonicalDistinguishes(t *testing.T) {
+	mix, _ := ParseTauDist("mix:0.35,0.45:0.5")
+	scenarios := []Scenario{
+		{},
+		{Boundary: Open},
+		{Rho: 0.05},
+		{TauDist: mix},
+		{Boundary: Open, Rho: 0.05},
+	}
+	seen := map[string]bool{}
+	for _, s := range scenarios {
+		c := s.Canonical()
+		if seen[c] {
+			t.Errorf("canonical collision: %q", c)
+		}
+		if !strings.Contains(c, "boundary=") {
+			t.Errorf("canonical %q missing boundary", c)
+		}
+		seen[c] = true
+	}
+}

@@ -18,12 +18,14 @@ import (
 	"gridseg/internal/grid"
 )
 
-// The Figure 1 palette.
+// The Figure 1 palette, plus a neutral grey for vacant sites (which
+// the paper's figures never contain).
 var (
 	HappyPlus    = color.RGBA{R: 0x2e, G: 0x8b, B: 0x2e, A: 0xff} // green
 	HappyMinus   = color.RGBA{R: 0x1f, G: 0x4f, B: 0xb4, A: 0xff} // blue
 	UnhappyPlus  = color.RGBA{R: 0xff, G: 0xff, B: 0xff, A: 0xff} // white
 	UnhappyMinus = color.RGBA{R: 0xf2, G: 0xd4, B: 0x2c, A: 0xff} // yellow
+	Vacant       = color.RGBA{R: 0x88, G: 0x88, B: 0x88, A: 0xff} // grey
 )
 
 // happiness returns a per-site happy flag for the given horizon and
@@ -45,10 +47,24 @@ func happiness(l *grid.Lattice, w, thresh int) []bool {
 // Render draws the configuration as an image with the given integer
 // pixel scale (>= 1), coloring by type and happiness per Figure 1.
 func Render(l *grid.Lattice, w, thresh, scale int) image.Image {
+	return RenderWith(l, happinessFunc(l, w, thresh), scale)
+}
+
+// happinessFunc adapts the classic (torus, global threshold) happiness
+// computation to the predicate form RenderWith and ASCIIWith consume.
+func happinessFunc(l *grid.Lattice, w, thresh int) func(int) bool {
+	happy := happiness(l, w, thresh)
+	return func(i int) bool { return happy[i] }
+}
+
+// RenderWith draws the configuration with an externally supplied
+// happiness predicate — the scenario-aware entry point: engines pass
+// their own Happy method, so open boundaries, vacancies, and per-site
+// thresholds render faithfully. Vacant sites draw grey.
+func RenderWith(l *grid.Lattice, happy func(int) bool, scale int) image.Image {
 	if scale < 1 {
 		scale = 1
 	}
-	happy := happiness(l, w, thresh)
 	n := l.N()
 	img := image.NewRGBA(image.Rect(0, 0, n*scale, n*scale))
 	for y := 0; y < n; y++ {
@@ -56,11 +72,13 @@ func Render(l *grid.Lattice, w, thresh, scale int) image.Image {
 			i := y*n + x
 			var c color.RGBA
 			switch {
-			case l.SpinAt(i) == grid.Plus && happy[i]:
+			case l.SpinAt(i) == grid.None:
+				c = Vacant
+			case l.SpinAt(i) == grid.Plus && happy(i):
 				c = HappyPlus
 			case l.SpinAt(i) == grid.Plus:
 				c = UnhappyPlus
-			case happy[i]:
+			case happy(i):
 				c = HappyMinus
 			default:
 				c = UnhappyMinus
@@ -96,7 +114,12 @@ func SavePNG(path string, l *grid.Lattice, w, thresh, scale int) error {
 // ASCII renders the configuration as text: '#' happy +1, '.' happy -1,
 // 'P' unhappy +1, 'm' unhappy -1.
 func ASCII(l *grid.Lattice, w, thresh int) string {
-	happy := happiness(l, w, thresh)
+	return ASCIIWith(l, happinessFunc(l, w, thresh))
+}
+
+// ASCIIWith renders with an externally supplied happiness predicate
+// (see RenderWith); vacant sites render as spaces.
+func ASCIIWith(l *grid.Lattice, happy func(int) bool) string {
 	n := l.N()
 	var b strings.Builder
 	b.Grow(n * (n + 1))
@@ -104,11 +127,13 @@ func ASCII(l *grid.Lattice, w, thresh int) string {
 		for x := 0; x < n; x++ {
 			i := y*n + x
 			switch {
-			case l.SpinAt(i) == grid.Plus && happy[i]:
+			case l.SpinAt(i) == grid.None:
+				b.WriteByte(' ')
+			case l.SpinAt(i) == grid.Plus && happy(i):
 				b.WriteByte('#')
 			case l.SpinAt(i) == grid.Plus:
 				b.WriteByte('P')
-			case happy[i]:
+			case happy(i):
 				b.WriteByte('.')
 			default:
 				b.WriteByte('m')

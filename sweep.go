@@ -59,8 +59,14 @@ type CellProgress struct {
 	Dynamic     string
 	N, W        int
 	Tau, P      float64
-	Extra       float64
-	Rep         int
+	// Scenario coordinates of the cell: boundary condition, vacancy
+	// fraction, and per-site intolerance distribution (canonical
+	// labels; "torus"/0/"global" on default cells).
+	Boundary string
+	Rho      float64
+	TauDist  string
+	Extra    float64
+	Rep      int
 	// Cached reports whether the cell was served from the checkpoint
 	// or the result store instead of being computed.
 	Cached bool
@@ -162,7 +168,9 @@ func RunGrid(spec string, opt GridOptions) (*GridResult, error) {
 				opt.ProgressCell(CellProgress{
 					Done: done, Total: total,
 					Dynamic: c.Dynamic, N: c.N, W: c.W,
-					Tau: c.Tau, P: c.P, Extra: c.Extra, Rep: c.Rep,
+					Tau: c.Tau, P: c.P,
+					Boundary: c.Boundary, Rho: c.Rho, TauDist: c.TauDist,
+					Extra: c.Extra, Rep: c.Rep,
 					Cached: cached,
 				})
 			}
@@ -197,22 +205,31 @@ func GridID(spec string, seed uint64) (string, error) {
 // sweepCell runs one grid cell to fixation and measures it.
 func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 	dyn := Glauber
-	if c.Dynamic == batch.Kawasaki {
+	switch c.Dynamic {
+	case batch.Kawasaki:
 		dyn = Kawasaki
+	case batch.Move:
+		dyn = Move
 	}
 	engine, err := ParseEngine(c.Engine)
 	if err != nil {
 		return nil, err
 	}
-	if dyn == Kawasaki && engine == EngineFast {
-		// The fast engine is Glauber-only; for Kawasaki cells an
-		// explicit fast request degrades to auto (= reference) so
-		// mixed-dynamic grids can still pin the Glauber engine.
+	boundary, err := ParseBoundary(c.Boundary)
+	if err != nil {
+		return nil, err
+	}
+	if engine == EngineFast && (dyn != Glauber || !batch.DefaultScenario(c.Boundary, c.Rho, c.TauDist)) {
+		// The fast engine covers only default-scenario Glauber cells;
+		// an explicit fast request on other cells degrades to auto
+		// (= reference) so mixed grids can still pin the Glauber
+		// engine where it applies.
 		engine = EngineAuto
 	}
 	m, err := New(Config{
 		N: c.N, W: c.W, Tau: c.Tau, P: c.P,
 		Seed: src.Uint64(), Dynamic: dyn, Engine: engine,
+		Boundary: boundary, Rho: c.Rho, TauDist: c.TauDist,
 	})
 	if err != nil {
 		return nil, err

@@ -16,12 +16,15 @@ import (
 // -update regenerates the committed golden artifacts.
 var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
 
-// goldenSpec covers both dynamics, two sizes, two horizons, and two
-// intolerances; 32 cells total. The goldens pin the full determinism
-// contract: spec + seed fixes every byte of the CSV/JSON artifacts,
-// for any worker count, with or without checkpoint-resume, on any
-// engine.
-const goldenSpec = "n=24,32 w=1,2 tau=0.42,0.45 dyn=glauber,kawasaki reps=2"
+// goldenSpec covers both flip/swap dynamics, two sizes, two horizons,
+// two intolerances, and the scenario axes (both boundaries, with and
+// without vacancies); 128 cells total. The goldens pin the full
+// determinism contract: spec + seed fixes every byte of the CSV/JSON
+// artifacts, for any worker count, with or without checkpoint-resume,
+// on any engine — and, because default-scenario cell seeds are
+// identity-stable, the default cells' metric values are pinned across
+// the scenario subsystem's introduction.
+const goldenSpec = "n=24,32 w=1,2 tau=0.42,0.45 dyn=glauber,kawasaki boundary=torus,open rho=0,0.05 reps=2"
 
 const goldenSeed = 7
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"gridseg/internal/dynamics"
+	"gridseg/internal/geom"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
 	"gridseg/internal/rng"
@@ -99,7 +100,7 @@ func (m *VariantModel) UnhappyCount() int { return m.v.UnhappyCount() }
 
 // Spin returns +1/-1 at (x, y) with wrap-around.
 func (m *VariantModel) Spin(x, y int) int {
-	return int(m.lat.Spin(gridPoint(x, y)))
+	return int(m.lat.Spin(geom.Point{X: x, Y: y}))
 }
 
 // SegregationStats summarizes the current configuration.
