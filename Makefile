@@ -1,7 +1,7 @@
 # Developer entry points. CI runs verify, docs, staticcheck, and
 # bench-check.
 
-.PHONY: all build test race fuzz bench bench-check diff docs staticcheck verify
+.PHONY: all build test race fuzz bench bench-check bench-check-ci diff docs profile staticcheck verify
 
 all: verify
 
@@ -21,9 +21,10 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzParseGrid -fuzztime 30s ./internal/batch/
 	go test -run '^$$' -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/grid/
 
-# Record the benchmark trajectory (flip throughput on both engines and
-# on the open-boundary scenario path, run-to-fixation, grid cell rate)
-# into the committed baseline.
+# Record the benchmark trajectory (flip throughput on both engines —
+# default path, every scenario axis, and the Kawasaki swap dynamic —
+# plus run-to-fixation and the grid cell rate) into the committed
+# baseline.
 bench:
 	go run ./cmd/bench -out BENCH_2.json
 
@@ -42,6 +43,18 @@ bench-check-ci:
 # Run the engine differential harness only (reference vs fast).
 diff:
 	go test -run TestEnginesBitIdentical -v ./internal/difftest/
+
+# Capture CPU and allocation pprof profiles for the flip-throughput
+# benchmarks (both engines, every scenario path, the swap dynamic, and
+# the batch grid-cell rate). Read them with:
+#   go tool pprof -top profiles/cpu.prof
+#   go tool pprof -top -sample_index=alloc_space profiles/mem.prof
+# See README "Profiling the hot path" for what to look for.
+profile:
+	mkdir -p profiles
+	go test -run '^$$' -bench 'FlipThroughput|SwapThroughput|GridCell' -benchmem \
+		-cpuprofile profiles/cpu.prof -memprofile profiles/mem.prof .
+	@echo "wrote profiles/cpu.prof and profiles/mem.prof"
 
 # Docs checks: markdown links, experiment index vs registry, CLI flag
 # documentation coverage, and store key-schema stability (the CI docs

@@ -101,21 +101,7 @@ func benchFlipThroughput(b *testing.B, n, w int, tau float64, engine Engine) {
 
 func benchFlipThroughputScenario(b *testing.B, n, w int, tau float64, engine Engine, boundary Boundary) {
 	b.Helper()
-	m, err := New(Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine, Boundary: boundary})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !m.Step() {
-			b.StopTimer()
-			m, err = New(Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine, Boundary: boundary})
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.StartTimer()
-		}
-	}
+	benchConfigThroughput(b, Config{N: n, W: w, Tau: tau, Engine: engine, Boundary: boundary})
 }
 
 // BenchmarkFlipThroughputFig1Params measures per-flip cost at the
@@ -143,12 +129,79 @@ func BenchmarkFlipThroughputN1024Reference(b *testing.B) {
 }
 
 // BenchmarkFlipThroughputOpenBoundary measures per-flip cost on the
-// open (hard-wall) boundary at the Fig. 1 parameters — the scenario
-// subsystem's hot path (reference engine, clamped windows, per-site
-// thresholds). cmd/bench records the same probe as flip_open_reference
-// in the BENCH trajectory.
+// open (hard-wall) boundary at the Fig. 1 parameters on the reference
+// engine (clamped windows, per-site thresholds). cmd/bench records the
+// same probe as flip_open_reference in the BENCH trajectory.
 func BenchmarkFlipThroughputOpenBoundary(b *testing.B) {
 	benchFlipThroughputScenario(b, 256, 10, 0.42, EngineReference, BoundaryOpen)
+}
+
+// BenchmarkFlipThroughputOpenBoundaryFast is the bit-packed engine on
+// the same open-boundary workload: the per-site boundary-table scan
+// with edge-clamped row bands (flip_open_fast in the trajectory).
+func BenchmarkFlipThroughputOpenBoundaryFast(b *testing.B) {
+	benchFlipThroughputScenario(b, 256, 10, 0.42, EngineFast, BoundaryOpen)
+}
+
+// benchConfigThroughput measures per-event cost for an arbitrary
+// configuration, re-drawing off the clock at terminal states.
+func benchConfigThroughput(b *testing.B, cfg Config) {
+	b.Helper()
+	cfg.Seed = 1
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Step() {
+			b.StopTimer()
+			cfg.Seed = uint64(i) + 2
+			m, err = New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFlipThroughputVacanciesFast measures the fast engine on a
+// vacancy-diluted lattice (flip_rho_fast in the trajectory).
+func BenchmarkFlipThroughputVacanciesFast(b *testing.B) {
+	benchConfigThroughput(b, Config{N: 256, W: 10, Tau: 0.42, Rho: 0.1, Engine: EngineFast})
+}
+
+// BenchmarkFlipThroughputTauDistFast measures the fast engine under a
+// heterogeneous intolerance field (flip_taudist_fast).
+func BenchmarkFlipThroughputTauDistFast(b *testing.B) {
+	benchConfigThroughput(b, Config{N: 256, W: 10, Tau: 0.42, TauDist: "mix:0.35,0.45:0.5", Engine: EngineFast})
+}
+
+// BenchmarkSwapThroughputKawasakiFast measures the fast swap engine's
+// per-attempt cost (flip_kawasaki_fast); the reference variant below
+// is the contrast.
+func BenchmarkSwapThroughputKawasakiFast(b *testing.B) {
+	benchConfigThroughput(b, Config{N: 256, W: 10, Tau: 0.42, Dynamic: Kawasaki, Engine: EngineFast})
+}
+
+// BenchmarkSwapThroughputKawasakiReference pins the reference swap
+// engine at the same parameters (flip_kawasaki_reference).
+func BenchmarkSwapThroughputKawasakiReference(b *testing.B) {
+	benchConfigThroughput(b, Config{N: 256, W: 10, Tau: 0.42, Dynamic: Kawasaki, Engine: EngineReference})
+}
+
+// BenchmarkGridCell measures the batch engine's per-cell cost (8 cells
+// per iteration) with allocation reporting — the probe cmd/bench
+// records as grid_cell, and the -benchmem evidence for the per-worker
+// scratch reuse in the measurement and construction paths.
+func BenchmarkGridCell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunGrid("n=32 w=1,2 tau=0.42,0.45 reps=2", GridOptions{Seed: uint64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkRunToFixation measures a complete small run.

@@ -1,14 +1,17 @@
 // Command bench records the repository's benchmark trajectory: it
-// measures the hot-path metrics (flip throughput on both engines, a
-// complete run to fixation, and the batch-engine grid cell rate),
-// writes them to a JSON baseline file, and — in check mode — fails
-// when any metric regresses more than a tolerance against a committed
-// baseline.
+// measures the hot-path metrics (flip throughput on both engines — on
+// the default path and on every scenario axis the fast engine covers:
+// open boundaries, vacancies, heterogeneous tau, and the Kawasaki swap
+// dynamic — plus a complete run to fixation and the batch-engine grid
+// cell rate), writes them to a JSON baseline file, and — in check
+// mode — fails when any metric regresses more than a tolerance against
+// a committed baseline.
 //
 //	bench -out BENCH_2.json              # record a new baseline
 //	bench -baseline BENCH_2.json         # fail on >20% regression
 //	bench -baseline BENCH_2.json -out BENCH_2.json  # check then refresh
 //	bench -minspeedup 3                  # fail unless fast >= 3x reference
+//	                                     # on every fast/reference pair
 //
 // Each metric is the minimum of three testing.Benchmark runs, which
 // suppresses scheduler noise; all metrics are nanoseconds per unit
@@ -70,11 +73,23 @@ func main() {
 	}
 
 	if *minSpeedup > 0 {
-		ref, fast := find(cur.Metrics, "flip_fig1_reference"), find(cur.Metrics, "flip_fig1_fast")
-		speedup := ref.Ns / fast.Ns
-		fmt.Printf("fast-engine speedup this run: %.2fx (want >= %.2fx)\n", speedup, *minSpeedup)
-		if speedup < *minSpeedup {
-			log.Fatalf("fast engine only %.2fx faster than reference (want >= %.2fx)", speedup, *minSpeedup)
+		// Every fast/reference pair must clear the bar: the default
+		// path and each scenario axis the fast engine covers (open
+		// boundary, vacancies, heterogeneous tau, the swap dynamic).
+		pairs := [][2]string{
+			{"flip_fig1_fast", "flip_fig1_reference"},
+			{"flip_open_fast", "flip_open_reference"},
+			{"flip_rho_fast", "flip_rho_reference"},
+			{"flip_taudist_fast", "flip_taudist_reference"},
+			{"flip_kawasaki_fast", "flip_kawasaki_reference"},
+		}
+		for _, pr := range pairs {
+			fast, ref := find(cur.Metrics, pr[0]), find(cur.Metrics, pr[1])
+			speedup := ref.Ns / fast.Ns
+			fmt.Printf("%-28s %.2fx vs %s (want >= %.2fx)\n", pr[0], speedup, pr[1], *minSpeedup)
+			if speedup < *minSpeedup {
+				log.Fatalf("%s only %.2fx faster than %s (want >= %.2fx)", pr[0], speedup, pr[1], *minSpeedup)
+			}
 		}
 	}
 	if *base != "" {
@@ -107,14 +122,36 @@ func measure(reps int) []metric {
 		perOp      float64 // units of work per benchmark op
 		run        func(b *testing.B)
 	}
+	// Scenario probes pair a fast and a reference measurement at the
+	// same parameters, so the trajectory records the engine-coverage
+	// speedup on every scenario axis (open boundaries, vacancies,
+	// heterogeneous tau) and on the swap dynamic, all at the Fig. 1
+	// neighborhood size.
+	fig1 := gridseg.Config{N: 256, W: 10, Tau: 0.42}
+	open := fig1
+	open.Boundary = gridseg.BoundaryOpen
+	rho := fig1
+	rho.Rho = 0.1
+	taudist := fig1
+	taudist.TauDist = "mix:0.35,0.45:0.5"
+	kawasaki := fig1
+	kawasaki.Dynamic = gridseg.Kawasaki
+	big := fig1
+	big.N = 1024
 	probes := []probe{
-		{"flip_fig1_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineFast, gridseg.BoundaryTorus) }},
-		{"flip_fig1_reference", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineReference, gridseg.BoundaryTorus) }},
-		{"flip_n1024_fast", "flip", 1, func(b *testing.B) { flipThroughput(b, 1024, 10, 0.42, gridseg.EngineFast, gridseg.BoundaryTorus) }},
-		// The open-boundary scenario runs the reference engine with
-		// clamped windows and per-site thresholds — the scenario
-		// subsystem's hot path, gated like every other metric.
-		{"flip_open_reference", "flip", 1, func(b *testing.B) { flipThroughput(b, 256, 10, 0.42, gridseg.EngineReference, gridseg.BoundaryOpen) }},
+		{"flip_fig1_fast", "flip", 1, flipThroughput(fig1, gridseg.EngineFast)},
+		{"flip_fig1_reference", "flip", 1, flipThroughput(fig1, gridseg.EngineReference)},
+		{"flip_n1024_fast", "flip", 1, flipThroughput(big, gridseg.EngineFast)},
+		{"flip_open_fast", "flip", 1, flipThroughput(open, gridseg.EngineFast)},
+		{"flip_open_reference", "flip", 1, flipThroughput(open, gridseg.EngineReference)},
+		{"flip_rho_fast", "flip", 1, flipThroughput(rho, gridseg.EngineFast)},
+		{"flip_rho_reference", "flip", 1, flipThroughput(rho, gridseg.EngineReference)},
+		{"flip_taudist_fast", "flip", 1, flipThroughput(taudist, gridseg.EngineFast)},
+		{"flip_taudist_reference", "flip", 1, flipThroughput(taudist, gridseg.EngineReference)},
+		// Kawasaki "flips" are swap attempts (two masked flip-updates
+		// plus the occasional revert), measured per attempt.
+		{"flip_kawasaki_fast", "flip", 1, flipThroughput(kawasaki, gridseg.EngineFast)},
+		{"flip_kawasaki_reference", "flip", 1, flipThroughput(kawasaki, gridseg.EngineReference)},
 		{"run_to_fixation", "run", 1, runToFixation},
 		{"grid_cell", "cell", 8, gridCell},
 	}
@@ -133,22 +170,28 @@ func measure(reps int) []metric {
 	return out
 }
 
-// flipThroughput measures per-flip cost, re-drawing a configuration
-// off the clock when the process fixates (mirrors bench_test.go).
-func flipThroughput(b *testing.B, n, w int, tau float64, engine gridseg.Engine, boundary gridseg.Boundary) {
-	m, err := gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: 1, Engine: engine, Boundary: boundary})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if !m.Step() {
-			b.StopTimer()
-			m, err = gridseg.New(gridseg.Config{N: n, W: w, Tau: tau, Seed: uint64(i) + 2, Engine: engine, Boundary: boundary})
-			if err != nil {
-				b.Fatal(err)
+// flipThroughput measures per-event cost at the given configuration
+// and engine, re-drawing a configuration off the clock when the
+// process reaches a terminal state (mirrors bench_test.go).
+func flipThroughput(cfg gridseg.Config, engine gridseg.Engine) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := cfg
+		c.Seed, c.Engine = 1, engine
+		m, err := gridseg.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if !m.Step() {
+				b.StopTimer()
+				c.Seed = uint64(i) + 2
+				m, err = gridseg.New(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
 			}
-			b.StartTimer()
 		}
 	}
 }

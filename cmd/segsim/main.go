@@ -34,6 +34,7 @@ type config struct {
 	boundary  string
 	rho       float64
 	taudist   string
+	engine    string
 	snapshots int
 	pngDir    string
 	ascii     bool
@@ -54,6 +55,7 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.StringVar(&c.boundary, "boundary", "torus", "lattice boundary: torus (wrap-around) or open (hard walls, truncated edge neighborhoods)")
 	fs.Float64Var(&c.rho, "rho", 0, "vacancy fraction in [0,1): each site is empty with this probability")
 	fs.StringVar(&c.taudist, "taudist", "global", "per-site intolerance distribution: global, mix:a,b:w, or uniform:lo:hi")
+	fs.StringVar(&c.engine, "engine", "auto", "simulation engine: auto, reference, or fast; never affects results, only speed")
 	fs.IntVar(&c.snapshots, "snapshots", 4, "number of reporting stages (>= 2)")
 	fs.StringVar(&c.pngDir, "png", "", "directory for snapshot PNGs (optional)")
 	fs.BoolVar(&c.ascii, "ascii", false, "print an ASCII snapshot at each stage (small grids)")
@@ -82,13 +84,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	engine, err := gridseg.ParseEngine(opts.engine)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if opts.snapshots < 2 {
 		opts.snapshots = 2
 	}
 
 	cfg := gridseg.Config{
 		N: opts.n, W: opts.w, Tau: opts.tau, P: opts.p, Seed: opts.seed, Dynamic: dyn,
-		Boundary: boundary, Rho: opts.rho, TauDist: opts.taudist,
+		Boundary: boundary, Rho: opts.rho, TauDist: opts.taudist, Engine: engine,
 	}
 
 	// Sizing pass: learn the total number of events to fixation so the

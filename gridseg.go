@@ -69,18 +69,32 @@ func ParseBoundary(s string) (Boundary, error) {
 type Engine int
 
 const (
-	// EngineAuto (the zero value) picks Fast for Glauber dynamics
-	// whenever the neighborhood fits its packed counts, and Reference
-	// otherwise (very large horizons, Kawasaki dynamics).
+	// EngineAuto (the zero value) picks Fast for Glauber and Kawasaki
+	// dynamics whenever the neighborhood fits its packed counts —
+	// every topology scenario (open boundaries, vacancies, per-site
+	// tau) is covered — and Reference otherwise (very large horizons,
+	// the Move dynamic).
 	EngineAuto Engine = iota
 	// EngineReference is the scalar reference engine of
 	// internal/dynamics.
 	EngineReference
 	// EngineFast is the bit-packed SWAR engine of
-	// internal/dynamics/fastglauber. Glauber only; requires
-	// (2W+1)^2 <= fastglauber.MaxNeighborhood.
+	// internal/dynamics/fastglauber. Glauber and Kawasaki only;
+	// requires (2W+1)^2 <= fastglauber.MaxNeighborhood.
 	EngineFast
 )
+
+// ErrEngineUnsupported is the typed sentinel wrapped by New when an
+// explicit EngineFast request names a dynamic the fast engine does not
+// implement: Move, whose relocations change site occupancy — the one
+// thing the packed representation treats as immutable.
+var ErrEngineUnsupported = errors.New("the fast engine supports Glauber and Kawasaki dynamics only")
+
+// ErrNeighborhoodTooLarge is the typed sentinel wrapped by New when an
+// explicit EngineFast request needs a neighborhood (2W+1)^2 beyond the
+// packed engine's 16-bit count-lane capacity (W <= 90 fits). EngineAuto
+// falls back to the reference engine instead of failing.
+var ErrNeighborhoodTooLarge = fastglauber.ErrNeighborhoodTooLarge
 
 // String returns "auto", "reference", or "fast".
 func (e Engine) String() string {
@@ -167,7 +181,7 @@ type Model struct {
 	lat    *grid.Lattice
 	taus   []float64 // per-site intolerance field (nil for global tau)
 	proc   dynamics.Engine
-	kaw    *dynamics.Kawasaki
+	kaw    dynamics.SwapEngine
 	mov    *dynamics.Move
 }
 
@@ -187,44 +201,55 @@ func (cfg Config) withDefaults() Config {
 
 // buildDynamics attaches the configured evolution process to a model
 // whose cfg, sc, lat, and taus fields are already set, resolving the
-// engine choice. Auto picks Fast for Glauber when the neighborhood
-// fits and the scenario is the paper's default; every non-default
-// scenario (open boundary, vacancies, heterogeneous tau) runs on the
-// reference engine, and an explicit Fast request for one is an error
-// rather than a silent fallback.
+// engine choice. Auto picks Fast for Glauber and Kawasaki whenever the
+// neighborhood fits the packed count lanes — every topology scenario
+// (open boundary, vacancies, heterogeneous tau) is covered — and falls
+// back to Reference otherwise. The Move dynamic always runs the
+// reference engine; an explicit Fast request for it is an error
+// (ErrEngineUnsupported) rather than a silent fallback, as is a Fast
+// request past the lane capacity (ErrNeighborhoodTooLarge).
 func (m *Model) buildDynamics(src *rng.Source) error {
 	var err error
 	dsc := dynamics.Scenario{Open: m.sc.Boundary == topology.Open, Taus: m.taus}
-	switch m.cfg.Dynamic {
-	case Glauber:
+	resolve := func() Engine {
 		engine := m.cfg.Engine
 		if engine == EngineAuto {
 			engine = EngineReference
-			if m.sc.IsDefault() && fastglauber.Fits(m.cfg.W) {
+			if fastglauber.Fits(m.cfg.W) {
 				engine = EngineFast
 			}
 		}
+		return engine
+	}
+	switch m.cfg.Dynamic {
+	case Glauber:
+		engine := resolve()
 		if engine == EngineFast {
-			if !m.sc.IsDefault() {
-				return fmt.Errorf("gridseg: the fast engine supports only the default scenario (torus, full occupancy, global tau); got %v", m.sc)
-			}
-			m.proc, err = fastglauber.New(m.lat, m.cfg.W, m.cfg.Tau, src)
+			m.proc, err = fastglauber.NewScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
 		} else {
 			m.proc, err = dynamics.NewScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
 		}
 		m.engine = engine
 	case Kawasaki:
-		if m.cfg.Engine == EngineFast {
-			return errors.New("gridseg: the fast engine supports Glauber dynamics only")
+		engine := resolve()
+		if engine == EngineFast {
+			var k *fastglauber.Kawasaki
+			if k, err = fastglauber.NewKawasakiScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src); err == nil {
+				m.kaw = k
+			}
+		} else {
+			var k *dynamics.Kawasaki
+			if k, err = dynamics.NewKawasakiScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src); err == nil {
+				m.kaw = k
+			}
 		}
-		m.engine = EngineReference
-		m.kaw, err = dynamics.NewKawasakiScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
+		m.engine = engine
 		if m.kaw != nil {
-			m.proc = m.kaw.Process()
+			m.proc = m.kaw.Engine()
 		}
 	case Move:
 		if m.cfg.Engine == EngineFast {
-			return errors.New("gridseg: the fast engine supports Glauber dynamics only")
+			return fmt.Errorf("gridseg: %w (Move relocations change site occupancy)", ErrEngineUnsupported)
 		}
 		if m.cfg.Rho <= 0 {
 			return errors.New("gridseg: the move dynamic requires a positive vacancy fraction (rho > 0)")
@@ -418,7 +443,7 @@ type Stats struct {
 // definitions on the default scenario.
 func (m *Model) SegregationStats() Stats {
 	open := m.sc.Boundary == topology.Open
-	cl, _ := measure.ClustersScenario(m.lat, open)
+	cl := measure.ClusterStatsScenario(m.lat, open)
 	largest := cl.LargestPlus
 	if cl.LargestMinus > largest {
 		largest = cl.LargestMinus

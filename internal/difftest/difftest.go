@@ -1,11 +1,12 @@
 // Package difftest is the differential-testing harness that pins the
-// bit-packed fast Glauber engine to the reference dynamics. It drives
-// two models built from identical configurations — one forced onto the
-// reference engine, one onto the engine under test — through the same
-// event sequence, and demands byte-identical spin arrays, flip counts,
-// Phi trajectories, clocks, and segregation Stats at a configurable
-// event cadence and at fixation. Any divergence is reported with the
-// cell, the event number, and the first differing observable.
+// bit-packed fast engines — Glauber and Kawasaki, on every topology
+// scenario — to the reference dynamics. It drives two models built
+// from identical configurations — one forced onto the reference
+// engine, one onto the engine under test — through the same event
+// sequence, and demands byte-identical spin arrays, flip counts, Phi
+// trajectories, clocks, and segregation Stats at a configurable event
+// cadence and at fixation. Any divergence is reported with the cell,
+// the event number, and the first differing observable.
 //
 // The harness is the correctness contract that lets every other layer
 // (sim experiments, batch sweeps, cmd/sweep) treat engine selection as
@@ -18,6 +19,7 @@ import (
 
 	"gridseg"
 	"gridseg/internal/batch"
+	"gridseg/internal/dynamics/fastglauber"
 )
 
 // Cell is one differential test point.
@@ -83,11 +85,11 @@ type Result struct {
 }
 
 // Compare builds the cell's model twice — reference engine vs the fast
-// engine where the fast engine applies (default-scenario Glauber), vs
-// auto elsewhere (Kawasaki, Move, and every non-default scenario,
-// where auto must resolve to the reference engine) — and steps both in
-// lockstep until fixation or the event cap. It returns the first
-// divergence as an error.
+// engine where the fast engine applies (Glauber and Kawasaki on every
+// scenario, within the packed-lane horizon capacity), vs auto
+// elsewhere (Move and oversized horizons, where auto must resolve to
+// the reference engine) — and steps both in lockstep until fixation or
+// the event cap. It returns the first divergence as an error.
 //
 // For cells outside the fast engine's coverage, Compare also pins the
 // documented fallback contract: auto resolves to the reference engine,
@@ -99,7 +101,7 @@ func Compare(c Cell, opt Options) (Result, error) {
 		Seed: c.Seed, Dynamic: c.Dynamic,
 		Boundary: c.Boundary, Rho: c.Rho, TauDist: c.TauDist,
 	}
-	fastApplies := c.Dynamic == gridseg.Glauber && c.defaultScenario()
+	fastApplies := c.Dynamic != gridseg.Move && fastglauber.Fits(c.W)
 	refCfg, underCfg := base, base
 	refCfg.Engine = gridseg.EngineReference
 	underCfg.Engine = gridseg.EngineFast

@@ -1,6 +1,7 @@
 package difftest
 
 import (
+	"errors"
 	"testing"
 
 	"gridseg"
@@ -44,16 +45,14 @@ var acceptanceCells = []Cell{
 	{N: 25, W: 12, Tau: 0.502, P: 0.5, Dynamic: gridseg.Glauber, Seed: 19},
 	{N: 31, W: 15, Tau: 0.48, P: 0.5, Dynamic: gridseg.Glauber, Seed: 20},
 	{N: 9, W: 4, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 21},
-	// Kawasaki cells: no fast engine exists, so these pin the auto
-	// selection plumbing against the reference.
+	// Kawasaki cells: the fast swap engine runs these against the
+	// reference swap engine in lockstep.
 	{N: 96, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 22},
 	{N: 64, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 23},
 	{N: 128, W: 1, Tau: 0.42, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 24},
-	// Scenario cells: the fast engine covers none of these, so each
-	// pins the documented fallback — auto resolves to the reference
-	// engine, an explicit fast request errors — plus determinism of
-	// the scenario dynamics themselves (the two models must stay in
-	// lockstep because they run the identical reference engine).
+	// Scenario cells: fast-vs-reference lockstep on the scenario axes
+	// (the Move cell is the remaining fallback pin — auto resolves to
+	// the reference engine, an explicit fast request errors).
 	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 27, Boundary: gridseg.BoundaryOpen},
 	{N: 96, W: 3, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 28, Boundary: gridseg.BoundaryOpen},
 	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 29, Rho: 0.1},
@@ -62,9 +61,28 @@ var acceptanceCells = []Cell{
 	{N: 64, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 32, Boundary: gridseg.BoundaryOpen, Rho: 0.05, TauDist: "uniform:0.35:0.5"},
 	{N: 64, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Move, Seed: 33, Rho: 0.1},
 	{N: 64, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 34, Boundary: gridseg.BoundaryOpen, Rho: 0.05},
+	// Fast-engine scenario coverage cells (PR 5): event-volume
+	// fast-vs-reference lockstep across open boundaries, vacancy
+	// fractions rho in {0.05, 0.3}, mix/uniform intolerance fields,
+	// scenario Kawasaki, and their combinations — the cells that pin
+	// the per-site boundary-table scan and the clamped row bands.
+	{N: 384, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 35, Boundary: gridseg.BoundaryOpen},
+	{N: 256, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 36, Boundary: gridseg.BoundaryOpen},
+	{N: 256, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 37, Rho: 0.05},
+	{N: 192, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 38, Rho: 0.3},
+	{N: 256, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 39, TauDist: "mix:0.35,0.45:0.5"},
+	{N: 192, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 40, TauDist: "uniform:0.35:0.5"},
+	{N: 192, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 41, Boundary: gridseg.BoundaryOpen, Rho: 0.05},
+	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 42, Boundary: gridseg.BoundaryOpen, Rho: 0.3, TauDist: "uniform:0.35:0.5"},
+	{N: 128, W: 3, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 43, Boundary: gridseg.BoundaryOpen, TauDist: "mix:0.3,0.5:0.5"},
+	{N: 96, W: 2, Tau: 0.70, P: 0.5, Dynamic: gridseg.Glauber, Seed: 44, Boundary: gridseg.BoundaryOpen, Rho: 0.05},
+	{N: 128, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 45, Boundary: gridseg.BoundaryOpen},
+	{N: 96, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 46, Rho: 0.05},
+	{N: 96, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 47, Rho: 0.3, TauDist: "mix:0.35,0.45:0.5"},
 }
 
-// TestEnginesBitIdentical is the acceptance harness: >= 20 cells,
+// TestEnginesBitIdentical is the acceptance harness: >= 46 cells
+// (>= 12 of them scenario/Kawasaki cells under the fast engine),
 // >= 10^6 events, full-state comparisons every 8192 events, zero
 // divergences between the reference and fast engines.
 func TestEnginesBitIdentical(t *testing.T) {
@@ -86,10 +104,22 @@ func TestEnginesBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Logf("differential run: %d cells, %d events, %d full-state checks", rep.Cells, rep.Events, rep.Checks)
-	if rep.Cells < 20 && !testing.Short() {
-		t.Errorf("acceptance requires >= 20 cells, got %d", rep.Cells)
+	if testing.Short() {
+		return
 	}
-	if rep.Events < 1_000_000 && !testing.Short() {
+	if rep.Cells < 46 {
+		t.Errorf("acceptance requires >= 46 cells, got %d", rep.Cells)
+	}
+	fastScenario := 0
+	for _, c := range cells {
+		if c.Dynamic != gridseg.Move && (!c.defaultScenario() || c.Dynamic == gridseg.Kawasaki) {
+			fastScenario++
+		}
+	}
+	if fastScenario < 12 {
+		t.Errorf("acceptance requires >= 12 scenario/Kawasaki cells under the fast engine, got %d", fastScenario)
+	}
+	if rep.Events < 1_000_000 {
 		t.Errorf("acceptance requires >= 10^6 events, got %d", rep.Events)
 	}
 }
@@ -111,11 +141,19 @@ func TestCompareReportsDivergence(t *testing.T) {
 }
 
 // TestCompareFastRejectsOversizedHorizon confirms an explicit fast
-// request past the lane capacity surfaces as a construction error, not
-// a silent fallback.
+// request past the lane capacity surfaces as a typed construction
+// error, not a silent fallback — and that Compare, which verifies
+// exactly this contract for cells outside the fast engine's coverage,
+// accepts such a cell (auto resolves to reference, fast rejects).
 func TestCompareFastRejectsOversizedHorizon(t *testing.T) {
-	_, err := Compare(Cell{N: 301, W: 150, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 1}, Options{MaxEvents: 1})
-	if err == nil {
-		t.Fatal("want construction error for w beyond fast-engine capacity")
+	cell := Cell{N: 301, W: 150, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 1}
+	if _, err := Compare(cell, Options{MaxEvents: 1}); err != nil {
+		t.Fatalf("oversized-horizon fallback cell diverged: %v", err)
+	}
+	_, err := gridseg.New(gridseg.Config{
+		N: cell.N, W: cell.W, Tau: cell.Tau, Seed: cell.Seed, Engine: gridseg.EngineFast,
+	})
+	if !errors.Is(err, gridseg.ErrNeighborhoodTooLarge) {
+		t.Fatalf("explicit fast request: err = %v, want ErrNeighborhoodTooLarge", err)
 	}
 }

@@ -31,8 +31,10 @@
 // struct): open hard-wall boundaries with clamped windows, vacancy
 // lattices, and per-site intolerance fields — plus the relocation
 // dynamic Move, where unhappy agents migrate into vacant sites. The
-// bit-packed fast engine covers only the default scenario; engine
-// selection falls back to the reference engine everywhere else.
+// bit-packed fast engine covers the same scenario space for the flip
+// and swap dynamics (per-site thresholds compiled into boundary
+// tables; see fastglauber); only Move, which changes site occupancy,
+// is reference-only.
 package dynamics
 
 import (

@@ -50,3 +50,32 @@ type Engine interface {
 
 // The reference engine satisfies the shared contract.
 var _ Engine = (*Process)(nil)
+
+// SwapEngine is the contract shared by the Kawasaki (swap dynamic)
+// implementations: the reference engine of this package and the
+// bit-packed fast engine of internal/dynamics/fastglauber. Like the
+// Glauber engines, the two are interchangeable bit for bit — identical
+// swap sequences, random-source consumption, and observables — so
+// callers may select one purely on performance grounds.
+type SwapEngine interface {
+	// Engine returns the underlying count-tracking Glauber engine
+	// (read-only use: happiness, counts, stats).
+	Engine() Engine
+	// StepAttempt samples an unhappy pair and swaps it iff the swap
+	// makes both movers happy; done reports that no pair exists.
+	StepAttempt() (swapped, done bool)
+	// Run performs attempts until no unhappy pair exists, maxAttempts
+	// are spent, or failStreak consecutive attempts fail.
+	Run(maxAttempts, failStreak int64) (performed int64, done bool)
+	// Swaps returns the number of successful swaps so far.
+	Swaps() int64
+	// Attempts returns the number of attempted swaps so far.
+	Attempts() int64
+	// UnhappyByType returns the numbers of unhappy +1 and -1 agents.
+	UnhappyByType() (plus, minus int)
+	// CheckInvariants verifies bookkeeping against brute force.
+	CheckInvariants() error
+}
+
+// The reference swap engine satisfies the shared swap contract.
+var _ SwapEngine = (*Kawasaki)(nil)

@@ -13,14 +13,31 @@
 // (2w+1) scalar read-modify-writes. Most sites in the band keep their
 // happy/flippable classification after a flip; the engine detects the
 // rare sites that cross a classification boundary with a SWAR
-// equality scan of the freshly updated count lanes against the (at
-// most four) boundary count values, and only those sites take the
-// scalar set-maintenance path. Initial window counts are built with
-// math/bits.OnesCount64 over packed row windows.
+// equality scan of the freshly updated count lanes against boundary
+// count values, and only those sites take the scalar set-maintenance
+// path. Initial window counts are built with math/bits.OnesCount64
+// over packed row windows.
+//
+// The engine covers every scenario of the topology subsystem. In the
+// paper's default setting (torus, full occupancy, global tau) the
+// boundary count values are the same four lane-broadcast words for
+// every site. Open hard walls, vacancies, and per-site intolerance all
+// reduce to the same generalization: each site u gets its own integer
+// threshold ceil(tau_u * occ(u)) over its own occupied window count
+// occ(u), so the engine precomputes a per-site boundary table — four
+// 16-bit boundary values per count lane, stored as four table words
+// alongside each count word — and the SWAR scan tests the updated
+// lanes against their own boundaries instead of a broadcast value.
+// Occupancy and thresholds are static under flip and swap dynamics,
+// so the tables are built once at construction. Open boundaries
+// additionally clamp the flip's row band at the grid edges instead of
+// splitting it into wrapped segments. The relocation dynamic Move
+// changes occupancy and stays on the reference engine.
 //
 // Capacity: counts are 16-bit lanes, so the engine requires
-// (2w+1)^2 <= MaxNeighborhood; construction fails above that and
-// callers fall back to the reference engine.
+// (2w+1)^2 <= MaxNeighborhood; construction fails with
+// ErrNeighborhoodTooLarge above that and callers fall back to the
+// reference engine.
 package fastglauber
 
 import (
@@ -32,6 +49,7 @@ import (
 	"gridseg/internal/fastgrid"
 	"gridseg/internal/grid"
 	"gridseg/internal/rng"
+	"gridseg/internal/scratch"
 	"gridseg/internal/theory"
 )
 
@@ -39,6 +57,13 @@ import (
 // packed 16-bit count lanes can hold. Beyond it use the reference
 // engine (w <= 90 fits).
 const MaxNeighborhood = 32767
+
+// ErrNeighborhoodTooLarge is the typed sentinel returned by the
+// constructors when (2w+1)^2 exceeds MaxNeighborhood — the one model
+// shape the packed 16-bit count lanes cannot represent. Callers that
+// want a fallback should test with errors.Is and construct the
+// reference engine instead.
+var ErrNeighborhoodTooLarge = errors.New("neighborhood exceeds the 16-bit count-lane capacity")
 
 const (
 	laneOnes = 0x0001_0001_0001_0001
@@ -65,13 +90,16 @@ func init() {
 // value is not usable. It satisfies dynamics.Engine.
 type Process struct {
 	lat    *grid.Lattice     // reference mirror, kept in lockstep
-	bits   *fastgrid.Lattice // packed spins (hot path)
+	bits   *fastgrid.Lattice // packed spins + occupancy (hot path)
 	src    *rng.Source
-	n      int // lattice side
-	w      int // horizon
-	nbhd   int // N = (2w+1)^2
-	thresh int // happiness threshold: same-type count required
-	cpr    int // count words per row = ceil(n/4)
+	n      int     // lattice side
+	w      int     // horizon
+	nbhd   int     // N = (2w+1)^2
+	thresh int     // global happiness threshold: same-type count required
+	tau    float64 // global intolerance
+	open   bool    // hard-wall boundary (windows clamp, not wrap)
+	agents int     // occupied sites (= n^2 when fully occupied)
+	cpr    int     // count words per row = ceil(n/4)
 	// counts holds the +1 count of every site's neighborhood, four
 	// sites per word in 16-bit lanes (site x of row y is lane x&3 of
 	// word y*cpr + x>>2).
@@ -90,10 +118,34 @@ type Process struct {
 	// site's classification can change after a +1/-1 count update.
 	// Unused slots hold the unmatchable sentinel (counts never exceed
 	// 0x7fff), so the hot path always tests all four branch-free.
+	// They drive the default-scenario scan; scenarios use the per-site
+	// tables below instead.
 	upVals   [4]uint64
 	downVals [4]uint64
 	nUp      int
 	nDown    int
+	// Scenario state, all nil in the default scenario: occA holds the
+	// occupied count of every site's (possibly edge-clamped) window,
+	// threshA the per-site integer thresholds ceil(tau_u * occ_u),
+	// tauOf the per-site intolerance. upTab/downTab are the per-site
+	// boundary tables: four words per count word (stride 4), lane l of
+	// word 4*k+s holding the s-th boundary count value of site 4k+l —
+	// the sentinel 0xffff in every lane of a vacant site, so vacancies
+	// are never flagged by the scan. Occupancy never changes under
+	// flip and swap dynamics, so all of this is immutable after New.
+	occA    []int32
+	threshA []int32
+	tauOf   []float64
+	upTab   []uint64
+	downTab []uint64
+	// Changed-site tracking for the swap (Kawasaki) wrapper: when track
+	// is set, applyFlip appends to changed — in reference window-visit
+	// order — every site whose unhappy flag toggled, plus the flipped
+	// site itself (whose per-type set membership can change by spin
+	// alone).
+	track    bool
+	changed  []int32
+	flipSite int
 }
 
 // noBoundary is a lane-broadcast value no count lane can ever equal;
@@ -111,8 +163,19 @@ func Fits(w int) bool { return w >= 1 && (2*w+1)*(2*w+1) <= MaxNeighborhood }
 // horizon w and intolerance tauTilde, with the same semantics and
 // validation as the reference dynamics.New. The lattice is used in
 // place: it is mutated by the process and stays bit-identical to the
-// packed state after every flip.
+// packed state after every flip. Vacancies are read off the lattice,
+// exactly like the reference constructor.
 func New(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Process, error) {
+	return NewScenario(lat, w, tauTilde, dynamics.Scenario{}, src)
+}
+
+// NewScenario creates a fast Glauber process under the given scenario
+// — open or torus boundary, optional per-site intolerance, vacancies
+// read off the lattice — with the same semantics and validation as the
+// reference dynamics.NewScenario. Construction consumes no randomness
+// (only Step draws), and the resulting trajectories are bit-identical
+// to the reference engine's in every scenario.
+func NewScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics.Scenario, src *rng.Source) (*Process, error) {
 	if w < 1 {
 		return nil, errors.New("fastglauber: horizon must be >= 1")
 	}
@@ -125,30 +188,36 @@ func New(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Process,
 	if src == nil {
 		return nil, errors.New("fastglauber: nil random source")
 	}
-	if lat.HasVacancies() {
-		// One spin per bit leaves no room for an occupancy state; the
-		// scenario layer routes vacancy (and open-boundary, and
-		// heterogeneous-tau) runs to the reference engine instead.
-		return nil, errors.New("fastglauber: vacancy lattices need the reference engine")
+	if sc.Taus != nil && len(sc.Taus) != lat.Sites() {
+		return nil, fmt.Errorf("fastglauber: per-site tau field has %d entries, want %d", len(sc.Taus), lat.Sites())
+	}
+	for _, tv := range sc.Taus {
+		if tv < 0 || tv > 1 {
+			return nil, fmt.Errorf("fastglauber: per-site intolerance %v out of [0, 1]", tv)
+		}
 	}
 	nbhd := (2*w + 1) * (2*w + 1)
 	if nbhd > MaxNeighborhood {
-		return nil, fmt.Errorf("fastglauber: neighborhood size %d exceeds count lane capacity %d (use the reference engine)", nbhd, MaxNeighborhood)
+		return nil, fmt.Errorf("fastglauber: neighborhood size %d (w=%d): %w (max %d)", nbhd, w, ErrNeighborhoodTooLarge, MaxNeighborhood)
 	}
 	n := lat.N()
 	p := &Process{
-		lat:     lat,
-		bits:    fastgrid.FromLattice(lat),
-		src:     src,
-		n:       n,
-		w:       w,
-		nbhd:    nbhd,
-		thresh:  theory.Threshold(tauTilde, nbhd),
-		cpr:     (n + 3) / 4,
-		unhappy: make([]uint64, (n*n+63)/64),
-		pos:     make([]int32, n*n),
+		lat:      lat,
+		bits:     fastgrid.FromLattice(lat),
+		src:      src,
+		n:        n,
+		w:        w,
+		nbhd:     nbhd,
+		thresh:   theory.Threshold(tauTilde, nbhd),
+		tau:      tauTilde,
+		open:     sc.Open,
+		agents:   lat.CountOccupied(),
+		cpr:      (n + 3) / 4,
+		unhappy:  make([]uint64, (n*n+63)/64),
+		pos:      make([]int32, n*n),
+		flipSite: -1,
 	}
-	fresh := p.bits.WindowCounts(w)
+	fresh := p.bits.PlusWindowCounts(w, p.open)
 	p.counts = make([]uint64, n*p.cpr)
 	for i, c := range fresh {
 		x, y := i%n, i/n
@@ -157,27 +226,75 @@ func New(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Process,
 	for i := range p.pos {
 		p.pos[i] = -1
 	}
-	// Classification boundaries: a +1 count update can change a site's
-	// class only when the new count hits one of these values (and
-	// symmetrically for -1). Values outside [0, N] can never match.
-	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.thresh)              // plus site becomes happy
-	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.nbhd+2-p.thresh)     // plus site loses flip eligibility
-	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.nbhd-p.thresh+1)     // minus site becomes unhappy
-	addBoundary(&p.upVals, &p.nUp, p.nbhd, p.thresh-1)            // minus site gains flip eligibility
-	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.thresh-1)        // plus site becomes unhappy
-	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.nbhd+1-p.thresh) // plus site gains flip eligibility
-	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.nbhd-p.thresh)   // minus site becomes happy
-	addBoundary(&p.downVals, &p.nDown, p.nbhd, p.thresh-2)        // minus site loses flip eligibility
-	for i := p.nUp; i < 4; i++ {
-		p.upVals[i] = noBoundary
-	}
-	for i := p.nDown; i < 4; i++ {
-		p.downVals[i] = noBoundary
+	if sc.Open || p.agents < lat.Sites() || sc.Taus != nil {
+		// Some axis deviates from the paper's setting: materialize the
+		// per-site state and boundary tables; the broadcast upVals and
+		// downVals stay unused.
+		p.occA = p.bits.OccupiedWindowCounts(w, p.open)
+		p.tauOf = sc.Taus
+		p.threshA = make([]int32, n*n)
+		for i := range p.threshA {
+			p.threshA[i] = int32(theory.Threshold(p.tauAt(i), int(p.occA[i])))
+		}
+		p.buildBoundaryTables()
+	} else {
+		// Classification boundaries: a +1 count update can change a
+		// site's class only when the new count hits one of these values
+		// (and symmetrically for -1). Values outside [0, N] never match.
+		addBoundary(&p.upVals, &p.nUp, p.nbhd, p.thresh)              // plus site becomes happy
+		addBoundary(&p.upVals, &p.nUp, p.nbhd, p.nbhd+2-p.thresh)     // plus site loses flip eligibility
+		addBoundary(&p.upVals, &p.nUp, p.nbhd, p.nbhd-p.thresh+1)     // minus site becomes unhappy
+		addBoundary(&p.upVals, &p.nUp, p.nbhd, p.thresh-1)            // minus site gains flip eligibility
+		addBoundary(&p.downVals, &p.nDown, p.nbhd, p.thresh-1)        // plus site becomes unhappy
+		addBoundary(&p.downVals, &p.nDown, p.nbhd, p.nbhd+1-p.thresh) // plus site gains flip eligibility
+		addBoundary(&p.downVals, &p.nDown, p.nbhd, p.nbhd-p.thresh)   // minus site becomes happy
+		addBoundary(&p.downVals, &p.nDown, p.nbhd, p.thresh-2)        // minus site loses flip eligibility
+		for i := p.nUp; i < 4; i++ {
+			p.upVals[i] = noBoundary
+		}
+		for i := p.nDown; i < 4; i++ {
+			p.downVals[i] = noBoundary
+		}
 	}
 	for i := 0; i < n*n; i++ {
 		p.refreshSite(i, int(fresh[i]))
 	}
+	// The freshly counted windows are folded into the packed lanes
+	// above; recycle the flat copy for the next construction (batch
+	// sweeps build one engine per cell).
+	scratch.PutI32(&fresh)
 	return p, nil
+}
+
+// buildBoundaryTables fills the per-site boundary tables from the
+// static occ/threshold arrays. Each occupied site gets the same eight
+// candidate boundary values the global addBoundary calls enumerate,
+// with occ_u and th_u in place of the constant N and global threshold;
+// values outside [0, occ_u] (masked to 16 bits) can never equal a
+// count lane, so they act as natural sentinels, and vacant sites keep
+// the unmatchable 0xffff in every slot — the scan never flags them.
+func (p *Process) buildBoundaryTables() {
+	p.upTab = make([]uint64, 4*len(p.counts))
+	p.downTab = make([]uint64, 4*len(p.counts))
+	for i := range p.upTab {
+		p.upTab[i] = noBoundary
+		p.downTab[i] = noBoundary
+	}
+	for i := 0; i < p.n*p.n; i++ {
+		if !p.bits.OccupiedBit(i) {
+			continue
+		}
+		x, y := i%p.n, i/p.n
+		wi := 4 * (y*p.cpr + x>>2)
+		lane := uint(16 * (x & 3))
+		occ, th := int(p.occA[i]), int(p.threshA[i])
+		up := [4]int{th, occ + 2 - th, occ - th + 1, th - 1}
+		down := [4]int{th - 1, occ + 1 - th, occ - th, th - 2}
+		for s := 0; s < 4; s++ {
+			p.upTab[wi+s] = p.upTab[wi+s]&^(uint64(0xffff)<<lane) | uint64(up[s]&0xffff)<<lane
+			p.downTab[wi+s] = p.downTab[wi+s]&^(uint64(0xffff)<<lane) | uint64(down[s]&0xffff)<<lane
+		}
+	}
 }
 
 // addBoundary appends the lane-broadcast form of count value v if it is
@@ -223,25 +340,65 @@ func (p *Process) count(i int) int {
 	return int(p.counts[y*p.cpr+x>>2] >> uint(16*(x&3)) & 0xffff)
 }
 
+// occAt returns the occupied count of N(i) (the scenario-aware
+// generalization of the constant neighborhood size N).
+func (p *Process) occAt(i int) int {
+	if p.occA == nil {
+		return p.nbhd
+	}
+	return int(p.occA[i])
+}
+
+// tauAt returns the intolerance in force at site i.
+func (p *Process) tauAt(i int) float64 {
+	if p.tauOf == nil {
+		return p.tau
+	}
+	return p.tauOf[i]
+}
+
+// threshAt returns the integer happiness threshold of site i,
+// ceil(tau_i * occ_i).
+func (p *Process) threshAt(i int) int {
+	if p.threshA == nil {
+		return p.thresh
+	}
+	return int(p.threshA[i])
+}
+
 // PlusCount returns the maintained count of +1 agents in N(i).
 func (p *Process) PlusCount(i int) int { return p.count(i) }
 
 // SameCount returns the number of agents in N(u) sharing u's type,
-// including u itself.
+// including u itself. Vacant sites hold no agent and return 0.
 func (p *Process) SameCount(i int) int {
+	if !p.bits.OccupiedBit(i) {
+		return 0
+	}
 	if p.bits.Bit(i) {
 		return p.count(i)
 	}
-	return p.nbhd - p.count(i)
+	return p.occAt(i) - p.count(i)
 }
 
 // Happy reports whether the agent at site i is happy: s(u) >= tau.
-func (p *Process) Happy(i int) bool { return p.SameCount(i) >= p.thresh }
+// Vacant sites are vacuously happy.
+func (p *Process) Happy(i int) bool {
+	if !p.bits.OccupiedBit(i) {
+		return true
+	}
+	return p.SameCount(i) >= p.threshAt(i)
+}
 
-// Flippable reports whether site i is an admissible flip.
+// Flippable reports whether site i is an admissible flip. Vacant
+// sites are never flippable.
 func (p *Process) Flippable(i int) bool {
+	if !p.bits.OccupiedBit(i) {
+		return false
+	}
 	same := p.SameCount(i)
-	return same < p.thresh && p.nbhd-same+1 >= p.thresh
+	th := p.threshAt(i)
+	return same < th && p.occAt(i)-same+1 >= th
 }
 
 // FlippableCount returns the number of currently admissible flips.
@@ -250,9 +407,16 @@ func (p *Process) FlippableCount() int { return len(p.flippable) }
 // UnhappyCount returns the number of currently unhappy agents.
 func (p *Process) UnhappyCount() int { return p.nUnhappy }
 
-// HappyFraction returns the fraction of happy agents.
+// Agents returns the number of occupied sites.
+func (p *Process) Agents() int { return p.agents }
+
+// HappyFraction returns the fraction of happy agents (over occupied
+// sites; a lattice with no agents is vacuously fully happy).
 func (p *Process) HappyFraction() float64 {
-	return 1 - float64(p.nUnhappy)/float64(p.n*p.n)
+	if p.agents == 0 {
+		return 1
+	}
+	return 1 - float64(p.nUnhappy)/float64(p.agents)
 }
 
 // Fixated reports whether the process has terminated.
@@ -261,10 +425,22 @@ func (p *Process) Fixated() bool { return len(p.flippable) == 0 }
 // refreshSite recomputes the classification of site j from its current
 // count c and spin, and updates the unhappy bitset and flippable set —
 // the same transition the reference engine's refresh performs, applied
-// only to sites whose count crossed a classification boundary.
+// only to sites whose count crossed a classification boundary. Vacant
+// sites are neither unhappy nor flippable.
 func (p *Process) refreshSite(j, c int) {
 	var unhappy, flippable bool
-	if p.bits.Bit(j) {
+	if p.threshA != nil {
+		if p.bits.OccupiedBit(j) {
+			occ, th := int(p.occA[j]), int(p.threshA[j])
+			if p.bits.Bit(j) {
+				unhappy = c < th
+				flippable = unhappy && c <= occ+1-th
+			} else {
+				unhappy = c > occ-th
+				flippable = unhappy && c >= th-1
+			}
+		}
+	} else if p.bits.Bit(j) {
 		unhappy = c < p.thresh
 		flippable = unhappy && c <= p.nbhd+1-p.thresh
 	} else {
@@ -272,13 +448,19 @@ func (p *Process) refreshSite(j, c int) {
 		flippable = unhappy && c >= p.thresh-1
 	}
 	wi, bm := j>>6, uint64(1)<<uint(j&63)
-	if (p.unhappy[wi]&bm != 0) != unhappy {
+	toggled := (p.unhappy[wi]&bm != 0) != unhappy
+	if toggled {
 		p.unhappy[wi] ^= bm
 		if unhappy {
 			p.nUnhappy++
 		} else {
 			p.nUnhappy--
 		}
+	}
+	if p.track && (toggled || j == p.flipSite) {
+		// The swap wrapper replays per-type set maintenance over these
+		// sites in this exact (reference window-visit) order.
+		p.changed = append(p.changed, int32(j))
 	}
 	in := p.pos[j] >= 0
 	switch {
@@ -354,9 +536,85 @@ func (p *Process) updateSegment(y, a, b int, add bool, vals *[4]uint64, forceX i
 	}
 }
 
+// updateSegmentTab is the scenario variant of updateSegment: instead
+// of four lane-broadcast boundary values shared by every site, each
+// count word scans against its own four boundary-table words (lane l
+// of tab[4*idx+s] holds the s-th boundary value of the site in lane
+// l). Everything else — the SWAR ±1 add, the zero-lane scan with its
+// harmless borrow false-positives, the ascending refresh order — is
+// identical.
+func (p *Process) updateSegmentTab(y, a, b int, add bool, tab []uint64, forceX int) {
+	base := y * p.cpr
+	row := y * p.n
+	w0, w1 := a>>2, b>>2
+	fk := -1
+	var fbit uint64
+	if forceX >= a && forceX <= b {
+		fk = forceX >> 2
+		fbit = 0x8000 << uint(16*(forceX&3))
+	}
+	for k := w0; k <= w1; k++ {
+		am := uint64(laneOnes)
+		if k == w0 || k == w1 {
+			lo, hi := 0, 3
+			if k == w0 {
+				lo = a & 3
+			}
+			if k == w1 {
+				hi = b & 3
+			}
+			am = addMask[lo][hi]
+		}
+		idx := base + k
+		cw := p.counts[idx]
+		if add {
+			cw += am
+		} else {
+			cw -= am
+		}
+		p.counts[idx] = cw
+		t := tab[4*idx : 4*idx+4 : 4*idx+4]
+		x0 := cw ^ t[0]
+		x1 := cw ^ t[1]
+		x2 := cw ^ t[2]
+		x3 := cw ^ t[3]
+		flags := ((x0 - laneOnes) & ^x0) | ((x1 - laneOnes) & ^x1) |
+			((x2 - laneOnes) & ^x2) | ((x3 - laneOnes) & ^x3)
+		flags &= am << 15
+		if k == fk {
+			flags |= fbit
+		}
+		for flags != 0 {
+			l := bits.TrailingZeros64(flags) >> 4
+			p.refreshSite(row+k<<2+l, int(cw>>uint(16*l)&0xffff))
+			flags &= flags - 1
+		}
+	}
+}
+
+// segment applies the ±1 count update and boundary scan to columns
+// [a, b] of row y, routing to the broadcast scan (default scenario) or
+// the per-site table scan.
+func (p *Process) segment(y, a, b int, add bool, forceX int) {
+	if p.upTab == nil {
+		vals := &p.downVals
+		if add {
+			vals = &p.upVals
+		}
+		p.updateSegment(y, a, b, add, vals, forceX)
+		return
+	}
+	tab := p.downTab
+	if add {
+		tab = p.upTab
+	}
+	p.updateSegmentTab(y, a, b, add, tab, forceX)
+}
+
 // applyFlip flips site i and updates counts and set membership of every
-// affected site, visiting rows and (wrapped) columns in the same order
-// as the reference engine so the flippable slice evolves identically.
+// affected site, visiting rows and columns in the same order as the
+// reference engine — wrapped on the torus, clamped at the edges under
+// the open boundary — so the flippable slice evolves identically.
 func (p *Process) applyFlip(i int) {
 	n, w := p.n, p.w
 	x0, y0 := i%n, i/n
@@ -366,9 +624,28 @@ func (p *Process) applyFlip(i int) {
 	} else {
 		p.lat.SetAt(i, grid.Minus)
 	}
-	vals := &p.downVals
-	if plus {
-		vals = &p.upVals
+	p.flipSite = i
+	if p.open {
+		xlo, xhi := x0-w, x0+w
+		if xlo < 0 {
+			xlo = 0
+		}
+		if xhi > n-1 {
+			xhi = n - 1
+		}
+		for dy := -w; dy <= w; dy++ {
+			y := y0 + dy
+			if y < 0 || y >= n {
+				continue
+			}
+			forceX := -1
+			if dy == 0 {
+				forceX = x0
+			}
+			p.segment(y, xlo, xhi, plus, forceX)
+		}
+		p.flipSite = -1
+		return
 	}
 	xlo := x0 - w
 	if xlo < 0 {
@@ -387,12 +664,13 @@ func (p *Process) applyFlip(i int) {
 			forceX = x0
 		}
 		if xlo+width <= n {
-			p.updateSegment(y, xlo, xlo+width-1, plus, vals, forceX)
+			p.segment(y, xlo, xlo+width-1, plus, forceX)
 		} else {
-			p.updateSegment(y, xlo, n-1, plus, vals, forceX)
-			p.updateSegment(y, 0, xlo+width-1-n, plus, vals, forceX)
+			p.segment(y, xlo, n-1, plus, forceX)
+			p.segment(y, 0, xlo+width-1-n, plus, forceX)
 		}
 	}
+	p.flipSite = -1
 }
 
 // ForceFlip flips site i unconditionally and updates all bookkeeping,
@@ -448,7 +726,16 @@ func (p *Process) CheckInvariants() error {
 	if err := p.bits.EqualLattice(p.lat); err != nil {
 		return err
 	}
-	fresh := p.bits.WindowCounts(p.w)
+	fresh := p.bits.PlusWindowCounts(p.w, p.open)
+	ref := p.lat.PlusWindowCounts(p.w, p.open)
+	if len(ref) != len(fresh) {
+		return fmt.Errorf("packed window count length %d, reference recount length %d", len(fresh), len(ref))
+	}
+	for i := range ref {
+		if ref[i] != fresh[i] {
+			return fmt.Errorf("packed window count[%d] = %d, reference recount %d", i, fresh[i], ref[i])
+		}
+	}
 	inSet := make(map[int32]bool, len(p.flippable))
 	for j, site := range p.flippable {
 		if p.pos[site] != int32(j) {
@@ -459,20 +746,38 @@ func (p *Process) CheckInvariants() error {
 		}
 		inSet[site] = true
 	}
+	if got := p.lat.CountOccupied(); got != p.agents {
+		return fmt.Errorf("agents = %d, want %d", p.agents, got)
+	}
+	if p.occA != nil {
+		freshOcc := p.lat.OccupiedWindowCounts(p.w, p.open)
+		for i := range freshOcc {
+			if p.occA[i] != freshOcc[i] {
+				return fmt.Errorf("occ[%d] = %d, want %d", i, p.occA[i], freshOcc[i])
+			}
+			if want := int32(theory.Threshold(p.tauAt(i), int(freshOcc[i]))); p.threshA[i] != want {
+				return fmt.Errorf("threshA[%d] = %d, want %d", i, p.threshA[i], want)
+			}
+		}
+	}
 	unhappyCount := 0
 	for i := 0; i < p.n*p.n; i++ {
 		if got, want := p.count(i), int(fresh[i]); got != want {
 			return fmt.Errorf("count[%d] = %d, want %d", i, got, want)
 		}
-		same := p.SameCount(i)
-		unhappy := same < p.thresh
+		var unhappy, flippable bool
+		if p.bits.OccupiedBit(i) {
+			same := p.SameCount(i)
+			th := p.threshAt(i)
+			unhappy = same < th
+			flippable = unhappy && p.occAt(i)-same+1 >= th
+		}
 		if got := p.unhappy[i>>6]&(1<<uint(i&63)) != 0; got != unhappy {
 			return fmt.Errorf("unhappy[%d] = %v, want %v", i, got, unhappy)
 		}
 		if unhappy {
 			unhappyCount++
 		}
-		flippable := unhappy && p.nbhd-same+1 >= p.thresh
 		if flippable != inSet[int32(i)] {
 			return fmt.Errorf("flippable membership of %d = %v, want %v", i, inSet[int32(i)], flippable)
 		}

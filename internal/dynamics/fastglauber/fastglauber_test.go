@@ -1,11 +1,13 @@
 package fastglauber
 
 import (
+	"errors"
 	"testing"
 
 	"gridseg/internal/dynamics"
 	"gridseg/internal/grid"
 	"gridseg/internal/rng"
+	"gridseg/internal/topology"
 )
 
 // newPair builds a reference and a fast engine over independent copies
@@ -107,6 +109,131 @@ func TestLockstepWithReference(t *testing.T) {
 	}
 }
 
+// scenarioCase is one point of the scenario test grid.
+type scenarioCase struct {
+	n, w   int
+	tau, p float64
+	rho    float64
+	open   bool
+	dist   string
+}
+
+// scenarioCases spans every scenario axis and their combinations:
+// open boundaries, vacancy fractions, per-site intolerance
+// distributions, the super-unhappy regime, and a torus-spanning band.
+var scenarioCases = []scenarioCase{
+	{n: 32, w: 2, tau: 0.42, p: 0.5, open: true},
+	{n: 24, w: 3, tau: 0.45, p: 0.5, rho: 0.1},
+	{n: 24, w: 2, tau: 0.42, p: 0.5, rho: 0.05, open: true},
+	{n: 24, w: 2, tau: 0.42, p: 0.5, dist: "mix:0.35,0.45:0.5"},
+	{n: 24, w: 2, tau: 0.42, p: 0.5, rho: 0.3, open: true, dist: "uniform:0.35:0.5"},
+	{n: 24, w: 2, tau: 0.70, p: 0.5, rho: 0.1, open: true},
+	{n: 21, w: 10, tau: 0.45, p: 0.5, rho: 0.1},
+	{n: 21, w: 10, tau: 0.45, p: 0.5, open: true},
+}
+
+// newScenarioPair builds a reference and a fast engine over independent
+// copies of the same scenario lattice and tau field.
+func newScenarioPair(t *testing.T, c scenarioCase, seed uint64) (*dynamics.Process, *Process) {
+	t.Helper()
+	lat := grid.RandomScenario(c.n, c.p, c.rho, rng.New(seed).Split(1))
+	dist, err := topology.ParseTauDist(c.dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := dynamics.Scenario{Open: c.open, Taus: dist.SampleField(lat.Sites(), c.tau, rng.New(seed).Split(3))}
+	ref, err := dynamics.NewScenario(lat.Clone(), c.w, c.tau, sc, rng.New(seed).Split(2))
+	if err != nil {
+		t.Fatalf("reference NewScenario: %v", err)
+	}
+	fast, err := NewScenario(lat.Clone(), c.w, c.tau, sc, rng.New(seed).Split(2))
+	if err != nil {
+		t.Fatalf("fast NewScenario: %v", err)
+	}
+	return ref, fast
+}
+
+// TestScenarioLockstepWithReference steps the scenario engines in
+// lockstep across every scenario axis, demanding identical flip sites,
+// clocks, and periodically valid invariants.
+func TestScenarioLockstepWithReference(t *testing.T) {
+	for _, tc := range scenarioCases {
+		ref, fast := newScenarioPair(t, tc, uint64(tc.n*1000+tc.w))
+		if got, want := fast.FlippableCount(), ref.FlippableCount(); got != want {
+			t.Fatalf("%+v: initial FlippableCount = %d, want %d", tc, got, want)
+		}
+		if got, want := fast.UnhappyCount(), ref.UnhappyCount(); got != want {
+			t.Fatalf("%+v: initial UnhappyCount = %d, want %d", tc, got, want)
+		}
+		for step := 0; ; step++ {
+			rs, rok := ref.Step()
+			fs, fok := fast.Step()
+			if rok != fok {
+				t.Fatalf("%+v step %d: ok %v vs %v", tc, step, rok, fok)
+			}
+			if !rok {
+				break
+			}
+			if rs != fs {
+				t.Fatalf("%+v step %d: flipped site %d vs %d", tc, step, fs, rs)
+			}
+			if ref.Time() != fast.Time() {
+				t.Fatalf("%+v step %d: time %v vs %v", tc, step, fast.Time(), ref.Time())
+			}
+			if step%64 == 0 {
+				if err := fast.CheckInvariants(); err != nil {
+					t.Fatalf("%+v step %d: %v", tc, step, err)
+				}
+				if !ref.Lattice().Equal(fast.Lattice()) {
+					t.Fatalf("%+v step %d: lattices diverged", tc, step)
+				}
+			}
+		}
+		if err := fast.CheckInvariants(); err != nil {
+			t.Fatalf("%+v fixated: %v", tc, err)
+		}
+		if !ref.Lattice().Equal(fast.Lattice()) {
+			t.Fatalf("%+v: fixated lattices diverged", tc)
+		}
+		if ref.Flips() != fast.Flips() || ref.Phi() != fast.Phi() {
+			t.Fatalf("%+v: flips/Phi diverged: %d/%d vs %d/%d",
+				tc, fast.Flips(), fast.Phi(), ref.Flips(), ref.Phi())
+		}
+		if ref.HappyFraction() != fast.HappyFraction() {
+			t.Fatalf("%+v: happy fraction %v vs %v", tc, fast.HappyFraction(), ref.HappyFraction())
+		}
+	}
+}
+
+// TestScenarioForceFlipMatchesReference drives the scenario engines
+// through arbitrary forced flips on occupied sites and compares
+// bookkeeping.
+func TestScenarioForceFlipMatchesReference(t *testing.T) {
+	tc := scenarioCase{n: 20, w: 2, tau: 0.45, p: 0.5, rho: 0.1, open: true, dist: "mix:0.35,0.45:0.5"}
+	ref, fast := newScenarioPair(t, tc, 3)
+	pick := rng.New(99)
+	for k := 0; k < 400; k++ {
+		i := pick.Intn(20 * 20)
+		if !ref.Lattice().OccupiedAt(i) {
+			continue
+		}
+		ref.ForceFlip(i)
+		fast.ForceFlip(i)
+	}
+	if err := fast.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Lattice().Equal(fast.Lattice()) {
+		t.Fatal("lattices diverged under forced flips")
+	}
+	if got, want := fast.FlippableCount(), ref.FlippableCount(); got != want {
+		t.Fatalf("FlippableCount = %d, want %d", got, want)
+	}
+	if got, want := fast.UnhappyCount(), ref.UnhappyCount(); got != want {
+		t.Fatalf("UnhappyCount = %d, want %d", got, want)
+	}
+}
+
 // TestForceFlipMatchesReference drives both engines through arbitrary
 // forced flips (rule-violating transitions) and compares bookkeeping.
 func TestForceFlipMatchesReference(t *testing.T) {
@@ -152,10 +279,16 @@ func TestValidation(t *testing.T) {
 		t.Error("nil source accepted")
 	}
 	big := grid.New(301, grid.Minus)
-	if _, err := New(big, 150, 0.4, rng.New(1)); err == nil {
-		t.Error("neighborhood beyond lane capacity accepted")
+	if _, err := New(big, 150, 0.4, rng.New(1)); !errors.Is(err, ErrNeighborhoodTooLarge) {
+		t.Errorf("neighborhood beyond lane capacity: got %v, want ErrNeighborhoodTooLarge", err)
 	}
 	if Fits(90) != true || Fits(91) != false || Fits(0) != false {
 		t.Error("Fits boundary wrong")
+	}
+	if _, err := NewScenario(lat, 2, 0.4, dynamics.Scenario{Taus: []float64{0.5}}, src); err == nil {
+		t.Error("short per-site tau field accepted")
+	}
+	if _, err := NewScenario(lat, 2, 0.4, dynamics.Scenario{Taus: make([]float64, 81)}, src); err != nil {
+		t.Errorf("valid per-site tau field rejected: %v", err)
 	}
 }

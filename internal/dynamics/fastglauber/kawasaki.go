@@ -1,0 +1,214 @@
+package fastglauber
+
+import (
+	"fmt"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+// Kawasaki is the bit-packed fast path of the swap (closed-system)
+// dynamic: a pair of unhappy agents of opposite types exchange
+// locations iff the exchange makes both happy. It is observationally
+// identical to the reference dynamics.Kawasaki — same per-type
+// unhappy-set ordering, same random-source consumption, hence
+// bit-identical swap sequences and observables for any seed.
+//
+// An exchange is two flips, and each flip reuses the fast Process's
+// SWAR count update and boundary scan wholesale. The per-type unhappy
+// sets ride on the scan for free: the reference engine re-examines
+// every window site after a flip, but a site's set membership can only
+// change when its unhappy flag toggles (or, for the flipped site, when
+// its spin changes), and the scan already identifies exactly those
+// sites — in the reference engine's window-visit order — through the
+// Process's changed-site tracking. So set maintenance costs a handful
+// of scalar updates per flip instead of (2w+1)^2 re-examinations.
+type Kawasaki struct {
+	p *Process
+	// Unhappy agents by type, with swap-remove position tracking,
+	// ordered identically to the reference engine's sets.
+	unhappyPlus  []int32
+	unhappyMinus []int32
+	posPlus      []int32
+	posMinus     []int32
+	swaps        int64
+	attempts     int64
+}
+
+// NewKawasaki creates a fast Kawasaki process over the lattice with
+// horizon w and intolerance tauTilde, mirroring dynamics.NewKawasaki.
+// The lattice is mutated in place.
+func NewKawasaki(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Kawasaki, error) {
+	return NewKawasakiScenario(lat, w, tauTilde, dynamics.Scenario{}, src)
+}
+
+// NewKawasakiScenario creates a fast Kawasaki process under the given
+// scenario (open boundaries, per-site tau, vacancies read off the
+// lattice), mirroring dynamics.NewKawasakiScenario.
+func NewKawasakiScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics.Scenario, src *rng.Source) (*Kawasaki, error) {
+	p, err := NewScenario(lat, w, tauTilde, sc, src)
+	if err != nil {
+		return nil, err
+	}
+	p.track = true
+	k := &Kawasaki{
+		p:        p,
+		posPlus:  make([]int32, lat.Sites()),
+		posMinus: make([]int32, lat.Sites()),
+	}
+	for i := range k.posPlus {
+		k.posPlus[i] = -1
+		k.posMinus[i] = -1
+	}
+	for i := 0; i < lat.Sites(); i++ {
+		k.refreshSets(i)
+	}
+	return k, nil
+}
+
+// Process returns the underlying count-tracking fast process
+// (read-only use).
+func (k *Kawasaki) Process() *Process { return k.p }
+
+// Engine returns the underlying process as the shared engine contract
+// (the accessor of dynamics.SwapEngine).
+func (k *Kawasaki) Engine() dynamics.Engine { return k.p }
+
+// Swaps returns the number of successful swaps so far.
+func (k *Kawasaki) Swaps() int64 { return k.swaps }
+
+// Attempts returns the number of attempted swaps so far.
+func (k *Kawasaki) Attempts() int64 { return k.attempts }
+
+// UnhappyByType returns the numbers of unhappy +1 and -1 agents.
+func (k *Kawasaki) UnhappyByType() (plus, minus int) {
+	return len(k.unhappyPlus), len(k.unhappyMinus)
+}
+
+// refreshSets updates site i's membership in the per-type unhappy
+// sets from the maintained unhappy bitset (zero for vacant sites) and
+// the packed spin plane.
+func (k *Kawasaki) refreshSets(i int) {
+	unhappy := k.p.unhappy[i>>6]&(1<<uint(i&63)) != 0
+	plusSpin := k.p.bits.Bit(i)
+	setMembership(&k.unhappyPlus, k.posPlus, i, unhappy && plusSpin)
+	setMembership(&k.unhappyMinus, k.posMinus, i, unhappy && !plusSpin)
+}
+
+// setMembership maintains a swap-remove set with position tracking —
+// the same structure (and ordering discipline) as the reference
+// dynamics' samplers.
+func setMembership(set *[]int32, pos []int32, i int, want bool) {
+	in := pos[i] >= 0
+	switch {
+	case want && !in:
+		pos[i] = int32(len(*set))
+		*set = append(*set, int32(i))
+	case !want && in:
+		j := pos[i]
+		last := (*set)[len(*set)-1]
+		(*set)[j] = last
+		pos[last] = j
+		*set = (*set)[:len(*set)-1]
+		pos[i] = -1
+	}
+}
+
+// forceFlipTracked flips site i in the underlying process and replays
+// per-type set maintenance over exactly the sites whose membership can
+// have changed, in the reference engine's window-visit order.
+func (k *Kawasaki) forceFlipTracked(i int) {
+	p := k.p
+	p.changed = p.changed[:0]
+	p.ForceFlip(i)
+	for _, j := range p.changed {
+		k.refreshSets(int(j))
+	}
+}
+
+// StepAttempt samples one unhappy agent of each type uniformly at
+// random and swaps them iff the swap makes both happy, consuming the
+// random source exactly like the reference engine. It returns
+// swapped=false with done=true when no unhappy pair exists.
+func (k *Kawasaki) StepAttempt() (swapped, done bool) {
+	if len(k.unhappyPlus) == 0 || len(k.unhappyMinus) == 0 {
+		return false, true
+	}
+	k.attempts++
+	u := int(k.unhappyPlus[k.p.src.Intn(len(k.unhappyPlus))])
+	v := int(k.unhappyMinus[k.p.src.Intn(len(k.unhappyMinus))])
+	// Apply the swap as two tracked flips, then verify both movers are
+	// happy at their new locations; revert if not.
+	k.forceFlipTracked(u) // u's site becomes -1 (the mover from v)
+	k.forceFlipTracked(v) // v's site becomes +1 (the mover from u)
+	if k.p.Happy(u) && k.p.Happy(v) {
+		k.swaps++
+		return true, false
+	}
+	k.forceFlipTracked(v)
+	k.forceFlipTracked(u)
+	return false, false
+}
+
+// Run performs swap attempts until no unhappy pair exists, until
+// maxAttempts have been made, or until failStreak consecutive attempts
+// fail — the same stopping rule as the reference engine.
+func (k *Kawasaki) Run(maxAttempts, failStreak int64) (performed int64, done bool) {
+	if maxAttempts <= 0 {
+		return 0, false
+	}
+	var streak int64
+	for a := int64(0); a < maxAttempts; a++ {
+		swapped, noPairs := k.StepAttempt()
+		if noPairs {
+			return performed, true
+		}
+		if swapped {
+			performed++
+			streak = 0
+		} else {
+			streak++
+			if failStreak > 0 && streak >= failStreak {
+				return performed, false
+			}
+		}
+	}
+	return performed, false
+}
+
+// CheckInvariants verifies the per-type unhappy sets against brute
+// force in addition to the underlying process invariants.
+func (k *Kawasaki) CheckInvariants() error {
+	if err := k.p.CheckInvariants(); err != nil {
+		return err
+	}
+	inPlus := map[int32]bool{}
+	for j, site := range k.unhappyPlus {
+		if k.posPlus[site] != int32(j) {
+			return fmt.Errorf("posPlus[%d] = %d, want %d", site, k.posPlus[site], j)
+		}
+		inPlus[site] = true
+	}
+	inMinus := map[int32]bool{}
+	for j, site := range k.unhappyMinus {
+		if k.posMinus[site] != int32(j) {
+			return fmt.Errorf("posMinus[%d] = %d, want %d", site, k.posMinus[site], j)
+		}
+		inMinus[site] = true
+	}
+	for i := 0; i < k.p.lat.Sites(); i++ {
+		unhappy := !k.p.Happy(i)
+		spin := k.p.lat.SpinAt(i)
+		if inPlus[int32(i)] != (unhappy && spin == grid.Plus) {
+			return fmt.Errorf("unhappyPlus membership of %d wrong", i)
+		}
+		if inMinus[int32(i)] != (unhappy && spin == grid.Minus) {
+			return fmt.Errorf("unhappyMinus membership of %d wrong", i)
+		}
+	}
+	return nil
+}
+
+// The fast swap engine satisfies the shared swap contract.
+var _ dynamics.SwapEngine = (*Kawasaki)(nil)

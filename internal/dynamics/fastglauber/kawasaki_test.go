@@ -1,0 +1,99 @@
+package fastglauber
+
+import (
+	"testing"
+
+	"gridseg/internal/dynamics"
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+	"gridseg/internal/topology"
+)
+
+// newKawasakiPair builds a reference and a fast Kawasaki engine over
+// independent copies of the same scenario lattice and tau field.
+func newKawasakiPair(t *testing.T, c scenarioCase, seed uint64) (*dynamics.Kawasaki, *Kawasaki) {
+	t.Helper()
+	lat := grid.RandomScenario(c.n, c.p, c.rho, rng.New(seed).Split(1))
+	dist, err := topology.ParseTauDist(c.dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := dynamics.Scenario{Open: c.open, Taus: dist.SampleField(lat.Sites(), c.tau, rng.New(seed).Split(3))}
+	ref, err := dynamics.NewKawasakiScenario(lat.Clone(), c.w, c.tau, sc, rng.New(seed).Split(2))
+	if err != nil {
+		t.Fatalf("reference NewKawasakiScenario: %v", err)
+	}
+	fast, err := NewKawasakiScenario(lat.Clone(), c.w, c.tau, sc, rng.New(seed).Split(2))
+	if err != nil {
+		t.Fatalf("fast NewKawasakiScenario: %v", err)
+	}
+	return ref, fast
+}
+
+// TestKawasakiLockstepWithReference drives the swap engines through
+// identical attempt sequences — the default scenario and every
+// scenario axis — demanding identical swap outcomes, set sizes, and
+// periodically valid invariants.
+func TestKawasakiLockstepWithReference(t *testing.T) {
+	cases := append([]scenarioCase{
+		{n: 32, w: 1, tau: 0.45, p: 0.5},
+		{n: 24, w: 2, tau: 0.45, p: 0.5},
+		{n: 24, w: 2, tau: 0.42, p: 0.3},
+	}, scenarioCases...)
+	for _, tc := range cases {
+		ref, fast := newKawasakiPair(t, tc, uint64(tc.n*77+tc.w))
+		if rp, rm := ref.UnhappyByType(); true {
+			fp, fm := fast.UnhappyByType()
+			if rp != fp || rm != fm {
+				t.Fatalf("%+v: initial unhappy sets (%d,%d) vs (%d,%d)", tc, fp, fm, rp, rm)
+			}
+		}
+		maxAttempts := 4000
+		for a := 0; a < maxAttempts; a++ {
+			rs, rdone := ref.StepAttempt()
+			fs, fdone := fast.StepAttempt()
+			if rs != fs || rdone != fdone {
+				t.Fatalf("%+v attempt %d: (swapped,done)=(%v,%v) vs (%v,%v)", tc, a, fs, fdone, rs, rdone)
+			}
+			if rdone {
+				break
+			}
+			if a%256 == 0 {
+				if err := fast.CheckInvariants(); err != nil {
+					t.Fatalf("%+v attempt %d: %v", tc, a, err)
+				}
+				if !ref.Process().Lattice().Equal(fast.Process().Lattice()) {
+					t.Fatalf("%+v attempt %d: lattices diverged", tc, a)
+				}
+			}
+		}
+		if err := fast.CheckInvariants(); err != nil {
+			t.Fatalf("%+v final: %v", tc, err)
+		}
+		if ref.Swaps() != fast.Swaps() || ref.Attempts() != fast.Attempts() {
+			t.Fatalf("%+v: swaps/attempts %d/%d vs %d/%d", tc, fast.Swaps(), fast.Attempts(), ref.Swaps(), ref.Attempts())
+		}
+		if !ref.Process().Lattice().Equal(fast.Process().Lattice()) {
+			t.Fatalf("%+v: final lattices diverged", tc)
+		}
+		if ref.Process().Phi() != fast.Process().Phi() {
+			t.Fatalf("%+v: Phi %d vs %d", tc, fast.Process().Phi(), ref.Process().Phi())
+		}
+	}
+}
+
+// TestKawasakiRunMatchesReference pins the bounded Run loop (attempt
+// budget plus failure streak) to the reference engine.
+func TestKawasakiRunMatchesReference(t *testing.T) {
+	tc := scenarioCase{n: 32, w: 2, tau: 0.45, p: 0.5, rho: 0.05, open: true}
+	ref, fast := newKawasakiPair(t, tc, 11)
+	n2 := int64(tc.n * tc.n)
+	rp, rdone := ref.Run(20*n2, n2)
+	fp, fdone := fast.Run(20*n2, n2)
+	if rp != fp || rdone != fdone {
+		t.Fatalf("Run: (%d,%v) vs (%d,%v)", fp, fdone, rp, rdone)
+	}
+	if !ref.Process().Lattice().Equal(fast.Process().Lattice()) {
+		t.Fatal("lattices diverged after Run")
+	}
+}

@@ -61,6 +61,10 @@ func NewKawasakiScenario(lat *grid.Lattice, w int, tauTilde float64, sc Scenario
 // Process returns the underlying count-tracking process (read-only use).
 func (k *Kawasaki) Process() *Process { return k.p }
 
+// Engine returns the underlying process as the shared engine contract
+// (the accessor of SwapEngine).
+func (k *Kawasaki) Engine() Engine { return k.p }
+
 // Swaps returns the number of successful swaps so far.
 func (k *Kawasaki) Swaps() int64 { return k.swaps }
 

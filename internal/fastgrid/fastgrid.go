@@ -1,10 +1,13 @@
 // Package fastgrid implements the bit-packed representation of the
-// torus lattice used by the fast Glauber engine: one spin per bit in
-// []uint64 row words (+1 agents are set bits), with popcount-based
-// (math/bits.OnesCount64) window counting. It mirrors the semantics of
-// internal/grid exactly — the same site indexing, the same torus wrap —
-// so a packed lattice and its reference twin can be kept in lockstep
-// and compared bit for bit.
+// lattice used by the fast engines: one spin per bit in []uint64 row
+// words (+1 agents are set bits), with popcount-based
+// (math/bits.OnesCount64) window counting. Vacancy scenarios add a
+// second bit plane of the same shape recording occupancy (set bit =
+// site holds an agent), and the open boundary replaces the torus wrap
+// by clamped (edge-truncated) row and column windows. It mirrors the
+// semantics of internal/grid exactly — the same site indexing, the
+// same wrap or clamp — so a packed lattice and its reference twin can
+// be kept in lockstep and compared bit for bit.
 package fastgrid
 
 import (
@@ -12,34 +15,49 @@ import (
 	"math/bits"
 
 	"gridseg/internal/grid"
+	"gridseg/internal/scratch"
 )
 
-// Lattice is an n x n torus of spins packed one per bit, row-major:
+// Lattice is an n x n lattice of spins packed one per bit, row-major:
 // site (x, y) lives at bit x&63 of word y*WordsPerRow()+x>>6, and a set
-// bit means +1. The zero value is not usable; construct with
-// FromLattice or NewPacked.
+// bit means +1. On vacancy lattices a parallel occupancy plane marks
+// the sites holding an agent (vacant sites read as 0 in both planes,
+// like Minus — the occupancy plane is what tells them apart). The zero
+// value is not usable; construct with FromLattice or NewPacked.
 type Lattice struct {
 	n     int
 	wpr   int // words per row
 	words []uint64
+	// occ is the occupancy bit plane, same layout as words; nil on
+	// fully occupied lattices (the paper's setting).
+	occ []uint64
 }
 
-// NewPacked returns an all-minus packed lattice of side n.
+// NewPacked returns an all-minus, fully occupied packed lattice of
+// side n.
 func NewPacked(n int) *Lattice {
 	wpr := (n + 63) / 64
 	return &Lattice{n: n, wpr: wpr, words: make([]uint64, n*wpr)}
 }
 
-// FromLattice packs the spins of a reference lattice.
+// FromLattice packs the spins of a reference lattice, together with an
+// occupancy plane when the lattice has vacant sites.
 func FromLattice(l *grid.Lattice) *Lattice {
 	n := l.N()
 	p := NewPacked(n)
+	if l.HasVacancies() {
+		p.occ = make([]uint64, n*p.wpr)
+	}
 	for y := 0; y < n; y++ {
 		base := y * n
 		row := y * p.wpr
 		for x := 0; x < n; x++ {
-			if l.SpinAt(base+x) == grid.Plus {
+			s := l.SpinAt(base + x)
+			if s == grid.Plus {
 				p.words[row+x>>6] |= 1 << uint(x&63)
+			}
+			if p.occ != nil && s != grid.None {
+				p.occ[row+x>>6] |= 1 << uint(x&63)
 			}
 		}
 	}
@@ -56,6 +74,19 @@ func (p *Lattice) WordsPerRow() int { return p.wpr }
 func (p *Lattice) Bit(i int) bool {
 	x, y := i%p.n, i/p.n
 	return p.words[y*p.wpr+x>>6]>>uint(x&63)&1 != 0
+}
+
+// HasVacancies reports whether the lattice carries an occupancy plane.
+func (p *Lattice) HasVacancies() bool { return p.occ != nil }
+
+// OccupiedBit reports whether the site at row-major index i holds an
+// agent (always true on fully occupied lattices).
+func (p *Lattice) OccupiedBit(i int) bool {
+	if p.occ == nil {
+		return true
+	}
+	x, y := i%p.n, i/p.n
+	return p.occ[y*p.wpr+x>>6]>>uint(x&63)&1 != 0
 }
 
 // FlipBit negates the spin at row-major site index i and reports
@@ -80,53 +111,88 @@ func (p *Lattice) CountPlus() int {
 // OnesInRowRange returns the number of +1 agents in row y, columns
 // [lo, hi] (no wrap; 0 <= lo <= hi < n), using masked popcounts.
 func (p *Lattice) OnesInRowRange(y, lo, hi int) int {
+	return p.planeRowRange(p.words, y, lo, hi)
+}
+
+// planeRowRange counts the set bits of an arbitrary plane in row y,
+// columns [lo, hi] (no wrap), using masked popcounts.
+func (p *Lattice) planeRowRange(plane []uint64, y, lo, hi int) int {
 	row := y * p.wpr
 	w0, w1 := lo>>6, hi>>6
 	loMask := ^uint64(0) << uint(lo&63)
 	hiMask := ^uint64(0) >> uint(63-hi&63)
 	if w0 == w1 {
-		return bits.OnesCount64(p.words[row+w0] & loMask & hiMask)
+		return bits.OnesCount64(plane[row+w0] & loMask & hiMask)
 	}
-	c := bits.OnesCount64(p.words[row+w0] & loMask)
+	c := bits.OnesCount64(plane[row+w0] & loMask)
 	for k := w0 + 1; k < w1; k++ {
-		c += bits.OnesCount64(p.words[row+k])
+		c += bits.OnesCount64(plane[row+k])
 	}
-	return c + bits.OnesCount64(p.words[row+w1]&hiMask)
+	return c + bits.OnesCount64(plane[row+w1]&hiMask)
 }
 
-// onesInRowWindow returns the number of +1 agents in row y over the
-// wrapped column window [x-radius, x+radius].
-func (p *Lattice) onesInRowWindow(y, x, radius int) int {
+// planeRowWindow counts the set bits of a plane in row y over the
+// column window [x-radius, x+radius], wrapped on the torus or clamped
+// to [0, n) under the open boundary.
+func (p *Lattice) planeRowWindow(plane []uint64, y, x, radius int, open bool) int {
 	lo, hi := x-radius, x+radius
+	if open {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= p.n {
+			hi = p.n - 1
+		}
+		return p.planeRowRange(plane, y, lo, hi)
+	}
 	switch {
 	case lo < 0:
-		return p.OnesInRowRange(y, 0, hi) + p.OnesInRowRange(y, p.n+lo, p.n-1)
+		return p.planeRowRange(plane, y, 0, hi) + p.planeRowRange(plane, y, p.n+lo, p.n-1)
 	case hi >= p.n:
-		return p.OnesInRowRange(y, lo, p.n-1) + p.OnesInRowRange(y, 0, hi-p.n)
+		return p.planeRowRange(plane, y, lo, p.n-1) + p.planeRowRange(plane, y, 0, hi-p.n)
 	default:
-		return p.OnesInRowRange(y, lo, hi)
+		return p.planeRowRange(plane, y, lo, hi)
 	}
 }
 
-// WindowCounts returns, for every site u (row-major), the number of +1
-// agents in the Chebyshev ball of the given radius centered at u —
-// the popcount-based equivalent of grid.Lattice.WindowCounts. The
-// horizontal pass computes each row window with OnesCount64 over masked
-// word ranges; the vertical pass slides the row sums. It panics if the
-// window wraps onto itself (2*radius+1 > n).
-func (p *Lattice) WindowCounts(radius int) []int32 {
-	if 2*radius+1 > p.n {
+// planeWindowCounts is the generic two-pass window counter over a bit
+// plane: the horizontal pass computes each row window with OnesCount64
+// over masked word ranges, the vertical pass slides (torus) or
+// prefix-sums with clamped ranges (open) the row sums.
+func (p *Lattice) planeWindowCounts(plane []uint64, radius int, open bool) []int32 {
+	if !open && 2*radius+1 > p.n {
 		panic("fastgrid: window larger than torus")
 	}
 	n := p.n
-	rowSum := make([]int32, n*n)
+	rp := scratch.I32(n * n)
+	rowSum := *rp
 	for y := 0; y < n; y++ {
 		base := y * n
 		for x := 0; x < n; x++ {
-			rowSum[base+x] = int32(p.onesInRowWindow(y, x, radius))
+			rowSum[base+x] = int32(p.planeRowWindow(plane, y, x, radius, open))
 		}
 	}
 	out := make([]int32, n*n)
+	if open {
+		col := make([]int32, n+1)
+		for x := 0; x < n; x++ {
+			for y := 0; y < n; y++ {
+				col[y+1] = col[y] + rowSum[y*n+x]
+			}
+			for y := 0; y < n; y++ {
+				lo, hi := y-radius, y+radius+1
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > n {
+					hi = n
+				}
+				out[y*n+x] = col[hi] - col[lo]
+			}
+		}
+		scratch.PutI32(rp)
+		return out
+	}
 	for x := 0; x < n; x++ {
 		var acc int32
 		for dy := -radius; dy <= radius; dy++ {
@@ -139,7 +205,33 @@ func (p *Lattice) WindowCounts(radius int) []int32 {
 			out[y*n+x] = acc
 		}
 	}
+	scratch.PutI32(rp)
 	return out
+}
+
+// WindowCounts returns, for every site u (row-major), the number of +1
+// agents in the Chebyshev ball of the given radius centered at u —
+// the popcount-based equivalent of grid.Lattice.WindowCounts. It
+// panics if the window wraps onto itself (2*radius+1 > n).
+func (p *Lattice) WindowCounts(radius int) []int32 {
+	return p.planeWindowCounts(p.words, radius, false)
+}
+
+// PlusWindowCounts returns the per-site +1 counts under either
+// boundary: wrapped windows on the torus, edge-clamped windows when
+// open — the popcount equivalent of grid.Lattice.PlusWindowCounts.
+func (p *Lattice) PlusWindowCounts(radius int, open bool) []int32 {
+	return p.planeWindowCounts(p.words, radius, open)
+}
+
+// OccupiedWindowCounts returns the per-site occupied-site counts —
+// the popcount equivalent of grid.Lattice.OccupiedWindowCounts. On a
+// fully occupied lattice this is the geometric window area.
+func (p *Lattice) OccupiedWindowCounts(radius int, open bool) []int32 {
+	if p.occ == nil {
+		return grid.WindowAreas(p.n, radius, open)
+	}
+	return p.planeWindowCounts(p.occ, radius, open)
 }
 
 func wrap(a, n int) int {
@@ -161,6 +253,9 @@ func (p *Lattice) EqualLattice(l *grid.Lattice) error {
 		plus := l.SpinAt(i) == grid.Plus
 		if p.Bit(i) != plus {
 			return fmt.Errorf("fastgrid: spin mismatch at site %d: packed %v, reference %v", i, p.Bit(i), plus)
+		}
+		if p.OccupiedBit(i) != l.OccupiedAt(i) {
+			return fmt.Errorf("fastgrid: occupancy mismatch at site %d: packed %v, reference %v", i, p.OccupiedBit(i), l.OccupiedAt(i))
 		}
 	}
 	return nil

@@ -73,6 +73,58 @@ func TestWindowCountsPanics(t *testing.T) {
 	p.WindowCounts(3)
 }
 
+// TestScenarioPackRoundTrip verifies packing preserves spins and
+// occupancy on vacancy lattices, across partial-word and multi-word
+// rows.
+func TestScenarioPackRoundTrip(t *testing.T) {
+	for _, n := range []int{3, 7, 31, 63, 64, 65, 100, 130} {
+		lat := grid.RandomScenario(n, 0.5, 0.15, rng.New(uint64(n)))
+		p := FromLattice(lat)
+		if !p.HasVacancies() {
+			t.Fatalf("n=%d: vacancy lattice packed without an occupancy plane", n)
+		}
+		if err := p.EqualLattice(lat); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+	if FromLattice(grid.Random(16, 0.5, rng.New(1))).HasVacancies() {
+		t.Fatal("fully occupied lattice grew an occupancy plane")
+	}
+}
+
+// TestScenarioWindowCounts pins the scenario window counting — both
+// indicators (plus agents, occupied sites), both boundaries (wrapped,
+// clamped) — to the reference grid implementations, including windows
+// spanning word boundaries and, under the open boundary, windows
+// larger than the grid.
+func TestScenarioWindowCounts(t *testing.T) {
+	cases := []struct {
+		n, w int
+		rho  float64
+		open bool
+	}{
+		{5, 1, 0, true}, {5, 2, 0.2, true}, {9, 4, 0.1, false},
+		{31, 15, 0.1, true}, {64, 3, 0.05, false}, {65, 32, 0.2, true},
+		{100, 10, 0.1, true}, {130, 64, 0.3, false}, {16, 20, 0.1, true},
+	}
+	for _, tc := range cases {
+		lat := grid.RandomScenario(tc.n, 0.5, tc.rho, rng.New(uint64(tc.n*100+tc.w)))
+		p := FromLattice(lat)
+		gotPlus := p.PlusWindowCounts(tc.w, tc.open)
+		wantPlus := lat.PlusWindowCounts(tc.w, tc.open)
+		gotOcc := p.OccupiedWindowCounts(tc.w, tc.open)
+		wantOcc := lat.OccupiedWindowCounts(tc.w, tc.open)
+		for i := range wantPlus {
+			if gotPlus[i] != wantPlus[i] {
+				t.Fatalf("%+v: PlusWindowCounts[%d] = %d, want %d", tc, i, gotPlus[i], wantPlus[i])
+			}
+			if gotOcc[i] != wantOcc[i] {
+				t.Fatalf("%+v: OccupiedWindowCounts[%d] = %d, want %d", tc, i, gotOcc[i], wantOcc[i])
+			}
+		}
+	}
+}
+
 // TestOnesInRowRange cross-checks masked popcounts against direct
 // enumeration at word boundaries.
 func TestOnesInRowRange(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 
 	"gridseg/internal/geom"
 	"gridseg/internal/rng"
+	"gridseg/internal/scratch"
 )
 
 // Spin is the type of an agent: +1 or -1 (the paper's two agent
@@ -288,8 +289,11 @@ func (l *Lattice) WindowCounts(radius int) []int32 {
 	}
 	n := l.n
 	// Pass 1: horizontal windows. rowSum[y*n+x] = number of +1 in
-	// row y, columns x-radius .. x+radius (wrapped).
-	rowSum := make([]int32, n*n)
+	// row y, columns x-radius .. x+radius (wrapped). The buffer is
+	// pure scratch, recycled across calls (every entry is written
+	// before the vertical pass reads it).
+	rp := scratch.I32(n * n)
+	rowSum := *rp
 	for y := 0; y < n; y++ {
 		base := y * n
 		var acc int32
@@ -324,6 +328,7 @@ func (l *Lattice) WindowCounts(radius int) []int32 {
 			out[y*n+x] = acc
 		}
 	}
+	scratch.PutI32(rp)
 	return out
 }
 

@@ -1,5 +1,7 @@
 package grid
 
+import "gridseg/internal/scratch"
+
 // Scenario-aware window counting. The paper's setting only ever needs
 // WindowCounts (torus, +1 indicator); the functions here generalize it
 // along two axes for the topology subsystem: the counted indicator
@@ -71,7 +73,8 @@ func (l *Lattice) wrappedCounts(radius int, match func(Spin) bool) []int32 {
 		panic("grid: window larger than torus")
 	}
 	n := l.n
-	rowSum := make([]int32, n*n)
+	rp := scratch.I32(n * n)
+	rowSum := *rp
 	for y := 0; y < n; y++ {
 		base := y * n
 		var acc int32
@@ -104,6 +107,7 @@ func (l *Lattice) wrappedCounts(radius int, match func(Spin) bool) []int32 {
 			out[y*n+x] = acc
 		}
 	}
+	scratch.PutI32(rp)
 	return out
 }
 
@@ -114,7 +118,8 @@ func (l *Lattice) wrappedCounts(radius int, match func(Spin) bool) []int32 {
 // grid).
 func (l *Lattice) clampedCounts(radius int, match func(Spin) bool) []int32 {
 	n := l.n
-	rowSum := make([]int32, n*n)
+	rp := scratch.I32(n * n)
+	rowSum := *rp
 	pre := make([]int32, n+1)
 	for y := 0; y < n; y++ {
 		base := y * n
@@ -152,5 +157,6 @@ func (l *Lattice) clampedCounts(radius int, match func(Spin) bool) []int32 {
 			out[y*n+x] = col[hi] - col[lo]
 		}
 	}
+	scratch.PutI32(rp)
 	return out
 }

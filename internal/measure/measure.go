@@ -9,6 +9,7 @@ package measure
 import (
 	"gridseg/internal/geom"
 	"gridseg/internal/grid"
+	"gridseg/internal/scratch"
 )
 
 // Unreachable marks sites with no opposite-type agent on the lattice
@@ -31,17 +32,18 @@ func SamplePoints(n, k int) []geom.Point {
 	return pts
 }
 
-// distanceToSpin returns, for every site, the Chebyshev (king-move)
-// distance to the nearest site of the given spin, via multi-source BFS.
-// Sites of the given spin have distance 0; if the lattice contains no
-// such site every entry is Unreachable.
-func distanceToSpin(l *grid.Lattice, s grid.Spin) []int32 {
+// distanceToSpin fills dist (length Sites) with, for every site, the
+// Chebyshev (king-move) distance to the nearest site of the given
+// spin, via multi-source BFS over a pooled queue. Sites of the given
+// spin have distance 0; if the lattice contains no such site every
+// entry is Unreachable.
+func distanceToSpin(dist []int32, l *grid.Lattice, s grid.Spin) {
 	n := l.N()
-	dist := make([]int32, l.Sites())
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	queue := make([]int32, 0, l.Sites())
+	qp := scratch.I32(l.Sites())
+	queue := (*qp)[:0]
 	for i := 0; i < l.Sites(); i++ {
 		if l.SpinAt(i) == s {
 			dist[i] = 0
@@ -78,23 +80,35 @@ func distanceToSpin(l *grid.Lattice, s grid.Spin) []int32 {
 			}
 		}
 	}
-	return dist
+	*qp = queue
+	scratch.PutI32(qp)
+}
+
+// oppositeDistancesInto fills dst with, for every site, the Chebyshev
+// distance to the nearest agent of the opposite type, recycling its
+// BFS scratch.
+func oppositeDistancesInto(dst []int32, l *grid.Lattice) {
+	tp, tm := scratch.I32(l.Sites()), scratch.I32(l.Sites())
+	toPlus, toMinus := *tp, *tm
+	distanceToSpin(toPlus, l, grid.Plus)
+	distanceToSpin(toMinus, l, grid.Minus)
+	for i := range dst {
+		if l.SpinAt(i) == grid.Plus {
+			dst[i] = toMinus[i]
+		} else {
+			dst[i] = toPlus[i]
+		}
+	}
+	scratch.PutI32(tp)
+	scratch.PutI32(tm)
 }
 
 // OppositeDistances returns, for every site, the Chebyshev distance to
 // the nearest agent of the opposite type (>= 1), or Unreachable on a
 // monochromatic lattice.
 func OppositeDistances(l *grid.Lattice) []int32 {
-	toPlus := distanceToSpin(l, grid.Plus)
-	toMinus := distanceToSpin(l, grid.Minus)
 	out := make([]int32, l.Sites())
-	for i := range out {
-		if l.SpinAt(i) == grid.Plus {
-			out[i] = toMinus[i]
-		} else {
-			out[i] = toPlus[i]
-		}
-	}
+	oppositeDistancesInto(out, l)
 	return out
 }
 
@@ -106,22 +120,49 @@ func maxRadiusCap(n int) int { return (n - 1) / 2 }
 // the neighborhood N_r(c) is monochromatic, capped at (n-1)/2. On a
 // monochromatic lattice every entry equals the cap.
 func CenteredRadii(l *grid.Lattice) []int32 {
-	opp := OppositeDistances(l)
+	out := make([]int32, l.Sites())
+	centeredRadiiInto(out, l)
+	return out
+}
+
+// centeredRadiiInto fills dst with the centered-radii field, reusing
+// dst for the intermediate opposite-distance pass (the radius
+// transform is elementwise).
+func centeredRadiiInto(dst []int32, l *grid.Lattice) {
+	oppositeDistancesInto(dst, l)
 	cap32 := int32(maxRadiusCap(l.N()))
-	out := make([]int32, len(opp))
-	for i, d := range opp {
+	for i, d := range dst {
 		switch {
 		case d == Unreachable:
-			out[i] = cap32
+			dst[i] = cap32
 		default:
 			r := d - 1
 			if r > cap32 {
 				r = cap32
 			}
-			out[i] = r
+			dst[i] = r
 		}
 	}
-	return out
+}
+
+// MeanMonoRegionSize returns the mean M(u) over the probe points: the
+// estimator of E[M] the grid sweeps measure at fixation. It computes
+// the centered-radii field on a pooled buffer and recycles it before
+// returning, so per-cell measurement allocates nothing beyond the BFS
+// scratch (ownership of the pooled buffer never leaves this package).
+func MeanMonoRegionSize(l *grid.Lattice, pts []geom.Point) float64 {
+	if len(pts) == 0 {
+		return 0
+	}
+	rp := scratch.I32(l.Sites())
+	radii := *rp
+	centeredRadiiInto(radii, l)
+	var mean float64
+	for _, pt := range pts {
+		mean += float64(MonoRegionSize(l, radii, pt))
+	}
+	scratch.PutI32(rp)
+	return mean / float64(len(pts))
 }
 
 // MonoRegionSize returns M(u): the size (agent count) of the largest
@@ -222,15 +263,29 @@ func ClustersScenario(l *grid.Lattice, open bool) (ClusterStats, []int32) {
 	return clusters(l, open)
 }
 
+// ClusterStatsScenario computes the cluster statistics without
+// materializing the per-site size field — the variant the sweep
+// measurement loop uses, so each measured cell skips an O(n^2)
+// result allocation it would immediately discard.
+func ClusterStatsScenario(l *grid.Lattice, open bool) ClusterStats {
+	stats, _ := clustersImpl(l, open, false)
+	return stats
+}
+
 func clusters(l *grid.Lattice, open bool) (ClusterStats, []int32) {
+	return clustersImpl(l, open, true)
+}
+
+func clustersImpl(l *grid.Lattice, open, wantPerSite bool) (ClusterStats, []int32) {
 	n := l.N()
 	sites := l.Sites()
-	label := make([]int32, sites)
+	lp, qp := scratch.I32(sites), scratch.I32(sites)
+	label := *lp
 	for i := range label {
 		label[i] = -1
 	}
 	var stats ClusterStats
-	queue := make([]int32, 0, sites)
+	queue := (*qp)[:0]
 	clusterSize := make([]int32, 0)
 	for start := 0; start < sites; start++ {
 		if label[start] != -1 {
@@ -291,10 +346,16 @@ func clusters(l *grid.Lattice, open bool) (ClusterStats, []int32) {
 		}
 	}
 	stats.Count = len(stats.Sizes)
-	perSite := make([]int32, sites)
-	for i := range perSite {
-		perSite[i] = clusterSize[label[i]]
+	var perSite []int32
+	if wantPerSite {
+		perSite = make([]int32, sites)
+		for i := range perSite {
+			perSite[i] = clusterSize[label[i]]
+		}
 	}
+	*qp = queue
+	scratch.PutI32(lp)
+	scratch.PutI32(qp)
 	return stats, perSite
 }
 

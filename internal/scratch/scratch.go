@@ -1,0 +1,33 @@
+// Package scratch is a size-adaptive free list for the large temporary
+// buffers of the hot counting and measurement passes (row-window sums,
+// BFS distance maps, cluster labels). The batch sweep engine runs one
+// model per cell and measures it, so without reuse every cell pays a
+// fresh round of O(n^2) scratch allocations; recycling them through a
+// sync.Pool — whose per-P caches make this per-worker reuse without
+// threading state through every call — removes that churn while
+// leaving every public API returning ordinary, caller-owned slices.
+//
+// Buffers come back with arbitrary contents: callers must fully
+// initialize what they take (every current user writes each entry
+// before reading it), so pooling can never change a result.
+package scratch
+
+import "sync"
+
+var i32Pool sync.Pool
+
+// I32 returns a pointer to a length-n []int32 with arbitrary contents,
+// reusing a pooled buffer when one of sufficient capacity is
+// available. Return it with PutI32 when done.
+func I32(n int) *[]int32 {
+	if v, _ := i32Pool.Get().(*[]int32); v != nil && cap(*v) >= n {
+		*v = (*v)[:n]
+		return v
+	}
+	b := make([]int32, n)
+	return &b
+}
+
+// PutI32 recycles a buffer obtained from I32. The caller must not use
+// the slice afterwards.
+func PutI32(b *[]int32) { i32Pool.Put(b) }

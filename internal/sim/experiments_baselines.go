@@ -123,7 +123,7 @@ func runE14(ctx *Context) ([]*report.Table, error) {
 		plus0 := initial.CountPlus()
 
 		glat := initial.Clone()
-		gp, err := dynamics.New(glat, c.W, c.Tau, src.Split(2))
+		gp, err := newEngine(glat, c.W, c.Tau, src.Split(2), ctx.Engine)
 		if err != nil {
 			return nil, err
 		}
@@ -131,12 +131,12 @@ func runE14(ctx *Context) ([]*report.Table, error) {
 		g := summarize(glat, gp.HappyFraction(), plus0)
 
 		klat := initial.Clone()
-		kp, err := dynamics.NewKawasaki(klat, c.W, c.Tau, src.Split(3))
+		kp, err := newSwapEngine(klat, c.W, c.Tau, dynamics.Scenario{}, src.Split(3), ctx.Engine)
 		if err != nil {
 			return nil, err
 		}
 		kp.Run(int64(c.N)*int64(c.N)*20, int64(c.N)*int64(c.N))
-		k := summarize(klat, kp.Process().HappyFraction(), plus0)
+		k := summarize(klat, kp.Engine().HappyFraction(), plus0)
 
 		return []float64{
 			g.happy, g.iface, g.largest, g.drift,

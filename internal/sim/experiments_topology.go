@@ -46,9 +46,11 @@ var scenarioColumns = []string{"happyFrac", "ifaceDensity", "sameFrac", "largest
 
 // runScenarioCell runs one scenario cell to fixation (or the attempt
 // budget for the pair dynamics) and measures the scenario-aware
-// observables. Default-scenario Glauber cells honor the context's
-// engine selection; every other scenario runs the reference engine,
-// mirroring the facade's fallback rule.
+// observables. Glauber and Kawasaki cells honor the context's engine
+// selection on every scenario (the fast engine covers all axes); Move
+// cells run the reference engine, mirroring the facade's fallback
+// rule. Engines are bit-identical, so previously cached cells stay
+// valid.
 func runScenarioCell(c batch.Cell, src *rng.Source, engineLabel string) ([]float64, error) {
 	open := c.Boundary == batch.BoundaryOpen
 	dist, err := topology.ParseTauDist(c.TauDist)
@@ -58,7 +60,6 @@ func runScenarioCell(c batch.Cell, src *rng.Source, engineLabel string) ([]float
 	lat := grid.RandomScenario(c.N, c.P, c.Rho, src.Split(1))
 	taus := dist.SampleField(lat.Sites(), c.Tau, src.Split(3))
 	dsc := dynamics.Scenario{Open: open, Taus: taus}
-	defaultScenario := !open && c.Rho == 0 && taus == nil
 
 	var (
 		events  int64
@@ -75,19 +76,14 @@ func runScenarioCell(c batch.Cell, src *rng.Source, engineLabel string) ([]float
 		events, _ = mv.Run(budget, streak)
 		unhappy = mv.Process().UnhappyCount()
 	case batch.Kawasaki:
-		k, err := dynamics.NewKawasakiScenario(lat, c.W, c.Tau, dsc, src.Split(2))
+		k, err := newSwapEngine(lat, c.W, c.Tau, dsc, src.Split(2), engineLabel)
 		if err != nil {
 			return nil, err
 		}
 		events, _ = k.Run(budget, streak)
-		unhappy = k.Process().UnhappyCount()
+		unhappy = k.Engine().UnhappyCount()
 	default:
-		var proc dynamics.Engine
-		if defaultScenario {
-			proc, err = newEngine(lat, c.W, c.Tau, src.Split(2), engineLabel)
-		} else {
-			proc, err = dynamics.NewScenario(lat, c.W, c.Tau, dsc, src.Split(2))
-		}
+		proc, err := newScenarioEngine(lat, c.W, c.Tau, dsc, src.Split(2), engineLabel)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +91,7 @@ func runScenarioCell(c batch.Cell, src *rng.Source, engineLabel string) ([]float
 		unhappy = proc.UnhappyCount()
 	}
 
-	cl, _ := measure.ClustersScenario(lat, open)
+	cl := measure.ClusterStatsScenario(lat, open)
 	largest := cl.LargestPlus
 	if cl.LargestMinus > largest {
 		largest = cl.LargestMinus

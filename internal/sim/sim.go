@@ -151,16 +151,41 @@ type glauberResult struct {
 // engines are bit-identical (internal/difftest), so the label only
 // selects an execution strategy.
 func newEngine(lat *grid.Lattice, w int, tau float64, src *rng.Source, engine string) (dynamics.Engine, error) {
+	return newScenarioEngine(lat, w, tau, dynamics.Scenario{}, src, engine)
+}
+
+// newScenarioEngine builds the selected Glauber engine under a
+// topology scenario. The fast engine covers every scenario axis, so
+// auto resolves to it whenever the neighborhood fits the packed count
+// lanes, exactly as on default cells.
+func newScenarioEngine(lat *grid.Lattice, w int, tau float64, dsc dynamics.Scenario, src *rng.Source, engine string) (dynamics.Engine, error) {
 	switch engine {
 	case "", batch.EngineAuto:
 		if fastglauber.Fits(w) {
-			return fastglauber.New(lat, w, tau, src)
+			return fastglauber.NewScenario(lat, w, tau, dsc, src)
 		}
-		return dynamics.New(lat, w, tau, src)
+		return dynamics.NewScenario(lat, w, tau, dsc, src)
 	case batch.EngineReference:
-		return dynamics.New(lat, w, tau, src)
+		return dynamics.NewScenario(lat, w, tau, dsc, src)
 	case batch.EngineFast:
-		return fastglauber.New(lat, w, tau, src)
+		return fastglauber.NewScenario(lat, w, tau, dsc, src)
+	}
+	return nil, fmt.Errorf("sim: unknown engine %q", engine)
+}
+
+// newSwapEngine builds the selected Kawasaki engine under a topology
+// scenario, with the same auto-resolution rule as newScenarioEngine.
+func newSwapEngine(lat *grid.Lattice, w int, tau float64, dsc dynamics.Scenario, src *rng.Source, engine string) (dynamics.SwapEngine, error) {
+	switch engine {
+	case "", batch.EngineAuto:
+		if fastglauber.Fits(w) {
+			return fastglauber.NewKawasakiScenario(lat, w, tau, dsc, src)
+		}
+		return dynamics.NewKawasakiScenario(lat, w, tau, dsc, src)
+	case batch.EngineReference:
+		return dynamics.NewKawasakiScenario(lat, w, tau, dsc, src)
+	case batch.EngineFast:
+		return fastglauber.NewKawasakiScenario(lat, w, tau, dsc, src)
 	}
 	return nil, fmt.Errorf("sim: unknown engine %q", engine)
 }

@@ -66,6 +66,89 @@ func TestHappyFractionAtFixation(t *testing.T) {
 	}
 }
 
+// scenarioConfigs spans every scenario axis and their combinations;
+// the properties below must hold on each, for both engines.
+var scenarioConfigs = []Config{
+	{N: 32, W: 2, Tau: 0.42, Seed: 21, Boundary: BoundaryOpen},
+	{N: 32, W: 2, Tau: 0.42, Seed: 22, Rho: 0.1},
+	{N: 32, W: 2, Tau: 0.42, Seed: 23, TauDist: "mix:0.35,0.45:0.5"},
+	{N: 32, W: 2, Tau: 0.42, Seed: 24, Boundary: BoundaryOpen, Rho: 0.05, TauDist: "uniform:0.35:0.5"},
+}
+
+// TestScenarioPhiStrictlyIncreasingPerFlip extends the Lyapunov
+// property to every scenario axis: windows stay symmetric under
+// clamping, vacancies contribute zero, and per-site thresholds leave
+// the flip-improves-same-count argument intact, so every admissible
+// flip still increases Phi by at least 2 — on both engines.
+func TestScenarioPhiStrictlyIncreasingPerFlip(t *testing.T) {
+	for _, engine := range enginesUnderTest {
+		for _, cfg := range scenarioConfigs {
+			cfg.Engine = engine
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			phi := m.Phi()
+			for steps := 0; m.Step(); steps++ {
+				next := m.Phi()
+				if next < phi+2 {
+					t.Fatalf("engine=%v cfg=%+v step %d: Phi %d -> %d (want increase >= 2)",
+						engine, cfg, steps, phi, next)
+				}
+				phi = next
+			}
+		}
+	}
+}
+
+// TestScenarioHappyAtFixation extends the all-happy-at-fixation
+// property: every per-site threshold in these scenarios satisfies
+// tau_u <= 1/2, so unhappiness implies flippability and fixation
+// exhausts unhappiness — on both engines, under truncated edge
+// windows and diluted neighborhoods alike.
+func TestScenarioHappyAtFixation(t *testing.T) {
+	for _, engine := range enginesUnderTest {
+		for _, cfg := range scenarioConfigs {
+			cfg.Engine = engine
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, fixated := m.Run(0); !fixated {
+				t.Fatalf("engine=%v cfg=%+v: did not fixate", engine, cfg)
+			}
+			st := m.SegregationStats()
+			if st.HappyFraction != 1 || st.UnhappyCount != 0 {
+				t.Fatalf("engine=%v cfg=%+v: happy fraction %v (unhappy %d) at fixation, want 1 (0)",
+					engine, cfg, st.HappyFraction, st.UnhappyCount)
+			}
+		}
+	}
+}
+
+// TestScenarioKawasakiConservesTypes verifies the closed-system
+// invariant on the scenario axes for both swap engines: swaps never
+// change per-type agent counts, vacancies never move.
+func TestScenarioKawasakiConservesTypes(t *testing.T) {
+	for _, engine := range enginesUnderTest {
+		for _, cfg := range scenarioConfigs {
+			cfg.Engine = engine
+			cfg.Dynamic = Kawasaki
+			m, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plus0, minus0 := m.lat.CountPlus(), m.lat.CountMinus()
+			for steps := 0; m.Step() && steps < 20000; steps++ {
+			}
+			if p, mi := m.lat.CountPlus(), m.lat.CountMinus(); p != plus0 || mi != minus0 {
+				t.Fatalf("engine=%v cfg=%+v: type counts (%d,%d) -> (%d,%d)",
+					engine, cfg, plus0, minus0, p, mi)
+			}
+		}
+	}
+}
+
 // TestKawasakiConservesMagnetization verifies the closed-system
 // invariant: swaps never change the type counts, so magnetization is
 // conserved through the whole run, and at termination at least one

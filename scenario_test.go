@@ -43,8 +43,8 @@ func TestScenarioModel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if open.Engine() != EngineReference {
-		t.Errorf("open-boundary auto engine = %v, want reference fallback", open.Engine())
+	if open.Engine() != EngineFast {
+		t.Errorf("open-boundary auto engine = %v, want the fast engine (scenarios are covered)", open.Engine())
 	}
 	if _, fixated := open.Run(0); !fixated {
 		t.Error("open-boundary Glauber did not fixate")
@@ -96,22 +96,52 @@ func TestScenarioMoveModel(t *testing.T) {
 }
 
 // TestScenarioRejections pins the facade validation: bad scenarios,
-// move without vacancies, and fast-engine requests outside the default
-// scenario all fail loudly.
+// move without vacancies, and fast-engine requests outside the fast
+// engine's coverage (the Move dynamic, oversized horizons) all fail
+// loudly — while scenario axes are accepted on the fast engine.
 func TestScenarioRejections(t *testing.T) {
 	cases := []Config{
 		{N: 32, W: 2, Tau: 0.42, Rho: 1},
 		{N: 32, W: 2, Tau: 0.42, Rho: -0.1},
 		{N: 32, W: 2, Tau: 0.42, TauDist: "gauss:0:1"},
 		{N: 32, W: 2, Tau: 0.42, Dynamic: Move},
-		{N: 32, W: 2, Tau: 0.42, Boundary: BoundaryOpen, Engine: EngineFast},
-		{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Engine: EngineFast},
-		{N: 32, W: 2, Tau: 0.42, TauDist: "mix:0.35,0.45:0.5", Engine: EngineFast},
 	}
 	for _, cfg := range cases {
 		if _, err := New(cfg); err == nil {
 			t.Errorf("config %+v accepted, want error", cfg)
 		}
+	}
+	// Scenario axes now run on the fast engine, including explicitly.
+	for _, cfg := range []Config{
+		{N: 32, W: 2, Tau: 0.42, Boundary: BoundaryOpen, Engine: EngineFast},
+		{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Engine: EngineFast},
+		{N: 32, W: 2, Tau: 0.42, TauDist: "mix:0.35,0.45:0.5", Engine: EngineFast},
+		{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Dynamic: Kawasaki, Engine: EngineFast},
+	} {
+		m, err := New(cfg)
+		if err != nil {
+			t.Errorf("scenario fast config %+v rejected: %v", cfg, err)
+			continue
+		}
+		if m.Engine() != EngineFast {
+			t.Errorf("config %+v resolved to %v, want fast", cfg, m.Engine())
+		}
+	}
+	// The typed sentinels name what the fast engine cannot run.
+	if _, err := New(Config{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Dynamic: Move, Engine: EngineFast}); !errors.Is(err, ErrEngineUnsupported) {
+		t.Errorf("fast Move request: err = %v, want ErrEngineUnsupported", err)
+	}
+	if _, err := New(Config{N: 301, W: 150, Tau: 0.42, Engine: EngineFast}); !errors.Is(err, ErrNeighborhoodTooLarge) {
+		t.Errorf("fast oversized-horizon request: err = %v, want ErrNeighborhoodTooLarge", err)
+	}
+	// Auto degrades the oversized horizon to the reference engine
+	// instead of failing.
+	m, err := New(Config{N: 301, W: 150, Tau: 0.42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Engine() != EngineReference {
+		t.Errorf("auto oversized-horizon engine = %v, want reference", m.Engine())
 	}
 }
 

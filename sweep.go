@@ -219,11 +219,12 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if engine == EngineFast && (dyn != Glauber || !batch.DefaultScenario(c.Boundary, c.Rho, c.TauDist)) {
-		// The fast engine covers only default-scenario Glauber cells;
-		// an explicit fast request on other cells degrades to auto
-		// (= reference) so mixed grids can still pin the Glauber
-		// engine where it applies.
+	if engine == EngineFast && dyn == Move {
+		// The fast engine covers Glauber and Kawasaki on every
+		// scenario, but not the occupancy-changing Move dynamic; an
+		// explicit fast request on a Move cell degrades to auto
+		// (= reference) so mixed grids can still pin the engine where
+		// it applies.
 		engine = EngineAuto
 	}
 	m, err := New(Config{
@@ -236,13 +237,7 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 	}
 	_, fixated := m.Run(0)
 	st := m.SegregationStats()
-	radii := measure.CenteredRadii(m.lat)
-	var meanM float64
-	probes := measure.SamplePoints(c.N, 5)
-	for _, pt := range probes {
-		meanM += float64(measure.MonoRegionSize(m.lat, radii, pt))
-	}
-	meanM /= float64(len(probes))
+	meanM := measure.MeanMonoRegionSize(m.lat, measure.SamplePoints(c.N, 5))
 	fix := 0.0
 	if fixated {
 		fix = 1
