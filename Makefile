@@ -1,7 +1,7 @@
 # Developer entry points. CI runs verify, docs, staticcheck, and
 # bench-check.
 
-.PHONY: all build test race fuzz bench bench-check bench-check-ci diff docs profile staticcheck verify
+.PHONY: all build test race fuzz bench bench-check bench-check-ci memcheck diff docs profile staticcheck verify
 
 all: verify
 
@@ -22,9 +22,9 @@ fuzz:
 	go test -run '^$$' -fuzz FuzzUnmarshalBinary -fuzztime 30s ./internal/grid/
 
 # Record the benchmark trajectory (flip throughput on both engines —
-# default path, every scenario axis, and the Kawasaki swap dynamic —
-# plus run-to-fixation and the grid cell rate) into the committed
-# baseline.
+# default path, every scenario axis, and the Kawasaki and Move
+# dynamics — plus run-to-fixation at small and giant scale and the
+# grid cell rate) into the committed baseline.
 bench:
 	go run ./cmd/bench -out BENCH_2.json
 
@@ -39,6 +39,13 @@ bench-check:
 # absolute backstop against catastrophic regressions.
 bench-check-ci:
 	go run ./cmd/bench -baseline BENCH_2.json -tolerance 1.0 -minspeedup 3
+
+# Giant-grid memory gate: run the n=4096 fixation probe with the
+# allocator returning freed pages eagerly (so VmHWM reflects live
+# memory, not lazily-reclaimed spans) and fail if peak RSS crosses the
+# ceiling. Pins the O(n*tile) streaming-measurement claim.
+memcheck:
+	GODEBUG=madvdontneed=1 go run ./cmd/bench -memcheck -maxrss 384
 
 # Run the engine differential harness only (reference vs fast).
 diff:

@@ -191,6 +191,19 @@ func BenchmarkSwapThroughputKawasakiReference(b *testing.B) {
 	benchConfigThroughput(b, Config{N: 256, W: 10, Tau: 0.42, Dynamic: Kawasaki, Engine: EngineReference})
 }
 
+// BenchmarkMoveThroughputFast measures the fast relocation engine's
+// per-attempt cost on a vacancy-diluted lattice (flip_move_fast in the
+// trajectory); the reference variant below is the contrast.
+func BenchmarkMoveThroughputFast(b *testing.B) {
+	benchConfigThroughput(b, Config{N: 256, W: 10, Tau: 0.42, Rho: 0.1, Dynamic: Move, Engine: EngineFast})
+}
+
+// BenchmarkMoveThroughputReference pins the reference relocation
+// engine at the same parameters (flip_move_reference).
+func BenchmarkMoveThroughputReference(b *testing.B) {
+	benchConfigThroughput(b, Config{N: 256, W: 10, Tau: 0.42, Rho: 0.1, Dynamic: Move, Engine: EngineReference})
+}
+
 // BenchmarkGridCell measures the batch engine's per-cell cost (8 cells
 // per iteration) with allocation reporting — the probe cmd/bench
 // records as grid_cell, and the -benchmem evidence for the per-worker
@@ -212,6 +225,22 @@ func BenchmarkRunToFixation(b *testing.B) {
 			b.Fatal(err)
 		}
 		m.Run(0)
+	}
+}
+
+// BenchmarkRunToFixationN4096 runs one complete giant-grid trajectory
+// (16.8M sites) to fixation plus a streaming measurement pass, with
+// allocation reporting — the bounded-RSS probe cmd/bench records as
+// run_to_fixation_n4096 and `make memcheck` pins under an RSS ceiling.
+func BenchmarkRunToFixationN4096(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := New(Config{N: 4096, W: 1, Tau: 0.45, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(0)
+		_ = m.SegregationStats()
 	}
 }
 

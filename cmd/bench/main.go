@@ -1,17 +1,20 @@
 // Command bench records the repository's benchmark trajectory: it
 // measures the hot-path metrics (flip throughput on both engines — on
 // the default path and on every scenario axis the fast engine covers:
-// open boundaries, vacancies, heterogeneous tau, and the Kawasaki swap
-// dynamic — plus a complete run to fixation and the batch-engine grid
-// cell rate), writes them to a JSON baseline file, and — in check
-// mode — fails when any metric regresses more than a tolerance against
-// a committed baseline.
+// open boundaries, vacancies, heterogeneous tau, the Kawasaki swap
+// dynamic, and the Move relocation dynamic — plus complete runs to
+// fixation at small and giant scale and the batch-engine grid cell
+// rate), writes them to a JSON baseline file, and — in check mode —
+// fails when any metric regresses more than a tolerance against a
+// committed baseline.
 //
 //	bench -out BENCH_2.json              # record a new baseline
 //	bench -baseline BENCH_2.json         # fail on >20% regression
 //	bench -baseline BENCH_2.json -out BENCH_2.json  # check then refresh
 //	bench -minspeedup 3                  # fail unless fast >= 3x reference
 //	                                     # on every fast/reference pair
+//	bench -memcheck -maxrss 384          # giant-grid fixation probe only,
+//	                                     # fail if peak RSS exceeds 384 MiB
 //
 // Each metric is the minimum of three testing.Benchmark runs, which
 // suppresses scheduler noise; all metrics are nanoseconds per unit
@@ -31,6 +34,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"gridseg"
@@ -61,13 +66,22 @@ func main() {
 		tolerance  = flag.Float64("tolerance", 0.20, "allowed fractional slowdown per metric before failing")
 		minSpeedup = flag.Float64("minspeedup", 0, "fail unless the fast engine beats the reference by this factor in this run (machine-independent; 0 disables)")
 		reps       = flag.Int("reps", 3, "benchmark repetitions per metric (minimum is reported)")
+		memcheck   = flag.Bool("memcheck", false, "assert peak RSS stays under -maxrss after measuring; alone, measures only the giant-grid fixation probe")
+		maxRSS     = flag.Float64("maxrss", 384, "peak-RSS ceiling in MiB enforced by -memcheck")
 	)
 	flag.Parse()
-	if *out == "" && *base == "" && *minSpeedup <= 0 {
-		log.Fatal("nothing to do: pass -out, -baseline, and/or -minspeedup")
+	if *out == "" && *base == "" && *minSpeedup <= 0 && !*memcheck {
+		log.Fatal("nothing to do: pass -out, -baseline, -minspeedup, and/or -memcheck")
 	}
 
-	cur := baseline{Schema: schema, Go: runtime.Version(), Metrics: measure(*reps)}
+	// Memcheck on its own measures just the giant-grid probe, so the
+	// RSS high-water mark it asserts on is that probe's alone.
+	only := ""
+	if *memcheck && *out == "" && *base == "" && *minSpeedup <= 0 {
+		only = giantProbe
+	}
+
+	cur := baseline{Schema: schema, Go: runtime.Version(), Metrics: measure(*reps, only)}
 	for _, m := range cur.Metrics {
 		fmt.Printf("%-28s %12.1f ns/%s\n", m.Name, m.Ns, m.Unit)
 	}
@@ -82,6 +96,7 @@ func main() {
 			{"flip_rho_fast", "flip_rho_reference"},
 			{"flip_taudist_fast", "flip_taudist_reference"},
 			{"flip_kawasaki_fast", "flip_kawasaki_reference"},
+			{"flip_move_fast", "flip_move_reference"},
 		}
 		for _, pr := range pairs {
 			fast, ref := find(cur.Metrics, pr[0]), find(cur.Metrics, pr[1])
@@ -102,6 +117,16 @@ func main() {
 		}
 		fmt.Printf("no regression beyond %.0f%% against %s\n", *tolerance*100, *base)
 	}
+	if *memcheck {
+		peak, err := peakRSSMiB()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("peak RSS %.1f MiB (ceiling %.0f MiB)\n", peak, *maxRSS)
+		if peak > *maxRSS {
+			log.Fatalf("peak RSS %.1f MiB exceeds the %.0f MiB ceiling", peak, *maxRSS)
+		}
+	}
 	if *out != "" {
 		data, err := json.MarshalIndent(cur, "", "  ")
 		if err != nil {
@@ -115,11 +140,13 @@ func main() {
 }
 
 // measure runs every trajectory metric reps times and keeps the
-// fastest observation of each.
-func measure(reps int) []metric {
+// fastest observation of each. A non-empty only restricts the pass to
+// the named probe.
+func measure(reps int, only string) []metric {
 	type probe struct {
 		name, unit string
 		perOp      float64 // units of work per benchmark op
+		reps       int     // 0 inherits the -reps flag
 		run        func(b *testing.B)
 	}
 	// Scenario probes pair a fast and a reference measurement at the
@@ -136,32 +163,48 @@ func measure(reps int) []metric {
 	taudist.TauDist = "mix:0.35,0.45:0.5"
 	kawasaki := fig1
 	kawasaki.Dynamic = gridseg.Kawasaki
+	move := rho
+	move.Dynamic = gridseg.Move
 	big := fig1
 	big.N = 1024
 	probes := []probe{
-		{"flip_fig1_fast", "flip", 1, flipThroughput(fig1, gridseg.EngineFast)},
-		{"flip_fig1_reference", "flip", 1, flipThroughput(fig1, gridseg.EngineReference)},
-		{"flip_n1024_fast", "flip", 1, flipThroughput(big, gridseg.EngineFast)},
-		{"flip_open_fast", "flip", 1, flipThroughput(open, gridseg.EngineFast)},
-		{"flip_open_reference", "flip", 1, flipThroughput(open, gridseg.EngineReference)},
-		{"flip_rho_fast", "flip", 1, flipThroughput(rho, gridseg.EngineFast)},
-		{"flip_rho_reference", "flip", 1, flipThroughput(rho, gridseg.EngineReference)},
-		{"flip_taudist_fast", "flip", 1, flipThroughput(taudist, gridseg.EngineFast)},
-		{"flip_taudist_reference", "flip", 1, flipThroughput(taudist, gridseg.EngineReference)},
+		{name: "flip_fig1_fast", unit: "flip", perOp: 1, run: flipThroughput(fig1, gridseg.EngineFast)},
+		{name: "flip_fig1_reference", unit: "flip", perOp: 1, run: flipThroughput(fig1, gridseg.EngineReference)},
+		{name: "flip_n1024_fast", unit: "flip", perOp: 1, run: flipThroughput(big, gridseg.EngineFast)},
+		{name: "flip_open_fast", unit: "flip", perOp: 1, run: flipThroughput(open, gridseg.EngineFast)},
+		{name: "flip_open_reference", unit: "flip", perOp: 1, run: flipThroughput(open, gridseg.EngineReference)},
+		{name: "flip_rho_fast", unit: "flip", perOp: 1, run: flipThroughput(rho, gridseg.EngineFast)},
+		{name: "flip_rho_reference", unit: "flip", perOp: 1, run: flipThroughput(rho, gridseg.EngineReference)},
+		{name: "flip_taudist_fast", unit: "flip", perOp: 1, run: flipThroughput(taudist, gridseg.EngineFast)},
+		{name: "flip_taudist_reference", unit: "flip", perOp: 1, run: flipThroughput(taudist, gridseg.EngineReference)},
 		// Kawasaki "flips" are swap attempts (two masked flip-updates
-		// plus the occasional revert), measured per attempt.
-		{"flip_kawasaki_fast", "flip", 1, flipThroughput(kawasaki, gridseg.EngineFast)},
-		{"flip_kawasaki_reference", "flip", 1, flipThroughput(kawasaki, gridseg.EngineReference)},
-		{"run_to_fixation", "run", 1, runToFixation},
-		{"grid_cell", "cell", 8, gridCell},
+		// plus the occasional revert), measured per attempt; Move
+		// "flips" are relocation attempts on a vacancy-diluted lattice.
+		{name: "flip_kawasaki_fast", unit: "flip", perOp: 1, run: flipThroughput(kawasaki, gridseg.EngineFast)},
+		{name: "flip_kawasaki_reference", unit: "flip", perOp: 1, run: flipThroughput(kawasaki, gridseg.EngineReference)},
+		{name: "flip_move_fast", unit: "flip", perOp: 1, run: flipThroughput(move, gridseg.EngineFast)},
+		{name: "flip_move_reference", unit: "flip", perOp: 1, run: flipThroughput(move, gridseg.EngineReference)},
+		{name: "run_to_fixation", unit: "run", perOp: 1, run: runToFixation},
+		// One giant-grid trajectory costs several seconds, so a single
+		// repetition keeps the trajectory pass bounded; the probe pins
+		// the bounded-RSS claim, not scheduler-noise-sensitive ns.
+		{name: giantProbe, unit: "run", perOp: 1, reps: 1, run: runToFixationGiant},
+		{name: "grid_cell", unit: "cell", perOp: 8, run: gridCell},
 	}
 	out := make([]metric, 0, len(probes))
 	for _, p := range probes {
+		if only != "" && p.name != only {
+			continue
+		}
+		r := reps
+		if p.reps > 0 {
+			r = p.reps
+		}
 		best := 0.0
-		for r := 0; r < reps; r++ {
+		for i := 0; i < r; i++ {
 			res := testing.Benchmark(p.run)
 			ns := float64(res.NsPerOp()) / p.perOp
-			if r == 0 || ns < best {
+			if i == 0 || ns < best {
 				best = ns
 			}
 		}
@@ -205,6 +248,44 @@ func runToFixation(b *testing.B) {
 		}
 		m.Run(0)
 	}
+}
+
+// giantProbe names the bounded-RSS trajectory metric; -memcheck alone
+// measures only this probe.
+const giantProbe = "run_to_fixation_n4096"
+
+// runToFixationGiant runs one complete giant-grid trajectory (16.8M
+// sites) to fixation plus a streaming measurement pass over the fixated
+// grid — the workload whose peak RSS -memcheck pins.
+func runToFixationGiant(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := gridseg.New(gridseg.Config{N: 4096, W: 1, Tau: 0.45, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(0)
+		_ = m.SegregationStats()
+	}
+}
+
+// peakRSSMiB reads the process's resident-set high-water mark from
+// /proc/self/status — Linux-only, like the CI runner that enforces it.
+func peakRSSMiB() (float64, error) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			kb, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+			if err != nil {
+				return 0, fmt.Errorf("parse VmHWM: %w", err)
+			}
+			return kb / 1024, nil
+		}
+	}
+	return 0, fmt.Errorf("VmHWM not present in /proc/self/status")
 }
 
 // gridCell measures the batch engine's per-cell rate on a small sweep

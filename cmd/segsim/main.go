@@ -8,11 +8,20 @@
 //	segsim -n 1000 -w 10 -tau 0.42 -snapshots 4 -png out/
 //
 // Beyond the paper's setting, the scenario flags select hard-wall
-// boundaries, vacancy dilution, and heterogeneous intolerance:
+// boundaries, vacancy dilution, and heterogeneous intolerance. The
+// relocation dynamic (-mode move) needs vacancies to relocate into;
+// it runs on the fast engine like the others, and -samplers exposes
+// its unhappy/vacant candidate-sampler sizes at each stage:
 //
 //	segsim -n 200 -w 4 -tau 0.42 -boundary open
-//	segsim -n 200 -w 4 -tau 0.42 -rho 0.1 -mode move
+//	segsim -n 200 -w 4 -tau 0.42 -rho 0.1 -mode move -samplers
 //	segsim -n 200 -w 4 -tau 0.42 -taudist mix:0.35,0.45:0.5
+//
+// -tile coarse-grains each stage through the tiled giant-grid layout
+// (internal/fastgrid.Tiled) at the given tile side, classifying tiles
+// by their majority type — a block-level segregation diagnostic:
+//
+//	segsim -n 512 -w 4 -tau 0.42 -tile 64
 package main
 
 import (
@@ -23,6 +32,7 @@ import (
 	"path/filepath"
 
 	"gridseg"
+	"gridseg/internal/fastgrid"
 )
 
 // config holds the parsed command-line options.
@@ -38,6 +48,8 @@ type config struct {
 	snapshots int
 	pngDir    string
 	ascii     bool
+	samplers  bool
+	tile      int
 	maxEvents int64
 }
 
@@ -59,6 +71,8 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.IntVar(&c.snapshots, "snapshots", 4, "number of reporting stages (>= 2)")
 	fs.StringVar(&c.pngDir, "png", "", "directory for snapshot PNGs (optional)")
 	fs.BoolVar(&c.ascii, "ascii", false, "print an ASCII snapshot at each stage (small grids)")
+	fs.BoolVar(&c.samplers, "samplers", false, "print the dynamic's candidate-sampler sizes at each stage (flippable agents; unhappy per type; unhappy/vacant)")
+	fs.IntVar(&c.tile, "tile", 0, "coarse-grain each stage into tiles of this side (positive multiple of 64; 0 = off) and report the majority-type tile counts")
 	fs.Int64Var(&c.maxEvents, "max-events", 0, "event budget (0 = run to fixation)")
 	return fs, c
 }
@@ -123,6 +137,12 @@ func main() {
 		}
 		st := m.SegregationStats()
 		fmt.Printf("stage %d/%d  events=%-10d %s\n", stage, opts.snapshots-1, done, st)
+		if opts.samplers {
+			fmt.Printf("  samplers: %s\n", m.SamplerSizes())
+		}
+		if opts.tile > 0 {
+			fmt.Printf("  %s\n", tileSummary(m, opts.tile))
+		}
 		if opts.ascii {
 			fmt.Println(m.ASCII())
 		}
@@ -147,4 +167,30 @@ func main() {
 	if m.Fixated() {
 		fmt.Println("fixated: no admissible move remains")
 	}
+}
+
+// tileSummary coarse-grains the current configuration through the
+// tiled layout and classifies each tile by its majority type: plus- or
+// minus-dominated when that type holds over 90% of the tile's agents,
+// mixed otherwise (empty tiles count as mixed). Dominated-tile counts
+// rise as segregation domains outgrow the tile side.
+func tileSummary(m *gridseg.Model, ts int) string {
+	t, err := fastgrid.TiledFromView(m.View(), ts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plus, occ := t.TileCounts()
+	var plusDom, minusDom, mixed int
+	for i, p := range plus {
+		switch o := occ[i]; {
+		case o > 0 && float64(p)/float64(o) >= 0.9:
+			plusDom++
+		case o > 0 && float64(p)/float64(o) <= 0.1:
+			minusDom++
+		default:
+			mixed++
+		}
+	}
+	return fmt.Sprintf("tiles %dx%d side=%d: plus-dom=%d minus-dom=%d mixed=%d",
+		t.Tiles(), t.Tiles(), t.TileSide(), plusDom, minusDom, mixed)
 }

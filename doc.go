@@ -26,11 +26,11 @@
 //
 // Two interchangeable engine families back the model: a scalar
 // reference engine and a bit-packed SWAR fast engine that is
-// bit-identical to it, covering the Glauber and Kawasaki dynamics on
-// every scenario axis (Config.Engine selects; the default picks the
-// fast engine whenever the neighborhood fits its packed counts — see
-// README.md's Performance section and internal/difftest for the
-// equivalence contract; Move runs on the reference machinery).
+// bit-identical to it, covering the Glauber, Kawasaki, and Move
+// dynamics on every scenario axis (Config.Engine selects; the default
+// picks the fast engine whenever the neighborhood fits its packed
+// counts — see README.md's Performance section and internal/difftest
+// for the equivalence contract).
 //
 // Grid sweeps (RunGrid) are deterministic and cacheable: every cell's
 // seed derives from the cell's identity, so an optional

@@ -69,26 +69,20 @@ func ParseBoundary(s string) (Boundary, error) {
 type Engine int
 
 const (
-	// EngineAuto (the zero value) picks Fast for Glauber and Kawasaki
-	// dynamics whenever the neighborhood fits its packed counts —
-	// every topology scenario (open boundaries, vacancies, per-site
-	// tau) is covered — and Reference otherwise (very large horizons,
-	// the Move dynamic).
+	// EngineAuto (the zero value) picks Fast for every dynamic —
+	// Glauber, Kawasaki, and Move — whenever the neighborhood fits its
+	// packed counts; every topology scenario (open boundaries,
+	// vacancies, per-site tau) is covered. It falls back to Reference
+	// only for very large horizons ((2W+1)^2 > 32767, i.e. W > 90).
 	EngineAuto Engine = iota
 	// EngineReference is the scalar reference engine of
 	// internal/dynamics.
 	EngineReference
 	// EngineFast is the bit-packed SWAR engine of
-	// internal/dynamics/fastglauber. Glauber and Kawasaki only;
+	// internal/dynamics/fastglauber, covering all three dynamics;
 	// requires (2W+1)^2 <= fastglauber.MaxNeighborhood.
 	EngineFast
 )
-
-// ErrEngineUnsupported is the typed sentinel wrapped by New when an
-// explicit EngineFast request names a dynamic the fast engine does not
-// implement: Move, whose relocations change site occupancy — the one
-// thing the packed representation treats as immutable.
-var ErrEngineUnsupported = errors.New("the fast engine supports Glauber and Kawasaki dynamics only")
 
 // ErrNeighborhoodTooLarge is the typed sentinel wrapped by New when an
 // explicit EngineFast request needs a neighborhood (2W+1)^2 beyond the
@@ -182,7 +176,7 @@ type Model struct {
 	taus   []float64 // per-site intolerance field (nil for global tau)
 	proc   dynamics.Engine
 	kaw    dynamics.SwapEngine
-	mov    *dynamics.Move
+	mov    dynamics.MoveEngine
 }
 
 // withDefaults returns the config with its documented zero-value
@@ -201,13 +195,12 @@ func (cfg Config) withDefaults() Config {
 
 // buildDynamics attaches the configured evolution process to a model
 // whose cfg, sc, lat, and taus fields are already set, resolving the
-// engine choice. Auto picks Fast for Glauber and Kawasaki whenever the
+// engine choice. Auto picks Fast for every dynamic whenever the
 // neighborhood fits the packed count lanes — every topology scenario
 // (open boundary, vacancies, heterogeneous tau) is covered — and falls
-// back to Reference otherwise. The Move dynamic always runs the
-// reference engine; an explicit Fast request for it is an error
-// (ErrEngineUnsupported) rather than a silent fallback, as is a Fast
-// request past the lane capacity (ErrNeighborhoodTooLarge).
+// back to Reference otherwise. An explicit Fast request past the lane
+// capacity is an error (ErrNeighborhoodTooLarge), not a silent
+// fallback.
 func (m *Model) buildDynamics(src *rng.Source) error {
 	var err error
 	dsc := dynamics.Scenario{Open: m.sc.Boundary == topology.Open, Taus: m.taus}
@@ -248,16 +241,24 @@ func (m *Model) buildDynamics(src *rng.Source) error {
 			m.proc = m.kaw.Engine()
 		}
 	case Move:
-		if m.cfg.Engine == EngineFast {
-			return fmt.Errorf("gridseg: %w (Move relocations change site occupancy)", ErrEngineUnsupported)
-		}
 		if m.cfg.Rho <= 0 {
 			return errors.New("gridseg: the move dynamic requires a positive vacancy fraction (rho > 0)")
 		}
-		m.engine = EngineReference
-		m.mov, err = dynamics.NewMove(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
+		engine := resolve()
+		if engine == EngineFast {
+			var mv *fastglauber.Move
+			if mv, err = fastglauber.NewMove(m.lat, m.cfg.W, m.cfg.Tau, dsc, src); err == nil {
+				m.mov = mv
+			}
+		} else {
+			var mv *dynamics.Move
+			if mv, err = dynamics.NewMove(m.lat, m.cfg.W, m.cfg.Tau, dsc, src); err == nil {
+				m.mov = mv
+			}
+		}
+		m.engine = engine
 		if m.mov != nil {
-			m.proc = m.mov.Process()
+			m.proc = m.mov.Engine()
 		}
 	default:
 		return fmt.Errorf("gridseg: unknown dynamic %d", m.cfg.Dynamic)
@@ -415,6 +416,22 @@ func (m *Model) Flips() int64 {
 	return m.proc.Flips()
 }
 
+// SamplerSizes renders the sizes of the dynamic's candidate samplers
+// (the internal/sampleset sets uniform selection draws from):
+// admissible flips for Glauber, unhappy agents per type for Kawasaki,
+// and unhappy agents plus vacant sites for Move.
+func (m *Model) SamplerSizes() string {
+	if m.kaw != nil {
+		p, mi := m.kaw.UnhappyByType()
+		return fmt.Sprintf("unhappy+=%d unhappy-=%d", p, mi)
+	}
+	if m.mov != nil {
+		unhappy, vacant := m.mov.Counts()
+		return fmt.Sprintf("unhappy=%d vacant=%d", unhappy, vacant)
+	}
+	return fmt.Sprintf("flippable=%d", m.proc.FlippableCount())
+}
+
 // Time returns the elapsed continuous (Poisson-clock) time of a Glauber
 // model; it returns NaN for the attempt-based Kawasaki and Move
 // models, whose formulations are not clocked.
@@ -443,7 +460,8 @@ type Stats struct {
 // definitions on the default scenario.
 func (m *Model) SegregationStats() Stats {
 	open := m.sc.Boundary == topology.Open
-	cl := measure.ClusterStatsScenario(m.lat, open)
+	v := m.View()
+	cl := measure.ClusterStatsView(v, open)
 	largest := cl.LargestPlus
 	if cl.LargestMinus > largest {
 		largest = cl.LargestMinus
@@ -451,13 +469,18 @@ func (m *Model) SegregationStats() Stats {
 	return Stats{
 		HappyFraction:          m.proc.HappyFraction(),
 		UnhappyCount:           m.proc.UnhappyCount(),
-		InterfaceDensity:       measure.InterfaceDensityScenario(m.lat, open),
-		MeanSameFraction:       measure.MeanSameFractionScenario(m.lat, m.cfg.W, open),
+		InterfaceDensity:       measure.InterfaceDensityView(v, open),
+		MeanSameFraction:       measure.MeanSameFractionView(v, m.cfg.W, open),
 		LargestClusterFraction: float64(largest) / float64(m.lat.Sites()),
-		Magnetization:          measure.MagnetizationScenario(m.lat),
+		Magnetization:          measure.MagnetizationView(v),
 		Flips:                  m.Flips(),
 	}
 }
+
+// View returns a read-only view of the current configuration. Every
+// engine keeps the reference lattice in lockstep, so the view is live:
+// it reflects the state after the most recent step.
+func (m *Model) View() grid.LatticeView { return m.lat }
 
 // String renders the Stats compactly.
 func (s Stats) String() string {

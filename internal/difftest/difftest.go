@@ -1,6 +1,6 @@
 // Package difftest is the differential-testing harness that pins the
-// bit-packed fast engines — Glauber and Kawasaki, on every topology
-// scenario — to the reference dynamics. It drives two models built
+// bit-packed fast engines — Glauber, Kawasaki, and Move, on every
+// topology scenario — to the reference dynamics. It drives two models built
 // from identical configurations — one forced onto the reference
 // engine, one onto the engine under test — through the same event
 // sequence, and demands byte-identical spin arrays, flip counts, Phi
@@ -20,6 +20,8 @@ import (
 	"gridseg"
 	"gridseg/internal/batch"
 	"gridseg/internal/dynamics/fastglauber"
+	"gridseg/internal/fastgrid"
+	"gridseg/internal/measure"
 )
 
 // Cell is one differential test point.
@@ -85,10 +87,10 @@ type Result struct {
 }
 
 // Compare builds the cell's model twice — reference engine vs the fast
-// engine where the fast engine applies (Glauber and Kawasaki on every
+// engine where the fast engine applies (all three dynamics on every
 // scenario, within the packed-lane horizon capacity), vs auto
-// elsewhere (Move and oversized horizons, where auto must resolve to
-// the reference engine) — and steps both in lockstep until fixation or
+// elsewhere (oversized horizons, where auto must resolve to the
+// reference engine) — and steps both in lockstep until fixation or
 // the event cap. It returns the first divergence as an error.
 //
 // For cells outside the fast engine's coverage, Compare also pins the
@@ -101,7 +103,7 @@ func Compare(c Cell, opt Options) (Result, error) {
 		Seed: c.Seed, Dynamic: c.Dynamic,
 		Boundary: c.Boundary, Rho: c.Rho, TauDist: c.TauDist,
 	}
-	fastApplies := c.Dynamic != gridseg.Move && fastglauber.Fits(c.W)
+	fastApplies := fastglauber.Fits(c.W)
 	refCfg, underCfg := base, base
 	refCfg.Engine = gridseg.EngineReference
 	underCfg.Engine = gridseg.EngineFast
@@ -195,6 +197,19 @@ func diverges(ref, under *gridseg.Model) error {
 	}
 	if rs, us := ref.SegregationStats(), under.SegregationStats(); rs != us {
 		return fmt.Errorf("stats differ:\nunder test: %v\nreference:  %v", us, rs)
+	}
+	// Cross-layout pin: the streaming Phi over a tiled snapshot of the
+	// live view must agree with the engines' maintained Phi, tying the
+	// tiled storage and streaming measurement layers into the same
+	// bit-identity contract.
+	cfg := under.Config()
+	tiled, err := fastgrid.TiledFromView(under.View(), 0)
+	if err != nil {
+		return fmt.Errorf("tiled snapshot: %w", err)
+	}
+	open := cfg.Boundary == gridseg.BoundaryOpen
+	if pv, rp := measure.PhiView(tiled, cfg.W, open), ref.Phi(); pv != rp {
+		return fmt.Errorf("streaming Phi over tiled snapshot = %d, maintained Phi = %d", pv, rp)
 	}
 	return nil
 }

@@ -50,9 +50,7 @@ var acceptanceCells = []Cell{
 	{N: 96, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 22},
 	{N: 64, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 23},
 	{N: 128, W: 1, Tau: 0.42, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 24},
-	// Scenario cells: fast-vs-reference lockstep on the scenario axes
-	// (the Move cell is the remaining fallback pin — auto resolves to
-	// the reference engine, an explicit fast request errors).
+	// Scenario cells: fast-vs-reference lockstep on the scenario axes.
 	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 27, Boundary: gridseg.BoundaryOpen},
 	{N: 96, W: 3, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 28, Boundary: gridseg.BoundaryOpen},
 	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 29, Rho: 0.1},
@@ -79,9 +77,22 @@ var acceptanceCells = []Cell{
 	{N: 128, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 45, Boundary: gridseg.BoundaryOpen},
 	{N: 96, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 46, Rho: 0.05},
 	{N: 96, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Kawasaki, Seed: 47, Rho: 0.3, TauDist: "mix:0.35,0.45:0.5"},
+	// Fast Move coverage cells (PR 6): fast-vs-reference lockstep for
+	// the relocation dynamic across both boundaries, sparse and dense
+	// vacancy fractions, heterogeneous intolerance, and the
+	// torus-spanning window edge — the cells that pin the vacate+occupy
+	// packed updates, the occupancy-delta reclassification pass, and
+	// the sampler replay ordering.
+	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Move, Seed: 48, Rho: 0.1},
+	{N: 96, W: 1, Tau: 0.45, P: 0.5, Dynamic: gridseg.Move, Seed: 49, Rho: 0.05},
+	{N: 96, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Move, Seed: 50, Boundary: gridseg.BoundaryOpen, Rho: 0.1},
+	{N: 64, W: 3, Tau: 0.42, P: 0.5, Dynamic: gridseg.Move, Seed: 51, Rho: 0.3},
+	{N: 64, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Move, Seed: 52, Rho: 0.1, TauDist: "mix:0.35,0.45:0.5"},
+	{N: 64, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Move, Seed: 53, Boundary: gridseg.BoundaryOpen, Rho: 0.05, TauDist: "uniform:0.35:0.5"},
+	{N: 25, W: 12, Tau: 0.45, P: 0.5, Dynamic: gridseg.Move, Seed: 54, Rho: 0.1},
 }
 
-// TestEnginesBitIdentical is the acceptance harness: >= 46 cells
+// TestEnginesBitIdentical is the acceptance harness: >= 53 cells
 // (>= 12 of them scenario/Kawasaki cells under the fast engine),
 // >= 10^6 events, full-state comparisons every 8192 events, zero
 // divergences between the reference and fast engines.
@@ -107,12 +118,12 @@ func TestEnginesBitIdentical(t *testing.T) {
 	if testing.Short() {
 		return
 	}
-	if rep.Cells < 46 {
-		t.Errorf("acceptance requires >= 46 cells, got %d", rep.Cells)
+	if rep.Cells < 53 {
+		t.Errorf("acceptance requires >= 53 cells, got %d", rep.Cells)
 	}
 	fastScenario := 0
 	for _, c := range cells {
-		if c.Dynamic != gridseg.Move && (!c.defaultScenario() || c.Dynamic == gridseg.Kawasaki) {
+		if !c.defaultScenario() || c.Dynamic == gridseg.Kawasaki {
 			fastScenario++
 		}
 	}

@@ -31,10 +31,10 @@
 // struct): open hard-wall boundaries with clamped windows, vacancy
 // lattices, and per-site intolerance fields — plus the relocation
 // dynamic Move, where unhappy agents migrate into vacant sites. The
-// bit-packed fast engine covers the same scenario space for the flip
-// and swap dynamics (per-site thresholds compiled into boundary
-// tables; see fastglauber); only Move, which changes site occupancy,
-// is reference-only.
+// bit-packed fast engine covers the same scenario space for all three
+// dynamics (per-site thresholds compiled into boundary tables for
+// flip and swap, derived from packed occupancy lanes for Move; see
+// fastglauber).
 package dynamics
 
 import (
@@ -44,6 +44,7 @@ import (
 	"gridseg/internal/geom"
 	"gridseg/internal/grid"
 	"gridseg/internal/rng"
+	"gridseg/internal/sampleset"
 	"gridseg/internal/theory"
 )
 
@@ -92,11 +93,10 @@ type Process struct {
 	occ      []int32
 	threshOf []int32
 	tauOf    []float64
-	// Flippable-set bookkeeping: flippable lists the site indices that
-	// are currently admissible flips; pos[i] is the index of site i in
-	// flippable, or -1.
-	flippable []int32
-	pos       []int32
+	// flippable is the indexed sampler over currently admissible flips
+	// (see internal/sampleset); its iteration order drives the uniform
+	// pick of Step and is part of the bit-identity contract.
+	flippable *sampleset.Set
 	unhappy   []bool
 	nUnhappy  int
 	time      float64
@@ -140,18 +140,18 @@ func NewScenario(lat *grid.Lattice, w int, tauTilde float64, sc Scenario, src *r
 	}
 	nbhd := geom.SquareSize(w)
 	p := &Process{
-		lat:     lat,
-		src:     src,
-		n:       lat.N(),
-		w:       w,
-		nbhd:    nbhd,
-		thresh:  theory.Threshold(tauTilde, nbhd),
-		tau:     tauTilde,
-		open:    sc.Open,
-		agents:  lat.CountOccupied(),
-		plus:    lat.PlusWindowCounts(w, sc.Open),
-		pos:     make([]int32, lat.Sites()),
-		unhappy: make([]bool, lat.Sites()),
+		lat:       lat,
+		src:       src,
+		n:         lat.N(),
+		w:         w,
+		nbhd:      nbhd,
+		thresh:    theory.Threshold(tauTilde, nbhd),
+		tau:       tauTilde,
+		open:      sc.Open,
+		agents:    lat.CountOccupied(),
+		plus:      lat.PlusWindowCounts(w, sc.Open),
+		flippable: sampleset.New(lat.Sites()),
+		unhappy:   make([]bool, lat.Sites()),
 	}
 	// Materialize the per-site arrays only when some axis deviates from
 	// the paper's setting; the nil arrays are the scalar fast path.
@@ -162,9 +162,6 @@ func NewScenario(lat *grid.Lattice, w int, tauTilde float64, sc Scenario, src *r
 		for i := range p.threshOf {
 			p.threshOf[i] = int32(theory.Threshold(p.tauAt(i), int(p.occ[i])))
 		}
-	}
-	for i := range p.pos {
-		p.pos[i] = -1
 	}
 	for i := 0; i < lat.Sites(); i++ {
 		p.refresh(i)
@@ -291,7 +288,7 @@ func (p *Process) Flippable(i int) bool {
 }
 
 // FlippableCount returns the number of currently admissible flips.
-func (p *Process) FlippableCount() int { return len(p.flippable) }
+func (p *Process) FlippableCount() int { return p.flippable.Len() }
 
 // UnhappyCount returns the number of currently unhappy agents.
 func (p *Process) UnhappyCount() int { return p.nUnhappy }
@@ -311,7 +308,7 @@ func (p *Process) Agents() int { return p.agents }
 
 // Fixated reports whether the process has terminated: no unhappy agent
 // can become happy by flipping.
-func (p *Process) Fixated() bool { return len(p.flippable) == 0 }
+func (p *Process) Fixated() bool { return p.flippable.Len() == 0 }
 
 // refresh recomputes the unhappy flag and flippable-set membership of
 // site i from the current counts. Vacant sites are neither unhappy nor
@@ -332,20 +329,7 @@ func (p *Process) refresh(i int) {
 			p.nUnhappy--
 		}
 	}
-	in := p.pos[i] >= 0
-	switch {
-	case flippable && !in:
-		p.pos[i] = int32(len(p.flippable))
-		p.flippable = append(p.flippable, int32(i))
-	case !flippable && in:
-		// Swap-remove from the flippable slice.
-		j := p.pos[i]
-		last := p.flippable[len(p.flippable)-1]
-		p.flippable[j] = last
-		p.pos[last] = j
-		p.flippable = p.flippable[:len(p.flippable)-1]
-		p.pos[i] = -1
-	}
+	p.flippable.Update(i, flippable)
 }
 
 // applyFlip flips site i and updates counts and set membership of every
@@ -512,12 +496,12 @@ func (p *Process) ForceFlip(i int) { p.applyFlip(i) }
 // flippable agents), and flips the agent. It returns the flipped site
 // index, or ok=false if the process has already fixated.
 func (p *Process) Step() (site int, ok bool) {
-	k := len(p.flippable)
+	k := p.flippable.Len()
 	if k == 0 {
 		return 0, false
 	}
 	p.time += p.src.ExpRate(float64(k))
-	i := int(p.flippable[p.src.Intn(k)])
+	i := int(p.flippable.Sample(p.src))
 	p.applyFlip(i)
 	p.flips++
 	return i, true
@@ -564,16 +548,6 @@ func (p *Process) PlusCount(i int) int { return int(p.plus[i]) }
 func (p *Process) CheckInvariants() error {
 	fresh := p.lat.PlusWindowCounts(p.w, p.open)
 	unhappyCount := 0
-	inSet := make(map[int32]bool, len(p.flippable))
-	for j, site := range p.flippable {
-		if p.pos[site] != int32(j) {
-			return fmt.Errorf("pos[%d] = %d, want %d", site, p.pos[site], j)
-		}
-		if inSet[site] {
-			return fmt.Errorf("site %d appears twice in flippable set", site)
-		}
-		inSet[site] = true
-	}
 	var freshOcc []int32
 	if p.occ != nil {
 		freshOcc = p.lat.OccupiedWindowCounts(p.w, p.open)
@@ -581,6 +555,7 @@ func (p *Process) CheckInvariants() error {
 	if got := p.lat.CountOccupied(); got != p.agents {
 		return fmt.Errorf("agents = %d, want %d", p.agents, got)
 	}
+	wantFlippable := make([]bool, p.lat.Sites())
 	for i := 0; i < p.lat.Sites(); i++ {
 		if p.plus[i] != fresh[i] {
 			return fmt.Errorf("plus[%d] = %d, want %d", i, p.plus[i], fresh[i])
@@ -593,12 +568,12 @@ func (p *Process) CheckInvariants() error {
 				return fmt.Errorf("threshOf[%d] = %d, want %d", i, p.threshOf[i], want)
 			}
 		}
-		var unhappy, flippable bool
+		var unhappy bool
 		if p.lat.OccupiedAt(i) {
 			same := p.SameCount(i)
 			th := p.threshAt(i)
 			unhappy = same < th
-			flippable = unhappy && p.occAt(i)-same+1 >= th
+			wantFlippable[i] = unhappy && p.occAt(i)-same+1 >= th
 		}
 		if unhappy != p.unhappy[i] {
 			return fmt.Errorf("unhappy[%d] = %v, want %v", i, p.unhappy[i], unhappy)
@@ -606,15 +581,9 @@ func (p *Process) CheckInvariants() error {
 		if unhappy {
 			unhappyCount++
 		}
-		if flippable != inSet[int32(i)] {
-			return fmt.Errorf("flippable membership of %d = %v, want %v", i, inSet[int32(i)], flippable)
-		}
-		if !inSet[int32(i)] && p.pos[i] != -1 {
-			return fmt.Errorf("pos[%d] = %d for non-member", i, p.pos[i])
-		}
 	}
 	if unhappyCount != p.nUnhappy {
 		return fmt.Errorf("nUnhappy = %d, want %d", p.nUnhappy, unhappyCount)
 	}
-	return nil
+	return p.flippable.CheckInvariants("flippable", func(i int) bool { return wantFlippable[i] })
 }

@@ -79,3 +79,33 @@ type SwapEngine interface {
 
 // The reference swap engine satisfies the shared swap contract.
 var _ SwapEngine = (*Kawasaki)(nil)
+
+// MoveEngine is the contract shared by the relocation (Move dynamic)
+// implementations: the reference engine of this package and the
+// bit-packed fast engine of internal/dynamics/fastglauber. Like the
+// other pairs, the two are interchangeable bit for bit — identical
+// relocation sequences, random-source consumption, and observables —
+// so callers may select one purely on performance grounds.
+type MoveEngine interface {
+	// Engine returns the underlying count-tracking engine (read-only
+	// use: happiness, counts, stats).
+	Engine() Engine
+	// StepAttempt samples an unhappy agent and a vacant site and
+	// relocates the agent iff it would be happy there; done reports
+	// that no unhappy agent remains.
+	StepAttempt() (moved, done bool)
+	// Run performs attempts until no unhappy agent remains, maxAttempts
+	// are spent, or failStreak consecutive attempts fail.
+	Run(maxAttempts, failStreak int64) (performed int64, done bool)
+	// Moves returns the number of successful relocations so far.
+	Moves() int64
+	// Attempts returns the number of attempted relocations so far.
+	Attempts() int64
+	// Counts returns the numbers of unhappy agents and vacant sites.
+	Counts() (unhappy, vacant int)
+	// CheckInvariants verifies bookkeeping against brute force.
+	CheckInvariants() error
+}
+
+// The reference relocation engine satisfies the shared move contract.
+var _ MoveEngine = (*Move)(nil)

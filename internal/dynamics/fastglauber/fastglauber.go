@@ -31,8 +31,14 @@
 // Occupancy and thresholds are static under flip and swap dynamics,
 // so the tables are built once at construction. Open boundaries
 // additionally clamp the flip's row band at the grid edges instead of
-// splitting it into wrapped segments. The relocation dynamic Move
-// changes occupancy and stays on the reference engine.
+// splitting it into wrapped segments.
+//
+// The relocation dynamic Move changes occupancy, so it trades the
+// static boundary tables for a second packed lane array of occupied
+// window counts: a relocation is a vacate+occupy pair of masked band
+// additions against the count and occupancy lanes, followed by a
+// branch-free packed reclassification of the two windows with
+// thresholds derived from the settled occupancy lanes (see move.go).
 //
 // Capacity: counts are 16-bit lanes, so the engine requires
 // (2w+1)^2 <= MaxNeighborhood; construction fails with
@@ -49,7 +55,7 @@ import (
 	"gridseg/internal/fastgrid"
 	"gridseg/internal/grid"
 	"gridseg/internal/rng"
-	"gridseg/internal/scratch"
+	"gridseg/internal/sampleset"
 	"gridseg/internal/theory"
 )
 
@@ -108,10 +114,9 @@ type Process struct {
 	// unhappy flags.
 	unhappy  []uint64
 	nUnhappy int
-	// Flippable-set bookkeeping, identical to the reference engine:
-	// flippable lists admissible sites, pos[i] is i's index in it or -1.
-	flippable []int32
-	pos       []int32
+	// Indexed sampler over admissible flips, identical in ordering to
+	// the reference engine's (see internal/sampleset).
+	flippable *sampleset.Set
 	time      float64
 	flips     int64
 	// upVals/downVals are the lane-broadcast count values at which a
@@ -138,14 +143,31 @@ type Process struct {
 	tauOf   []float64
 	upTab   []uint64
 	downTab []uint64
-	// Changed-site tracking for the swap (Kawasaki) wrapper: when track
-	// is set, applyFlip appends to changed — in reference window-visit
-	// order — every site whose unhappy flag toggled, plus the flipped
-	// site itself (whose per-type set membership can change by spin
-	// alone).
+	// Relocation representation, replacing occA/threshA under the Move
+	// engine: occC holds the occupied-window counts in the same packed
+	// 16-bit lane layout as counts, so relocations maintain them with
+	// the masked band adds instead of per-site int32 rewrites, and
+	// thresholds are derived on read — threshTab memoizes ceil(tau*k)
+	// per occupancy under a global intolerance, per-site intolerance
+	// computes the ceil directly.
+	occC      []uint64
+	threshTab []int32
+	// Changed-site tracking for the swap (Kawasaki) and relocation
+	// (Move) wrappers: when track is set, applyFlip appends to changed —
+	// in reference window-visit order — every site whose unhappy flag
+	// toggled, plus the flipped site itself (whose per-type set
+	// membership can change by spin alone).
 	track    bool
-	changed  []int32
+	changed  sampleset.List
 	flipSite int
+	// relocating marks a process backing the Move engine: occupancy
+	// changes under relocation, so the static boundary tables are not
+	// built and flips are forbidden (Move never flips spins in place).
+	// The flippable sampler is likewise unmaintained (and empty): no
+	// caller consults it under the relocation dynamic, and skipping its
+	// per-site updates is most of the fast engine's advantage on the
+	// window-sized reclassification passes.
+	relocating bool
 }
 
 // noBoundary is a lane-broadcast value no count lane can ever equal;
@@ -176,6 +198,15 @@ func New(lat *grid.Lattice, w int, tauTilde float64, src *rng.Source) (*Process,
 // (only Step draws), and the resulting trajectories are bit-identical
 // to the reference engine's in every scenario.
 func NewScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics.Scenario, src *rng.Source) (*Process, error) {
+	return newScenario(lat, w, tauTilde, sc, src, false)
+}
+
+// newScenario is the shared constructor body. With relocating set it
+// builds a process for the Move engine: occupancy is about to change,
+// so the per-site boundary tables — which are static under the flip
+// and swap dynamics and would go stale under relocation — are skipped,
+// and applyFlip panics if ever reached.
+func newScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics.Scenario, src *rng.Source, relocating bool) (*Process, error) {
 	if w < 1 {
 		return nil, errors.New("fastglauber: horizon must be >= 1")
 	}
@@ -202,41 +233,66 @@ func NewScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics.Scenari
 	}
 	n := lat.N()
 	p := &Process{
-		lat:      lat,
-		bits:     fastgrid.FromLattice(lat),
-		src:      src,
-		n:        n,
-		w:        w,
-		nbhd:     nbhd,
-		thresh:   theory.Threshold(tauTilde, nbhd),
-		tau:      tauTilde,
-		open:     sc.Open,
-		agents:   lat.CountOccupied(),
-		cpr:      (n + 3) / 4,
-		unhappy:  make([]uint64, (n*n+63)/64),
-		pos:      make([]int32, n*n),
-		flipSite: -1,
+		lat:        lat,
+		bits:       fastgrid.FromLattice(lat),
+		src:        src,
+		n:          n,
+		w:          w,
+		nbhd:       nbhd,
+		thresh:     theory.Threshold(tauTilde, nbhd),
+		tau:        tauTilde,
+		open:       sc.Open,
+		agents:     lat.CountOccupied(),
+		cpr:        (n + 3) / 4,
+		unhappy:    make([]uint64, (n*n+63)/64),
+		flippable:  sampleset.New(n * n),
+		flipSite:   -1,
+		relocating: relocating,
 	}
-	fresh := p.bits.PlusWindowCounts(w, p.open)
+	// Fold the initial window counts into the packed lanes one row at a
+	// time: the streaming pass keeps O(n*w) scratch instead of an n^2
+	// flat count temporary, which is what bounds construction memory on
+	// giant grids.
 	p.counts = make([]uint64, n*p.cpr)
-	for i, c := range fresh {
-		x, y := i%n, i/n
-		p.counts[y*p.cpr+x>>2] |= uint64(c) << uint(16*(x&3))
-	}
-	for i := range p.pos {
-		p.pos[i] = -1
-	}
+	p.bits.VisitPlusWindowCounts(w, p.open, func(y int, row []int32) {
+		base := y * p.cpr
+		for x, c := range row {
+			p.counts[base+x>>2] |= uint64(c) << uint(16*(x&3))
+		}
+	})
 	if sc.Open || p.agents < lat.Sites() || sc.Taus != nil {
 		// Some axis deviates from the paper's setting: materialize the
 		// per-site state and boundary tables; the broadcast upVals and
 		// downVals stay unused.
-		p.occA = p.bits.OccupiedWindowCounts(w, p.open)
 		p.tauOf = sc.Taus
-		p.threshA = make([]int32, n*n)
-		for i := range p.threshA {
-			p.threshA[i] = int32(theory.Threshold(p.tauAt(i), int(p.occA[i])))
+		if relocating {
+			// Occupancy changes on every relocation: keep the occupied
+			// counts in packed lanes maintained by the same masked band
+			// adds as the plus counts, and derive thresholds on read,
+			// instead of rewriting two int32 arrays across both windows
+			// of every move. Static boundary tables would go stale and
+			// are never built.
+			p.occC = make([]uint64, n*p.cpr)
+			p.bits.VisitOccupiedWindowCounts(w, p.open, func(y int, row []int32) {
+				base := y * p.cpr
+				for x, c := range row {
+					p.occC[base+x>>2] |= uint64(c) << uint(16*(x&3))
+				}
+			})
+			if sc.Taus == nil {
+				p.threshTab = make([]int32, p.nbhd+1)
+				for k := range p.threshTab {
+					p.threshTab[k] = int32(theory.Threshold(tauTilde, k))
+				}
+			}
+		} else {
+			p.occA = p.bits.OccupiedWindowCounts(w, p.open)
+			p.threshA = make([]int32, n*n)
+			for i := range p.threshA {
+				p.threshA[i] = int32(theory.Threshold(p.tauAt(i), int(p.occA[i])))
+			}
+			p.buildBoundaryTables()
 		}
-		p.buildBoundaryTables()
 	} else {
 		// Classification boundaries: a +1 count update can change a
 		// site's class only when the new count hits one of these values
@@ -257,12 +313,8 @@ func NewScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics.Scenari
 		}
 	}
 	for i := 0; i < n*n; i++ {
-		p.refreshSite(i, int(fresh[i]))
+		p.refreshSite(i, p.count(i))
 	}
-	// The freshly counted windows are folded into the packed lanes
-	// above; recycle the flat copy for the next construction (batch
-	// sweeps build one engine per cell).
-	scratch.PutI32(&fresh)
 	return p, nil
 }
 
@@ -343,6 +395,10 @@ func (p *Process) count(i int) int {
 // occAt returns the occupied count of N(i) (the scenario-aware
 // generalization of the constant neighborhood size N).
 func (p *Process) occAt(i int) int {
+	if p.occC != nil {
+		x, y := i%p.n, i/p.n
+		return int(p.occC[y*p.cpr+x>>2] >> uint(16*(x&3)) & 0xffff)
+	}
 	if p.occA == nil {
 		return p.nbhd
 	}
@@ -358,12 +414,18 @@ func (p *Process) tauAt(i int) float64 {
 }
 
 // threshAt returns the integer happiness threshold of site i,
-// ceil(tau_i * occ_i).
+// ceil(tau_i * occ_i), derived rather than stored under relocation.
 func (p *Process) threshAt(i int) int {
-	if p.threshA == nil {
-		return p.thresh
+	if p.threshA != nil {
+		return int(p.threshA[i])
 	}
-	return int(p.threshA[i])
+	if p.occC != nil {
+		if p.threshTab != nil {
+			return int(p.threshTab[p.occAt(i)])
+		}
+		return theory.Threshold(p.tauOf[i], p.occAt(i))
+	}
+	return p.thresh
 }
 
 // PlusCount returns the maintained count of +1 agents in N(i).
@@ -402,7 +464,7 @@ func (p *Process) Flippable(i int) bool {
 }
 
 // FlippableCount returns the number of currently admissible flips.
-func (p *Process) FlippableCount() int { return len(p.flippable) }
+func (p *Process) FlippableCount() int { return p.flippable.Len() }
 
 // UnhappyCount returns the number of currently unhappy agents.
 func (p *Process) UnhappyCount() int { return p.nUnhappy }
@@ -420,7 +482,7 @@ func (p *Process) HappyFraction() float64 {
 }
 
 // Fixated reports whether the process has terminated.
-func (p *Process) Fixated() bool { return len(p.flippable) == 0 }
+func (p *Process) Fixated() bool { return p.flippable.Len() == 0 }
 
 // refreshSite recomputes the classification of site j from its current
 // count c and spin, and updates the unhappy bitset and flippable set —
@@ -429,9 +491,9 @@ func (p *Process) Fixated() bool { return len(p.flippable) == 0 }
 // sites are neither unhappy nor flippable.
 func (p *Process) refreshSite(j, c int) {
 	var unhappy, flippable bool
-	if p.threshA != nil {
+	if p.threshA != nil || p.occC != nil {
 		if p.bits.OccupiedBit(j) {
-			occ, th := int(p.occA[j]), int(p.threshA[j])
+			occ, th := p.occAt(j), p.threshAt(j)
 			if p.bits.Bit(j) {
 				unhappy = c < th
 				flippable = unhappy && c <= occ+1-th
@@ -458,22 +520,12 @@ func (p *Process) refreshSite(j, c int) {
 		}
 	}
 	if p.track && (toggled || j == p.flipSite) {
-		// The swap wrapper replays per-type set maintenance over these
-		// sites in this exact (reference window-visit) order.
-		p.changed = append(p.changed, int32(j))
+		// The swap and relocation wrappers replay set maintenance over
+		// these sites in this exact (reference window-visit) order.
+		p.changed.Append(int32(j))
 	}
-	in := p.pos[j] >= 0
-	switch {
-	case flippable && !in:
-		p.pos[j] = int32(len(p.flippable))
-		p.flippable = append(p.flippable, int32(j))
-	case !flippable && in:
-		q := p.pos[j]
-		last := p.flippable[len(p.flippable)-1]
-		p.flippable[q] = last
-		p.pos[last] = q
-		p.flippable = p.flippable[:len(p.flippable)-1]
-		p.pos[j] = -1
+	if !p.relocating {
+		p.flippable.Update(j, flippable)
 	}
 }
 
@@ -616,6 +668,9 @@ func (p *Process) segment(y, a, b int, add bool, forceX int) {
 // reference engine — wrapped on the torus, clamped at the edges under
 // the open boundary — so the flippable slice evolves identically.
 func (p *Process) applyFlip(i int) {
+	if p.relocating {
+		panic("fastglauber: flip under the relocation dynamic (boundary tables are not built)")
+	}
 	n, w := p.n, p.w
 	x0, y0 := i%n, i/n
 	plus := p.bits.FlipBit(i)
@@ -681,12 +736,12 @@ func (p *Process) ForceFlip(i int) { p.applyFlip(i) }
 // consumption of the reference engine: Exp(k) clock advance, then a
 // uniform pick from the flippable slice.
 func (p *Process) Step() (site int, ok bool) {
-	k := len(p.flippable)
+	k := p.flippable.Len()
 	if k == 0 {
 		return 0, false
 	}
 	p.time += p.src.ExpRate(float64(k))
-	i := int(p.flippable[p.src.Intn(k)])
+	i := int(p.flippable.Sample(p.src))
 	p.applyFlip(i)
 	p.flips++
 	return i, true
@@ -736,16 +791,6 @@ func (p *Process) CheckInvariants() error {
 			return fmt.Errorf("packed window count[%d] = %d, reference recount %d", i, fresh[i], ref[i])
 		}
 	}
-	inSet := make(map[int32]bool, len(p.flippable))
-	for j, site := range p.flippable {
-		if p.pos[site] != int32(j) {
-			return fmt.Errorf("pos[%d] = %d, want %d", site, p.pos[site], j)
-		}
-		if inSet[site] {
-			return fmt.Errorf("site %d appears twice in flippable set", site)
-		}
-		inSet[site] = true
-	}
 	if got := p.lat.CountOccupied(); got != p.agents {
 		return fmt.Errorf("agents = %d, want %d", p.agents, got)
 	}
@@ -760,17 +805,28 @@ func (p *Process) CheckInvariants() error {
 			}
 		}
 	}
+	if p.occC != nil {
+		// Thresholds are derived from these lanes, so verifying the
+		// lanes verifies the thresholds with them.
+		freshOcc := p.lat.OccupiedWindowCounts(p.w, p.open)
+		for i := range freshOcc {
+			if got := int32(p.occAt(i)); got != freshOcc[i] {
+				return fmt.Errorf("occ lane[%d] = %d, want %d", i, got, freshOcc[i])
+			}
+		}
+	}
 	unhappyCount := 0
+	wantFlippable := make([]bool, p.n*p.n)
 	for i := 0; i < p.n*p.n; i++ {
 		if got, want := p.count(i), int(fresh[i]); got != want {
 			return fmt.Errorf("count[%d] = %d, want %d", i, got, want)
 		}
-		var unhappy, flippable bool
+		var unhappy bool
 		if p.bits.OccupiedBit(i) {
 			same := p.SameCount(i)
 			th := p.threshAt(i)
 			unhappy = same < th
-			flippable = unhappy && p.occAt(i)-same+1 >= th
+			wantFlippable[i] = unhappy && p.occAt(i)-same+1 >= th
 		}
 		if got := p.unhappy[i>>6]&(1<<uint(i&63)) != 0; got != unhappy {
 			return fmt.Errorf("unhappy[%d] = %v, want %v", i, got, unhappy)
@@ -778,15 +834,14 @@ func (p *Process) CheckInvariants() error {
 		if unhappy {
 			unhappyCount++
 		}
-		if flippable != inSet[int32(i)] {
-			return fmt.Errorf("flippable membership of %d = %v, want %v", i, inSet[int32(i)], flippable)
-		}
-		if !inSet[int32(i)] && p.pos[i] != -1 {
-			return fmt.Errorf("pos[%d] = %d for non-member", i, p.pos[i])
-		}
 	}
 	if unhappyCount != p.nUnhappy {
 		return fmt.Errorf("nUnhappy = %d, want %d", p.nUnhappy, unhappyCount)
 	}
-	return nil
+	if p.relocating {
+		// The relocation engine never flips in place: its flip sampler is
+		// deliberately unmaintained and must have stayed empty.
+		return p.flippable.CheckInvariants("flippable", func(int) bool { return false })
+	}
+	return p.flippable.CheckInvariants("flippable", func(i int) bool { return wantFlippable[i] })
 }

@@ -1,11 +1,10 @@
 package fastglauber
 
 import (
-	"fmt"
-
 	"gridseg/internal/dynamics"
 	"gridseg/internal/grid"
 	"gridseg/internal/rng"
+	"gridseg/internal/sampleset"
 )
 
 // Kawasaki is the bit-packed fast path of the swap (closed-system)
@@ -26,12 +25,11 @@ import (
 // of scalar updates per flip instead of (2w+1)^2 re-examinations.
 type Kawasaki struct {
 	p *Process
-	// Unhappy agents by type, with swap-remove position tracking,
-	// ordered identically to the reference engine's sets.
-	unhappyPlus  []int32
-	unhappyMinus []int32
-	posPlus      []int32
-	posMinus     []int32
+	// Indexed samplers over the unhappy agents of each type, ordered
+	// identically to the reference engine's sets (see
+	// internal/sampleset).
+	unhappyPlus  *sampleset.Set
+	unhappyMinus *sampleset.Set
 	swaps        int64
 	attempts     int64
 }
@@ -53,13 +51,9 @@ func NewKawasakiScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics
 	}
 	p.track = true
 	k := &Kawasaki{
-		p:        p,
-		posPlus:  make([]int32, lat.Sites()),
-		posMinus: make([]int32, lat.Sites()),
-	}
-	for i := range k.posPlus {
-		k.posPlus[i] = -1
-		k.posMinus[i] = -1
+		p:            p,
+		unhappyPlus:  sampleset.New(lat.Sites()),
+		unhappyMinus: sampleset.New(lat.Sites()),
 	}
 	for i := 0; i < lat.Sites(); i++ {
 		k.refreshSets(i)
@@ -83,7 +77,7 @@ func (k *Kawasaki) Attempts() int64 { return k.attempts }
 
 // UnhappyByType returns the numbers of unhappy +1 and -1 agents.
 func (k *Kawasaki) UnhappyByType() (plus, minus int) {
-	return len(k.unhappyPlus), len(k.unhappyMinus)
+	return k.unhappyPlus.Len(), k.unhappyMinus.Len()
 }
 
 // refreshSets updates site i's membership in the per-type unhappy
@@ -92,27 +86,8 @@ func (k *Kawasaki) UnhappyByType() (plus, minus int) {
 func (k *Kawasaki) refreshSets(i int) {
 	unhappy := k.p.unhappy[i>>6]&(1<<uint(i&63)) != 0
 	plusSpin := k.p.bits.Bit(i)
-	setMembership(&k.unhappyPlus, k.posPlus, i, unhappy && plusSpin)
-	setMembership(&k.unhappyMinus, k.posMinus, i, unhappy && !plusSpin)
-}
-
-// setMembership maintains a swap-remove set with position tracking —
-// the same structure (and ordering discipline) as the reference
-// dynamics' samplers.
-func setMembership(set *[]int32, pos []int32, i int, want bool) {
-	in := pos[i] >= 0
-	switch {
-	case want && !in:
-		pos[i] = int32(len(*set))
-		*set = append(*set, int32(i))
-	case !want && in:
-		j := pos[i]
-		last := (*set)[len(*set)-1]
-		(*set)[j] = last
-		pos[last] = j
-		*set = (*set)[:len(*set)-1]
-		pos[i] = -1
-	}
+	k.unhappyPlus.Update(i, unhappy && plusSpin)
+	k.unhappyMinus.Update(i, unhappy && !plusSpin)
 }
 
 // forceFlipTracked flips site i in the underlying process and replays
@@ -120,9 +95,9 @@ func setMembership(set *[]int32, pos []int32, i int, want bool) {
 // have changed, in the reference engine's window-visit order.
 func (k *Kawasaki) forceFlipTracked(i int) {
 	p := k.p
-	p.changed = p.changed[:0]
+	p.changed.Reset()
 	p.ForceFlip(i)
-	for _, j := range p.changed {
+	for _, j := range p.changed.Items() {
 		k.refreshSets(int(j))
 	}
 }
@@ -132,12 +107,12 @@ func (k *Kawasaki) forceFlipTracked(i int) {
 // random source exactly like the reference engine. It returns
 // swapped=false with done=true when no unhappy pair exists.
 func (k *Kawasaki) StepAttempt() (swapped, done bool) {
-	if len(k.unhappyPlus) == 0 || len(k.unhappyMinus) == 0 {
+	if k.unhappyPlus.Len() == 0 || k.unhappyMinus.Len() == 0 {
 		return false, true
 	}
 	k.attempts++
-	u := int(k.unhappyPlus[k.p.src.Intn(len(k.unhappyPlus))])
-	v := int(k.unhappyMinus[k.p.src.Intn(len(k.unhappyMinus))])
+	u := int(k.unhappyPlus.Sample(k.p.src))
+	v := int(k.unhappyMinus.Sample(k.p.src))
 	// Apply the swap as two tracked flips, then verify both movers are
 	// happy at their new locations; revert if not.
 	k.forceFlipTracked(u) // u's site becomes -1 (the mover from v)
@@ -183,31 +158,14 @@ func (k *Kawasaki) CheckInvariants() error {
 	if err := k.p.CheckInvariants(); err != nil {
 		return err
 	}
-	inPlus := map[int32]bool{}
-	for j, site := range k.unhappyPlus {
-		if k.posPlus[site] != int32(j) {
-			return fmt.Errorf("posPlus[%d] = %d, want %d", site, k.posPlus[site], j)
-		}
-		inPlus[site] = true
+	if err := k.unhappyPlus.CheckInvariants("unhappyPlus", func(i int) bool {
+		return !k.p.Happy(i) && k.p.lat.SpinAt(i) == grid.Plus
+	}); err != nil {
+		return err
 	}
-	inMinus := map[int32]bool{}
-	for j, site := range k.unhappyMinus {
-		if k.posMinus[site] != int32(j) {
-			return fmt.Errorf("posMinus[%d] = %d, want %d", site, k.posMinus[site], j)
-		}
-		inMinus[site] = true
-	}
-	for i := 0; i < k.p.lat.Sites(); i++ {
-		unhappy := !k.p.Happy(i)
-		spin := k.p.lat.SpinAt(i)
-		if inPlus[int32(i)] != (unhappy && spin == grid.Plus) {
-			return fmt.Errorf("unhappyPlus membership of %d wrong", i)
-		}
-		if inMinus[int32(i)] != (unhappy && spin == grid.Minus) {
-			return fmt.Errorf("unhappyMinus membership of %d wrong", i)
-		}
-	}
-	return nil
+	return k.unhappyMinus.CheckInvariants("unhappyMinus", func(i int) bool {
+		return !k.p.Happy(i) && k.p.lat.SpinAt(i) == grid.Minus
+	})
 }
 
 // The fast swap engine satisfies the shared swap contract.

@@ -2,10 +2,10 @@ package dynamics
 
 import (
 	"errors"
-	"fmt"
 
 	"gridseg/internal/grid"
 	"gridseg/internal/rng"
+	"gridseg/internal/sampleset"
 	"gridseg/internal/theory"
 )
 
@@ -19,11 +19,10 @@ import (
 // budget is exhausted with no successful swap.
 type Kawasaki struct {
 	p *Process // reuse the count/refresh machinery; Step is never called
-	// Unhappy agents by type, with swap-remove position tracking.
-	unhappyPlus  []int32
-	unhappyMinus []int32
-	posPlus      []int32
-	posMinus     []int32
+	// Indexed samplers over the unhappy agents of each type (see
+	// internal/sampleset).
+	unhappyPlus  *sampleset.Set
+	unhappyMinus *sampleset.Set
 	swaps        int64
 	attempts     int64
 }
@@ -44,13 +43,9 @@ func NewKawasakiScenario(lat *grid.Lattice, w int, tauTilde float64, sc Scenario
 		return nil, err
 	}
 	k := &Kawasaki{
-		p:        p,
-		posPlus:  make([]int32, lat.Sites()),
-		posMinus: make([]int32, lat.Sites()),
-	}
-	for i := range k.posPlus {
-		k.posPlus[i] = -1
-		k.posMinus[i] = -1
+		p:            p,
+		unhappyPlus:  sampleset.New(lat.Sites()),
+		unhappyMinus: sampleset.New(lat.Sites()),
 	}
 	for i := 0; i < lat.Sites(); i++ {
 		k.refreshSets(i)
@@ -73,16 +68,14 @@ func (k *Kawasaki) Attempts() int64 { return k.attempts }
 
 // UnhappyByType returns the numbers of unhappy +1 and -1 agents.
 func (k *Kawasaki) UnhappyByType() (plus, minus int) {
-	return len(k.unhappyPlus), len(k.unhappyMinus)
+	return k.unhappyPlus.Len(), k.unhappyMinus.Len()
 }
 
 func (k *Kawasaki) refreshSets(i int) {
 	spin := k.p.lat.SpinAt(i)
 	unhappy := !k.p.Happy(i)
-	wantPlus := unhappy && spin == grid.Plus
-	wantMinus := unhappy && spin == grid.Minus
-	setMembership(&k.unhappyPlus, k.posPlus, i, wantPlus)
-	setMembership(&k.unhappyMinus, k.posMinus, i, wantMinus)
+	k.unhappyPlus.Update(i, unhappy && spin == grid.Plus)
+	k.unhappyMinus.Update(i, unhappy && spin == grid.Minus)
 }
 
 // forceFlipTracked flips site i in the underlying process and refreshes
@@ -97,12 +90,12 @@ func (k *Kawasaki) forceFlipTracked(i int) {
 // and swaps them iff the swap makes both happy. It returns swapped=false
 // with done=true when no unhappy pair exists.
 func (k *Kawasaki) StepAttempt() (swapped, done bool) {
-	if len(k.unhappyPlus) == 0 || len(k.unhappyMinus) == 0 {
+	if k.unhappyPlus.Len() == 0 || k.unhappyMinus.Len() == 0 {
 		return false, true
 	}
 	k.attempts++
-	u := int(k.unhappyPlus[k.p.src.Intn(len(k.unhappyPlus))])
-	v := int(k.unhappyMinus[k.p.src.Intn(len(k.unhappyMinus))])
+	u := int(k.unhappyPlus.Sample(k.p.src))
+	v := int(k.unhappyMinus.Sample(k.p.src))
 	// Apply the swap as two tracked flips, then verify both movers are
 	// happy at their new locations; revert if not. The order of checks
 	// accounts for overlapping neighborhoods automatically because
@@ -151,31 +144,14 @@ func (k *Kawasaki) CheckInvariants() error {
 	if err := k.p.CheckInvariants(); err != nil {
 		return err
 	}
-	inPlus := map[int32]bool{}
-	for j, site := range k.unhappyPlus {
-		if k.posPlus[site] != int32(j) {
-			return fmt.Errorf("posPlus[%d] = %d, want %d", site, k.posPlus[site], j)
-		}
-		inPlus[site] = true
+	if err := k.unhappyPlus.CheckInvariants("unhappyPlus", func(i int) bool {
+		return !k.p.Happy(i) && k.p.lat.SpinAt(i) == grid.Plus
+	}); err != nil {
+		return err
 	}
-	inMinus := map[int32]bool{}
-	for j, site := range k.unhappyMinus {
-		if k.posMinus[site] != int32(j) {
-			return fmt.Errorf("posMinus[%d] = %d, want %d", site, k.posMinus[site], j)
-		}
-		inMinus[site] = true
-	}
-	for i := 0; i < k.p.lat.Sites(); i++ {
-		unhappy := !k.p.Happy(i)
-		spin := k.p.lat.SpinAt(i)
-		if inPlus[int32(i)] != (unhappy && spin == grid.Plus) {
-			return fmt.Errorf("unhappyPlus membership of %d wrong", i)
-		}
-		if inMinus[int32(i)] != (unhappy && spin == grid.Minus) {
-			return fmt.Errorf("unhappyMinus membership of %d wrong", i)
-		}
-	}
-	return nil
+	return k.unhappyMinus.CheckInvariants("unhappyMinus", func(i int) bool {
+		return !k.p.Happy(i) && k.p.lat.SpinAt(i) == grid.Minus
+	})
 }
 
 // ThresholdFor exposes the integer threshold the engines use, for callers

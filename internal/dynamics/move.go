@@ -2,10 +2,10 @@ package dynamics
 
 import (
 	"errors"
-	"fmt"
 
 	"gridseg/internal/grid"
 	"gridseg/internal/rng"
+	"gridseg/internal/sampleset"
 	"gridseg/internal/theory"
 )
 
@@ -24,12 +24,12 @@ import (
 // consecutive-failure heuristic.
 type Move struct {
 	p *Process
-	// Unhappy agents (both types) and vacant sites, with swap-remove
-	// position tracking; sampling is uniform over each.
-	unhappySet []int32
-	posUnhappy []int32
-	vacantSet  []int32
-	posVacant  []int32
+	// Indexed samplers over the unhappy agents (both types) and the
+	// vacant sites (see internal/sampleset); sampling is uniform over
+	// each, and the iteration order is part of the bit-identity
+	// contract with the fast engine.
+	unhappySet *sampleset.Set
+	vacantSet  *sampleset.Set
 	moves      int64
 	attempts   int64
 }
@@ -47,12 +47,8 @@ func NewMove(lat *grid.Lattice, w int, tauTilde float64, sc Scenario, src *rng.S
 	}
 	m := &Move{
 		p:          p,
-		posUnhappy: make([]int32, lat.Sites()),
-		posVacant:  make([]int32, lat.Sites()),
-	}
-	for i := range m.posUnhappy {
-		m.posUnhappy[i] = -1
-		m.posVacant[i] = -1
+		unhappySet: sampleset.New(lat.Sites()),
+		vacantSet:  sampleset.New(lat.Sites()),
 	}
 	for i := 0; i < lat.Sites(); i++ {
 		m.refreshSets(i)
@@ -63,6 +59,10 @@ func NewMove(lat *grid.Lattice, w int, tauTilde float64, sc Scenario, src *rng.S
 // Process returns the underlying count-tracking process (read-only use).
 func (m *Move) Process() *Process { return m.p }
 
+// Engine returns the underlying process as the shared engine contract
+// (the accessor of MoveEngine).
+func (m *Move) Engine() Engine { return m.p }
+
 // Moves returns the number of successful relocations so far.
 func (m *Move) Moves() int64 { return m.moves }
 
@@ -71,33 +71,15 @@ func (m *Move) Attempts() int64 { return m.attempts }
 
 // Counts returns the numbers of unhappy agents and vacant sites.
 func (m *Move) Counts() (unhappy, vacant int) {
-	return len(m.unhappySet), len(m.vacantSet)
+	return m.unhappySet.Len(), m.vacantSet.Len()
 }
 
 // refreshSets updates site i's membership in the unhappy-agent and
 // vacant-site samples.
 func (m *Move) refreshSets(i int) {
 	occupied := m.p.lat.OccupiedAt(i)
-	setMembership(&m.unhappySet, m.posUnhappy, i, occupied && !m.p.Happy(i))
-	setMembership(&m.vacantSet, m.posVacant, i, !occupied)
-}
-
-// setMembership maintains a swap-remove set with position tracking
-// (shared by the Kawasaki and Move samplers).
-func setMembership(set *[]int32, pos []int32, i int, want bool) {
-	in := pos[i] >= 0
-	switch {
-	case want && !in:
-		pos[i] = int32(len(*set))
-		*set = append(*set, int32(i))
-	case !want && in:
-		j := pos[i]
-		last := (*set)[len(*set)-1]
-		(*set)[j] = last
-		pos[last] = j
-		*set = (*set)[:len(*set)-1]
-		pos[i] = -1
-	}
+	m.unhappySet.Update(i, occupied && !m.p.Happy(i))
+	m.vacantSet.Update(i, !occupied)
 }
 
 // relocate moves the agent at u to the vacant site v, refreshing both
@@ -141,12 +123,12 @@ func (m *Move) wouldBeHappy(u, v int, s grid.Spin) bool {
 // location (evaluated after its departure). It returns moved=false
 // with done=true when no unhappy agent remains.
 func (m *Move) StepAttempt() (moved, done bool) {
-	if len(m.unhappySet) == 0 {
+	if m.unhappySet.Len() == 0 {
 		return false, true
 	}
 	m.attempts++
-	u := int(m.unhappySet[m.p.src.Intn(len(m.unhappySet))])
-	v := int(m.vacantSet[m.p.src.Intn(len(m.vacantSet))])
+	u := int(m.unhappySet.Sample(m.p.src))
+	v := int(m.vacantSet.Sample(m.p.src))
 	if !m.wouldBeHappy(u, v, m.p.lat.SpinAt(u)) {
 		return false, false
 	}
@@ -188,28 +170,12 @@ func (m *Move) CheckInvariants() error {
 	if err := m.p.CheckInvariants(); err != nil {
 		return err
 	}
-	inUnhappy := map[int32]bool{}
-	for j, site := range m.unhappySet {
-		if m.posUnhappy[site] != int32(j) {
-			return fmt.Errorf("posUnhappy[%d] = %d, want %d", site, m.posUnhappy[site], j)
-		}
-		inUnhappy[site] = true
+	if err := m.unhappySet.CheckInvariants("unhappy", func(i int) bool {
+		return m.p.lat.OccupiedAt(i) && !m.p.Happy(i)
+	}); err != nil {
+		return err
 	}
-	inVacant := map[int32]bool{}
-	for j, site := range m.vacantSet {
-		if m.posVacant[site] != int32(j) {
-			return fmt.Errorf("posVacant[%d] = %d, want %d", site, m.posVacant[site], j)
-		}
-		inVacant[site] = true
-	}
-	for i := 0; i < m.p.lat.Sites(); i++ {
-		occupied := m.p.lat.OccupiedAt(i)
-		if inUnhappy[int32(i)] != (occupied && !m.p.Happy(i)) {
-			return fmt.Errorf("unhappy membership of %d wrong", i)
-		}
-		if inVacant[int32(i)] != !occupied {
-			return fmt.Errorf("vacant membership of %d wrong", i)
-		}
-	}
-	return nil
+	return m.vacantSet.CheckInvariants("vacant", func(i int) bool {
+		return !m.p.lat.OccupiedAt(i)
+	})
 }

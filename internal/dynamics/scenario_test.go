@@ -308,8 +308,8 @@ func TestMoveAcceptanceEquivalence(t *testing.T) {
 			t.Fatal(err)
 		}
 		checked := 0
-		for _, u32 := range m.unhappySet {
-			for _, v32 := range m.vacantSet {
+		for _, u32 := range m.unhappySet.Items() {
+			for _, v32 := range m.vacantSet.Items() {
 				u, v := int(u32), int(v32)
 				s := lat.SpinAt(u)
 				got := m.wouldBeHappy(u, v, s)

@@ -67,6 +67,9 @@ func FromLattice(l *grid.Lattice) *Lattice {
 // N returns the side length.
 func (p *Lattice) N() int { return p.n }
 
+// Sites returns the number of sites, n^2.
+func (p *Lattice) Sites() int { return p.n * p.n }
+
 // WordsPerRow returns the packed row stride in words.
 func (p *Lattice) WordsPerRow() int { return p.wpr }
 
@@ -89,6 +92,38 @@ func (p *Lattice) OccupiedBit(i int) bool {
 	return p.occ[y*p.wpr+x>>6]>>uint(x&63)&1 != 0
 }
 
+// OccupiedAt is OccupiedBit under the grid.LatticeView name.
+func (p *Lattice) OccupiedAt(i int) bool { return p.OccupiedBit(i) }
+
+// SpinWord returns the k-th packed spin word (rows are WordsPerRow
+// words long; bits past the row width are zero). Hot window loops read
+// a word once and shift lanes out instead of re-indexing per site.
+func (p *Lattice) SpinWord(k int) uint64 { return p.words[k] }
+
+// OccupiedWord returns the k-th packed occupancy word, with every bit
+// set when the lattice carries no vacancy plane.
+func (p *Lattice) OccupiedWord(k int) uint64 {
+	if p.occ == nil {
+		return ^uint64(0)
+	}
+	return p.occ[k]
+}
+
+// SpinAt returns the spin at row-major index i in the reference
+// representation (None for a vacant site).
+func (p *Lattice) SpinAt(i int) grid.Spin {
+	if !p.OccupiedBit(i) {
+		return grid.None
+	}
+	if p.Bit(i) {
+		return grid.Plus
+	}
+	return grid.Minus
+}
+
+// The packed lattice satisfies the shared read interface.
+var _ grid.LatticeView = (*Lattice)(nil)
+
 // FlipBit negates the spin at row-major site index i and reports
 // whether the new spin is +1.
 func (p *Lattice) FlipBit(i int) bool {
@@ -97,6 +132,37 @@ func (p *Lattice) FlipBit(i int) bool {
 	mask := uint64(1) << uint(x&63)
 	p.words[w] ^= mask
 	return p.words[w]&mask != 0
+}
+
+// SetSpinBit writes the spin bit at row-major site index i (true = +1).
+// Relocation engines use it together with SetOccupiedBit to vacate and
+// occupy sites; flip engines use FlipBit.
+func (p *Lattice) SetSpinBit(i int, plus bool) {
+	x, y := i%p.n, i/p.n
+	w := y*p.wpr + x>>6
+	mask := uint64(1) << uint(x&63)
+	if plus {
+		p.words[w] |= mask
+	} else {
+		p.words[w] &^= mask
+	}
+}
+
+// SetOccupiedBit writes the occupancy bit at row-major site index i.
+// It panics on a lattice without an occupancy plane — only vacancy
+// scenarios relocate agents.
+func (p *Lattice) SetOccupiedBit(i int, occupied bool) {
+	if p.occ == nil {
+		panic("fastgrid: SetOccupiedBit on a lattice without an occupancy plane")
+	}
+	x, y := i%p.n, i/p.n
+	w := y*p.wpr + x>>6
+	mask := uint64(1) << uint(x&63)
+	if occupied {
+		p.occ[w] |= mask
+	} else {
+		p.occ[w] &^= mask
+	}
 }
 
 // CountPlus returns the total number of +1 agents via popcount.
@@ -155,58 +221,99 @@ func (p *Lattice) planeRowWindow(plane []uint64, y, x, radius int, open bool) in
 	}
 }
 
-// planeWindowCounts is the generic two-pass window counter over a bit
-// plane: the horizontal pass computes each row window with OnesCount64
-// over masked word ranges, the vertical pass slides (torus) or
-// prefix-sums with clamped ranges (open) the row sums.
-func (p *Lattice) planeWindowCounts(plane []uint64, radius int, open bool) []int32 {
-	if !open && 2*radius+1 > p.n {
+// visitWindowCounts is the streaming window-count core shared by the
+// flat and tiled layouts: it emits per-site window counts one row at a
+// time, in ascending row order, holding only a ring of the 2*radius+1
+// live horizontal row sums plus one accumulator row — O(n*radius)
+// scratch from the free lists, independent of the n^2 output size.
+// rowWindow(y, x) must return the count of the row-y column window
+// centered at x (wrapped or clamped per the boundary); visit receives
+// each output row in a buffer that is only valid during the call.
+func visitWindowCounts(n, radius int, open bool, rowWindow func(y, x int) int32, visit func(y int, row []int32)) {
+	if !open && 2*radius+1 > n {
 		panic("fastgrid: window larger than torus")
 	}
-	n := p.n
-	rp := scratch.I32(n * n)
-	rowSum := *rp
-	for y := 0; y < n; y++ {
-		base := y * n
-		for x := 0; x < n; x++ {
-			rowSum[base+x] = int32(p.planeRowWindow(plane, y, x, radius, open))
-		}
+	span := 2*radius + 1
+	bp := scratch.I32(n * span)
+	buf := *bp
+	op := scratch.I32(2 * n)
+	acc := (*op)[:n]
+	out := (*op)[n : 2*n]
+	for x := range acc {
+		acc[x] = 0
 	}
-	out := make([]int32, n*n)
+	// slot returns the ring row of the unwrapped row index y; load
+	// fills it from the plane (wrapping y on the torus). Rows enter the
+	// ring in ascending unwrapped order and stay live for exactly span
+	// emissions, so consecutive indices never collide.
+	slot := func(y int) []int32 {
+		r := y % span
+		if r < 0 {
+			r += span
+		}
+		return buf[r*n : r*n+n]
+	}
+	load := func(y int) []int32 {
+		row := slot(y)
+		yy := y
+		if !open {
+			yy = wrap(y, n)
+		}
+		for x := 0; x < n; x++ {
+			row[x] = rowWindow(yy, x)
+		}
+		return row
+	}
+	// Pre-accumulate the rows above the first output row: unwrapped
+	// rows -radius..radius-1 on the torus, the clamped prefix
+	// 0..min(radius, n)-1 under the open boundary.
+	first, last := -radius, radius-1
 	if open {
-		col := make([]int32, n+1)
-		for x := 0; x < n; x++ {
-			for y := 0; y < n; y++ {
-				col[y+1] = col[y] + rowSum[y*n+x]
-			}
-			for y := 0; y < n; y++ {
-				lo, hi := y-radius, y+radius+1
-				if lo < 0 {
-					lo = 0
-				}
-				if hi > n {
-					hi = n
-				}
-				out[y*n+x] = col[hi] - col[lo]
-			}
-		}
-		scratch.PutI32(rp)
-		return out
-	}
-	for x := 0; x < n; x++ {
-		var acc int32
-		for dy := -radius; dy <= radius; dy++ {
-			acc += rowSum[wrap(dy, n)*n+x]
-		}
-		out[x] = acc
-		for y := 1; y < n; y++ {
-			acc -= rowSum[wrap(y-1-radius, n)*n+x]
-			acc += rowSum[wrap(y+radius, n)*n+x]
-			out[y*n+x] = acc
+		first = 0
+		if last > n-1 {
+			last = n - 1
 		}
 	}
-	scratch.PutI32(rp)
+	for y := first; y <= last; y++ {
+		for x, v := range load(y) {
+			acc[x] += v
+		}
+	}
+	for y := 0; y < n; y++ {
+		if enter := y + radius; !open || enter < n {
+			for x, v := range load(enter) {
+				acc[x] += v
+			}
+		}
+		copy(out, acc)
+		visit(y, out)
+		if leave := y - radius; !open || leave >= 0 {
+			for x, v := range slot(leave) {
+				acc[x] -= v
+			}
+		}
+	}
+	scratch.PutI32(op)
+	scratch.PutI32(bp)
+}
+
+// planeWindowCounts materializes the streaming counts of a bit plane
+// into a freshly allocated per-site array (the non-streaming
+// convenience form).
+func (p *Lattice) planeWindowCounts(plane []uint64, radius int, open bool) []int32 {
+	out := make([]int32, p.n*p.n)
+	p.planeWindowCountsVisit(plane, radius, open, func(y int, row []int32) {
+		copy(out[y*p.n:(y+1)*p.n], row)
+	})
 	return out
+}
+
+// planeWindowCountsVisit streams the window counts of a bit plane
+// through visitWindowCounts.
+func (p *Lattice) planeWindowCountsVisit(plane []uint64, radius int, open bool, visit func(y int, row []int32)) {
+	visitWindowCounts(p.n, radius, open, func(y, x int) int32 {
+		return int32(p.planeRowWindow(plane, y, x, radius, open))
+	}, visit)
 }
 
 // WindowCounts returns, for every site u (row-major), the number of +1
@@ -232,6 +339,71 @@ func (p *Lattice) OccupiedWindowCounts(radius int, open bool) []int32 {
 		return grid.WindowAreas(p.n, radius, open)
 	}
 	return p.planeWindowCounts(p.occ, radius, open)
+}
+
+// VisitPlusWindowCounts streams the per-site +1 window counts one row
+// at a time in ascending row order, without materializing the n^2
+// output: the row buffer passed to visit is reused across calls. This
+// is the bounded-memory form the fast engines build their count lanes
+// from on giant grids.
+func (p *Lattice) VisitPlusWindowCounts(radius int, open bool, visit func(y int, row []int32)) {
+	p.planeWindowCountsVisit(p.words, radius, open, visit)
+}
+
+// VisitOccupiedWindowCounts streams the per-site occupied-site window
+// counts like VisitPlusWindowCounts. On a fully occupied lattice the
+// rows hold the geometric window areas.
+func (p *Lattice) VisitOccupiedWindowCounts(radius int, open bool, visit func(y int, row []int32)) {
+	if p.occ != nil {
+		p.planeWindowCountsVisit(p.occ, radius, open, visit)
+		return
+	}
+	visitWindowAreas(p.n, radius, open, visit)
+}
+
+// visitWindowAreas streams the geometric window areas row by row — the
+// occupied counts of a fully occupied lattice, with no plane to scan.
+func visitWindowAreas(n, radius int, open bool, visit func(y int, row []int32)) {
+	rp := scratch.I32(n)
+	row := *rp
+	if !open {
+		if 2*radius+1 > n {
+			panic("fastgrid: window larger than torus")
+		}
+		full := int32((2*radius + 1) * (2*radius + 1))
+		for x := range row {
+			row[x] = full
+		}
+		for y := 0; y < n; y++ {
+			visit(y, row)
+		}
+		scratch.PutI32(rp)
+		return
+	}
+	span := func(a int) int32 {
+		lo, hi := a-radius, a+radius
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > n-1 {
+			hi = n - 1
+		}
+		return int32(hi - lo + 1)
+	}
+	sp := scratch.I32(n)
+	xspan := *sp
+	for x := range xspan {
+		xspan[x] = span(x)
+	}
+	for y := 0; y < n; y++ {
+		ys := span(y)
+		for x := range row {
+			row[x] = ys * xspan[x]
+		}
+		visit(y, row)
+	}
+	scratch.PutI32(sp)
+	scratch.PutI32(rp)
 }
 
 func wrap(a, n int) int {

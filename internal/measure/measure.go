@@ -264,19 +264,17 @@ func ClustersScenario(l *grid.Lattice, open bool) (ClusterStats, []int32) {
 }
 
 // ClusterStatsScenario computes the cluster statistics without
-// materializing the per-site size field — the variant the sweep
-// measurement loop uses, so each measured cell skips an O(n^2)
-// result allocation it would immediately discard.
+// materializing any per-site field — the variant the sweep
+// measurement loop uses. It runs the streaming two-row union-find of
+// ClusterStatsView, whose Sizes order (ascending minimal site) matches
+// the BFS discovery order of Clusters exactly.
 func ClusterStatsScenario(l *grid.Lattice, open bool) ClusterStats {
-	stats, _ := clustersImpl(l, open, false)
-	return stats
+	return ClusterStatsView(l, open)
 }
 
+// clusters is the BFS labeling pass behind the per-site variants; the
+// stats-only callers use the streaming ClusterStatsView instead.
 func clusters(l *grid.Lattice, open bool) (ClusterStats, []int32) {
-	return clustersImpl(l, open, true)
-}
-
-func clustersImpl(l *grid.Lattice, open, wantPerSite bool) (ClusterStats, []int32) {
 	n := l.N()
 	sites := l.Sites()
 	lp, qp := scratch.I32(sites), scratch.I32(sites)
@@ -346,12 +344,9 @@ func clustersImpl(l *grid.Lattice, open, wantPerSite bool) (ClusterStats, []int3
 		}
 	}
 	stats.Count = len(stats.Sizes)
-	var perSite []int32
-	if wantPerSite {
-		perSite = make([]int32, sites)
-		for i := range perSite {
-			perSite[i] = clusterSize[label[i]]
-		}
+	perSite := make([]int32, sites)
+	for i := range perSite {
+		perSite[i] = clusterSize[label[i]]
 	}
 	*qp = queue
 	scratch.PutI32(lp)

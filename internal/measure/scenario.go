@@ -9,52 +9,16 @@ import (
 // adjacencies clamp at the edges) and vacancies (only agents are
 // measured) — and reduce bit-for-bit to the classic definitions on the
 // default scenario (torus, full occupancy), which keeps default-cell
-// sweep artifacts byte-stable.
+// sweep artifacts byte-stable. They are thin lattice-typed wrappers
+// over the streaming view forms in stream.go, which do the work in
+// O(n*w) scratch.
 
 // InterfaceDensityScenario returns the fraction of 4-adjacent
 // agent-agent pairs with opposite types, ignoring pairs that involve a
 // vacant site and, under the open boundary, pairs that would wrap. On
 // a fully occupied torus it equals InterfaceDensity exactly.
 func InterfaceDensityScenario(l *grid.Lattice, open bool) float64 {
-	n := l.N()
-	mismatched, pairs := 0, 0
-	at := func(x, y int) grid.Spin {
-		if x >= n {
-			x -= n
-		}
-		if y >= n {
-			y -= n
-		}
-		return l.SpinAt(y*n + x)
-	}
-	for y := 0; y < n; y++ {
-		for x := 0; x < n; x++ {
-			s := l.SpinAt(y*n + x)
-			if s == grid.None {
-				continue
-			}
-			if !open || x+1 < n {
-				if o := at(x+1, y); o != grid.None {
-					pairs++
-					if o != s {
-						mismatched++
-					}
-				}
-			}
-			if !open || y+1 < n {
-				if o := at(x, y+1); o != grid.None {
-					pairs++
-					if o != s {
-						mismatched++
-					}
-				}
-			}
-		}
-	}
-	if pairs == 0 {
-		return 0
-	}
-	return float64(mismatched) / float64(pairs)
+	return InterfaceDensityView(l, open)
 }
 
 // MeanSameFractionScenario returns the average over agents of s(u):
@@ -62,34 +26,12 @@ func InterfaceDensityScenario(l *grid.Lattice, open bool) float64 {
 // radius-w window (clamped at the edges when open), including u. On a
 // fully occupied torus it equals MeanSameFraction exactly.
 func MeanSameFractionScenario(l *grid.Lattice, w int, open bool) float64 {
-	plus := l.PlusWindowCounts(w, open)
-	occ := l.OccupiedWindowCounts(w, open)
-	var acc float64
-	agents := 0
-	for i := 0; i < l.Sites(); i++ {
-		switch l.SpinAt(i) {
-		case grid.Plus:
-			acc += float64(plus[i]) / float64(occ[i])
-		case grid.Minus:
-			acc += float64(occ[i]-plus[i]) / float64(occ[i])
-		default:
-			continue
-		}
-		agents++
-	}
-	if agents == 0 {
-		return 0
-	}
-	return acc / float64(agents)
+	return MeanSameFractionView(l, w, open)
 }
 
 // MagnetizationScenario returns (plus - minus) / agents, the
 // occupied-site magnetization; on a fully occupied lattice it equals
 // the classic (2*CountPlus - Sites) / Sites.
 func MagnetizationScenario(l *grid.Lattice) float64 {
-	agents := l.CountOccupied()
-	if agents == 0 {
-		return 0
-	}
-	return float64(l.CountPlus()-l.CountMinus()) / float64(agents)
+	return MagnetizationView(l)
 }

@@ -46,11 +46,10 @@ var scenarioColumns = []string{"happyFrac", "ifaceDensity", "sameFrac", "largest
 
 // runScenarioCell runs one scenario cell to fixation (or the attempt
 // budget for the pair dynamics) and measures the scenario-aware
-// observables. Glauber and Kawasaki cells honor the context's engine
-// selection on every scenario (the fast engine covers all axes); Move
-// cells run the reference engine, mirroring the facade's fallback
-// rule. Engines are bit-identical, so previously cached cells stay
-// valid.
+// observables. Every dynamic honors the context's engine selection on
+// every scenario — the fast engine covers all axes and all three
+// dynamics. Engines are bit-identical, so previously cached cells
+// stay valid.
 func runScenarioCell(c batch.Cell, src *rng.Source, engineLabel string) ([]float64, error) {
 	open := c.Boundary == batch.BoundaryOpen
 	dist, err := topology.ParseTauDist(c.TauDist)
@@ -69,12 +68,12 @@ func runScenarioCell(c batch.Cell, src *rng.Source, engineLabel string) ([]float
 	streak := int64(lat.Sites())
 	switch c.Dynamic {
 	case batch.Move:
-		mv, err := dynamics.NewMove(lat, c.W, c.Tau, dsc, src.Split(2))
+		mv, err := newMoveEngine(lat, c.W, c.Tau, dsc, src.Split(2), engineLabel)
 		if err != nil {
 			return nil, err
 		}
 		events, _ = mv.Run(budget, streak)
-		unhappy = mv.Process().UnhappyCount()
+		unhappy = mv.Engine().UnhappyCount()
 	case batch.Kawasaki:
 		k, err := newSwapEngine(lat, c.W, c.Tau, dsc, src.Split(2), engineLabel)
 		if err != nil {

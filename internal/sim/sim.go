@@ -190,6 +190,24 @@ func newSwapEngine(lat *grid.Lattice, w int, tau float64, dsc dynamics.Scenario,
 	return nil, fmt.Errorf("sim: unknown engine %q", engine)
 }
 
+// newMoveEngine builds the selected relocation (Move) engine under a
+// topology scenario, with the same auto-resolution rule as
+// newScenarioEngine.
+func newMoveEngine(lat *grid.Lattice, w int, tau float64, dsc dynamics.Scenario, src *rng.Source, engine string) (dynamics.MoveEngine, error) {
+	switch engine {
+	case "", batch.EngineAuto:
+		if fastglauber.Fits(w) {
+			return fastglauber.NewMove(lat, w, tau, dsc, src)
+		}
+		return dynamics.NewMove(lat, w, tau, dsc, src)
+	case batch.EngineReference:
+		return dynamics.NewMove(lat, w, tau, dsc, src)
+	case batch.EngineFast:
+		return fastglauber.NewMove(lat, w, tau, dsc, src)
+	}
+	return nil, fmt.Errorf("sim: unknown engine %q", engine)
+}
+
 func glauberRun(n, w int, tau, p float64, src *rng.Source, engine string) (glauberResult, error) {
 	lat := grid.Random(n, p, src.Split(1))
 	proc, err := newEngine(lat, w, tau, src.Split(2), engine)

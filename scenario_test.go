@@ -97,8 +97,9 @@ func TestScenarioMoveModel(t *testing.T) {
 
 // TestScenarioRejections pins the facade validation: bad scenarios,
 // move without vacancies, and fast-engine requests outside the fast
-// engine's coverage (the Move dynamic, oversized horizons) all fail
-// loudly — while scenario axes are accepted on the fast engine.
+// engine's coverage (oversized horizons) all fail loudly — while
+// scenario axes and all three dynamics are accepted on the fast
+// engine.
 func TestScenarioRejections(t *testing.T) {
 	cases := []Config{
 		{N: 32, W: 2, Tau: 0.42, Rho: 1},
@@ -117,6 +118,7 @@ func TestScenarioRejections(t *testing.T) {
 		{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Engine: EngineFast},
 		{N: 32, W: 2, Tau: 0.42, TauDist: "mix:0.35,0.45:0.5", Engine: EngineFast},
 		{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Dynamic: Kawasaki, Engine: EngineFast},
+		{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Dynamic: Move, Engine: EngineFast},
 	} {
 		m, err := New(cfg)
 		if err != nil {
@@ -127,10 +129,7 @@ func TestScenarioRejections(t *testing.T) {
 			t.Errorf("config %+v resolved to %v, want fast", cfg, m.Engine())
 		}
 	}
-	// The typed sentinels name what the fast engine cannot run.
-	if _, err := New(Config{N: 32, W: 2, Tau: 0.42, Rho: 0.1, Dynamic: Move, Engine: EngineFast}); !errors.Is(err, ErrEngineUnsupported) {
-		t.Errorf("fast Move request: err = %v, want ErrEngineUnsupported", err)
-	}
+	// The typed sentinel names what the fast engine cannot run.
 	if _, err := New(Config{N: 301, W: 150, Tau: 0.42, Engine: EngineFast}); !errors.Is(err, ErrNeighborhoodTooLarge) {
 		t.Errorf("fast oversized-horizon request: err = %v, want ErrNeighborhoodTooLarge", err)
 	}

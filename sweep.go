@@ -219,14 +219,6 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	if engine == EngineFast && dyn == Move {
-		// The fast engine covers Glauber and Kawasaki on every
-		// scenario, but not the occupancy-changing Move dynamic; an
-		// explicit fast request on a Move cell degrades to auto
-		// (= reference) so mixed grids can still pin the engine where
-		// it applies.
-		engine = EngineAuto
-	}
 	m, err := New(Config{
 		N: c.N, W: c.W, Tau: c.Tau, P: c.P,
 		Seed: src.Uint64(), Dynamic: dyn, Engine: engine,

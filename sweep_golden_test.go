@@ -99,6 +99,35 @@ func TestRunGridGoldenAcrossEngines(t *testing.T) {
 	}
 }
 
+// TestRunGridMoveAcrossEngines asserts a relocation-dynamic sweep —
+// which until PR 6 silently degraded an explicit fast request to the
+// reference engine — produces byte-identical artifacts under explicit
+// reference and fast selection, across both boundaries, vacancy
+// fractions, and a heterogeneous intolerance field.
+func TestRunGridMoveAcrossEngines(t *testing.T) {
+	const moveSpec = "n=24,32 w=1,2 tau=0.42,0.45 dyn=move boundary=torus,open rho=0.05,0.2 taudist=global|mix:0.35,0.45:0.5 reps=2"
+	run := func(engine Engine) (csv, json []byte) {
+		t.Helper()
+		r, err := RunGrid(moveSpec, GridOptions{Seed: goldenSeed, Workers: 4, Engine: engine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cb, jb bytes.Buffer
+		if err := r.WriteCSV(&cb); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		return cb.Bytes(), jb.Bytes()
+	}
+	csvRef, jsonRef := run(EngineReference)
+	csvFast, jsonFast := run(EngineFast)
+	if !bytes.Equal(csvFast, csvRef) || !bytes.Equal(jsonFast, jsonRef) {
+		t.Error("move-sweep artifacts differ between reference and fast engines")
+	}
+}
+
 // TestRunGridGoldenCheckpointResume interrupts the golden grid partway
 // (a runner that fails after 10 cells, flushing a partial checkpoint),
 // then resumes through RunGrid and asserts the artifacts still match
