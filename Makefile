@@ -1,7 +1,7 @@
 # Developer entry points. CI runs verify, docs, staticcheck, and
 # bench-check.
 
-.PHONY: all build test race fuzz bench bench-check bench-check-ci memcheck diff docs profile staticcheck verify
+.PHONY: all build test race race-stress fuzz bench bench-check bench-check-ci memcheck diff docs profile staticcheck verify
 
 all: verify
 
@@ -13,6 +13,14 @@ test:
 
 race:
 	go test -race ./...
+
+# Repeated race-detector passes over the concurrent subsystems: the
+# domain-decomposed parallel engine (both the deterministic and the
+# free-running protocol) and the server's job dispatcher with its SSE
+# fan-out. Five repetitions vary goroutine interleavings enough to
+# surface ordering-dependent races that a single -race pass misses.
+race-stress:
+	go test -race -count=5 ./internal/dynamics/pareng/ ./internal/server/
 
 # Short fuzz passes over the grid-spec parser and the lattice
 # configuration codec (the CI-sized budget; raise -fuzztime locally
@@ -35,10 +43,12 @@ bench-check:
 	go run ./cmd/bench -baseline BENCH_2.json
 
 # CI variant for heterogeneous runners: machine-independent fast-vs-
-# reference speedup gate (>= 3x in the same run) plus a loose 2x
-# absolute backstop against catastrophic regressions.
+# reference speedup gate (>= 3x in the same run), a parallel-vs-
+# sequential scaling gate (>= 3x, enforced only on runners with >= 8
+# CPUs, reported otherwise), plus a loose 2x absolute backstop against
+# catastrophic regressions.
 bench-check-ci:
-	go run ./cmd/bench -baseline BENCH_2.json -tolerance 1.0 -minspeedup 3
+	go run ./cmd/bench -baseline BENCH_2.json -tolerance 1.0 -minspeedup 3 -minscaling 3
 
 # Giant-grid memory gate: run the n=4096 fixation probe with the
 # allocator returning freed pages eagerly (so VmHWM reflects live

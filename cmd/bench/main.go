@@ -2,9 +2,11 @@
 // measures the hot-path metrics (flip throughput on both engines — on
 // the default path and on every scenario axis the fast engine covers:
 // open boundaries, vacancies, heterogeneous tau, the Kawasaki swap
-// dynamic, and the Move relocation dynamic — plus complete runs to
-// fixation at small and giant scale and the batch-engine grid cell
-// rate), writes them to a JSON baseline file, and — in check mode —
+// dynamic, the Move relocation dynamic, and the domain-decomposed
+// parallel engine — plus complete runs to fixation at small and giant
+// scale on both the sequential and parallel engines and the
+// batch-engine grid cell rate), writes them to a JSON baseline file,
+// and — in check mode —
 // fails when any metric regresses more than a tolerance against a
 // committed baseline.
 //
@@ -13,6 +15,10 @@
 //	bench -baseline BENCH_2.json -out BENCH_2.json  # check then refresh
 //	bench -minspeedup 3                  # fail unless fast >= 3x reference
 //	                                     # on every fast/reference pair
+//	bench -minscaling 3                  # fail unless the parallel engine
+//	                                     # beats the sequential fast engine
+//	                                     # by this factor (enforced only on
+//	                                     # machines with >= 8 CPUs)
 //	bench -memcheck -maxrss 384          # giant-grid fixation probe only,
 //	                                     # fail if peak RSS exceeds 384 MiB
 //
@@ -65,19 +71,20 @@ func main() {
 		base       = flag.String("baseline", "", "compare against this committed baseline and fail on regression")
 		tolerance  = flag.Float64("tolerance", 0.20, "allowed fractional slowdown per metric before failing")
 		minSpeedup = flag.Float64("minspeedup", 0, "fail unless the fast engine beats the reference by this factor in this run (machine-independent; 0 disables)")
+		minScaling = flag.Float64("minscaling", 0, "fail unless the parallel engine beats the sequential fast engine by this factor in this run; enforced only with >= 8 CPUs, reported otherwise (0 disables)")
 		reps       = flag.Int("reps", 3, "benchmark repetitions per metric (minimum is reported)")
 		memcheck   = flag.Bool("memcheck", false, "assert peak RSS stays under -maxrss after measuring; alone, measures only the giant-grid fixation probe")
 		maxRSS     = flag.Float64("maxrss", 384, "peak-RSS ceiling in MiB enforced by -memcheck")
 	)
 	flag.Parse()
-	if *out == "" && *base == "" && *minSpeedup <= 0 && !*memcheck {
-		log.Fatal("nothing to do: pass -out, -baseline, -minspeedup, and/or -memcheck")
+	if *out == "" && *base == "" && *minSpeedup <= 0 && *minScaling <= 0 && !*memcheck {
+		log.Fatal("nothing to do: pass -out, -baseline, -minspeedup, -minscaling, and/or -memcheck")
 	}
 
 	// Memcheck on its own measures just the giant-grid probe, so the
 	// RSS high-water mark it asserts on is that probe's alone.
 	only := ""
-	if *memcheck && *out == "" && *base == "" && *minSpeedup <= 0 {
+	if *memcheck && *out == "" && *base == "" && *minSpeedup <= 0 && *minScaling <= 0 {
 		only = giantProbe
 	}
 
@@ -104,6 +111,32 @@ func main() {
 			fmt.Printf("%-28s %.2fx vs %s (want >= %.2fx)\n", pr[0], speedup, pr[1], *minSpeedup)
 			if speedup < *minSpeedup {
 				log.Fatalf("%s only %.2fx faster than %s (want >= %.2fx)", pr[0], speedup, pr[1], *minSpeedup)
+			}
+		}
+	}
+	if *minScaling > 0 {
+		// The parallel engine must beat the sequential fast engine at
+		// the same parameters: per-flip at n=1024 and a complete giant
+		// trajectory at n=4096. Domain decomposition only pays when
+		// there are cores to spread strips over, so the gate is
+		// enforced on machines with >= 8 CPUs and reported (never
+		// fatal) on smaller ones — CI runners pin the claim, laptops
+		// and containers still see the number.
+		pairs := [][2]string{
+			{"flip_parallel", "flip_n1024_fast"},
+			{giantParProbe, giantProbe},
+		}
+		enforced := runtime.NumCPU() >= 8
+		for _, pr := range pairs {
+			par, seq := find(cur.Metrics, pr[0]), find(cur.Metrics, pr[1])
+			scaling := seq.Ns / par.Ns
+			if enforced {
+				fmt.Printf("%-28s %.2fx vs %s (want >= %.2fx on %d CPUs)\n", pr[0], scaling, pr[1], *minScaling, runtime.NumCPU())
+				if scaling < *minScaling {
+					log.Fatalf("%s only %.2fx faster than %s (want >= %.2fx on %d CPUs)", pr[0], scaling, pr[1], *minScaling, runtime.NumCPU())
+				}
+			} else {
+				fmt.Printf("%-28s %.2fx vs %s (informational: %d CPUs < 8, scaling gate not enforced)\n", pr[0], scaling, pr[1], runtime.NumCPU())
 			}
 		}
 	}
@@ -184,11 +217,16 @@ func measure(reps int, only string) []metric {
 		{name: "flip_kawasaki_reference", unit: "flip", perOp: 1, run: flipThroughput(kawasaki, gridseg.EngineReference)},
 		{name: "flip_move_fast", unit: "flip", perOp: 1, run: flipThroughput(move, gridseg.EngineFast)},
 		{name: "flip_move_reference", unit: "flip", perOp: 1, run: flipThroughput(move, gridseg.EngineReference)},
+		// The parallel probe pairs with flip_n1024_fast: same
+		// parameters, domain-decomposed engine, all CPUs. The
+		// -minscaling gate compares the pair in the same run.
+		{name: "flip_parallel", unit: "flip", perOp: 1, run: flipThroughputParallel(big)},
 		{name: "run_to_fixation", unit: "run", perOp: 1, run: runToFixation},
 		// One giant-grid trajectory costs several seconds, so a single
 		// repetition keeps the trajectory pass bounded; the probe pins
 		// the bounded-RSS claim, not scheduler-noise-sensitive ns.
 		{name: giantProbe, unit: "run", perOp: 1, reps: 1, run: runToFixationGiant},
+		{name: giantParProbe, unit: "run", perOp: 1, reps: 1, run: runToFixationGiantParallel},
 		{name: "grid_cell", unit: "cell", perOp: 8, run: gridCell},
 	}
 	out := make([]metric, 0, len(probes))
@@ -239,6 +277,36 @@ func flipThroughput(cfg gridseg.Config, engine gridseg.Engine) func(b *testing.B
 	}
 }
 
+// flipThroughputParallel measures per-flip cost on the parallel engine
+// with automatic strip decomposition and one worker per CPU. A parallel
+// Step batches a whole phase cycle, so progress is tracked through the
+// engine's exact flip counter rather than by counting Step calls.
+func flipThroughputParallel(cfg gridseg.Config) func(b *testing.B) {
+	return func(b *testing.B) {
+		c := cfg
+		c.Seed, c.Engine = 1, gridseg.EngineParallel
+		m, err := gridseg.New(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		var done, base int64
+		for done < int64(b.N) {
+			if !m.Step() {
+				b.StopTimer()
+				base, c.Seed = done, c.Seed+1
+				m, err = gridseg.New(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				continue
+			}
+			done = base + m.Flips()
+		}
+	}
+}
+
 // runToFixation measures a complete small run.
 func runToFixation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -261,6 +329,25 @@ func runToFixationGiant(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m, err := gridseg.New(gridseg.Config{N: 4096, W: 1, Tau: 0.45, Seed: uint64(i) + 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(0)
+		_ = m.SegregationStats()
+	}
+}
+
+// giantParProbe names the parallel giant-grid trajectory metric; the
+// -minscaling gate compares it against giantProbe in the same run.
+const giantParProbe = "run_to_fixation_n4096_parallel"
+
+// runToFixationGiantParallel runs the same giant trajectory workload as
+// runToFixationGiant on the domain-decomposed parallel engine with
+// automatic strips and one worker per CPU.
+func runToFixationGiantParallel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := gridseg.New(gridseg.Config{N: 4096, W: 1, Tau: 0.45, Seed: uint64(i) + 1, Engine: gridseg.EngineParallel})
 		if err != nil {
 			b.Fatal(err)
 		}

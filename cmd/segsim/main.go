@@ -17,6 +17,14 @@
 //	segsim -n 200 -w 4 -tau 0.42 -rho 0.1 -mode move -samplers
 //	segsim -n 200 -w 4 -tau 0.42 -taudist mix:0.35,0.45:0.5
 //
+// Giant single runs can use the domain-decomposed parallel engine:
+// -par sets the worker count (a pure execution detail — any count
+// replays the same trajectory), -strips the strip decomposition (0
+// picks the machine-independent automatic count; the strip count is
+// part of the trajectory definition):
+//
+//	segsim -n 4096 -w 1 -tau 0.45 -engine parallel -par 8
+//
 // -tile coarse-grains each stage through the tiled giant-grid layout
 // (internal/fastgrid.Tiled) at the given tile side, classifying tiles
 // by their majority type — a block-level segregation diagnostic:
@@ -45,6 +53,8 @@ type config struct {
 	rho       float64
 	taudist   string
 	engine    string
+	par       int
+	strips    int
 	snapshots int
 	pngDir    string
 	ascii     bool
@@ -67,7 +77,9 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.StringVar(&c.boundary, "boundary", "torus", "lattice boundary: torus (wrap-around) or open (hard walls, truncated edge neighborhoods)")
 	fs.Float64Var(&c.rho, "rho", 0, "vacancy fraction in [0,1): each site is empty with this probability")
 	fs.StringVar(&c.taudist, "taudist", "global", "per-site intolerance distribution: global, mix:a,b:w, or uniform:lo:hi")
-	fs.StringVar(&c.engine, "engine", "auto", "simulation engine: auto, reference, or fast; never affects results, only speed")
+	fs.StringVar(&c.engine, "engine", "auto", "simulation engine: auto, reference, fast, or parallel; the sequential engines are bit-identical, and parallel with more than one strip runs its own reproducible trajectory")
+	fs.IntVar(&c.par, "par", 0, "parallel engine worker count (0 = one per CPU); a pure execution detail, any count replays the same trajectory")
+	fs.IntVar(&c.strips, "strips", 0, "parallel engine strip count (0 = auto, 1 = sequential delegation); the strip count is part of the trajectory definition")
 	fs.IntVar(&c.snapshots, "snapshots", 4, "number of reporting stages (>= 2)")
 	fs.StringVar(&c.pngDir, "png", "", "directory for snapshot PNGs (optional)")
 	fs.BoolVar(&c.ascii, "ascii", false, "print an ASCII snapshot at each stage (small grids)")
@@ -109,6 +121,7 @@ func main() {
 	cfg := gridseg.Config{
 		N: opts.n, W: opts.w, Tau: opts.tau, P: opts.p, Seed: opts.seed, Dynamic: dyn,
 		Boundary: boundary, Rho: opts.rho, TauDist: opts.taudist, Engine: engine,
+		Par: opts.par, ParStrips: opts.strips,
 	}
 
 	// Sizing pass: learn the total number of events to fixation so the
@@ -126,6 +139,10 @@ func main() {
 	fmt.Printf("segsim: n=%d w=%d N=%d tau=%g (threshold %d/%d) p=%g seed=%d mode=%s %s total-events=%d\n",
 		opts.n, opts.w, m.NeighborhoodSize(), m.EffectiveTau(), m.Threshold(), m.NeighborhoodSize(), opts.p, opts.seed, opts.mode, m.Scenario(), total)
 
+	// The parallel Glauber engine batches whole phase cycles or strip
+	// bursts into one Step, so stage progress tracks its exact flip
+	// counter instead of counting Step calls.
+	batched := dyn == gridseg.Glauber && m.Engine() == gridseg.EngineParallel
 	var done int64
 	for stage := 0; stage < opts.snapshots; stage++ {
 		target := total * int64(stage) / int64(opts.snapshots-1)
@@ -133,7 +150,11 @@ func main() {
 			if !m.Step() {
 				break
 			}
-			done++
+			if batched {
+				done = m.Flips()
+			} else {
+				done++
+			}
 		}
 		st := m.SegregationStats()
 		fmt.Printf("stage %d/%d  events=%-10d %s\n", stage, opts.snapshots-1, done, st)

@@ -10,6 +10,7 @@ import (
 
 	"gridseg/internal/dynamics"
 	"gridseg/internal/dynamics/fastglauber"
+	"gridseg/internal/dynamics/pareng"
 	"gridseg/internal/geom"
 	"gridseg/internal/grid"
 	"gridseg/internal/measure"
@@ -62,10 +63,14 @@ func ParseBoundary(s string) (Boundary, error) {
 	return Boundary(b), nil
 }
 
-// Engine selects the Glauber engine implementation. The engines are
-// interchangeable bit for bit — same seed, same trajectory, same
-// observables (enforced by internal/difftest) — so the choice is purely
-// about performance.
+// Engine selects the Glauber engine implementation. The sequential
+// engines are interchangeable bit for bit — same seed, same trajectory,
+// same observables (enforced by internal/difftest) — so choosing among
+// them is purely about performance. The parallel engine keeps that
+// contract at ParStrips == 1 (it delegates to Fast outright); with more
+// strips it realizes a different — individually reproducible —
+// trajectory of the same process, pinned instead by the
+// statistical-equivalence suite.
 type Engine int
 
 const (
@@ -82,6 +87,13 @@ const (
 	// internal/dynamics/fastglauber, covering all three dynamics;
 	// requires (2W+1)^2 <= fastglauber.MaxNeighborhood.
 	EngineFast
+	// EngineParallel is the domain-decomposed parallel Glauber engine of
+	// internal/dynamics/pareng, built on the fast engine's packed state
+	// (so it has the same horizon requirement). The Par and ParStrips
+	// config fields select the worker count and strip decomposition;
+	// Kawasaki and Move have no parallel implementation and fall back to
+	// the sequential fast engine.
+	EngineParallel
 )
 
 // ErrNeighborhoodTooLarge is the typed sentinel wrapped by New when an
@@ -90,7 +102,7 @@ const (
 // falls back to the reference engine instead of failing.
 var ErrNeighborhoodTooLarge = fastglauber.ErrNeighborhoodTooLarge
 
-// String returns "auto", "reference", or "fast".
+// String returns "auto", "reference", "fast", or "parallel".
 func (e Engine) String() string {
 	switch e {
 	case EngineAuto:
@@ -99,11 +111,14 @@ func (e Engine) String() string {
 		return "reference"
 	case EngineFast:
 		return "fast"
+	case EngineParallel:
+		return "parallel"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
-// ParseEngine parses "auto", "reference", or "fast" (also "" as auto).
+// ParseEngine parses "auto", "reference", "fast", or "parallel" (also
+// "" as auto).
 func ParseEngine(s string) (Engine, error) {
 	switch s {
 	case "", "auto":
@@ -112,8 +127,10 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineReference, nil
 	case "fast":
 		return EngineFast, nil
+	case "parallel", "par":
+		return EngineParallel, nil
 	}
-	return EngineAuto, fmt.Errorf("gridseg: unknown engine %q (want auto, reference, or fast)", s)
+	return EngineAuto, fmt.Errorf("gridseg: unknown engine %q (want auto, reference, fast, or parallel)", s)
 }
 
 // Config specifies a model instance.
@@ -137,8 +154,19 @@ type Config struct {
 	Dynamic Dynamic
 	// Engine selects the Glauber engine implementation; the zero value
 	// (EngineAuto) picks the fast bit-packed engine whenever it
-	// applies. Engines never change results, only speed.
+	// applies. The sequential engines never change results, only speed;
+	// EngineParallel is bit-identical too at ParStrips == 1, while more
+	// strips select a different, individually reproducible trajectory.
 	Engine Engine
+	// Par is the worker count of EngineParallel (0: one per available
+	// CPU). A pure execution detail: any worker count replays the same
+	// trajectory.
+	Par int
+	// ParStrips is the strip count of EngineParallel's domain
+	// decomposition (0: the machine-independent automatic count; 1:
+	// delegate to the sequential fast engine, bit-identical to it).
+	// Unlike Par, the strip count is part of the trajectory definition.
+	ParStrips int
 	// Boundary selects the lattice boundary condition: the paper's
 	// wrap-around torus (the zero value) or open hard walls with
 	// correctly truncated edge neighborhoods.
@@ -217,14 +245,25 @@ func (m *Model) buildDynamics(src *rng.Source) error {
 	switch m.cfg.Dynamic {
 	case Glauber:
 		engine := resolve()
-		if engine == EngineFast {
+		switch engine {
+		case EngineParallel:
+			m.proc, err = pareng.New(m.lat, m.cfg.W, m.cfg.Tau, dsc, src,
+				pareng.Config{Workers: m.cfg.Par, Strips: m.cfg.ParStrips})
+		case EngineFast:
 			m.proc, err = fastglauber.NewScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
-		} else {
+		default:
 			m.proc, err = dynamics.NewScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src)
 		}
 		m.engine = engine
 	case Kawasaki:
 		engine := resolve()
+		if engine == EngineParallel {
+			// Kawasaki has no parallel implementation; the request
+			// resolves to the sequential fast engine (reported by
+			// Engine()), which keeps the conserved-magnetization
+			// semantics exactly.
+			engine = EngineFast
+		}
 		if engine == EngineFast {
 			var k *fastglauber.Kawasaki
 			if k, err = fastglauber.NewKawasakiScenario(m.lat, m.cfg.W, m.cfg.Tau, dsc, src); err == nil {
@@ -245,6 +284,11 @@ func (m *Model) buildDynamics(src *rng.Source) error {
 			return errors.New("gridseg: the move dynamic requires a positive vacancy fraction (rho > 0)")
 		}
 		engine := resolve()
+		if engine == EngineParallel {
+			// Move has no parallel implementation either; fall back to
+			// the sequential fast engine.
+			engine = EngineFast
+		}
 		if engine == EngineFast {
 			var mv *fastglauber.Move
 			if mv, err = fastglauber.NewMove(m.lat, m.cfg.W, m.cfg.Tau, dsc, src); err == nil {
@@ -309,7 +353,9 @@ func (m *Model) Scenario() string { return m.sc.Canonical() }
 func (m *Model) Config() Config { return m.cfg }
 
 // Engine returns the engine implementation actually in use
-// (EngineReference or EngineFast, never EngineAuto).
+// (EngineReference, EngineFast, or EngineParallel — never EngineAuto,
+// and never EngineParallel for the Kawasaki and Move dynamics, which
+// fall back to EngineFast).
 func (m *Model) Engine() Engine { return m.engine }
 
 // Size returns the torus side length.
@@ -337,7 +383,10 @@ func (m *Model) Happy(x, y int) bool {
 
 // Step advances the model by one effective event. For Glauber dynamics
 // this is one flip; for Kawasaki one swap attempt; for Move one
-// relocation attempt. It reports whether the model can still move.
+// relocation attempt. The parallel engine with more than one strip is
+// batched: one Step advances a whole phase cycle or strip burst, which
+// may perform many flips (track Flips for exact progress). It reports
+// whether the model can still move.
 func (m *Model) Step() bool {
 	if m.kaw != nil {
 		_, done := m.kaw.StepAttempt()

@@ -41,11 +41,15 @@ const (
 // interchangeable bit for bit (the differential harness of
 // internal/difftest enforces it), so the engine is an execution detail
 // like the worker count: it never changes results, never appears in
-// result rows, and never invalidates a checkpoint.
+// result rows, and never invalidates a checkpoint. The parallel engine
+// keeps that contract because sweeps run it in delegation mode (one
+// strip): only its worker count varies, which is a pure execution
+// detail.
 const (
 	EngineAuto      = "auto"
 	EngineReference = "reference"
 	EngineFast      = "fast"
+	EngineParallel  = "parallel"
 )
 
 // Grid declares a Cartesian product of simulation parameters. Empty
@@ -70,10 +74,15 @@ type Grid struct {
 	Rhos       []float64
 	TauDists   []string
 	// Engine selects the simulation engine for every cell of the grid
-	// ("auto", "reference", or "fast"; empty means auto). It is not a
-	// sweep axis: engines are bit-identical, so sweeping them would
-	// replicate every cell exactly.
+	// ("auto", "reference", "fast", or "parallel"; empty means auto). It
+	// is not a sweep axis: engines are bit-identical, so sweeping them
+	// would replicate every cell exactly.
 	Engine string
+	// Par is the worker count of the parallel engine (engine=parallel;
+	// 0 means one per available CPU). Execution-only like Engine: the
+	// runners pin the parallel engine to its delegation mode inside
+	// sweeps, so the worker count never changes a cell's bytes.
+	Par int
 }
 
 // Cell is one point of the expanded grid: a parameter combination plus
@@ -94,9 +103,11 @@ type Cell struct {
 	Boundary string
 	Rho      float64
 	TauDist  string
-	// Engine is the grid-level engine selection, copied to every cell
-	// for the runner's convenience. Never part of the cell identity.
+	// Engine and Par are the grid-level engine selection, copied to
+	// every cell for the runner's convenience. Never part of the cell
+	// identity.
 	Engine string
+	Par    int
 }
 
 // normalized returns a copy with every empty axis collapsed to its
@@ -167,7 +178,7 @@ func (g Grid) Cells() []Cell {
 												Index: idx, N: nn, W: w, Tau: tau, P: p,
 												Boundary: b, Rho: rho, TauDist: td,
 												Extra: x, Dynamic: dyn, Rep: r,
-												Engine: n.Engine,
+												Engine: n.Engine, Par: n.Par,
 											})
 											idx++
 										}

@@ -25,7 +25,9 @@ const MaxAxisValues = 1 << 20
 // numbers or inclusive ranges lo:hi[:step] (step defaults to 1 and
 // must be positive). Keys: n, w (ints), tau, p (floats in [0,1]),
 // dyn (glauber|kawasaki|move), reps (single int), engine
-// (auto|reference|fast, single value — engines never change results),
+// (auto|reference|fast|parallel, single value — engines never change
+// results), parallel (single int: the parallel engine's worker count,
+// an execution detail like the engine itself),
 // plus the scenario axes boundary (torus|open), rho (floats in
 // [0,1)), and taudist ('|'-separated distribution specs — global,
 // mix:a,b:w, uniform:lo:hi — since the specs themselves contain
@@ -77,6 +79,11 @@ func ParseGrid(spec string) (Grid, error) {
 			}
 		case "engine":
 			g.Engine, err = parseEngine(value)
+		case "parallel":
+			g.Par, err = strconv.Atoi(value)
+			if err == nil && g.Par < 0 {
+				err = fmt.Errorf("must be >= 0 (0 means one worker per CPU)")
+			}
 		case "boundary":
 			g.Boundaries, err = parseBoundaries(value)
 		case "rho":
@@ -84,7 +91,7 @@ func ParseGrid(spec string) (Grid, error) {
 		case "taudist":
 			g.TauDists, err = parseTauDists(value)
 		default:
-			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps, engine, boundary, rho, taudist)", key)
+			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps, engine, parallel, boundary, rho, taudist)", key)
 		}
 		if err != nil {
 			return Grid{}, fmt.Errorf("batch: grid field %q: %w", field, err)
@@ -281,8 +288,10 @@ func parseEngine(value string) (string, error) {
 		return EngineReference, nil
 	case EngineFast:
 		return EngineFast, nil
+	case EngineParallel, "par":
+		return EngineParallel, nil
 	}
-	return "", fmt.Errorf("unknown engine %q (want auto, reference, or fast)", value)
+	return "", fmt.Errorf("unknown engine %q (want auto, reference, fast, or parallel)", value)
 }
 
 // parseDynamics parses the dyn= list.

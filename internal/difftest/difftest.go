@@ -36,6 +36,11 @@ type Cell struct {
 	Boundary gridseg.Boundary
 	Rho      float64
 	TauDist  string
+	// Par > 0 puts the engine under test on the parallel engine in its
+	// deterministic delegation mode (ParStrips = 1) with Par workers,
+	// pinning the parallel plumbing to the same lockstep bit-identity
+	// contract as the sequential engines — for every worker count.
+	Par int
 }
 
 // defaultScenario reports whether the cell runs the paper's setting,
@@ -56,6 +61,9 @@ func (c Cell) String() string {
 	s := fmt.Sprintf("n=%d w=%d tau=%v p=%v dyn=%s seed=%d", c.N, c.W, c.Tau, c.P, dyn, c.Seed)
 	if !c.defaultScenario() {
 		s += fmt.Sprintf(" boundary=%s rho=%v taudist=%s", c.Boundary, c.Rho, c.TauDist)
+	}
+	if c.Par > 0 {
+		s += fmt.Sprintf(" par=%d", c.Par)
 	}
 	return s
 }
@@ -107,6 +115,11 @@ func Compare(c Cell, opt Options) (Result, error) {
 	refCfg, underCfg := base, base
 	refCfg.Engine = gridseg.EngineReference
 	underCfg.Engine = gridseg.EngineFast
+	if c.Par > 0 && fastApplies {
+		underCfg.Engine = gridseg.EngineParallel
+		underCfg.Par = c.Par
+		underCfg.ParStrips = 1
+	}
 	if !fastApplies {
 		// No fast engine exists for this cell; compare auto against
 		// reference to pin the selection plumbing and determinism, and

@@ -90,12 +90,29 @@ var acceptanceCells = []Cell{
 	{N: 64, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Move, Seed: 52, Rho: 0.1, TauDist: "mix:0.35,0.45:0.5"},
 	{N: 64, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Move, Seed: 53, Boundary: gridseg.BoundaryOpen, Rho: 0.05, TauDist: "uniform:0.35:0.5"},
 	{N: 25, W: 12, Tau: 0.45, P: 0.5, Dynamic: gridseg.Move, Seed: 54, Rho: 0.1},
+	// Parallel-engine delegation cells (PR 7): the parallel engine in
+	// its deterministic delegation mode (ParStrips = 1) against the
+	// reference engine, in lockstep, across worker counts 1/2/4/8 and
+	// every topology axis. The worker count must be a pure execution
+	// detail, so every one of these must be bit-identical — including
+	// clocks — to the sequential runs of the same seeds.
+	{N: 256, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 55, Par: 1},
+	{N: 256, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 55, Par: 2},
+	{N: 256, W: 1, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 56, Par: 4},
+	{N: 192, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 57, Par: 8},
+	{N: 192, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 58, Par: 2, Boundary: gridseg.BoundaryOpen},
+	{N: 128, W: 2, Tau: 0.45, P: 0.5, Dynamic: gridseg.Glauber, Seed: 59, Par: 4, Boundary: gridseg.BoundaryOpen},
+	{N: 192, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 60, Par: 4, Rho: 0.1},
+	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 61, Par: 8, Rho: 0.05, Boundary: gridseg.BoundaryOpen},
+	{N: 128, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 62, Par: 2, TauDist: "mix:0.35,0.45:0.5"},
+	{N: 96, W: 2, Tau: 0.42, P: 0.5, Dynamic: gridseg.Glauber, Seed: 63, Par: 8, Boundary: gridseg.BoundaryOpen, Rho: 0.05, TauDist: "uniform:0.35:0.5"},
 }
 
-// TestEnginesBitIdentical is the acceptance harness: >= 53 cells
-// (>= 12 of them scenario/Kawasaki cells under the fast engine),
+// TestEnginesBitIdentical is the acceptance harness: >= 63 cells
+// (>= 12 of them scenario/Kawasaki cells under the fast engine,
+// >= 10 parallel-delegation cells across worker counts 1/2/4/8),
 // >= 10^6 events, full-state comparisons every 8192 events, zero
-// divergences between the reference and fast engines.
+// divergences between the reference and the engines under test.
 func TestEnginesBitIdentical(t *testing.T) {
 	cells := acceptanceCells
 	opt := Options{CheckEvery: 8192, MaxEvents: 200000}
@@ -118,17 +135,23 @@ func TestEnginesBitIdentical(t *testing.T) {
 	if testing.Short() {
 		return
 	}
-	if rep.Cells < 53 {
-		t.Errorf("acceptance requires >= 53 cells, got %d", rep.Cells)
+	if rep.Cells < 63 {
+		t.Errorf("acceptance requires >= 63 cells, got %d", rep.Cells)
 	}
-	fastScenario := 0
+	fastScenario, parallel := 0, 0
 	for _, c := range cells {
 		if !c.defaultScenario() || c.Dynamic == gridseg.Kawasaki {
 			fastScenario++
 		}
+		if c.Par > 0 {
+			parallel++
+		}
 	}
 	if fastScenario < 12 {
 		t.Errorf("acceptance requires >= 12 scenario/Kawasaki cells under the fast engine, got %d", fastScenario)
+	}
+	if parallel < 10 {
+		t.Errorf("acceptance requires >= 10 parallel-delegation cells, got %d", parallel)
 	}
 	if rep.Events < 1_000_000 {
 		t.Errorf("acceptance requires >= 10^6 events, got %d", rep.Events)

@@ -168,6 +168,18 @@ type Process struct {
 	// per-site updates is most of the fast engine's advantage on the
 	// window-sized reclassification passes.
 	relocating bool
+	// Shard state (see shard.go). A standalone process owns every site:
+	// ownLo = 0, ownHi = n^2, sampBase = 0, grp = nil, and none of the
+	// shard branches below are ever taken. A shard of a ShardGroup owns
+	// the contiguous site range [ownLo, ownHi) of its strip rows; its
+	// flippable sampler indexes sites relative to sampBase = ownLo, and
+	// refreshSite routes sites outside the owned range through the
+	// group: skipped under the deterministic phase protocol (the merge
+	// barrier re-derives them), applied to the owning shard under the
+	// free-running protocol (the caller holds the neighbor locks).
+	ownLo, ownHi int
+	sampBase     int
+	grp          *ShardGroup
 }
 
 // noBoundary is a lane-broadcast value no count lane can ever equal;
@@ -248,6 +260,7 @@ func newScenario(lat *grid.Lattice, w int, tauTilde float64, sc dynamics.Scenari
 		flippable:  sampleset.New(n * n),
 		flipSite:   -1,
 		relocating: relocating,
+		ownHi:      n * n,
 	}
 	// Fold the initial window counts into the packed lanes one row at a
 	// time: the streaming pass keeps O(n*w) scratch instead of an n^2
@@ -490,6 +503,16 @@ func (p *Process) Fixated() bool { return p.flippable.Len() == 0 }
 // only to sites whose count crossed a classification boundary. Vacant
 // sites are neither unhappy nor flippable.
 func (p *Process) refreshSite(j, c int) {
+	if j < p.ownLo || j >= p.ownHi {
+		// Shard routing: the site belongs to a neighboring strip. The
+		// deterministic protocol defers it to the merge barrier; the
+		// free-running protocol re-derives it on the owning shard (whose
+		// lock the caller holds).
+		if g := p.grp; g != nil && g.free {
+			g.owner(j).refreshSite(j, c)
+		}
+		return
+	}
 	var unhappy, flippable bool
 	if p.threshA != nil || p.occC != nil {
 		if p.bits.OccupiedBit(j) {
@@ -525,7 +548,7 @@ func (p *Process) refreshSite(j, c int) {
 		p.changed.Append(int32(j))
 	}
 	if !p.relocating {
-		p.flippable.Update(j, flippable)
+		p.flippable.Update(j-p.sampBase, flippable)
 	}
 }
 
@@ -741,7 +764,7 @@ func (p *Process) Step() (site int, ok bool) {
 		return 0, false
 	}
 	p.time += p.src.ExpRate(float64(k))
-	i := int(p.flippable.Sample(p.src))
+	i := int(p.flippable.Sample(p.src)) + p.sampBase
 	p.applyFlip(i)
 	p.flips++
 	return i, true

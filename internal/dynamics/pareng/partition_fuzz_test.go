@@ -1,0 +1,143 @@
+package pareng
+
+import (
+	"testing"
+
+	"gridseg/internal/grid"
+	"gridseg/internal/rng"
+)
+
+// FuzzPartition fuzzes the strip/halo geometry over (n, w, strips,
+// boundary): every row (hence every site) is owned exactly once, the
+// halo rows are exactly the (2w+1)^2 dependency region of the owned
+// block minus the block itself, and recomputing every owned site's
+// plus-count from the owned+halo rows alone reproduces
+// grid.PlusWindowCounts bit for bit — including the clamped edge
+// windows of the open boundary.
+func FuzzPartition(f *testing.F) {
+	f.Add(64, 2, 4, false, uint64(1))
+	f.Add(64, 2, 16, true, uint64(2))
+	f.Add(65, 1, 3, true, uint64(3))
+	f.Add(96, 5, 2, false, uint64(4))
+	f.Add(64, 16, 2, false, uint64(5))
+	f.Fuzz(func(t *testing.T, n, w, strips int, open bool, seed uint64) {
+		if w < 1 || w > 8 || n < 2*w+1 || n > 128 || strips < 1 || strips > 24 {
+			t.Skip()
+		}
+		pt, err := NewPartition(n, w, strips, open)
+		if err != nil {
+			return // invalid geometry must be rejected, nothing more to check
+		}
+
+		// Ownership: the strips tile the rows exactly.
+		owner := make([]int, n)
+		for y := range owner {
+			owner[y] = -1
+		}
+		for k := 0; k < strips; k++ {
+			lo, hi := pt.OwnedRows(k)
+			if lo >= hi {
+				t.Fatalf("strip %d owns empty range [%d, %d)", k, lo, hi)
+			}
+			for y := lo; y < hi; y++ {
+				if owner[y] != -1 {
+					t.Fatalf("row %d owned by strips %d and %d", y, owner[y], k)
+				}
+				owner[y] = k
+				if got := pt.Owner(y); got != k {
+					t.Fatalf("Owner(%d) = %d, want %d", y, got, k)
+				}
+			}
+		}
+		for y, k := range owner {
+			if k == -1 {
+				t.Fatalf("row %d owned by no strip", y)
+			}
+		}
+
+		// Halo: exactly the rows within distance w of the owned block,
+		// wrapped on the torus and clamped at the edges when open.
+		for k := 0; k < strips; k++ {
+			lo, hi := pt.OwnedRows(k)
+			want := make(map[int]bool)
+			for y := lo - w; y < hi+w; y++ {
+				yy := y
+				if open {
+					if yy < 0 || yy >= n {
+						continue
+					}
+				} else {
+					yy = ((yy % n) + n) % n
+				}
+				if yy < lo || yy >= hi {
+					want[yy] = true
+				}
+			}
+			halo := pt.HaloRows(k)
+			seen := make(map[int]bool)
+			for i, y := range halo {
+				if i > 0 && halo[i-1] >= y {
+					t.Fatalf("strip %d halo not strictly ascending: %v", k, halo)
+				}
+				seen[y] = true
+				if !want[y] {
+					t.Fatalf("strip %d halo includes row %d outside the dependency region", k, y)
+				}
+			}
+			for y := range want {
+				if !seen[y] {
+					t.Fatalf("strip %d halo misses dependency row %d", k, y)
+				}
+			}
+		}
+
+		// Clamping: each owned site's plus-count, recomputed from the
+		// owned+halo rows only, matches grid.PlusWindowCounts.
+		lat := grid.RandomScenario(n, 0.5, 0.1, rng.New(seed))
+		full := lat.PlusWindowCounts(w, open)
+		for k := 0; k < strips; k++ {
+			lo, hi := pt.OwnedRows(k)
+			allowed := make([]bool, n)
+			for y := lo; y < hi; y++ {
+				allowed[y] = true
+			}
+			for _, y := range pt.HaloRows(k) {
+				allowed[y] = true
+			}
+			for y := lo; y < hi; y++ {
+				for x := 0; x < n; x++ {
+					var c int32
+					for dy := -w; dy <= w; dy++ {
+						yy := y + dy
+						if open {
+							if yy < 0 || yy >= n {
+								continue
+							}
+						} else {
+							yy = ((yy % n) + n) % n
+						}
+						if !allowed[yy] {
+							t.Fatalf("strip %d: window row %d of site (%d, %d) outside owned+halo", k, yy, x, y)
+						}
+						for dx := -w; dx <= w; dx++ {
+							xx := x + dx
+							if open {
+								if xx < 0 || xx >= n {
+									continue
+								}
+							} else {
+								xx = ((xx % n) + n) % n
+							}
+							if lat.SpinAt(yy*n+xx) == grid.Plus {
+								c++
+							}
+						}
+					}
+					if got := full[y*n+x]; got != c {
+						t.Fatalf("strip %d: count(%d, %d) from owned+halo = %d, PlusWindowCounts = %d", k, x, y, c, got)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+
+	"gridseg"
+)
+
+// TestJobBroadcastContention hammers one job's subscribe / broadcast /
+// unsubscribe surface from many goroutines at once: a producer streams
+// per-cell progress and then the terminal event while subscriber
+// goroutines churn — some drain until the channel closes, some detach
+// mid-stream and resubscribe. The assertions are structural (every
+// drain path terminates); the real check is the race detector over the
+// shared event log and subscriber map.
+func TestJobBroadcastContention(t *testing.T) {
+	j := newJob("contention", "n=16 w=1 tau=0.4", 1, 64)
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			j.progress(gridseg.CellProgress{
+				Done: i + 1, Total: 64,
+				Dynamic: "glauber", N: 16, W: 1, Tau: 0.4, P: 0.5, Rep: i,
+			})
+		}
+		j.fail(errors.New("synthetic terminal event"))
+	}()
+
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				_, live := j.subscribe()
+				if live == nil {
+					return // run already terminal
+				}
+				drained := 0
+				for range live {
+					drained++
+					if g%2 == 0 && drained >= 3 {
+						// Detach mid-stream, then resubscribe: the churn
+						// the SSE handler generates when clients
+						// disconnect and reconnect during a run.
+						j.unsubscribe(live)
+						break
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if st := j.status(); st.State != StateFailed {
+		t.Fatalf("job state = %s, want %s", st.State, StateFailed)
+	}
+}
+
+// TestSSEFanOutContention drives the full HTTP SSE path under
+// contention: one running grid, a dozen concurrent /events subscribers,
+// a third of which disconnect mid-stream (client-side context cancel)
+// while the rest must each observe a terminal event. Run with -race
+// (make race-stress repeats it) to check the fan-out under varied
+// interleavings of broadcast, replay, and disconnect.
+func TestSSEFanOutContention(t *testing.T) {
+	st := gridseg.NewMemoryStore()
+	_, hs := newTestServer(t, st)
+	status, code := submit(t, hs.URL, "n=24 w=1,2 tau=0.4,0.42,0.45 reps=2", 11)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+
+	const subscribers = 12
+	terminals := make([]bool, subscribers)
+	var wg sync.WaitGroup
+	for i := 0; i < subscribers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, "GET", hs.URL+"/grids/"+status.ID+"/events", nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			scanner := bufio.NewScanner(resp.Body)
+			lines := 0
+			for scanner.Scan() {
+				line := scanner.Text()
+				lines++
+				if line == "event: done" || line == "event: error" {
+					terminals[i] = true
+					return
+				}
+				if i%3 == 0 && lines > 2 {
+					return // disconnect mid-stream; cancel tears the request down
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if final := waitDone(t, hs.URL, status.ID); final.State != StateDone {
+		t.Fatalf("final state = %+v", final)
+	}
+	for i, saw := range terminals {
+		if i%3 != 0 && !saw {
+			t.Errorf("persistent subscriber %d ended without a terminal event", i)
+		}
+	}
+}

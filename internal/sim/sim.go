@@ -20,6 +20,7 @@ import (
 	"gridseg/internal/batch"
 	"gridseg/internal/dynamics"
 	"gridseg/internal/dynamics/fastglauber"
+	"gridseg/internal/dynamics/pareng"
 	"gridseg/internal/grid"
 	"gridseg/internal/report"
 	"gridseg/internal/rng"
@@ -39,8 +40,10 @@ type Context struct {
 	// GOMAXPROCS. Results never depend on the worker count.
 	Workers int
 	// Engine selects the Glauber engine implementation for replicated
-	// runs ("auto", "reference", or "fast"; empty means auto). Engines
-	// are bit-identical, so this never changes results, only speed.
+	// runs ("auto", "reference", "fast", or "parallel"; empty means
+	// auto). Engines are bit-identical inside sweeps — the parallel
+	// label runs in its delegation mode — so this never changes
+	// results, only speed.
 	Engine string
 	// Store, when non-nil, is the shared content-addressed result
 	// cache consulted by every replicated stage: cells already in the
@@ -169,6 +172,11 @@ func newScenarioEngine(lat *grid.Lattice, w int, tau float64, dsc dynamics.Scena
 		return dynamics.NewScenario(lat, w, tau, dsc, src)
 	case batch.EngineFast:
 		return fastglauber.NewScenario(lat, w, tau, dsc, src)
+	case batch.EngineParallel:
+		// Sweeps pin the parallel engine to its delegation mode (one
+		// strip), which is bit-identical to the fast engine, so the
+		// engine stays an execution detail and cached cells remain valid.
+		return pareng.New(lat, w, tau, dsc, src, pareng.Config{Strips: 1})
 	}
 	return nil, fmt.Errorf("sim: unknown engine %q", engine)
 }
@@ -184,7 +192,9 @@ func newSwapEngine(lat *grid.Lattice, w int, tau float64, dsc dynamics.Scenario,
 		return dynamics.NewKawasakiScenario(lat, w, tau, dsc, src)
 	case batch.EngineReference:
 		return dynamics.NewKawasakiScenario(lat, w, tau, dsc, src)
-	case batch.EngineFast:
+	case batch.EngineFast, batch.EngineParallel:
+		// Kawasaki has no parallel implementation; the parallel label
+		// resolves to the sequential fast engine, exactly like gridseg.
 		return fastglauber.NewKawasakiScenario(lat, w, tau, dsc, src)
 	}
 	return nil, fmt.Errorf("sim: unknown engine %q", engine)
@@ -202,7 +212,9 @@ func newMoveEngine(lat *grid.Lattice, w int, tau float64, dsc dynamics.Scenario,
 		return dynamics.NewMove(lat, w, tau, dsc, src)
 	case batch.EngineReference:
 		return dynamics.NewMove(lat, w, tau, dsc, src)
-	case batch.EngineFast:
+	case batch.EngineFast, batch.EngineParallel:
+		// Move has no parallel implementation either; fall back to the
+		// sequential fast engine.
 		return fastglauber.NewMove(lat, w, tau, dsc, src)
 	}
 	return nil, fmt.Errorf("sim: unknown engine %q", engine)

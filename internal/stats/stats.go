@@ -270,3 +270,71 @@ func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, leve
 // Log2 returns log base 2 of x; convenience for exponent fits expressed in
 // bits as in the paper's 2^{aN} bounds.
 func Log2(x float64) float64 { return math.Log2(x) }
+
+// KSResult holds the outcome of a two-sample Kolmogorov–Smirnov test.
+type KSResult struct {
+	// D is the KS statistic: the supremum distance between the two
+	// empirical distribution functions.
+	D float64
+	// P is the asymptotic two-sided p-value of D (small P: the samples
+	// are unlikely to come from the same distribution).
+	P float64
+}
+
+// KolmogorovSmirnov runs the two-sample Kolmogorov–Smirnov test on xs
+// and ys. The p-value uses the standard asymptotic Q_KS series with the
+// Stephens small-sample correction (Numerical Recipes §14.3); both
+// samples need at least 4 observations for the asymptotics to be
+// meaningful. The inputs are not modified.
+func KolmogorovSmirnov(xs, ys []float64) (KSResult, error) {
+	if len(xs) < 4 || len(ys) < 4 {
+		return KSResult{}, ErrInsufficientData
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), ys...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	na, nb := float64(len(a)), float64(len(b))
+	var d float64
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		va, vb := a[i], b[j]
+		if va <= vb {
+			i++
+		}
+		if vb <= va {
+			j++
+		}
+		if diff := math.Abs(float64(i)/na - float64(j)/nb); diff > d {
+			d = diff
+		}
+	}
+	ne := math.Sqrt(na * nb / (na + nb))
+	return KSResult{D: d, P: ksProb((ne + 0.12 + 0.11/ne) * d)}, nil
+}
+
+// ksProb evaluates the asymptotic KS tail probability
+// Q_KS(lambda) = 2 sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2).
+func ksProb(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	a2 := -2 * lambda * lambda
+	sum, fac, prev := 0.0, 2.0, 0.0
+	for k := 1; k <= 100; k++ {
+		term := fac * math.Exp(a2*float64(k)*float64(k))
+		sum += term
+		if math.Abs(term) <= 1e-12*prev || math.Abs(term) <= 1e-16*sum {
+			if sum < 0 {
+				return 0
+			}
+			if sum > 1 {
+				return 1
+			}
+			return sum
+		}
+		fac = -fac
+		prev = math.Abs(term)
+	}
+	return 1 // failed to converge: lambda tiny, distributions indistinguishable
+}

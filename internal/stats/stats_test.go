@@ -262,3 +262,54 @@ func TestQuickLinearFitExactLines(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKolmogorovSmirnovSameDistribution(t *testing.T) {
+	src := rng.New(5)
+	xs := make([]float64, 400)
+	ys := make([]float64, 400)
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+		ys[i] = src.NormFloat64()
+	}
+	r, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P < 0.01 {
+		t.Fatalf("same-distribution samples rejected: D=%v P=%v", r.D, r.P)
+	}
+}
+
+func TestKolmogorovSmirnovShiftedDistribution(t *testing.T) {
+	src := rng.New(6)
+	xs := make([]float64, 400)
+	ys := make([]float64, 400)
+	for i := range xs {
+		xs[i] = src.NormFloat64()
+		ys[i] = src.NormFloat64() + 1
+	}
+	r, err := KolmogorovSmirnov(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.P > 1e-6 {
+		t.Fatalf("unit-shifted samples not rejected: D=%v P=%v", r.D, r.P)
+	}
+	if r.D < 0.2 {
+		t.Fatalf("unit shift of a standard normal should give D well above 0.2, got %v", r.D)
+	}
+}
+
+func TestKolmogorovSmirnovEdgeCases(t *testing.T) {
+	if _, err := KolmogorovSmirnov([]float64{1, 2, 3}, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("want ErrInsufficientData for tiny samples")
+	}
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	r, err := KolmogorovSmirnov(same, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.D != 0 || r.P < 0.999 {
+		t.Fatalf("identical samples: D=%v P=%v, want D=0 P~1", r.D, r.P)
+	}
+}

@@ -223,6 +223,12 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 		N: c.N, W: c.W, Tau: c.Tau, P: c.P,
 		Seed: src.Uint64(), Dynamic: dyn, Engine: engine,
 		Boundary: boundary, Rho: c.Rho, TauDist: c.TauDist,
+		// Sweeps pin the parallel engine to its delegation mode: one
+		// strip is bit-identical to the fast engine, so the engine label
+		// stays an execution detail and cached cells, checkpoints, and
+		// goldens remain valid across engines. Multi-strip decomposition
+		// is reserved for single giant runs (cmd/segsim, cmd/bench).
+		Par: c.Par, ParStrips: 1,
 	})
 	if err != nil {
 		return nil, err

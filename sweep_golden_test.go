@@ -99,6 +99,44 @@ func TestRunGridGoldenAcrossEngines(t *testing.T) {
 	}
 }
 
+// TestRunGridGoldenParallelEngine asserts the parallel engine keeps
+// the sweep determinism contract: in a sweep it runs in delegation
+// mode, so its artifacts are byte-equal to the committed goldens —
+// hence to every sequential engine — for sweep-worker counts 1, 4, and
+// 8 and for any engine-worker count, whether selected through
+// GridOptions or through the spec's engine=/parallel= keys.
+func TestRunGridGoldenParallelEngine(t *testing.T) {
+	csv1, json1 := goldenRun(t, GridOptions{Seed: goldenSeed, Workers: 1, Engine: EngineParallel})
+	if !bytes.Equal(csv1, golden(t, "grid_golden.csv", csv1)) {
+		t.Error("parallel-engine CSV differs from golden")
+	}
+	if !bytes.Equal(json1, golden(t, "grid_golden.json", json1)) {
+		t.Error("parallel-engine JSON differs from golden")
+	}
+	for _, workers := range []int{4, 8} {
+		csvN, jsonN := goldenRun(t, GridOptions{Seed: goldenSeed, Workers: workers, Engine: EngineParallel})
+		if !bytes.Equal(csvN, csv1) || !bytes.Equal(jsonN, json1) {
+			t.Errorf("parallel engine: workers=%d artifacts differ from workers=1", workers)
+		}
+	}
+	// The spec-level selection with an explicit engine worker count must
+	// produce the same bytes: the worker count is an execution detail.
+	r, err := RunGrid(goldenSpec+" engine=parallel parallel=8", GridOptions{Seed: goldenSeed, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb, jb bytes.Buffer
+	if err := r.WriteCSV(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cb.Bytes(), csv1) || !bytes.Equal(jb.Bytes(), json1) {
+		t.Error("spec-level engine=parallel parallel=8 artifacts differ from GridOptions selection")
+	}
+}
+
 // TestRunGridMoveAcrossEngines asserts a relocation-dynamic sweep —
 // which until PR 6 silently degraded an explicit fast request to the
 // reference engine — produces byte-identical artifacts under explicit
