@@ -1,7 +1,7 @@
 # Developer entry points. CI runs verify, docs, staticcheck, and
 # bench-check.
 
-.PHONY: all build test race race-stress fuzz bench bench-check bench-check-ci memcheck diff docs profile staticcheck verify
+.PHONY: all build test race race-stress cluster-test fuzz bench bench-check bench-check-ci memcheck diff docs profile staticcheck verify
 
 all: verify
 
@@ -21,6 +21,15 @@ race:
 # surface ordering-dependent races that a single -race pass misses.
 race-stress:
 	go test -race -count=5 ./internal/dynamics/pareng/ ./internal/server/
+
+# Distributed-fabric gate: the lease-protocol unit tests (fake clock),
+# the worker loop, and the chaos e2e (coordinator + three workers with
+# seeded fault injection, two killed mid-run) under the race detector,
+# then a segload smoke against an in-process server as a closed-loop
+# client sanity check.
+cluster-test:
+	go test -race -run 'TestCluster|TestLease|TestLate|TestHeartbeat|TestComplete|TestWorker|TestNaNValues|TestChaos' ./internal/server/ ./internal/fabric/
+	go run ./cmd/segload -inproc -spec "n=16 w=1 tau=0.40,0.45 reps=2" -clients 8 -sse 2 -duration 2s
 
 # Short fuzz passes over the grid-spec parser and the lattice
 # configuration codec (the CI-sized budget; raise -fuzztime locally

@@ -9,6 +9,14 @@
 //	curl localhost:8080/grids/<id>/events        # SSE progress
 //	curl localhost:8080/grids/<id>/artifact.csv  # final artifact
 //
+// segd also scales out: a coordinator decomposes grids into
+// content-addressed cells and leases them to worker processes, which
+// share the coordinator's store through its object endpoint. Results
+// are byte-identical to a single process, whatever the cluster does.
+//
+//	segd -role coordinator -addr :8080 -store segstore/
+//	segd -role worker -peer http://coordinator:8080
+//
 // The store directory is shared with cmd/sweep -cache: cells computed
 // by either are served by both. See README.md for the API reference.
 package main
@@ -16,6 +24,7 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -24,16 +33,22 @@ import (
 	"time"
 
 	"gridseg"
+	"gridseg/internal/fabric"
 	"gridseg/internal/server"
+	"gridseg/internal/store"
 )
 
 // config holds the parsed command-line options.
 type config struct {
-	addr    string
-	store   string
-	workers int
-	queue   int
-	verbose bool
+	addr     string
+	store    string
+	workers  int
+	queue    int
+	verbose  bool
+	role     string
+	peer     string
+	name     string
+	leaseTTL time.Duration
 }
 
 // newFlagSet declares the command's flags; main parses it, and the
@@ -46,6 +61,10 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.IntVar(&c.workers, "workers", 0, "cell worker pool size per grid run (0 = GOMAXPROCS); never affects results")
 	fs.IntVar(&c.queue, "queue", 64, "maximum queued grid runs before submissions get 503")
 	fs.BoolVar(&c.verbose, "v", false, "per-run lifecycle logging")
+	fs.StringVar(&c.role, "role", "single", "process role: single (serve and compute in-process), coordinator (serve the API and lease cells to workers), or worker (compute cells leased by -peer)")
+	fs.StringVar(&c.peer, "peer", "", "coordinator base URL a worker attaches to, e.g. http://host:8080 (worker role)")
+	fs.StringVar(&c.name, "name", "", "worker name reported in leases and SSE events (worker role; default host-pid)")
+	fs.DurationVar(&c.leaseTTL, "lease-ttl", fabric.DefaultTTL, "how long a leased cell may go unrenewed before it is requeued to another worker (coordinator role)")
 	return fs, c
 }
 
@@ -55,11 +74,30 @@ func main() {
 	fs, cfg := newFlagSet()
 	_ = fs.Parse(os.Args[1:])
 
+	switch cfg.role {
+	case "single", "coordinator":
+		serve(cfg)
+	case "worker":
+		work(cfg)
+	default:
+		log.Fatalf("unknown -role %q (want single, coordinator, or worker)", cfg.role)
+	}
+}
+
+// serve runs the HTTP service, in-process (single) or leasing cells to
+// workers (coordinator).
+func serve(cfg *config) {
 	st, err := gridseg.OpenStore(cfg.store)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := server.Options{Store: st, Workers: cfg.workers, QueueDepth: cfg.queue}
+	opt := server.Options{
+		Store:      st,
+		Workers:    cfg.workers,
+		QueueDepth: cfg.queue,
+		Cluster:    cfg.role == "coordinator",
+		LeaseTTL:   cfg.leaseTTL,
+	}
 	if cfg.verbose {
 		opt.Logf = log.Printf
 	}
@@ -94,9 +132,50 @@ func main() {
 		close(idle)
 	}()
 
-	log.Printf("serving on %s (store %s)", cfg.addr, cfg.store)
+	log.Printf("serving on %s (store %s, role %s)", cfg.addr, cfg.store, cfg.role)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	<-idle
+}
+
+// work runs the worker loop against the coordinator at -peer: lease a
+// cell, probe the coordinator's object store, compute on a miss, fill
+// the store, report completion. Killing a worker at any point is safe —
+// its leases expire and requeue.
+func work(cfg *config) {
+	if cfg.peer == "" {
+		log.Fatal("worker role requires -peer (coordinator base URL)")
+	}
+	name := cfg.name
+	if name == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w := &fabric.Worker{
+		Name:        name,
+		Coordinator: cfg.peer + "/fabric",
+		Store:       store.NewRemote(cfg.peer+"/objects", nil),
+		Runner:      gridseg.ComputeJob,
+	}
+	if cfg.verbose {
+		w.Logf = log.Printf
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down")
+		cancel()
+	}()
+
+	log.Printf("worker %s attached to %s", name, cfg.peer)
+	if err := w.Run(ctx); err != nil && err != context.Canceled {
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,294 @@
+// Command segload is a closed-loop load generator for segd: it
+// submits a grid, waits for it to finish, then hammers the artifact,
+// status, and SSE-replay endpoints with a fixed number of concurrent
+// clients for a fixed duration and reports throughput and latency.
+// Closed-loop means each client issues its next request only after the
+// previous one completes, so the offered load adapts to the server
+// instead of overrunning it.
+//
+//	segload -url http://localhost:8080 -clients 16 -duration 10s
+//	segload -inproc -clients 8 -sse 2 -duration 2s   # self-contained smoke
+//
+// With -inproc, segload starts a segd server inside its own process on
+// a loopback port and load-tests that — no external setup, which is
+// how the CI cluster-test target uses it. The exit status is non-zero
+// if any request failed, so it doubles as an end-to-end smoke test.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"gridseg"
+	"gridseg/internal/server"
+)
+
+// config holds the parsed command-line options.
+type config struct {
+	url      string
+	inproc   bool
+	spec     string
+	seed     uint64
+	clients  int
+	sse      int
+	duration time.Duration
+}
+
+// newFlagSet declares the command's flags; main parses it, and the
+// usage test pins it against the README documentation.
+func newFlagSet() (*flag.FlagSet, *config) {
+	c := &config{}
+	fs := flag.NewFlagSet("segload", flag.ExitOnError)
+	fs.StringVar(&c.url, "url", "", "base URL of the segd server to load (e.g. http://localhost:8080)")
+	fs.BoolVar(&c.inproc, "inproc", false, "start an in-process segd over a memory store and load that instead of -url (self-contained smoke test)")
+	fs.StringVar(&c.spec, "spec", "n=16 w=1 tau=0.40,0.45 reps=2", "grid spec to submit and serve during the run")
+	fs.Uint64Var(&c.seed, "seed", 1, "sweep seed for the submitted grid")
+	fs.IntVar(&c.clients, "clients", 8, "concurrent closed-loop clients fetching artifacts and status")
+	fs.IntVar(&c.sse, "sse", 1, "concurrent closed-loop clients replaying the SSE event stream")
+	fs.DurationVar(&c.duration, "duration", 5*time.Second, "how long the closed loop runs")
+	return fs, c
+}
+
+// stats aggregates request outcomes across all clients.
+type stats struct {
+	mu        sync.Mutex
+	requests  int
+	errors    int
+	latencies []time.Duration
+}
+
+func (s *stats) record(d time.Duration, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requests++
+	if err != nil {
+		s.errors++
+		if s.errors <= 5 {
+			log.Printf("request failed: %v", err)
+		}
+		return
+	}
+	s.latencies = append(s.latencies, d)
+}
+
+// report prints the run summary and returns whether it was clean.
+func (s *stats) report(label string, elapsed time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.requests == 0 {
+		fmt.Printf("%-10s no requests issued\n", label)
+		return true
+	}
+	sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(s.latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(s.latencies)-1))
+		return s.latencies[i]
+	}
+	fmt.Printf("%-10s %7d requests  %6.1f req/s  %3d errors  p50 %-10s p99 %s\n",
+		label, s.requests, float64(s.requests)/elapsed.Seconds(), s.errors,
+		pct(0.50).Round(10*time.Microsecond), pct(0.99).Round(10*time.Microsecond))
+	return s.errors == 0
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("segload: ")
+	fs, cfg := newFlagSet()
+	_ = fs.Parse(os.Args[1:])
+
+	base := cfg.url
+	if cfg.inproc {
+		var stop func()
+		var err error
+		base, stop, err = startInproc()
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+	}
+	if base == "" {
+		log.Fatal("need -url or -inproc")
+	}
+	base = strings.TrimRight(base, "/")
+
+	id, err := submitAndWait(base, cfg.spec, cfg.seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("grid %s ready; driving %d artifact clients and %d SSE clients for %s",
+		id, cfg.clients, cfg.sse, cfg.duration)
+
+	// The closed loop: every client repeats its request cycle until the
+	// deadline, timing each request.
+	artifact, sse := &stats{}, &stats{}
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	targets := []string{
+		base + "/grids/" + id + "/artifact.csv",
+		base + "/grids/" + id,
+		base + "/grids/" + id + "/artifact.json",
+	}
+	for i := 0; i < cfg.clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; time.Now().Before(deadline); n++ {
+				start := time.Now()
+				err := get(targets[(i+n)%len(targets)])
+				artifact.record(time.Since(start), err)
+			}
+		}(i)
+	}
+	for i := 0; i < cfg.sse; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				err := replaySSE(base + "/grids/" + id + "/events")
+				sse.record(time.Since(start), err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	ok := artifact.report("artifact", cfg.duration)
+	ok = sse.report("sse", cfg.duration) && ok
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// startInproc starts a segd server on a loopback port inside this
+// process, backed by a memory store.
+func startInproc() (base string, stop func(), err error) {
+	srv, err := server.New(server.Options{Store: gridseg.NewMemoryStore()})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		srv.Close()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// submitAndWait posts the grid and polls its status until the run
+// finishes, so the load phase measures a steady-state server.
+func submitAndWait(base, spec string, seed uint64) (string, error) {
+	body, _ := json.Marshal(map[string]interface{}{"spec": spec, "seed": seed})
+	resp, err := http.Post(base+"/grids", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	var status struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&status)
+	resp.Body.Close()
+	if err != nil {
+		return "", err
+	}
+	// 202 = newly queued, 200 = attached to an existing identical run
+	// (either is fine: the loop below waits for done in both cases).
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("submit: status %d: %s", resp.StatusCode, status.Error)
+	}
+	for deadline := time.Now().Add(2 * time.Minute); time.Now().Before(deadline); {
+		resp, err := http.Get(base + "/grids/" + status.ID)
+		if err != nil {
+			return "", err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&status)
+		resp.Body.Close()
+		if err != nil {
+			return "", err
+		}
+		switch status.State {
+		case "done":
+			return status.ID, nil
+		case "failed":
+			return "", fmt.Errorf("grid failed: %s", status.Error)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("grid %s did not finish in time", status.ID)
+}
+
+// get fetches one URL and drains the body, erroring on any non-200.
+func get(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	n := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		n++
+	}
+	if sc.Err() != nil {
+		return fmt.Errorf("GET %s: %w", url, sc.Err())
+	}
+	if n == 0 {
+		return fmt.Errorf("GET %s: empty body", url)
+	}
+	return nil
+}
+
+// replaySSE reads a finished run's full event replay and checks it
+// ends with a terminal event.
+func replaySSE(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("SSE %s: status %d", url, resp.StatusCode)
+	}
+	terminal := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		if sc.Text() == "event: done" || sc.Text() == "event: error" {
+			terminal = true
+		}
+	}
+	if sc.Err() != nil {
+		return fmt.Errorf("SSE %s: %w", url, sc.Err())
+	}
+	if !terminal {
+		return fmt.Errorf("SSE %s: stream ended without a terminal event", url)
+	}
+	return nil
+}

@@ -1,0 +1,95 @@
+package gridseg
+
+import (
+	"fmt"
+
+	"gridseg/internal/batch"
+	"gridseg/internal/fabric"
+	"gridseg/internal/rng"
+)
+
+// This file is the bridge between the sweep engine and the distributed
+// fabric (internal/fabric): decomposing a grid into leasable jobs,
+// computing one leased job in a worker process, and reassembling the
+// completed cells into a GridResult. The three functions are carefully
+// mirror images of RunGrid's internals — same spec parsing, same
+// engine defaulting, same cell seeds, same canonical cell order — so a
+// cluster run is byte-identical to a single-process run of the same
+// (spec, seed).
+
+// GridJobs expands a grid spec into the leasable cell jobs of the
+// distributed fabric. Each job carries the cell's full
+// content-addressed identity: its store key, its derived seed
+// (batch.CellSeed — a function of cell identity, never grid position),
+// and the metric schema. Jobs are in canonical cell order, so job
+// index i corresponds to row i of the assembled result.
+func GridJobs(spec string, seed uint64) ([]fabric.Job, error) {
+	g, err := parseGridSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if g.Engine == "" {
+		g.Engine = EngineAuto.String()
+	}
+	bopt := batch.Options{Seed: seed, Scope: gridScope}
+	cells := g.Cells()
+	jobs := make([]fabric.Job, len(cells))
+	for i, c := range cells {
+		cs := bopt.CellSpec(c, g.ExtraName, sweepColumns)
+		jobs[i] = fabric.Job{
+			Index:   i,
+			Key:     cs.Key(),
+			Seed:    cs.Seed,
+			Columns: sweepColumns,
+			Cell:    c,
+		}
+	}
+	return jobs, nil
+}
+
+// ComputeJob computes the metric vector of one leased cell, exactly as
+// RunGrid's in-process workers would: the same runner, fed an rng
+// stream derived from the job's seed. It is the Runner a fabric worker
+// should use.
+func ComputeJob(j fabric.Job) ([]float64, error) {
+	if len(j.Columns) != len(sweepColumns) {
+		return nil, fmt.Errorf("gridseg: job schema %v does not match this binary's columns %v", j.Columns, sweepColumns)
+	}
+	for i, c := range j.Columns {
+		if c != sweepColumns[i] {
+			return nil, fmt.Errorf("gridseg: job schema %v does not match this binary's columns %v", j.Columns, sweepColumns)
+		}
+	}
+	return sweepCell(j.Cell, rng.New(j.Seed))
+}
+
+// AssembleGrid builds the GridResult of a completed distributed run
+// from per-cell metric vectors in canonical cell order (the order
+// GridJobs emitted). The artifacts rendered from the result are
+// byte-identical to a single-process RunGrid of the same (spec, seed).
+func AssembleGrid(spec string, values [][]float64, cache CacheStats) (*GridResult, error) {
+	g, err := parseGridSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if g.Engine == "" {
+		g.Engine = EngineAuto.String()
+	}
+	cells := g.Cells()
+	if len(values) != len(cells) {
+		return nil, fmt.Errorf("gridseg: got %d cell values, grid has %d cells", len(values), len(cells))
+	}
+	for i, v := range values {
+		if len(v) != len(sweepColumns) {
+			return nil, fmt.Errorf("gridseg: cell %d has %d values, want %d", i, len(v), len(sweepColumns))
+		}
+	}
+	rs := &batch.ResultSet{
+		Grid:    g,
+		Columns: sweepColumns,
+		Cells:   cells,
+		Values:  values,
+		Cache:   batch.CacheStats{Hits: cache.Hits, Misses: cache.Misses, Err: cache.Err},
+	}
+	return &GridResult{rs: rs}, nil
+}

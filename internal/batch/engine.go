@@ -85,8 +85,12 @@ func CellSeed(seed uint64, scope string, c Cell) uint64 {
 	return seed ^ h
 }
 
-// cellSpec assembles the content-addressed store identity of a cell.
-func (o Options) cellSpec(c Cell, extraName string, columns []string) store.CellSpec {
+// CellSpec assembles the content-addressed store identity of a cell.
+// Exported because the distributed fabric derives lease jobs — store
+// key plus fully derived seed — from the same identity the local
+// engine uses, which is what makes a worker's computation of a leased
+// cell byte-identical to the in-process one.
+func (o Options) CellSpec(c Cell, extraName string, columns []string) store.CellSpec {
 	return store.CellSpec{
 		Scope:     o.Scope,
 		Columns:   columns,
@@ -193,7 +197,7 @@ func Run(g Grid, columns []string, fn Runner, opt Options) (*ResultSet, error) {
 	if opt.CheckpointPath != "" || opt.Store != nil {
 		keys = make([]string, len(cells))
 		for i, c := range cells {
-			keys[i] = opt.cellSpec(c, ng.ExtraName, columns).Key()
+			keys[i] = opt.CellSpec(c, ng.ExtraName, columns).Key()
 		}
 	}
 

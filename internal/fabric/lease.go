@@ -1,0 +1,290 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is the lease table's time source, injectable so the expiry
+// protocol is testable without sleeping.
+type Clock func() time.Time
+
+// DefaultTTL is the lease TTL used when a Table is built with zero.
+// Workers heartbeat at a third of the TTL, so transient stalls of two
+// missed heartbeats survive; a worker gone for a full TTL loses the
+// cell to requeue.
+const DefaultTTL = 15 * time.Second
+
+// CellDone reports one finished cell to the run's owner. Err carries a
+// deterministic compute failure (the run should be failed, not the
+// cell retried — the same inputs would fail anywhere).
+type CellDone struct {
+	// Index is the cell's Job.Index — its position in the grid's
+	// canonical cell order, not its registration position.
+	Index  int
+	Values []float64
+	Worker string
+	Cached bool
+	Err    string
+}
+
+// cellState is the lease state machine:
+//
+//	pending ──lease──▶ leased ──complete──▶ done
+//	   ▲                  │
+//	   └──── TTL expiry ──┘   (requeue: the next Lease call re-grants)
+//
+// done is absorbing: late completions from presumed-dead workers are
+// accepted idempotently (the bytes are identical by construction) and
+// never reported twice.
+type cellState uint8
+
+const (
+	statePending cellState = iota
+	stateLeased
+	stateDone
+)
+
+// Table is the coordinator's lease table. All state is in memory: the
+// durable artifact of a run is the content-addressed store, so a
+// coordinator restart just recomputes leases (and cache hits make the
+// replay cheap).
+//
+// The completion callback registered with a run executes with the
+// table locked, which serializes callbacks and guarantees that when a
+// run's done channel closes every callback has returned. Callbacks
+// must therefore not call back into the Table.
+type Table struct {
+	mu       sync.Mutex
+	now      Clock
+	ttl      time.Duration
+	seq      uint64
+	order    []string
+	runs     map[string]*tableRun
+	requeues int
+}
+
+type tableRun struct {
+	jobs      []Job
+	state     []cellState
+	lease     []uint64
+	worker    []string
+	expiry    []time.Time
+	remaining int
+	onDone    func(CellDone)
+	done      chan struct{}
+	// byIndex maps a Job.Index (the wire identity workers report back)
+	// to the job's position in the slices above. The two differ when a
+	// run registers only a subset of its grid's cells — the cache
+	// misses — so positions are dense while Job indices are sparse.
+	byIndex map[int]int
+}
+
+// NewTable builds a lease table. A zero ttl means DefaultTTL; a nil
+// clock means time.Now.
+func NewTable(ttl time.Duration, clock Clock) *Table {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Table{now: clock, ttl: ttl, runs: map[string]*tableRun{}}
+}
+
+// TTL returns the lease TTL.
+func (t *Table) TTL() time.Duration { return t.ttl }
+
+// Register adds a run's cells to the table and returns a channel that
+// closes when every cell has completed. onDone fires exactly once per
+// cell, serialized, before the channel closes.
+func (t *Table) Register(runID string, jobs []Job, onDone func(CellDone)) (<-chan struct{}, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.runs[runID]; ok {
+		return nil, fmt.Errorf("fabric: run %s already registered", runID)
+	}
+	r := &tableRun{
+		jobs:      make([]Job, len(jobs)),
+		state:     make([]cellState, len(jobs)),
+		lease:     make([]uint64, len(jobs)),
+		worker:    make([]string, len(jobs)),
+		expiry:    make([]time.Time, len(jobs)),
+		remaining: len(jobs),
+		onDone:    onDone,
+		done:      make(chan struct{}),
+		byIndex:   make(map[int]int, len(jobs)),
+	}
+	copy(r.jobs, jobs)
+	for i := range r.jobs {
+		r.jobs[i].Run = runID
+		if _, dup := r.byIndex[r.jobs[i].Index]; dup {
+			return nil, fmt.Errorf("fabric: run %s registers cell index %d twice", runID, r.jobs[i].Index)
+		}
+		r.byIndex[r.jobs[i].Index] = i
+	}
+	if r.remaining == 0 {
+		close(r.done)
+		return r.done, nil
+	}
+	t.runs[runID] = r
+	t.order = append(t.order, runID)
+	return r.done, nil
+}
+
+// Cancel removes a run from the table. In-flight completions for a
+// canceled run are accepted as no-ops; the done channel is left open
+// (the canceler has already decided the run's fate).
+func (t *Table) Cancel(runID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.removeLocked(runID)
+}
+
+func (t *Table) removeLocked(runID string) {
+	if _, ok := t.runs[runID]; !ok {
+		return
+	}
+	delete(t.runs, runID)
+	for i, id := range t.order {
+		if id == runID {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Lease grants the oldest available cell to worker: a pending cell, or
+// a leased cell whose TTL has expired (which counts as a requeue). The
+// boolean reports whether any work was available.
+func (t *Table) Lease(worker string) (LeaseGrant, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	for _, id := range t.order {
+		r := t.runs[id]
+		for i := range r.jobs {
+			switch r.state[i] {
+			case statePending:
+			case stateLeased:
+				if r.expiry[i].After(now) {
+					continue
+				}
+				t.requeues++
+			default:
+				continue
+			}
+			t.seq++
+			r.state[i] = stateLeased
+			r.lease[i] = t.seq
+			r.worker[i] = worker
+			r.expiry[i] = now.Add(t.ttl)
+			return LeaseGrant{Job: r.jobs[i], Lease: t.seq, TTLMilli: t.ttl.Milliseconds()}, true
+		}
+	}
+	return LeaseGrant{}, false
+}
+
+// Heartbeat renews a lease, reporting whether the lease is still
+// current. An expired lease that nobody has requeued yet can still be
+// renewed — the worker is alive, merely late, and reviving its lease
+// avoids duplicate work. A false return tells the worker its lease was
+// requeued (or the run canceled); it may keep computing — a late
+// completion is still accepted — but renewal is over.
+func (t *Table) Heartbeat(runID string, index int, lease uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.runs[runID]
+	if !ok {
+		return false
+	}
+	i, ok := r.byIndex[index]
+	if !ok {
+		return false
+	}
+	if r.state[i] != stateLeased || r.lease[i] != lease {
+		return false
+	}
+	r.expiry[i] = t.now().Add(t.ttl)
+	return true
+}
+
+// Complete records a cell result. It is idempotent: completions for
+// unknown (canceled) runs and already-done cells are accepted
+// silently, and a stale lease token does not invalidate the result —
+// cells are content-addressed, so a presumed-dead worker's late answer
+// carries exactly the bytes the replacement would produce. Only the
+// first completion fires the run's callback, so a cell is never
+// double-reported.
+func (t *Table) Complete(runID string, index int, lease uint64, worker string, cached bool, values []float64, errMsg string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r, ok := t.runs[runID]
+	if !ok {
+		return nil
+	}
+	i, ok := r.byIndex[index]
+	if !ok {
+		return fmt.Errorf("fabric: run %s has no cell %d", runID, index)
+	}
+	if r.state[i] == stateDone {
+		return nil
+	}
+	if errMsg == "" && len(values) != len(r.jobs[i].Columns) {
+		return fmt.Errorf("fabric: cell %d: got %d values, want %d", index, len(values), len(r.jobs[i].Columns))
+	}
+	r.state[i] = stateDone
+	r.worker[i] = worker
+	r.remaining--
+	if r.onDone != nil {
+		r.onDone(CellDone{Index: index, Values: values, Worker: worker, Cached: cached, Err: errMsg})
+	}
+	if r.remaining == 0 {
+		t.removeLocked(runID)
+		close(r.done)
+	}
+	return nil
+}
+
+// Requeues returns the cumulative number of expired-lease requeues
+// across all runs — an observability counter that survives run
+// completion.
+func (t *Table) Requeues() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requeues
+}
+
+// RunStatus summarizes one registered run for the status endpoint.
+type RunStatus struct {
+	Run     string `json:"run"`
+	Cells   int    `json:"cells"`
+	Pending int    `json:"pending"`
+	Leased  int    `json:"leased"`
+	Done    int    `json:"done"`
+}
+
+// Status snapshots the table: per-run cell counts plus the cumulative
+// requeue counter.
+func (t *Table) Status() ([]RunStatus, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]RunStatus, 0, len(t.order))
+	for _, id := range t.order {
+		r := t.runs[id]
+		s := RunStatus{Run: id, Cells: len(r.jobs)}
+		for i := range r.state {
+			switch r.state[i] {
+			case statePending:
+				s.Pending++
+			case stateLeased:
+				s.Leased++
+			default:
+				s.Done++
+			}
+		}
+		out = append(out, s)
+	}
+	return out, t.requeues
+}

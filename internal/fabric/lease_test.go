@@ -1,0 +1,314 @@
+package fabric
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-cranked Clock so the lease tests control expiry
+// exactly, with no sleeping.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// mkJobs builds n trivial jobs with a two-column schema.
+func mkJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Index: i, Key: "k", Seed: uint64(i), Columns: []string{"a", "b"}}
+	}
+	return jobs
+}
+
+// collector records CellDone callbacks for assertions.
+type collector struct {
+	mu    sync.Mutex
+	cells []CellDone
+}
+
+func (c *collector) add(d CellDone) {
+	c.mu.Lock()
+	c.cells = append(c.cells, d)
+	c.mu.Unlock()
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// TestLeaseExpiryRequeuesOnce pins the expiry path: a lease whose TTL
+// lapses without renewal is handed out exactly once more — not zero
+// times (lost cell), not twice (duplicated cell).
+func TestLeaseExpiryRequeuesOnce(t *testing.T) {
+	clock := newFakeClock()
+	tab := NewTable(10*time.Second, clock.now)
+	var got collector
+	done, err := tab.Register("r1", mkJobs(1), got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grantA, ok := tab.Lease("alice")
+	if !ok {
+		t.Fatal("no lease for alice")
+	}
+	// While the lease is live, nobody else gets the cell.
+	if _, ok := tab.Lease("bob"); ok {
+		t.Fatal("live lease handed out twice")
+	}
+
+	clock.advance(11 * time.Second)
+	grantB, ok := tab.Lease("bob")
+	if !ok {
+		t.Fatal("expired lease must requeue to bob")
+	}
+	if grantB.Job.Index != 0 || grantB.Lease == grantA.Lease {
+		t.Fatalf("bad requeue grant: %+v", grantB)
+	}
+	if n := tab.Requeues(); n != 1 {
+		t.Fatalf("requeues = %d, want 1", n)
+	}
+	// The requeued lease is live again: exactly once, not repeatedly.
+	if _, ok := tab.Lease("carol"); ok {
+		t.Fatal("requeued cell handed out a second time")
+	}
+
+	if err := tab.Complete("r1", 0, grantB.Lease, "bob", false, []float64{1, 2}, ""); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	default:
+		t.Fatal("done channel not closed after last cell")
+	}
+	if got.count() != 1 {
+		t.Fatalf("onDone fired %d times, want 1", got.count())
+	}
+	// Done is absorbing: even after expiry-scale time passes, the cell
+	// never reappears.
+	clock.advance(time.Hour)
+	if _, ok := tab.Lease("dave"); ok {
+		t.Fatal("completed cell re-leased")
+	}
+}
+
+// TestLateCompletionIdempotent pins the presumed-dead-worker case: the
+// cell requeues, the replacement and the original both finish, and the
+// cell is reported exactly once — the late completion with the stale
+// lease is accepted (the bytes are identical by construction) but
+// never double-reported.
+func TestLateCompletionIdempotent(t *testing.T) {
+	clock := newFakeClock()
+	tab := NewTable(10*time.Second, clock.now)
+	var got collector
+	done, err := tab.Register("r1", mkJobs(2), got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	grantA, _ := tab.Lease("alice")
+	clock.advance(11 * time.Second)
+	grantB, ok := tab.Lease("bob")
+	if !ok || grantB.Job.Index != grantA.Job.Index {
+		t.Fatalf("requeue grant = %+v, %v", grantB, ok)
+	}
+
+	// Alice was only presumed dead: her completion lands first, with
+	// the stale lease token.
+	if err := tab.Complete("r1", 0, grantA.Lease, "alice", false, []float64{1, 2}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got.count() != 1 {
+		t.Fatalf("onDone fired %d times after first completion, want 1", got.count())
+	}
+	// Bob finishes the same cell with the same bytes: silently folded.
+	if err := tab.Complete("r1", 0, grantB.Lease, "bob", false, []float64{1, 2}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got.count() != 1 {
+		t.Fatalf("duplicate completion reported: onDone fired %d times", got.count())
+	}
+
+	grantC, ok := tab.Lease("carol")
+	if !ok || grantC.Job.Index != 1 {
+		t.Fatalf("second cell grant = %+v, %v", grantC, ok)
+	}
+	if err := tab.Complete("r1", 1, grantC.Lease, "carol", false, []float64{3, 4}, ""); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	default:
+		t.Fatal("done channel not closed")
+	}
+	if got.count() != 2 {
+		t.Fatalf("onDone fired %d times, want 2", got.count())
+	}
+}
+
+// TestHeartbeatRenewal pins that renewal moves the expiry: a
+// heartbeating worker keeps its lease arbitrarily long, and the lease
+// only requeues once heartbeats stop for a full TTL.
+func TestHeartbeatRenewal(t *testing.T) {
+	clock := newFakeClock()
+	tab := NewTable(10*time.Second, clock.now)
+	if _, err := tab.Register("r1", mkJobs(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	grant, _ := tab.Lease("alice")
+	for i := 0; i < 5; i++ {
+		clock.advance(8 * time.Second)
+		if !tab.Heartbeat("r1", 0, grant.Lease) {
+			t.Fatalf("heartbeat %d rejected", i)
+		}
+		if _, ok := tab.Lease("bob"); ok {
+			t.Fatalf("renewed lease requeued at heartbeat %d", i)
+		}
+	}
+	// 40s past the original expiry, the lease is still alice's. Stop
+	// renewing and it lapses; the next hungry worker takes the cell.
+	clock.advance(11 * time.Second)
+	if _, ok := tab.Lease("bob"); !ok {
+		t.Fatal("lapsed lease must requeue")
+	}
+	// Alice's token is dead once the cell is re-granted.
+	if tab.Heartbeat("r1", 0, grant.Lease) {
+		t.Fatal("stale heartbeat accepted after re-grant")
+	}
+}
+
+// TestCompleteErrorAndCancel pins the failure paths: a deterministic
+// cell error is delivered once, and completions for canceled runs are
+// silent no-ops.
+func TestCompleteErrorAndCancel(t *testing.T) {
+	clock := newFakeClock()
+	tab := NewTable(10*time.Second, clock.now)
+	var got collector
+	if _, err := tab.Register("r1", mkJobs(2), got.add); err != nil {
+		t.Fatal(err)
+	}
+	grant, _ := tab.Lease("alice")
+	if err := tab.Complete("r1", grant.Job.Index, grant.Lease, "alice", false, nil, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	if got.count() != 1 || got.cells[0].Err != "boom" {
+		t.Fatalf("error cell not delivered: %+v", got.cells)
+	}
+	tab.Cancel("r1")
+	if err := tab.Complete("r1", 1, 99, "bob", false, []float64{1, 2}, ""); err != nil {
+		t.Fatal(err)
+	}
+	if got.count() != 1 {
+		t.Fatal("completion for canceled run must not be reported")
+	}
+	if _, ok := tab.Lease("bob"); ok {
+		t.Fatal("canceled run still leasing")
+	}
+}
+
+// TestCompleteValidates pins the two hard rejections: an out-of-range
+// index and a schema-width mismatch are protocol errors, not data.
+func TestCompleteValidates(t *testing.T) {
+	tab := NewTable(time.Second, nil)
+	if _, err := tab.Register("r1", mkJobs(1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Complete("r1", 5, 1, "w", false, []float64{1, 2}, ""); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if err := tab.Complete("r1", 0, 1, "w", false, []float64{1}, ""); err == nil {
+		t.Fatal("short value vector accepted")
+	}
+}
+
+// TestNaNValuesCrossTheWire pins the NaN<->null completion encoding.
+func TestNaNValuesCrossTheWire(t *testing.T) {
+	req := completeRequest{Values: encodeValues([]float64{1, math.NaN(), -2})}
+	data, err := req.Values[1].MarshalJSON()
+	if err != nil || string(data) != "null" {
+		t.Fatalf("NaN marshals to %s, %v", data, err)
+	}
+	got := decodeValues(req.Values)
+	if got[0] != 1 || !math.IsNaN(got[1]) || got[2] != -2 {
+		t.Fatalf("round trip = %v", got)
+	}
+}
+
+// TestHeartbeatConcurrent exercises lease/heartbeat/complete from many
+// goroutines under the race detector: the table must stay consistent
+// and report every cell exactly once.
+func TestHeartbeatConcurrent(t *testing.T) {
+	const cells, workers = 64, 8
+	tab := NewTable(50*time.Millisecond, nil)
+	var got collector
+	done, err := tab.Register("r1", mkJobs(cells), got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := string(rune('a' + w))
+			for {
+				grant, ok := tab.Lease(name)
+				if !ok {
+					select {
+					case <-done:
+						return
+					default:
+						time.Sleep(time.Millisecond)
+						continue
+					}
+				}
+				// Hold the cell across a couple of heartbeat rounds.
+				for i := 0; i < 2; i++ {
+					time.Sleep(5 * time.Millisecond)
+					tab.Heartbeat("r1", grant.Job.Index, grant.Lease)
+				}
+				if err := tab.Complete("r1", grant.Job.Index, grant.Lease, name, false, []float64{float64(grant.Job.Index), 0}, ""); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-done:
+	default:
+		t.Fatal("done not closed")
+	}
+	if got.count() != cells {
+		t.Fatalf("reported %d cells, want %d", got.count(), cells)
+	}
+	seen := map[int]bool{}
+	for _, d := range got.cells {
+		if seen[d.Index] {
+			t.Fatalf("cell %d reported twice", d.Index)
+		}
+		seen[d.Index] = true
+	}
+}

@@ -1,0 +1,264 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"gridseg/internal/store"
+)
+
+// Worker is the compute side of the fabric: a loop that leases cells
+// from a coordinator, serves them from the shared store when possible,
+// computes them otherwise, fills the store, and reports completion.
+//
+// The loop is deliberately stateless between cells — a worker can die
+// at any point without corrupting anything. Die before completion and
+// the lease expires and the cell requeues; die after the store Put but
+// before completion and the replacement worker gets a cache hit.
+// Transport failures are retried with backoff; completion retries are
+// safe because Complete is idempotent on the coordinator.
+type Worker struct {
+	// Name identifies the worker in leases and SSE events.
+	Name string
+	// Coordinator is the base URL of the fabric endpoints, e.g.
+	// "http://host:8080/fabric".
+	Coordinator string
+	// Client is the HTTP client; nil means http.DefaultClient. The
+	// chaos tests inject faults through this client's transport.
+	Client *http.Client
+	// Store is the shared result store (usually a store.Remote over
+	// the coordinator's object endpoint). Optional: nil disables the
+	// cache probe and fill.
+	Store store.Backend
+	// Runner computes one cell. Required.
+	Runner func(Job) ([]float64, error)
+	// Poll is the idle wait between lease attempts when the
+	// coordinator has no work; zero means 200ms.
+	Poll time.Duration
+	// Logf receives progress and retry noise; nil discards it.
+	Logf func(format string, args ...any)
+}
+
+// completeRetries bounds how often a worker retries posting one
+// completion before abandoning the cell to lease expiry.
+const completeRetries = 5
+
+// Run executes the lease loop until ctx is canceled, returning
+// ctx.Err(). Transport errors never abort the loop — a worker outlives
+// coordinator restarts.
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		grant, ok, err := w.lease(ctx)
+		if err != nil {
+			w.logf("lease: %v", err)
+			if !sleep(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if !ok {
+			if !sleep(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.work(ctx, grant)
+	}
+}
+
+// work handles one granted lease end to end.
+func (w *Worker) work(ctx context.Context, grant LeaseGrant) {
+	job := grant.Job
+	if w.Store != nil {
+		if v, ok, err := w.Store.Get(job.Key); err == nil && ok && len(v) == len(job.Columns) {
+			w.complete(ctx, grant, v, true, "")
+			return
+		}
+	}
+
+	// Renew the lease while computing. The goroutine stops when the
+	// cell is finished or the worker dies; a worker killed mid-cell
+	// stops heartbeating, the lease expires, and the cell requeues.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeats(hbCtx, grant)
+	}()
+
+	values, err := w.Runner(job)
+	stopHB()
+	<-hbDone
+	if ctx.Err() != nil {
+		// Killed mid-cell: abandon without completing. Even if the
+		// runner returned a value, reporting it now would race our own
+		// shutdown; the lease expiry path covers the cell.
+		return
+	}
+	if err != nil {
+		w.complete(ctx, grant, nil, false, err.Error())
+		return
+	}
+	if w.Store != nil {
+		// Fill the shared cache, fail-soft: a store outage costs
+		// recomputation on the next miss, never the result.
+		var putErr error
+		for attempt := 0; attempt < 3; attempt++ {
+			if putErr = w.Store.Put(job.Key, values); putErr == nil {
+				break
+			}
+			if !sleep(ctx, time.Duration(attempt+1)*50*time.Millisecond) {
+				return
+			}
+		}
+		if putErr != nil {
+			w.logf("store put %s: %v", job.Key, putErr)
+		}
+	}
+	w.complete(ctx, grant, values, false, "")
+}
+
+// lease asks the coordinator for work. ok=false means no work is
+// currently available.
+func (w *Worker) lease(ctx context.Context) (LeaseGrant, bool, error) {
+	resp, err := w.post(ctx, "/lease", leaseRequest{Worker: w.Name})
+	if err != nil {
+		return LeaseGrant{}, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		io.Copy(io.Discard, resp.Body)
+		return LeaseGrant{}, false, nil
+	case http.StatusOK:
+	default:
+		return LeaseGrant{}, false, fmt.Errorf("lease: %s", respError(resp))
+	}
+	var grant LeaseGrant
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&grant); err != nil {
+		return LeaseGrant{}, false, fmt.Errorf("lease: %w", err)
+	}
+	return grant, true, nil
+}
+
+// heartbeats renews the lease at a third of its TTL until stopped. A
+// 409 means the lease was requeued; renewal stops but the computation
+// continues — its completion will still be accepted idempotently.
+func (w *Worker) heartbeats(ctx context.Context, grant LeaseGrant) {
+	interval := time.Duration(grant.TTLMilli) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	for {
+		if !sleep(ctx, interval) {
+			return
+		}
+		resp, err := w.post(ctx, "/heartbeat", heartbeatRequest{Run: grant.Job.Run, Index: grant.Job.Index, Lease: grant.Lease})
+		if err != nil {
+			w.logf("heartbeat: %v", err)
+			continue
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusConflict {
+			w.logf("heartbeat: lease lost for cell %d of run %s", grant.Job.Index, grant.Job.Run)
+			return
+		}
+	}
+}
+
+// complete reports a finished cell, retrying through transport faults:
+// the coordinator's Complete is idempotent, so a torn connection whose
+// request actually landed is safely resent.
+func (w *Worker) complete(ctx context.Context, grant LeaseGrant, values []float64, cached bool, errMsg string) {
+	req := completeRequest{
+		Run:    grant.Job.Run,
+		Index:  grant.Job.Index,
+		Lease:  grant.Lease,
+		Worker: w.Name,
+		Cached: cached,
+		Values: encodeValues(values),
+		Error:  errMsg,
+	}
+	for attempt := 0; attempt < completeRetries; attempt++ {
+		resp, err := w.post(ctx, "/complete", req)
+		if err == nil {
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code == http.StatusNoContent || code == http.StatusOK {
+				return
+			}
+			w.logf("complete cell %d: status %d", grant.Job.Index, code)
+		} else {
+			w.logf("complete cell %d: %v", grant.Job.Index, err)
+		}
+		if !sleep(ctx, time.Duration(attempt+1)*50*time.Millisecond) {
+			return
+		}
+	}
+	// Abandoned: the lease expires and the cell requeues; the store
+	// already holds the bytes, so the retry is a cache hit.
+	w.logf("complete cell %d: gave up after %d attempts", grant.Job.Index, completeRetries)
+}
+
+// post sends one JSON protocol request.
+func (w *Worker) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(w.Coordinator, "/")+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	client := w.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return client.Do(req)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Logf != nil {
+		w.Logf("fabric worker %s: "+format, append([]any{w.Name}, args...)...)
+	}
+}
+
+// respError summarizes a non-success protocol response.
+func respError(resp *http.Response) string {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		return resp.Status
+	}
+	return resp.Status + ": " + msg
+}
+
+// sleep waits for d or until ctx is canceled, reporting whether the
+// full wait elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,141 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"gridseg/internal/store"
+)
+
+// TestWorkerLoop runs the full protocol over real HTTP: a coordinator
+// with a short TTL, four workers whose runner outlives a heartbeat
+// interval (so renewal is load-bearing), and a shared store. Every
+// cell must complete exactly once, and recomputed keys must land in
+// the store.
+func TestWorkerLoop(t *testing.T) {
+	const cells = 24
+	coord := NewCoordinator(300*time.Millisecond, nil)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	jobs := make([]Job, cells)
+	for i := range jobs {
+		jobs[i] = Job{Index: i, Key: store.CellSpec{Scope: "wl", Rep: i}.Key(), Seed: uint64(i), Columns: []string{"a", "b"}}
+	}
+	shared := store.NewMemory()
+	// Pre-seed a few cells so the cache-probe path is exercised too.
+	for i := 0; i < 4; i++ {
+		if err := shared.Put(jobs[i].Key, []float64{float64(i), -1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var got collector
+	done, err := coord.Table().Register("run", jobs, got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		w := &Worker{
+			Name:        fmt.Sprintf("w%d", i),
+			Coordinator: srv.URL,
+			Client:      srv.Client(),
+			Store:       shared,
+			Poll:        10 * time.Millisecond,
+			Runner: func(j Job) ([]float64, error) {
+				// Longer than TTL/3: completion depends on heartbeats.
+				time.Sleep(150 * time.Millisecond)
+				return []float64{float64(j.Index), -1}, nil
+			},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not complete")
+	}
+	cancel()
+	wg.Wait()
+
+	if got.count() != cells {
+		t.Fatalf("reported %d cells, want %d", got.count(), cells)
+	}
+	seen := map[int]bool{}
+	cachedHits := 0
+	for _, d := range got.cells {
+		if seen[d.Index] {
+			t.Fatalf("cell %d reported twice", d.Index)
+		}
+		seen[d.Index] = true
+		if d.Err != "" {
+			t.Fatalf("cell %d failed: %s", d.Index, d.Err)
+		}
+		if d.Values[0] != float64(d.Index) || d.Values[1] != -1 {
+			t.Fatalf("cell %d values = %v", d.Index, d.Values)
+		}
+		if d.Worker == "" {
+			t.Fatalf("cell %d missing worker attribution", d.Index)
+		}
+		if d.Cached {
+			cachedHits++
+		}
+	}
+	if cachedHits < 4 {
+		t.Fatalf("cached completions = %d, want >= 4 (pre-seeded cells)", cachedHits)
+	}
+	// Computed cells were written back to the shared store.
+	for _, j := range jobs {
+		if _, ok, err := shared.Get(j.Key); err != nil || !ok {
+			t.Fatalf("cell %d not in store: %v, %v", j.Index, ok, err)
+		}
+	}
+	if n, _ := coord.Table().Status(); len(n) != 0 {
+		t.Fatalf("completed run still registered: %+v", n)
+	}
+}
+
+// TestWorkerReportsDeterministicError pins the error path: a runner
+// failure is reported to the coordinator, not retried forever.
+func TestWorkerReportsDeterministicError(t *testing.T) {
+	coord := NewCoordinator(time.Second, nil)
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	var got collector
+	done, err := coord.Table().Register("run", mkJobs(1), got.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &Worker{
+		Name:        "w0",
+		Coordinator: srv.URL,
+		Client:      srv.Client(),
+		Poll:        10 * time.Millisecond,
+		Runner:      func(j Job) ([]float64, error) { return nil, fmt.Errorf("bad cell") },
+	}
+	go w.Run(ctx)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("error completion never arrived")
+	}
+	if got.count() != 1 || got.cells[0].Err != "bad cell" {
+		t.Fatalf("got %+v", got.cells)
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+
+	"gridseg"
+	"gridseg/internal/fabric"
+)
+
+// runCluster executes one grid run in coordinator mode: serve every
+// cell already in the store directly, lease the rest to fabric
+// workers, and assemble the completed cells into the same GridResult a
+// single-process run would produce.
+//
+// The coordinator never computes a cell itself. Correctness leans on
+// the cells being content-addressed: a worker presumed dead whose cell
+// was requeued still completes with identical bytes, the lease table
+// folds the duplicate silently, and the assembled artifact is
+// byte-identical to the local path no matter which workers computed
+// what, how often, or in what order.
+func (s *Server) runCluster(j *job) {
+	j.setState(StateRunning)
+	jobs, err := gridseg.GridJobs(j.spec, j.seed)
+	if err != nil {
+		j.fail(err)
+		return
+	}
+	s.log("grid %s: running %q seed=%d (%d cells, cluster)", j.id, j.spec, j.seed, len(jobs))
+
+	values := make([][]float64, len(jobs))
+	byIndex := make(map[int]fabric.Job, len(jobs))
+	var pending []fabric.Job
+	done, hits, misses := 0, 0, 0
+	for _, fj := range jobs {
+		byIndex[fj.Index] = fj
+		if v, ok, err := s.store.Get(fj.Key); err == nil && ok && len(v) == len(fj.Columns) {
+			values[fj.Index] = v
+			done++
+			hits++
+			j.progress(clusterProgress(fj, done, len(jobs), true, ""))
+			continue
+		}
+		pending = append(pending, fj)
+	}
+	if len(pending) == 0 {
+		s.finishCluster(j, values, hits, misses)
+		return
+	}
+
+	// The completion callback runs with the lease table locked, so
+	// invocations are serialized and `done`/`values`/`hits`/`misses`
+	// need no extra synchronization; the done-channel close (also under
+	// the table lock) orders every write before the assembly below.
+	failc := make(chan error, 1)
+	donec, err := s.fabric.Table().Register(j.id, pending, func(d fabric.CellDone) {
+		if d.Err != "" {
+			// Deterministic cell failure: the same inputs would fail on
+			// any worker, so fail the run rather than requeue forever.
+			select {
+			case failc <- fmt.Errorf("cell %d failed on worker %s: %s", d.Index, d.Worker, d.Err):
+			default:
+			}
+			return
+		}
+		fj := byIndex[d.Index]
+		values[d.Index] = d.Values
+		done++
+		if d.Cached {
+			hits++
+		} else {
+			misses++
+		}
+		// Backstop the cache fill: workers write the store themselves,
+		// but one that died between computing and filling should not
+		// cost a recomputation on the next overlapping grid. Fail-soft,
+		// like every store write.
+		if _, ok, err := s.store.Get(fj.Key); err == nil && !ok {
+			if err := s.store.Put(fj.Key, d.Values); err != nil {
+				s.log("grid %s: caching cell %d: %v", j.id, d.Index, err)
+			}
+		}
+		j.progress(clusterProgress(fj, done, len(jobs), d.Cached, d.Worker))
+	})
+	if err != nil {
+		j.fail(err)
+		return
+	}
+
+	select {
+	case <-donec:
+		// A failing cell also counts as completed in the table; prefer
+		// the failure if both signals are up.
+		select {
+		case err := <-failc:
+			s.fabric.Table().Cancel(j.id)
+			s.log("grid %s: failed: %v", j.id, err)
+			j.fail(err)
+		default:
+			s.finishCluster(j, values, hits, misses)
+		}
+	case err := <-failc:
+		s.fabric.Table().Cancel(j.id)
+		s.log("grid %s: failed: %v", j.id, err)
+		j.fail(err)
+	case <-s.stop:
+		s.fabric.Table().Cancel(j.id)
+		j.fail(fmt.Errorf("server shut down before the run completed"))
+	}
+}
+
+// finishCluster assembles and publishes a completed cluster run.
+func (s *Server) finishCluster(j *job, values [][]float64, hits, misses int) {
+	res, err := gridseg.AssembleGrid(j.spec, values, gridseg.CacheStats{Hits: hits, Misses: misses})
+	if err != nil {
+		s.log("grid %s: failed: %v", j.id, err)
+		j.fail(err)
+		return
+	}
+	s.log("grid %s: done (%d cached, %d computed by workers)", j.id, hits, misses)
+	j.finish(res)
+}
+
+// clusterProgress adapts a fabric job completion to the progress shape
+// the SSE layer streams.
+func clusterProgress(fj fabric.Job, done, total int, cached bool, worker string) gridseg.CellProgress {
+	c := fj.Cell
+	return gridseg.CellProgress{
+		Done: done, Total: total,
+		Dynamic: c.Dynamic, N: c.N, W: c.W,
+		Tau: c.Tau, P: c.P,
+		Boundary: c.Boundary, Rho: c.Rho, TauDist: c.TauDist,
+		Extra: c.Extra, Rep: c.Rep,
+		Cached: cached, Worker: worker,
+	}
+}

@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gridseg"
+	"gridseg/internal/fabric"
+	"gridseg/internal/store"
+)
+
+// clusterSpec is large enough that three workers genuinely interleave
+// (16 cells) while each cell stays cheap.
+const clusterSpec = "n=16 w=1 tau=0.4,0.42,0.44,0.46 reps=4"
+
+// newClusterServer starts a coordinator-mode Server behind httptest.
+func newClusterServer(t *testing.T, st gridseg.CellStore, ttl time.Duration) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Options{Store: st, Cluster: true, LeaseTTL: ttl, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// localArtifacts computes the single-process reference bytes for a
+// (spec, seed) pair: what plain segd (or cmd/sweep) would serve.
+func localArtifacts(t *testing.T, spec string, seed uint64) (csv, jsonBytes []byte) {
+	t.Helper()
+	res, err := gridseg.RunGrid(spec, gridseg.GridOptions{Seed: seed, Store: gridseg.NewMemoryStore()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbuf, jbuf bytes.Buffer
+	if err := res.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.WriteJSON(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	return cbuf.Bytes(), jbuf.Bytes()
+}
+
+// TestClusterChaos is the fault-injection e2e of the distributed
+// fabric: a coordinator plus three in-process workers whose transports
+// inject timeouts, 5xx, and torn connections on a seeded schedule. One
+// worker is killed mid-sweep (after completing a cell), one is killed
+// mid-cell (inside a computation); the grid must still complete with
+// zero lost and zero double-counted cells, and the artifacts must be
+// byte-identical to a single-process run.
+func TestClusterChaos(t *testing.T) {
+	const seed = 7
+	st := gridseg.NewMemoryStore()
+	_, hs := newClusterServer(t, st, 300*time.Millisecond)
+
+	// Fault schedule: deterministic per worker given its seed — rerun
+	// with the same seeds to reproduce a failure exactly.
+	transports := []*fabric.ChaosTransport{
+		fabric.NewChaosTransport(101, http.DefaultTransport, 0.05, 0.05, 0.05),
+		fabric.NewChaosTransport(202, http.DefaultTransport, 0.05, 0.05, 0.05),
+		fabric.NewChaosTransport(303, http.DefaultTransport, 0.05, 0.05, 0.05),
+	}
+
+	ctxSweep, cancelSweep := context.WithCancel(context.Background())
+	ctxCell, cancelCell := context.WithCancel(context.Background())
+	ctxSurvivor, cancelSurvivor := context.WithCancel(context.Background())
+	defer cancelSweep()
+	defer cancelCell()
+	defer cancelSurvivor()
+
+	// Worker killed mid-sweep: its first cell completes end to end;
+	// the second call parks until the kill lands, so it dies holding a
+	// lease it will never report — the requeue path must recover it.
+	var sweepCalls int
+	var sweepMu sync.Mutex
+	sweepKilled := make(chan struct{})
+	runnerSweep := func(j fabric.Job) ([]float64, error) {
+		sweepMu.Lock()
+		sweepCalls++
+		n := sweepCalls
+		sweepMu.Unlock()
+		if n >= 2 {
+			close(sweepKilled)
+			<-ctxSweep.Done()
+			return nil, ctxSweep.Err()
+		}
+		return gridseg.ComputeJob(j)
+	}
+	// Worker killed mid-cell: dies inside its first computation.
+	cellStarted := make(chan struct{})
+	var cellOnce sync.Once
+	runnerCell := func(j fabric.Job) ([]float64, error) {
+		cellOnce.Do(func() { close(cellStarted) })
+		<-ctxCell.Done()
+		return nil, ctxCell.Err()
+	}
+
+	workers := []struct {
+		name   string
+		ctx    context.Context
+		tr     *fabric.ChaosTransport
+		runner func(fabric.Job) ([]float64, error)
+	}{
+		{"w-sweepkill", ctxSweep, transports[0], runnerSweep},
+		{"w-cellkill", ctxCell, transports[1], runnerCell},
+		{"w-survivor", ctxSurvivor, transports[2], gridseg.ComputeJob},
+	}
+	var wg sync.WaitGroup
+	for _, wk := range workers {
+		client := &http.Client{Transport: wk.tr}
+		w := &fabric.Worker{
+			Name:        wk.name,
+			Coordinator: hs.URL + "/fabric",
+			Client:      client,
+			Store:       store.NewRemote(hs.URL+"/objects", client),
+			Runner:      wk.runner,
+			Poll:        20 * time.Millisecond,
+			Logf:        t.Logf,
+		}
+		wg.Add(1)
+		go func(ctx context.Context) {
+			defer wg.Done()
+			w.Run(ctx)
+		}(wk.ctx)
+	}
+	defer wg.Wait()
+
+	status, code := submit(t, hs.URL, clusterSpec, seed)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	cells := status.Cells
+
+	// Deliver the kills once each victim is in position.
+	select {
+	case <-cellStarted:
+	case <-time.After(20 * time.Second):
+		t.Fatal("mid-cell victim never started a cell")
+	}
+	cancelCell()
+	select {
+	case <-sweepKilled:
+	case <-time.After(20 * time.Second):
+		t.Fatal("mid-sweep victim never reached its second cell")
+	}
+	cancelSweep()
+
+	final := waitDone(t, hs.URL, status.ID)
+	cancelSurvivor()
+	if final.State != StateDone {
+		t.Fatalf("final state = %s (%s)", final.State, final.Error)
+	}
+	// Zero lost, zero double-counted: every cell accounted for exactly
+	// once in the completion and cache tallies.
+	if final.Done != cells {
+		t.Fatalf("done = %d, want %d", final.Done, cells)
+	}
+	if final.Cache.Hits+final.Cache.Misses != cells {
+		t.Fatalf("cache hits %d + misses %d != %d cells", final.Cache.Hits, final.Cache.Misses, cells)
+	}
+
+	// The SSE replay must carry exactly one event per cell — a
+	// double-reported cell would show up as a duplicate identity here.
+	events := sseCellEvents(t, hs.URL+"/grids/"+status.ID+"/events")
+	if len(events) != cells {
+		t.Fatalf("SSE streamed %d cell events, want %d", len(events), cells)
+	}
+	seen := map[string]bool{}
+	for _, ev := range events {
+		id := fmt.Sprintf("%s|%d|%d|%v|%v|%v|%d", ev.Dynamic, ev.N, ev.W, ev.Tau, ev.P, ev.Extra, ev.Rep)
+		if seen[id] {
+			t.Fatalf("cell %s reported twice over SSE", id)
+		}
+		seen[id] = true
+		if !ev.Cached && ev.Worker == "" {
+			t.Fatalf("computed cell %s lacks worker attribution", id)
+		}
+	}
+
+	// Byte-identical artifacts: the cluster's CSV and JSON must equal a
+	// single-process run of the same (spec, seed).
+	wantCSV, wantJSON := localArtifacts(t, clusterSpec, seed)
+	gotCSV, code := fetch(t, hs.URL+"/grids/"+status.ID+"/artifact.csv")
+	if code != http.StatusOK || !bytes.Equal(gotCSV, wantCSV) {
+		t.Fatalf("cluster CSV differs from single-process run (status %d)\ngot:\n%s\nwant:\n%s", code, gotCSV, wantCSV)
+	}
+	gotJSON, code := fetch(t, hs.URL+"/grids/"+status.ID+"/artifact.json")
+	if code != http.StatusOK || !bytes.Equal(gotJSON, wantJSON) {
+		t.Fatalf("cluster JSON differs from single-process run (status %d)", code)
+	}
+
+	// The kills actually exercised the requeue path, and the seeded
+	// schedule actually injected faults.
+	var fstatus struct {
+		Requeues int `json:"requeues"`
+	}
+	data, _ := fetch(t, hs.URL+"/fabric/status")
+	if err := json.Unmarshal(data, &fstatus); err != nil {
+		t.Fatal(err)
+	}
+	if fstatus.Requeues < 2 {
+		t.Fatalf("requeues = %d, want >= 2 (both victims died holding leases)", fstatus.Requeues)
+	}
+	faults := 0
+	for _, tr := range transports {
+		faults += tr.Faults()
+	}
+	if faults == 0 {
+		t.Fatal("chaos schedule injected no faults; the test proved nothing")
+	}
+	t.Logf("chaos: %d faults injected, %d requeues", faults, fstatus.Requeues)
+}
+
+// TestClusterServesCachedRunWithoutWorkers pins the coordinator's
+// cache path: a grid whose cells are all in the shared store completes
+// with no workers attached at all, every cell a hit.
+func TestClusterServesCachedRunWithoutWorkers(t *testing.T) {
+	const seed = 9
+	st := gridseg.NewMemoryStore()
+	if _, err := gridseg.RunGrid(testSpec, gridseg.GridOptions{Seed: seed, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	_, hs := newClusterServer(t, st, time.Second)
+
+	status, code := submit(t, hs.URL, testSpec, seed)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+	final := waitDone(t, hs.URL, status.ID)
+	if final.State != StateDone {
+		t.Fatalf("final state = %s (%s)", final.State, final.Error)
+	}
+	if final.Cache.Hits != final.Cells || final.Cache.Misses != 0 {
+		t.Fatalf("cache = %+v, want all %d cells hit", final.Cache, final.Cells)
+	}
+	wantCSV, _ := localArtifacts(t, testSpec, seed)
+	gotCSV, _ := fetch(t, hs.URL+"/grids/"+status.ID+"/artifact.csv")
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Fatalf("cached cluster CSV differs from single-process run")
+	}
+}
+
+// TestClusterWorkerErrorFailsRun pins the deterministic-error path: a
+// cell that fails on a worker fails the run (it would fail anywhere),
+// and resubmission is still possible afterwards.
+func TestClusterWorkerErrorFailsRun(t *testing.T) {
+	st := gridseg.NewMemoryStore()
+	_, hs := newClusterServer(t, st, time.Second)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := &fabric.Worker{
+		Name:        "w-broken",
+		Coordinator: hs.URL + "/fabric",
+		Store:       store.NewRemote(hs.URL+"/objects", nil),
+		Runner:      func(j fabric.Job) ([]float64, error) { return nil, fmt.Errorf("synthetic cell failure") },
+		Poll:        10 * time.Millisecond,
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.Run(ctx)
+	}()
+	defer wg.Wait()
+	defer cancel()
+
+	status, _ := submit(t, hs.URL, testSpec, 11)
+	final := waitDone(t, hs.URL, status.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "synthetic cell failure") {
+		t.Fatalf("final = %+v, want failed with the worker's error", final)
+	}
+}
+
+// sseCellEvents fetches a finished run's SSE replay and decodes its
+// cell events.
+func sseCellEvents(t *testing.T, url string) []cellEvent {
+	t.Helper()
+	body, code := fetch(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("events status = %d", code)
+	}
+	var out []cellEvent
+	lines := strings.Split(string(body), "\n")
+	for i := 0; i < len(lines); i++ {
+		if lines[i] != "event: cell" {
+			continue
+		}
+		if i+1 >= len(lines) || !strings.HasPrefix(lines[i+1], "data: ") {
+			t.Fatalf("malformed SSE frame at line %d", i)
+		}
+		var ev cellEvent
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(lines[i+1], "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ev)
+	}
+	return out
+}

@@ -104,6 +104,10 @@ type cellEvent struct {
 	Extra    float64 `json:"extra,omitempty"`
 	Rep      int     `json:"rep"`
 	Cached   bool    `json:"cached"`
+	// Worker names the fabric worker that computed the cell in cluster
+	// mode; omitted for in-process sweeps and coordinator-served cache
+	// hits, so default streams keep their single-process shape.
+	Worker string `json:"worker,omitempty"`
 }
 
 // progress records one completed cell and broadcasts it.
@@ -112,7 +116,7 @@ func (j *job) progress(p gridseg.CellProgress) {
 		Done: p.Done, Total: p.Total,
 		Dynamic: p.Dynamic, N: p.N, W: p.W,
 		Tau: p.Tau, P: p.P, Extra: p.Extra, Rep: p.Rep,
-		Cached: p.Cached,
+		Cached: p.Cached, Worker: p.Worker,
 	}
 	if !batch.DefaultScenario(p.Boundary, p.Rho, p.TauDist) {
 		ev.Boundary, ev.Rho, ev.TauDist = p.Boundary, p.Rho, p.TauDist

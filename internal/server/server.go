@@ -23,6 +23,18 @@
 //	GET  /grids/{id}/artifact.json   full JSON artifact (409 until done)
 //	GET  /grids/{id}/events  SSE progress stream (replays history, then live)
 //	GET  /healthz            liveness probe
+//
+// In cluster mode (Options.Cluster) the server becomes a coordinator:
+// it computes nothing itself, instead leasing cache-missing cells to
+// fabric workers and serving the shared store over HTTP, with two
+// extra endpoint groups:
+//
+//	POST /fabric/lease       worker requests a cell lease (204 when no work)
+//	POST /fabric/heartbeat   renew a held lease (409 once the lease is lost)
+//	POST /fabric/complete    report a finished cell (idempotent)
+//	GET  /fabric/status      lease-table snapshot and cumulative requeues
+//	GET  /objects/{key}      fetch one cell result by store key (404 on miss)
+//	PUT  /objects/{key}      store one cell result (atomic, key-checked)
 package server
 
 import (
@@ -31,8 +43,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"gridseg"
+	"gridseg/internal/fabric"
+	"gridseg/internal/store"
 )
 
 // States of a grid run.
@@ -54,6 +69,9 @@ type Server struct {
 	// valid specs can no longer reach (spec validation got stricter
 	// with the scenario axes).
 	runGrid func(spec string, opt gridseg.GridOptions) (*gridseg.GridResult, error)
+	// fabric is the lease coordinator of cluster mode; nil when the
+	// server computes grids in-process (the default).
+	fabric *fabric.Coordinator
 
 	mu    sync.Mutex
 	grids map[string]*job
@@ -82,6 +100,18 @@ type Options struct {
 	MaxRuns int
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...interface{})
+	// Cluster switches the server into coordinator mode: submitted
+	// grids are decomposed into content-addressed cell jobs and leased
+	// to segd worker processes over the /fabric/ endpoints instead of
+	// being computed in-process, and the shared store is exported at
+	// /objects/ so workers probe and fill the same cache. A
+	// coordinator computes nothing itself — with no workers attached, a
+	// grid whose cells are not already cached waits until one arrives.
+	Cluster bool
+	// LeaseTTL bounds how long a leased cell may go unrenewed before it
+	// is requeued to another worker (cluster mode; 0 means
+	// fabric.DefaultTTL). Workers heartbeat at a third of the TTL.
+	LeaseTTL time.Duration
 }
 
 // New builds a Server and starts its dispatcher. Call Close to drain.
@@ -106,6 +136,9 @@ func New(opt Options) (*Server, error) {
 		grids:   map[string]*job{},
 		queue:   make(chan *job, depth),
 		stop:    make(chan struct{}),
+	}
+	if opt.Cluster {
+		s.fabric = fabric.NewCoordinator(opt.LeaseTTL, nil)
 	}
 	s.wg.Add(1)
 	go s.dispatch()
@@ -148,6 +181,10 @@ func (s *Server) dispatch() {
 
 // run executes one grid run to completion and broadcasts its events.
 func (s *Server) run(j *job) {
+	if s.fabric != nil {
+		s.runCluster(j)
+		return
+	}
 	j.setState(StateRunning)
 	s.log("grid %s: running %q seed=%d (%d cells)", j.id, j.spec, j.seed, j.cells)
 	res, err := s.runGrid(j.spec, gridseg.GridOptions{
@@ -184,6 +221,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.fabric != nil {
+		// Cluster mode: the lease protocol for workers and the shared
+		// object store they probe and fill.
+		mux.Handle("/fabric/", http.StripPrefix("/fabric", s.fabric.Handler()))
+		mux.Handle("/objects/", http.StripPrefix("/objects", store.ObjectHandler(s.store)))
+	}
 	return mux
 }
 

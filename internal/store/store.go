@@ -99,10 +99,17 @@ func (s CellSpec) Key() string {
 // g renders a float at full precision (shortest exact form).
 func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
-// Store is the key-value contract shared by every cache backend.
+// Backend is the key-value contract shared by every cache backend:
+// in-process (Memory), file-backed (Dir), and remote (Remote).
 // Implementations must be safe for concurrent use: the batch engine
-// probes and fills the store from its worker goroutines.
-type Store interface {
+// probes and fills the store from its worker goroutines, and in
+// cluster mode many worker processes share one backend.
+//
+// Because keys are content addresses of deterministic computations,
+// every backend inherits last-write-equivalence for free: two writers
+// racing on one key are writing identical bytes, so Put order never
+// matters and overwriting is idempotent.
+type Backend interface {
 	// Get returns the metric vector stored under key, reporting whether
 	// it exists. A missing key is not an error.
 	Get(key string) ([]float64, bool, error)
@@ -110,6 +117,10 @@ type Store interface {
 	// key with the same values is legal and idempotent.
 	Put(key string, values []float64) error
 }
+
+// Store is the historical name of the backend contract, kept as an
+// alias so existing call sites read naturally.
+type Store = Backend
 
 // Memory is an in-process Store, useful for tests and for servers that
 // do not need persistence.
@@ -155,12 +166,17 @@ func (s *Memory) Len() int {
 // its own small JSON object file under objects/<key[:2]>/<key[2:]>,
 // written atomically (unique temp file + rename), so concurrent
 // writers — even across processes sharing the store, like cmd/segd and
-// cmd/sweep -cache — never expose a torn object. Dir needs no locking:
-// object files are immutable once renamed into place, and when two
+// cmd/sweep -cache — never expose a torn object. The object files need
+// no locking: they are immutable once renamed into place, and when two
 // writers race on one key the loser's rename just reinstalls the same
-// deterministic bytes.
+// deterministic bytes. The mutex only guards the cached object count
+// maintained for Len.
 type Dir struct {
 	root string
+
+	mu      sync.Mutex
+	counted bool // count is valid (Len has scanned once)
+	count   int
 }
 
 // Open opens (creating if needed) a file-backed store rooted at dir.
@@ -297,15 +313,36 @@ func (d *Dir) Put(key string, values []float64) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	// The stat+rename pair runs under the counter mutex so the cached
+	// Len stays exact within this handle: without it, two goroutines
+	// racing on a fresh key could both observe "new" and double-count.
+	d.mu.Lock()
+	_, statErr := os.Stat(path)
 	if err := os.Rename(tmp.Name(), path); err != nil {
+		d.mu.Unlock()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	if d.counted && os.IsNotExist(statErr) {
+		d.count++
+	}
+	d.mu.Unlock()
 	return nil
 }
 
-// Len walks the store and returns the number of cached cells.
+// Len returns the number of cached cells. The first call walks the
+// objects tree once; after that the count is served from memory and
+// maintained by Put, so pollers (status endpoints, progress loops) pay
+// O(1) instead of O(cells) per call. The count covers objects present
+// at the first scan plus this handle's own writes: another process
+// writing the same directory is only picked up by reopening the store
+// (see TestDirLenReopen).
 func (d *Dir) Len() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.counted {
+		return d.count, nil
+	}
 	n := 0
 	err := filepath.WalkDir(filepath.Join(d.root, "objects"), func(path string, e os.DirEntry, err error) error {
 		if err != nil {
@@ -319,5 +356,7 @@ func (d *Dir) Len() (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("store: %w", err)
 	}
+	d.counted = true
+	d.count = n
 	return n, nil
 }

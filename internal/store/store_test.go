@@ -1,7 +1,10 @@
 package store
 
 import (
+	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
@@ -107,20 +110,14 @@ func TestKeyDistinguishesIdentity(t *testing.T) {
 	}
 }
 
-// storeImpls runs a subtest against each Store backend.
-func storeImpls(t *testing.T, f func(t *testing.T, s Store)) {
-	t.Run("memory", func(t *testing.T) { f(t, NewMemory()) })
-	t.Run("dir", func(t *testing.T) {
-		d, err := Open(filepath.Join(t.TempDir(), "cache"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		f(t, d)
-	})
-}
-
-func TestRoundTrip(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
+// testBackend is the shared conformance suite every Store backend must
+// pass. open returns a fresh handle onto the same underlying substrate
+// each call — the same Memory instance, the same directory, the same
+// remote server — so the persistence subtest exercises a real
+// close-and-reopen, not a fresh empty store.
+func testBackend(t *testing.T, open func() Store) {
+	t.Run("roundtrip", func(t *testing.T) {
+		s := open()
 		key := CellSpec{Scope: "rt", Seed: 1}.Key()
 		if _, ok, err := s.Get(key); err != nil || ok {
 			t.Fatalf("empty store Get = %v, %v", ok, err)
@@ -146,65 +143,18 @@ func TestRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-}
-
-func TestDirPersistsAcrossOpens(t *testing.T) {
-	root := filepath.Join(t.TempDir(), "cache")
-	d1, err := Open(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	key := CellSpec{Scope: "persist", Seed: 2}.Key()
-	if err := d1.Put(key, []float64{42}); err != nil {
-		t.Fatal(err)
-	}
-	d2, err := Open(root)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, ok, err := d2.Get(key)
-	if err != nil || !ok || got[0] != 42 {
-		t.Fatalf("reopened store Get = %v, %v, %v", got, ok, err)
-	}
-	if n, err := d2.Len(); err != nil || n != 1 {
-		t.Fatalf("Len = %d, %v", n, err)
-	}
-}
-
-func TestDirRejectsMalformedKeys(t *testing.T) {
-	d, err := Open(filepath.Join(t.TempDir(), "cache"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, key := range []string{"", "abc", "../../../../etc/passwd", string(make([]byte, 64))} {
-		if err := d.Put(key, []float64{1}); err == nil {
-			t.Errorf("Put(%q) must fail", key)
+	t.Run("persistence", func(t *testing.T) {
+		key := CellSpec{Scope: "persist", Seed: 2}.Key()
+		if err := open().Put(key, []float64{42}); err != nil {
+			t.Fatal(err)
 		}
-		if _, _, err := d.Get(key); err == nil {
-			t.Errorf("Get(%q) must fail", key)
+		got, ok, err := open().Get(key)
+		if err != nil || !ok || got[0] != 42 {
+			t.Fatalf("reopened store Get = %v, %v, %v", got, ok, err)
 		}
-	}
-}
-
-func TestDirCorruptObject(t *testing.T) {
-	d, err := Open(filepath.Join(t.TempDir(), "cache"))
-	if err != nil {
-		t.Fatal(err)
-	}
-	key := CellSpec{Scope: "corrupt"}.Key()
-	if err := d.Put(key, []float64{1}); err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(d.path(key), []byte("{not json"), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, _, err := d.Get(key); err == nil {
-		t.Fatal("corrupt object must surface an error, not a silent miss")
-	}
-}
-
-func TestConcurrentAccess(t *testing.T) {
-	storeImpls(t, func(t *testing.T, s Store) {
+	})
+	t.Run("concurrent", func(t *testing.T) {
+		s := open()
 		var wg sync.WaitGroup
 		for i := 0; i < 8; i++ {
 			wg.Add(1)
@@ -226,4 +176,253 @@ func TestConcurrentAccess(t *testing.T) {
 		}
 		wg.Wait()
 	})
+	t.Run("concurrent put identical bytes", func(t *testing.T) {
+		// Last-write-equivalence: cells are content-addressed, so every
+		// writer racing on one key carries the same deterministic bytes
+		// and any interleaving must leave exactly those bytes readable.
+		key := CellSpec{Scope: "lwe", Seed: 3}.Key()
+		want := []float64{0.25, math.NaN(), 7, -1.5}
+		var wg sync.WaitGroup
+		for i := 0; i < 12; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := open()
+				for j := 0; j < 10; j++ {
+					if err := s.Put(key, want); err != nil {
+						t.Error(err)
+						return
+					}
+					got, ok, err := s.Get(key)
+					if err != nil || !ok || len(got) != len(want) {
+						t.Errorf("Get = %v, %v, %v", got, ok, err)
+						return
+					}
+					for k := range want {
+						if math.IsNaN(want[k]) != math.IsNaN(got[k]) || (!math.IsNaN(want[k]) && want[k] != got[k]) {
+							t.Errorf("value %d torn: got %v want %v", k, got[k], want[k])
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	})
+}
+
+// TestBackendContract runs the conformance suite against every
+// backend: in-process, file-backed, and remote (an HTTP client over
+// the object endpoint, backed by a Dir — the cluster deployment
+// shape).
+func TestBackendContract(t *testing.T) {
+	t.Run("memory", func(t *testing.T) {
+		m := NewMemory()
+		testBackend(t, func() Store { return m })
+	})
+	t.Run("dir", func(t *testing.T) {
+		root := filepath.Join(t.TempDir(), "cache")
+		testBackend(t, func() Store {
+			d, err := Open(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		})
+	})
+	t.Run("remote", func(t *testing.T) {
+		d, err := Open(filepath.Join(t.TempDir(), "cache"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(ObjectHandler(d))
+		defer srv.Close()
+		testBackend(t, func() Store { return NewRemote(srv.URL, srv.Client()) })
+	})
+}
+
+// malformedKeys are inputs validKey must reject on every strict
+// backend: path traversal and length confusion must never reach the
+// filesystem or the wire.
+var malformedKeys = []string{"", "abc", "../../../../etc/passwd", string(make([]byte, 64))}
+
+func TestDirRejectsMalformedKeys(t *testing.T) {
+	d, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range malformedKeys {
+		if err := d.Put(key, []float64{1}); err == nil {
+			t.Errorf("Put(%q) must fail", key)
+		}
+		if _, _, err := d.Get(key); err == nil {
+			t.Errorf("Get(%q) must fail", key)
+		}
+	}
+}
+
+func TestRemoteRejectsMalformedKeys(t *testing.T) {
+	// The handler must reject bad keys on its own: a non-Remote client
+	// can hit the endpoint directly.
+	srv := httptest.NewServer(ObjectHandler(NewMemory()))
+	defer srv.Close()
+	r := NewRemote(srv.URL, srv.Client())
+	for _, key := range malformedKeys {
+		if err := r.Put(key, []float64{1}); err == nil {
+			t.Errorf("Remote.Put(%q) must fail", key)
+		}
+		if _, _, err := r.Get(key); err == nil {
+			t.Errorf("Remote.Get(%q) must fail", key)
+		}
+	}
+	// Server-side validation, bypassing the client's validKey check.
+	resp, err := srv.Client().Get(srv.URL + "/not-a-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET bad key = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestDirCorruptObject(t *testing.T) {
+	d, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellSpec{Scope: "corrupt"}.Key()
+	if err := d.Put(key, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path(key), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := d.Get(key); err == nil {
+		t.Fatal("corrupt object must surface an error, not a silent miss")
+	}
+}
+
+// TestRemoteCorruptObject pins that corruption crosses the wire as an
+// error: a torn object behind the server, and a confused server
+// responding with the wrong key, must both fail the remote Get rather
+// than degrade into a silent miss or a wrong value.
+func TestRemoteCorruptObject(t *testing.T) {
+	d, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(ObjectHandler(d))
+	defer srv.Close()
+	r := NewRemote(srv.URL, srv.Client())
+
+	key := CellSpec{Scope: "corrupt-remote"}.Key()
+	if err := r.Put(key, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(d.path(key), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Get(key); err == nil {
+		t.Fatal("corrupt object behind the server must surface an error")
+	}
+
+	// A server that answers with a different object's key.
+	wrong := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprintf(w, `{"key":%q,"values":[1]}`, CellSpec{Scope: "other"}.Key())
+	}))
+	defer wrong.Close()
+	if _, _, err := NewRemote(wrong.URL, wrong.Client()).Get(key); err == nil {
+		t.Fatal("key-mismatched response must surface an error")
+	}
+}
+
+// TestDirLenReopen pins the cached-count semantics of Dir.Len: O(1)
+// after the first scan, exact for this handle's own writes, and
+// refreshed by reopening the store — the cross-process contract, since
+// another process's writes land in the directory but not in this
+// handle's counter.
+func TestDirLenReopen(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "cache")
+	d1, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put := func(d *Dir, rep int) {
+		t.Helper()
+		if err := d.Put(CellSpec{Scope: "len", Rep: rep}.Key(), []float64{float64(rep)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(d1, 0)
+	put(d1, 1)
+	if n, err := d1.Len(); err != nil || n != 2 {
+		t.Fatalf("d1.Len = %d, %v, want 2", n, err)
+	}
+	// Writes through this handle keep the cached count exact, and
+	// overwrites must not inflate it.
+	put(d1, 2)
+	put(d1, 2)
+	if n, err := d1.Len(); err != nil || n != 3 {
+		t.Fatalf("d1.Len after put = %d, %v, want 3", n, err)
+	}
+
+	// A second handle over the same directory ("another process")
+	// scans the current state on its first Len...
+	d2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d2.Len(); err != nil || n != 3 {
+		t.Fatalf("d2.Len = %d, %v, want 3", n, err)
+	}
+	// ...but does not observe d1's later writes until reopened: the
+	// count is a per-handle snapshot plus own writes.
+	put(d1, 3)
+	if n, err := d2.Len(); err != nil || n != 3 {
+		t.Fatalf("d2.Len after foreign put = %d, %v, want stale 3", n, err)
+	}
+	d3, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d3.Len(); err != nil || n != 4 {
+		t.Fatalf("d3.Len = %d, %v, want 4", n, err)
+	}
+}
+
+// TestDirLenConcurrent hammers Len against concurrent Puts of fresh
+// keys (run under -race): the count must end exact, with no torn or
+// double-counted increments.
+func TestDirLenConcurrent(t *testing.T) {
+	d, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := d.Len(); err != nil || n != 0 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	const writers, perWriter = 8, 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				key := CellSpec{Scope: "lenrace", Rep: i*perWriter + j}.Key()
+				if err := d.Put(key, []float64{1}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := d.Len(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if n, err := d.Len(); err != nil || n != writers*perWriter {
+		t.Fatalf("final Len = %d, %v, want %d", n, err, writers*perWriter)
+	}
 }

@@ -70,6 +70,9 @@ type CellProgress struct {
 	// Cached reports whether the cell was served from the checkpoint
 	// or the result store instead of being computed.
 	Cached bool
+	// Worker names the fabric worker that computed the cell when the
+	// sweep ran in cluster mode; empty for in-process sweeps.
+	Worker string
 }
 
 // GridOptions configures a parameter-grid sweep.
