@@ -1,7 +1,7 @@
 # Developer entry points. CI runs verify, docs, staticcheck, and
 # bench-check.
 
-.PHONY: all build test race race-stress cluster-test fuzz bench bench-check bench-check-ci memcheck diff docs profile staticcheck verify
+.PHONY: all build test race race-stress cluster-test obscheck fuzz bench bench-check bench-check-ci memcheck diff docs profile staticcheck verify
 
 all: verify
 
@@ -29,7 +29,14 @@ race-stress:
 # client sanity check.
 cluster-test:
 	go test -race -run 'TestCluster|TestLease|TestLate|TestHeartbeat|TestComplete|TestWorker|TestNaNValues|TestChaos' ./internal/server/ ./internal/fabric/
-	go run ./cmd/segload -inproc -spec "n=16 w=1 tau=0.40,0.45 reps=2" -clients 8 -sse 2 -duration 2s
+	go run ./cmd/segload -inproc -spec "n=16 w=1 tau=0.40,0.45 reps=2" -clients 8 -sse 2 -duration 2s -metrics-url auto
+
+# Observability gate: boot a segd in-process, submit a grid behind a
+# blocker run, require a live trajectory stream of decodable frames on
+# /grids/{id}/live, then scrape /metrics and require the exposition to
+# parse and carry every expected metric family.
+obscheck:
+	go run ./cmd/obscheck
 
 # Short fuzz passes over the grid-spec parser and the lattice
 # configuration codec (the CI-sized budget; raise -fuzztime locally

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+import "gridseg/internal/clidoc"
+
+// TestUsageCoverage asserts every flag of the command carries a usage
+// string and is documented in the repository README.
+func TestUsageCoverage(t *testing.T) {
+	fs, _ := newFlagSet()
+	for _, err := range clidoc.CheckFlags(fs, "../../README.md") {
+		t.Error(err)
+	}
+}

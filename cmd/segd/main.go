@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,21 +35,24 @@ import (
 
 	"gridseg"
 	"gridseg/internal/fabric"
+	"gridseg/internal/metrics"
 	"gridseg/internal/server"
 	"gridseg/internal/store"
 )
 
 // config holds the parsed command-line options.
 type config struct {
-	addr     string
-	store    string
-	workers  int
-	queue    int
-	verbose  bool
-	role     string
-	peer     string
-	name     string
-	leaseTTL time.Duration
+	addr      string
+	store     string
+	workers   int
+	queue     int
+	verbose   bool
+	role      string
+	peer      string
+	name      string
+	leaseTTL  time.Duration
+	logFormat string
+	liveEvery int64
 }
 
 // newFlagSet declares the command's flags; main parses it, and the
@@ -65,7 +69,23 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.StringVar(&c.peer, "peer", "", "coordinator base URL a worker attaches to, e.g. http://host:8080 (worker role)")
 	fs.StringVar(&c.name, "name", "", "worker name reported in leases and SSE events (worker role; default host-pid)")
 	fs.DurationVar(&c.leaseTTL, "lease-ttl", fabric.DefaultTTL, "how long a leased cell may go unrenewed before it is requeued to another worker (coordinator role)")
+	fs.StringVar(&c.logFormat, "log-format", "text", "structured log encoding: text or json (log/slog)")
+	fs.Int64Var(&c.liveEvery, "live-every", 0, "flips between live trajectory frames on /grids/{id}/live (0 = the server default); sampling only runs while someone is subscribed")
 	return fs, c
+}
+
+// newLogger builds the process logger from -log-format and -v: slog
+// text or JSON on stderr, at Info when verbose and Warn otherwise.
+func newLogger(cfg *config) *slog.Logger {
+	level := slog.LevelWarn
+	if cfg.verbose {
+		level = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	if cfg.logFormat == "json" {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts))
 }
 
 func main() {
@@ -73,6 +93,9 @@ func main() {
 	log.SetPrefix("segd: ")
 	fs, cfg := newFlagSet()
 	_ = fs.Parse(os.Args[1:])
+	if cfg.logFormat != "text" && cfg.logFormat != "json" {
+		log.Fatalf("unknown -log-format %q (want text or json)", cfg.logFormat)
+	}
 
 	switch cfg.role {
 	case "single", "coordinator":
@@ -97,9 +120,8 @@ func serve(cfg *config) {
 		QueueDepth: cfg.queue,
 		Cluster:    cfg.role == "coordinator",
 		LeaseTTL:   cfg.leaseTTL,
-	}
-	if cfg.verbose {
-		opt.Logf = log.Printf
+		Logger:     newLogger(cfg),
+		LiveEvery:  cfg.liveEvery,
 	}
 	srv, err := server.New(opt)
 	if err != nil {
@@ -160,10 +182,26 @@ func work(cfg *config) {
 		Coordinator: cfg.peer + "/fabric",
 		Store:       store.NewRemote(cfg.peer+"/objects", nil),
 		Runner:      gridseg.ComputeJob,
+		Logger:      newLogger(cfg),
 	}
-	if cfg.verbose {
-		w.Logf = log.Printf
-	}
+
+	// Workers expose /metrics and /healthz on -addr like the serving
+	// roles, so one scrape config covers the whole fleet (store and
+	// compute counters live process-side, not on the coordinator).
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", metrics.Default().Handler())
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(rw, `{"status": "ok"}`)
+	})
+	hs := &http.Server{Addr: cfg.addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			// Observability must never take compute down: log and keep
+			// leasing cells.
+			log.Printf("metrics listener: %v", err)
+		}
+	}()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -174,8 +212,12 @@ func work(cfg *config) {
 		cancel()
 	}()
 
-	log.Printf("worker %s attached to %s", name, cfg.peer)
-	if err := w.Run(ctx); err != nil && err != context.Canceled {
+	log.Printf("worker %s attached to %s (metrics on %s)", name, cfg.peer, cfg.addr)
+	err := w.Run(ctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer scancel()
+	_ = hs.Shutdown(sctx)
+	if err != nil && err != context.Canceled {
 		log.Fatal(err)
 	}
 }

@@ -13,6 +13,11 @@
 // a loopback port and load-tests that — no external setup, which is
 // how the CI cluster-test target uses it. The exit status is non-zero
 // if any request failed, so it doubles as an end-to-end smoke test.
+//
+// With -metrics-url, segload also scrapes a Prometheus /metrics
+// endpoint throughout the load phase and reports what the server said
+// about itself — cell cache hit rate and dispatcher queue-depth
+// percentiles; any scrape failure fails the run.
 package main
 
 import (
@@ -37,13 +42,14 @@ import (
 
 // config holds the parsed command-line options.
 type config struct {
-	url      string
-	inproc   bool
-	spec     string
-	seed     uint64
-	clients  int
-	sse      int
-	duration time.Duration
+	url        string
+	metricsURL string
+	inproc     bool
+	spec       string
+	seed       uint64
+	clients    int
+	sse        int
+	duration   time.Duration
 }
 
 // newFlagSet declares the command's flags; main parses it, and the
@@ -52,6 +58,7 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	c := &config{}
 	fs := flag.NewFlagSet("segload", flag.ExitOnError)
 	fs.StringVar(&c.url, "url", "", "base URL of the segd server to load (e.g. http://localhost:8080)")
+	fs.StringVar(&c.metricsURL, "metrics-url", "", "Prometheus /metrics endpoint to scrape every 200ms during the load phase (\"auto\" = the loaded server's own /metrics); reports cache hit rate and queue-depth percentiles, and any scrape failure fails the run")
 	fs.BoolVar(&c.inproc, "inproc", false, "start an in-process segd over a memory store and load that instead of -url (self-contained smoke test)")
 	fs.StringVar(&c.spec, "spec", "n=16 w=1 tau=0.40,0.45 reps=2", "grid spec to submit and serve during the run")
 	fs.Uint64Var(&c.seed, "seed", 1, "sweep seed for the submitted grid")
@@ -138,6 +145,19 @@ func main() {
 	artifact, sse := &stats{}, &stats{}
 	deadline := time.Now().Add(cfg.duration)
 	var wg sync.WaitGroup
+	var mp *probe
+	if cfg.metricsURL != "" {
+		u := cfg.metricsURL
+		if u == "auto" {
+			u = base + "/metrics"
+		}
+		mp = &probe{url: u}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mp.run(deadline)
+		}()
+	}
 	targets := []string{
 		base + "/grids/" + id + "/artifact.csv",
 		base + "/grids/" + id,
@@ -169,6 +189,9 @@ func main() {
 
 	ok := artifact.report("artifact", cfg.duration)
 	ok = sse.report("sse", cfg.duration) && ok
+	if mp != nil {
+		ok = mp.report() && ok
+	}
 	if !ok {
 		os.Exit(1)
 	}

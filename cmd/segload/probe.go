@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"gridseg/internal/metrics"
+)
+
+// probeInterval is how often the metrics probe scrapes during the load
+// phase: fast enough to catch queue-depth transients, slow enough to be
+// negligible load next to the closed-loop clients.
+const probeInterval = 200 * time.Millisecond
+
+// probe scrapes a /metrics endpoint on a fixed interval during the
+// load run and summarizes what the server reported about itself:
+// the cell cache hit rate and the dispatcher queue-depth distribution.
+// Scrape or parse failures are errors — an unreachable or malformed
+// exposition fails the run like any other bad response.
+type probe struct {
+	url string
+
+	mu      sync.Mutex
+	scrapes int
+	errors  int
+	lastErr error
+	depths  []int64 // one segd_queue_depth sample per scrape
+	cached  uint64  // latest gridseg_cells_cached_total
+
+	computed uint64 // latest gridseg_cells_computed_total
+}
+
+// run scrapes until the deadline passes. Call from its own goroutine.
+func (p *probe) run(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		p.scrape()
+		time.Sleep(probeInterval)
+	}
+}
+
+// scrape fetches and parses one exposition, recording the samples this
+// probe summarizes.
+func (p *probe) scrape() {
+	fams, err := scrapeMetrics(p.url)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.scrapes++
+	if err != nil {
+		p.errors++
+		p.lastErr = err
+		return
+	}
+	if s := fams["segd_queue_depth"]; len(s) > 0 {
+		p.depths = append(p.depths, int64(s[0].Value))
+	}
+	if s := fams["gridseg_cells_cached_total"]; len(s) > 0 {
+		p.cached = uint64(s[0].Value)
+	}
+	if s := fams["gridseg_cells_computed_total"]; len(s) > 0 {
+		p.computed = uint64(s[0].Value)
+	}
+}
+
+// scrapeMetrics fetches one Prometheus text exposition and parses it
+// into families keyed by sample name.
+func scrapeMetrics(url string) (map[string][]metrics.Sample, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	fams, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("scrape %s: exposition does not parse: %w", url, err)
+	}
+	return fams, nil
+}
+
+// report prints the probe summary and returns whether every scrape
+// succeeded.
+func (p *probe) report() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.errors > 0 {
+		fmt.Printf("%-10s %7d scrapes  %d failed (last: %v)\n", "metrics", p.scrapes, p.errors, p.lastErr)
+		return false
+	}
+	hitRate := "n/a"
+	if total := p.cached + p.computed; total > 0 {
+		hitRate = fmt.Sprintf("%.1f%%", 100*float64(p.cached)/float64(total))
+	}
+	sort.Slice(p.depths, func(i, j int) bool { return p.depths[i] < p.depths[j] })
+	pct := func(q float64) int64 {
+		if len(p.depths) == 0 {
+			return 0
+		}
+		return p.depths[int(q*float64(len(p.depths)-1))]
+	}
+	fmt.Printf("%-10s %7d scrapes  cache hit rate %s  queue depth p50 %d  p99 %d  max %d\n",
+		"metrics", p.scrapes, hitRate, pct(0.50), pct(0.99), pct(1.0))
+	return true
+}

@@ -32,15 +32,16 @@ func GridJobs(spec string, seed uint64) ([]fabric.Job, error) {
 		g.Engine = EngineAuto.String()
 	}
 	bopt := batch.Options{Seed: seed, Scope: gridScope}
+	cols := columnsFor(g)
 	cells := g.Cells()
 	jobs := make([]fabric.Job, len(cells))
 	for i, c := range cells {
-		cs := bopt.CellSpec(c, g.ExtraName, sweepColumns)
+		cs := bopt.CellSpec(c, g.ExtraName, cols)
 		jobs[i] = fabric.Job{
 			Index:   i,
 			Key:     cs.Key(),
 			Seed:    cs.Seed,
-			Columns: sweepColumns,
+			Columns: cols,
 			Cell:    c,
 		}
 	}
@@ -50,17 +51,49 @@ func GridJobs(spec string, seed uint64) ([]fabric.Job, error) {
 // ComputeJob computes the metric vector of one leased cell, exactly as
 // RunGrid's in-process workers would: the same runner, fed an rng
 // stream derived from the job's seed. It is the Runner a fabric worker
-// should use.
+// should use. Jobs carrying the geometry schema get the appended
+// geometry columns; either way the trajectory — and the first nine
+// values — are byte-identical to an in-process run.
 func ComputeJob(j fabric.Job) ([]float64, error) {
-	if len(j.Columns) != len(sweepColumns) {
-		return nil, fmt.Errorf("gridseg: job schema %v does not match this binary's columns %v", j.Columns, sweepColumns)
+	geometry, err := jobGeometry(j.Columns)
+	if err != nil {
+		return nil, err
 	}
-	for i, c := range j.Columns {
-		if c != sweepColumns[i] {
-			return nil, fmt.Errorf("gridseg: job schema %v does not match this binary's columns %v", j.Columns, sweepColumns)
+	m, err := buildSweepModel(j.Cell, rng.New(j.Seed))
+	if err != nil {
+		return nil, err
+	}
+	_, fixated := m.Run(0)
+	metricFlips.Add(uint64(m.Flips()))
+	// The fabric worker path never enters batch.Run, so the computed
+	// counter is incremented here; the worker's own store probe covers
+	// cache hits (they never reach the Runner).
+	batch.MetricCellsComputed.Inc()
+	return measureSweepCell(m, j.Cell, fixated, geometry), nil
+}
+
+// jobGeometry classifies a job's column schema against this binary's
+// two schemas, reporting whether it is the geometry one. Any other
+// schema means the coordinator runs an incompatible binary.
+func jobGeometry(cols []string) (bool, error) {
+	match := func(want []string) bool {
+		if len(cols) != len(want) {
+			return false
 		}
+		for i, c := range cols {
+			if c != want[i] {
+				return false
+			}
+		}
+		return true
 	}
-	return sweepCell(j.Cell, rng.New(j.Seed))
+	if match(sweepColumns) {
+		return false, nil
+	}
+	if match(geomColumns) {
+		return true, nil
+	}
+	return false, fmt.Errorf("gridseg: job schema %v matches neither this binary's columns %v nor its geometry columns %v", cols, sweepColumns, geomColumns)
 }
 
 // AssembleGrid builds the GridResult of a completed distributed run
@@ -75,18 +108,19 @@ func AssembleGrid(spec string, values [][]float64, cache CacheStats) (*GridResul
 	if g.Engine == "" {
 		g.Engine = EngineAuto.String()
 	}
+	cols := columnsFor(g)
 	cells := g.Cells()
 	if len(values) != len(cells) {
 		return nil, fmt.Errorf("gridseg: got %d cell values, grid has %d cells", len(values), len(cells))
 	}
 	for i, v := range values {
-		if len(v) != len(sweepColumns) {
-			return nil, fmt.Errorf("gridseg: cell %d has %d values, want %d", i, len(v), len(sweepColumns))
+		if len(v) != len(cols) {
+			return nil, fmt.Errorf("gridseg: cell %d has %d values, want %d", i, len(v), len(cols))
 		}
 	}
 	rs := &batch.ResultSet{
 		Grid:    g,
-		Columns: sweepColumns,
+		Columns: cols,
 		Cells:   cells,
 		Values:  values,
 		Cache:   batch.CacheStats{Hits: cache.Hits, Misses: cache.Misses, Err: cache.Err},

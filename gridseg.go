@@ -423,6 +423,90 @@ func (m *Model) Run(maxEvents int64) (int64, bool) {
 	return m.proc.Run(maxEvents)
 }
 
+// RunSampled advances the model exactly like Run(maxEvents) while
+// invoking sample approximately every `every` flips, plus exactly once
+// with final=true when the run terminates (fixation, event budget, or
+// failure-streak cutoff). The trajectory is bit-identical to Run's:
+// for Glauber the engine's Run is chunked (the Step sequence is
+// unchanged), and for the attempt-based Kawasaki and Move dynamics the
+// budget/streak loop is replicated around StepAttempt rather than
+// chunking the engine's Run — chunking would reset the failure-streak
+// counter at every boundary and silently change when runs give up.
+// This is the snapshot tap behind live trajectory streaming: the
+// callback observes the model mid-run through View/Flips/
+// SegregationStats and must not mutate it.
+func (m *Model) RunSampled(maxEvents, every int64, sample func(final bool)) (int64, bool) {
+	if every < 1 {
+		every = 1
+	}
+	emit := func(final bool) {
+		if sample != nil {
+			sample(final)
+		}
+	}
+	if m.kaw != nil || m.mov != nil {
+		budget := maxEvents
+		var failLimit int64
+		if budget <= 0 {
+			n2 := int64(m.cfg.N) * int64(m.cfg.N)
+			budget = 20 * n2
+			failLimit = n2
+		}
+		var step func() (bool, bool)
+		if m.kaw != nil {
+			step = m.kaw.StepAttempt
+		} else {
+			step = m.mov.StepAttempt
+		}
+		var performed, streak int64
+		lastSample := m.Flips()
+		for a := int64(0); a < budget; a++ {
+			ok, done := step()
+			if done {
+				emit(true)
+				return performed, true
+			}
+			if ok {
+				performed++
+				streak = 0
+				if m.Flips()-lastSample >= every {
+					emit(false)
+					lastSample = m.Flips()
+				}
+			} else {
+				streak++
+				if failLimit > 0 && streak >= failLimit {
+					emit(true)
+					return performed, false
+				}
+			}
+		}
+		emit(true)
+		return performed, false
+	}
+	var performed int64
+	for {
+		chunk := every
+		if maxEvents > 0 {
+			remaining := maxEvents - performed
+			if remaining < chunk {
+				chunk = remaining
+			}
+		}
+		p, done := m.proc.Run(chunk)
+		performed += p
+		if done {
+			emit(true)
+			return performed, true
+		}
+		if maxEvents > 0 && performed >= maxEvents {
+			emit(true)
+			return performed, false
+		}
+		emit(false)
+	}
+}
+
 // Phi returns the paper's Lyapunov function: the sum over all agents u
 // of the number of same-type agents in N(u). It strictly increases
 // with every admissible Glauber flip.

@@ -195,3 +195,65 @@ func TestExperimentRegistryFacade(t *testing.T) {
 		t.Fatal("want error for unknown experiment")
 	}
 }
+
+// TestRunSampledBitIdentical pins the live-streaming contract: a
+// sampled run must realize exactly the trajectory of Run — same event
+// count, same terminal flag, same final configuration and stats — for
+// every dynamic, with the terminal sample always delivered.
+func TestRunSampledBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		max  int64
+	}{
+		{"glauber unbounded", Config{N: 24, W: 2, Tau: 0.45, Seed: 11}, 0},
+		{"glauber bounded", Config{N: 24, W: 2, Tau: 0.45, Seed: 11}, 37},
+		{"kawasaki unbounded", Config{N: 16, W: 1, Tau: 0.5, Seed: 7, Dynamic: Kawasaki}, 0},
+		{"kawasaki bounded", Config{N: 16, W: 1, Tau: 0.5, Seed: 7, Dynamic: Kawasaki}, 123},
+		{"move unbounded", Config{N: 16, W: 1, Tau: 0.45, Seed: 5, Dynamic: Move, Rho: 0.1}, 0},
+	}
+	for _, tc := range cases {
+		plain, err := New(tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		tapped, err := New(tc.cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		wantEvents, wantFix := plain.Run(tc.max)
+		samples, finals := 0, 0
+		gotEvents, gotFix := tapped.RunSampled(tc.max, 10, func(final bool) {
+			samples++
+			if final {
+				finals++
+			}
+		})
+		if gotEvents != wantEvents || gotFix != wantFix {
+			t.Errorf("%s: RunSampled = (%d, %v), Run = (%d, %v)", tc.name, gotEvents, gotFix, wantEvents, wantFix)
+		}
+		if finals != 1 {
+			t.Errorf("%s: %d final samples, want exactly 1", tc.name, finals)
+		}
+		if samples < 1 {
+			t.Errorf("%s: no samples delivered", tc.name)
+		}
+		if plain.String() != tapped.String() {
+			t.Errorf("%s: final configurations differ", tc.name)
+		}
+		if plain.SegregationStats() != tapped.SegregationStats() {
+			t.Errorf("%s: final stats differ", tc.name)
+		}
+		wantFrame, err := plain.MarshalConfiguration()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		gotFrame, err := tapped.MarshalConfiguration()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(wantFrame, gotFrame) {
+			t.Errorf("%s: binary frames differ", tc.name)
+		}
+	}
+}

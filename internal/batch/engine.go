@@ -242,6 +242,7 @@ func Run(g Grid, columns []string, fn Runner, opt Options) (*ResultSet, error) {
 		completed = len(cells) - len(pending)
 	)
 	rs.Cache.Hits = completed
+	MetricCellsCached.Add(uint64(completed))
 	failed := func() bool {
 		mu.Lock()
 		defer mu.Unlock()
@@ -283,6 +284,11 @@ func Run(g Grid, columns []string, fn Runner, opt Options) (*ResultSet, error) {
 			if guard != nil {
 				guard.put(keys[i], vals)
 			}
+		}
+		if cached {
+			MetricCellsCached.Inc()
+		} else {
+			MetricCellsComputed.Inc()
 		}
 		mu.Lock()
 		defer mu.Unlock()

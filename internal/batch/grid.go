@@ -83,6 +83,14 @@ type Grid struct {
 	// runners pin the parallel engine to its delegation mode inside
 	// sweeps, so the worker count never changes a cell's bytes.
 	Par int
+	// Geometry opts the whole grid into the interface-geometry
+	// observables (interface length, boundary curvature) as extra
+	// columns after the standard schema. Like Engine it is grid-level,
+	// not a sweep axis, and it never enters a cell's identity: the
+	// column list — which the store keys and grid fingerprints already
+	// include — is what distinguishes a geometry sweep from its plain
+	// twin, whose artifacts stay byte-identical.
+	Geometry bool
 }
 
 // Cell is one point of the expanded grid: a parameter combination plus

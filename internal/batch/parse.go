@@ -31,7 +31,8 @@ const MaxAxisValues = 1 << 20
 // plus the scenario axes boundary (torus|open), rho (floats in
 // [0,1)), and taudist ('|'-separated distribution specs — global,
 // mix:a,b:w, uniform:lo:hi — since the specs themselves contain
-// commas and colons). ParseGrid never panics: malformed specs,
+// commas and colons), and geom (single bool: opt the grid into the
+// interface-geometry columns; not a sweep axis). ParseGrid never panics: malformed specs,
 // non-finite floats, ranges expanding beyond MaxAxisValues,
 // neighborhoods larger than their lattice (grid.ErrWindowTooLarge),
 // and move cells without vacancies all return errors.
@@ -90,8 +91,13 @@ func ParseGrid(spec string) (Grid, error) {
 			g.Rhos, err = parseFloats(value)
 		case "taudist":
 			g.TauDists, err = parseTauDists(value)
+		case "geom":
+			g.Geometry, err = strconv.ParseBool(value)
+			if err != nil {
+				err = fmt.Errorf("bad bool %q", value)
+			}
 		default:
-			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps, engine, parallel, boundary, rho, taudist)", key)
+			return Grid{}, fmt.Errorf("batch: unknown grid key %q (want n, w, tau, p, dyn, reps, engine, parallel, boundary, rho, taudist, geom)", key)
 		}
 		if err != nil {
 			return Grid{}, fmt.Errorf("batch: grid field %q: %w", field, err)

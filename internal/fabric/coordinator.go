@@ -31,7 +31,7 @@ func (c *Coordinator) Table() *Table { return c.table }
 //	POST /lease      {"worker":...} -> 200 LeaseGrant | 204 no work
 //	POST /heartbeat  {"run","index","lease"} -> 200 | 409 lease lost
 //	POST /complete   {"run","index","lease","worker","cached","values","error"} -> 204
-//	GET  /status     -> per-run cell counts + cumulative requeues
+//	GET  /status     -> per-run cell counts + cumulative protocol metrics
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /lease", func(w http.ResponseWriter, r *http.Request) {
@@ -71,12 +71,15 @@ func (c *Coordinator) Handler() http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, r *http.Request) {
-		runs, requeues := c.table.Status()
+		runs, m := c.table.Status()
 		w.Header().Set("Content-Type", "application/json")
+		// Requeues stays duplicated at the top level for clients that
+		// predate the metrics snapshot.
 		json.NewEncoder(w).Encode(struct {
-			Runs     []RunStatus `json:"runs"`
-			Requeues int         `json:"requeues"`
-		}{runs, requeues})
+			Runs     []RunStatus  `json:"runs"`
+			Requeues int          `json:"requeues"`
+			Metrics  TableMetrics `json:"metrics"`
+		}{runs, m.Requeues, m})
 	})
 	return mux
 }

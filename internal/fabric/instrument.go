@@ -1,0 +1,27 @@
+package fabric
+
+import "gridseg/internal/metrics"
+
+// Coordinator-side protocol instruments. These live on the default
+// registry, so a segd coordinator's /metrics exposes lease health
+// without any wiring; the same numbers (in aggregate form) are served
+// as JSON on GET /fabric/status for pollers that want autoscaling
+// signals without a Prometheus stack.
+var (
+	metricLeaseGrants = metrics.Default().NewCounter(
+		"fabric_lease_grants_total",
+		"Cell leases granted to workers (including expired-lease re-grants).")
+	metricLeaseRequeues = metrics.Default().NewCounter(
+		"fabric_lease_requeues_total",
+		"Cells re-granted after their previous lease expired unrenewed.")
+	metricLeaseExpiries = metrics.Default().NewCounter(
+		"fabric_lease_expiries_total",
+		"Heartbeat renewals rejected because the lease was no longer current.")
+	metricCompletions = metrics.Default().NewCounter(
+		"fabric_completions_total",
+		"Cell completions accepted by the lease table (first completion per cell).")
+	metricLeaseSeconds = metrics.Default().NewHistogram(
+		"fabric_lease_seconds",
+		"Seconds from lease grant to accepted completion.",
+		[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600})
+)

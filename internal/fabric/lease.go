@@ -63,6 +63,16 @@ type Table struct {
 	order    []string
 	runs     map[string]*tableRun
 	requeues int
+	// Observability aggregates, cumulative across runs (see
+	// TableMetrics). Guarded by mu like everything else; the protocol
+	// handlers already hold it at every increment site.
+	grants      int
+	expiries    int
+	completions int
+	completedBy map[string]int
+	leaseCount  int
+	leaseSum    float64 // seconds, grant -> accepted completion
+	leaseMax    float64
 }
 
 type tableRun struct {
@@ -71,6 +81,7 @@ type tableRun struct {
 	lease     []uint64
 	worker    []string
 	expiry    []time.Time
+	granted   []time.Time
 	remaining int
 	onDone    func(CellDone)
 	done      chan struct{}
@@ -90,7 +101,7 @@ func NewTable(ttl time.Duration, clock Clock) *Table {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Table{now: clock, ttl: ttl, runs: map[string]*tableRun{}}
+	return &Table{now: clock, ttl: ttl, runs: map[string]*tableRun{}, completedBy: map[string]int{}}
 }
 
 // TTL returns the lease TTL.
@@ -111,6 +122,7 @@ func (t *Table) Register(runID string, jobs []Job, onDone func(CellDone)) (<-cha
 		lease:     make([]uint64, len(jobs)),
 		worker:    make([]string, len(jobs)),
 		expiry:    make([]time.Time, len(jobs)),
+		granted:   make([]time.Time, len(jobs)),
 		remaining: len(jobs),
 		onDone:    onDone,
 		done:      make(chan struct{}),
@@ -172,14 +184,18 @@ func (t *Table) Lease(worker string) (LeaseGrant, bool) {
 					continue
 				}
 				t.requeues++
+				metricLeaseRequeues.Inc()
 			default:
 				continue
 			}
 			t.seq++
+			t.grants++
+			metricLeaseGrants.Inc()
 			r.state[i] = stateLeased
 			r.lease[i] = t.seq
 			r.worker[i] = worker
 			r.expiry[i] = now.Add(t.ttl)
+			r.granted[i] = now
 			return LeaseGrant{Job: r.jobs[i], Lease: t.seq, TTLMilli: t.ttl.Milliseconds()}, true
 		}
 	}
@@ -204,6 +220,8 @@ func (t *Table) Heartbeat(runID string, index int, lease uint64) bool {
 		return false
 	}
 	if r.state[i] != stateLeased || r.lease[i] != lease {
+		t.expiries++
+		metricLeaseExpiries.Inc()
 		return false
 	}
 	r.expiry[i] = t.now().Add(t.ttl)
@@ -234,6 +252,21 @@ func (t *Table) Complete(runID string, index int, lease uint64, worker string, c
 	if errMsg == "" && len(values) != len(r.jobs[i].Columns) {
 		return fmt.Errorf("fabric: cell %d: got %d values, want %d", index, len(values), len(r.jobs[i].Columns))
 	}
+	if !r.granted[i].IsZero() {
+		d := t.now().Sub(r.granted[i]).Seconds()
+		if d < 0 {
+			d = 0
+		}
+		t.leaseCount++
+		t.leaseSum += d
+		if d > t.leaseMax {
+			t.leaseMax = d
+		}
+		metricLeaseSeconds.Observe(d)
+	}
+	t.completions++
+	t.completedBy[worker]++
+	metricCompletions.Inc()
 	r.state[i] = stateDone
 	r.worker[i] = worker
 	r.remaining--
@@ -265,9 +298,26 @@ type RunStatus struct {
 	Done    int    `json:"done"`
 }
 
+// TableMetrics is the coordinator's cumulative protocol snapshot,
+// served as JSON inside GET /fabric/status so autoscalers can read
+// lease health from the endpoint they already poll. The same events
+// feed the Prometheus counters on /metrics; this struct is the
+// scrape-free view. Lease latency is the grant-to-accepted-completion
+// time, aggregated as count/sum/max (mean = sum/count).
+type TableMetrics struct {
+	Requeues          int            `json:"requeues"`
+	Grants            int            `json:"grants"`
+	Expiries          int            `json:"expiries"`
+	Completions       int            `json:"completions"`
+	CompletedByWorker map[string]int `json:"completed_by_worker"`
+	LeaseSecondsCount int            `json:"lease_seconds_count"`
+	LeaseSecondsSum   float64        `json:"lease_seconds_sum"`
+	LeaseSecondsMax   float64        `json:"lease_seconds_max"`
+}
+
 // Status snapshots the table: per-run cell counts plus the cumulative
-// requeue counter.
-func (t *Table) Status() ([]RunStatus, int) {
+// protocol metrics.
+func (t *Table) Status() ([]RunStatus, TableMetrics) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]RunStatus, 0, len(t.order))
@@ -286,5 +336,18 @@ func (t *Table) Status() ([]RunStatus, int) {
 		}
 		out = append(out, s)
 	}
-	return out, t.requeues
+	m := TableMetrics{
+		Requeues:          t.requeues,
+		Grants:            t.grants,
+		Expiries:          t.expiries,
+		Completions:       t.completions,
+		CompletedByWorker: make(map[string]int, len(t.completedBy)),
+		LeaseSecondsCount: t.leaseCount,
+		LeaseSecondsSum:   t.leaseSum,
+		LeaseSecondsMax:   t.leaseMax,
+	}
+	for w, n := range t.completedBy {
+		m.CompletedByWorker[w] = n
+	}
+	return out, m
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -41,7 +42,12 @@ type Worker struct {
 	// Poll is the idle wait between lease attempts when the
 	// coordinator has no work; zero means 200ms.
 	Poll time.Duration
-	// Logf receives progress and retry noise; nil discards it.
+	// Logger, when non-nil, receives structured progress and retry
+	// events (log/slog) tagged with the worker name and per-cell
+	// attrs. It takes precedence over Logf.
+	Logger *slog.Logger
+	// Logf receives progress and retry noise when Logger is nil; nil
+	// discards it. Kept for tests that want t.Logf plumbing.
 	Logf func(format string, args ...any)
 }
 
@@ -63,7 +69,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		grant, ok, err := w.lease(ctx)
 		if err != nil {
-			w.logf("lease: %v", err)
+			w.log("lease request failed", "err", err)
 			if !sleep(ctx, poll) {
 				return ctx.Err()
 			}
@@ -125,7 +131,7 @@ func (w *Worker) work(ctx context.Context, grant LeaseGrant) {
 			}
 		}
 		if putErr != nil {
-			w.logf("store put %s: %v", job.Key, putErr)
+			w.log("store put failed", "run", job.Run, "cell", job.Index, "key", job.Key, "err", putErr)
 		}
 	}
 	w.complete(ctx, grant, values, false, "")
@@ -168,14 +174,14 @@ func (w *Worker) heartbeats(ctx context.Context, grant LeaseGrant) {
 		}
 		resp, err := w.post(ctx, "/heartbeat", heartbeatRequest{Run: grant.Job.Run, Index: grant.Job.Index, Lease: grant.Lease})
 		if err != nil {
-			w.logf("heartbeat: %v", err)
+			w.log("heartbeat failed", "run", grant.Job.Run, "cell", grant.Job.Index, "err", err)
 			continue
 		}
 		code := resp.StatusCode
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 		if code == http.StatusConflict {
-			w.logf("heartbeat: lease lost for cell %d of run %s", grant.Job.Index, grant.Job.Run)
+			w.log("lease lost", "run", grant.Job.Run, "cell", grant.Job.Index)
 			return
 		}
 	}
@@ -201,11 +207,14 @@ func (w *Worker) complete(ctx context.Context, grant LeaseGrant, values []float6
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			if code == http.StatusNoContent || code == http.StatusOK {
+				if errMsg == "" {
+					w.log("cell complete", "run", grant.Job.Run, "cell", grant.Job.Index, "cached", cached)
+				}
 				return
 			}
-			w.logf("complete cell %d: status %d", grant.Job.Index, code)
+			w.log("complete rejected", "run", grant.Job.Run, "cell", grant.Job.Index, "status", code)
 		} else {
-			w.logf("complete cell %d: %v", grant.Job.Index, err)
+			w.log("complete failed", "run", grant.Job.Run, "cell", grant.Job.Index, "err", err)
 		}
 		if !sleep(ctx, time.Duration(attempt+1)*50*time.Millisecond) {
 			return
@@ -213,7 +222,7 @@ func (w *Worker) complete(ctx context.Context, grant LeaseGrant, values []float6
 	}
 	// Abandoned: the lease expires and the cell requeues; the store
 	// already holds the bytes, so the retry is a cache hit.
-	w.logf("complete cell %d: gave up after %d attempts", grant.Job.Index, completeRetries)
+	w.log("complete abandoned", "run", grant.Job.Run, "cell", grant.Job.Index, "attempts", completeRetries)
 }
 
 // post sends one JSON protocol request.
@@ -234,10 +243,24 @@ func (w *Worker) post(ctx context.Context, path string, body any) (*http.Respons
 	return client.Do(req)
 }
 
-func (w *Worker) logf(format string, args ...any) {
-	if w.Logf != nil {
-		w.Logf("fabric worker %s: "+format, append([]any{w.Name}, args...)...)
+// log emits one structured event. With a Logger it goes through
+// log/slog at Info with the worker name attached; otherwise the attrs
+// are rendered as k=v pairs through Logf so tests wiring t.Logf keep
+// readable output.
+func (w *Worker) log(msg string, attrs ...any) {
+	if w.Logger != nil {
+		w.Logger.Info(msg, append([]any{slog.String("worker", w.Name)}, attrs...)...)
+		return
 	}
+	if w.Logf == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "fabric worker %s: %s", w.Name, msg)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	}
+	w.Logf("%s", b.String())
 }
 
 // respError summarizes a non-success protocol response.

@@ -1,0 +1,209 @@
+package metrics
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeText checks the basic exposition format and values.
+func TestCounterGaugeText(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "Total ops.")
+	g := r.NewGauge("test_depth", "Current depth.")
+	c.Inc()
+	c.Add(4)
+	g.Set(7)
+	g.Dec()
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Total ops.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 5",
+		"# TYPE test_depth gauge",
+		"test_depth 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value() != 5 || g.Value() != 6 {
+		t.Errorf("Value() = %d, %d; want 5, 6", c.Value(), g.Value())
+	}
+}
+
+// TestHistogram checks cumulative bucket export and sum/count.
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="0.1"} 3`,
+		`test_latency_seconds_bucket{le="1"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		"test_latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got, want := h.Sum(), 5.605; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Sum() = %g, want %g", got, want)
+	}
+}
+
+// TestHistogramBoundaryInclusive pins the le semantics: a value equal
+// to an upper bound lands in that bucket.
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("test_bounds", "x", []float64{1, 2})
+	h.Observe(1)
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `test_bounds_bucket{le="1"} 1`) {
+		t.Errorf("value equal to bound should be counted in that bucket:\n%s", b.String())
+	}
+}
+
+// TestCounterVec checks labeled children and stable ordering.
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.NewCounterVec("test_results_total", "Results.", "result")
+	hit, miss := v.WithLabel("hit"), v.WithLabel("miss")
+	hit.Add(3)
+	miss.Inc()
+	if v.WithLabel("hit") != hit {
+		t.Fatal("WithLabel should return the same child for the same value")
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_results_total{result="hit"} 3`) ||
+		!strings.Contains(out, `test_results_total{result="miss"} 1`) {
+		t.Errorf("missing labeled samples:\n%s", out)
+	}
+}
+
+// TestDuplicateRegistrationPanics pins the name-collision guard.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.NewCounter("dup", "x")
+}
+
+// TestConcurrentObserve hammers every instrument type from many
+// goroutines; correctness of the totals proves the atomic paths, and
+// -race proves the absence of data races.
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("cc_total", "x")
+	g := r.NewGauge("cc_gauge", "x")
+	h := r.NewHistogram("cc_hist", "x", []float64{1})
+	v := r.NewCounterVec("cc_vec", "x", "k")
+	a, bch := v.WithLabel("a"), v.WithLabel("b")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.5)
+				a.Inc()
+				bch.Inc()
+			}
+		}()
+	}
+	// Scrape concurrently with the writers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			r.WritePrometheus(&b)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), 0.5*workers*per; math.Abs(got-want) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+// TestHandlerAndParseRoundTrip serves a registry over HTTP and parses
+// the scrape with ParseText — the same check obscheck runs against a
+// live segd.
+func TestHandlerAndParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("rt_total", "x").Add(2)
+	h := r.NewHistogram("rt_seconds", "x", nil)
+	h.Observe(0.002)
+	r.NewCounterVec("rt_vec", "x", "result").WithLabel("hit").Inc()
+
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	samples, err := ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if len(samples["rt_total"]) != 1 || samples["rt_total"][0].Value != 2 {
+		t.Errorf("rt_total samples = %+v", samples["rt_total"])
+	}
+	if n := len(samples["rt_seconds_bucket"]); n != len(DefaultLatencyBuckets)+1 {
+		t.Errorf("rt_seconds_bucket: %d samples, want %d", n, len(DefaultLatencyBuckets)+1)
+	}
+	vec := samples["rt_vec"]
+	if len(vec) != 1 || vec[0].Labels["result"] != "hit" || vec[0].Value != 1 {
+		t.Errorf("rt_vec samples = %+v", vec)
+	}
+}
+
+// TestParseTextRejectsGarbage pins the strictness obscheck relies on.
+func TestParseTextRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		"1leading_digit 3\n",
+		"unterminated{le=\"1 3\n",
+		"name{le=\"1\"} notanumber\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) should fail", bad)
+		}
+	}
+	// Trailing timestamps are legal.
+	if _, err := ParseText(strings.NewReader("ok_total 3 1700000000\n")); err != nil {
+		t.Errorf("timestamped sample should parse: %v", err)
+	}
+}

@@ -25,7 +25,7 @@ func (s *Server) runCluster(j *job) {
 		j.fail(err)
 		return
 	}
-	s.log("grid %s: running %q seed=%d (%d cells, cluster)", j.id, j.spec, j.seed, len(jobs))
+	s.logRun(j.id, "running (cluster)", "spec", j.spec, "seed", j.seed, "cells", len(jobs))
 
 	values := make([][]float64, len(jobs))
 	byIndex := make(map[int]fabric.Job, len(jobs))
@@ -76,7 +76,7 @@ func (s *Server) runCluster(j *job) {
 		// like every store write.
 		if _, ok, err := s.store.Get(fj.Key); err == nil && !ok {
 			if err := s.store.Put(fj.Key, d.Values); err != nil {
-				s.log("grid %s: caching cell %d: %v", j.id, d.Index, err)
+				s.logRun(j.id, "caching cell failed", "cell", d.Index, "err", err)
 			}
 		}
 		j.progress(clusterProgress(fj, done, len(jobs), d.Cached, d.Worker))
@@ -93,14 +93,14 @@ func (s *Server) runCluster(j *job) {
 		select {
 		case err := <-failc:
 			s.fabric.Table().Cancel(j.id)
-			s.log("grid %s: failed: %v", j.id, err)
+			s.logRun(j.id, "failed", "err", err)
 			j.fail(err)
 		default:
 			s.finishCluster(j, values, hits, misses)
 		}
 	case err := <-failc:
 		s.fabric.Table().Cancel(j.id)
-		s.log("grid %s: failed: %v", j.id, err)
+		s.logRun(j.id, "failed", "err", err)
 		j.fail(err)
 	case <-s.stop:
 		s.fabric.Table().Cancel(j.id)
@@ -112,11 +112,11 @@ func (s *Server) runCluster(j *job) {
 func (s *Server) finishCluster(j *job, values [][]float64, hits, misses int) {
 	res, err := gridseg.AssembleGrid(j.spec, values, gridseg.CacheStats{Hits: hits, Misses: misses})
 	if err != nil {
-		s.log("grid %s: failed: %v", j.id, err)
+		s.logRun(j.id, "failed", "err", err)
 		j.fail(err)
 		return
 	}
-	s.log("grid %s: done (%d cached, %d computed by workers)", j.id, hits, misses)
+	s.logRun(j.id, "done", "cached", hits, "computed_by_workers", misses)
 	j.finish(res)
 }
 

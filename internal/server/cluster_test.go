@@ -205,7 +205,8 @@ func TestClusterChaos(t *testing.T) {
 	// The kills actually exercised the requeue path, and the seeded
 	// schedule actually injected faults.
 	var fstatus struct {
-		Requeues int `json:"requeues"`
+		Requeues int                 `json:"requeues"`
+		Metrics  fabric.TableMetrics `json:"metrics"`
 	}
 	data, _ := fetch(t, hs.URL+"/fabric/status")
 	if err := json.Unmarshal(data, &fstatus); err != nil {
@@ -213,6 +214,32 @@ func TestClusterChaos(t *testing.T) {
 	}
 	if fstatus.Requeues < 2 {
 		t.Fatalf("requeues = %d, want >= 2 (both victims died holding leases)", fstatus.Requeues)
+	}
+	// The cumulative metrics snapshot must balance the run's books:
+	// every cell completed exactly once (dupes folded), every requeue
+	// re-granted, and every accepted completion measured for latency.
+	fm := fstatus.Metrics
+	if fm.Requeues != fstatus.Requeues {
+		t.Fatalf("metrics.requeues = %d, top-level requeues = %d", fm.Requeues, fstatus.Requeues)
+	}
+	if fm.Completions != cells {
+		t.Fatalf("metrics.completions = %d, want %d (one per cell, dupes folded)", fm.Completions, cells)
+	}
+	if fm.Grants < fm.Completions {
+		t.Fatalf("metrics.grants = %d < completions %d (every completion needs a grant)", fm.Grants, fm.Completions)
+	}
+	if fm.LeaseSecondsCount != fm.Completions || fm.LeaseSecondsSum < 0 || fm.LeaseSecondsMax < 0 {
+		t.Fatalf("lease latency snapshot inconsistent: %+v", fm)
+	}
+	total := 0
+	for _, n := range fm.CompletedByWorker {
+		total += n
+	}
+	if total != fm.Completions {
+		t.Fatalf("per-worker completions sum to %d, want %d", total, fm.Completions)
+	}
+	if fm.CompletedByWorker["w-survivor"] == 0 {
+		t.Fatalf("survivor worker completed no cells: %v", fm.CompletedByWorker)
 	}
 	faults := 0
 	for _, tr := range transports {

@@ -1,0 +1,25 @@
+package server
+
+import "gridseg/internal/metrics"
+
+// Process-wide serving metrics, registered on the default registry the
+// /metrics endpoint exports. Package-level because the registry is
+// process-global: two Servers in one process (as in tests) share the
+// counters, which only ever over-counts activity, never breaks it.
+var (
+	metricQueueDepth = metrics.Default().NewGauge("segd_queue_depth",
+		"Grid runs waiting in the dispatcher queue behind the executing one.")
+	metricSSESubscribers = metrics.Default().NewGauge("segd_sse_subscribers",
+		"Currently connected /events progress subscribers.")
+	metricLiveSubscribers = metrics.Default().NewGauge("segd_live_subscribers",
+		"Currently connected /live trajectory-frame subscribers.")
+	metricLiveFrames = metrics.Default().NewCounter("segd_live_frames_total",
+		"Live trajectory frames published to the fan-out hubs.")
+	metricLiveFramesDropped = metrics.Default().NewCounter("segd_live_frames_dropped_total",
+		"Live frames evicted from slow subscribers' bounded queues.")
+	metricRuns = metrics.Default().NewCounterVec("segd_runs_total",
+		"Grid runs finished, by terminal state.", "state")
+
+	metricRunsDone   = metricRuns.WithLabel(StateDone)
+	metricRunsFailed = metricRuns.WithLabel(StateFailed)
+)

@@ -19,6 +19,10 @@ type job struct {
 	seed  uint64
 	cells int
 
+	// live fans the run's trajectory frames out to /live subscribers
+	// (see live.go); closed when the run reaches a terminal state.
+	live *liveHub
+
 	mu     sync.Mutex
 	state  string
 	done   int
@@ -42,6 +46,7 @@ func newJob(id, spec string, seed uint64, cells int) *job {
 	return &job{
 		id: id, spec: spec, seed: seed, cells: cells,
 		state: StateQueued,
+		live:  newLiveHub(),
 		subs:  map[chan sseEvent]struct{}{},
 	}
 }
@@ -148,6 +153,8 @@ func (j *job) finish(res *gridseg.GridResult) {
 	j.done = res.Len()
 	j.broadcastLocked(sseEvent{Type: "done", Data: data})
 	j.mu.Unlock()
+	j.live.close()
+	metricRunsDone.Inc()
 }
 
 // fail records the error and broadcasts the terminal error event.
@@ -158,6 +165,8 @@ func (j *job) fail(err error) {
 	j.errMsg = err.Error()
 	j.broadcastLocked(sseEvent{Type: "error", Data: data})
 	j.mu.Unlock()
+	j.live.close()
+	metricRunsFailed.Inc()
 }
 
 // maxEventLog bounds the replayable event history of a run. Beyond it
@@ -187,6 +196,7 @@ func (j *job) broadcastLocked(e sseEvent) {
 		for ch := range j.subs {
 			close(ch)
 		}
+		metricSSESubscribers.Add(-int64(len(j.subs)))
 		j.subs = map[chan sseEvent]struct{}{}
 	}
 }
@@ -204,6 +214,7 @@ func (j *job) subscribe() ([]sseEvent, chan sseEvent) {
 	}
 	ch := make(chan sseEvent, 256)
 	j.subs[ch] = struct{}{}
+	metricSSESubscribers.Add(1)
 	return history, ch
 }
 
@@ -215,6 +226,7 @@ func (j *job) unsubscribe(ch chan sseEvent) {
 	if _, ok := j.subs[ch]; ok {
 		delete(j.subs, ch)
 		close(ch)
+		metricSSESubscribers.Add(-1)
 	}
 }
 

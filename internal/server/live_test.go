@@ -1,0 +1,262 @@
+package server
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gridseg"
+	"gridseg/internal/grid"
+	"gridseg/internal/metrics"
+)
+
+// newLiveTestServer starts a Server with a tight live-frame interval so
+// even small test grids produce several frames per cell.
+func newLiveTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Options{Store: gridseg.NewMemoryStore(), Workers: 2, LiveEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// readLive consumes a /live SSE stream, returning the decoded frame
+// events and the terminal end payload. It fails the test if the stream
+// does not end within the deadline.
+func readLive(t *testing.T, url string) ([]liveEvent, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("live stream content type = %q", ct)
+	}
+	var frames []liveEvent
+	var event string
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "frame":
+				var ev liveEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					t.Fatalf("frame payload does not parse: %v", err)
+				}
+				frames = append(frames, ev)
+			case "end":
+				var end struct {
+					State string `json:"state"`
+				}
+				if err := json.Unmarshal([]byte(data), &end); err != nil {
+					t.Fatalf("end payload does not parse: %v", err)
+				}
+				return frames, end.State
+			}
+		}
+	}
+	t.Fatalf("live stream ended without an end event (%d frames, err=%v)", len(frames), scanner.Err())
+	return nil, ""
+}
+
+// TestLiveStreamAndMetrics is the live-observability acceptance path:
+// submit a grid, consume its /live stream, check the frames decode to
+// real lattices with consistent observables, then scrape /metrics and
+// verify the exposition parses and carries the serving metric names.
+func TestLiveStreamAndMetrics(t *testing.T) {
+	_, hs := newLiveTestServer(t)
+	status, code := submit(t, hs.URL, "n=24 w=1 tau=0.4,0.45 reps=2", 7)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+
+	frames, endState := readLive(t, hs.URL+"/grids/"+status.ID+"/live")
+	if endState != StateDone {
+		t.Fatalf("end state = %q", endState)
+	}
+	if len(frames) == 0 {
+		t.Fatal("no live frames received")
+	}
+	finals := 0
+	for _, f := range frames {
+		if f.Final {
+			finals++
+		}
+		raw, err := base64.StdEncoding.DecodeString(f.Frame)
+		if err != nil {
+			t.Fatalf("frame is not base64: %v", err)
+		}
+		lat, err := grid.UnmarshalBinary(raw)
+		if err != nil {
+			t.Fatalf("frame does not decode: %v", err)
+		}
+		if lat.N() != f.N || f.N != 24 {
+			t.Fatalf("frame side = %d, event n = %d", lat.N(), f.N)
+		}
+		if f.HappyFrac < 0 || f.HappyFrac > 1 {
+			t.Fatalf("happy_frac = %v out of range", f.HappyFrac)
+		}
+	}
+	if finals == 0 {
+		t.Fatal("no final frame observed")
+	}
+
+	// A post-completion subscriber still gets a picture: the retained
+	// last frame, then the end event.
+	lateFrames, lateState := readLive(t, hs.URL+"/grids/"+status.ID+"/live")
+	if lateState != StateDone || len(lateFrames) != 1 || !lateFrames[0].Final {
+		t.Fatalf("late subscriber got %d frames (state %q), want the 1 retained final frame", len(lateFrames), lateState)
+	}
+
+	body, code := fetch(t, hs.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status = %d", code)
+	}
+	families, err := metrics.ParseText(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("metrics exposition does not parse: %v", err)
+	}
+	for _, name := range []string{
+		"segd_queue_depth", "segd_sse_subscribers", "segd_live_subscribers",
+		"segd_live_frames_total", "segd_runs_total",
+		"gridseg_flips_total", "gridseg_cells_computed_total",
+		"gridseg_store_gets_total", "gridseg_store_put_seconds_count",
+	} {
+		if len(families[name]) == 0 {
+			t.Errorf("metrics exposition is missing %s", name)
+		}
+	}
+}
+
+// TestLiveStalledSubscriberDoesNotStallRun pins the backpressure
+// contract end to end: one /live subscriber connects and never reads a
+// byte while a healthy subscriber and the run itself proceed. The
+// stalled consumer's frames pile into its bounded queue and the
+// overflow is dropped; the run must still finish promptly and the
+// healthy subscriber must still see frames and the end event.
+// race-stress runs this under -race, which also checks the hub's
+// publish/subscribe surfaces under the contention.
+func TestLiveStalledSubscriberDoesNotStallRun(t *testing.T) {
+	_, hs := newLiveTestServer(t)
+	status, code := submit(t, hs.URL, "n=32 w=2 tau=0.42 reps=4", 9)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status = %d", code)
+	}
+
+	// The stalled subscriber: a raw TCP connection that sends the
+	// request and then never reads, so the handler's writes eventually
+	// block in the kernel while its hub queue overflows and drops.
+	conn, err := net.Dial("tcp", hs.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /grids/%s/live HTTP/1.1\r\nHost: stalled\r\nAccept: text/event-stream\r\n\r\n", status.ID)
+
+	done := make(chan struct{})
+	var frames []liveEvent
+	var endState string
+	go func() {
+		defer close(done)
+		frames, endState = readLive(t, hs.URL+"/grids/"+status.ID+"/live")
+	}()
+
+	final := waitDone(t, hs.URL, status.ID)
+	if final.State != StateDone {
+		t.Fatalf("final state = %+v", final)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("healthy subscriber did not finish after the run completed")
+	}
+	if endState != StateDone || len(frames) == 0 {
+		t.Fatalf("healthy subscriber: %d frames, end state %q", len(frames), endState)
+	}
+}
+
+// TestLiveHubDropOldest pins the queue semantics directly: publishing
+// past a subscriber's capacity never blocks, evicts the oldest pending
+// frames, and counts every eviction.
+func TestLiveHubDropOldest(t *testing.T) {
+	h := newLiveHub()
+	if h.watched() {
+		t.Fatal("fresh hub reports watchers")
+	}
+	last, ch := h.subscribe()
+	if last != nil {
+		t.Fatal("fresh hub replayed a frame")
+	}
+	if !h.watched() {
+		t.Fatal("subscribed hub reports no watchers")
+	}
+
+	before := metricLiveFramesDropped.Value()
+	const extra = 5
+	published := make(chan struct{})
+	go func() {
+		for i := 0; i < liveQueueCap+extra; i++ {
+			h.publish([]byte(fmt.Sprintf("frame-%d", i)))
+		}
+		close(published)
+	}()
+	select {
+	case <-published:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a full subscriber queue")
+	}
+	if got := metricLiveFramesDropped.Value() - before; got != extra {
+		t.Fatalf("dropped = %d, want %d", got, extra)
+	}
+
+	// The queue holds the newest liveQueueCap frames in order.
+	for i := 0; i < liveQueueCap; i++ {
+		want := fmt.Sprintf("frame-%d", extra+i)
+		got := <-ch
+		if string(got.data) != want {
+			t.Fatalf("frame %d = %q, want %q (oldest must be dropped)", i, got.data, want)
+		}
+	}
+
+	// Late subscribers get the retained last frame; close ends streams
+	// and drops later publishes.
+	lastSeen, ch2 := h.subscribe()
+	if string(lastSeen) != fmt.Sprintf("frame-%d", liveQueueCap+extra-1) {
+		t.Fatalf("retained last frame = %q", lastSeen)
+	}
+	h.close()
+	if _, ok := <-ch2; ok {
+		t.Fatal("subscriber channel not closed by hub close")
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("first subscriber channel not closed by hub close")
+	}
+	h.publish([]byte("after-close"))
+	if h.watched() {
+		t.Fatal("closed hub reports watchers")
+	}
+}

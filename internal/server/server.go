@@ -22,6 +22,9 @@
 //	GET  /grids/{id}/artifact.csv    full CSV artifact (409 until done)
 //	GET  /grids/{id}/artifact.json   full JSON artifact (409 until done)
 //	GET  /grids/{id}/events  SSE progress stream (replays history, then live)
+//	GET  /grids/{id}/live    SSE trajectory stream (binary frames + observables)
+//	GET  /metrics            Prometheus text exposition (internal/metrics)
+//	GET  /ui                 embedded live-grid viewer (zero dependencies)
 //	GET  /healthz            liveness probe
 //
 // In cluster mode (Options.Cluster) the server becomes a coordinator:
@@ -41,12 +44,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
 	"gridseg"
 	"gridseg/internal/fabric"
+	"gridseg/internal/metrics"
 	"gridseg/internal/store"
 )
 
@@ -60,10 +66,12 @@ const (
 
 // Server owns the run registry, the job queue, and the shared store.
 type Server struct {
-	store   gridseg.CellStore
-	workers int
-	maxRuns int
-	logf    func(format string, args ...interface{})
+	store     gridseg.CellStore
+	workers   int
+	maxRuns   int
+	liveEvery int64
+	logf      func(format string, args ...interface{})
+	logger    *slog.Logger
 	// runGrid executes one grid run; it is gridseg.RunGrid except in
 	// tests, which stub it to exercise run-time failure paths that
 	// valid specs can no longer reach (spec validation got stricter
@@ -100,6 +108,15 @@ type Options struct {
 	MaxRuns int
 	// Logf, when non-nil, receives one line per lifecycle event.
 	Logf func(format string, args ...interface{})
+	// Logger, when non-nil, receives structured lifecycle events
+	// (log/slog) tagged with per-run attrs. It takes precedence over
+	// Logf, which is kept for tests that want t.Logf plumbing.
+	Logger *slog.Logger
+	// LiveEvery is the flip interval between live trajectory frames on
+	// the /grids/{id}/live stream; values < 1 mean the package default
+	// (defaultLiveEvery). Sampling runs only while someone is
+	// subscribed, so an unwatched server pays nothing for it.
+	LiveEvery int64
 	// Cluster switches the server into coordinator mode: submitted
 	// grids are decomposed into content-addressed cell jobs and leased
 	// to segd worker processes over the /fabric/ endpoints instead of
@@ -127,15 +144,21 @@ func New(opt Options) (*Server, error) {
 	if maxRuns <= 0 {
 		maxRuns = 256
 	}
+	liveEvery := opt.LiveEvery
+	if liveEvery < 1 {
+		liveEvery = defaultLiveEvery
+	}
 	s := &Server{
-		store:   opt.Store,
-		workers: opt.Workers,
-		maxRuns: maxRuns,
-		logf:    opt.Logf,
-		runGrid: gridseg.RunGrid,
-		grids:   map[string]*job{},
-		queue:   make(chan *job, depth),
-		stop:    make(chan struct{}),
+		store:     opt.Store,
+		workers:   opt.Workers,
+		maxRuns:   maxRuns,
+		liveEvery: liveEvery,
+		logf:      opt.Logf,
+		logger:    opt.Logger,
+		runGrid:   gridseg.RunGrid,
+		grids:     map[string]*job{},
+		queue:     make(chan *job, depth),
+		stop:      make(chan struct{}),
 	}
 	if opt.Cluster {
 		s.fabric = fabric.NewCoordinator(opt.LeaseTTL, nil)
@@ -152,11 +175,35 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// log emits a lifecycle line if a logger is configured.
+// log emits a free-form lifecycle line: through the structured logger
+// when configured, the printf logger otherwise.
 func (s *Server) log(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Info(fmt.Sprintf(format, args...))
+		return
+	}
 	if s.logf != nil {
 		s.logf(format, args...)
 	}
+}
+
+// logRun emits one structured lifecycle event tagged with the run id.
+// With a Logger it goes through log/slog; otherwise the attrs are
+// rendered as k=v pairs through Logf so test logs stay readable.
+func (s *Server) logRun(id, msg string, attrs ...any) {
+	if s.logger != nil {
+		s.logger.Info(msg, append([]any{slog.String("grid", id)}, attrs...)...)
+		return
+	}
+	if s.logf == nil {
+		return
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "grid %s: %s", id, msg)
+	for i := 0; i+1 < len(attrs); i += 2 {
+		fmt.Fprintf(&b, " %v=%v", attrs[i], attrs[i+1])
+	}
+	s.logf("%s", b.String())
 }
 
 // dispatch executes queued runs one at a time, in submission order.
@@ -174,6 +221,7 @@ func (s *Server) dispatch() {
 		case <-s.stop:
 			return
 		case j := <-s.queue:
+			metricQueueDepth.Add(-1)
 			s.run(j)
 		}
 	}
@@ -186,7 +234,7 @@ func (s *Server) run(j *job) {
 		return
 	}
 	j.setState(StateRunning)
-	s.log("grid %s: running %q seed=%d (%d cells)", j.id, j.spec, j.seed, j.cells)
+	s.logRun(j.id, "running", "spec", j.spec, "seed", j.seed, "cells", j.cells)
 	res, err := s.runGrid(j.spec, gridseg.GridOptions{
 		Seed:    j.seed,
 		Workers: s.workers,
@@ -194,17 +242,24 @@ func (s *Server) run(j *job) {
 		ProgressCell: func(p gridseg.CellProgress) {
 			j.progress(p)
 		},
+		// The live trajectory tap: frames flow into the run's fan-out
+		// hub, and the SnapshotActive gate skips all measurement while
+		// nobody is subscribed. Purely observational — result bytes are
+		// identical with or without subscribers.
+		Snapshot:       j.publishLive,
+		SnapshotEvery:  s.liveEvery,
+		SnapshotActive: j.live.watched,
 	})
 	if err != nil {
-		s.log("grid %s: failed: %v", j.id, err)
+		s.logRun(j.id, "failed", "err", err)
 		j.fail(err)
 		return
 	}
 	cs := res.Cache()
 	if cs.Err != "" {
-		s.log("grid %s: result store disabled mid-run: %s", j.id, cs.Err)
+		s.logRun(j.id, "result store disabled mid-run", "err", cs.Err)
 	}
-	s.log("grid %s: done (%d cached, %d computed)", j.id, cs.Hits, cs.Misses)
+	s.logRun(j.id, "done", "cached", cs.Hits, "computed", cs.Misses)
 	j.finish(res)
 }
 
@@ -218,6 +273,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /grids/{id}/artifact.csv", s.handleArtifactCSV)
 	mux.HandleFunc("GET /grids/{id}/artifact.json", s.handleArtifactJSON)
 	mux.HandleFunc("GET /grids/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /grids/{id}/live", s.handleLive)
+	mux.Handle("GET /metrics", metrics.Default().Handler())
+	mux.HandleFunc("GET /ui", handleUI)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -285,13 +343,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	j := newJob(id, req.Spec, seed, cells)
 	select {
 	case s.queue <- j:
+		metricQueueDepth.Add(1)
 		s.grids[id] = j
 		if !retry {
 			s.order = append(s.order, id)
 		}
 		s.evictLocked()
 		s.mu.Unlock()
-		s.log("grid %s: queued %q seed=%d", id, req.Spec, seed)
+		s.logRun(id, "queued", "spec", req.Spec, "seed", seed)
 		writeJSON(w, http.StatusAccepted, j.status())
 	default:
 		s.mu.Unlock()

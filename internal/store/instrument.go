@@ -1,0 +1,62 @@
+package store
+
+import (
+	"time"
+
+	"gridseg/internal/metrics"
+)
+
+// The store's instruments live on the default registry so every
+// process role — single-node segd, coordinator, worker — exports the
+// same metric names from whichever backends it happens to wire
+// together. On a worker the Remote backend's samples ARE the cache hit
+// rate the coordinator's dashboard wants, because workers probe the
+// shared store before computing.
+var (
+	storeGets = metrics.Default().NewCounterVec(
+		"gridseg_store_gets_total",
+		"Store Get operations by result (hit, miss, error), across all backends.",
+		"result")
+	storeGetHit   = storeGets.WithLabel("hit")
+	storeGetMiss  = storeGets.WithLabel("miss")
+	storeGetError = storeGets.WithLabel("error")
+
+	storePuts = metrics.Default().NewCounterVec(
+		"gridseg_store_puts_total",
+		"Store Put operations by result (ok, error), across all backends.",
+		"result")
+	storePutOK    = storePuts.WithLabel("ok")
+	storePutError = storePuts.WithLabel("error")
+
+	storeGetSeconds = metrics.Default().NewHistogram(
+		"gridseg_store_get_seconds",
+		"Latency of store Get operations in seconds.", nil)
+	storePutSeconds = metrics.Default().NewHistogram(
+		"gridseg_store_put_seconds",
+		"Latency of store Put operations in seconds.", nil)
+)
+
+// observeGet records one Get outcome; it is deferred by the backends
+// with pointers to their named results so the classification happens
+// after the body has decided hit/miss/error.
+func observeGet(start time.Time, ok *bool, err *error) {
+	storeGetSeconds.Observe(time.Since(start).Seconds())
+	switch {
+	case *err != nil:
+		storeGetError.Inc()
+	case *ok:
+		storeGetHit.Inc()
+	default:
+		storeGetMiss.Inc()
+	}
+}
+
+// observePut records one Put outcome.
+func observePut(start time.Time, err *error) {
+	storePutSeconds.Observe(time.Since(start).Seconds())
+	if *err != nil {
+		storePutError.Inc()
+	} else {
+		storePutOK.Inc()
+	}
+}

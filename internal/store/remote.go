@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 )
 
 // maxObjectBytes bounds a decoded object body. A cell object is a key
@@ -43,7 +44,8 @@ func NewRemote(base string, client *http.Client) *Remote {
 // Get implements Backend. A 404 is a miss, not an error; a response
 // whose object does not round-trip (bad JSON, key mismatch) is
 // reported as corruption, mirroring Dir.Get.
-func (r *Remote) Get(key string) ([]float64, bool, error) {
+func (r *Remote) Get(key string) (values []float64, ok bool, err error) {
+	defer observeGet(time.Now(), &ok, &err)
 	if !validKey(key) {
 		return nil, false, fmt.Errorf("store: malformed key %q", key)
 	}
@@ -75,7 +77,8 @@ func (r *Remote) Get(key string) ([]float64, bool, error) {
 }
 
 // Put implements Backend.
-func (r *Remote) Put(key string, values []float64) error {
+func (r *Remote) Put(key string, values []float64) (err error) {
+	defer observePut(time.Now(), &err)
 	if !validKey(key) {
 		return fmt.Errorf("store: malformed key %q", key)
 	}

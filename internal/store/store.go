@@ -24,6 +24,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SpecVersion tags the canonical cell-key encoding. Bump it whenever
@@ -133,11 +134,12 @@ type Memory struct {
 func NewMemory() *Memory { return &Memory{m: map[string][]float64{}} }
 
 // Get implements Store.
-func (s *Memory) Get(key string) ([]float64, bool, error) {
+func (s *Memory) Get(key string) (values []float64, ok bool, err error) {
+	defer observeGet(time.Now(), &ok, &err)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	v, ok := s.m[key]
-	if !ok {
+	v, found := s.m[key]
+	if !found {
 		return nil, false, nil
 	}
 	out := make([]float64, len(v))
@@ -146,7 +148,8 @@ func (s *Memory) Get(key string) ([]float64, bool, error) {
 }
 
 // Put implements Store.
-func (s *Memory) Put(key string, values []float64) error {
+func (s *Memory) Put(key string, values []float64) (err error) {
+	defer observePut(time.Now(), &err)
 	v := make([]float64, len(values))
 	copy(v, values)
 	s.mu.Lock()
@@ -249,7 +252,8 @@ func validKey(key string) bool {
 }
 
 // Get implements Store.
-func (d *Dir) Get(key string) ([]float64, bool, error) {
+func (d *Dir) Get(key string) (values []float64, ok bool, err error) {
+	defer observeGet(time.Now(), &ok, &err)
 	if !validKey(key) {
 		return nil, false, fmt.Errorf("store: malformed key %q", key)
 	}
@@ -275,7 +279,8 @@ func (d *Dir) Get(key string) ([]float64, bool, error) {
 }
 
 // Put implements Store.
-func (d *Dir) Put(key string, values []float64) error {
+func (d *Dir) Put(key string, values []float64) (err error) {
+	defer observePut(time.Now(), &err)
 	if !validKey(key) {
 		return fmt.Errorf("store: malformed key %q", key)
 	}

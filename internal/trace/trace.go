@@ -20,6 +20,10 @@ type Sample struct {
 	UnhappyCount     int
 	HappyFraction    float64
 	InterfaceDensity float64
+	// Geometry observables (see internal/measure), recorded only when
+	// the recorder was built with IncludeGeometry.
+	InterfaceLength   float64
+	BoundaryCurvature float64
 }
 
 // Observable exposes the process state a Recorder samples; both the
@@ -38,6 +42,8 @@ type Recorder struct {
 	obs           Observable
 	interval      int64
 	withInterface bool
+	withGeometry  bool
+	geometryOpen  bool
 	samples       []Sample
 	lastFlips     int64
 }
@@ -67,14 +73,45 @@ func (r *Recorder) take() {
 	if r.withInterface {
 		s.InterfaceDensity = measure.InterfaceDensity(lat)
 	}
+	if r.withGeometry {
+		s.InterfaceLength = measure.InterfaceLengthView(lat, r.geometryOpen)
+		s.BoundaryCurvature = measure.BoundaryCurvatureView(lat, r.geometryOpen)
+	}
 	r.samples = append(r.samples, s)
 	r.lastFlips = s.Flips
 }
 
+// IncludeGeometry adds the interface-length and boundary-curvature
+// observables to every subsequent sample (the already-taken initial
+// sample is re-measured in place — the lattice has not moved yet).
+// open selects the boundary convention of the estimators.
+func (r *Recorder) IncludeGeometry(open bool) {
+	r.withGeometry = true
+	r.geometryOpen = open
+	if len(r.samples) == 1 && r.samples[0].Flips == r.obs.Flips() {
+		lat := r.obs.Lattice()
+		r.samples[0].InterfaceLength = measure.InterfaceLengthView(lat, open)
+		r.samples[0].BoundaryCurvature = measure.BoundaryCurvatureView(lat, open)
+	}
+}
+
+// fixatable is the optional observable extension Tick uses to detect
+// termination. Both dynamics.Process variants satisfy it.
+type fixatable interface{ Fixated() bool }
+
 // Tick must be called after each process step; it records a sample when
-// the interval has elapsed.
+// the interval has elapsed — or, for an observable that reports
+// fixation, when the trajectory has just terminated between interval
+// boundaries. Without the fixation check, a run whose last flip lands
+// mid-interval silently loses its trajectory tail unless the driver
+// remembers to call Finish; with it, the terminal state is recorded
+// exactly once whichever way the driver is written.
 func (r *Recorder) Tick() {
 	if r.obs.Flips()-r.lastFlips >= r.interval {
+		r.take()
+		return
+	}
+	if f, ok := r.obs.(fixatable); ok && f.Fixated() && r.obs.Flips() != r.lastFlips {
 		r.take()
 	}
 }
@@ -96,6 +133,9 @@ func (r *Recorder) Table(title string) *report.Table {
 	if r.withInterface {
 		cols = append(cols, "interface density")
 	}
+	if r.withGeometry {
+		cols = append(cols, "interface length", "curvature")
+	}
 	t := report.NewTable(title, cols...)
 	for _, s := range r.samples {
 		row := []string{
@@ -104,6 +144,9 @@ func (r *Recorder) Table(title string) *report.Table {
 		}
 		if r.withInterface {
 			row = append(row, report.F3(s.InterfaceDensity))
+		}
+		if r.withGeometry {
+			row = append(row, report.F3(s.InterfaceLength), report.F3(s.BoundaryCurvature))
 		}
 		t.AddRow(row...)
 	}

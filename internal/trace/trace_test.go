@@ -130,3 +130,75 @@ func TestRecorderWithVariant(t *testing.T) {
 		t.Fatal("variant trace too short")
 	}
 }
+
+// TestRecorderFixationTailRecorded is the regression test for the
+// dropped-tail bug: a run that fixates between interval boundaries
+// must still record its terminal state, even when the driver only
+// calls Tick (never Finish). Before the fix, the huge interval meant
+// no Tick ever fired and the whole trajectory after the initial
+// sample was silently lost.
+func TestRecorderFixationTailRecorded(t *testing.T) {
+	p := newProc(t)
+	r, err := NewRecorder(p, 1<<40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := p.Step(); !ok {
+			break
+		}
+		r.Tick()
+	}
+	if !p.Fixated() {
+		t.Fatal("process should have fixated")
+	}
+	samples := r.Samples()
+	if len(samples) != 2 {
+		t.Fatalf("want initial + terminal samples, got %d", len(samples))
+	}
+	last := samples[len(samples)-1]
+	if last.Flips != p.Flips() {
+		t.Fatalf("terminal sample at flip %d, process at %d", last.Flips, p.Flips())
+	}
+	if last.UnhappyCount != 0 {
+		t.Fatalf("terminal sample %+v, want fixated state", last)
+	}
+	// Finish after the fixation-aware Tick must not duplicate.
+	r.Finish()
+	if len(r.Samples()) != len(samples) {
+		t.Fatal("Finish duplicated the terminal sample")
+	}
+	// And Tick after fixation must not keep appending.
+	r.Tick()
+	if len(r.Samples()) != len(samples) {
+		t.Fatal("Tick duplicated the terminal sample after fixation")
+	}
+}
+
+// TestRecorderGeometry checks the opt-in geometry observables appear
+// in samples and the rendered table, and that the initial sample is
+// backfilled.
+func TestRecorderGeometry(t *testing.T) {
+	p := newProc(t)
+	r, err := NewRecorder(p, 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.IncludeGeometry(false)
+	if r.Samples()[0].InterfaceLength == 0 {
+		t.Fatal("initial sample should carry a nonzero interface length on a random lattice")
+	}
+	p.Run(120)
+	r.Finish()
+	last := r.Samples()[len(r.Samples())-1]
+	if last.InterfaceLength <= 0 {
+		t.Fatalf("interface length = %v, want > 0 mid-run", last.InterfaceLength)
+	}
+	tb := r.Table("trace")
+	if len(tb.Columns) != 7 {
+		t.Fatalf("columns = %v", tb.Columns)
+	}
+	if !strings.Contains(tb.String(), "curvature") {
+		t.Fatal("curvature column missing")
+	}
+}

@@ -1,0 +1,11 @@
+package gridseg
+
+import "gridseg/internal/metrics"
+
+// metricFlips counts state-changing lattice events (Glauber flips,
+// Kawasaki swap sides, Move relocations) performed by sweep cells in
+// this process; the /metrics flip-throughput rate derives from it.
+// Counted once per completed cell rather than per event so the hot
+// loop carries no instrumentation.
+var metricFlips = metrics.Default().NewCounter("gridseg_flips_total",
+	"State-changing lattice events performed by completed sweep cells.")

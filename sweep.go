@@ -102,6 +102,57 @@ type GridOptions struct {
 	// with its parameters and cache provenance (the HTTP service uses
 	// it to stream per-cell SSE events).
 	ProgressCell func(p CellProgress)
+	// Snapshot, when non-nil, taps the trajectories of computed cells:
+	// every SnapshotEvery flips — and once at each cell's end — the
+	// runner measures the live configuration and delivers a LiveSample
+	// carrying the observables and a binary grid frame. The tap is
+	// purely observational: it never draws from a cell's random stream,
+	// so result bytes are identical with or without it. Cells served
+	// from the checkpoint or the result store never run, hence never
+	// produce samples. Snapshot may be called concurrently from the
+	// sweep workers and must not block for long — a stalled consumer
+	// stalls the cell that called it.
+	Snapshot func(LiveSample)
+	// SnapshotEvery is the flip interval between live samples; values
+	// < 1 mean DefaultSnapshotEvery.
+	SnapshotEvery int64
+	// SnapshotActive, when non-nil, is consulted before measuring each
+	// non-final sample: returning false skips the measurement and the
+	// frame encoding entirely, so an unwatched run pays almost nothing
+	// for the tap. Final samples are always delivered.
+	SnapshotActive func() bool
+}
+
+// DefaultSnapshotEvery is the live-sample flip interval used when
+// GridOptions.SnapshotEvery is unset.
+const DefaultSnapshotEvery = 2048
+
+// LiveSample is one live snapshot of a running sweep cell: the cell's
+// identity, the instantaneous observables, and the configuration
+// encoded in the binary grid codec (grid.UnmarshalBinary decodes it).
+type LiveSample struct {
+	// Cell identifies the sampled cell. Done is zero (the cell has not
+	// completed); Total is the size of the surrounding sweep.
+	Cell CellProgress
+	// Flips is the trajectory clock at the sample (effective flips for
+	// Glauber, twice the swaps for Kawasaki, moves for Move).
+	Flips int64
+	// Phi is the paper's Lyapunov function at the sample.
+	Phi int64
+	// Observables of the sampled configuration (scenario-aware, like
+	// SegregationStats).
+	UnhappyCount     int
+	HappyFraction    float64
+	InterfaceDensity float64
+	InterfaceLength  float64
+	Curvature        float64
+	LargestFraction  float64
+	// Frame is the lattice snapshot in the binary grid codec; nil if
+	// encoding failed (never expected).
+	Frame []byte
+	// Final marks the cell's terminal sample, taken at fixation or
+	// budget exhaustion.
+	Final bool
 }
 
 // GridResult holds the per-replicate metrics of a completed sweep.
@@ -114,6 +165,24 @@ type GridResult struct {
 var sweepColumns = []string{
 	"happy_frac", "unhappy", "iface_density", "mean_same_frac",
 	"largest_frac", "magnetization", "mean_M", "flips", "fixated",
+}
+
+// geomColumns is the opt-in geometry schema (grid key geom=true): the
+// standard columns plus the interface-geometry observables of
+// internal/measure. Kept strictly additive and opt-in so default
+// artifacts, store keys, and goldens stay byte-identical.
+var geomColumns = append(append([]string{}, sweepColumns...),
+	"iface_length", "curvature")
+
+// columnsFor returns the metric schema of a parsed grid. The column
+// list is part of every cell's store key and of the grid fingerprint,
+// so geometry sweeps get distinct cache entries and grid IDs without
+// any schema-version bump.
+func columnsFor(g batch.Grid) []string {
+	if g.Geometry {
+		return geomColumns
+	}
+	return sweepColumns
 }
 
 // parseGridSpec is the single structural gatekeeper for sweep specs:
@@ -179,7 +248,7 @@ func RunGrid(spec string, opt GridOptions) (*GridResult, error) {
 			}
 		}
 	}
-	rs, err := batch.Run(g, sweepColumns, sweepCell, bopt)
+	rs, err := batch.Run(g, columnsFor(g), cellRunner(g.Geometry, opt, g.Size()), bopt)
 	if err != nil {
 		return nil, fmt.Errorf("gridseg: %w", err)
 	}
@@ -201,12 +270,14 @@ func GridID(spec string, seed uint64) (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("gridseg: %w", err)
 	}
-	h := sha256.Sum256([]byte(g.Fingerprint(seed, gridScope, sweepColumns)))
+	h := sha256.Sum256([]byte(g.Fingerprint(seed, gridScope, columnsFor(g))))
 	return hex.EncodeToString(h[:8]), nil
 }
 
-// sweepCell runs one grid cell to fixation and measures it.
-func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
+// buildSweepModel constructs the model of one grid cell exactly as the
+// canonical runner always has: the cell seed drawn first from the
+// cell's source, the parallel engine pinned to delegation mode.
+func buildSweepModel(c batch.Cell, src *rng.Source) (*Model, error) {
 	dyn := Glauber
 	switch c.Dynamic {
 	case batch.Kawasaki:
@@ -222,7 +293,7 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := New(Config{
+	return New(Config{
 		N: c.N, W: c.W, Tau: c.Tau, P: c.P,
 		Seed: src.Uint64(), Dynamic: dyn, Engine: engine,
 		Boundary: boundary, Rho: c.Rho, TauDist: c.TauDist,
@@ -233,21 +304,104 @@ func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
 		// is reserved for single giant runs (cmd/segsim, cmd/bench).
 		Par: c.Par, ParStrips: 1,
 	})
-	if err != nil {
-		return nil, err
-	}
-	_, fixated := m.Run(0)
+}
+
+// measureSweepCell measures a finished cell in the standard column
+// order, appending the geometry columns when the grid opted in. A pure
+// read of the final configuration: never touches the random stream.
+func measureSweepCell(m *Model, c batch.Cell, fixated, geometry bool) []float64 {
 	st := m.SegregationStats()
 	meanM := measure.MeanMonoRegionSize(m.lat, measure.SamplePoints(c.N, 5))
 	fix := 0.0
 	if fixated {
 		fix = 1
 	}
-	return []float64{
+	values := []float64{
 		st.HappyFraction, float64(st.UnhappyCount), st.InterfaceDensity,
 		st.MeanSameFraction, st.LargestClusterFraction, st.Magnetization,
 		meanM, float64(st.Flips), fix,
-	}, nil
+	}
+	if geometry {
+		open := c.Boundary == batch.BoundaryOpen
+		values = append(values,
+			measure.InterfaceLengthView(m.View(), open),
+			measure.BoundaryCurvatureView(m.View(), open))
+	}
+	return values
+}
+
+// sweepCell runs one grid cell to fixation and measures it — the
+// canonical runner of plain (geom=false, untapped) sweeps.
+func sweepCell(c batch.Cell, src *rng.Source) ([]float64, error) {
+	m, err := buildSweepModel(c, src)
+	if err != nil {
+		return nil, err
+	}
+	_, fixated := m.Run(0)
+	metricFlips.Add(uint64(m.Flips()))
+	return measureSweepCell(m, c, fixated, false), nil
+}
+
+// cellRunner returns the batch runner of a grid: sweepCell itself for
+// plain untapped grids, otherwise a wrapper that measures geometry
+// columns and/or streams live samples through the snapshot tap. Every
+// variant drives the identical trajectory (RunSampled is bit-identical
+// to Run), so the first nine columns of a geometry sweep equal the
+// plain sweep's and the tap never changes bytes.
+func cellRunner(geometry bool, opt GridOptions, total int) func(batch.Cell, *rng.Source) ([]float64, error) {
+	if !geometry && opt.Snapshot == nil {
+		return sweepCell
+	}
+	return func(c batch.Cell, src *rng.Source) ([]float64, error) {
+		m, err := buildSweepModel(c, src)
+		if err != nil {
+			return nil, err
+		}
+		var fixated bool
+		if opt.Snapshot != nil {
+			every := opt.SnapshotEvery
+			if every < 1 {
+				every = DefaultSnapshotEvery
+			}
+			_, fixated = m.RunSampled(0, every, func(final bool) {
+				if !final && opt.SnapshotActive != nil && !opt.SnapshotActive() {
+					return
+				}
+				opt.Snapshot(takeLiveSample(m, c, total, final))
+			})
+		} else {
+			_, fixated = m.Run(0)
+		}
+		metricFlips.Add(uint64(m.Flips()))
+		return measureSweepCell(m, c, fixated, geometry), nil
+	}
+}
+
+// takeLiveSample measures the model's live state into a LiveSample. A
+// pure read: the trajectory and its random stream are untouched.
+func takeLiveSample(m *Model, c batch.Cell, total int, final bool) LiveSample {
+	st := m.SegregationStats()
+	open := c.Boundary == batch.BoundaryOpen
+	frame, _ := m.MarshalConfiguration()
+	return LiveSample{
+		Cell: CellProgress{
+			Total:   total,
+			Dynamic: c.Dynamic, N: c.N, W: c.W,
+			Tau: c.Tau, P: c.P,
+			Boundary: c.Boundary, Rho: c.Rho, TauDist: c.TauDist,
+			Extra: c.Extra, Rep: c.Rep,
+		},
+		Flips:            m.Flips(),
+		Phi:              m.Phi(),
+		UnhappyCount:     st.UnhappyCount,
+		HappyFraction:    st.HappyFraction,
+		InterfaceDensity: st.InterfaceDensity,
+		InterfaceLength:  measure.InterfaceLengthView(m.View(), open),
+		Curvature:        measure.BoundaryCurvatureView(m.View(), open),
+		LargestFraction:  st.LargestClusterFraction,
+		Frame:            frame,
+		Final:            final,
+	}
 }
 
 // Len returns the number of cells (parameter combinations times

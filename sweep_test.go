@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+
+	"gridseg/internal/grid"
 )
 
 const testSpec = "n=24 w=1,2 tau=0.4,0.45 reps=2"
@@ -82,5 +85,133 @@ func TestRunGridErrors(t *testing.T) {
 	}
 	if _, err := RunGrid("n=2 w=1 tau=0.45", GridOptions{}); err == nil {
 		t.Fatal("want model error for n < 3")
+	}
+}
+
+// TestRunGridGeometryColumns checks the geom=true schema: same grid,
+// same seed, two extra columns whose first nine values are
+// byte-identical to the plain sweep's, a distinct GridID, and CSV
+// headers carrying the geometry columns.
+func TestRunGridGeometryColumns(t *testing.T) {
+	plain := runTestGrid(t, 4, "")
+	geo, err := RunGrid(testSpec+" geom=true", GridOptions{Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pb, gb bytes.Buffer
+	if err := plain.WriteCSV(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if err := geo.WriteCSV(&gb); err != nil {
+		t.Fatal(err)
+	}
+	pLines := strings.Split(strings.TrimSpace(pb.String()), "\n")
+	gLines := strings.Split(strings.TrimSpace(gb.String()), "\n")
+	if len(pLines) != len(gLines) {
+		t.Fatalf("row counts differ: %d vs %d", len(pLines), len(gLines))
+	}
+	if !strings.Contains(gLines[0], "iface_length") || !strings.Contains(gLines[0], "curvature") {
+		t.Fatalf("geometry header missing columns: %q", gLines[0])
+	}
+	if strings.Contains(pLines[0], "iface_length") {
+		t.Fatalf("plain header gained geometry columns: %q", pLines[0])
+	}
+	// Every geometry row must extend the corresponding plain row: the
+	// trajectories are identical, only the schema grows.
+	for i := range pLines {
+		if !strings.HasPrefix(gLines[i], strings.TrimSuffix(pLines[i], "\n")+",") {
+			t.Fatalf("row %d: geometry row %q does not extend plain row %q", i, gLines[i], pLines[i])
+		}
+	}
+	idPlain, err := GridID(testSpec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idGeo, err := GridID(testSpec+" geom=true", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idPlain == idGeo {
+		t.Fatal("geometry sweep shares the plain sweep's GridID")
+	}
+}
+
+// TestRunGridSnapshotTap checks the live-snapshot tap: samples arrive
+// with decodable frames and a final sample per computed cell, the
+// SnapshotActive gate suppresses non-final measurement, and — the
+// byte-stability contract — a tapped sweep's artifacts are identical
+// to an untapped one's.
+func TestRunGridSnapshotTap(t *testing.T) {
+	var mu sync.Mutex
+	var samples []LiveSample
+	r, err := RunGrid(testSpec, GridOptions{
+		Seed: 3, Workers: 4,
+		SnapshotEvery: 16,
+		Snapshot: func(s LiveSample) {
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tapped bytes.Buffer
+	if err := r.WriteCSV(&tapped); err != nil {
+		t.Fatal(err)
+	}
+	var plain bytes.Buffer
+	if err := runTestGrid(t, 4, "").WriteCSV(&plain); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tapped.Bytes(), plain.Bytes()) {
+		t.Fatal("snapshot tap changed sweep artifacts")
+	}
+	finals := 0
+	for _, s := range samples {
+		if s.Final {
+			finals++
+		}
+		if len(s.Frame) == 0 {
+			t.Fatal("sample without frame")
+		}
+		lat, err := grid.UnmarshalBinary(s.Frame)
+		if err != nil {
+			t.Fatalf("frame does not decode: %v", err)
+		}
+		if lat.N() != s.Cell.N {
+			t.Fatalf("frame n = %d, cell n = %d", lat.N(), s.Cell.N)
+		}
+		if s.Cell.Total != 8 {
+			t.Fatalf("sample total = %d, want 8", s.Cell.Total)
+		}
+	}
+	if finals != 8 {
+		t.Fatalf("final samples = %d, want one per cell (8)", finals)
+	}
+	if len(samples) <= finals {
+		t.Fatal("no intermediate samples at a 16-flip interval")
+	}
+
+	// An inactive tap still delivers exactly the final samples.
+	var gated []LiveSample
+	_, err = RunGrid(testSpec, GridOptions{
+		Seed: 3, Workers: 1,
+		SnapshotEvery:  16,
+		SnapshotActive: func() bool { return false },
+		Snapshot: func(s LiveSample) {
+			gated = append(gated, s)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gated) != 8 {
+		t.Fatalf("gated samples = %d, want 8 finals only", len(gated))
+	}
+	for _, s := range gated {
+		if !s.Final {
+			t.Fatal("gated tap delivered a non-final sample")
+		}
 	}
 }
