@@ -23,12 +23,15 @@ race-stress:
 	go test -race -count=5 ./internal/dynamics/pareng/ ./internal/server/
 
 # Distributed-fabric gate: the lease-protocol unit tests (fake clock),
-# the worker loop, and the chaos e2e (coordinator + three workers with
-# seeded fault injection, two killed mid-run) under the race detector,
-# then a segload smoke against an in-process server as a closed-loop
-# client sanity check.
+# the worker loop, the journal replay/compaction edge cases, and the
+# chaos e2es — the worker-kill sweep (coordinator + three workers with
+# seeded fault injection, two killed mid-run) and the coordinator-kill
+# restart (journaled coordinator killed mid-sweep and rebooted against
+# the same journal and store, with recovery-metrics assertions) — all
+# under the race detector, then a segload smoke against an in-process
+# server as a closed-loop client sanity check.
 cluster-test:
-	go test -race -run 'TestCluster|TestLease|TestLate|TestHeartbeat|TestComplete|TestWorker|TestNaNValues|TestChaos' ./internal/server/ ./internal/fabric/
+	go test -race -run 'TestCluster|TestLease|TestLate|TestHeartbeat|TestComplete|TestWorker|TestNaNValues|TestChaos|TestJournal' ./internal/server/ ./internal/fabric/
 	go run ./cmd/segload -inproc -spec "n=16 w=1 tau=0.40,0.45 reps=2" -clients 8 -sse 2 -duration 2s -metrics-url auto
 
 # Observability gate: boot a segd in-process, submit a grid behind a

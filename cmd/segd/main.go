@@ -30,6 +30,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -42,17 +43,20 @@ import (
 
 // config holds the parsed command-line options.
 type config struct {
-	addr      string
-	store     string
-	workers   int
-	queue     int
-	verbose   bool
-	role      string
-	peer      string
-	name      string
-	leaseTTL  time.Duration
-	logFormat string
-	liveEvery int64
+	addr       string
+	store      string
+	workers    int
+	queue      int
+	verbose    bool
+	role       string
+	peer       string
+	name       string
+	leaseTTL   time.Duration
+	journal    string
+	token      string
+	leaseBatch int
+	logFormat  string
+	liveEvery  int64
 }
 
 // newFlagSet declares the command's flags; main parses it, and the
@@ -69,6 +73,9 @@ func newFlagSet() (*flag.FlagSet, *config) {
 	fs.StringVar(&c.peer, "peer", "", "coordinator base URL a worker attaches to, e.g. http://host:8080 (worker role)")
 	fs.StringVar(&c.name, "name", "", "worker name reported in leases and SSE events (worker role; default host-pid)")
 	fs.DurationVar(&c.leaseTTL, "lease-ttl", fabric.DefaultTTL, "how long a leased cell may go unrenewed before it is requeued to another worker (coordinator role)")
+	fs.StringVar(&c.journal, "journal", "", "crash-recovery journal file for the coordinator's lease table (coordinator role; empty = <store>/fabric.journal, \"off\" disables); a restarted coordinator replays it and resumes every unfinished run")
+	fs.StringVar(&c.token, "token", "", "shared secret gating the /fabric/ and /objects/ endpoints (coordinator role: required of callers when set; worker role: sent as a bearer token)")
+	fs.IntVar(&c.leaseBatch, "lease-batch", 1, "cells a worker leases per coordinator round trip (worker role; heartbeats and completions stay per cell)")
 	fs.StringVar(&c.logFormat, "log-format", "text", "structured log encoding: text or json (log/slog)")
 	fs.Int64Var(&c.liveEvery, "live-every", 0, "flips between live trajectory frames on /grids/{id}/live (0 = the server default); sampling only runs while someone is subscribed")
 	return fs, c
@@ -120,8 +127,24 @@ func serve(cfg *config) {
 		QueueDepth: cfg.queue,
 		Cluster:    cfg.role == "coordinator",
 		LeaseTTL:   cfg.leaseTTL,
+		Token:      cfg.token,
 		Logger:     newLogger(cfg),
 		LiveEvery:  cfg.liveEvery,
+	}
+	// Coordinators journal beside the store by default, so a crashed or
+	// restarted coordinator resumes its registered runs with zero lost
+	// (or recomputed) cells. -journal names another file; "off" opts out.
+	var journal *fabric.Journal
+	if cfg.role == "coordinator" && cfg.journal != "off" {
+		path := cfg.journal
+		if path == "" {
+			path = filepath.Join(cfg.store, "fabric.journal")
+		}
+		journal, err = fabric.OpenJournal(path, fabric.DefaultSyncBatch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opt.Journal = journal
 	}
 	srv, err := server.New(opt)
 	if err != nil {
@@ -151,6 +174,11 @@ func serve(cfg *config) {
 			log.Printf("shutdown: %v", err)
 		}
 		srv.Close()
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				log.Printf("journal close: %v", err)
+			}
+		}
 		close(idle)
 	}()
 
@@ -180,8 +208,10 @@ func work(cfg *config) {
 	w := &fabric.Worker{
 		Name:        name,
 		Coordinator: cfg.peer + "/fabric",
-		Store:       store.NewRemote(cfg.peer+"/objects", nil),
+		Store:       store.NewRemoteWith(cfg.peer+"/objects", store.RemoteOptions{Token: cfg.token}),
 		Runner:      gridseg.ComputeJob,
+		LeaseMax:    cfg.leaseBatch,
+		Token:       cfg.token,
 		Logger:      newLogger(cfg),
 	}
 

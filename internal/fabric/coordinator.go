@@ -29,6 +29,7 @@ func (c *Coordinator) Table() *Table { return c.table }
 // Handler returns the protocol endpoints, relative to the mount point:
 //
 //	POST /lease      {"worker":...} -> 200 LeaseGrant | 204 no work
+//	                 {"worker":..., "max":k} -> 200 {"grants":[...]} (up to k) | 204
 //	POST /heartbeat  {"run","index","lease"} -> 200 | 409 lease lost
 //	POST /complete   {"run","index","lease","worker","cached","values","error"} -> 204
 //	GET  /status     -> per-run cell counts + cumulative protocol metrics
@@ -39,13 +40,19 @@ func (c *Coordinator) Handler() http.Handler {
 		if !decodeBody(w, r, &req) {
 			return
 		}
-		grant, ok := c.table.Lease(req.Worker)
-		if !ok {
+		grants := c.table.LeaseBatch(req.Worker, req.Max)
+		if len(grants) == 0 {
 			w.WriteHeader(http.StatusNoContent)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(grant)
+		if req.Max > 1 {
+			// Batched shape only when asked for: single-cell clients
+			// (and pre-batching workers) keep the original response.
+			json.NewEncoder(w).Encode(leaseBatchResponse{Grants: grants})
+			return
+		}
+		json.NewEncoder(w).Encode(grants[0])
 	})
 	mux.HandleFunc("POST /heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req heartbeatRequest

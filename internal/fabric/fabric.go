@@ -63,6 +63,17 @@ type LeaseGrant struct {
 // bodies of the three protocol posts.
 type leaseRequest struct {
 	Worker string `json:"worker"`
+	// Max asks for up to k cells in one round trip (batched leasing).
+	// Omitted or <= 1 keeps the original single-grant response shape;
+	// > 1 switches the 200 response to leaseBatchResponse.
+	Max int `json:"max,omitempty"`
+}
+
+// leaseBatchResponse is the 200 body of a batched lease request
+// (Max > 1): up to Max grants, each carrying its own lease token and
+// TTL. Heartbeats and completions stay per cell.
+type leaseBatchResponse struct {
+	Grants []LeaseGrant `json:"grants"`
 }
 
 type heartbeatRequest struct {

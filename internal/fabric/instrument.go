@@ -24,4 +24,20 @@ var (
 		"fabric_lease_seconds",
 		"Seconds from lease grant to accepted completion.",
 		[]float64{0.01, 0.05, 0.25, 1, 5, 30, 120, 600})
+	metricRecoveredCells = metrics.Default().NewCounter(
+		"fabric_recovered_cells_total",
+		"Cells absorbed as already done during coordinator restart recovery (journal replay + store reconciliation) instead of recomputed.")
+)
+
+// Worker-side resilience instruments. These live process-side: in a
+// real cluster they appear on each worker's own /metrics listener, and
+// in the in-process chaos tests they share the default registry with
+// the coordinator's counters.
+var (
+	metricWorkerOutages = metrics.Default().NewCounter(
+		"fabric_worker_outages_total",
+		"Times a worker's lease loop found the coordinator unreachable and entered backoff.")
+	metricWorkerReconnects = metrics.Default().NewCounter(
+		"fabric_worker_reconnects_total",
+		"Times a worker's lease loop reached the coordinator again after an outage.")
 )

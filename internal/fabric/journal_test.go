@@ -1,0 +1,298 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func openTestJournal(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatalf("OpenJournal: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+// TestJournalColdStart covers the empty-journal boot: a fresh (or
+// absent) file replays to zero runs and accepts appends.
+func TestJournalColdStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	j := openTestJournal(t, path)
+	if runs := j.Runs(); len(runs) != 0 {
+		t.Fatalf("cold journal recovered %d runs, want 0", len(runs))
+	}
+	if err := j.Register("r1", "n=8 w=1 tau=0.4 reps=1", 7, 1); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if runs := j.Runs(); len(runs) != 1 || runs[0].Run != "r1" {
+		t.Fatalf("Runs after register = %+v", runs)
+	}
+}
+
+// TestJournalRoundTrip writes a run's full transition history and
+// checks a reopened journal rebuilds exactly the recoverable state:
+// done cells with their values (NaN included), leases reverted.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	j := openTestJournal(t, path)
+	if err := j.Register("run-a", "spec-a", 42, 4); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	j.RecordLease("run-a", 0, "w1")
+	j.RecordLease("run-a", 1, "w2")
+	j.RecordDone("run-a", 0, "w1", false, []float64{1.5, math.NaN()})
+	j.RecordDone("run-a", 2, "w2", true, []float64{3})
+	// Cell 1 stays leased: it must revert to pending on replay.
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2 := openTestJournal(t, path)
+	runs := j2.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("recovered %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	if r.Run != "run-a" || r.Spec != "spec-a" || r.Seed != 42 || r.Cells != 4 {
+		t.Fatalf("recovered run = %+v", r)
+	}
+	if len(r.Done) != 2 {
+		t.Fatalf("recovered %d done cells, want 2: %+v", len(r.Done), r.Done)
+	}
+	d0 := r.Done[0]
+	if d0.Worker != "w1" || d0.Cached || len(d0.Values) != 2 || d0.Values[0] != 1.5 || !math.IsNaN(d0.Values[1]) {
+		t.Fatalf("done[0] = %+v", d0)
+	}
+	d2 := r.Done[2]
+	if d2.Worker != "w2" || !d2.Cached || len(d2.Values) != 1 || d2.Values[0] != 3 {
+		t.Fatalf("done[2] = %+v", d2)
+	}
+	if r.Leased != 1 {
+		t.Fatalf("recovered Leased = %d, want 1 (cell 1 was out on lease)", r.Leased)
+	}
+}
+
+// TestJournalFinishRetiresRun checks a finished run does not resurrect
+// on reboot while its unfinished sibling does.
+func TestJournalFinishRetiresRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	j := openTestJournal(t, path)
+	for _, id := range []string{"keep", "retire"} {
+		if err := j.Register(id, "spec", 1, 2); err != nil {
+			t.Fatalf("Register(%s): %v", id, err)
+		}
+	}
+	j.RecordDone("retire", 0, "w", false, []float64{1})
+	j.RecordDone("retire", 1, "w", false, []float64{2})
+	if err := j.Finish("retire"); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path)
+	runs := j2.Runs()
+	if len(runs) != 1 || runs[0].Run != "keep" {
+		t.Fatalf("recovered %+v, want only run %q", runs, "keep")
+	}
+}
+
+// TestJournalTornFinalRecord simulates a crash mid-append: the final
+// record has no terminating newline, so replay must drop exactly that
+// record, the open must truncate it, and subsequent appends must form
+// a journal that replays cleanly.
+func TestJournalTornFinalRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	j := openTestJournal(t, path)
+	if err := j.Register("r1", "spec", 1, 3); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	j.RecordDone("r1", 0, "w", false, []float64{1})
+	j.Close()
+
+	// Tear the tail: a done record cut mid-value, no newline. Even
+	// though the fragment is parseable JSON prefix-wise, it must not be
+	// trusted.
+	torn := `{"t":"done","run":"r1","index":1,"worker":"w","values":[2`
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.ReadFile(path)
+
+	j2 := openTestJournal(t, path)
+	runs := j2.Runs()
+	if len(runs) != 1 || len(runs[0].Done) != 1 {
+		t.Fatalf("after torn tail recovered %+v, want 1 run with 1 done cell", runs)
+	}
+	after, _ := os.ReadFile(path)
+	if len(after) != len(before)-len(torn) {
+		t.Fatalf("torn tail not truncated: file %d bytes, want %d", len(after), len(before)-len(torn))
+	}
+	// The journal must keep working on the truncated file.
+	j2.RecordDone("r1", 2, "w", false, []float64{3})
+	j2.Close()
+	j3 := openTestJournal(t, path)
+	if runs := j3.Runs(); len(runs) != 1 || len(runs[0].Done) != 2 {
+		t.Fatalf("after post-truncation append recovered %+v, want 2 done cells", runs)
+	}
+	if _, ok := j3.Runs()[0].Done[1]; ok {
+		t.Fatal("torn record for cell 1 leaked into the replayed state")
+	}
+}
+
+// TestJournalReplayIdempotency replays the same bytes twice and
+// requires identical state: record application must be a pure state
+// transition with no hidden accumulation.
+func TestJournalReplayIdempotency(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	j := openTestJournal(t, path)
+	j.Register("a", "spec-a", 1, 3)
+	j.Register("b", "spec-b", 2, 2)
+	j.RecordLease("a", 0, "w1")
+	j.RecordDone("a", 0, "w1", false, []float64{1})
+	// Duplicate and conflicting records must fold away: a re-register,
+	// a second completion of a done cell, a lease of a done cell.
+	j.Register("a", "spec-a", 1, 3)
+	j.RecordDone("a", 0, "w9", true, []float64{99})
+	j.RecordLease("a", 0, "w9")
+	j.Finish("b")
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good1, n1, runs1, order1 := replayJournal(data)
+	good2, n2, runs2, order2 := replayJournal(data)
+	if good1 != good2 || n1 != n2 || !reflect.DeepEqual(order1, order2) || !reflect.DeepEqual(runs1, runs2) {
+		t.Fatalf("replay not idempotent: (%d,%d,%v) vs (%d,%d,%v)", good1, n1, order1, good2, n2, order2)
+	}
+	a := runs1["a"]
+	if a == nil || len(a.done) != 1 || a.done[0].Worker != "w1" || len(a.leased) != 0 {
+		t.Fatalf("replayed run a = %+v; first completion must win and done cells must not re-lease", a)
+	}
+	if _, ok := runs1["b"]; ok {
+		t.Fatal("finished run b survived replay")
+	}
+}
+
+// TestJournalMalformedInteriorLine checks the replay stops trusting
+// the file at the first corrupt interior line instead of skipping it
+// and replaying records whose context is gone.
+func TestJournalMalformedInteriorLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	lines := []string{
+		`{"t":"register","run":"a","spec":"s","seed":1,"cells":2}`,
+		`not json at all`,
+		`{"t":"done","run":"a","index":0,"worker":"w","values":[1]}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j := openTestJournal(t, path)
+	runs := j.Runs()
+	if len(runs) != 1 || len(runs[0].Done) != 0 {
+		t.Fatalf("recovered %+v, want run a with no done cells (replay stops at corruption)", runs)
+	}
+}
+
+// TestJournalCompaction exercises compaction racing live completions:
+// goroutines append done records while Compact rewrites the file, and
+// the reopened journal must hold every record regardless of which side
+// of the rewrite each append landed on.
+func TestJournalCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	j := openTestJournal(t, path)
+	const cells = 64
+	if err := j.Register("live", "spec", 1, cells); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g * (cells / 4); i < (g+1)*(cells/4); i++ {
+				j.RecordDone("live", i, fmt.Sprintf("w%d", g), false, []float64{float64(i)})
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if err := j.Compact(); err != nil {
+				t.Errorf("Compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if err := j.Compact(); err != nil {
+		t.Fatalf("final Compact: %v", err)
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path)
+	runs := j2.Runs()
+	if len(runs) != 1 || len(runs[0].Done) != cells {
+		t.Fatalf("after compaction recovered %d runs / %d done cells, want 1 / %d", len(runs), len(runs[0].Done), cells)
+	}
+	for i := 0; i < cells; i++ {
+		d, ok := runs[0].Done[i]
+		if !ok || len(d.Values) != 1 || d.Values[0] != float64(i) {
+			t.Fatalf("done[%d] = %+v, ok=%v", i, d, ok)
+		}
+	}
+}
+
+// TestJournalAutoCompaction checks the finish-triggered compaction:
+// churning many short runs through the journal must keep the file
+// bounded by the live state, not the full history.
+func TestJournalAutoCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.journal")
+	j := openTestJournal(t, path)
+	if err := j.Register("keeper", "spec", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	j.RecordDone("keeper", 0, "w", false, []float64{1})
+	for n := 0; n < 50; n++ {
+		id := fmt.Sprintf("churn-%d", n)
+		if err := j.Register(id, "spec", 1, 4); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			j.RecordDone(id, i, "w", false, []float64{float64(i)})
+		}
+		if err := j.Finish(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 churned runs wrote ~300 records; the live state is 2. Compaction
+	// must have kept the file within the 2*live+16 trigger's reach.
+	if lines := strings.Count(string(data), "\n"); lines > 2*2+16 {
+		t.Fatalf("journal holds %d records after churn; auto-compaction failed", lines)
+	}
+	j2 := openTestJournal(t, path)
+	if runs := j2.Runs(); len(runs) != 1 || runs[0].Run != "keeper" || len(runs[0].Done) != 1 {
+		t.Fatalf("after churn recovered %+v, want only keeper with 1 done cell", runs)
+	}
+}

@@ -63,6 +63,10 @@ type Table struct {
 	order    []string
 	runs     map[string]*tableRun
 	requeues int
+	// recorder, when set, receives lease grants and accepted
+	// completions under mu (see TableRecorder); the journal implements
+	// it for crash durability.
+	recorder TableRecorder
 	// Observability aggregates, cumulative across runs (see
 	// TableMetrics). Guarded by mu like everything else; the protocol
 	// handlers already hold it at every increment site.
@@ -73,6 +77,43 @@ type Table struct {
 	leaseCount  int
 	leaseSum    float64 // seconds, grant -> accepted completion
 	leaseMax    float64
+	// Restart-recovery aggregates: runs re-registered from the journal
+	// on reboot, and their cells absorbed as done (from journal done
+	// records or store reconciliation) instead of recomputed.
+	recoveredRuns  int
+	recoveredCells int
+}
+
+// TableRecorder receives the table's durable state transitions —
+// lease grants and accepted completions — synchronously under the
+// table lock, in the exact order they happened. *Journal implements
+// it; implementations must not call back into the Table.
+type TableRecorder interface {
+	RecordLease(run string, index int, worker string)
+	RecordDone(run string, index int, worker string, cached bool, values []float64)
+}
+
+// SetRecorder installs the transition recorder (nil disables). Call
+// before the table starts serving; the fabric does not re-deliver
+// transitions that happened earlier.
+func (t *Table) SetRecorder(r TableRecorder) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recorder = r
+}
+
+// NoteRecovered adds to the restart-recovery aggregates surfaced in
+// TableMetrics and the fabric_recovered_cells_total counter: runs
+// re-registered from the journal, and cells absorbed as already done
+// during their re-registration scan.
+func (t *Table) NoteRecovered(runs, cells int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.recoveredRuns += runs
+	t.recoveredCells += cells
+	if cells > 0 {
+		metricRecoveredCells.Add(uint64(cells))
+	}
 }
 
 type tableRun struct {
@@ -171,9 +212,26 @@ func (t *Table) removeLocked(runID string) {
 // a leased cell whose TTL has expired (which counts as a requeue). The
 // boolean reports whether any work was available.
 func (t *Table) Lease(worker string) (LeaseGrant, bool) {
+	grants := t.LeaseBatch(worker, 1)
+	if len(grants) == 0 {
+		return LeaseGrant{}, false
+	}
+	return grants[0], true
+}
+
+// LeaseBatch grants up to max available cells to worker in one call —
+// the batched form of Lease, cutting per-cell round trips on grids
+// whose cells are cheaper than an HTTP exchange. Heartbeats and
+// completions stay per cell; an empty slice means no work was
+// available.
+func (t *Table) LeaseBatch(worker string, max int) []LeaseGrant {
+	if max < 1 {
+		max = 1
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	now := t.now()
+	var out []LeaseGrant
 	for _, id := range t.order {
 		r := t.runs[id]
 		for i := range r.jobs {
@@ -196,10 +254,16 @@ func (t *Table) Lease(worker string) (LeaseGrant, bool) {
 			r.worker[i] = worker
 			r.expiry[i] = now.Add(t.ttl)
 			r.granted[i] = now
-			return LeaseGrant{Job: r.jobs[i], Lease: t.seq, TTLMilli: t.ttl.Milliseconds()}, true
+			if t.recorder != nil {
+				t.recorder.RecordLease(id, r.jobs[i].Index, worker)
+			}
+			out = append(out, LeaseGrant{Job: r.jobs[i], Lease: t.seq, TTLMilli: t.ttl.Milliseconds()})
+			if len(out) == max {
+				return out
+			}
 		}
 	}
-	return LeaseGrant{}, false
+	return out
 }
 
 // Heartbeat renews a lease, reporting whether the lease is still
@@ -270,6 +334,11 @@ func (t *Table) Complete(runID string, index int, lease uint64, worker string, c
 	r.state[i] = stateDone
 	r.worker[i] = worker
 	r.remaining--
+	if t.recorder != nil && errMsg == "" {
+		// Error completions are not journaled: a deterministic cell
+		// failure fails the run, which the server journals as a finish.
+		t.recorder.RecordDone(runID, index, worker, cached, values)
+	}
 	if r.onDone != nil {
 		r.onDone(CellDone{Index: index, Values: values, Worker: worker, Cached: cached, Err: errMsg})
 	}
@@ -313,6 +382,12 @@ type TableMetrics struct {
 	LeaseSecondsCount int            `json:"lease_seconds_count"`
 	LeaseSecondsSum   float64        `json:"lease_seconds_sum"`
 	LeaseSecondsMax   float64        `json:"lease_seconds_max"`
+	// RecoveredRuns and RecoveredCells surface coordinator restart
+	// recovery: runs re-registered from the lease journal on reboot,
+	// and their cells absorbed as done (journal replay plus store
+	// reconciliation) instead of recomputed.
+	RecoveredRuns  int `json:"recovered_runs"`
+	RecoveredCells int `json:"recovered_cells"`
 }
 
 // Status snapshots the table: per-run cell counts plus the cumulative
@@ -345,6 +420,8 @@ func (t *Table) Status() ([]RunStatus, TableMetrics) {
 		LeaseSecondsCount: t.leaseCount,
 		LeaseSecondsSum:   t.leaseSum,
 		LeaseSecondsMax:   t.leaseMax,
+		RecoveredRuns:     t.recoveredRuns,
+		RecoveredCells:    t.recoveredCells,
 	}
 	for w, n := range t.completedBy {
 		m.CompletedByWorker[w] = n

@@ -5,12 +5,15 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
+	"gridseg/internal/rng"
 	"gridseg/internal/store"
 )
 
@@ -22,8 +25,15 @@ import (
 // at any point without corrupting anything. Die before completion and
 // the lease expires and the cell requeues; die after the store Put but
 // before completion and the replacement worker gets a cache hit.
-// Transport failures are retried with backoff; completion retries are
-// safe because Complete is idempotent on the coordinator.
+//
+// The loop also outlives the coordinator: every HTTP call carries a
+// per-request deadline (RequestTimeout), so a dead or partitioned
+// coordinator can never hang the worker, and lease failures back off
+// exponentially with jitter (BackoffBase..BackoffMax) until the
+// coordinator is reachable again — a coordinator restart needs no
+// operator intervention on the worker side. Outage entries and
+// recoveries are counted in fabric_worker_outages_total and
+// fabric_worker_reconnects_total.
 type Worker struct {
 	// Name identifies the worker in leases and SSE events.
 	Name string
@@ -42,6 +52,23 @@ type Worker struct {
 	// Poll is the idle wait between lease attempts when the
 	// coordinator has no work; zero means 200ms.
 	Poll time.Duration
+	// RequestTimeout bounds every fabric HTTP round trip; zero means
+	// 10s. Without it a coordinator that accepts the connection and
+	// then dies (or a black-holing network) would hang the worker
+	// forever mid-request.
+	RequestTimeout time.Duration
+	// BackoffBase and BackoffMax shape the capped exponential backoff
+	// (with jitter) applied to failed lease, completion, and store-fill
+	// attempts; zero means 100ms base and 5s cap.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// LeaseMax asks the coordinator for up to k cells per lease round
+	// trip (batched leasing; heartbeats and completions stay per
+	// cell). Values < 2 lease one cell at a time.
+	LeaseMax int
+	// Token, when non-empty, is sent as an "Authorization: Bearer"
+	// header on every fabric call, matching the coordinator's -token.
+	Token string
 	// Logger, when non-nil, receives structured progress and retry
 	// events (log/slog) tagged with the worker name and per-cell
 	// attrs. It takes precedence over Logf.
@@ -49,44 +76,151 @@ type Worker struct {
 	// Logf receives progress and retry noise when Logger is nil; nil
 	// discards it. Kept for tests that want t.Logf plumbing.
 	Logf func(format string, args ...any)
+
+	// jitter randomizes backoff so a worker fleet released by a
+	// coordinator restart does not stampede in lockstep. Seeded from
+	// the worker name; only touched from the Run goroutine.
+	jitter *rng.Source
 }
 
 // completeRetries bounds how often a worker retries posting one
-// completion before abandoning the cell to lease expiry.
-const completeRetries = 5
+// completion before abandoning the cell to lease expiry. With the
+// default backoff shape the retries span several seconds, enough to
+// ride out a coordinator restart.
+const completeRetries = 6
 
 // Run executes the lease loop until ctx is canceled, returning
 // ctx.Err(). Transport errors never abort the loop — a worker outlives
-// coordinator restarts.
+// coordinator restarts, backing off between attempts and resuming
+// leasing as soon as the coordinator answers again.
 func (w *Worker) Run(ctx context.Context) error {
 	poll := w.Poll
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
+	failures := 0
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		grant, ok, err := w.lease(ctx)
+		grants, err := w.lease(ctx)
 		if err != nil {
-			w.log("lease request failed", "err", err)
+			if failures == 0 {
+				metricWorkerOutages.Inc()
+				w.log("coordinator unreachable, backing off", "err", err)
+			}
+			failures++
+			if !sleep(ctx, w.backoff(failures)) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if failures > 0 {
+			metricWorkerReconnects.Inc()
+			w.log("coordinator reachable again", "failed_attempts", failures)
+			failures = 0
+		}
+		if len(grants) == 0 {
 			if !sleep(ctx, poll) {
 				return ctx.Err()
 			}
 			continue
 		}
-		if !ok {
-			if !sleep(ctx, poll) {
-				return ctx.Err()
-			}
-			continue
-		}
-		w.work(ctx, grant)
+		w.workBatch(ctx, grants)
 	}
 }
 
-// work handles one granted lease end to end.
-func (w *Worker) work(ctx context.Context, grant LeaseGrant) {
+// backoff returns the capped exponential wait before retry `attempt`
+// (1-based), jittered over the upper half of the window so a fleet of
+// workers spreads its retries instead of stampeding together.
+func (w *Worker) backoff(attempt int) time.Duration {
+	base := w.BackoffBase
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := w.BackoffMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	if w.jitter == nil {
+		h := fnv.New64a()
+		h.Write([]byte(w.Name))
+		w.jitter = rng.New(h.Sum64() | 1)
+	}
+	return d/2 + time.Duration(w.jitter.Float64()*float64(d/2))
+}
+
+// leaseKey identifies one held grant; a batch can span runs, so the
+// cell index alone is not unique.
+type leaseKey struct {
+	run   string
+	index int
+}
+
+// heldLeases is the set of grants a worker currently holds, shared
+// between the batch's compute loop and its heartbeat goroutine.
+type heldLeases struct {
+	mu     sync.Mutex
+	grants map[leaseKey]LeaseGrant
+}
+
+func newHeldLeases(grants []LeaseGrant) *heldLeases {
+	h := &heldLeases{grants: make(map[leaseKey]LeaseGrant, len(grants))}
+	for _, g := range grants {
+		h.grants[leaseKey{g.Job.Run, g.Job.Index}] = g
+	}
+	return h
+}
+
+func (h *heldLeases) remove(g LeaseGrant) {
+	h.mu.Lock()
+	delete(h.grants, leaseKey{g.Job.Run, g.Job.Index})
+	h.mu.Unlock()
+}
+
+func (h *heldLeases) snapshot() []LeaseGrant {
+	h.mu.Lock()
+	out := make([]LeaseGrant, 0, len(h.grants))
+	for _, g := range h.grants {
+		out = append(out, g)
+	}
+	h.mu.Unlock()
+	return out
+}
+
+// workBatch handles one lease batch end to end: a single heartbeat
+// goroutine renews every still-held grant while the cells are computed
+// in order. A worker killed mid-batch stops heartbeating everything,
+// and all its unfinished leases expire and requeue.
+func (w *Worker) workBatch(ctx context.Context, grants []LeaseGrant) {
+	held := newHeldLeases(grants)
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		w.heartbeats(hbCtx, grants[0].TTLMilli, held)
+	}()
+	for _, g := range grants {
+		if ctx.Err() != nil {
+			break
+		}
+		w.workCell(ctx, g)
+		held.remove(g)
+	}
+	stopHB()
+	<-hbDone
+}
+
+// workCell handles one granted lease: store probe, compute, store
+// fill, completion. Heartbeats are the batch's job, not the cell's.
+func (w *Worker) workCell(ctx context.Context, grant LeaseGrant) {
 	job := grant.Job
 	if w.Store != nil {
 		if v, ok, err := w.Store.Get(job.Key); err == nil && ok && len(v) == len(job.Columns) {
@@ -94,20 +228,7 @@ func (w *Worker) work(ctx context.Context, grant LeaseGrant) {
 			return
 		}
 	}
-
-	// Renew the lease while computing. The goroutine stops when the
-	// cell is finished or the worker dies; a worker killed mid-cell
-	// stops heartbeating, the lease expires, and the cell requeues.
-	hbCtx, stopHB := context.WithCancel(ctx)
-	hbDone := make(chan struct{})
-	go func() {
-		defer close(hbDone)
-		w.heartbeats(hbCtx, grant)
-	}()
-
 	values, err := w.Runner(job)
-	stopHB()
-	<-hbDone
 	if ctx.Err() != nil {
 		// Killed mid-cell: abandon without completing. Even if the
 		// runner returned a value, reporting it now would race our own
@@ -122,11 +243,11 @@ func (w *Worker) work(ctx context.Context, grant LeaseGrant) {
 		// Fill the shared cache, fail-soft: a store outage costs
 		// recomputation on the next miss, never the result.
 		var putErr error
-		for attempt := 0; attempt < 3; attempt++ {
+		for attempt := 1; attempt <= 3; attempt++ {
 			if putErr = w.Store.Put(job.Key, values); putErr == nil {
 				break
 			}
-			if !sleep(ctx, time.Duration(attempt+1)*50*time.Millisecond) {
+			if !sleep(ctx, w.backoff(attempt)) {
 				return
 			}
 		}
@@ -137,34 +258,46 @@ func (w *Worker) work(ctx context.Context, grant LeaseGrant) {
 	w.complete(ctx, grant, values, false, "")
 }
 
-// lease asks the coordinator for work. ok=false means no work is
-// currently available.
-func (w *Worker) lease(ctx context.Context) (LeaseGrant, bool, error) {
-	resp, err := w.post(ctx, "/lease", leaseRequest{Worker: w.Name})
-	if err != nil {
-		return LeaseGrant{}, false, err
+// lease asks the coordinator for up to LeaseMax cells. A nil slice
+// with nil error means no work is currently available.
+func (w *Worker) lease(ctx context.Context) ([]LeaseGrant, error) {
+	max := w.LeaseMax
+	if max < 1 {
+		max = 1
 	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
+	status, body, err := w.post(ctx, "/lease", leaseRequest{Worker: w.Name, Max: max})
+	if err != nil {
+		return nil, err
+	}
+	switch status {
 	case http.StatusNoContent:
-		io.Copy(io.Discard, resp.Body)
-		return LeaseGrant{}, false, nil
+		return nil, nil
 	case http.StatusOK:
 	default:
-		return LeaseGrant{}, false, fmt.Errorf("lease: %s", respError(resp))
+		return nil, fmt.Errorf("lease: %s", respError(status, body))
+	}
+	if max > 1 {
+		var batch leaseBatchResponse
+		if err := json.Unmarshal(body, &batch); err != nil {
+			return nil, fmt.Errorf("lease: %w", err)
+		}
+		return batch.Grants, nil
 	}
 	var grant LeaseGrant
-	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&grant); err != nil {
-		return LeaseGrant{}, false, fmt.Errorf("lease: %w", err)
+	if err := json.Unmarshal(body, &grant); err != nil {
+		return nil, fmt.Errorf("lease: %w", err)
 	}
-	return grant, true, nil
+	return []LeaseGrant{grant}, nil
 }
 
-// heartbeats renews the lease at a third of its TTL until stopped. A
-// 409 means the lease was requeued; renewal stops but the computation
-// continues — its completion will still be accepted idempotently.
-func (w *Worker) heartbeats(ctx context.Context, grant LeaseGrant) {
-	interval := time.Duration(grant.TTLMilli) * time.Millisecond / 3
+// heartbeats renews every held lease at a third of the TTL until
+// stopped. A 409 means that lease was requeued; its renewal stops but
+// the computation continues — the completion will still be accepted
+// idempotently. Transport failures are logged and retried on the next
+// tick; the per-request deadline keeps a dead coordinator from
+// hanging the goroutine.
+func (w *Worker) heartbeats(ctx context.Context, ttlMilli int64, held *heldLeases) {
+	interval := time.Duration(ttlMilli) * time.Millisecond / 3
 	if interval <= 0 {
 		interval = time.Second
 	}
@@ -172,24 +305,24 @@ func (w *Worker) heartbeats(ctx context.Context, grant LeaseGrant) {
 		if !sleep(ctx, interval) {
 			return
 		}
-		resp, err := w.post(ctx, "/heartbeat", heartbeatRequest{Run: grant.Job.Run, Index: grant.Job.Index, Lease: grant.Lease})
-		if err != nil {
-			w.log("heartbeat failed", "run", grant.Job.Run, "cell", grant.Job.Index, "err", err)
-			continue
-		}
-		code := resp.StatusCode
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if code == http.StatusConflict {
-			w.log("lease lost", "run", grant.Job.Run, "cell", grant.Job.Index)
-			return
+		for _, g := range held.snapshot() {
+			status, _, err := w.post(ctx, "/heartbeat", heartbeatRequest{Run: g.Job.Run, Index: g.Job.Index, Lease: g.Lease})
+			if err != nil {
+				w.log("heartbeat failed", "run", g.Job.Run, "cell", g.Job.Index, "err", err)
+				continue
+			}
+			if status == http.StatusConflict {
+				w.log("lease lost", "run", g.Job.Run, "cell", g.Job.Index)
+				held.remove(g)
+			}
 		}
 	}
 }
 
-// complete reports a finished cell, retrying through transport faults:
-// the coordinator's Complete is idempotent, so a torn connection whose
-// request actually landed is safely resent.
+// complete reports a finished cell, retrying with backoff through
+// transport faults: the coordinator's Complete is idempotent, so a
+// torn connection whose request actually landed is safely resent, and
+// the backoff window is wide enough to span a coordinator restart.
 func (w *Worker) complete(ctx context.Context, grant LeaseGrant, values []float64, cached bool, errMsg string) {
 	req := completeRequest{
 		Run:    grant.Job.Run,
@@ -200,23 +333,20 @@ func (w *Worker) complete(ctx context.Context, grant LeaseGrant, values []float6
 		Values: encodeValues(values),
 		Error:  errMsg,
 	}
-	for attempt := 0; attempt < completeRetries; attempt++ {
-		resp, err := w.post(ctx, "/complete", req)
+	for attempt := 1; attempt <= completeRetries; attempt++ {
+		status, body, err := w.post(ctx, "/complete", req)
 		if err == nil {
-			code := resp.StatusCode
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			if code == http.StatusNoContent || code == http.StatusOK {
+			if status == http.StatusNoContent || status == http.StatusOK {
 				if errMsg == "" {
 					w.log("cell complete", "run", grant.Job.Run, "cell", grant.Job.Index, "cached", cached)
 				}
 				return
 			}
-			w.log("complete rejected", "run", grant.Job.Run, "cell", grant.Job.Index, "status", code)
+			w.log("complete rejected", "run", grant.Job.Run, "cell", grant.Job.Index, "status", status, "body", respError(status, body))
 		} else {
 			w.log("complete failed", "run", grant.Job.Run, "cell", grant.Job.Index, "err", err)
 		}
-		if !sleep(ctx, time.Duration(attempt+1)*50*time.Millisecond) {
+		if !sleep(ctx, w.backoff(attempt)) {
 			return
 		}
 	}
@@ -225,22 +355,43 @@ func (w *Worker) complete(ctx context.Context, grant LeaseGrant, values []float6
 	w.log("complete abandoned", "run", grant.Job.Run, "cell", grant.Job.Index, "attempts", completeRetries)
 }
 
-// post sends one JSON protocol request.
-func (w *Worker) post(ctx context.Context, path string, body any) (*http.Response, error) {
+// post sends one JSON protocol request under the per-request deadline
+// and returns the status plus the (bounded) response body. The body is
+// fully consumed before returning so the deadline covers the whole
+// exchange and the connection is reusable.
+func (w *Worker) post(ctx context.Context, path string, body any) (int, []byte, error) {
 	data, err := json.Marshal(body)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, strings.TrimRight(w.Coordinator, "/")+path, bytes.NewReader(data))
+	timeout := w.RequestTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, strings.TrimRight(w.Coordinator, "/")+path, bytes.NewReader(data))
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if w.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+w.Token)
+	}
 	client := w.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return client.Do(req)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, b, nil
 }
 
 // log emits one structured event. With a Logger it goes through
@@ -264,13 +415,18 @@ func (w *Worker) log(msg string, attrs ...any) {
 }
 
 // respError summarizes a non-success protocol response.
-func respError(resp *http.Response) string {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+func respError(status int, body []byte) string {
 	msg := strings.TrimSpace(string(body))
-	if msg == "" {
-		return resp.Status
+	if i := strings.IndexByte(msg, '\n'); i >= 0 {
+		msg = msg[:i]
 	}
-	return resp.Status + ": " + msg
+	if len(msg) > 256 {
+		msg = msg[:256]
+	}
+	if msg == "" {
+		return http.StatusText(status)
+	}
+	return fmt.Sprintf("%d %s: %s", status, http.StatusText(status), msg)
 }
 
 // sleep waits for d or until ctx is canceled, reporting whether the

@@ -30,17 +30,43 @@ func (s *Server) runCluster(j *job) {
 	values := make([][]float64, len(jobs))
 	byIndex := make(map[int]fabric.Job, len(jobs))
 	var pending []fabric.Job
-	done, hits, misses := 0, 0, 0
+	done, hits, misses, recCells := 0, 0, 0, 0
 	for _, fj := range jobs {
 		byIndex[fj.Index] = fj
+		// A journaled done record is absorbed first: it survives even
+		// when a crash raced the worker's store fill. The backstop Put
+		// reconciles the store so the cell also serves future grids.
+		if d, ok := j.recovered[fj.Index]; ok && len(d.Values) == len(fj.Columns) {
+			values[fj.Index] = d.Values
+			done++
+			hits++
+			recCells++
+			if _, ok, err := s.store.Get(fj.Key); err == nil && !ok {
+				if err := s.store.Put(fj.Key, d.Values); err != nil {
+					s.logRun(j.id, "caching recovered cell failed", "cell", fj.Index, "err", err)
+				}
+			}
+			j.progress(clusterProgress(fj, done, len(jobs), true, d.Worker))
+			continue
+		}
 		if v, ok, err := s.store.Get(fj.Key); err == nil && ok && len(v) == len(fj.Columns) {
 			values[fj.Index] = v
 			done++
 			hits++
+			if j.recovered != nil {
+				// Store reconciliation: the completion's journal record was
+				// lost to the crash (batched fsync) but the worker's store
+				// fill survived, so the cell is still not recomputed.
+				recCells++
+			}
 			j.progress(clusterProgress(fj, done, len(jobs), true, ""))
 			continue
 		}
 		pending = append(pending, fj)
+	}
+	if recCells > 0 {
+		s.fabric.Table().NoteRecovered(0, recCells)
+		s.logRun(j.id, "absorbed recovered cells", "cells", recCells, "remaining", len(pending))
 	}
 	if len(pending) == 0 {
 		s.finishCluster(j, values, hits, misses)
@@ -93,28 +119,49 @@ func (s *Server) runCluster(j *job) {
 		select {
 		case err := <-failc:
 			s.fabric.Table().Cancel(j.id)
-			s.logRun(j.id, "failed", "err", err)
-			j.fail(err)
+			s.failCluster(j, err)
 		default:
 			s.finishCluster(j, values, hits, misses)
 		}
 	case err := <-failc:
 		s.fabric.Table().Cancel(j.id)
-		s.logRun(j.id, "failed", "err", err)
-		j.fail(err)
+		s.failCluster(j, err)
 	case <-s.stop:
+		// Deliberately NOT journaled as finished: a clean shutdown and a
+		// crash look the same to the journal, so the next coordinator
+		// boot resumes this run from its journaled completions.
 		s.fabric.Table().Cancel(j.id)
 		j.fail(fmt.Errorf("server shut down before the run completed"))
 	}
 }
 
-// finishCluster assembles and publishes a completed cluster run.
+// failCluster records a deterministic run failure. The journal entry
+// is finished too: the same cells would fail on any worker, so
+// resuming the run on reboot would only refail it — the retry path is
+// resubmission, which registers afresh.
+func (s *Server) failCluster(j *job, err error) {
+	s.logRun(j.id, "failed", "err", err)
+	if s.journal != nil {
+		if jerr := s.journal.Finish(j.id); jerr != nil {
+			s.logRun(j.id, "journal finish failed", "err", jerr)
+		}
+	}
+	j.fail(err)
+}
+
+// finishCluster assembles and publishes a completed cluster run,
+// retiring it from the journal (synchronously fsynced, so a crash
+// after this point never re-runs a finished grid).
 func (s *Server) finishCluster(j *job, values [][]float64, hits, misses int) {
 	res, err := gridseg.AssembleGrid(j.spec, values, gridseg.CacheStats{Hits: hits, Misses: misses})
 	if err != nil {
-		s.logRun(j.id, "failed", "err", err)
-		j.fail(err)
+		s.failCluster(j, err)
 		return
+	}
+	if s.journal != nil {
+		if jerr := s.journal.Finish(j.id); jerr != nil {
+			s.logRun(j.id, "journal finish failed", "err", jerr)
+		}
 	}
 	s.logRun(j.id, "done", "cached", hits, "computed_by_workers", misses)
 	j.finish(res)

@@ -8,6 +8,7 @@ import (
 
 	"gridseg"
 	"gridseg/internal/batch"
+	"gridseg/internal/fabric"
 )
 
 // job is one grid run: its identity, its lifecycle state, and the SSE
@@ -18,6 +19,12 @@ type job struct {
 	spec  string
 	seed  uint64
 	cells int
+
+	// recovered carries the journaled done cells of a run re-enqueued
+	// by coordinator restart recovery; runCluster absorbs them without
+	// recomputation. Nil for ordinary submissions. Written once before
+	// the job is enqueued, read only by the dispatcher.
+	recovered map[int]fabric.JournalDone
 
 	// live fans the run's trajectory frames out to /live subscribers
 	// (see live.go); closed when the run reaches a terminal state.

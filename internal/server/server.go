@@ -42,6 +42,8 @@ package server
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"log/slog"
@@ -80,6 +82,12 @@ type Server struct {
 	// fabric is the lease coordinator of cluster mode; nil when the
 	// server computes grids in-process (the default).
 	fabric *fabric.Coordinator
+	// journal is the coordinator's crash-recovery log; nil outside
+	// cluster mode or when journaling is disabled.
+	journal *fabric.Journal
+	// token, when non-empty, gates the /fabric/ and /objects/ endpoint
+	// groups behind a constant-time bearer check.
+	token string
 
 	mu    sync.Mutex
 	grids map[string]*job
@@ -129,16 +137,37 @@ type Options struct {
 	// is requeued to another worker (cluster mode; 0 means
 	// fabric.DefaultTTL). Workers heartbeat at a third of the TTL.
 	LeaseTTL time.Duration
+	// Journal, when non-nil in cluster mode, makes run registrations and
+	// cell completions crash-durable: New replays the journal and
+	// re-enqueues every unfinished run, absorbing its journaled (and
+	// store-reconciled) done cells without recomputation. The server
+	// takes ownership of the journal; close it after Close.
+	Journal *fabric.Journal
+	// Token, when non-empty, requires "Authorization: Bearer <Token>"
+	// on every /fabric/ and /objects/ request (compared in constant
+	// time; 401 otherwise). The public grid API stays open.
+	Token string
 }
 
 // New builds a Server and starts its dispatcher. Call Close to drain.
+// In cluster mode with a journal, New first replays the journal and
+// re-enqueues every run the previous coordinator process left
+// unfinished, so a restart resumes where the crash interrupted.
 func New(opt Options) (*Server, error) {
 	if opt.Store == nil {
 		return nil, fmt.Errorf("server: Options.Store is required")
 	}
+	var recovered []fabric.RecoveredRun
+	if opt.Cluster && opt.Journal != nil {
+		recovered = opt.Journal.Runs()
+	}
 	depth := opt.QueueDepth
 	if depth <= 0 {
 		depth = 64
+	}
+	if depth < len(recovered) {
+		// Recovery must never drop a journaled run to a full queue.
+		depth = len(recovered)
 	}
 	maxRuns := opt.MaxRuns
 	if maxRuns <= 0 {
@@ -162,6 +191,25 @@ func New(opt Options) (*Server, error) {
 	}
 	if opt.Cluster {
 		s.fabric = fabric.NewCoordinator(opt.LeaseTTL, nil)
+		s.token = opt.Token
+		if opt.Journal != nil {
+			s.journal = opt.Journal
+			s.fabric.Table().SetRecorder(opt.Journal)
+		}
+	}
+	// Replay-recovered runs are enqueued before the dispatcher starts,
+	// in their original registration order, carrying their journaled
+	// done cells so runCluster absorbs them instead of recomputing.
+	for _, r := range recovered {
+		j := newJob(r.Run, r.Spec, r.Seed, r.Cells)
+		j.recovered = r.Done
+		s.grids[r.Run] = j
+		s.order = append(s.order, r.Run)
+		s.queue <- j
+		metricQueueDepth.Add(1)
+		s.fabric.Table().NoteRecovered(1, 0)
+		s.logRun(r.Run, "recovered from journal", "spec", r.Spec, "seed", r.Seed,
+			"cells", r.Cells, "journaled_done", len(r.Done))
 	}
 	s.wg.Add(1)
 	go s.dispatch()
@@ -281,11 +329,35 @@ func (s *Server) Handler() http.Handler {
 	})
 	if s.fabric != nil {
 		// Cluster mode: the lease protocol for workers and the shared
-		// object store they probe and fill.
-		mux.Handle("/fabric/", http.StripPrefix("/fabric", s.fabric.Handler()))
-		mux.Handle("/objects/", http.StripPrefix("/objects", store.ObjectHandler(s.store)))
+		// object store they probe and fill. Both groups sit behind the
+		// shared-secret check when one is configured; the public grid
+		// API above stays open either way.
+		fh := http.Handler(http.StripPrefix("/fabric", s.fabric.Handler()))
+		oh := http.Handler(http.StripPrefix("/objects", store.ObjectHandler(s.store)))
+		if s.token != "" {
+			fh = requireToken(s.token, fh)
+			oh = requireToken(s.token, oh)
+		}
+		mux.Handle("/fabric/", fh)
+		mux.Handle("/objects/", oh)
 	}
 	return mux
+}
+
+// requireToken gates h behind "Authorization: Bearer <token>". The
+// header is compared against the expected value in constant time (via
+// fixed-size digests, so the comparison length leaks nothing either)
+// and a mismatch answers 401 without touching h.
+func requireToken(token string, h http.Handler) http.Handler {
+	want := sha256.Sum256([]byte("Bearer " + token))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got := sha256.Sum256([]byte(r.Header.Get("Authorization")))
+		if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 }
 
 // submitRequest is the body of POST /grids.
@@ -350,6 +422,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		s.evictLocked()
 		s.mu.Unlock()
+		if s.journal != nil {
+			// Durable registration before the 202: a coordinator that
+			// crashes after answering will resume this run on reboot. A
+			// journal write failure degrades durability, not the run.
+			if err := s.journal.Register(id, req.Spec, seed, cells); err != nil {
+				s.logRun(id, "journal register failed", "err", err)
+			}
+		}
 		s.logRun(id, "queued", "spec", req.Spec, "seed", seed)
 		writeJSON(w, http.StatusAccepted, j.status())
 	default:

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -24,21 +25,66 @@ const maxObjectBytes = 1 << 20
 //
 // Remote performs no internal retries: a transport failure surfaces as
 // an error and the caller (the batch engine's fail-soft storeGuard, or
-// the fabric worker's retry loop) decides policy. It is safe for
-// concurrent use; http.Client pools connections internally.
+// the fabric worker's retry loop) decides policy. Every request runs
+// under a per-request deadline so a dead server cannot hang a caller
+// that holds no deadline of its own. It is safe for concurrent use;
+// http.Client pools connections internally.
 type Remote struct {
-	base   string
-	client *http.Client
+	base    string
+	client  *http.Client
+	timeout time.Duration
+	token   string
+}
+
+// RemoteOptions tunes a Remote beyond its base URL.
+type RemoteOptions struct {
+	// Client is the HTTP client; nil means http.DefaultClient.
+	Client *http.Client
+	// Timeout bounds each Get/Put round trip; zero means 30s.
+	Timeout time.Duration
+	// Token, when non-empty, is sent as an "Authorization: Bearer"
+	// header, matching the serving coordinator's -token.
+	Token string
 }
 
 // NewRemote returns a Backend talking to the object endpoint rooted at
 // base (e.g. "http://coordinator:8080/objects"). A nil client means
 // http.DefaultClient.
 func NewRemote(base string, client *http.Client) *Remote {
+	return NewRemoteWith(base, RemoteOptions{Client: client})
+}
+
+// NewRemoteWith is NewRemote with explicit options.
+func NewRemoteWith(base string, opt RemoteOptions) *Remote {
+	client := opt.Client
 	if client == nil {
 		client = http.DefaultClient
 	}
-	return &Remote{base: strings.TrimRight(base, "/"), client: client}
+	timeout := opt.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Remote{
+		base:    strings.TrimRight(base, "/"),
+		client:  client,
+		timeout: timeout,
+		token:   opt.Token,
+	}
+}
+
+// newRequest builds one deadline-bounded object request. The returned
+// cancel must be held until the response body has been consumed.
+func (r *Remote) newRequest(method, key string, body io.Reader) (*http.Request, context.CancelFunc, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
+	req, err := http.NewRequestWithContext(ctx, method, r.base+"/"+key, body)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if r.token != "" {
+		req.Header.Set("Authorization", "Bearer "+r.token)
+	}
+	return req, cancel, nil
 }
 
 // Get implements Backend. A 404 is a miss, not an error; a response
@@ -49,7 +95,12 @@ func (r *Remote) Get(key string) (values []float64, ok bool, err error) {
 	if !validKey(key) {
 		return nil, false, fmt.Errorf("store: malformed key %q", key)
 	}
-	resp, err := r.client.Get(r.base + "/" + key)
+	req, cancel, err := r.newRequest(http.MethodGet, key, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("store: %w", err)
+	}
+	defer cancel()
+	resp, err := r.client.Do(req)
 	if err != nil {
 		return nil, false, fmt.Errorf("store: remote get: %w", err)
 	}
@@ -90,10 +141,11 @@ func (r *Remote) Put(key string, values []float64) (err error) {
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	req, err := http.NewRequest(http.MethodPut, r.base+"/"+key, bytes.NewReader(data))
+	req, cancel, err := r.newRequest(http.MethodPut, key, bytes.NewReader(data))
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	defer cancel()
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := r.client.Do(req)
 	if err != nil {

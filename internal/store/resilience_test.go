@@ -1,0 +1,122 @@
+package store
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestDirOpenSweepsStaleTmp pins the crash-consistency sweep: a *.tmp
+// staging file abandoned by a killed writer is removed on the next
+// Open, while a fresh one — possibly a live writer in another process —
+// is left alone, and neither is ever visible through Get or Len.
+func TestDirOpenSweepsStaleTmp(t *testing.T) {
+	root := t.TempDir()
+	d, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CellSpec{Scope: "sweep", Rep: 1}.Key()
+	if err := d.Put(key, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a writer killed mid-Put long ago (stale) and one killed
+	// (or still writing) just now (fresh).
+	bucket := filepath.Join(root, "objects", key[:2])
+	stale := filepath.Join(bucket, "deadbeef.123.tmp")
+	fresh := filepath.Join(bucket, "cafebabe.456.tmp")
+	for _, p := range []string{stale, fresh} {
+		if err := os.WriteFile(p, []byte(`{"torn":`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * staleTmpAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale tmp survived reopen: stat err = %v", err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatalf("fresh tmp was swept (may belong to a live writer): %v", err)
+	}
+	// The real object is untouched and tmp residue never counts.
+	if v, ok, err := d2.Get(key); err != nil || !ok || v[0] != 1 {
+		t.Fatalf("Get after sweep = %v, %v, %v", v, ok, err)
+	}
+	if n, err := d2.Len(); err != nil || n != 1 {
+		t.Fatalf("Len after sweep = %d, %v, want 1", n, err)
+	}
+}
+
+// TestRemoteSendsBearerToken checks NewRemoteWith attaches the shared
+// secret to both verbs, matching what a -token coordinator requires.
+func TestRemoteSendsBearerToken(t *testing.T) {
+	var got []string
+	backend := NewMemory()
+	auth := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.Header.Get("Authorization"))
+		if r.Header.Get("Authorization") != "Bearer sesame" {
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		ObjectHandler(backend).ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(auth)
+	defer srv.Close()
+
+	key := CellSpec{Scope: "auth", Rep: 1}.Key()
+	r := NewRemoteWith(srv.URL, RemoteOptions{Token: "sesame"})
+	if err := r.Put(key, []float64{7}); err != nil {
+		t.Fatalf("authorized Put: %v", err)
+	}
+	if v, ok, err := r.Get(key); err != nil || !ok || v[0] != 7 {
+		t.Fatalf("authorized Get = %v, %v, %v", v, ok, err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("server saw %d requests, want 2", len(got))
+	}
+
+	// A tokenless client must be refused, and the refusal must surface
+	// as an error, not a silent miss.
+	bare := NewRemote(srv.URL, nil)
+	if err := bare.Put(key, []float64{7}); err == nil {
+		t.Fatal("tokenless Put succeeded against an authenticated endpoint")
+	}
+	if _, _, err := bare.Get(key); err == nil {
+		t.Fatal("tokenless Get succeeded against an authenticated endpoint")
+	}
+}
+
+// TestRemoteRequestTimeout pins the per-request deadline: a server
+// that accepts and then stalls must not hang Get or Put forever.
+func TestRemoteRequestTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-stall
+	}))
+	defer srv.Close()
+	defer close(stall) // LIFO: release the handler before Close waits on it
+
+	r := NewRemoteWith(srv.URL, RemoteOptions{Timeout: 100 * time.Millisecond})
+	key := CellSpec{Scope: "stall", Rep: 1}.Key()
+	start := time.Now()
+	if _, _, err := r.Get(key); err == nil {
+		t.Fatal("Get against a stalled server returned no error")
+	}
+	if err := r.Put(key, []float64{1}); err == nil {
+		t.Fatal("Put against a stalled server returned no error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("stalled round trips took %v; deadlines did not bound them", elapsed)
+	}
+}

@@ -182,7 +182,20 @@ type Dir struct {
 	count   int
 }
 
+// staleTmpAge is how old a *.tmp staging file must be before Open
+// treats it as crash residue. A live writer holds its staging file for
+// the milliseconds between CreateTemp and rename, so anything an hour
+// old was abandoned by a killed process; the margin keeps a concurrent
+// opener (the store directory is shared across processes) from
+// sweeping a staging file out from under a live writer.
+const staleTmpAge = time.Hour
+
 // Open opens (creating if needed) a file-backed store rooted at dir.
+// Stale *.tmp staging files — the residue of a writer killed between
+// CreateTemp and rename — are swept on open: they were never visible
+// to readers (Get and Len ignore them), so removing them is always
+// safe, and leaving them would slowly leak disk across crash/restart
+// cycles.
 func Open(dir string) (*Dir, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -190,7 +203,42 @@ func Open(dir string) (*Dir, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	if err := sweepTmp(filepath.Join(dir, "objects"), time.Now().Add(-staleTmpAge)); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
 	return &Dir{root: dir}, nil
+}
+
+// sweepTmp removes staging files last modified before cutoff under the
+// objects tree. Removal races with another sweeping process are
+// tolerated, but any other failure surfaces: a store that cannot clean
+// itself probably cannot write.
+func sweepTmp(objects string, cutoff time.Time) error {
+	return filepath.WalkDir(objects, func(path string, e os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if e.IsDir() || !strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		info, err := e.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if !info.ModTime().Before(cutoff) {
+			return nil
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	})
 }
 
 // Root returns the directory the store is rooted at.
